@@ -1,0 +1,28 @@
+"""Benchmark-harness glue.
+
+Benchmarks regenerate the survey's tables/figures and validate its
+comparative claims.  Rendered artifacts are collected here and printed in
+the terminal summary (so they appear even though pytest captures stdout),
+and written to ``benchmarks/results/`` for inspection.
+"""
+
+import pathlib
+
+_REPORTS = []
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def add_report(name: str, text: str) -> None:
+    """Register a rendered artifact for the terminal summary + results dir."""
+    _REPORTS.append((name, text))
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("reproduced paper artifacts")
+    for name, text in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(text)

@@ -1,0 +1,151 @@
+"""[ablations] Design-choice ablations called out in DESIGN.md.
+
+Three internal knobs whose effect the framework's design depends on:
+
+- **MinHash signature length** — Jaccard estimation error shrinks ~1/sqrt(k)
+  (why 128 permutations is the default);
+- **LSH banding threshold** — recall of true joinable pairs vs candidate
+  volume (the S-curve trade-off Aurum tunes);
+- **JOSIE cost-model pruning** — candidates examined with and without the
+  rare-token-first elimination.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.reporting import render_table
+from repro.datagen import LakeGenerator
+from repro.discovery.josie import JosieIndex
+from repro.ml.lsh import LSHIndex
+from repro.ml.minhash import MinHasher
+
+from conftest import add_report
+
+
+def minhash_ablation():
+    rng = random.Random(3)
+    rows = []
+    pairs = []
+    for _ in range(30):
+        size = rng.randint(50, 150)
+        overlap = rng.randint(0, size)
+        left = {f"a{i}" for i in range(size)}
+        right = {f"a{i}" for i in range(overlap)} | {
+            f"b{i}" for i in range(size - overlap)
+        }
+        truth = len(left & right) / len(left | right)
+        pairs.append((left, right, truth))
+    for num_perm in (16, 64, 256):
+        hasher = MinHasher(num_perm=num_perm)
+        errors = []
+        for left, right, truth in pairs:
+            estimate = hasher.signature(left).jaccard(hasher.signature(right))
+            errors.append(abs(estimate - truth))
+        rows.append((num_perm, sum(errors) / len(errors), max(errors)))
+    return rows
+
+
+def lsh_threshold_ablation():
+    workload = LakeGenerator(seed=47).generate(
+        num_pools=2, tables_per_pool=3, rows_per_table=100, pool_size=80,
+        key_coverage=1.0, noise_tables=6,
+    )
+    hasher = MinHasher(num_perm=128)
+    signatures = {}
+    for table in workload.tables:
+        for column in table.columns:
+            signatures[(table.name, column.name)] = hasher.signature(
+                table[column.name].distinct()
+            )
+    rows = []
+    for threshold in (0.2, 0.5, 0.8):
+        index = LSHIndex(num_perm=128, threshold=threshold)
+        for key, signature in signatures.items():
+            index.add(key, signature)
+        found = 0
+        candidates = 0
+        for left, right in sorted(workload.joinable_pairs):
+            hits = index.candidates(signatures[left])
+            candidates += len(hits)
+            if right in hits:
+                found += 1
+        recall = found / len(workload.joinable_pairs)
+        rows.append((threshold, recall, candidates / len(workload.joinable_pairs)))
+    return rows
+
+
+def data_skipping_ablation():
+    """Lakehouse file skipping: files read for a selective scan."""
+    from repro.storage.lakehouse import LakehouseTable
+
+    table = LakehouseTable("skipping")
+    num_files = 20
+    for base in range(num_files):
+        table.append([{"v": base * 100 + i} for i in range(50)])
+    table.files_read = table.files_skipped = 0
+    result = table.scan("v", "=", 505)
+    return len(result), table.files_read, num_files
+
+
+def josie_pruning_ablation():
+    rng = random.Random(5)
+    index = JosieIndex()
+    common = [f"shared{i}" for i in range(5)]
+    index.add_set("target", [f"q{i}" for i in range(120)] + common)
+    for i in range(400):
+        index.add_set(f"noise{i}", [f"n{i}-{j}" for j in range(40)] + common)
+    query = [f"q{i}" for i in range(120)] + common
+    index.candidates_examined = 0
+    index.topk(query, k=1)
+    with_pruning = index.candidates_examined
+    total_candidates = 401  # every set shares the common tokens
+    return with_pruning, total_candidates
+
+
+def test_bench_ablations(benchmark):
+    minhash_rows, lsh_rows, (pruned, total), skipping = benchmark.pedantic(
+        lambda: (minhash_ablation(), lsh_threshold_ablation(),
+                 josie_pruning_ablation(), data_skipping_ablation()),
+        iterations=1, rounds=1,
+    )
+    rendered = render_table(
+        "Ablation: MinHash signature length vs Jaccard estimation error",
+        ["num_perm", "mean abs error", "max abs error"],
+        [[n, f"{mean:.3f}", f"{worst:.3f}"] for n, mean, worst in minhash_rows],
+    )
+    rendered += "\n" + render_table(
+        "Ablation: LSH threshold vs recall of true joinable pairs",
+        ["threshold", "recall", "avg candidates per query"],
+        [[t, f"{r:.2f}", f"{c:.1f}"] for t, r, c in lsh_rows],
+    )
+    rendered += "\n" + render_table(
+        "Ablation: JOSIE cost-model pruning",
+        ["strategy", "candidates examined"],
+        [["rare-token-first + elimination", pruned],
+         ["no pruning (every sharing set)", total]],
+    )
+    matched_rows, files_read, num_files = skipping
+    rendered += "\n" + render_table(
+        "Ablation: lakehouse data skipping (point scan over 20 files)",
+        ["metric", "value"],
+        [["matching rows", matched_rows], ["files read", files_read],
+         ["files in snapshot", num_files]],
+    )
+    add_report("ablations", rendered)
+    # the point scan touches exactly the one file holding the value
+    assert matched_rows == 1
+    assert files_read == 1
+    # MinHash error decreases with signature length
+    errors = [mean for _, mean, _ in minhash_rows]
+    assert errors[0] > errors[-1]
+    assert errors[-1] < 0.06
+    # low thresholds recall everything; high thresholds trade recall for
+    # fewer candidates
+    recalls = {t: r for t, r, _ in lsh_rows}
+    candidates = {t: c for t, _, c in lsh_rows}
+    assert recalls[0.2] == 1.0
+    assert candidates[0.8] <= candidates[0.2]
+    assert recalls[0.8] <= recalls[0.2]
+    # JOSIE elimination skipped most of the noise sets
+    assert pruned < total / 2

@@ -1,0 +1,86 @@
+"""[claim-aurum] "instead of conducting an all-pair comparison of O(n²)
+complexity ... by using approximate nearest neighbor search, it reduces to
+linear complexity" (Sec. 6.2.1).
+
+We sweep the number of columns n and count the *work units* each approach
+performs: the exact baseline intersects every column pair (n·(n-1)/2 set
+intersections); Aurum's LSH path counts candidate probes.  The shape to
+reproduce: baseline work grows ~quadratically, LSH probes grow ~linearly,
+so the ratio widens with n.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.reporting import render_table, report_experiment
+from repro.core.dataset import Table
+from repro.discovery.aurum import Aurum
+
+from conftest import add_report
+
+SIZES = (20, 40, 80, 160)
+
+
+def make_columns(n, values_per_column=30, seed=3):
+    """n/2 joinable pairs + fillers, as single-column tables."""
+    rng = random.Random(seed)
+    tables = []
+    for i in range(n):
+        if i % 2 == 1:
+            base = [f"pair{i - 1}-{j}" for j in range(values_per_column)]
+            values = base[: int(values_per_column * 0.8)] + [
+                f"noise{i}-{j}" for j in range(int(values_per_column * 0.2))
+            ]
+        elif i + 1 < n:
+            values = [f"pair{i}-{j}" for j in range(values_per_column)]
+        else:
+            values = [f"solo{i}-{j}" for j in range(values_per_column)]
+        tables.append(Table.from_columns(f"t{i}", {"col": values}))
+    return tables
+
+
+def sweep():
+    rows = []
+    for n in SIZES:
+        tables = make_columns(n)
+        engine = Aurum(content_threshold=0.5)
+        for table in tables:
+            engine.add_table(table)
+        # exact baseline work: all pairs
+        baseline_pairs = n * (n - 1) // 2
+        engine.lsh.probe_count = 0
+        engine.build()
+        probes = engine.lsh.probe_count
+        rows.append((n, baseline_pairs, probes))
+    return rows
+
+
+def test_bench_claim_aurum_scaling(benchmark):
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    table_rows = [
+        [n, pairs, probes, f"{pairs / max(probes, 1):.1f}x"]
+        for n, pairs, probes in rows
+    ]
+    rendered = render_table(
+        "Aurum claim: LSH probing vs O(n^2) all-pairs comparisons",
+        ["#columns", "all-pairs comparisons", "LSH probes", "saving"],
+        table_rows,
+    )
+    first_n, first_pairs, first_probes = rows[0]
+    last_n, last_pairs, last_probes = rows[-1]
+    growth_factor = last_n / first_n
+    baseline_growth = last_pairs / first_pairs
+    lsh_growth = last_probes / max(first_probes, 1)
+    rendered += "\n" + report_experiment(
+        "claim-aurum",
+        "LSH reduces O(n^2) all-pairs comparison to ~linear probing",
+        f"columns x{growth_factor:.0f}: baseline work x{baseline_growth:.1f} "
+        f"(quadratic), LSH probes x{lsh_growth:.1f} (near-linear)",
+    )
+    add_report("claim_aurum_scaling", rendered)
+    # the shape: baseline superlinear, LSH clearly flatter than baseline
+    assert baseline_growth > growth_factor * 2
+    assert lsh_growth < baseline_growth / 2
+    # and at the largest size LSH does far less work than all-pairs
+    assert last_probes < last_pairs / 4

@@ -1,0 +1,74 @@
+"""[claim-autovalidate] Auto-Validate "balances between false-positive-rate
+minimization and quality issue preserving" (Sec. 6.5.2).
+
+Shape: on clean future batches the inferred rules reject almost nothing
+(low FPR); as drift is injected at increasing rates the rules flag it with
+detection rate tracking the drift level.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.reporting import render_table, report_experiment
+from repro.cleaning.autovalidate import AutoValidate
+from repro.core.dataset import Table
+
+from conftest import add_report
+
+DRIFT_LEVELS = (0.0, 0.1, 0.3, 0.6)
+
+
+def make_batch(num_rows, drift_fraction, seed):
+    rng = random.Random(seed)
+    codes = []
+    for i in range(num_rows):
+        if rng.random() < drift_fraction:
+            codes.append(f"DRIFTED {rng.randrange(10**6)} !!")
+        else:
+            codes.append(f"AB-{rng.randrange(10**4):04d}")
+    return Table.from_columns("feed", {"code": codes})
+
+
+def run():
+    history = Table.from_columns("feed", {
+        "code": [f"AB-{i:04d}" for i in range(400)],
+    })
+    validator = AutoValidate(fpr_budget=0.01)
+    validator.train(history)
+    rows = []
+    for drift in DRIFT_LEVELS:
+        batch = make_batch(500, drift, seed=int(drift * 100) + 1)
+        rejected = validator.validate(batch).get("code", [])
+        reject_rate = len(rejected) / len(batch)
+        truly_drifted = sum(1 for v in batch["code"].values if v.startswith("DRIFTED"))
+        caught = sum(1 for v in rejected if str(v).startswith("DRIFTED"))
+        detection = caught / truly_drifted if truly_drifted else 1.0
+        false_positives = len(rejected) - caught
+        rows.append((drift, reject_rate, detection, false_positives))
+    return rows
+
+
+def test_bench_claim_autovalidate(benchmark):
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    rendered = render_table(
+        "Auto-Validate claim: FPR vs quality-issue preservation",
+        ["injected drift", "batch reject rate", "drift detection rate",
+         "false positives"],
+        [[f"{drift:.0%}", f"{rate:.2%}", f"{detection:.0%}", fp]
+         for drift, rate, detection, fp in rows],
+    )
+    clean = rows[0]
+    worst = rows[-1]
+    rendered += "\n" + report_experiment(
+        "claim-autovalidate",
+        "inferred validation rules minimize FPR while preserving issue detection",
+        f"clean batch FPR {clean[1]:.2%}; at {worst[0]:.0%} drift the rules "
+        f"catch {worst[2]:.0%} of drifted values",
+    )
+    add_report("claim_autovalidate", rendered)
+    assert clean[1] <= 0.02        # near-zero FPR on clean data
+    for drift, reject_rate, detection, false_positives in rows[1:]:
+        assert detection == 1.0     # every drifted value caught
+        assert false_positives == 0
+        assert abs(reject_rate - drift) < 0.1  # reject rate tracks drift

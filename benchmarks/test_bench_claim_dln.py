@@ -1,0 +1,79 @@
+"""[claim-dln] DLN "tackles the problem of handling large-volume data at
+the enterprise level" via a classifier that "uses only metadata features"
+(Sec. 6.2.4).
+
+Shape: the metadata-only classifier's per-pair feature cost stays flat as
+column cardinality grows, while data-feature extraction cost scales with
+the data; accuracy of the metadata model remains useful (well above
+chance) on the planted-join workload.
+"""
+
+import pytest
+
+from repro.bench.reporting import render_table, report_experiment
+from repro.datagen import LakeGenerator
+from repro.discovery.dln import DataLakeNavigator
+
+from conftest import add_report
+
+ROW_SIZES = (50, 200, 800)
+
+
+def run():
+    rows = []
+    accuracy = {}
+    for num_rows in ROW_SIZES:
+        workload = LakeGenerator(seed=41).generate(
+            num_pools=2, tables_per_pool=2, rows_per_table=num_rows,
+            pool_size=max(40, num_rows // 2), key_coverage=1.0,
+        )
+        navigator = DataLakeNavigator()
+        for table in workload.tables:
+            navigator.add_table(table)
+        queries = [
+            f"SELECT 1 FROM {l[0]} JOIN {r[0]} ON {l[0]}.{l[1]} = {r[0]}.{r[1]}"
+            for l, r in sorted(workload.joinable_pairs)
+        ]
+        navigator.train_from_query_log(queries)
+        pairs = [(l, r) for l, r in sorted(workload.joinable_pairs)]
+        navigator.metadata_feature_ops = navigator.data_feature_ops = 0
+        for left, right in pairs:
+            navigator.metadata_features(left, right)
+        metadata_cost = navigator.metadata_feature_ops
+        navigator.data_feature_ops = 0
+        for left, right in pairs:
+            navigator.data_features(left, right)
+        data_cost = navigator.data_feature_ops
+        correct = sum(
+            1 for left, right in pairs
+            if navigator.related(left, right, use_ensemble=False)
+        )
+        accuracy[num_rows] = correct / len(pairs)
+        rows.append((num_rows, metadata_cost, data_cost))
+    return rows, accuracy
+
+
+def test_bench_claim_dln(benchmark):
+    rows, accuracy = benchmark.pedantic(run, iterations=1, rounds=1)
+    rendered = render_table(
+        "DLN claim: metadata-only features scale; data features grow with volume",
+        ["rows per table", "metadata feature ops (per-pair)",
+         "data feature ops (value touches)", "metadata-model recall on joins"],
+        [[n, meta, data, f"{accuracy[n]:.2f}"] for n, meta, data in rows],
+    )
+    first_rows, first_meta, first_data = rows[0]
+    last_rows, last_meta, last_data = rows[-1]
+    rendered += "\n" + report_experiment(
+        "claim-dln",
+        "metadata-only classification enables exabyte-scale discovery",
+        f"data x{last_rows // first_rows} -> metadata cost x"
+        f"{last_meta / max(first_meta, 1):.1f} (flat), data-feature cost x"
+        f"{last_data / max(first_data, 1):.1f} (growing)",
+    )
+    add_report("claim_dln", rendered)
+    # metadata cost is per-pair, independent of data volume
+    assert last_meta == first_meta
+    # data-feature cost grows with data volume
+    assert last_data > first_data * 3
+    # the cheap model still finds the planted joins
+    assert min(accuracy.values()) >= 0.5

@@ -1,0 +1,77 @@
+"""[claim-federation] Constance/Ontario push selection predicates "down to
+the data sources to optimize query execution and reduce the amount of data
+to be loaded" (Secs. 6.3, 7.2).
+
+Shape: with pushdown on, the rows transferred from sources to the mediator
+drop by roughly the query's selectivity factor, with identical answers.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.reporting import render_table, report_experiment
+from repro.core.dataset import Dataset, Table
+from repro.exploration.federation import FederatedQueryEngine, SourceProfile
+from repro.storage.polystore import Polystore
+
+from conftest import add_report
+
+NUM_PEOPLE = 2000
+CITIES = ["berlin", "paris", "rome", "madrid", "oslo", "wien", "riga", "bern"]
+
+
+def setup_engine():
+    rng = random.Random(3)
+    polystore = Polystore()
+    polystore.store(Dataset("people", [
+        {"name": f"p{i}", "city": rng.choice(CITIES)} for i in range(NUM_PEOPLE)
+    ], format="json"))
+    polystore.store(Dataset("cities", Table.from_columns("cities", {
+        "city_name": CITIES,
+        "country": ["de", "fr", "it", "es", "no", "at", "lv", "ch"],
+    })))
+    engine = FederatedQueryEngine(polystore)
+    engine.profile_from_placement("people", {"personName": "name", "personCity": "city"})
+    engine.profile_from_placement("cities", {"cityName": "city_name",
+                                             "cityCountry": "country"})
+    return engine
+
+
+def run():
+    engine = setup_engine()
+    patterns = [
+        ("?p", "personCity", "berlin"),
+        ("?p", "personName", "?n"),
+    ]
+    engine.rows_transferred = 0
+    pushed_answers = engine.query(patterns, pushdown=True)
+    pushed_rows = engine.rows_transferred
+    engine.rows_transferred = 0
+    unpushed_answers = engine.query(patterns, pushdown=False)
+    unpushed_rows = engine.rows_transferred
+    return pushed_answers, pushed_rows, unpushed_answers, unpushed_rows
+
+
+def test_bench_claim_federation(benchmark):
+    pushed_answers, pushed_rows, unpushed_answers, unpushed_rows = \
+        benchmark.pedantic(run, iterations=1, rounds=1)
+    rendered = render_table(
+        "Federation claim: predicate pushdown reduces data movement",
+        ["strategy", "rows moved to mediator", "answers"],
+        [["with pushdown", pushed_rows, len(pushed_answers)],
+         ["without pushdown", unpushed_rows, len(unpushed_answers)]],
+    )
+    selectivity = len(CITIES)
+    rendered += "\n" + report_experiment(
+        "claim-federation",
+        "pushing selections to sources reduces the amount of data loaded",
+        f"{unpushed_rows} -> {pushed_rows} rows moved "
+        f"({unpushed_rows / max(pushed_rows, 1):.1f}x less), identical answers",
+    )
+    add_report("claim_federation", rendered)
+    assert len(pushed_answers) == len(unpushed_answers)
+    assert {tuple(sorted(a.items())) for a in pushed_answers} == \
+        {tuple(sorted(a.items())) for a in unpushed_answers}
+    # the shape: reduction around the selectivity factor (1/8 of cities)
+    assert pushed_rows < unpushed_rows / 3

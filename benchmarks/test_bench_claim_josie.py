@@ -1,0 +1,92 @@
+"""[claim-josie] "JOSIE shows a high performance" and its cost model
+"makes the performance robust to different data distributions"
+(Secs. 6.2.1, 6.2.5).
+
+Shape to reproduce: (1) JOSIE returns *exactly* the brute-force top-k while
+reading far fewer postings than the naive scan inspects values, and
+(2) both the exactness and the work saving hold across uniform and Zipf
+value distributions.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.bench.reporting import render_table, report_experiment
+from repro.discovery.josie import JosieIndex, brute_force_topk
+
+from conftest import add_report
+
+NUM_SETS = 300
+SET_SIZE = 60
+UNIVERSE = 2000
+
+
+def make_sets(zipf, seed=9):
+    rng = random.Random(seed)
+    universe = [f"v{i}" for i in range(UNIVERSE)]
+    weights = [1.0 / (r + 1) for r in range(UNIVERSE)] if zipf else None
+    sets = {}
+    for i in range(NUM_SETS):
+        if weights:
+            values = set(rng.choices(universe, weights=weights, k=SET_SIZE))
+        else:
+            values = set(rng.sample(universe, SET_SIZE))
+        sets[f"s{i}"] = {str(v) for v in values}
+    query = set(rng.sample(universe, SET_SIZE))
+    return sets, {str(v) for v in query}
+
+
+def run_distribution(zipf):
+    sets, query = make_sets(zipf)
+    index = JosieIndex()
+    for key, values in sets.items():
+        index.add_set(key, values)
+    index.postings_read = 0
+    start = time.perf_counter()
+    josie_result = index.topk(query, k=10)
+    josie_time = time.perf_counter() - start
+    start = time.perf_counter()
+    brute_result = brute_force_topk(sets, query, k=10)
+    brute_time = time.perf_counter() - start
+    brute_work = sum(len(v) for v in sets.values())  # values the scan touches
+    return {
+        "exact": josie_result == brute_result,
+        "postings_read": index.postings_read,
+        "brute_work": brute_work,
+        "josie_ms": josie_time * 1000,
+        "brute_ms": brute_time * 1000,
+    }
+
+
+def test_bench_claim_josie(benchmark):
+    results = benchmark.pedantic(
+        lambda: {"uniform": run_distribution(False), "zipf": run_distribution(True)},
+        iterations=1, rounds=1,
+    )
+    rows = []
+    for name, r in results.items():
+        rows.append([
+            name, "yes" if r["exact"] else "NO",
+            r["postings_read"], r["brute_work"],
+            f"{r['josie_ms']:.1f} ms", f"{r['brute_ms']:.1f} ms",
+        ])
+    rendered = render_table(
+        "JOSIE claim: exact top-k with less work, robust across distributions",
+        ["distribution", "matches brute force", "postings read",
+         "values brute-force touches", "JOSIE time", "brute time"],
+        rows,
+    )
+    rendered += "\n" + report_experiment(
+        "claim-josie",
+        "exact top-k overlap search, high performance, distribution-robust",
+        f"exact on both distributions; JOSIE reads "
+        f"{results['uniform']['postings_read']}/{results['uniform']['brute_work']} "
+        f"(uniform) and {results['zipf']['postings_read']}/{results['zipf']['brute_work']} "
+        f"(zipf) of the naive scan's value touches",
+    )
+    add_report("claim_josie", rendered)
+    for r in results.values():
+        assert r["exact"]
+        assert r["postings_read"] < r["brute_work"] / 2

@@ -1,0 +1,69 @@
+"""[claim-kayak] KAYAK's task-dependency DAG "helps to identify which tasks
+can be parallelized during execution" (Sec. 6.1.3) — crossing the finish
+line faster when paddling the lake.
+
+Shape: the dependency-aware list schedule's makespan is well below the
+sequential makespan and shrinks as workers are added, bounded below by the
+critical path.
+"""
+
+import pytest
+
+from repro.bench.reporting import render_table, report_experiment
+from repro.organization.kayak import AtomicTask, Kayak, Primitive
+
+from conftest import add_report
+
+
+def build_preparation_pipeline(num_datasets=8):
+    """The KAYAK scenario: per-dataset preparation primitives in a pipeline."""
+    kayak = Kayak()
+    names = []
+    for i in range(num_datasets):
+        primitive = Primitive(f"prepare_{i}")
+        primitive.add_task(AtomicTask("profile", cost=2.0))
+        primitive.add_task(AtomicTask("joinability", cost=3.0), after=["profile"])
+        primitive.add_task(AtomicTask("stats", cost=1.0), after=["profile"])
+        primitive.add_task(AtomicTask("index", cost=1.0), after=["joinability", "stats"])
+        kayak.add_primitive(primitive)
+        names.append(primitive.name)
+    summary = Primitive("summarize_lake")
+    summary.add_task(AtomicTask("aggregate", cost=2.0))
+    kayak.add_primitive(summary, after=names)
+    return kayak
+
+
+def run():
+    kayak = build_preparation_pipeline()
+    sequential = kayak.sequential_makespan()
+    makespans = {
+        workers: kayak.parallel_makespan(num_workers=workers)
+        for workers in (1, 2, 4, 8)
+    }
+    critical_path = 2.0 + 3.0 + 1.0 + 2.0  # profile->joinability->index->aggregate
+    return sequential, makespans, critical_path
+
+
+def test_bench_claim_kayak(benchmark):
+    sequential, makespans, critical_path = benchmark.pedantic(run, iterations=1, rounds=1)
+    rows = [["sequential", f"{sequential:.0f}", "1.0x"]]
+    for workers, makespan in sorted(makespans.items()):
+        rows.append([f"{workers} workers", f"{makespan:.0f}",
+                     f"{sequential / makespan:.1f}x"])
+    rendered = render_table(
+        "KAYAK claim: dependency-aware parallel scheduling",
+        ["schedule", "makespan (cost units)", "speedup"],
+        rows,
+    )
+    rendered += "\n" + report_experiment(
+        "claim-kayak",
+        "the task-dependency DAG enables parallel execution of atomic tasks",
+        f"sequential {sequential:.0f} -> 8 workers {makespans[8]:.0f} "
+        f"({sequential / makespans[8]:.1f}x), critical path {critical_path:.0f}",
+    )
+    add_report("claim_kayak", rendered)
+    assert makespans[1] == sequential
+    assert makespans[2] < sequential
+    assert makespans[8] <= makespans[4] <= makespans[2]
+    assert makespans[8] >= critical_path  # cannot beat the critical path
+    assert sequential / makespans[8] > 3

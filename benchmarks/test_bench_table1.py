@@ -1,0 +1,97 @@
+"""[tab1] Regenerate the survey's Table 1: classification of data lake solutions.
+
+The table is produced live from the system registry: every implemented
+system self-reports its tier/function coordinates, so the regenerated rows
+*are* the framework's actual capabilities.  The assertions pin the rows the
+paper's Table 1 lists.
+"""
+
+import repro.systems as systems
+from repro.bench.reporting import render_table
+from repro.core.registry import Function, Tier
+
+from conftest import add_report
+
+#: (function, system) rows the paper's Table 1 reports, mapped to our
+#: registry names (systems sharing an implementation are parenthesized)
+PAPER_ROWS = {
+    (Function.METADATA_EXTRACTION, "GEMMS"),
+    (Function.METADATA_EXTRACTION, "DATAMARAN"),
+    (Function.METADATA_EXTRACTION, "Skluma"),
+    (Function.METADATA_MODELING, "GEMMS"),
+    (Function.METADATA_MODELING, "HANDLE"),
+    (Function.METADATA_MODELING, "Data vault (Nogueira et al. / Giebler et al.)"),
+    (Function.METADATA_MODELING, "Diamantini et al."),
+    (Function.METADATA_MODELING, "Aurum"),
+    (Function.METADATA_MODELING, "Sawadogo et al. metadata model"),
+    (Function.DATASET_ORGANIZATION, "GOODS"),
+    (Function.DATASET_ORGANIZATION, "DS-Prox / DS-kNN"),
+    (Function.DATASET_ORGANIZATION, "KAYAK"),
+    (Function.DATASET_ORGANIZATION, "Nargesian et al. organization"),
+    (Function.DATASET_ORGANIZATION, "RONIN"),
+    (Function.DATASET_ORGANIZATION, "Juneau"),
+    (Function.RELATED_DATASET_DISCOVERY, "Aurum"),
+    (Function.RELATED_DATASET_DISCOVERY, "Brackenbury et al."),
+    (Function.RELATED_DATASET_DISCOVERY, "JOSIE"),
+    (Function.RELATED_DATASET_DISCOVERY, "D3L"),
+    (Function.RELATED_DATASET_DISCOVERY, "Juneau"),
+    (Function.RELATED_DATASET_DISCOVERY, "PEXESO"),
+    (Function.RELATED_DATASET_DISCOVERY, "RNLIM"),
+    (Function.RELATED_DATASET_DISCOVERY, "DLN"),
+    (Function.DATA_INTEGRATION, "Constance"),
+    (Function.DATA_INTEGRATION, "ALITE"),
+    (Function.METADATA_ENRICHMENT, "CoreDB"),
+    (Function.METADATA_ENRICHMENT, "D4"),
+    (Function.METADATA_ENRICHMENT, "DomainNet"),
+    (Function.METADATA_ENRICHMENT, "Constance"),
+    (Function.METADATA_ENRICHMENT, "GOODS"),
+    (Function.DATA_CLEANING, "CLAMS"),
+    (Function.DATA_CLEANING, "Constance"),
+    (Function.DATA_CLEANING, "Auto-Validate (Song & He)"),
+    (Function.SCHEMA_EVOLUTION, "Klettke et al."),
+    (Function.DATA_PROVENANCE, "IBM governance tool"),
+    (Function.DATA_PROVENANCE, "Suriarachchi et al."),
+    (Function.DATA_PROVENANCE, "GOODS"),
+    (Function.DATA_PROVENANCE, "CoreDB"),
+    (Function.DATA_PROVENANCE, "Juneau"),
+    (Function.QUERY_DRIVEN_DISCOVERY, "JOSIE"),
+    (Function.QUERY_DRIVEN_DISCOVERY, "D3L"),
+    (Function.QUERY_DRIVEN_DISCOVERY, "Juneau"),
+    (Function.QUERY_DRIVEN_DISCOVERY, "Aurum"),
+    (Function.HETEROGENEOUS_QUERYING, "Constance"),
+    (Function.HETEROGENEOUS_QUERYING, "CoreDB"),
+    (Function.HETEROGENEOUS_QUERYING, "Ontario / Squerall (federation)"),
+}
+
+
+def regenerate_table1():
+    registry = systems.populated_registry()
+    return registry.classification_table()
+
+
+def test_bench_table1(benchmark):
+    rows = benchmark(regenerate_table1)
+    add_report("table1_classification", render_table(
+        "Table 1: Classification of data lake solutions based on functions",
+        ["Tier", "Function", "System"],
+        rows,
+    ))
+    regenerated = {(function, system) for _, function, system in [
+        (tier, func, sys_name) for tier, func, sys_name in rows
+    ]}
+    regenerated_pairs = set()
+    registry = systems.populated_registry()
+    for tier, function_name, system in rows:
+        function = next(f for f in Function if f.value == function_name)
+        regenerated_pairs.add((function, system))
+    missing = PAPER_ROWS - regenerated_pairs
+    assert not missing, f"paper Table 1 rows missing from the registry: {sorted(str(m) for m in missing)}"
+    # tier assignments must follow the paper's
+    for tier, function_name, _ in rows:
+        function = next(f for f in Function if f.value == function_name)
+        if function in (Function.METADATA_EXTRACTION, Function.METADATA_MODELING):
+            assert tier == Tier.INGESTION.value
+        elif function in (Function.QUERY_DRIVEN_DISCOVERY, Function.HETEROGENEOUS_QUERYING):
+            assert tier == Tier.EXPLORATION.value
+        else:
+            assert tier == Tier.MAINTENANCE.value

@@ -1,0 +1,104 @@
+"""Governed lakehouse pipeline: validation-gated ACID ingestion + lineage.
+
+Implements the survey's Sec. 8.3 direction as a working pipeline: machine
+batches stream in; Auto-Validate's inferred rules gate what may enter; the
+lakehouse transaction log provides ACID appends and time travel; schema
+evolution is tracked over the document feed; the IBM-style governance tool
+mediates who may use the result; and provenance answers "where did this
+come from".
+
+Run:  python examples/lakehouse_pipeline.py
+"""
+
+import random
+
+from repro.cleaning.autovalidate import AutoValidate
+from repro.core.dataset import Table
+from repro.evolution import SchemaEvolutionAnalyzer
+from repro.provenance.events import ProvenanceRecorder
+from repro.provenance.governance import GovernanceTool
+from repro.provenance.provgraph import ProvenanceGraph
+from repro.storage.lakehouse import LakehouseTable
+
+
+def make_batch(batch_id: int, dirty: bool, rng: random.Random):
+    rows = []
+    for i in range(20):
+        code = "XX ??? broken" if dirty and i % 3 == 0 else f"AB-{rng.randrange(10**4):04d}"
+        rows.append({"code": code, "reading": round(rng.uniform(5, 40), 1),
+                     "batch": batch_id})
+    return rows
+
+
+def main() -> None:
+    rng = random.Random(7)
+    recorder = ProvenanceRecorder()
+
+    # -- learn validation rules from a trusted history -------------------------
+    history = Table.from_columns("history", {
+        "code": [f"AB-{i:04d}" for i in range(300)],
+        "reading": [round(rng.uniform(5, 40), 1) for _ in range(300)],
+    })
+    validator = AutoValidate(fpr_budget=0.01)
+    validator.train(history)
+    print("== inferred validation rules ==")
+    for column in history.column_names:
+        rule = validator.rule(column)
+        print(f"  {column}: level-{rule.level} patterns, est. FPR {rule.estimated_fpr:.2%}")
+
+    # -- stream batches through the validation gate into the lakehouse -----------
+    lakehouse = LakehouseTable("sensor_readings")
+    accepted = rejected = 0
+    for batch_id in range(6):
+        dirty = batch_id in (2, 4)
+        rows = make_batch(batch_id, dirty, rng)
+        batch_table = Table.from_records("batch", rows)
+        if validator.batch_ok(batch_table, max_reject_fraction=0.05):
+            commit = lakehouse.append(rows, metadata={"batch": batch_id})
+            recorder.record_transform(
+                [f"feed-batch-{batch_id}"], "sensor_readings", "validated-append",
+            )
+            accepted += 1
+            print(f"batch {batch_id}: ACCEPTED -> commit v{commit.version}")
+        else:
+            rejected += 1
+            bad = validator.validate(batch_table)
+            print(f"batch {batch_id}: REJECTED ({sum(len(v) for v in bad.values())} "
+                  f"rule violations)")
+    print(f"\naccepted {accepted}, rejected {rejected}; "
+          f"table now v{lakehouse.version} with {lakehouse.row_count()} rows")
+
+    # -- time travel --------------------------------------------------------------
+    print("\n== time travel ==")
+    for version in range(lakehouse.version + 1):
+        print(f"  v{version}: {lakehouse.row_count(version)} rows")
+    print("  history:", [(h["version"], h["operation"]) for h in lakehouse.history()])
+
+    # -- schema evolution on the upstream feed ---------------------------------------
+    analyzer = SchemaEvolutionAnalyzer()
+    for ts in range(5):
+        analyzer.load("reading", ts, {"code": "AB-0001", "reading": 12.5})
+    for ts in range(5, 10):
+        analyzer.load("reading", ts, {"code": "AB-0001", "reading": 12.5, "unit": "ug/m3"})
+    evolution = analyzer.detect_operations("reading")
+    print("\n== upstream schema evolution ==")
+    for operation in evolution.operations:
+        print(f"  {operation}")
+
+    # -- governance: who may use the table --------------------------------------------
+    governance = GovernanceTool(recorder)
+    request = governance.request_usage("analyst-ann", "sensor_readings",
+                                       justification="air quality dashboard")
+    governance.approve(request.request_id, steward="data-steward", rationale="public data")
+    print("\n== governance ==")
+    print(f"  analyst-ann may use the table: {governance.can_use('analyst-ann', 'sensor_readings')}")
+    print(f"  intern-bob may use the table:  {governance.can_use('intern-bob', 'sensor_readings')}")
+
+    # -- provenance graph ----------------------------------------------------------------
+    graph = ProvenanceGraph(recorder)
+    print("\n== provenance: where did sensor_readings come from? ==")
+    print(f"  ancestors: {sorted(graph.ancestors('sensor_readings'))}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Benchmark-harness utilities (table rendering, experiment reporting)."""
+
+from repro.bench.reporting import render_table, report_experiment
+
+__all__ = ["render_table", "report_experiment"]

@@ -1,0 +1,37 @@
+"""Plain-text rendering for the benchmark harness.
+
+Every benchmark prints the table/figure it regenerates in the same
+row-per-system layout the paper uses, via :func:`render_table`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def render_table(
+    title: str,
+    header: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    max_cell: int = 60,
+) -> str:
+    """Render an ASCII table with a title bar."""
+    def clip(value: Any) -> str:
+        text = str(value)
+        return text if len(text) <= max_cell else text[: max_cell - 1] + "…"
+
+    cells = [[clip(h) for h in header]] + [[clip(v) for v in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(header))]
+    line = "+".join("-" * (w + 2) for w in widths)
+    out = [f"=== {title} ===", line]
+    for index, row in enumerate(cells):
+        out.append(" | ".join(value.ljust(width) for value, width in zip(row, widths)))
+        if index == 0:
+            out.append(line)
+    out.append(line)
+    return "\n".join(out)
+
+
+def report_experiment(experiment_id: str, claim: str, outcome: str) -> str:
+    """One-line paper-vs-measured statement printed by each claim bench."""
+    return f"[{experiment_id}] paper: {claim}\n[{experiment_id}] measured: {outcome}"

@@ -1,0 +1,24 @@
+"""Data cleaning (survey Sec. 6.5): discover and fix quality problems.
+
+The survey splits lake cleaning systems by method:
+
+- constraint inference: :mod:`repro.cleaning.clams` (conditional denial
+  constraints over RDF triples with violation-hypergraph ranking) and
+  :mod:`repro.cleaning.rfd_cleaning` (Constance's relaxed-FD cleaning);
+- validation rule inference: :mod:`repro.cleaning.autovalidate`
+  (Song & He's pattern-based data validation).
+"""
+
+from repro.cleaning.clams import Clams, DenialConstraint, Triple
+from repro.cleaning.rfd_cleaning import RfdCleaner, CleaningReport
+from repro.cleaning.autovalidate import AutoValidate, ValidationRule
+
+__all__ = [
+    "AutoValidate",
+    "Clams",
+    "CleaningReport",
+    "DenialConstraint",
+    "RfdCleaner",
+    "Triple",
+    "ValidationRule",
+]

@@ -1,0 +1,149 @@
+"""Auto-Validate — unsupervised data validation rules (Sec. 6.5.2).
+
+Song & He "tackled a specific data cleaning problem, i.e., data validation.
+In a large enterprise data lake ... the data may change with time.  The
+data validation rules indicate whether the changes are significant enough
+... The approach tries to automatically derive such rules from the
+machine-generated, string-valued data ... it formulates the rule inference
+problem as an optimization problem, which balances between false-positive-
+rate minimization and quality issue preserving."
+
+Implementation: values abstract into character-class patterns
+(:func:`repro.core.types.value_pattern`) at several generalization levels;
+rule inference picks, per column, the *most specific* pattern set whose
+estimated false-positive rate on held-out clean data stays under a budget —
+the paper's FPR-vs-sensitivity optimization.  ``validate`` then checks a
+future batch and reports the violating values.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+from repro.core.dataset import Table
+from repro.core.registry import Function, Method, SystemInfo, register_system
+from repro.core.types import is_null, value_pattern
+
+
+def generalize(pattern: str, level: int) -> str:
+    """Generalize a value pattern; higher levels accept more strings.
+
+    - level 0: the exact collapsed pattern (``A-9``);
+    - level 1: letters and digits merged into one alnum class ``W``;
+    - level 2: only the punctuation skeleton survives.
+    """
+    if level <= 0:
+        return pattern
+    merged = re.sub(r"[A9]+", "W", pattern)
+    if level == 1:
+        return merged
+    return re.sub(r"W", "", merged)
+
+
+@dataclass(frozen=True)
+class ValidationRule:
+    """An inferred per-column validation rule."""
+
+    column: str
+    level: int
+    patterns: FrozenSet[str]
+    estimated_fpr: float
+
+    def accepts(self, value: object) -> bool:
+        if is_null(value):
+            return True  # nullability is a different rule family
+        return generalize(value_pattern(value), self.level) in self.patterns
+
+
+@register_system(SystemInfo(
+    name="Auto-Validate (Song & He)",
+    functions=(Function.DATA_CLEANING,),
+    methods=(Method.VALIDATION_RULES,),
+    paper_refs=("[138]",),
+    summary="Infers per-column pattern validation rules from historical data, "
+            "optimizing specificity against a false-positive-rate budget; flags "
+            "significant drift in future batches.",
+))
+class AutoValidate:
+    """Pattern-language validation rule inference with an FPR budget."""
+
+    def __init__(self, fpr_budget: float = 0.02, holdout_fraction: float = 0.3):
+        if not 0.0 <= fpr_budget < 1.0:
+            raise ValueError("fpr_budget must be in [0, 1)")
+        if not 0.0 < holdout_fraction < 1.0:
+            raise ValueError("holdout_fraction must be in (0, 1)")
+        self.fpr_budget = fpr_budget
+        self.holdout_fraction = holdout_fraction
+        self._rules: Dict[str, ValidationRule] = {}
+
+    # -- rule inference ---------------------------------------------------------------
+
+    def infer_rule(self, column_name: str, values: Sequence[object]) -> ValidationRule:
+        """Infer the tightest rule within the FPR budget for one column.
+
+        Training values split into train/holdout; candidate rules are built
+        from the train patterns at each generalization level; the estimated
+        FPR is the holdout fraction the rule rejects.  The most specific
+        (lowest) level within budget wins — "balancing false-positive-rate
+        minimization and quality issue preserving".
+        """
+        clean = [v for v in values if not is_null(v)]
+        if not clean:
+            rule = ValidationRule(column_name, 2, frozenset({""}), 0.0)
+            self._rules[column_name] = rule
+            return rule
+        split = max(1, int(len(clean) * (1.0 - self.holdout_fraction)))
+        train, holdout = clean[:split], clean[split:] or clean[:split]
+        chosen: Optional[ValidationRule] = None
+        for level in (0, 1, 2):
+            patterns = frozenset(generalize(value_pattern(v), level) for v in train)
+            rejected = sum(
+                1 for v in holdout
+                if generalize(value_pattern(v), level) not in patterns
+            )
+            fpr = rejected / len(holdout)
+            candidate = ValidationRule(column_name, level, patterns, round(fpr, 4))
+            if fpr <= self.fpr_budget:
+                chosen = candidate
+                break
+            chosen = candidate  # fall through to the most general level
+        assert chosen is not None
+        self._rules[column_name] = chosen
+        return chosen
+
+    def train(self, table: Table) -> Dict[str, ValidationRule]:
+        """Infer rules for every column of a historical clean table."""
+        for column in table.columns:
+            self.infer_rule(column.name, column.values)
+        return dict(self._rules)
+
+    def rule(self, column_name: str) -> ValidationRule:
+        return self._rules[column_name]
+
+    # -- validation -----------------------------------------------------------------------
+
+    def validate_column(self, column_name: str, values: Sequence[object]) -> List[object]:
+        """Values of a new batch rejected by the column's rule."""
+        rule = self._rules.get(column_name)
+        if rule is None:
+            return []
+        return [v for v in values if not rule.accepts(v)]
+
+    def validate(self, table: Table) -> Dict[str, List[object]]:
+        """Column -> rejected values for a new batch (empty = batch passes)."""
+        out: Dict[str, List[object]] = {}
+        for column in table.columns:
+            rejected = self.validate_column(column.name, column.values)
+            if rejected:
+                out[column.name] = rejected
+        return out
+
+    def batch_ok(self, table: Table, max_reject_fraction: float = 0.05) -> bool:
+        """Is the change insignificant enough for downstream applications?"""
+        if len(table) == 0:
+            return True
+        rejected = sum(len(v) for v in self.validate(table).values())
+        total = len(table) * table.width
+        return rejected / total <= max_reject_fraction

@@ -1,0 +1,233 @@
+"""CLAMS — bringing quality to data lakes (Sec. 6.5.1).
+
+"CLAMS uses conditional denial constraints to detect the potentially
+erroneous data.  Given the RDF triples, a conditional denial constraint
+specifies a set of negation conditions about the tuples.  The proposed
+approach automatically detects such constraints by discovering possible
+schemata from RDF data, and corresponding constraints.  It examines the
+triples violating the obtained constraints and uses them to build a
+hypergraph, which indicates the number of constraints violated by each
+triple.  Then, it accordingly ranks the RDF triples and asks the user to
+validate whether such a candidate dirty triple should be removed."
+
+Implemented pipeline:
+
+1. **schema discovery** — group triples by subject type (predicate sets);
+2. **constraint inference** — per discovered type: functional predicates
+   (one object per subject), value-set constraints (object drawn from a
+   small dominant domain), and numeric-range constraints;
+3. **violation hypergraph** — hyperedge per violated constraint covering
+   its violating triples; triples rank by the number of covering edges;
+4. **human validation loop** — ranked candidates go to a user callback
+   that confirms removals.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.core.registry import Function, Method, SystemInfo, register_system
+from repro.core.types import infer_type
+
+
+@dataclass(frozen=True)
+class Triple:
+    """One RDF triple."""
+
+    subject: str
+    predicate: str
+    object: str
+
+    def __str__(self) -> str:
+        return f"({self.subject}, {self.predicate}, {self.object})"
+
+
+@dataclass(frozen=True)
+class DenialConstraint:
+    """A (conditional) denial constraint over one predicate.
+
+    ``kind`` is one of:
+
+    - ``functional`` — a subject may not have two distinct objects;
+    - ``domain`` — the object must come from ``allowed`` (small dominant
+      value set observed in the clean majority);
+    - ``range`` — a numeric object must lie within [low, high].
+
+    ``condition_type`` scopes the constraint to subjects of one discovered
+    schema type — that scoping is what makes it *conditional*.
+    """
+
+    kind: str
+    predicate: str
+    condition_type: str
+    allowed: FrozenSet[str] = frozenset()
+    low: float = 0.0
+    high: float = 0.0
+
+
+@register_system(SystemInfo(
+    name="CLAMS",
+    functions=(Function.DATA_CLEANING,),
+    methods=(Method.CONSTRAINT_INFERENCE,),
+    paper_refs=("[47]",),
+    summary="Conditional denial constraints inferred from discovered RDF schemata; "
+            "violation hypergraph ranks candidate dirty triples for user validation.",
+))
+class Clams:
+    """Constraint-based dirty-triple detection with a validation loop."""
+
+    def __init__(self, domain_max_values: int = 12, domain_coverage: float = 0.9):
+        self.domain_max_values = domain_max_values
+        self.domain_coverage = domain_coverage
+        self._triples: List[Triple] = []
+
+    # -- input --------------------------------------------------------------------
+
+    def add_triples(self, triples: Sequence[Triple]) -> None:
+        self._triples.extend(triples)
+
+    def triples(self) -> List[Triple]:
+        return list(self._triples)
+
+    # -- step 1: schema discovery -----------------------------------------------------
+
+    def discover_types(self) -> Dict[str, Set[str]]:
+        """Subject type -> subjects, grouped by their predicate signature.
+
+        Subjects exposing the same predicate set belong to one implicit
+        schema (the "possible schemata from RDF data").
+        """
+        predicates_of: Dict[str, Set[str]] = defaultdict(set)
+        for triple in self._triples:
+            predicates_of[triple.subject].add(triple.predicate)
+        types: Dict[FrozenSet[str], Set[str]] = defaultdict(set)
+        for subject, predicates in predicates_of.items():
+            types[frozenset(predicates)].add(subject)
+        named = {}
+        for index, (signature, subjects) in enumerate(
+            sorted(types.items(), key=lambda item: sorted(item[0]))
+        ):
+            named[f"type_{index}:{'|'.join(sorted(signature))}"] = subjects
+        return named
+
+    # -- step 2: constraint inference ----------------------------------------------------
+
+    def infer_constraints(self) -> List[DenialConstraint]:
+        constraints: List[DenialConstraint] = []
+        for type_name, subjects in self.discover_types().items():
+            by_predicate: Dict[str, List[Triple]] = defaultdict(list)
+            for triple in self._triples:
+                if triple.subject in subjects:
+                    by_predicate[triple.predicate].append(triple)
+            for predicate, triples in sorted(by_predicate.items()):
+                objects_per_subject: Dict[str, Set[str]] = defaultdict(set)
+                for triple in triples:
+                    objects_per_subject[triple.subject].add(triple.object)
+                # functional: the overwhelming majority of subjects have one object
+                single = sum(1 for objs in objects_per_subject.values() if len(objs) == 1)
+                if objects_per_subject and single / len(objects_per_subject) >= 0.9:
+                    constraints.append(DenialConstraint(
+                        "functional", predicate, type_name,
+                    ))
+                objects = [t.object for t in triples]
+                numeric = [o for o in objects if infer_type(o).is_numeric]
+                if len(numeric) == len(objects) and objects:
+                    values = sorted(float(o) for o in numeric)
+                    # robust range from the inner 90% of observed values
+                    low_index = int(0.05 * len(values))
+                    high_index = max(low_index, int(0.95 * len(values)) - 1)
+                    low, high = values[low_index], values[high_index]
+                    span = (high - low) or abs(high) or 1.0
+                    constraints.append(DenialConstraint(
+                        "range", predicate, type_name,
+                        low=low - 0.5 * span, high=high + 0.5 * span,
+                    ))
+                else:
+                    counts = Counter(objects)
+                    dominant = counts.most_common(self.domain_max_values)
+                    coverage = sum(c for _, c in dominant) / len(objects)
+                    if len(counts) <= self.domain_max_values * 2 and coverage >= self.domain_coverage:
+                        allowed = frozenset(v for v, c in dominant if c > 1) or frozenset(
+                            v for v, _ in dominant
+                        )
+                        if 0 < len(allowed) <= self.domain_max_values:
+                            constraints.append(DenialConstraint(
+                                "domain", predicate, type_name, allowed=allowed,
+                            ))
+        return constraints
+
+    # -- step 3: violation hypergraph -----------------------------------------------------
+
+    def violations(
+        self, constraints: Optional[Sequence[DenialConstraint]] = None
+    ) -> Dict[Triple, int]:
+        """Triple -> number of constraints it violates (hypergraph degree)."""
+        constraints = self.infer_constraints() if constraints is None else constraints
+        types = self.discover_types()
+        degree: Dict[Triple, int] = defaultdict(int)
+        for constraint in constraints:
+            subjects = types.get(constraint.condition_type, set())
+            scoped = [
+                t for t in self._triples
+                if t.predicate == constraint.predicate and t.subject in subjects
+            ]
+            for triple in self._violating(constraint, scoped):
+                degree[triple] += 1
+        return dict(degree)
+
+    @staticmethod
+    def _violating(constraint: DenialConstraint, triples: Sequence[Triple]) -> List[Triple]:
+        if constraint.kind == "functional":
+            objects_per_subject: Dict[str, List[Triple]] = defaultdict(list)
+            for triple in triples:
+                objects_per_subject[triple.subject].append(triple)
+            bad = []
+            for subject_triples in objects_per_subject.values():
+                objects = {t.object for t in subject_triples}
+                if len(objects) > 1:
+                    # minority objects are the suspects
+                    counts = Counter(t.object for t in subject_triples)
+                    dominant = counts.most_common(1)[0][0]
+                    bad.extend(t for t in subject_triples if t.object != dominant)
+            return bad
+        if constraint.kind == "domain":
+            return [t for t in triples if t.object not in constraint.allowed]
+        if constraint.kind == "range":
+            bad = []
+            for triple in triples:
+                try:
+                    value = float(triple.object)
+                except ValueError:
+                    bad.append(triple)
+                    continue
+                if not constraint.low <= value <= constraint.high:
+                    bad.append(triple)
+            return bad
+        raise ValueError(f"unknown constraint kind {constraint.kind!r}")
+
+    # -- step 4: ranked human validation ----------------------------------------------------
+
+    def ranked_candidates(self) -> List[Tuple[Triple, int]]:
+        """Candidate dirty triples, most-violating first."""
+        degree = self.violations()
+        return sorted(degree.items(), key=lambda item: (-item[1], str(item[0])))
+
+    def clean(
+        self,
+        validate: Callable[[Triple, int], bool],
+        max_candidates: Optional[int] = None,
+    ) -> List[Triple]:
+        """Run the validation loop; returns the removed triples."""
+        removed = []
+        candidates = self.ranked_candidates()
+        if max_candidates is not None:
+            candidates = candidates[:max_candidates]
+        for triple, violation_count in candidates:
+            if validate(triple, violation_count):
+                removed.append(triple)
+        if removed:
+            removed_set = set(removed)
+            self._triples = [t for t in self._triples if t not in removed_set]
+        return removed

@@ -1,0 +1,106 @@
+"""RFD-based data cleaning — Constance (Sec. 6.5.1).
+
+"Constance also uses discovered dependencies for data cleaning, whereas it
+applies relaxed functional dependencies.  These dependencies are especially
+useful in cases where the source data has lower quality with
+inconsistencies and incorrect values.  By using relaxed functional
+dependencies, Constance identifies the data objects violating the detected
+dependencies, which could be potentially erroneous data."
+
+:class:`RfdCleaner` runs the loop: discover RFDs over a table, collect the
+violating rows per dependency, and optionally *repair* them by replacing
+the violating right-hand-side value with the dominant value of its group.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.dataset import Column, Table
+from repro.core.registry import Function, Method, SystemInfo, register_system
+from repro.core.types import is_null
+from repro.enrichment.rfd import RelaxedFD, discover_rfds, violations
+
+
+@dataclass
+class CleaningReport:
+    """Result of one cleaning pass."""
+
+    table: str
+    dependencies: List[RelaxedFD] = field(default_factory=list)
+    flagged_rows: Dict[RelaxedFD, List[int]] = field(default_factory=dict)
+    repaired_cells: int = 0
+
+    def all_flagged(self) -> Set[int]:
+        out: Set[int] = set()
+        for rows in self.flagged_rows.values():
+            out.update(rows)
+        return out
+
+
+@register_system(SystemInfo(
+    name="Constance (RFD cleaning)",
+    functions=(Function.DATA_CLEANING, Function.METADATA_ENRICHMENT),
+    methods=(Method.CONSTRAINT_INFERENCE, Method.STRUCTURAL_ENRICHMENT),
+    paper_refs=("[64]",),
+    summary="Discovers relaxed functional dependencies and flags/repairs the "
+            "tuples violating them.",
+))
+class RfdCleaner:
+    """Detect and repair RFD violations in a table."""
+
+    def __init__(self, min_confidence: float = 0.85, tolerance: float = 1.0):
+        self.min_confidence = min_confidence
+        self.tolerance = tolerance
+
+    def inspect(self, table: Table) -> CleaningReport:
+        """Discover dependencies and flag their violating rows."""
+        report = CleaningReport(table=table.name)
+        report.dependencies = discover_rfds(
+            table, min_confidence=self.min_confidence, tolerance=self.tolerance
+        )
+        for dependency in report.dependencies:
+            if dependency.confidence >= 1.0:
+                continue  # nothing to flag
+            bad = violations(table, dependency, tolerance=self.tolerance)
+            if bad:
+                report.flagged_rows[dependency] = bad
+        return report
+
+    def repair(self, table: Table, report: Optional[CleaningReport] = None) -> Tuple[Table, CleaningReport]:
+        """Replace violating RHS cells with their group's dominant value."""
+        report = self.inspect(table) if report is None else report
+        cells: Dict[str, List[object]] = {c.name: list(c.values) for c in table.columns}
+        for dependency, bad_rows in report.flagged_rows.items():
+            dominant = self._dominant_by_group(table, dependency)
+            for index in bad_rows:
+                key = tuple(
+                    str(cells[a][index]) for a in dependency.lhs
+                )
+                replacement = dominant.get(key)
+                if replacement is not None:
+                    cells[dependency.rhs][index] = replacement
+                    report.repaired_cells += 1
+        repaired = Table(
+            table.name,
+            [Column(c.name, cells[c.name]) for c in table.columns],
+        )
+        return repaired, report
+
+    @staticmethod
+    def _dominant_by_group(table: Table, dependency: RelaxedFD) -> Dict[Tuple[str, ...], object]:
+        groups: Dict[Tuple[str, ...], Counter] = defaultdict(Counter)
+        raw: Dict[Tuple[str, ...], Dict[str, object]] = defaultdict(dict)
+        for row in table.rows():
+            parts = [row[a] for a in dependency.lhs]
+            if any(is_null(p) for p in parts) or is_null(row[dependency.rhs]):
+                continue
+            key = tuple(str(p) for p in parts)
+            groups[key][str(row[dependency.rhs])] += 1
+            raw[key].setdefault(str(row[dependency.rhs]), row[dependency.rhs])
+        return {
+            key: raw[key][counter.most_common(1)[0][0]]
+            for key, counter in groups.items()
+        }

@@ -1,0 +1,35 @@
+"""Core abstractions: dataset model, type system, registry and the lake facade."""
+
+from repro.core.dataset import Column, Dataset, Table
+from repro.core.errors import (
+    DataLakeError,
+    DatasetNotFound,
+    FormatError,
+    QueryError,
+    SchemaError,
+    StorageError,
+    TransactionConflict,
+)
+from repro.core.registry import Function, Method, SystemInfo, SystemRegistry, Tier
+from repro.core.types import DataType, infer_type, infer_column_type
+
+__all__ = [
+    "Column",
+    "DataLakeError",
+    "DataType",
+    "Dataset",
+    "DatasetNotFound",
+    "FormatError",
+    "Function",
+    "Method",
+    "QueryError",
+    "SchemaError",
+    "StorageError",
+    "SystemInfo",
+    "SystemRegistry",
+    "Table",
+    "Tier",
+    "TransactionConflict",
+    "infer_column_type",
+    "infer_type",
+]

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the data lake framework.
+
+All framework errors derive from :class:`DataLakeError` so callers can catch
+one base class at API boundaries.  Subclasses are grouped by the tier that
+raises them (storage, ingestion, querying) rather than by module, mirroring
+the survey's architecture.
+"""
+
+
+class DataLakeError(Exception):
+    """Base class for every error raised by the repro framework."""
+
+
+class StorageError(DataLakeError):
+    """A storage-tier operation failed (object store, database backends)."""
+
+
+class DatasetNotFound(StorageError, KeyError):
+    """The requested dataset, object, or table does not exist.
+
+    Inherits from :class:`KeyError` so dictionary-style access through the
+    catalog behaves idiomatically.
+    """
+
+    def __str__(self) -> str:  # KeyError quotes its message; keep it readable
+        return Exception.__str__(self)
+
+
+class FormatError(DataLakeError):
+    """Raw bytes could not be parsed in the declared or detected format."""
+
+
+class SchemaError(DataLakeError):
+    """Schema-level violation: unknown column, arity mismatch, bad mapping."""
+
+
+class QueryError(DataLakeError):
+    """A query could not be parsed, planned or executed."""
+
+
+class TransactionConflict(StorageError):
+    """Optimistic concurrency control detected a conflicting lakehouse commit."""
+
+
+class ValidationError(DataLakeError):
+    """Data failed a cleaning/validation rule (CLAMS, Auto-Validate, RFDs)."""
+
+
+class ProvenanceError(DataLakeError):
+    """Provenance graph inconsistency, e.g. an event referencing unknown data."""

@@ -1,0 +1,214 @@
+"""The :class:`DataLake` facade — Fig. 2 of the survey as one object.
+
+The survey's proposed architecture wires a storage tier to three function
+tiers (ingestion, maintenance, exploration).  ``DataLake`` composes our
+implementations of every tier behind one coherent API:
+
+- **storage**: a :class:`~repro.storage.polystore.Polystore` places each
+  raw dataset by its original format;
+- **ingestion**: every ingest runs metadata extraction (GEMMS) and records
+  the result in the metadata repository and the GOODS-style catalog;
+- **maintenance**: discovery indexes, enrichment, cleaning and provenance
+  are maintained over the ingested datasets;
+- **exploration**: query-driven discovery and heterogeneous querying.
+
+Tier subsystems are imported lazily so the core package stays import-light
+and free of cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.core.dataset import Dataset, Table
+from repro.core.errors import DatasetNotFound
+from repro.core.registry import SystemRegistry, default_registry
+
+
+class DataLake:
+    """A complete data lake: storage + ingestion + maintenance + exploration."""
+
+    def __init__(self, registry: Optional[SystemRegistry] = None):
+        from repro.storage.polystore import Polystore
+
+        self.polystore = Polystore()
+        self.registry = registry or default_registry()
+        self._datasets: Dict[str, Dataset] = {}
+        self._catalog = None
+        self._provenance = None
+        self._discovery_index = None
+        self._metadata_repository = None
+
+    @classmethod
+    def in_memory(cls) -> "DataLake":
+        """Create a fully in-memory lake (the default configuration)."""
+        return cls()
+
+    # -- lazy tier components -------------------------------------------------
+
+    @property
+    def catalog(self):
+        """The GOODS-style dataset catalog (created on first access)."""
+        if self._catalog is None:
+            from repro.organization.goods_catalog import GoodsCatalog
+
+            self._catalog = GoodsCatalog()
+        return self._catalog
+
+    @property
+    def provenance(self):
+        """The provenance recorder (created on first access)."""
+        if self._provenance is None:
+            from repro.provenance.events import ProvenanceRecorder
+
+            self._provenance = ProvenanceRecorder()
+        return self._provenance
+
+    @property
+    def metadata_repository(self):
+        """The GEMMS metadata repository (created on first access)."""
+        if self._metadata_repository is None:
+            from repro.modeling.gemms_model import MetadataRepository
+
+            self._metadata_repository = MetadataRepository()
+        return self._metadata_repository
+
+    @property
+    def zones(self):
+        """A zone life-cycle manager sharing this lake's provenance."""
+        if getattr(self, "_zones", None) is None:
+            from repro.core.zones import ZoneManager
+
+            self._zones = ZoneManager(recorder=self.provenance)
+        return self._zones
+
+    @property
+    def governance(self):
+        """The request/approval governance tool, provenance-integrated."""
+        if getattr(self, "_governance", None) is None:
+            from repro.provenance.governance import GovernanceTool
+
+            self._governance = GovernanceTool(recorder=self.provenance)
+        return self._governance
+
+    # -- ingestion tier -----------------------------------------------------------
+
+    def ingest(self, dataset: Dataset, extract_metadata: bool = True) -> Dataset:
+        """Ingest a :class:`Dataset`: place it, extract metadata, catalog it."""
+        from repro.ingestion.gemms import GemmsExtractor
+
+        placement = self.polystore.store(dataset)
+        self._datasets[dataset.name] = dataset
+        if extract_metadata:
+            extractor = GemmsExtractor()
+            record = extractor.extract(dataset)
+            self.metadata_repository.add(record)
+            dataset.properties.update(record.properties)
+        self.catalog.register(dataset, backend=placement.backend)
+        self.provenance.record_ingest(dataset.name, source=dataset.source)
+        self._discovery_index = None  # indexes are rebuilt lazily on change
+        return dataset
+
+    def ingest_table(
+        self,
+        name: str,
+        data: Mapping[str, Sequence[Any]],
+        source: str = "",
+    ) -> Dataset:
+        """Convenience: ingest ``{column: values}`` as a tabular dataset."""
+        table = Table.from_columns(name, data)
+        return self.ingest(Dataset(name=name, payload=table, format="table", source=source))
+
+    def ingest_bytes(self, name: str, data: bytes, filename: str = "", source: str = "") -> Dataset:
+        """Ingest raw bytes: detect format, parse, then ingest the payload."""
+        from repro.storage.formats import decode, detect_format
+
+        format = detect_format(data, filename or name)
+        payload = decode(data, format, name=name)
+        if format in ("csv", "tsv", "columnar", "rowbin"):
+            format = "table"
+        return self.ingest(Dataset(name=name, payload=payload, format=format, source=source))
+
+    # -- dataset access ---------------------------------------------------------
+
+    def dataset(self, name: str) -> Dataset:
+        try:
+            return self._datasets[name]
+        except KeyError:
+            raise DatasetNotFound(f"dataset {name!r} is not in the lake") from None
+
+    def datasets(self) -> List[str]:
+        return sorted(self._datasets)
+
+    def table(self, name: str) -> Table:
+        """The tabular view of a dataset (raises for non-tabular payloads)."""
+        return self.dataset(name).as_table()
+
+    def tables(self) -> List[Table]:
+        """All tabularizable datasets as tables."""
+        out = []
+        for name in self.datasets():
+            dataset = self._datasets[name]
+            try:
+                out.append(dataset.as_table())
+            except Exception:
+                continue
+        return out
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._datasets
+
+    def __len__(self) -> int:
+        return len(self._datasets)
+
+    # -- maintenance tier -----------------------------------------------------------
+
+    @property
+    def discovery(self):
+        """A lazily (re)built Aurum discovery engine over the lake's tables."""
+        if self._discovery_index is None:
+            from repro.discovery.aurum import Aurum
+
+            engine = Aurum()
+            for table in self.tables():
+                engine.add_table(table)
+            engine.build()
+            self._discovery_index = engine
+        return self._discovery_index
+
+    def discover_joinable(self, table_name: str, column: str, k: int = 5):
+        """Top-k columns joinable with ``table.column`` (Sec. 7.1 mode 1)."""
+        return self.discovery.joinable(table_name, column, k=k)
+
+    def discover_related(self, table_name: str, k: int = 5):
+        """Top-k related tables for a whole query table."""
+        return self.discovery.related_tables(table_name, k=k)
+
+    # -- exploration tier --------------------------------------------------------------
+
+    def sql(self, query: str) -> Table:
+        """Run a SQL-subset query against the lake's relational backend."""
+        from repro.exploration.sql import SqlEngine
+
+        return SqlEngine(self.polystore.relational).execute(query)
+
+    def keyword_search(self, keywords: str, k: int = 10):
+        """Keyword search over schemata and values (Sec. 7.2, Constance)."""
+        from repro.exploration.keyword import KeywordSearch
+
+        searcher = KeywordSearch()
+        for table in self.tables():
+            searcher.add_table(table)
+        return searcher.search(keywords, k=k)
+
+    # -- reporting ---------------------------------------------------------------------
+
+    def architecture_report(self) -> Dict[str, Any]:
+        """Live snapshot of the Fig. 2 architecture for this lake instance."""
+        return {
+            "storage": self.polystore.backend_summary(),
+            "datasets": len(self),
+            "catalog_entries": len(self.catalog),
+            "provenance_events": len(self.provenance),
+            "metadata_records": len(self.metadata_repository),
+        }

@@ -1,0 +1,196 @@
+"""Pond and zone architectures (survey Sec. 3.1).
+
+"The pond architecture partitions ingested data by their status and usage
+... ingested data is first stored in the raw data pond, then transformed
+and moved to the analog data pond, application data pond, or textual data
+pond ... valuable data is secured long-term in an archival data pond.  In
+contrast, the zone architecture separates the life cycle of each dataset
+into different stages."
+
+These high-level philosophies become executable here:
+
+- :class:`ZoneManager` — an ordered zone life cycle (landing → raw →
+  cleaned → curated by default) with per-transition *guards* (e.g. a
+  dataset must pass validation to enter ``cleaned``) and a transition log;
+- :class:`PondManager` — Inmon's five ponds with an automatic
+  classification rule routing incoming datasets by payload shape, plus the
+  archival step.
+
+Both record movements in a shared provenance recorder so the life cycle is
+auditable — the metadata-and-governance answer to Gartner's "data swamp"
+critique (Sec. 2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.dataset import Dataset, Table
+from repro.core.errors import DataLakeError
+from repro.provenance.events import ProvenanceRecorder
+
+DEFAULT_ZONES = ("landing", "raw", "cleaned", "curated")
+
+#: Inmon's ponds
+PONDS = ("raw", "analog", "application", "textual", "archival")
+
+
+class TransitionRefused(DataLakeError):
+    """A zone guard rejected the dataset's promotion."""
+
+
+class ZoneManager:
+    """An ordered zone life cycle with guarded transitions."""
+
+    def __init__(
+        self,
+        zones: Sequence[str] = DEFAULT_ZONES,
+        recorder: Optional[ProvenanceRecorder] = None,
+    ):
+        if len(zones) < 2:
+            raise DataLakeError("a zone architecture needs at least two zones")
+        self.zones = tuple(zones)
+        self.recorder = recorder if recorder is not None else ProvenanceRecorder()
+        self._location: Dict[str, str] = {}
+        self._datasets: Dict[str, Dataset] = {}
+        self._guards: Dict[str, Callable[[Dataset], bool]] = {}
+        self._log: List[Tuple[str, str, str]] = []  # (dataset, from, to)
+
+    # -- configuration ----------------------------------------------------------
+
+    def set_guard(self, zone: str, guard: Callable[[Dataset], bool]) -> None:
+        """Require *guard(dataset)* to hold before entering *zone*."""
+        if zone not in self.zones:
+            raise DataLakeError(f"unknown zone {zone!r}; zones: {self.zones}")
+        self._guards[zone] = guard
+
+    # -- life cycle ----------------------------------------------------------------
+
+    def ingest(self, dataset: Dataset) -> str:
+        """Place a new dataset in the first zone."""
+        first = self.zones[0]
+        self._datasets[dataset.name] = dataset
+        self._location[dataset.name] = first
+        self.recorder.record("zone:enter", inputs=(dataset.source,) if dataset.source else (),
+                             outputs=(dataset.name,), system="zones", zone=first)
+        self._log.append((dataset.name, "", first))
+        return first
+
+    def zone_of(self, name: str) -> str:
+        try:
+            return self._location[name]
+        except KeyError:
+            raise DataLakeError(f"dataset {name!r} is not in any zone") from None
+
+    def promote(self, name: str, transformed: Optional[Dataset] = None) -> str:
+        """Move a dataset to the next zone, optionally with a new payload.
+
+        The target zone's guard (if any) runs against the dataset that
+        would enter; refusal raises :class:`TransitionRefused`.
+        """
+        current = self.zone_of(name)
+        index = self.zones.index(current)
+        if index + 1 >= len(self.zones):
+            raise DataLakeError(f"dataset {name!r} is already in the final zone")
+        target = self.zones[index + 1]
+        candidate = transformed if transformed is not None else self._datasets[name]
+        guard = self._guards.get(target)
+        if guard is not None and not guard(candidate):
+            raise TransitionRefused(
+                f"guard for zone {target!r} refused dataset {name!r}"
+            )
+        self._datasets[name] = candidate
+        self._location[name] = target
+        self._log.append((name, current, target))
+        self.recorder.record("zone:promote", inputs=(name,), outputs=(name,),
+                             system="zones", from_zone=current, to_zone=target)
+        return target
+
+    def dataset(self, name: str) -> Dataset:
+        return self._datasets[name]
+
+    def in_zone(self, zone: str) -> List[str]:
+        return sorted(n for n, z in self._location.items() if z == zone)
+
+    def transition_log(self, name: Optional[str] = None) -> List[Tuple[str, str, str]]:
+        if name is None:
+            return list(self._log)
+        return [entry for entry in self._log if entry[0] == name]
+
+
+class PondManager:
+    """Inmon's pond architecture with automatic routing and archival."""
+
+    def __init__(self, recorder: Optional[ProvenanceRecorder] = None):
+        self.recorder = recorder if recorder is not None else ProvenanceRecorder()
+        self._ponds: Dict[str, Dict[str, Dataset]] = {pond: {} for pond in PONDS}
+
+    @staticmethod
+    def classify(dataset: Dataset) -> str:
+        """Route a dataset to its pond by payload shape.
+
+        Numeric-dominated tables (machine measurements) go to the *analog*
+        pond, other tables and document sets to *application*, free text to
+        *textual*; everything enters through *raw* first (``ingest`` handles
+        that), so this returns the pond a transformed dataset belongs in.
+        """
+        payload = dataset.payload
+        if isinstance(payload, str):
+            return "textual"
+        if isinstance(payload, Table) and payload.width:
+            numeric = sum(1 for c in payload.columns if c.dtype.is_numeric)
+            if numeric / payload.width > 0.5:
+                return "analog"
+            return "application"
+        return "application"
+
+    def ingest(self, dataset: Dataset) -> str:
+        """All raw data lands in the raw pond first."""
+        self._ponds["raw"][dataset.name] = dataset
+        self.recorder.record("pond:ingest", outputs=(dataset.name,), system="ponds",
+                             pond="raw")
+        return "raw"
+
+    def condition(self, name: str, transformed: Optional[Dataset] = None) -> str:
+        """Move a raw dataset to its target pond (the 'associated process').
+
+        Analog data additionally passes a *data reduction* step: duplicate
+        rows are collapsed, reproducing "data reduction to a feasible data
+        volume".
+        """
+        dataset = self._ponds["raw"].pop(name, None)
+        if dataset is None:
+            raise DataLakeError(f"dataset {name!r} is not in the raw pond")
+        if transformed is not None:
+            dataset = transformed
+        pond = self.classify(dataset)
+        if pond == "analog" and isinstance(dataset.payload, Table):
+            dataset = Dataset(
+                dataset.name, dataset.payload.distinct_rows(),
+                format=dataset.format, source=dataset.source,
+                properties=dict(dataset.properties),
+            )
+        self._ponds[pond][name] = dataset
+        self.recorder.record("pond:condition", inputs=(name,), outputs=(name,),
+                             system="ponds", pond=pond)
+        return pond
+
+    def archive(self, name: str) -> str:
+        """Secure a conditioned dataset long-term in the archival pond."""
+        for pond in ("analog", "application", "textual"):
+            dataset = self._ponds[pond].pop(name, None)
+            if dataset is not None:
+                self._ponds["archival"][name] = dataset
+                self.recorder.record("pond:archive", inputs=(name,), outputs=(name,),
+                                     system="ponds")
+                return "archival"
+        raise DataLakeError(f"dataset {name!r} is not in a conditioned pond")
+
+    def pond_of(self, name: str) -> Optional[str]:
+        for pond, members in self._ponds.items():
+            if name in members:
+                return pond
+        return None
+
+    def contents(self) -> Dict[str, List[str]]:
+        return {pond: sorted(members) for pond, members in self._ponds.items()}

@@ -1,0 +1,22 @@
+"""Synthetic data lake workloads with ground truth.
+
+The surveyed systems were evaluated on proprietary corpora (web tables,
+enterprise lakes, GitHub log crawls).  Offline, this package generates
+equivalent synthetic workloads whose *ground truth is known by
+construction* — joinable column pairs, semantic domains, planted errors,
+log templates, notebook lineage — so the test suite and benchmarks can
+measure precision/recall instead of eyeballing output.
+"""
+
+from repro.datagen.lakegen import LakeGenerator, LakeWorkload
+from repro.datagen.logs import LogGenerator
+from repro.datagen.jsongen import EvolvingDocumentGenerator
+from repro.datagen.notebooks import NotebookGenerator
+
+__all__ = [
+    "EvolvingDocumentGenerator",
+    "LakeGenerator",
+    "LakeWorkload",
+    "LogGenerator",
+    "NotebookGenerator",
+]

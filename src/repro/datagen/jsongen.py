@@ -1,0 +1,85 @@
+"""Evolving JSON document generator for schema-evolution tests.
+
+Klettke et al. reconstruct evolution histories from timestamped NoSQL
+objects.  :class:`EvolvingDocumentGenerator` emits document batches whose
+schema changes over scripted epochs (add / delete / rename operations), so
+the analyzer's reconstructed history can be checked against the script.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Epoch:
+    """One schema epoch: the properties present and their generators."""
+
+    properties: Tuple[str, ...]
+    num_documents: int = 10
+
+
+#: a default three-epoch script: add "email", rename "tel" -> "phone"
+DEFAULT_EPOCHS: Tuple[Epoch, ...] = (
+    Epoch(("name", "tel"), 8),
+    Epoch(("name", "tel", "email"), 8),
+    Epoch(("name", "phone", "email"), 8),
+)
+
+
+@dataclass
+class GeneratedDocuments:
+    """Timestamped documents plus the scripted operation ground truth."""
+
+    documents: List[Tuple[int, Dict[str, Any]]]
+    epochs: Tuple[Epoch, ...]
+
+    def expected_operations(self) -> List[Tuple[str, str]]:
+        """(kind, property) pairs implied by consecutive epochs.
+
+        A simultaneous add+delete is reported as ('rename?', 'old->new') to
+        signal the ambiguity the analyzer must resolve.
+        """
+        out: List[Tuple[str, str]] = []
+        for previous, current in zip(self.epochs, self.epochs[1:]):
+            added = sorted(set(current.properties) - set(previous.properties))
+            deleted = sorted(set(previous.properties) - set(current.properties))
+            if added and deleted:
+                out.append(("rename?", f"{deleted[0]}->{added[0]}"))
+                for name in added[1:]:
+                    out.append(("add", name))
+                for name in deleted[1:]:
+                    out.append(("delete", name))
+            else:
+                out.extend(("add", name) for name in added)
+                out.extend(("delete", name) for name in deleted)
+        return out
+
+
+class EvolvingDocumentGenerator:
+    """Generate timestamped documents following a schema-epoch script."""
+
+    def __init__(self, seed: int = 7):
+        self.seed = seed
+
+    def generate(self, epochs: Sequence[Epoch] = DEFAULT_EPOCHS) -> GeneratedDocuments:
+        rng = random.Random(self.seed)
+        documents: List[Tuple[int, Dict[str, Any]]] = []
+        timestamp = 0
+        for epoch in epochs:
+            for _ in range(epoch.num_documents):
+                timestamp += 1
+                documents.append((timestamp, {
+                    prop: self._value(rng, prop) for prop in epoch.properties
+                }))
+        return GeneratedDocuments(documents=documents, epochs=tuple(epochs))
+
+    @staticmethod
+    def _value(rng: random.Random, prop: str) -> Any:
+        if prop in ("tel", "phone"):
+            return f"+49-{rng.randrange(100, 999)}-{rng.randrange(10**6):06d}"
+        if prop == "email":
+            return f"user{rng.randrange(1000)}@example.org"
+        return f"name-{rng.randrange(10**4)}"

@@ -1,0 +1,187 @@
+"""Synthetic tabular lake generator with joinability/domain ground truth.
+
+``LakeGenerator.generate`` builds a lake of tables around shared *entity
+pools* (customers, products, cities...).  Tables drawing keys from the same
+pool are joinable by construction; columns drawing values from the same
+domain vocabulary share a semantic domain by construction.  The returned
+:class:`LakeWorkload` carries that ground truth:
+
+- ``joinable_pairs`` — unordered column pairs with high value overlap;
+- ``domain_of`` — (table, column) -> domain name for vocabulary columns;
+- ``unionable_groups`` — tables generated from the same schema template.
+
+Distributions are configurable (uniform / Zipf) because JOSIE's robustness
+claim is about exactly that axis.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.core.dataset import Table
+
+ColumnRef = Tuple[str, str]
+
+#: built-in domain vocabularies (semantic domains for D4/DomainNet tests)
+VOCABULARIES: Dict[str, Tuple[str, ...]] = {
+    "color": ("red", "blue", "green", "black", "white", "yellow", "purple", "orange"),
+    "city": ("berlin", "paris", "london", "amsterdam", "madrid", "rome", "vienna", "oslo"),
+    "status": ("active", "inactive", "pending", "closed"),
+    "fruit": ("apple", "banana", "cherry", "mango", "kiwi", "plum", "pear"),
+    "brand": ("apple", "google", "amazon", "siemens", "bosch", "philips"),
+}
+
+
+@dataclass
+class LakeWorkload:
+    """A generated lake plus its ground truth."""
+
+    tables: List[Table]
+    joinable_pairs: Set[Tuple[ColumnRef, ColumnRef]] = field(default_factory=set)
+    domain_of: Dict[ColumnRef, str] = field(default_factory=dict)
+    unionable_groups: List[List[str]] = field(default_factory=list)
+
+    def table(self, name: str) -> Table:
+        for table in self.tables:
+            if table.name == name:
+                return table
+        raise KeyError(name)
+
+    def is_joinable(self, left: ColumnRef, right: ColumnRef) -> bool:
+        pair = tuple(sorted([left, right]))
+        return (pair[0], pair[1]) in self.joinable_pairs
+
+    def joinable_partners(self, ref: ColumnRef) -> Set[ColumnRef]:
+        out = set()
+        for left, right in self.joinable_pairs:
+            if left == ref:
+                out.add(right)
+            elif right == ref:
+                out.add(left)
+        return out
+
+
+class LakeGenerator:
+    """Generate synthetic lakes with controlled relatedness structure."""
+
+    def __init__(self, seed: int = 7):
+        self.seed = seed
+
+    def _rng(self) -> random.Random:
+        return random.Random(self.seed)
+
+    # -- entity pools ----------------------------------------------------------------
+
+    @staticmethod
+    def _entity_pool(kind: str, size: int) -> List[str]:
+        return [f"{kind}-{i:05d}" for i in range(size)]
+
+    @staticmethod
+    def _sample(rng: random.Random, pool: Sequence[str], n: int, zipf: bool) -> List[str]:
+        if not zipf:
+            return [rng.choice(pool) for _ in range(n)]
+        # Zipf-ish: rank r weighted 1/r
+        weights = [1.0 / (rank + 1) for rank in range(len(pool))]
+        return rng.choices(pool, weights=weights, k=n)
+
+    # -- main generator ------------------------------------------------------------------
+
+    def generate(
+        self,
+        num_pools: int = 3,
+        tables_per_pool: int = 3,
+        rows_per_table: int = 120,
+        pool_size: int = 200,
+        key_coverage: float = 0.8,
+        zipf: bool = False,
+        noise_tables: int = 2,
+        with_domains: bool = True,
+    ) -> LakeWorkload:
+        """Build a lake: per pool, one dimension table + fact tables.
+
+        Every fact table's foreign-key column draws from the pool, so it is
+        joinable with the dimension's key column and with the other fact
+        tables of the same pool.  ``key_coverage`` controls overlap size.
+        ``noise_tables`` adds tables joinable with nothing.
+        """
+        rng = self._rng()
+        workload = LakeWorkload(tables=[])
+        vocab_names = sorted(VOCABULARIES)
+        for pool_index in range(num_pools):
+            kind = f"ent{pool_index}"
+            pool = self._entity_pool(kind, pool_size)
+            dim_name = f"dim_{kind}"
+            dim_refs: List[ColumnRef] = [(dim_name, f"{kind}_id")]
+            dim_columns: Dict[str, List[object]] = {
+                f"{kind}_id": list(pool),
+                "label": [f"label {p}" for p in pool],
+            }
+            vocab = vocab_names[pool_index % len(vocab_names)] if with_domains else None
+            if vocab:
+                values = VOCABULARIES[vocab]
+                dim_columns[f"{kind}_{vocab}"] = [rng.choice(values) for _ in pool]
+                workload.domain_of[(dim_name, f"{kind}_{vocab}")] = vocab
+            dim = Table.from_columns(dim_name, dim_columns)
+            workload.tables.append(dim)
+            pool_refs = list(dim_refs)
+            for fact_index in range(tables_per_pool):
+                fact_name = f"fact_{kind}_{fact_index}"
+                subset = pool[: max(1, int(len(pool) * key_coverage))]
+                keys = self._sample(rng, subset, rows_per_table, zipf)
+                columns: Dict[str, List[object]] = {
+                    f"{kind}_ref": keys,
+                    f"metric_{fact_index}": [round(rng.gauss(50 + 10 * fact_index, 8), 2)
+                                             for _ in range(rows_per_table)],
+                    "note": [f"row-{fact_name}-{i}" for i in range(rows_per_table)],
+                }
+                if vocab:
+                    values = VOCABULARIES[vocab]
+                    columns[f"{vocab}_tag"] = [rng.choice(values) for _ in range(rows_per_table)]
+                    workload.domain_of[(fact_name, f"{vocab}_tag")] = vocab
+                fact = Table.from_columns(fact_name, columns)
+                workload.tables.append(fact)
+                pool_refs.append((fact_name, f"{kind}_ref"))
+            # every pair of pool refs is joinable ground truth
+            for i in range(len(pool_refs)):
+                for j in range(i + 1, len(pool_refs)):
+                    pair = tuple(sorted([pool_refs[i], pool_refs[j]]))
+                    workload.joinable_pairs.add((pair[0], pair[1]))
+        for noise_index in range(noise_tables):
+            name = f"noise_{noise_index}"
+            workload.tables.append(Table.from_columns(name, {
+                "uid": [f"{name}-{i}-{rng.randrange(10**6)}" for i in range(rows_per_table)],
+                "payload": [rng.random() for _ in range(rows_per_table)],
+            }))
+        return workload
+
+    # -- unionable variant ---------------------------------------------------------------------
+
+    def generate_unionable(
+        self,
+        num_groups: int = 2,
+        tables_per_group: int = 3,
+        rows_per_table: int = 60,
+    ) -> LakeWorkload:
+        """Tables sharing a schema template (vertical partitions of one feed).
+
+        Used by ALITE-style integration tests: tables of one group align
+        column-for-column and their full disjunction reassembles the feed.
+        """
+        rng = self._rng()
+        workload = LakeWorkload(tables=[])
+        for group_index in range(num_groups):
+            group_names = []
+            base_columns = [f"g{group_index}_key", f"g{group_index}_value", "city"]
+            for table_index in range(tables_per_group):
+                name = f"union_{group_index}_{table_index}"
+                group_names.append(name)
+                offset = table_index * rows_per_table
+                workload.tables.append(Table.from_columns(name, {
+                    base_columns[0]: [f"k{group_index}-{offset + i}" for i in range(rows_per_table)],
+                    base_columns[1]: [round(rng.uniform(0, 100), 2) for _ in range(rows_per_table)],
+                    base_columns[2]: [rng.choice(VOCABULARIES["city"]) for _ in range(rows_per_table)],
+                }))
+            workload.unionable_groups.append(group_names)
+        return workload

@@ -1,0 +1,72 @@
+"""Synthetic notebook generator for Juneau-style workloads.
+
+Juneau's evaluation runs over Jupyter notebooks and their derived tables.
+:class:`NotebookGenerator` emits notebooks following named workflow
+recipes (load -> clean -> join -> aggregate, ...).  Two notebooks built
+from the same recipe have near-identical variable dependency patterns —
+the provenance-similarity ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.dataset import Table
+from repro.organization.juneau_graphs import Notebook
+
+#: recipe name -> list of (function, inputs, outputs) steps (variables are
+#: templated with {p} so parallel instances don't collide)
+RECIPES: Dict[str, Tuple[Tuple[str, Tuple[str, ...], Tuple[str, ...]], ...]] = {
+    "clean_join": (
+        ("read_csv", (), ("{p}_raw",)),
+        ("dropna", ("{p}_raw",), ("{p}_clean",)),
+        ("read_csv", (), ("{p}_dim",)),
+        ("merge", ("{p}_clean", "{p}_dim"), ("{p}_joined",)),
+        ("groupby_agg", ("{p}_joined",), ("{p}_report",)),
+    ),
+    "feature_prep": (
+        ("read_csv", (), ("{p}_raw",)),
+        ("fillna", ("{p}_raw",), ("{p}_filled",)),
+        ("encode", ("{p}_filled",), ("{p}_features",)),
+        ("train_test_split", ("{p}_features",), ("{p}_train", "{p}_test")),
+    ),
+    "quick_plot": (
+        ("read_csv", (), ("{p}_raw",)),
+        ("plot", ("{p}_raw",), ("{p}_figure",)),
+    ),
+}
+
+
+class NotebookGenerator:
+    """Generate notebooks from workflow recipes with bound result tables."""
+
+    def __init__(self, seed: int = 7):
+        self.seed = seed
+
+    def generate(
+        self,
+        recipe: str,
+        name: str,
+        prefix: Optional[str] = None,
+        table: Optional[Table] = None,
+        final_variable_table: bool = True,
+    ) -> Notebook:
+        """One notebook following *recipe*; binds *table* to the final var."""
+        steps = RECIPES[recipe]
+        prefix = prefix or name
+        notebook = Notebook(name=name)
+        last_output = None
+        for function, inputs, outputs in steps:
+            bound_in = tuple(v.format(p=prefix) for v in inputs)
+            bound_out = tuple(v.format(p=prefix) for v in outputs)
+            notebook.add_cell(function, inputs=bound_in, outputs=bound_out)
+            if bound_out:
+                last_output = bound_out[0]
+        if table is not None and final_variable_table and last_output is not None:
+            notebook.bind_table(last_output, table)
+        return notebook
+
+    def final_variable(self, recipe: str, prefix: str) -> str:
+        """The last output variable a recipe produces for *prefix*."""
+        steps = RECIPES[recipe]
+        return steps[-1][2][0].format(p=prefix)

@@ -1,0 +1,53 @@
+"""Related dataset discovery (survey Sec. 6.2 / Table 3).
+
+All eight systems of the survey's Table 3 are implemented:
+
+====================  =====================================================
+System                Module
+====================  =====================================================
+Aurum                 :mod:`repro.discovery.aurum`
+Brackenbury et al.    :mod:`repro.discovery.brackenbury`
+JOSIE                 :mod:`repro.discovery.josie`
+D3L                   :mod:`repro.discovery.d3l`
+Juneau                :mod:`repro.discovery.juneau_search`
+PEXESO                :mod:`repro.discovery.pexeso`
+RNLIM                 :mod:`repro.discovery.rnlim`
+DLN                   :mod:`repro.discovery.dln`
+====================  =====================================================
+
+They share the standard procedure the survey identifies (Sec. 6.2.5):
+extract relatedness signals from tables, compute multi-dimensional
+similarities between attributes, aggregate to table-level relatedness, and
+index with LSH for scale.  :mod:`repro.discovery.profiles` implements the
+shared signal extraction; :mod:`repro.discovery.baselines` provides the
+brute-force all-pairs baseline the benchmarks compare against.
+"""
+
+from repro.discovery.profiles import ColumnProfile, TableProfiler
+from repro.discovery.aurum import Aurum
+from repro.discovery.josie import JosieIndex, brute_force_topk
+from repro.discovery.d3l import D3L
+from repro.discovery.juneau_search import JuneauSearch
+from repro.discovery.pexeso import Pexeso
+from repro.discovery.rnlim import Rnlim
+from repro.discovery.dln import DataLakeNavigator
+from repro.discovery.brackenbury import BrackenburyExplorer
+from repro.discovery.aurum_query import AurumQuery, DiscoveryResult
+from repro.discovery.table_union import TableUnionSearch
+
+__all__ = [
+    "Aurum",
+    "AurumQuery",
+    "DiscoveryResult",
+    "TableUnionSearch",
+    "BrackenburyExplorer",
+    "ColumnProfile",
+    "D3L",
+    "DataLakeNavigator",
+    "JosieIndex",
+    "JuneauSearch",
+    "Pexeso",
+    "Rnlim",
+    "TableProfiler",
+    "brute_force_topk",
+]

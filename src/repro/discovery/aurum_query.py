@@ -1,0 +1,133 @@
+"""Aurum's primitive-based discovery query language (Sec. 7.1).
+
+"In its primitive-based query language, an Aurum user can compose queries
+to search schemata or data values with keywords to find specific columns,
+tables, or paths.  Users can specify criteria and obtain ranked querying
+results in a flexible manner, i.e., they can obtain the ranking results of
+different criteria without re-running the query."
+
+:class:`AurumQuery` is a fluent, composable pipeline over an Aurum engine's
+EKG.  Each primitive refines or expands the current column set; the result
+is a :class:`DiscoveryResult` that memoizes the per-criterion scores of its
+columns, so ``ranked_by("content_sim")`` and ``ranked_by("schema_sim")``
+re-rank *without re-running* the search.
+
+Example::
+
+    result = (AurumQuery(engine)
+                .schema_search("tax")
+                .union(AurumQuery(engine).content_search("berlin"))
+                .expand(relation="content_sim")
+                .run())
+    result.ranked_by("content_sim")
+    result.tables()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.discovery.aurum import Aurum
+from repro.modeling.ekg import ColumnRef
+
+
+@dataclass
+class DiscoveryResult:
+    """A memoized result set: columns plus per-criterion scores."""
+
+    columns: List[ColumnRef]
+    scores: Dict[str, Dict[ColumnRef, float]] = field(default_factory=dict)
+
+    def ranked_by(self, criterion: str) -> List[Tuple[ColumnRef, float]]:
+        """Re-rank the same columns by a different criterion — no re-run."""
+        per_column = self.scores.get(criterion, {})
+        return sorted(
+            ((ref, per_column.get(ref, 0.0)) for ref in self.columns),
+            key=lambda pair: (-pair[1], pair[0]),
+        )
+
+    def tables(self) -> List[str]:
+        """The distinct tables the result columns belong to."""
+        return sorted({ref[0] for ref in self.columns})
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __contains__(self, ref: ColumnRef) -> bool:
+        return ref in set(self.columns)
+
+
+class AurumQuery:
+    """A composable pipeline of Aurum discovery primitives."""
+
+    def __init__(self, engine: Aurum, columns: Optional[Sequence[ColumnRef]] = None):
+        self.engine = engine
+        self.engine.build()
+        self._columns: List[ColumnRef] = list(columns or [])
+
+    def _derive(self, columns: Sequence[ColumnRef]) -> "AurumQuery":
+        deduped = sorted(set(columns))
+        return AurumQuery(self.engine, deduped)
+
+    # -- seeding primitives -----------------------------------------------------
+
+    def schema_search(self, keyword: str) -> "AurumQuery":
+        """Columns whose table/column names contain *keyword*."""
+        return self._derive(self._columns + self.engine.ekg.schema_search(keyword))
+
+    def content_search(self, keyword: str) -> "AurumQuery":
+        """Columns whose sampled values contain *keyword*."""
+        return self._derive(self._columns + self.engine.ekg.content_search(keyword))
+
+    def columns_of(self, table: str) -> "AurumQuery":
+        """All columns of one table."""
+        return self._derive(self._columns + self.engine.ekg.columns(table))
+
+    # -- set combinators -----------------------------------------------------------
+
+    def union(self, other: "AurumQuery") -> "AurumQuery":
+        return self._derive(self._columns + other._columns)
+
+    def intersect(self, other: "AurumQuery") -> "AurumQuery":
+        keep = set(other._columns)
+        return self._derive([ref for ref in self._columns if ref in keep])
+
+    def difference(self, other: "AurumQuery") -> "AurumQuery":
+        drop = set(other._columns)
+        return self._derive([ref for ref in self._columns if ref not in drop])
+
+    # -- graph primitives --------------------------------------------------------------
+
+    def expand(self, relation: Optional[str] = None, min_weight: float = 0.0) -> "AurumQuery":
+        """Add EKG neighbours of the current columns via *relation*."""
+        expanded = list(self._columns)
+        for ref in self._columns:
+            for neighbor, weight in self.engine.ekg.neighbors(
+                ref, relation=relation, min_weight=min_weight,
+            ):
+                expanded.append(neighbor)
+        return self._derive(expanded)
+
+    def paths_to(self, target: ColumnRef, max_hops: int = 3) -> "AurumQuery":
+        """Columns on any discovery path from the current set to *target*."""
+        on_paths: List[ColumnRef] = []
+        for ref in self._columns:
+            for path in self.engine.ekg.paths(ref, target, max_hops=max_hops):
+                on_paths.extend(path)
+        return self._derive(on_paths)
+
+    # -- execution ------------------------------------------------------------------------
+
+    def run(self) -> DiscoveryResult:
+        """Materialize the result and memoize every criterion's scores."""
+        result = DiscoveryResult(columns=sorted(set(self._columns)))
+        for criterion in ("content_sim", "schema_sim", "pkfk"):
+            per_column: Dict[ColumnRef, float] = {}
+            for ref in result.columns:
+                best = 0.0
+                for _, weight in self.engine.ekg.neighbors(ref, relation=criterion):
+                    best = max(best, weight)
+                per_column[ref] = round(best, 4)
+            result.scores[criterion] = per_column
+        return result

@@ -1,0 +1,133 @@
+"""Brackenbury et al. — human-in-the-loop similarity clustering (Sec. 6.2.1).
+
+The proposal "shares a similar idea to Aurum, in terms of using multiple
+criteria to measure dataset similarities.  The difference is that when the
+algorithms alone cannot provide reliable suggestions, it also includes
+humans in the loop ... it measures the similarity of files, and considers
+approximate matches in terms of data values, schemata and descriptive
+metadata ... For measuring the similarity of the files and clustering them,
+it computes the Jaccard similarity between file paths using MinHash and
+LSH."
+
+The implementation scores file pairs on four criteria (values, schema,
+descriptive metadata, file path), auto-accepts confident pairs, and routes
+ambiguous pairs (score inside the uncertainty band) to a pluggable human
+oracle — tests exercise the loop with a scripted oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.core.dataset import Table
+from repro.core.registry import Function, Method, SystemInfo, register_system
+from repro.ml.minhash import MinHasher
+from repro.ml.text import jaccard, qgrams, tokenize
+
+
+@dataclass
+class LakeFile:
+    """A file in the swamp: its table, path and descriptive metadata."""
+
+    name: str
+    table: Table
+    path: str = ""
+    description: str = ""
+
+
+@register_system(SystemInfo(
+    name="Brackenbury et al.",
+    functions=(Function.RELATED_DATASET_DISCOVERY,),
+    methods=(Method.JOINABLE,),
+    paper_refs=("[15]",),
+    summary="Multi-criteria file similarity (values, schema, descriptive metadata, "
+            "paths via MinHash) with humans in the loop for unreliable suggestions.",
+    relatedness_criteria=(
+        "Instance value overlap", "Attribute name", "Semantics", "Descriptive metadata",
+    ),
+    similarity_metrics=("Jaccard similarity (MinHash)",),
+    technique="-",
+))
+class BrackenburyExplorer:
+    """Similarity-based swamp drainer with a human-in-the-loop band."""
+
+    def __init__(
+        self,
+        accept_threshold: float = 0.6,
+        reject_threshold: float = 0.25,
+        oracle: Optional[Callable[[str, str, float], bool]] = None,
+    ):
+        if reject_threshold >= accept_threshold:
+            raise ValueError("reject_threshold must be below accept_threshold")
+        self.accept_threshold = accept_threshold
+        self.reject_threshold = reject_threshold
+        self.oracle = oracle
+        self.oracle_calls = 0
+        self._files: Dict[str, LakeFile] = {}
+        self._hasher = MinHasher(num_perm=64)
+
+    def add_file(self, file: LakeFile) -> None:
+        self._files[file.name] = file
+
+    def files(self) -> List[str]:
+        return sorted(self._files)
+
+    # -- similarity criteria -------------------------------------------------------
+
+    def similarity(self, left_name: str, right_name: str) -> float:
+        """Mean of the four criteria scores."""
+        left, right = self._files[left_name], self._files[right_name]
+        value_sim = self._hasher.signature(self._values(left.table)).jaccard(
+            self._hasher.signature(self._values(right.table))
+        )
+        schema_sim = jaccard(
+            {c.lower() for c in left.table.column_names},
+            {c.lower() for c in right.table.column_names},
+        )
+        meta_sim = jaccard(tokenize(left.description), tokenize(right.description))
+        path_sim = self._hasher.signature(qgrams(left.path)).jaccard(
+            self._hasher.signature(qgrams(right.path))
+        )
+        return (value_sim + schema_sim + meta_sim + path_sim) / 4.0
+
+    @staticmethod
+    def _values(table: Table) -> Set[str]:
+        out: Set[str] = set()
+        for column in table.columns:
+            out |= column.distinct()
+        return out
+
+    # -- decision with humans in the loop -----------------------------------------------
+
+    def decide(self, left_name: str, right_name: str) -> bool:
+        """Related or not; consults the oracle inside the uncertainty band."""
+        score = self.similarity(left_name, right_name)
+        if score >= self.accept_threshold:
+            return True
+        if score <= self.reject_threshold:
+            return False
+        if self.oracle is None:
+            return False  # conservative without a human
+        self.oracle_calls += 1
+        return bool(self.oracle(left_name, right_name, score))
+
+    def cluster(self) -> List[Set[str]]:
+        """Group files into related clusters (union of decided pairs)."""
+        names = self.files()
+        parent = {name: name for name in names}
+
+        def find(name: str) -> str:
+            while parent[name] != name:
+                parent[name] = parent[parent[name]]
+                name = parent[name]
+            return name
+
+        for i in range(len(names)):
+            for j in range(i + 1, len(names)):
+                if self.decide(names[i], names[j]):
+                    parent[find(names[i])] = find(names[j])
+        clusters: Dict[str, Set[str]] = {}
+        for name in names:
+            clusters.setdefault(find(name), set()).add(name)
+        return sorted(clusters.values(), key=lambda c: sorted(c)[0])

@@ -1,0 +1,223 @@
+"""DLN — Data Lake Navigator: discovery at enterprise scale (Sec. 6.2.4).
+
+DLN "tackles the problem of handling large-volume data at the enterprise
+level ... The core solution of DLN is building random-forest classification
+models.  In specific, DLN considers textual and numerical attributes, and
+extracts two types of features from them: metadata features, including
+attribute names and uniqueness, and data-based features.  Accordingly, it
+builds two classifiers.  The first classifier uses only metadata features.
+The second classifier is an ensemble model, which only uses metadata
+features for numeric attributes, and both metadata features and data
+features for textual attributes.  Notably, for learning classification
+models DLN needs labeled samples.  In essence, it labels the attribute-
+pairs in the JOIN clauses of queries as positive samples ... whereas it
+samples negative examples of attribute pairs that never appear in any JOIN
+clause."
+
+Implemented here:
+
+- :func:`labels_from_query_log` — turn a SQL-ish query log into labeled
+  pairs exactly as described;
+- metadata features (name similarity, uniqueness, type) that never touch
+  the data, and data features (value overlap, distribution) that do;
+- the two classifiers: ``metadata_model`` and the ``ensemble_model`` that
+  adds data features only for textual attributes;
+- feature-extraction cost accounting so the scalability benchmark can show
+  the metadata-only model's per-pair cost does not grow with data volume.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.dataset import Table
+from repro.core.errors import DatasetNotFound
+from repro.core.registry import Function, Method, SystemInfo, register_system
+from repro.discovery.profiles import ColumnProfile, TableProfiler
+from repro.ml.forest import RandomForest
+from repro.ml.stats import ks_similarity
+from repro.ml.text import jaccard, levenshtein_similarity
+
+ColumnRef = Tuple[str, str]
+
+_JOIN_RE = re.compile(
+    r"(\w+)\.(\w+)\s*=\s*(\w+)\.(\w+)", re.IGNORECASE
+)
+
+
+def labels_from_query_log(
+    queries: Sequence[str],
+    all_columns: Sequence[ColumnRef],
+    negatives_per_positive: int = 2,
+    seed: int = 7,
+) -> List[Tuple[ColumnRef, ColumnRef, bool]]:
+    """Derive labeled pairs from JOIN clauses in a query log.
+
+    Pairs appearing in a ``a.x = b.y`` join predicate are positives; pairs
+    never joined anywhere in the log are sampled as negatives.
+    """
+    positives: Set[Tuple[ColumnRef, ColumnRef]] = set()
+    for query in queries:
+        for left_t, left_c, right_t, right_c in _JOIN_RE.findall(query):
+            pair = tuple(sorted([(left_t, left_c), (right_t, right_c)]))
+            positives.add((pair[0], pair[1]))
+    labeled: List[Tuple[ColumnRef, ColumnRef, bool]] = [
+        (left, right, True) for left, right in sorted(positives)
+    ]
+    rng = random.Random(seed)
+    columns = sorted(all_columns)
+    needed = len(positives) * negatives_per_positive
+    attempts = 0
+    negatives: Set[Tuple[ColumnRef, ColumnRef]] = set()
+    while len(negatives) < needed and attempts < needed * 50 and len(columns) >= 2:
+        attempts += 1
+        left, right = rng.sample(columns, 2)
+        pair = tuple(sorted([left, right]))
+        if (pair[0], pair[1]) in positives or pair[0][0] == pair[1][0]:
+            continue
+        negatives.add((pair[0], pair[1]))
+    labeled.extend((left, right, False) for left, right in sorted(negatives))
+    return labeled
+
+
+@register_system(SystemInfo(
+    name="DLN",
+    functions=(Function.RELATED_DATASET_DISCOVERY,),
+    methods=(Method.SCALABLE,),
+    paper_refs=("[12]",),
+    summary="Random-forest relatedness classifiers trained from query-log join "
+            "pairs; metadata-only model for scale, ensemble adding data features "
+            "for textual attributes.",
+    relatedness_criteria=("Attribute name", "Instance values"),
+    similarity_metrics=("Jaccard similarity", "Cosine similarity"),
+    technique="Classification models",
+))
+class DataLakeNavigator:
+    """DLN's two-classifier related-column discovery."""
+
+    def __init__(self, seed: int = 7):
+        self.profiler = TableProfiler()
+        self._profiles: Dict[ColumnRef, ColumnProfile] = {}
+        self.metadata_model: Optional[RandomForest] = None
+        self.ensemble_model: Optional[RandomForest] = None
+        self.seed = seed
+        self.metadata_feature_ops = 0
+        self.data_feature_ops = 0
+
+    # -- indexing -------------------------------------------------------------------
+
+    def add_table(self, table: Table) -> None:
+        for profile in self.profiler.profile_table(table):
+            self._profiles[profile.ref] = profile
+
+    def columns(self) -> List[ColumnRef]:
+        return sorted(self._profiles)
+
+    def _profile(self, ref: ColumnRef) -> ColumnProfile:
+        profile = self._profiles.get(tuple(ref))
+        if profile is None:
+            raise DatasetNotFound(f"column {ref[0]}.{ref[1]} is not indexed")
+        return profile
+
+    # -- features ----------------------------------------------------------------------
+
+    def metadata_features(self, left: ColumnRef, right: ColumnRef) -> List[float]:
+        """Features computable from catalog metadata alone (O(1) in data)."""
+        lp, rp = self._profile(left), self._profile(right)
+        self.metadata_feature_ops += 1
+        return [
+            levenshtein_similarity(lp.column.lower(), rp.column.lower()),
+            jaccard(lp.name_tokens, rp.name_tokens),
+            1.0 if lp.dtype == rp.dtype else 0.0,
+            abs(lp.uniqueness - rp.uniqueness),
+            min(lp.uniqueness, rp.uniqueness),
+        ]
+
+    def data_features(self, left: ColumnRef, right: ColumnRef) -> List[float]:
+        """Features requiring a pass over values (O(data))."""
+        lp, rp = self._profile(left), self._profile(right)
+        self.data_feature_ops += len(lp.distinct) + len(rp.distinct)
+        overlap = jaccard(lp.distinct, rp.distinct)
+        if lp.numeric and rp.numeric:
+            distribution = ks_similarity(lp.numeric, rp.numeric)
+        else:
+            distribution = 0.0
+        return [overlap, distribution]
+
+    def _ensemble_features(self, left: ColumnRef, right: ColumnRef) -> List[float]:
+        """Metadata features always; data features only for textual pairs.
+
+        Numeric attributes keep metadata-only features (padded with zeros so
+        the model sees a fixed-width vector), matching DLN's design.
+        """
+        features = self.metadata_features(left, right)
+        lp, rp = self._profile(left), self._profile(right)
+        if lp.dtype.is_numeric and rp.dtype.is_numeric:
+            features.extend([0.0, 0.0])
+        else:
+            features.extend(self.data_features(left, right))
+        return features
+
+    # -- training ------------------------------------------------------------------------
+
+    def train(self, labeled_pairs: Sequence[Tuple[ColumnRef, ColumnRef, bool]]) -> None:
+        """Fit both classifiers on labeled pairs."""
+        if not labeled_pairs:
+            raise ValueError("labeled_pairs must be non-empty")
+        meta_rows, ensemble_rows, labels = [], [], []
+        for left, right, related in labeled_pairs:
+            left, right = tuple(left), tuple(right)
+            meta_rows.append(self.metadata_features(left, right))
+            ensemble_rows.append(self._ensemble_features(left, right))
+            labels.append(bool(related))
+        self.metadata_model = RandomForest(num_trees=15, max_depth=6, seed=self.seed)
+        self.metadata_model.fit(meta_rows, labels)
+        self.ensemble_model = RandomForest(num_trees=15, max_depth=6, seed=self.seed + 1)
+        self.ensemble_model.fit(ensemble_rows, labels)
+
+    def train_from_query_log(self, queries: Sequence[str]) -> int:
+        """Label pairs from a query log and train; returns #labeled pairs."""
+        labeled = labels_from_query_log(queries, self.columns(), seed=self.seed)
+        if labeled:
+            self.train(labeled)
+        return len(labeled)
+
+    # -- inference ------------------------------------------------------------------------
+
+    def related(self, left: ColumnRef, right: ColumnRef, use_ensemble: bool = True) -> bool:
+        model = self.ensemble_model if use_ensemble else self.metadata_model
+        if model is None:
+            raise ValueError("model is not trained; call train() first")
+        features = (
+            self._ensemble_features(left, right)
+            if use_ensemble
+            else self.metadata_features(left, right)
+        )
+        return bool(model.predict(features))
+
+    def score(self, left: ColumnRef, right: ColumnRef, use_ensemble: bool = True) -> float:
+        model = self.ensemble_model if use_ensemble else self.metadata_model
+        if model is None:
+            raise ValueError("model is not trained; call train() first")
+        features = (
+            self._ensemble_features(left, right)
+            if use_ensemble
+            else self.metadata_features(left, right)
+        )
+        return model.predict_proba(features, positive=True)
+
+    def related_columns(
+        self, table: str, column: str, k: int = 5, use_ensemble: bool = True
+    ) -> List[Tuple[ColumnRef, float]]:
+        """Top-k related columns for a stream/table column by model score."""
+        query = (table, column)
+        self._profile(query)
+        scored = []
+        for ref in self.columns():
+            if ref == query or ref[0] == table:
+                continue
+            scored.append((ref, self.score(query, ref, use_ensemble=use_ensemble)))
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored[:k]

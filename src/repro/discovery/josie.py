@@ -1,0 +1,166 @@
+"""JOSIE — exact top-k overlap set similarity search (Sec. 6.2.1).
+
+JOSIE "considers the table columns as sets, and the same tuple values as
+the set intersection ... the problem of joinable table discovery is
+transformed into the problem of finding the exact top-k overlap set
+similarity search.  The measurement used in JOSIE is the intersection size
+of the sets ... For returning top-k sets JOSIE has applied inverted
+indexes, which map between the sets and their distinct values ... JOSIE
+employs a cost model to eliminate the unqualified candidates effectively.
+Such a method makes the performance robust to different data
+distributions."
+
+The implementation follows the paper's algorithmic skeleton:
+
+- an **inverted index** token -> posting list of (set id, set size);
+- query processing reads posting lists of the query's tokens in increasing
+  posting-list-frequency order (rare tokens first — the cost-model
+  intuition: rare tokens discriminate candidates cheaply);
+- candidates accumulate partial overlap counts; a candidate is **pruned**
+  when its current count plus the number of unread query tokens cannot
+  beat the running top-k floor (the position-upper-bound used by exact
+  top-k algorithms);
+- result: exact top-k sets by true intersection size, no threshold needed.
+
+``brute_force_topk`` is the naive baseline the benchmarks compare against.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.core.dataset import Table
+from repro.core.errors import DatasetNotFound
+from repro.core.registry import Function, Method, SystemInfo, register_system
+
+
+@register_system(SystemInfo(
+    name="JOSIE",
+    functions=(Function.RELATED_DATASET_DISCOVERY, Function.QUERY_DRIVEN_DISCOVERY),
+    methods=(Method.JOINABLE,),
+    paper_refs=("[155]",),
+    summary="Exact top-k overlap set similarity search with inverted index and "
+            "cost-based candidate elimination; no human-set threshold needed.",
+    relatedness_criteria=("Instance value overlap",),
+    similarity_metrics=("Intersection size of sets",),
+    technique="Inverted Index",
+))
+class JosieIndex:
+    """Exact top-k overlap search over column value sets."""
+
+    def __init__(self) -> None:
+        self._sets: Dict[Hashable, Set[str]] = {}
+        self._postings: Dict[str, List[Hashable]] = defaultdict(list)
+        self.candidates_examined = 0  # observability for the benchmarks
+        self.postings_read = 0
+
+    # -- indexing -----------------------------------------------------------------
+
+    def add_set(self, key: Hashable, values: Iterable) -> None:
+        """Index one column as a set of stringified values."""
+        value_set = {str(v) for v in values}
+        if key in self._sets:
+            raise ValueError(f"set {key!r} already indexed")
+        self._sets[key] = value_set
+        for token in value_set:
+            self._postings[token].append(key)
+
+    def add_table(self, table: Table) -> None:
+        """Index every column of *table* under ``(table.name, column)``."""
+        for column in table.columns:
+            self.add_set((table.name, column.name), column.distinct())
+
+    def __len__(self) -> int:
+        return len(self._sets)
+
+    def set_of(self, key: Hashable) -> Set[str]:
+        try:
+            return self._sets[key]
+        except KeyError:
+            raise DatasetNotFound(f"set {key!r} is not indexed") from None
+
+    # -- search --------------------------------------------------------------------
+
+    def topk(
+        self,
+        query_values: Iterable,
+        k: int = 5,
+        exclude: Optional[Hashable] = None,
+    ) -> List[Tuple[Hashable, int]]:
+        """Exact top-k indexed sets by intersection size with the query.
+
+        Tokens are processed rare-first; candidates whose best possible
+        final overlap falls under the current top-k floor are eliminated
+        without further reads.
+        """
+        query = {str(v) for v in query_values}
+        # rare tokens first: each read discriminates the most
+        tokens = sorted(
+            (t for t in query if t in self._postings),
+            key=lambda t: (len(self._postings[t]), t),
+        )
+        counts: Dict[Hashable, int] = defaultdict(int)
+        eliminated: Set[Hashable] = set()
+        floor = 0  # a lower bound on the k-th best *current* overlap
+
+        def refresh_floor() -> int:
+            if len(counts) < k:
+                return 0
+            return heapq.nlargest(k, counts.values())[-1]
+
+        for position, token in enumerate(tokens):
+            remaining = len(tokens) - position  # tokens left, including this one
+            if position % 16 == 0:
+                floor = refresh_floor()
+            for key in self._postings[token]:
+                if key == exclude or key in eliminated:
+                    continue
+                if key not in counts:
+                    # cost-model elimination: a set first seen now can reach
+                    # at most `remaining` overlap; current counts only grow,
+                    # so `floor` is a valid lower bound on the k-th best
+                    # final overlap and the candidate can be skipped safely
+                    if remaining < floor:  # strict: keeps tie-break exactness
+                        eliminated.add(key)
+                        continue
+                    self.candidates_examined += 1
+                counts[key] += 1
+                self.postings_read += 1
+        ranked = sorted(counts.items(), key=lambda pair: (-pair[1], str(pair[0])))
+        return [(key, overlap) for key, overlap in ranked[:k] if overlap > 0]
+
+    def topk_for_column(
+        self, table: Table, column: str, k: int = 5
+    ) -> List[Tuple[Hashable, int]]:
+        """Survey exploration mode 1: given T and column C, top-k joinable.
+
+        Excludes columns of the query table itself.
+        """
+        query = table[column].distinct()
+        hits = self.topk(query, k=k + table.width, exclude=(table.name, column))
+        return [(key, overlap) for key, overlap in hits if key[0] != table.name][:k]
+
+
+def brute_force_topk(
+    sets: Dict[Hashable, Set[str]],
+    query_values: Iterable,
+    k: int = 5,
+    exclude: Optional[Hashable] = None,
+) -> List[Tuple[Hashable, int]]:
+    """Naive exact top-k: intersect the query with every indexed set.
+
+    The O(n * |set|) baseline; JOSIE must return exactly these results
+    while reading far fewer postings (tested and benchmarked).
+    """
+    query = {str(v) for v in query_values}
+    scored = []
+    for key, value_set in sets.items():
+        if key == exclude:
+            continue
+        overlap = len(query & value_set)
+        if overlap > 0:
+            scored.append((key, overlap))
+    scored.sort(key=lambda pair: (-pair[1], str(pair[0])))
+    return scored[:k]

@@ -1,0 +1,271 @@
+"""Juneau — task-specific related-table search (Sec. 6.2.2 / 7.1).
+
+Juneau "extends computational notebooks ... When users specify the desired
+target table, the system can automatically return a ranked list of tables".
+Its relatedness signals (Table 3): instance value overlap, domain overlap,
+attribute name, key constraint, new-attribute rate, new-instance rate,
+variable dependency (provenance), descriptive metadata, and null values.
+"For a specific data science task, Juneau picks a subset of relatedness
+features and computes similarities based on them.  For instance, when
+searching tables for a data cleaning task, it considers the instance value
+overlap, schema overlap, provenance similarity, and null value
+differences."  It "speeds up the search with ... pruning tables under a
+threshold of schema-level overlap".
+
+``TASK_FEATURES`` encodes the per-task feature subsets; ``search`` is the
+survey's exploration mode 3: query table + search type tau -> top-k.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.dataset import Table
+from repro.core.errors import DatasetNotFound
+from repro.core.registry import Function, Method, SystemInfo, register_system
+from repro.discovery.profiles import ColumnProfile, TableProfiler
+from repro.ml.text import jaccard, tokenize
+from repro.organization.juneau_graphs import Notebook, VariableDependencyGraph
+
+#: feature subsets per data science task (Sec. 6.2.2 item 4 & Sec. 7.1)
+TASK_FEATURES: Dict[str, Tuple[str, ...]] = {
+    "augmentation": ("domain_overlap", "schema_overlap", "new_instance_rate"),
+    "cleaning": ("value_overlap", "schema_overlap", "provenance", "null_difference"),
+    "feature_engineering": ("key_match", "new_attribute_rate", "provenance", "schema_overlap"),
+    "general": (
+        "value_overlap", "domain_overlap", "schema_overlap",
+        "key_match", "provenance", "description",
+    ),
+}
+
+
+@dataclass
+class _IndexedTable:
+    table: Table
+    profiles: List[ColumnProfile]
+    description: str
+    notebook: Optional[Notebook]
+    variable: Optional[str]
+    dependency_graph: Optional[VariableDependencyGraph]
+
+
+@register_system(SystemInfo(
+    name="Juneau",
+    functions=(
+        Function.RELATED_DATASET_DISCOVERY,
+        Function.DATASET_ORGANIZATION,
+        Function.DATA_PROVENANCE,
+        Function.QUERY_DRIVEN_DISCOVERY,
+    ),
+    methods=(Method.TASK_SPECIFIC, Method.DAG),
+    paper_refs=("[75]", "[151]", "[152]"),
+    summary="Task-specific table search for notebooks: multi-signal relatedness "
+            "(values, domains, schema, keys, provenance, nulls, descriptions) with "
+            "per-task feature subsets and schema-overlap pruning.",
+    relatedness_criteria=(
+        "Instance value overlap", "Domain overlap", "Attribute name",
+        "Key constraint", "New attributes rate", "New instance rate",
+        "Variable dependency", "Descriptive metadata", "Null Values",
+    ),
+    similarity_metrics=("Jaccard similarity",),
+    technique="Workflow graph; Variable dependency graph",
+))
+class JuneauSearch:
+    """Multi-signal, task-aware related-table search."""
+
+    def __init__(self, prune_schema_overlap: float = 0.0):
+        self.profiler = TableProfiler()
+        self._tables: Dict[str, _IndexedTable] = {}
+        self.prune_schema_overlap = prune_schema_overlap
+        self.pruned_count = 0
+
+    # -- indexing --------------------------------------------------------------------
+
+    def add_table(
+        self,
+        table: Table,
+        description: str = "",
+        notebook: Optional[Notebook] = None,
+        variable: Optional[str] = None,
+    ) -> None:
+        """Index a table, optionally bound to the notebook variable holding it."""
+        graph = VariableDependencyGraph(notebook) if notebook is not None else None
+        self._tables[table.name] = _IndexedTable(
+            table=table,
+            profiles=self.profiler.profile_table(table),
+            description=description,
+            notebook=notebook,
+            variable=variable,
+            dependency_graph=graph,
+        )
+
+    def tables(self) -> List[str]:
+        return sorted(self._tables)
+
+    def _entry(self, name: str) -> _IndexedTable:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise DatasetNotFound(f"table {name!r} is not indexed") from None
+
+    # -- individual signals ------------------------------------------------------------
+
+    @staticmethod
+    def _best_column_pairs(left: _IndexedTable, right: _IndexedTable):
+        """Greedy 1:1 matching of columns by value-set Jaccard."""
+        scored = []
+        for lp in left.profiles:
+            for rp in right.profiles:
+                scored.append((lp.minhash.jaccard(rp.minhash), lp, rp))
+        scored.sort(key=lambda item: -item[0])
+        used_left: Set[str] = set()
+        used_right: Set[str] = set()
+        pairs = []
+        for score, lp, rp in scored:
+            if lp.column in used_left or rp.column in used_right:
+                continue
+            used_left.add(lp.column)
+            used_right.add(rp.column)
+            pairs.append((score, lp, rp))
+        return pairs
+
+    def value_overlap(self, left: _IndexedTable, right: _IndexedTable) -> float:
+        pairs = self._best_column_pairs(left, right)
+        if not pairs:
+            return 0.0
+        return sum(score for score, _, _ in pairs) / max(len(left.profiles), 1)
+
+    def domain_overlap(self, left: _IndexedTable, right: _IndexedTable) -> float:
+        """Matched attributes sharing similar value domains (type + range)."""
+        matches = 0
+        for score, lp, rp in self._best_column_pairs(left, right):
+            same_type = lp.dtype == rp.dtype
+            if same_type and (score > 0.1 or jaccard(lp.name_tokens, rp.name_tokens) > 0.3):
+                matches += 1
+        return matches / max(len(left.profiles), 1)
+
+    def schema_overlap(self, left: _IndexedTable, right: _IndexedTable) -> float:
+        return jaccard(
+            {c.lower() for c in left.table.column_names},
+            {c.lower() for c in right.table.column_names},
+        )
+
+    def key_match(self, left: _IndexedTable, right: _IndexedTable) -> float:
+        """Do candidate keys pair up across the two tables?"""
+        left_keys = [p for p in left.profiles if p.is_key_candidate]
+        right_keys = [p for p in right.profiles if p.is_key_candidate]
+        if not left_keys or not right_keys:
+            return 0.0
+        best = 0.0
+        for lk in left_keys:
+            for rk in right_keys:
+                best = max(best, lk.minhash.jaccard(rk.minhash))
+        return best
+
+    def new_attribute_rate(self, left: _IndexedTable, right: _IndexedTable) -> float:
+        """Fraction of the candidate's attributes absent from the query.
+
+        High values mean the candidate can augment the query with features.
+        """
+        left_names = {c.lower() for c in left.table.column_names}
+        right_names = {c.lower() for c in right.table.column_names}
+        if not right_names:
+            return 0.0
+        return len(right_names - left_names) / len(right_names)
+
+    def new_instance_rate(self, left: _IndexedTable, right: _IndexedTable) -> float:
+        """Fraction of candidate instances unseen in the query (row keys)."""
+        left_rows = {tuple(str(v) for v in row) for row in left.table.row_tuples()}
+        shared_columns = [
+            c for c in right.table.column_names if c in left.table.column_names
+        ]
+        if not shared_columns:
+            return 0.0
+        projected_left = {
+            tuple(str(row[c]) for c in shared_columns) for row in left.table.rows()
+        }
+        new = 0
+        total = 0
+        for row in right.table.rows():
+            key = tuple(str(row.get(c)) for c in shared_columns)
+            total += 1
+            if key not in projected_left:
+                new += 1
+        return new / total if total else 0.0
+
+    def provenance(self, left: _IndexedTable, right: _IndexedTable) -> float:
+        if (
+            left.dependency_graph is None or right.dependency_graph is None
+            or left.variable is None or right.variable is None
+        ):
+            return 0.0
+        return left.dependency_graph.provenance_similarity(
+            left.variable, right.dependency_graph, right.variable
+        )
+
+    def null_difference(self, left: _IndexedTable, right: _IndexedTable) -> float:
+        """1 when the candidate is much more complete than the query.
+
+        For cleaning, tables with *fewer* nulls in matched columns are the
+        useful ones (they can fill missing values).
+        """
+        pairs = self._best_column_pairs(left, right)
+        if not pairs:
+            return 0.0
+        gains = []
+        for _, lp, rp in pairs:
+            gains.append(max(0.0, lp.null_fraction - rp.null_fraction))
+        return sum(gains) / len(gains)
+
+    def description(self, left: _IndexedTable, right: _IndexedTable) -> float:
+        return jaccard(tokenize(left.description), tokenize(right.description))
+
+    # -- search ---------------------------------------------------------------------------
+
+    _SIGNALS = {
+        "value_overlap": value_overlap,
+        "domain_overlap": domain_overlap,
+        "schema_overlap": schema_overlap,
+        "key_match": key_match,
+        "new_attribute_rate": new_attribute_rate,
+        "new_instance_rate": new_instance_rate,
+        "provenance": provenance,
+        "null_difference": null_difference,
+        "description": description,
+    }
+
+    def relatedness(self, query: str, candidate: str, task: str = "general") -> float:
+        """Mean of the task's feature subset for one candidate."""
+        try:
+            features = TASK_FEATURES[task]
+        except KeyError:
+            raise ValueError(f"unknown task {task!r}; known: {sorted(TASK_FEATURES)}") from None
+        left, right = self._entry(query), self._entry(candidate)
+        total = 0.0
+        for feature in features:
+            total += self._SIGNALS[feature](self, left, right)
+        return total / len(features)
+
+    def search(self, query: str, task: str = "general", k: int = 5) -> List[Tuple[str, float]]:
+        """Exploration mode 3: top-k tables for *query* under a search type."""
+        left = self._entry(query)
+        scored = []
+        for name in self.tables():
+            if name == query:
+                continue
+            right = self._tables[name]
+            if self.schema_overlap(left, right) < self.prune_schema_overlap:
+                self.pruned_count += 1
+                continue
+            scored.append((name, self.relatedness(query, name, task=task)))
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored[:k]
+
+    def suggest_new_attributes(self, query: str, candidate: str) -> List[str]:
+        """Columns of *candidate* that would augment *query* (signal 2)."""
+        left, right = self._entry(query), self._entry(candidate)
+        left_names = {c.lower() for c in left.table.column_names}
+        return sorted(
+            c for c in right.table.column_names if c.lower() not in left_names
+        )

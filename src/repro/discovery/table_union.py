@@ -1,0 +1,156 @@
+"""Table union search (Nargesian et al. [106], referenced throughout Sec. 6).
+
+The survey leans on "table union search on open data" repeatedly: it is the
+source of the attribute representations behind the organization work
+(Sec. 6.1.3) and the "semantics-aware dataset unionability" that
+classification-based organizers miss (Sec. 6.1.4).  This module implements
+the core of [106]: *attribute unionability* measured through three signals —
+
+- **set unionability** — value-overlap (Jaccard) of the two attributes;
+- **semantic unionability** — cosine similarity of the attributes' value
+  embeddings (natural-language domains that overlap conceptually);
+- **name unionability** — token similarity of the attribute names;
+
+combined per attribute pair by taking the strongest signal (an ensemble
+over evidence types, as in [106]'s goodness functions).  *Table
+unionability* is the average over the best 1:1 attribute alignment, and
+``top_k`` returns the most unionable lake tables for a query table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.dataset import Table
+from repro.core.errors import DatasetNotFound
+from repro.core.registry import Function, Method, SystemInfo, register_system
+from repro.ml.embeddings import HashedEmbedder, cosine
+from repro.ml.text import jaccard, tokenize
+
+
+@dataclass
+class _AttributeProfile:
+    name: str
+    tokens: Tuple[str, ...]
+    values: Set[str]
+    embedding: np.ndarray
+    numeric: bool
+
+
+@register_system(SystemInfo(
+    name="Table union search (Nargesian et al.)",
+    functions=(Function.RELATED_DATASET_DISCOVERY,),
+    methods=(Method.SEMANTIC,),
+    paper_refs=("[106]",),
+    summary="Attribute unionability via set, semantic and name signals; table "
+            "unionability over the best attribute alignment; top-k union search.",
+    relatedness_criteria=("Instance value overlap", "Semantics", "Attribute name"),
+    similarity_metrics=("Jaccard similarity", "Cosine similarity"),
+    technique="Ensemble of unionability goodness signals",
+))
+class TableUnionSearch:
+    """Top-k unionable-table search over a set of lake tables."""
+
+    def __init__(self, embedder: Optional[HashedEmbedder] = None,
+                 sample_values: int = 40):
+        self.embedder = embedder or HashedEmbedder()
+        self.sample_values = sample_values
+        self._tables: Dict[str, List[_AttributeProfile]] = {}
+
+    # -- profiling ------------------------------------------------------------------
+
+    def _profile(self, table: Table) -> List[_AttributeProfile]:
+        profiles = []
+        for column in table.columns:
+            values = column.distinct()
+            sample = sorted(values)[: self.sample_values]
+            profiles.append(_AttributeProfile(
+                name=column.name,
+                tokens=tuple(tokenize(column.name)),
+                values=values,
+                embedding=self.embedder.embed_set([column.name] + list(sample)),
+                numeric=column.dtype.is_numeric,
+            ))
+        return profiles
+
+    def add_table(self, table: Table) -> None:
+        self._tables[table.name] = self._profile(table)
+
+    def tables(self) -> List[str]:
+        return sorted(self._tables)
+
+    # -- attribute unionability ---------------------------------------------------------
+
+    def attribute_unionability(self, left: _AttributeProfile,
+                               right: _AttributeProfile) -> float:
+        """The strongest of the three unionability signals, in [0, 1]."""
+        if left.numeric != right.numeric:
+            return 0.0
+        set_signal = jaccard(left.values, right.values)
+        semantic_signal = max(0.0, cosine(left.embedding, right.embedding))
+        name_signal = jaccard(left.tokens, right.tokens)
+        return max(set_signal, 0.9 * semantic_signal, 0.8 * name_signal)
+
+    # -- table unionability -----------------------------------------------------------------
+
+    def table_unionability(self, query: Table, candidate_name: str) -> float:
+        """Mean attribute unionability over the best greedy 1:1 alignment."""
+        candidate = self._tables.get(candidate_name)
+        if candidate is None:
+            raise DatasetNotFound(f"table {candidate_name!r} is not indexed")
+        query_profiles = self._profile(query)
+        scored = []
+        for qi, qp in enumerate(query_profiles):
+            for ci, cp in enumerate(candidate):
+                scored.append((self.attribute_unionability(qp, cp), qi, ci))
+        scored.sort(key=lambda item: -item[0])
+        used_q: Set[int] = set()
+        used_c: Set[int] = set()
+        total = 0.0
+        for score, qi, ci in scored:
+            if qi in used_q or ci in used_c:
+                continue
+            used_q.add(qi)
+            used_c.add(ci)
+            total += score
+        return total / max(len(query_profiles), 1)
+
+    def alignment(self, query: Table, candidate_name: str) -> List[Tuple[str, str, float]]:
+        """The aligned (query_column, candidate_column, score) pairs."""
+        candidate = self._tables.get(candidate_name)
+        if candidate is None:
+            raise DatasetNotFound(f"table {candidate_name!r} is not indexed")
+        query_profiles = self._profile(query)
+        scored = []
+        for qp in query_profiles:
+            for cp in candidate:
+                scored.append((self.attribute_unionability(qp, cp), qp.name, cp.name))
+        scored.sort(key=lambda item: (-item[0], item[1], item[2]))
+        used_q: Set[str] = set()
+        used_c: Set[str] = set()
+        pairs = []
+        for score, q_name, c_name in scored:
+            if q_name in used_q or c_name in used_c or score <= 0.0:
+                continue
+            used_q.add(q_name)
+            used_c.add(c_name)
+            pairs.append((q_name, c_name, round(score, 4)))
+        return pairs
+
+    # -- search --------------------------------------------------------------------------------
+
+    def top_k(self, query: Table, k: int = 5,
+              min_score: float = 0.3) -> List[Tuple[str, float]]:
+        """The k most unionable lake tables for *query*."""
+        scored = []
+        for name in self.tables():
+            if name == query.name:
+                continue
+            score = self.table_unionability(query, name)
+            if score >= min_score:
+                scored.append((name, round(score, 4)))
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored[:k]

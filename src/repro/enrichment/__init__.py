@@ -1,0 +1,30 @@
+"""Metadata enrichment (survey Sec. 6.4): computing hidden metadata.
+
+"We refer to metadata enrichment as the process of creating implicit
+metadata from raw data in the data lake, which often requires intensive
+computation or human effort."  Systems by metadata type:
+
+- semantic: :mod:`repro.enrichment.d4` (domain discovery),
+  :mod:`repro.enrichment.domainnet` (homograph disambiguation),
+  :mod:`repro.enrichment.coredb_enrich` (feature extraction + knowledge
+  base linking);
+- structural: :mod:`repro.enrichment.rfd` (relaxed functional
+  dependencies, Constance);
+- descriptive: GOODS' crowdsourced annotations live on
+  :class:`repro.organization.goods_catalog.GoodsCatalog`.
+"""
+
+from repro.enrichment.d4 import D4, Domain
+from repro.enrichment.domainnet import DomainNet
+from repro.enrichment.coredb_enrich import CoreDbEnricher, KnowledgeBase
+from repro.enrichment.rfd import RelaxedFD, discover_rfds
+
+__all__ = [
+    "CoreDbEnricher",
+    "D4",
+    "Domain",
+    "DomainNet",
+    "KnowledgeBase",
+    "RelaxedFD",
+    "discover_rfds",
+]

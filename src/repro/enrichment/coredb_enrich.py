@@ -1,0 +1,207 @@
+"""CoreDB's semantic enrichment services (Sec. 6.4.1).
+
+CoreDB "first extracts essential information representative of the original
+raw data, referred to as features, e.g., keywords and named entities.  Then
+it provides services that add synonyms and stems to such features, while it
+connects them to open knowledge bases ... CoreDB also annotates and groups
+the data sources in the data lake."
+
+:class:`KnowledgeBase` is the offline stand-in for Google Knowledge
+Graph / Wikidata: a small curated entity store with types, aliases and
+synonym rings (extensible by the user).  :class:`CoreDbEnricher` runs the
+pipeline: keyword extraction, naive named-entity recognition (capitalized
+token runs + KB lookups), synonym/stem expansion, KB linking, and
+annotation-based source grouping.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.dataset import Dataset, Table
+from repro.core.registry import Function, Method, SystemInfo, register_system
+from repro.ml.text import tokenize
+
+_STOPWORDS = frozenset(
+    "the a an and or of to in is are was were be been for on with as by at it "
+    "this that from we you they he she has have had not no yes".split()
+)
+
+_ENTITY_RE = re.compile(r"\b([A-Z][a-z]+(?:\s+[A-Z][a-z]+)*)\b")
+
+#: a small default knowledge base: entity -> (type, aliases)
+_DEFAULT_ENTITIES: Dict[str, Tuple[str, Tuple[str, ...]]] = {
+    "berlin": ("city", ("berlin city",)),
+    "paris": ("city", ()),
+    "london": ("city", ()),
+    "amsterdam": ("city", ()),
+    "germany": ("country", ("deutschland",)),
+    "france": ("country", ()),
+    "netherlands": ("country", ("holland",)),
+    "apple": ("organization", ("apple inc",)),
+    "google": ("organization", ("alphabet",)),
+    "amazon": ("organization", ("aws",)),
+    "euro": ("currency", ("eur",)),
+    "dollar": ("currency", ("usd",)),
+}
+
+_DEFAULT_SYNONYMS: Tuple[Tuple[str, ...], ...] = (
+    ("customer", "client", "buyer"),
+    ("car", "vehicle", "automobile"),
+    ("cost", "price", "amount"),
+    ("revenue", "sales", "turnover"),
+    ("employee", "worker", "staff"),
+    ("city", "town"),
+    ("id", "identifier", "key"),
+)
+
+
+class KnowledgeBase:
+    """A tiny open-knowledge-base substitute with entities and synonyms."""
+
+    def __init__(
+        self,
+        entities: Optional[Mapping[str, Tuple[str, Tuple[str, ...]]]] = None,
+        synonym_rings: Optional[Sequence[Sequence[str]]] = None,
+    ):
+        self._entities: Dict[str, Tuple[str, Tuple[str, ...]]] = dict(
+            entities if entities is not None else _DEFAULT_ENTITIES
+        )
+        self._synonyms: Dict[str, Set[str]] = {}
+        for ring in (synonym_rings if synonym_rings is not None else _DEFAULT_SYNONYMS):
+            ring_set = {term.lower() for term in ring}
+            for term in ring_set:
+                self._synonyms.setdefault(term, set()).update(ring_set - {term})
+
+    def add_entity(self, name: str, entity_type: str, aliases: Sequence[str] = ()) -> None:
+        self._entities[name.lower()] = (entity_type, tuple(a.lower() for a in aliases))
+
+    def lookup(self, term: str) -> Optional[Tuple[str, str]]:
+        """(canonical_name, type) when *term* is an entity or alias."""
+        token = term.lower()
+        if token in self._entities:
+            return (token, self._entities[token][0])
+        for name, (entity_type, aliases) in self._entities.items():
+            if token in aliases:
+                return (name, entity_type)
+        return None
+
+    def synonyms(self, term: str) -> Set[str]:
+        return set(self._synonyms.get(term.lower(), set()))
+
+
+def stem(token: str) -> str:
+    """A minimal suffix-stripping stemmer (enough for feature expansion)."""
+    for suffix in ("ations", "ation", "ings", "ing", "ies", "ers", "er", "es", "s"):
+        if token.endswith(suffix) and len(token) - len(suffix) >= 3:
+            base = token[: -len(suffix)]
+            if suffix == "ies":
+                base += "y"
+            return base
+    return token
+
+
+@dataclass
+class EnrichmentResult:
+    """Features extracted and expanded for one dataset."""
+
+    dataset: str
+    keywords: List[str] = field(default_factory=list)
+    entities: List[Tuple[str, str]] = field(default_factory=list)  # (name, type)
+    expanded: Dict[str, Set[str]] = field(default_factory=dict)    # feature -> synonyms+stems
+    kb_links: Dict[str, str] = field(default_factory=dict)         # feature -> KB type
+
+    def all_terms(self) -> Set[str]:
+        terms = set(self.keywords)
+        for name, _ in self.entities:
+            terms.add(name)
+        for values in self.expanded.values():
+            terms |= values
+        return terms
+
+
+@register_system(SystemInfo(
+    name="CoreDB",
+    functions=(
+        Function.METADATA_ENRICHMENT,
+        Function.DATA_PROVENANCE,
+        Function.HETEROGENEOUS_QUERYING,
+    ),
+    methods=(Method.SEMANTIC_ENRICHMENT,),
+    paper_refs=("[9]", "[10]"),
+    summary="Data lake service: keyword/entity feature extraction, synonym and "
+            "stem expansion, knowledge-base linking, source annotation/grouping; "
+            "CRUD + full-text querying; DAG provenance.",
+))
+class CoreDbEnricher:
+    """CoreDB's feature extraction and semantic enrichment services."""
+
+    def __init__(self, kb: Optional[KnowledgeBase] = None, top_keywords: int = 10):
+        self.kb = kb or KnowledgeBase()
+        self.top_keywords = top_keywords
+        self._results: Dict[str, EnrichmentResult] = {}
+
+    # -- pipeline -------------------------------------------------------------------
+
+    def enrich(self, dataset: Dataset) -> EnrichmentResult:
+        """Extract features, expand them, and link them to the KB."""
+        text = self._textualize(dataset)
+        result = EnrichmentResult(dataset=dataset.name)
+        tokens = [t for t in tokenize(text) if t not in _STOPWORDS and not t.isdigit()]
+        counts = Counter(tokens)
+        result.keywords = [word for word, _ in counts.most_common(self.top_keywords)]
+        seen_entities: Set[str] = set()
+        for candidate in _ENTITY_RE.findall(text):
+            linked = self.kb.lookup(candidate)
+            if linked and linked[0] not in seen_entities:
+                seen_entities.add(linked[0])
+                result.entities.append(linked)
+        for keyword in result.keywords:
+            expansion = self.kb.synonyms(keyword)
+            stemmed = stem(keyword)
+            if stemmed != keyword:
+                expansion.add(stemmed)
+            if expansion:
+                result.expanded[keyword] = expansion
+            linked = self.kb.lookup(keyword)
+            if linked:
+                result.kb_links[keyword] = linked[1]
+        self._results[dataset.name] = result
+        return result
+
+    @staticmethod
+    def _textualize(dataset: Dataset) -> str:
+        payload = dataset.payload
+        if isinstance(payload, Table):
+            parts = list(payload.column_names)
+            for column in payload.columns:
+                parts.extend(str(v) for v in sorted(column.distinct())[:50])
+            return " ".join(parts)
+        if isinstance(payload, list):
+            return " ".join(str(d) for d in payload[:200])
+        return str(payload)
+
+    # -- grouping -------------------------------------------------------------------------
+
+    def group_sources(self) -> Dict[str, List[str]]:
+        """Group enriched datasets by shared KB entity types/annotations."""
+        groups: Dict[str, List[str]] = defaultdict(list)
+        for name, result in sorted(self._results.items()):
+            types = {entity_type for _, entity_type in result.entities}
+            types |= set(result.kb_links.values())
+            if not types:
+                groups["untyped"].append(name)
+            for entity_type in sorted(types):
+                groups[entity_type].append(name)
+        return dict(groups)
+
+    def search(self, term: str) -> List[str]:
+        """Datasets whose (expanded) features contain *term*."""
+        token = term.lower()
+        return sorted(
+            name for name, result in self._results.items()
+            if token in result.all_terms()
+        )

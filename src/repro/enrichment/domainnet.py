@@ -1,0 +1,136 @@
+"""DomainNet — homograph detection for data lake disambiguation (Sec. 6.4.1).
+
+"When the value Apple appears in multiple tables of a data lake, DomainNet
+tries to find out if it represents the semantics of one domain (fruit or
+brand), or both ... Its proposed approach includes building a network graph
+using data values and attribute names, followed by applying community
+detection over such a network."
+
+Implementation: a bipartite graph of value nodes and attribute nodes (value
+-- attribute edge when the value occurs in the attribute).  Community
+detection (deterministic label propagation from :mod:`repro.ml.cluster`)
+runs on the *attribute projection*; a value spanning attributes from
+multiple communities is a **homograph**, scored by how evenly its
+occurrences spread across communities.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.core.dataset import Table
+from repro.core.registry import Function, Method, SystemInfo, register_system
+from repro.ml.cluster import label_propagation_communities
+
+AttributeRef = Tuple[str, str]
+
+
+@register_system(SystemInfo(
+    name="DomainNet",
+    functions=(Function.METADATA_ENRICHMENT,),
+    methods=(Method.SEMANTIC_ENRICHMENT,),
+    paper_refs=("[85]",),
+    summary="Homograph detection: value/attribute network + community detection; "
+            "values spanning multiple communities are ambiguous (homographs).",
+))
+class DomainNet:
+    """Value/attribute network with community-based homograph detection."""
+
+    def __init__(self, seed: int = 7):
+        self.seed = seed
+        self._value_attrs: Dict[str, Set[AttributeRef]] = defaultdict(set)
+        self._attr_values: Dict[AttributeRef, Set[str]] = defaultdict(set)
+        self._communities: Optional[Dict[AttributeRef, int]] = None
+
+    # -- construction --------------------------------------------------------------
+
+    def add_table(self, table: Table) -> None:
+        for column in table.columns:
+            if column.dtype.is_numeric:
+                continue
+            ref = (table.name, column.name)
+            for value in column.distinct():
+                token = value.lower()
+                self._value_attrs[token].add(ref)
+                self._attr_values[ref].add(token)
+        self._communities = None
+
+    def network(self) -> nx.Graph:
+        """The bipartite value/attribute graph."""
+        graph = nx.Graph()
+        for value, attrs in self._value_attrs.items():
+            graph.add_node(("value", value), kind="value")
+            for ref in attrs:
+                graph.add_node(("attr", ref), kind="attr")
+                graph.add_edge(("value", value), ("attr", ref))
+        return graph
+
+    # -- communities -----------------------------------------------------------------
+
+    def attribute_communities(self) -> Dict[AttributeRef, int]:
+        """Community id per attribute via label propagation on the projection.
+
+        Two attributes connect (weighted by shared-value count) when they
+        share at least one value; communities approximate semantic domains.
+        """
+        if self._communities is not None:
+            return self._communities
+        projection = nx.Graph()
+        refs = sorted(self._attr_values)
+        projection.add_nodes_from(refs)
+        for i in range(len(refs)):
+            for j in range(i + 1, len(refs)):
+                shared = self._attr_values[refs[i]] & self._attr_values[refs[j]]
+                if shared:
+                    projection.add_edge(refs[i], refs[j], weight=float(len(shared)))
+        communities = label_propagation_communities(projection, seed=self.seed)
+        assignment: Dict[AttributeRef, int] = {}
+        for community_id, members in enumerate(communities):
+            for member in members:
+                assignment[member] = community_id
+        self._communities = assignment
+        return assignment
+
+    # -- homograph detection --------------------------------------------------------------
+
+    def homograph_score(self, value: str) -> float:
+        """How ambiguous is *value*?  0 = one community, 1 = evenly split.
+
+        Computed as 1 - (occurrences in the dominant community / total
+        occurrences) scaled to [0, 1]; values in a single attribute score 0.
+        """
+        token = value.lower()
+        attrs = self._value_attrs.get(token, set())
+        if len(attrs) < 2:
+            return 0.0
+        communities = self.attribute_communities()
+        counts: Dict[int, int] = defaultdict(int)
+        for ref in attrs:
+            counts[communities[ref]] += 1
+        total = sum(counts.values())
+        dominant = max(counts.values())
+        if len(counts) == 1:
+            return 0.0
+        return round(1.0 - dominant / total, 4)
+
+    def homographs(self, min_score: float = 0.2) -> List[Tuple[str, float]]:
+        """Values spanning multiple communities, most ambiguous first."""
+        scored = []
+        for value in self._value_attrs:
+            score = self.homograph_score(value)
+            if score >= min_score:
+                scored.append((value, score))
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored
+
+    def meanings_of(self, value: str) -> List[List[AttributeRef]]:
+        """The attribute groups (one per community) where *value* occurs."""
+        token = value.lower()
+        communities = self.attribute_communities()
+        groups: Dict[int, List[AttributeRef]] = defaultdict(list)
+        for ref in self._value_attrs.get(token, set()):
+            groups[communities[ref]].append(ref)
+        return [sorted(group) for _, group in sorted(groups.items())]

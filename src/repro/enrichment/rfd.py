@@ -1,0 +1,182 @@
+"""Relaxed functional dependency (RFD) discovery — Constance (Sec. 6.4.2).
+
+"The relaxed functional dependencies are relaxed in the sense that they do
+not apply to all tuples of a relation, or that similar attribute values are
+also considered to be matched.  Such dependencies provide insights that
+specific attributes functionally depend on some other attributes in a
+loose manner, which apply to the ingested datasets even though they have a
+certain percentage of inconsistent tuples."
+
+:class:`RelaxedFD` models ``lhs -> rhs`` with a *confidence* (fraction of
+tuple groups respecting the dependency) and optional *value tolerance*
+(similar values count as equal).  :func:`discover_rfds` searches single-
+and two-attribute left-hand sides, reporting dependencies above a
+confidence floor; violations feed the data cleaning of Sec. 6.5.1.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.core.dataset import Table
+from repro.core.types import is_null
+from repro.ml.text import levenshtein_similarity
+
+
+@dataclass(frozen=True)
+class RelaxedFD:
+    """A relaxed functional dependency lhs -> rhs with confidence."""
+
+    table: str
+    lhs: Tuple[str, ...]
+    rhs: str
+    confidence: float
+
+    def __str__(self) -> str:
+        return f"{self.table}: {{{', '.join(self.lhs)}}} -> {self.rhs} ({self.confidence:.2f})"
+
+
+def _values_equivalent(left: object, right: object, tolerance: float) -> bool:
+    """Equality relaxed by string similarity when *tolerance* < 1."""
+    if str(left) == str(right):
+        return True
+    if tolerance >= 1.0:
+        return False
+    return levenshtein_similarity(str(left).lower(), str(right).lower()) >= tolerance
+
+
+def dependency_confidence(
+    table: Table,
+    lhs: Sequence[str],
+    rhs: str,
+    tolerance: float = 1.0,
+) -> float:
+    """Fraction of rows consistent with ``lhs -> rhs``.
+
+    For each LHS group the dominant RHS equivalence class is found; the
+    confidence is the share of rows in dominant classes.  Tolerance < 1
+    merges RHS values whose string similarity reaches the tolerance.
+    """
+    groups: Dict[Tuple[str, ...], List[object]] = defaultdict(list)
+    for row in table.rows():
+        key_parts = [row[a] for a in lhs]
+        if any(is_null(part) for part in key_parts) or is_null(row[rhs]):
+            continue
+        groups[tuple(str(p) for p in key_parts)].append(row[rhs])
+    total = 0
+    consistent = 0
+    for values in groups.values():
+        total += len(values)
+        consistent += _dominant_class_size(values, tolerance)
+    return consistent / total if total else 0.0
+
+
+def _dominant_class_size(values: Sequence[object], tolerance: float) -> int:
+    """Size of the largest equivalence class under relaxed equality."""
+    if tolerance >= 1.0:
+        counts = Counter(str(v) for v in values)
+        return counts.most_common(1)[0][1]
+    remaining = list(values)
+    best = 0
+    while remaining:
+        pivot = remaining[0]
+        matched = [v for v in remaining if _values_equivalent(pivot, v, tolerance)]
+        best = max(best, len(matched))
+        remaining = [v for v in remaining if not _values_equivalent(pivot, v, tolerance)]
+    return best
+
+
+def discover_rfds(
+    table: Table,
+    min_confidence: float = 0.9,
+    tolerance: float = 1.0,
+    max_lhs: int = 2,
+) -> List[RelaxedFD]:
+    """Discover RFDs with 1..max_lhs attribute left-hand sides.
+
+    Trivial and redundant dependencies are suppressed: an ``{A, B} -> C``
+    is only reported when neither ``A -> C`` nor ``B -> C`` already holds,
+    and near-unique LHS columns (every group a singleton) are skipped since
+    they make any RHS trivially dependent.
+    """
+    names = table.column_names
+    found: List[RelaxedFD] = []
+    single_holds: Set[Tuple[str, str]] = set()
+    for lhs_size in range(1, max_lhs + 1):
+        for lhs in itertools.combinations(names, lhs_size):
+            if _lhs_is_key(table, lhs):
+                continue
+            for rhs in names:
+                if rhs in lhs:
+                    continue
+                if lhs_size > 1 and any(
+                    (attribute, rhs) in single_holds for attribute in lhs
+                ):
+                    continue
+                confidence = dependency_confidence(table, lhs, rhs, tolerance)
+                if confidence >= min_confidence:
+                    found.append(RelaxedFD(table.name, lhs, rhs, round(confidence, 4)))
+                    if lhs_size == 1:
+                        single_holds.add((lhs[0], rhs))
+    found.sort(key=lambda fd: (-fd.confidence, fd.lhs, fd.rhs))
+    return found
+
+
+def _lhs_is_key(table: Table, lhs: Sequence[str]) -> bool:
+    """All LHS groups are singletons (dependency would be trivial)."""
+    seen: Set[Tuple[str, ...]] = set()
+    count = 0
+    for row in table.rows():
+        parts = [row[a] for a in lhs]
+        if any(is_null(p) for p in parts):
+            continue
+        seen.add(tuple(str(p) for p in parts))
+        count += 1
+    return count > 0 and len(seen) == count
+
+
+def violations(
+    table: Table,
+    dependency: RelaxedFD,
+    tolerance: float = 1.0,
+) -> List[int]:
+    """Row indices violating *dependency* (outside the dominant class).
+
+    These are the "potentially erroneous data" Constance's cleaning flags
+    (Sec. 6.5.1).
+    """
+    groups: Dict[Tuple[str, ...], List[Tuple[int, object]]] = defaultdict(list)
+    for index, row in enumerate(table.rows()):
+        parts = [row[a] for a in dependency.lhs]
+        if any(is_null(p) for p in parts) or is_null(row[dependency.rhs]):
+            continue
+        groups[tuple(str(p) for p in parts)].append((index, row[dependency.rhs]))
+    bad: List[int] = []
+    for members in groups.values():
+        values = [value for _, value in members]
+        dominant = _dominant_value(values, tolerance)
+        for index, value in members:
+            if not _values_equivalent(value, dominant, tolerance):
+                bad.append(index)
+    return sorted(bad)
+
+
+def _dominant_value(values: Sequence[object], tolerance: float) -> object:
+    if tolerance >= 1.0:
+        counts = Counter(str(v) for v in values)
+        best = counts.most_common(1)[0][0]
+        for value in values:
+            if str(value) == best:
+                return value
+        return values[0]
+    best_value = values[0]
+    best_count = 0
+    for pivot in values:
+        count = sum(1 for v in values if _values_equivalent(pivot, v, tolerance))
+        if count > best_count:
+            best_count = count
+            best_value = pivot
+    return best_value

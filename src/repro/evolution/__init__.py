@@ -1,0 +1,24 @@
+"""Schema evolution (survey Sec. 6.6).
+
+"Data lakes are more agile systems in which data and metadata can be
+updated very frequently."  Klettke et al.'s approach to uncovering the
+evolution history of NoSQL-stored entities is implemented in
+:mod:`repro.evolution.klettke`, including k-ary inclusion dependency
+detection.
+"""
+
+from repro.evolution.klettke import (
+    EntityTypeVersion,
+    EvolutionHistory,
+    InclusionDependency,
+    SchemaEvolutionAnalyzer,
+    SchemaOperation,
+)
+
+__all__ = [
+    "EntityTypeVersion",
+    "EvolutionHistory",
+    "InclusionDependency",
+    "SchemaEvolutionAnalyzer",
+    "SchemaOperation",
+]

@@ -1,0 +1,279 @@
+"""Klettke et al. — uncovering the evolution history of data lakes (Sec. 6.6).
+
+"The proposed approach first extracts each entity type from loaded
+datasets, with assigned timestamps that indicate its residing time
+interval.  Then from different structure versions of the entity types, it
+detects the possible operations between two consecutive versions.  In the
+case of multiple alternative operations, users will make the final
+validation.  In addition ... an algorithm is proposed to detect such k-ary
+inclusion dependencies" (schemata in NoSQL stores being less normalized,
+inclusion dependencies involve multiple attributes).
+
+Implemented:
+
+- :meth:`SchemaEvolutionAnalyzer.extract_versions` — timestamped documents
+  of one entity type collapse into structure versions with residency
+  intervals;
+- :meth:`SchemaEvolutionAnalyzer.detect_operations` — between consecutive
+  versions, candidate operations are emitted: ``add``/``delete`` for
+  one-sided properties and an alternative ``rename`` when an added and a
+  deleted property co-occur (ambiguity resolved by an optional user
+  callback);
+- :func:`detect_inclusion_dependencies` — k-ary inclusion dependencies
+  between entity types (value tuples of attribute combination A appear in
+  combination B of another type).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.registry import Function, Method, SystemInfo, register_system
+from repro.storage.document import iter_paths
+
+
+@dataclass(frozen=True)
+class EntityTypeVersion:
+    """One structure version of an entity type with its residency interval."""
+
+    entity_type: str
+    version: int
+    properties: FrozenSet[str]
+    first_seen: int
+    last_seen: int
+
+
+@dataclass(frozen=True)
+class SchemaOperation:
+    """A detected schema change operation between two consecutive versions."""
+
+    kind: str            # "add" | "delete" | "rename"
+    entity_type: str
+    from_version: int
+    to_version: int
+    property: str = ""
+    renamed_to: str = ""
+
+    def __str__(self) -> str:
+        if self.kind == "rename":
+            return (f"rename {self.property} -> {self.renamed_to} "
+                    f"(v{self.from_version}->v{self.to_version})")
+        return f"{self.kind} {self.property} (v{self.from_version}->v{self.to_version})"
+
+
+@dataclass
+class EvolutionHistory:
+    """The full reconstructed history of one entity type."""
+
+    entity_type: str
+    versions: List[EntityTypeVersion] = field(default_factory=list)
+    operations: List[SchemaOperation] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class InclusionDependency:
+    """A k-ary inclusion dependency between two entity types."""
+
+    source_type: str
+    source_attributes: Tuple[str, ...]
+    target_type: str
+    target_attributes: Tuple[str, ...]
+
+    @property
+    def arity(self) -> int:
+        return len(self.source_attributes)
+
+
+def _structure(document: Mapping[str, Any]) -> FrozenSet[str]:
+    """The property-path set of a document (its structure)."""
+    return frozenset(path for path, _ in iter_paths(document) if path and path != "_id")
+
+
+@register_system(SystemInfo(
+    name="Klettke et al.",
+    functions=(Function.SCHEMA_EVOLUTION,),
+    methods=(Method.ALGORITHMIC,),
+    paper_refs=("[83]",),
+    summary="Reconstructs entity-type version history from timestamped NoSQL "
+            "documents, detects add/delete/rename operations between versions "
+            "(user-validated on ambiguity), detects k-ary inclusion dependencies.",
+))
+class SchemaEvolutionAnalyzer:
+    """Evolution-history reconstruction for NoSQL entity types."""
+
+    def __init__(self) -> None:
+        # entity type -> list of (timestamp, document)
+        self._documents: Dict[str, List[Tuple[int, Mapping[str, Any]]]] = {}
+
+    # -- input --------------------------------------------------------------------
+
+    def load(self, entity_type: str, timestamp: int, document: Mapping[str, Any]) -> None:
+        """Register one persisted object with its load timestamp."""
+        self._documents.setdefault(entity_type, []).append((timestamp, document))
+
+    def entity_types(self) -> List[str]:
+        return sorted(self._documents)
+
+    # -- version extraction -----------------------------------------------------------
+
+    def extract_versions(self, entity_type: str) -> List[EntityTypeVersion]:
+        """Collapse documents into structure versions ordered by first use.
+
+        Consecutive documents sharing a structure extend one version's
+        residency interval; a structure change opens a new version.
+        """
+        records = sorted(self._documents.get(entity_type, []), key=lambda item: item[0])
+        versions: List[EntityTypeVersion] = []
+        current: Optional[Tuple[FrozenSet[str], int, int]] = None
+        for timestamp, document in records:
+            structure = _structure(document)
+            if current is not None and structure == current[0]:
+                current = (current[0], current[1], timestamp)
+                continue
+            if current is not None:
+                versions.append(EntityTypeVersion(
+                    entity_type, len(versions) + 1, current[0], current[1], current[2]
+                ))
+            current = (structure, timestamp, timestamp)
+        if current is not None:
+            versions.append(EntityTypeVersion(
+                entity_type, len(versions) + 1, current[0], current[1], current[2]
+            ))
+        return versions
+
+    # -- operation detection --------------------------------------------------------------
+
+    def detect_operations(
+        self,
+        entity_type: str,
+        validate: Optional[Callable[[List[SchemaOperation]], SchemaOperation]] = None,
+    ) -> EvolutionHistory:
+        """Detect schema operations between consecutive structure versions.
+
+        When an add and a delete co-occur between versions, the alternative
+        interpretations (rename vs. independent add+delete) go to the
+        *validate* callback; without a callback the rename with the most
+        similar property name wins (deterministic default).
+        """
+        history = EvolutionHistory(entity_type, self.extract_versions(entity_type))
+        for previous, current in zip(history.versions, history.versions[1:]):
+            added = sorted(current.properties - previous.properties)
+            deleted = sorted(previous.properties - current.properties)
+            pair = (previous.version, current.version)
+            if added and deleted:
+                alternatives: List[SchemaOperation] = []
+                for old in deleted:
+                    for new in added:
+                        alternatives.append(SchemaOperation(
+                            "rename", entity_type, *pair, property=old, renamed_to=new
+                        ))
+                for name in added:
+                    alternatives.append(SchemaOperation("add", entity_type, *pair, property=name))
+                for name in deleted:
+                    alternatives.append(SchemaOperation("delete", entity_type, *pair, property=name))
+                if validate is not None:
+                    chosen = validate(alternatives)
+                    history.operations.append(chosen)
+                    self._append_residual(history, pair, added, deleted, chosen)
+                else:
+                    chosen = self._best_rename(alternatives)
+                    history.operations.append(chosen)
+                    self._append_residual(history, pair, added, deleted, chosen)
+            else:
+                for name in added:
+                    history.operations.append(SchemaOperation("add", entity_type, *pair, property=name))
+                for name in deleted:
+                    history.operations.append(SchemaOperation("delete", entity_type, *pair, property=name))
+        return history
+
+    @staticmethod
+    def _best_rename(alternatives: Sequence[SchemaOperation]) -> SchemaOperation:
+        from repro.ml.text import levenshtein_similarity
+
+        renames = [op for op in alternatives if op.kind == "rename"]
+        return max(
+            renames,
+            key=lambda op: (levenshtein_similarity(op.property, op.renamed_to),
+                            op.property),
+        )
+
+    @staticmethod
+    def _append_residual(
+        history: EvolutionHistory,
+        pair: Tuple[int, int],
+        added: Sequence[str],
+        deleted: Sequence[str],
+        chosen: SchemaOperation,
+    ) -> None:
+        """Adds/deletes not explained by the chosen operation still apply."""
+        explained_add = {chosen.renamed_to} if chosen.kind == "rename" else {chosen.property}
+        explained_del = {chosen.property} if chosen.kind in ("rename", "delete") else set()
+        for name in added:
+            if name not in explained_add:
+                history.operations.append(SchemaOperation(
+                    "add", history.entity_type, *pair, property=name
+                ))
+        for name in deleted:
+            if name not in explained_del:
+                history.operations.append(SchemaOperation(
+                    "delete", history.entity_type, *pair, property=name
+                ))
+
+    # -- k-ary inclusion dependencies --------------------------------------------------------
+
+    def detect_inclusion_dependencies(
+        self, max_arity: int = 2, min_rows: int = 2
+    ) -> List[InclusionDependency]:
+        """Detect k-ary INDs between entity types (value-tuple containment).
+
+        For every pair of entity types and every attribute combination of
+        arity 1..max_arity with matching arity on both sides, the dependency
+        holds when every source value tuple appears among the target's.
+        Single-attribute INDs subsumed by reported higher-arity ones are
+        kept too (they are individually valid).
+        """
+        tuples: Dict[Tuple[str, Tuple[str, ...]], Set[Tuple[str, ...]]] = {}
+        flat_docs: Dict[str, List[Dict[str, Any]]] = {}
+        for entity_type, records in self._documents.items():
+            flat_docs[entity_type] = [
+                {path: value for path, value in iter_paths(doc) if path != "_id"}
+                for _, doc in records
+            ]
+
+        def value_tuples(entity_type: str, attributes: Tuple[str, ...]) -> Set[Tuple[str, ...]]:
+            key = (entity_type, attributes)
+            if key not in tuples:
+                collected = set()
+                for doc in flat_docs[entity_type]:
+                    if all(a in doc and doc[a] is not None for a in attributes):
+                        collected.add(tuple(str(doc[a]) for a in attributes))
+                tuples[key] = collected
+            return tuples[key]
+
+        found: List[InclusionDependency] = []
+        types = self.entity_types()
+        for source_type in types:
+            source_attrs = sorted({
+                path for doc in flat_docs[source_type] for path in doc
+            })
+            for target_type in types:
+                if target_type == source_type:
+                    continue
+                target_attrs = sorted({
+                    path for doc in flat_docs[target_type] for path in doc
+                })
+                for arity in range(1, max_arity + 1):
+                    for src_combo in itertools.combinations(source_attrs, arity):
+                        src_tuples = value_tuples(source_type, src_combo)
+                        if len(src_tuples) < min_rows:
+                            continue
+                        for dst_combo in itertools.permutations(target_attrs, arity):
+                            dst_tuples = value_tuples(target_type, tuple(dst_combo))
+                            if src_tuples <= dst_tuples:
+                                found.append(InclusionDependency(
+                                    source_type, src_combo, target_type, tuple(dst_combo)
+                                ))
+        found.sort(key=lambda d: (d.source_type, d.source_attributes, d.target_type))
+        return found

@@ -1,0 +1,250 @@
+"""CoreDB — a data lake service with CRUD, full-text search and security.
+
+Secs. 3.3 / 7.2: "CoreDB provides users with a unified interface, i.e.,
+through a REST API for querying data or performing Create, Read, Update and
+Delete (CRUD) operations.  It applies Elasticsearch for the underlying
+full-text search, SQL queries for relational database systems ...";
+"CoreDB creates different users or roles for access control, and enables
+authentication and data encryption".
+
+:class:`CoreDbService` reproduces the service surface:
+
+- **users & roles** — role-based access control (``admin`` > ``curator`` >
+  ``analyst``) with per-dataset grants;
+- **authentication** — token-based sessions (deterministic HMAC-style
+  tokens; no real crypto dependency offline);
+- **CRUD** — entities are JSON documents in the document backend, one
+  collection per dataset, all operations permission-checked and
+  provenance-recorded (so the temporal question "who queried entity X" of
+  Sec. 6.7 is answerable);
+- **full-text search** — an inverted index over entity values (the
+  Elasticsearch stand-in);
+- **SQL** — delegated to the relational backend through the
+  :class:`~repro.exploration.sql.SqlEngine`;
+- **encryption at rest** — datasets can be marked encrypted; their stored
+  values are kept XOR-obfuscated with a per-service key and transparently
+  decrypted for authorized reads (a stand-in demonstrating the code path,
+  not real cryptography — documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.core.dataset import Table
+from repro.core.errors import DataLakeError, QueryError
+from repro.core.registry import Function, Method, SystemInfo, register_system
+from repro.exploration.sql import SqlEngine
+from repro.ml.text import tokenize
+from repro.provenance.events import ProvenanceRecorder
+from repro.storage.document import DocumentStore
+from repro.storage.relational import RelationalStore
+
+#: role -> privilege level (higher may do everything lower may)
+ROLES = {"analyst": 1, "curator": 2, "admin": 3}
+
+#: operation -> minimum role level required
+_REQUIRED_LEVEL = {"read": 1, "search": 1, "create": 2, "update": 2, "delete": 3}
+
+
+class AccessDenied(DataLakeError):
+    """The authenticated user lacks the role or grant for an operation."""
+
+
+def _xor_bytes(data: bytes, key: bytes) -> bytes:
+    return bytes(b ^ key[i % len(key)] for i, b in enumerate(data))
+
+
+@dataclass(frozen=True)
+class Session:
+    """An authenticated session token."""
+
+    user: str
+    token: str
+
+
+@register_system(SystemInfo(
+    name="CoreDB (service)",
+    functions=(Function.HETEROGENEOUS_QUERYING,),
+    methods=(Method.SINGLE_STORE,),
+    paper_refs=("[9]", "[10]"),
+    summary="Unified CRUD + full-text + SQL service with users/roles, "
+            "authentication and at-rest encryption over the lake backends.",
+))
+class CoreDbService:
+    """CoreDB's unified, access-controlled lake service."""
+
+    def __init__(
+        self,
+        document: Optional[DocumentStore] = None,
+        relational: Optional[RelationalStore] = None,
+        recorder: Optional[ProvenanceRecorder] = None,
+        secret: str = "coredb-secret",
+    ):
+        self.document = document or DocumentStore()
+        self.relational = relational or RelationalStore()
+        self.recorder = recorder if recorder is not None else ProvenanceRecorder()
+        self._secret = secret
+        self._users: Dict[str, Tuple[str, str]] = {}  # user -> (password_hash, role)
+        self._grants: Dict[str, Set[str]] = defaultdict(set)  # dataset -> users
+        self._public: Set[str] = set()
+        self._encrypted: Set[str] = set()
+        self._fulltext: Dict[str, Set[Tuple[str, int]]] = defaultdict(set)
+
+    # -- users, roles, authentication ------------------------------------------
+
+    def create_user(self, user: str, password: str, role: str) -> None:
+        if role not in ROLES:
+            raise DataLakeError(f"unknown role {role!r}; known: {sorted(ROLES)}")
+        self._users[user] = (self._hash(password), role)
+
+    def _hash(self, text: str) -> str:
+        return hashlib.sha256(f"{self._secret}:{text}".encode()).hexdigest()
+
+    def authenticate(self, user: str, password: str) -> Session:
+        """Exchange credentials for a session token."""
+        stored = self._users.get(user)
+        if stored is None or stored[0] != self._hash(password):
+            raise AccessDenied(f"authentication failed for {user!r}")
+        token = self._hash(f"token:{user}:{stored[0]}")
+        return Session(user, token)
+
+    def _verify(self, session: Session) -> Tuple[str, int]:
+        stored = self._users.get(session.user)
+        if stored is None or session.token != self._hash(
+            f"token:{session.user}:{stored[0]}"
+        ):
+            raise AccessDenied("invalid session token")
+        return session.user, ROLES[stored[1]]
+
+    # -- grants ---------------------------------------------------------------------
+
+    def grant(self, dataset: str, user: str) -> None:
+        self._grants[dataset].add(user)
+
+    def make_public(self, dataset: str) -> None:
+        self._public.add(dataset)
+
+    def _authorize(self, session: Session, dataset: str, operation: str) -> str:
+        user, level = self._verify(session)
+        if level < _REQUIRED_LEVEL[operation]:
+            raise AccessDenied(
+                f"{user!r} lacks the role for {operation!r}"
+            )
+        if level < ROLES["admin"] and dataset not in self._public \
+                and user not in self._grants[dataset]:
+            raise AccessDenied(f"{user!r} has no grant on dataset {dataset!r}")
+        return user
+
+    # -- encryption at rest -------------------------------------------------------------
+
+    def enable_encryption(self, dataset: str) -> None:
+        """Mark *dataset*: values stored obfuscated from now on."""
+        self._encrypted.add(dataset)
+
+    def _seal(self, dataset: str, value: Any) -> Any:
+        if dataset not in self._encrypted or not isinstance(value, str):
+            return value
+        key = hashlib.sha256(f"{self._secret}:{dataset}".encode()).digest()
+        return "enc:" + base64.b64encode(_xor_bytes(value.encode(), key)).decode()
+
+    def _unseal(self, dataset: str, value: Any) -> Any:
+        if not (isinstance(value, str) and value.startswith("enc:")):
+            return value
+        key = hashlib.sha256(f"{self._secret}:{dataset}".encode()).digest()
+        return _xor_bytes(base64.b64decode(value[4:]), key).decode()
+
+    # -- CRUD -----------------------------------------------------------------------------
+
+    def create(self, session: Session, dataset: str, entity: Mapping[str, Any]) -> int:
+        user = self._authorize(session, dataset, "create")
+        sealed = {k: self._seal(dataset, v) for k, v in entity.items()}
+        entity_id = self.document.insert(dataset, sealed)
+        for value in entity.values():
+            for token in tokenize(str(value)):
+                self._fulltext[token].add((dataset, entity_id))
+        self.recorder.record("create", actor=user, outputs=(f"{dataset}/{entity_id}",),
+                             system="coredb")
+        return entity_id
+
+    def read(self, session: Session, dataset: str, entity_id: int) -> Dict[str, Any]:
+        user = self._authorize(session, dataset, "read")
+        raw = self.document.get(dataset, entity_id)
+        self.recorder.record("query", actor=user, inputs=(f"{dataset}/{entity_id}",),
+                             system="coredb")
+        return {k: self._unseal(dataset, v) for k, v in raw.items()}
+
+    def update(self, session: Session, dataset: str, entity_id: int,
+               changes: Mapping[str, Any]) -> None:
+        user = self._authorize(session, dataset, "update")
+        entity = self.document.get(dataset, entity_id)
+        entity.update({k: self._seal(dataset, v) for k, v in changes.items()})
+        self.document.replace(dataset, entity_id, entity)
+        for value in changes.values():
+            for token in tokenize(str(value)):
+                self._fulltext[token].add((dataset, entity_id))
+        self.recorder.record("update", actor=user, outputs=(f"{dataset}/{entity_id}",),
+                             system="coredb")
+
+    def delete(self, session: Session, dataset: str, entity_id: int) -> None:
+        user = self._authorize(session, dataset, "delete")
+        self.document.delete(dataset, entity_id)
+        for token, entries in self._fulltext.items():
+            entries.discard((dataset, entity_id))
+        self.recorder.record("delete", actor=user, inputs=(f"{dataset}/{entity_id}",),
+                             system="coredb")
+
+    # -- full-text search --------------------------------------------------------------------
+
+    def search(self, session: Session, keywords: str, k: int = 10) -> List[Tuple[str, int]]:
+        """Entities matching the keywords, filtered by the user's grants."""
+        user, level = self._verify(session)
+        scores: Dict[Tuple[str, int], int] = defaultdict(int)
+        for token in tokenize(keywords):
+            for entry in self._fulltext.get(token, set()):
+                scores[entry] += 1
+        visible = []
+        for (dataset, entity_id), score in sorted(
+            scores.items(), key=lambda item: (-item[1], item[0])
+        ):
+            if level >= ROLES["admin"] or dataset in self._public \
+                    or user in self._grants[dataset]:
+                visible.append((dataset, entity_id))
+        self.recorder.record("query", actor=user, system="coredb",
+                             inputs=tuple(f"{d}/{e}" for d, e in visible[:k]))
+        return visible[:k]
+
+    # -- SQL over the relational backend ----------------------------------------------------------
+
+    def register_table(self, table: Table, public: bool = False) -> None:
+        self.relational.create_table(table)
+        if public:
+            self.make_public(table.name)
+
+    def sql(self, session: Session, query: str) -> Table:
+        """Run SQL; the queried table needs a read grant."""
+        result_table = SqlEngine(self.relational).execute(query)
+        # authorize against the FROM table (coarse but faithful to a service)
+        lowered = query.lower().split()
+        try:
+            dataset = lowered[lowered.index("from") + 1]
+        except (ValueError, IndexError):
+            raise QueryError("query has no FROM clause") from None
+        user = self._authorize(session, dataset, "read")
+        self.recorder.record_query([dataset], actor=user, query=query)
+        return result_table
+
+    # -- the who-queried question (Sec. 6.7) -----------------------------------------------------
+
+    def who_touched(self, dataset_prefix: str) -> List[Tuple[str, str]]:
+        """(actor, activity) pairs for entities under *dataset_prefix*."""
+        out = []
+        for event in self.recorder.events():
+            touched = list(event.inputs) + list(event.outputs)
+            if any(str(t).startswith(dataset_prefix) for t in touched):
+                out.append((event.actor, event.activity))
+        return out

@@ -1,0 +1,67 @@
+"""Path queries over document collections (Sec. 7.2).
+
+The JSONiq-flavored counterpart to the SQL engine: Constance users "can
+write a query (SQL or JSONiq) for a single dataset".  The engine evaluates
+dotted-path expressions with filters against the document store::
+
+    engine.select("users", path="address.city")            # projection
+    engine.where("users", {"address.city": "Berlin"})      # filter
+    engine.flatten("users")                                # path table view
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.core.dataset import Table
+from repro.storage.document import DocumentStore, get_path, iter_paths
+
+
+class PathQueryEngine:
+    """Dotted-path projection, filtering, grouping over a document store."""
+
+    def __init__(self, store: DocumentStore):
+        self.store = store
+
+    def select(self, collection: str, path: str) -> List[Any]:
+        """Values of *path* across all documents (missing paths skipped)."""
+        out = []
+        for document in self.store.all_documents(collection):
+            value = get_path(document, path)
+            if value is not None:
+                out.append(value)
+        return out
+
+    def where(self, collection: str, query: Mapping[str, Any]) -> List[Dict[str, Any]]:
+        """Documents matching a Mongo-style path query."""
+        return self.store.find(collection, query)
+
+    def group_count(self, collection: str, path: str) -> Dict[str, int]:
+        """Count documents per distinct value of *path*."""
+        counts: Counter = Counter()
+        for value in self.select(collection, path):
+            counts[str(value)] += 1
+        return dict(counts)
+
+    def flatten(self, collection: str, name: Optional[str] = None) -> Table:
+        """Tabularize documents over the union of their leaf paths.
+
+        The schema-on-read bridge: nested documents become a relational
+        view queryable by the SQL engine.
+        """
+        documents = self.store.all_documents(collection)
+        rows = []
+        for document in documents:
+            row: Dict[str, Any] = {}
+            for path, value in iter_paths(document):
+                if path == "_id":
+                    continue
+                if path in row:  # repeated path (arrays): keep first
+                    continue
+                row[path] = value
+            rows.append(row)
+        return Table.from_records(name or collection, rows)
+
+    def distinct_paths(self, collection: str) -> List[str]:
+        return sorted(self.store.path_statistics(collection))

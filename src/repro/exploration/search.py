@@ -1,0 +1,78 @@
+"""Query-driven data discovery — the three exploration modes (Sec. 7.1).
+
+"There are three ways of exploration":
+
+1. *column-join* — "given the user-specified table T and a column c of T,
+   the system returns top-k tables that are most related to T" (JOSIE);
+2. *table population* — "given a table T, the system returns top-k tables
+   that contain relevant attributes for populating T", join-path extended
+   (D3L);
+3. *task-specific* — "given the user-specified table T and the search type
+   tau for external applications ... top-k tables most relevant to T based
+   on the relatedness measurements associated to tau" (Juneau).
+
+:class:`ExplorationService` indexes one set of lake tables into all three
+engines and exposes one method per mode.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.dataset import Table
+from repro.core.errors import DatasetNotFound
+from repro.discovery.d3l import D3L
+from repro.discovery.josie import JosieIndex
+from repro.discovery.juneau_search import JuneauSearch
+
+
+class ExplorationService:
+    """One facade over the survey's three query-driven discovery modes."""
+
+    def __init__(self) -> None:
+        self.josie = JosieIndex()
+        self.d3l = D3L()
+        self.juneau = JuneauSearch()
+        self._tables: Dict[str, Table] = {}
+
+    def add_table(self, table: Table, description: str = "") -> None:
+        """Index *table* into all three engines."""
+        self._tables[table.name] = table
+        self.josie.add_table(table)
+        self.d3l.add_table(table)
+        self.juneau.add_table(table, description=description)
+
+    def tables(self) -> List[str]:
+        return sorted(self._tables)
+
+    def _require(self, table_name: str) -> Table:
+        try:
+            return self._tables[table_name]
+        except KeyError:
+            raise DatasetNotFound(f"table {table_name!r} is not indexed") from None
+
+    # -- mode 1: column join --------------------------------------------------------
+
+    def joinable_tables(self, table_name: str, column: str, k: int = 5) -> List[Tuple[str, int]]:
+        """Top-k tables joinable with ``table.column`` (overlap-ranked)."""
+        table = self._require(table_name)
+        per_table: Dict[str, int] = {}
+        hits = self.josie.topk_for_column(table, column, k=k * 3)
+        for (other_table, _), overlap in hits:
+            per_table[other_table] = max(per_table.get(other_table, 0), overlap)
+        ranked = sorted(per_table.items(), key=lambda pair: (-pair[1], pair[0]))
+        return ranked[:k]
+
+    # -- mode 2: table population ----------------------------------------------------------
+
+    def populate(self, table_name: str, k: int = 5) -> List[str]:
+        """Tables whose attributes can populate *table*, join-path extended."""
+        self._require(table_name)
+        return self.d3l.populate(table_name, k=k)
+
+    # -- mode 3: task-specific ---------------------------------------------------------------
+
+    def task_search(self, table_name: str, task: str, k: int = 5) -> List[Tuple[str, float]]:
+        """Top-k tables for *table* under a task-specific search type."""
+        self._require(table_name)
+        return self.juneau.search(table_name, task=task, k=k)

@@ -1,0 +1,31 @@
+"""The ingestion tier (survey Sec. 5): metadata extraction at load time.
+
+"During the ingestion phase, a data lake loads raw data ... it is crucial
+to acquire as much metadata as possible from the data sources" (Sec. 5).
+Three extraction systems from Table 1 are implemented:
+
+- :class:`~repro.ingestion.gemms.GemmsExtractor` — format detection plus
+  per-format parsers producing structural metadata (trees, tables) and
+  metadata properties.
+- :class:`~repro.ingestion.datamaran.Datamaran` — unsupervised structure
+  extraction from multi-line log files via structure templates.
+- :class:`~repro.ingestion.skluma.Skluma` — a content/context extraction
+  pipeline for scientific files with type-specific extractors.
+"""
+
+from repro.ingestion.gemms import GemmsExtractor, MetadataRecord, StructureNode
+from repro.ingestion.datamaran import Datamaran, StructureTemplate
+from repro.ingestion.skluma import Skluma, SklumaReport
+from repro.ingestion.stream import ColumnStream, StreamIngester
+
+__all__ = [
+    "Datamaran",
+    "GemmsExtractor",
+    "MetadataRecord",
+    "Skluma",
+    "ColumnStream",
+    "StreamIngester",
+    "SklumaReport",
+    "StructureNode",
+    "StructureTemplate",
+]

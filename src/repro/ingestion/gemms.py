@@ -1,0 +1,222 @@
+"""GEMMS — Generic and Extensible Metadata Management System (Sec. 5.1).
+
+GEMMS "first detects its format, then initiates a corresponding parser to
+obtain the structural metadata (e.g., trees, tables, and graphs) and
+metadata properties (e.g., header information)".  Its tree-structure
+inference "iterates semi-structured data in a breadth-first manner, and
+detects the tree structure".
+
+:class:`GemmsExtractor` reproduces that pipeline over our payload types:
+
+- tables yield a flat attribute tree plus per-column properties;
+- JSON documents yield an inferred tree via breadth-first traversal that
+  merges sibling structures (so 1000 homogeneous records produce one
+  compact tree with occurrence counts);
+- free text yields content properties (line/word counts, header sniffing).
+
+The output :class:`MetadataRecord` is the unit stored in the
+:class:`~repro.modeling.gemms_model.MetadataRepository`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.core.dataset import Dataset, Table
+from repro.core.registry import Function, Method, SystemInfo, register_system
+from repro.core.types import DataType, infer_type
+
+
+@dataclass
+class StructureNode:
+    """One node of the inferred structural-metadata tree."""
+
+    name: str
+    kind: str  # "object" | "array" | "value" | "table" | "attribute"
+    dtype: Optional[DataType] = None
+    occurrences: int = 0
+    children: Dict[str, "StructureNode"] = field(default_factory=dict)
+
+    def child(self, name: str, kind: str) -> "StructureNode":
+        node = self.children.get(name)
+        if node is None:
+            node = StructureNode(name=name, kind=kind)
+            self.children[name] = node
+        return node
+
+    def paths(self, prefix: str = "") -> List[str]:
+        """All root-to-node paths in the tree (dotted)."""
+        path = f"{prefix}.{self.name}" if prefix else self.name
+        out = [path]
+        for child in self.children.values():
+            out.extend(child.paths(path))
+        return out
+
+    @property
+    def depth(self) -> int:
+        if not self.children:
+            return 1
+        return 1 + max(child.depth for child in self.children.values())
+
+    def __repr__(self) -> str:
+        return f"StructureNode({self.name!r}, {self.kind}, children={sorted(self.children)})"
+
+
+@dataclass
+class MetadataRecord:
+    """The extraction result for one dataset.
+
+    ``properties`` are key-value metadata properties; ``structure`` is the
+    structural metadata tree; ``semantic_annotations`` can be attached later
+    by enrichment (GEMMS allows "domain-specific ontology terms ... attached
+    to metadata elements as semantic metadata", Sec. 5.2.1).
+    """
+
+    dataset_name: str
+    format: str
+    properties: Dict[str, Any] = field(default_factory=dict)
+    structure: Optional[StructureNode] = None
+    semantic_annotations: Dict[str, str] = field(default_factory=dict)
+
+    def annotate(self, element_path: str, ontology_term: str) -> None:
+        """Attach an ontology term to a structural element."""
+        self.semantic_annotations[element_path] = ontology_term
+
+
+@register_system(SystemInfo(
+    name="GEMMS",
+    functions=(Function.METADATA_EXTRACTION, Function.METADATA_MODELING),
+    methods=(Method.GENERIC_MODEL,),
+    paper_refs=("[117]", "[64]", "[116]"),
+    summary="Format detection + per-format parsers; breadth-first tree structure "
+            "inference; extensible metamodel of properties/structure/semantics.",
+))
+class GemmsExtractor:
+    """Extract structural metadata and metadata properties from a dataset."""
+
+    def extract(self, dataset: Dataset) -> MetadataRecord:
+        """Run format-appropriate extraction on *dataset*."""
+        payload = dataset.payload
+        if isinstance(payload, Table):
+            return self._extract_table(dataset, payload)
+        if isinstance(payload, Mapping):
+            return self._extract_documents(dataset, [payload])
+        if isinstance(payload, list) and all(isinstance(d, Mapping) for d in payload):
+            return self._extract_documents(dataset, payload)
+        if isinstance(payload, str):
+            return self._extract_text(dataset, payload)
+        return MetadataRecord(dataset.name, dataset.format,
+                              properties={"payload_type": type(payload).__name__})
+
+    # -- tables -----------------------------------------------------------------
+
+    def _extract_table(self, dataset: Dataset, table: Table) -> MetadataRecord:
+        root = StructureNode(name=table.name, kind="table", occurrences=1)
+        for column in table.columns:
+            node = root.child(column.name, "attribute")
+            node.dtype = column.dtype
+            node.occurrences = len(column) - column.null_count
+        properties: Dict[str, Any] = {
+            "num_rows": len(table),
+            "num_columns": table.width,
+            "column_names": table.column_names,
+            "column_types": {c.name: c.dtype.value for c in table.columns},
+            "null_fractions": {c.name: round(c.null_fraction, 4) for c in table.columns},
+        }
+        return MetadataRecord(dataset.name, "table", properties, root)
+
+    # -- documents (breadth-first tree inference) --------------------------------
+
+    def _extract_documents(self, dataset: Dataset, documents: Sequence[Mapping]) -> MetadataRecord:
+        root = StructureNode(name=dataset.name, kind="object", occurrences=len(documents))
+        # breadth-first merge of all documents into one structure tree
+        queue: deque = deque((root, doc) for doc in documents)
+        while queue:
+            node, value = queue.popleft()
+            if isinstance(value, Mapping):
+                node.kind = "object" if node.kind == "value" else node.kind
+                for key, child_value in value.items():
+                    child = node.child(str(key), "value")
+                    child.occurrences += 1
+                    queue.append((child, child_value))
+            elif isinstance(value, list):
+                node.kind = "array"
+                for item in value:
+                    queue.append((node.child("[]", "value"), item))
+            else:
+                node.dtype = (
+                    infer_type(value)
+                    if node.dtype is None
+                    else _unify_safe(node.dtype, infer_type(value))
+                )
+        paths = root.paths()
+        properties = {
+            "num_documents": len(documents),
+            "num_distinct_paths": len(paths) - 1,
+            "max_depth": root.depth - 1,
+            "paths": sorted(p.split(".", 1)[1] for p in paths if "." in p),
+        }
+        return MetadataRecord(dataset.name, "document", properties, root)
+
+    # -- property graphs (the [64] extension) ---------------------------------------
+
+    def extract_graph(self, name: str, graph) -> MetadataRecord:
+        """Extract the schema of a labeled property graph (Sec. 5.2.1, [64]).
+
+        The structural tree has one node per vertex label; its children are
+        the property keys observed under that label plus one ``->label``
+        child per outgoing edge type, giving the label-level schema of the
+        graph.  *graph* is a :class:`repro.storage.graph.GraphStore`.
+        """
+        root = StructureNode(name=name, kind="object", occurrences=1)
+        label_nodes: Dict[str, StructureNode] = {}
+        for node in graph.nodes():
+            label_node = root.child(node.label, "object")
+            label_node.occurrences += 1
+            label_nodes[node.label] = label_node
+            for key, value in node.properties.items():
+                child = label_node.child(key, "value")
+                child.occurrences += 1
+                child.dtype = (
+                    infer_type(value) if child.dtype is None
+                    else _unify_safe(child.dtype, infer_type(value))
+                )
+        edge_types: Dict[str, int] = {}
+        for edge in graph.edges():
+            edge_types[edge.edge_type] = edge_types.get(edge.edge_type, 0) + 1
+            source_label = graph.node(edge.source).label
+            target_label = graph.node(edge.target).label
+            if source_label in label_nodes:
+                arrow = label_nodes[source_label].child(f"->{target_label}", "value")
+                arrow.occurrences += 1
+        properties = {
+            "num_nodes": len(graph),
+            "num_edges": len(graph.edges()),
+            "node_labels": sorted(label_nodes),
+            "edge_types": edge_types,
+        }
+        return MetadataRecord(name, "graph", properties, root)
+
+    # -- free text -----------------------------------------------------------------
+
+    def _extract_text(self, dataset: Dataset, text: str) -> MetadataRecord:
+        lines = text.splitlines()
+        words = text.split()
+        properties: Dict[str, Any] = {
+            "num_lines": len(lines),
+            "num_words": len(words),
+            "num_chars": len(text),
+        }
+        if lines:
+            # header information implying the content of the file (Sec. 5.1)
+            properties["header"] = lines[0][:200]
+        root = StructureNode(name=dataset.name, kind="value", occurrences=1)
+        return MetadataRecord(dataset.name, "text", properties, root)
+
+
+def _unify_safe(left: DataType, right: DataType) -> DataType:
+    from repro.core.types import unify
+
+    return unify(left, right)

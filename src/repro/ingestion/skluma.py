@@ -1,0 +1,167 @@
+"""Skluma — content & context metadata extraction for messy files (Sec. 5.1).
+
+Skluma "extracts metadata regarding content and context from scientific
+data files.  It first finds the name, path, size, and extension of the
+files; then it infers file types and adds specific extractors accordingly
+to process tabular data, free texts or null values".
+
+:class:`Skluma` reproduces that staged pipeline:
+
+1. **context stage** — file-system-level metadata (name, path, size,
+   extension);
+2. **type inference** — via :func:`repro.storage.formats.detect_format`;
+3. **specific extractors** — dispatched on the inferred type: a tabular
+   profiler (column stats, null analysis), a free-text profiler (keywords,
+   line statistics), and a null-value analyzer for sentinel values such as
+   -9999 that plague scientific data.
+
+Extractors are *extensible*: ``register_extractor`` adds a new format
+handler, mirroring Skluma's plug-in design.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List
+
+from repro.core.dataset import Table
+from repro.core.errors import FormatError
+from repro.core.registry import Function, Method, SystemInfo, register_system
+from repro.core.types import numeric_values
+from repro.ml.text import tokenize
+from repro.storage.formats import decode, detect_format
+
+#: common sentinel values that encode "missing" in scientific datasets
+_SENTINELS = {"-9999", "-999", "9999", "-1", "NA", "N/A", "null", ""}
+
+_STOPWORDS = frozenset(
+    "the a an and or of to in is are was were be been for on with as by at "
+    "it this that from".split()
+)
+
+
+@dataclass
+class SklumaReport:
+    """The metadata Skluma extracted for one file."""
+
+    filename: str
+    path: str
+    size: int
+    extension: str
+    inferred_type: str
+    content: Dict[str, Any] = field(default_factory=dict)
+    extractors_run: List[str] = field(default_factory=list)
+
+
+@register_system(SystemInfo(
+    name="Skluma",
+    functions=(Function.METADATA_EXTRACTION,),
+    methods=(Method.PIPELINE,),
+    paper_refs=("[137]",),
+    summary="Staged content/context extraction: file context, type inference, "
+            "then type-specific extractors (tabular, free text, null values).",
+))
+class Skluma:
+    """An extensible content/context metadata extraction pipeline."""
+
+    def __init__(self) -> None:
+        self._extractors: Dict[str, Callable[[bytes, SklumaReport], None]] = {}
+        self.register_extractor("csv", self._extract_tabular)
+        self.register_extractor("tsv", self._extract_tabular)
+        self.register_extractor("columnar", self._extract_tabular)
+        self.register_extractor("rowbin", self._extract_tabular)
+        self.register_extractor("text", self._extract_free_text)
+        self.register_extractor("json", self._extract_json)
+        self.register_extractor("jsonl", self._extract_json)
+
+    def register_extractor(self, format: str, extractor: Callable[[bytes, SklumaReport], None]) -> None:
+        """Add or replace the extractor for *format*."""
+        self._extractors[format] = extractor
+
+    # -- pipeline -----------------------------------------------------------------
+
+    def profile(self, filename: str, data: bytes, path: str = "") -> SklumaReport:
+        """Run the full pipeline on one file's bytes."""
+        extension = filename.rsplit(".", 1)[-1].lower() if "." in filename else ""
+        try:
+            inferred = detect_format(data, filename)
+        except FormatError:
+            inferred = "binary"
+        report = SklumaReport(
+            filename=filename,
+            path=path or filename,
+            size=len(data),
+            extension=extension,
+            inferred_type=inferred,
+        )
+        extractor = self._extractors.get(inferred)
+        if extractor is not None:
+            extractor(data, report)
+        return report
+
+    # -- type-specific extractors ----------------------------------------------------
+
+    def _extract_tabular(self, data: bytes, report: SklumaReport) -> None:
+        table = decode(data, report.inferred_type, name=report.filename)
+        if not isinstance(table, Table):
+            return
+        report.extractors_run.append("tabular")
+        columns = {}
+        for column in table.columns:
+            stats: Dict[str, Any] = {
+                "dtype": column.dtype.value,
+                "null_fraction": round(column.null_fraction, 4),
+                "distinct": len(column.distinct()),
+            }
+            if column.dtype.is_numeric:
+                numbers = numeric_values(column.values)
+                if numbers:
+                    stats["min"] = min(numbers)
+                    stats["max"] = max(numbers)
+                    stats["mean"] = sum(numbers) / len(numbers)
+            columns[column.name] = stats
+        report.content["num_rows"] = len(table)
+        report.content["num_columns"] = table.width
+        report.content["columns"] = columns
+        self._extract_nulls(table, report)
+
+    def _extract_nulls(self, table: Table, report: SklumaReport) -> None:
+        """Detect sentinel null encodings column by column."""
+        report.extractors_run.append("nulls")
+        sentinels: Dict[str, str] = {}
+        for column in table.columns:
+            values = Counter(str(v).strip() for v in column.values)
+            for sentinel in _SENTINELS:
+                count = values.get(sentinel, 0)
+                if count and count / len(column) >= 0.05:
+                    sentinels[column.name] = sentinel
+                    break
+        if sentinels:
+            report.content["sentinel_nulls"] = sentinels
+
+    def _extract_free_text(self, data: bytes, report: SklumaReport) -> None:
+        report.extractors_run.append("free_text")
+        text = data.decode("utf-8", errors="replace")
+        tokens = [t for t in tokenize(text) if t not in _STOPWORDS and not t.isdigit()]
+        counts = Counter(tokens)
+        report.content["num_lines"] = len(text.splitlines())
+        report.content["num_tokens"] = len(tokens)
+        report.content["top_keywords"] = [word for word, _ in counts.most_common(10)]
+
+    def _extract_json(self, data: bytes, report: SklumaReport) -> None:
+        report.extractors_run.append("json")
+        payload = decode(data, report.inferred_type, name=report.filename)
+        documents = payload if isinstance(payload, list) else [payload]
+        documents = [d for d in documents if isinstance(d, dict)]
+        keys = Counter()
+        for document in documents:
+            keys.update(document.keys())
+        report.content["num_documents"] = len(documents)
+        report.content["top_level_keys"] = sorted(keys)
+
+    # -- batch API --------------------------------------------------------------------
+
+    def profile_many(self, files: Dict[str, bytes]) -> List[SklumaReport]:
+        """Profile ``{filename: bytes}``, sorted by filename."""
+        return [self.profile(name, files[name]) for name in sorted(files)]

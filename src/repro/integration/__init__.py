@@ -1,0 +1,35 @@
+"""Data integration (survey Sec. 6.3).
+
+"Data integration studies the problem of combining multiple heterogeneous
+data sources and providing unified data access."  Two end-to-end pipelines
+from the survey are implemented:
+
+- :mod:`repro.integration.constance` — schema matching, integrated-schema
+  generation, schema mappings, query rewriting over the polystore, and
+  conflict resolution while merging subquery results;
+- :mod:`repro.integration.alite` — integrating discovered tables via
+  embedding-based holistic column clustering followed by Full Disjunction.
+
+The building blocks (:mod:`repro.integration.matching` for schema matching,
+:mod:`repro.integration.mapping` for schema mappings and query rewriting)
+are public so they can be reused in custom pipelines.
+"""
+
+from repro.integration.matching import SchemaMatcher, Match
+from repro.integration.mapping import SchemaMapping, IntegratedSchema
+from repro.integration.constance import Constance
+from repro.integration.alite import Alite, full_disjunction
+from repro.integration.nested_mapping import NestedMapping, NestingRule, PathRule
+
+__all__ = [
+    "Alite",
+    "Constance",
+    "IntegratedSchema",
+    "Match",
+    "NestedMapping",
+    "NestingRule",
+    "PathRule",
+    "SchemaMapping",
+    "SchemaMatcher",
+    "full_disjunction",
+]

@@ -1,0 +1,191 @@
+"""ALITE — integrating discovered data lake tables (Sec. 6.3).
+
+ALITE "gathers results from top-k unionable and joinable queries on
+datasets and applies holistic schema matching ... it leverages embeddings
+on language models ... embeds columns ... and then applies hierarchical
+clustering in order to obtain sets of columns that are related.  Finally,
+based on the aligned columns, it computes the Full Disjunction among
+discovered datasets in an optimized way."
+
+- Column embeddings come from the shared hashed embedder over the column
+  name plus sampled values (the offline TURL substitute, see DESIGN.md).
+- Holistic alignment = average-linkage agglomerative clustering with a
+  cosine-distance cutoff, constrained so no cluster holds two columns of
+  the same table (a column aligns with at most one column per table).
+- :func:`full_disjunction` implements Galindo-Legaria's full disjunction:
+  the natural outer join of all tables that preserves every tuple and
+  maximally connects tuples that join, computed by iterative pairwise
+  outer-joins with subsumption removal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.dataset import Column, Table
+from repro.core.registry import Function, Method, SystemInfo, register_system
+from repro.ml.cluster import agglomerative_clusters
+from repro.ml.embeddings import HashedEmbedder, cosine
+
+ColumnRef = Tuple[str, str]
+
+
+def _outer_union_join(left: Table, right: Table, name: str) -> Table:
+    """Full outer join on all shared columns (natural), padding with None."""
+    shared = [c for c in left.column_names if c in right.column_names]
+    header = list(left.column_names) + [
+        c for c in right.column_names if c not in left.column_names
+    ]
+    rows: List[List[object]] = []
+    matched_right: Set[int] = set()
+    right_rows = list(right.rows())
+    if shared:
+        index: Dict[Tuple[str, ...], List[int]] = {}
+        for i, row in enumerate(right_rows):
+            key = tuple(str(row[c]) for c in shared)
+            index.setdefault(key, []).append(i)
+        for left_row in left.rows():
+            key = tuple(str(left_row[c]) for c in shared)
+            hits = [
+                i for i in index.get(key, [])
+                if all(left_row[c] is not None and right_rows[i][c] is not None
+                       for c in shared)
+            ]
+            if hits:
+                for i in hits:
+                    matched_right.add(i)
+                    merged = dict(right_rows[i])
+                    merged.update({k: v for k, v in left_row.items() if v is not None})
+                    rows.append([merged.get(c) for c in header])
+            else:
+                rows.append([left_row.get(c) for c in header])
+        for i, row in enumerate(right_rows):
+            if i not in matched_right:
+                rows.append([row.get(c) for c in header])
+    else:
+        for left_row in left.rows():
+            rows.append([left_row.get(c) for c in header])
+        for row in right_rows:
+            rows.append([row.get(c) for c in header])
+    return Table.from_rows(name, header, rows)
+
+
+def _remove_subsumed(table: Table) -> Table:
+    """Drop tuples subsumed by another tuple (fewer nulls, same values)."""
+    rows = [tuple(row) for row in table.row_tuples()]
+    keep: List[int] = []
+    for i, row in enumerate(rows):
+        subsumed = False
+        for j, other in enumerate(rows):
+            if i == j:
+                continue
+            if _subsumes(other, row) and (not _subsumes(row, other) or j < i):
+                subsumed = True
+                break
+        if not subsumed:
+            keep.append(i)
+    columns = [
+        Column(c.name, [c.values[i] for i in keep], c.dtype) for c in table.columns
+    ]
+    return Table(table.name, columns)
+
+
+def _subsumes(general: Tuple, specific: Tuple) -> bool:
+    """True when *general* agrees with *specific* wherever specific is set."""
+    for g, s in zip(general, specific):
+        if s is None:
+            continue
+        if g is None or str(g) != str(s):
+            return False
+    return True
+
+
+def full_disjunction(tables: Sequence[Table], name: str = "full_disjunction") -> Table:
+    """Full Disjunction of aligned tables (Galindo-Legaria, [52]).
+
+    Tables must already share integrated column names (run ALITE's
+    alignment first).  Pairwise full-outer-joins followed by subsumption
+    removal yields the FD for gamma-acyclic schemas — the case ALITE's
+    workloads target.
+    """
+    if not tables:
+        return Table(name, [])
+    result = tables[0]
+    for other in tables[1:]:
+        result = _outer_union_join(result, other, name)
+    return _remove_subsumed(Table(name, result.columns))
+
+
+@register_system(SystemInfo(
+    name="ALITE",
+    functions=(Function.DATA_INTEGRATION,),
+    methods=(Method.ALGORITHMIC,),
+    paper_refs=("[82]",),
+    summary="Integrates discovered tables: embedding-based holistic column "
+            "clustering for alignment, then Full Disjunction of the aligned tables.",
+))
+class Alite:
+    """Holistic alignment + full disjunction over discovered tables."""
+
+    def __init__(
+        self,
+        embedder: Optional[HashedEmbedder] = None,
+        max_distance: float = 0.6,
+        sample_values: int = 25,
+    ):
+        self.embedder = embedder or HashedEmbedder()
+        self.max_distance = max_distance
+        self.sample_values = sample_values
+
+    # -- column embeddings -----------------------------------------------------------
+
+    def embed_column(self, table: Table, column_name: str) -> np.ndarray:
+        column = table[column_name]
+        sample = sorted(column.distinct())[: self.sample_values]
+        return self.embedder.embed_set([column_name] + [str(v) for v in sample])
+
+    # -- holistic alignment ------------------------------------------------------------
+
+    def align(self, tables: Sequence[Table]) -> List[Set[ColumnRef]]:
+        """Cluster all columns of all tables into aligned groups."""
+        vectors: Dict[ColumnRef, np.ndarray] = {}
+        for table in tables:
+            for column_name in table.column_names:
+                vectors[(table.name, column_name)] = self.embed_column(table, column_name)
+        refs = sorted(vectors)
+
+        def distance(left: ColumnRef, right: ColumnRef) -> float:
+            if left[0] == right[0]:
+                return float("inf")  # never align two columns of one table
+            return 1.0 - cosine(vectors[left], vectors[right])
+
+        return agglomerative_clusters(refs, distance, self.max_distance)
+
+    def integrated_names(self, clusters: Sequence[Set[ColumnRef]]) -> Dict[ColumnRef, str]:
+        """Assign each column its integrated name (smallest member name)."""
+        naming: Dict[ColumnRef, str] = {}
+        taken: Dict[str, int] = {}
+        for cluster in sorted(clusters, key=lambda c: sorted(c)[0]):
+            base = min(ref[1].lower() for ref in cluster)
+            count = taken.get(base, 0)
+            taken[base] = count + 1
+            name = base if count == 0 else f"{base}_{count}"
+            for ref in cluster:
+                naming[ref] = name
+        return naming
+
+    # -- end-to-end integration -----------------------------------------------------------
+
+    def integrate(self, tables: Sequence[Table], name: str = "integrated") -> Table:
+        """Align columns holistically, rename, and compute the FD."""
+        clusters = self.align(tables)
+        naming = self.integrated_names(clusters)
+        renamed = []
+        for table in tables:
+            mapping = {
+                column: naming[(table.name, column)] for column in table.column_names
+            }
+            renamed.append(table.rename(mapping))
+        return full_disjunction(renamed, name=name)

@@ -1,0 +1,157 @@
+"""Schema mappings and query rewriting (Sec. 6.3).
+
+Constance "generates schema mappings, which preserve the relationships
+between the source schemata and integrated schema.  With schema mappings
+Constance performs query rewriting and data transformation ... It rewrites
+the input user query (against the integrated schema) to subqueries (against
+source schemata)".
+
+:class:`IntegratedSchema` is built from correspondences: matched attributes
+collapse into one integrated attribute; :class:`SchemaMapping` records, for
+each source table, which source column populates each integrated attribute.
+``rewrite`` turns a query over the integrated schema into per-source
+subqueries with renamed predicates — the GAV query-reformulation step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Set, Tuple
+
+from repro.core.dataset import Table
+from repro.core.errors import SchemaError
+from repro.integration.matching import Match
+
+
+@dataclass
+class SchemaMapping:
+    """Mapping from one source table into the integrated schema.
+
+    ``column_map`` maps source column name -> integrated attribute name.
+    """
+
+    source_table: str
+    column_map: Dict[str, str] = field(default_factory=dict)
+
+    def inverse(self) -> Dict[str, str]:
+        """integrated attribute -> source column."""
+        return {integrated: source for source, integrated in self.column_map.items()}
+
+
+class IntegratedSchema:
+    """An integrated schema with its per-source mappings."""
+
+    def __init__(self, name: str = "integrated"):
+        self.name = name
+        self.attributes: List[str] = []
+        self.mappings: Dict[str, SchemaMapping] = {}
+
+    # -- construction --------------------------------------------------------------
+
+    @classmethod
+    def from_matches(
+        cls,
+        tables: Sequence[Table],
+        matches: Sequence[Match],
+        name: str = "integrated",
+    ) -> "IntegratedSchema":
+        """Build the integrated schema by unioning matched attribute groups.
+
+        Matched columns form equivalence classes (union-find across all
+        correspondences); each class becomes one integrated attribute named
+        after its lexicographically-smallest member.  Unmatched columns
+        carry over under ``table_column`` names so no information is lost
+        (partial integration, as in Constance's UI-driven subset selection).
+        """
+        parent: Dict[Tuple[str, str], Tuple[str, str]] = {}
+
+        def find(ref: Tuple[str, str]) -> Tuple[str, str]:
+            parent.setdefault(ref, ref)
+            while parent[ref] != ref:
+                parent[ref] = parent[parent[ref]]
+                ref = parent[ref]
+            return ref
+
+        def union(a: Tuple[str, str], b: Tuple[str, str]) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[max(ra, rb)] = min(ra, rb)
+
+        table_names = {t.name for t in tables}
+        for match in matches:
+            if match.left_table in table_names and match.right_table in table_names:
+                union(match.left, match.right)
+        groups: Dict[Tuple[str, str], List[Tuple[str, str]]] = {}
+        for table in tables:
+            for column in table.column_names:
+                ref = (table.name, column)
+                groups.setdefault(find(ref), []).append(ref)
+        schema = cls(name)
+        attribute_of: Dict[Tuple[str, str], str] = {}
+        taken: Set[str] = set()
+        for root, members in sorted(groups.items()):
+            if len(members) > 1:
+                attribute = min(m[1].lower() for m in members)
+            else:
+                attribute = members[0][1].lower()
+            if attribute in taken:
+                attribute = f"{members[0][0]}_{attribute}".lower()
+            taken.add(attribute)
+            schema.attributes.append(attribute)
+            for member in members:
+                attribute_of[member] = attribute
+        for table in tables:
+            mapping = SchemaMapping(table.name)
+            for column in table.column_names:
+                mapping.column_map[column] = attribute_of[(table.name, column)]
+            schema.mappings[table.name] = mapping
+        schema.attributes.sort()
+        return schema
+
+    # -- query rewriting ---------------------------------------------------------------
+
+    def rewrite(
+        self,
+        columns: Sequence[str],
+        predicates: Sequence[Tuple[str, str, object]] = (),
+    ) -> Dict[str, Dict[str, object]]:
+        """Rewrite an integrated-schema query into per-source subqueries.
+
+        ``columns`` and predicate columns refer to integrated attributes.
+        Returns ``{source_table: {"columns": [...], "predicates": [...]}}``
+        including only sources that expose *all* predicate attributes and at
+        least one requested column.  Predicates are renamed to source column
+        names — the pushdown unit the federation engine executes.
+        """
+        unknown = [c for c in columns if c not in self.attributes]
+        if unknown:
+            raise SchemaError(f"unknown integrated attributes {unknown}; "
+                              f"schema has {self.attributes}")
+        plans: Dict[str, Dict[str, object]] = {}
+        for source, mapping in sorted(self.mappings.items()):
+            inverse = mapping.inverse()
+            source_columns = [inverse[c] for c in columns if c in inverse]
+            if not source_columns:
+                continue
+            source_predicates = []
+            applicable = True
+            for attribute, op, value in predicates:
+                if attribute not in inverse:
+                    applicable = False
+                    break
+                source_predicates.append((inverse[attribute], op, value))
+            if not applicable:
+                continue
+            plans[source] = {
+                "columns": source_columns,
+                "predicates": source_predicates,
+                "rename": {inverse[c]: c for c in columns if c in inverse},
+            }
+        return plans
+
+    def transform(self, table: Table) -> Table:
+        """Rename a source table's columns into the integrated vocabulary."""
+        mapping = self.mappings.get(table.name)
+        if mapping is None:
+            raise SchemaError(f"no mapping for source table {table.name!r}")
+        return table.rename(mapping.column_map)

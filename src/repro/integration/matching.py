@@ -1,0 +1,135 @@
+"""Schema matching — finding semantically related attributes (Sec. 6.3).
+
+Constance "first performs schema matching, which finds semantically related
+attributes".  The matcher combines the classic signal families of schema
+matching surveys [118]: name similarity (token + edit), data-type
+compatibility, and instance-based similarity (value overlap and numeric
+distribution), producing ranked 1:1 correspondences via stable greedy
+selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set, Tuple
+
+from repro.core.dataset import Table
+from repro.core.types import DataType
+from repro.discovery.profiles import ColumnProfile, TableProfiler
+from repro.ml.stats import ks_similarity
+from repro.ml.text import jaccard, levenshtein_similarity
+
+
+@dataclass(frozen=True)
+class Match:
+    """One attribute correspondence between two schemata."""
+
+    left_table: str
+    left_column: str
+    right_table: str
+    right_column: str
+    score: float
+
+    @property
+    def left(self) -> Tuple[str, str]:
+        return (self.left_table, self.left_column)
+
+    @property
+    def right(self) -> Tuple[str, str]:
+        return (self.right_table, self.right_column)
+
+
+class SchemaMatcher:
+    """Multi-signal schema matcher with greedy 1:1 correspondence selection.
+
+    Parameters
+    ----------
+    threshold:
+        Minimum combined score for a correspondence to be reported.
+    use_instances:
+        When False only name/type signals are used (schema-only matching,
+        useful when instance access is expensive).
+    """
+
+    def __init__(self, threshold: float = 0.5, use_instances: bool = True):
+        self.threshold = threshold
+        self.use_instances = use_instances
+        self.profiler = TableProfiler()
+
+    # -- pairwise scoring ----------------------------------------------------------
+
+    def score(self, left: ColumnProfile, right: ColumnProfile) -> float:
+        """Combined correspondence score in [0, 1]."""
+        name_token = jaccard(left.name_tokens, right.name_tokens)
+        name_edit = levenshtein_similarity(left.column.lower(), right.column.lower())
+        name = max(name_token, name_edit)
+        type_compat = self._type_compatibility(left.dtype, right.dtype)
+        if not self.use_instances:
+            return 0.75 * name + 0.25 * type_compat
+        if left.dtype.is_numeric and right.dtype.is_numeric and left.numeric and right.numeric:
+            instance = ks_similarity(left.numeric, right.numeric)
+        else:
+            instance = left.minhash.jaccard(right.minhash)
+        return 0.45 * name + 0.15 * type_compat + 0.40 * instance
+
+    @staticmethod
+    def _type_compatibility(left: DataType, right: DataType) -> float:
+        if left == right:
+            return 1.0
+        if left.is_numeric and right.is_numeric:
+            return 0.8
+        if DataType.STRING in (left, right):
+            return 0.3
+        return 0.0
+
+    # -- matching ---------------------------------------------------------------------
+
+    def match(self, left: Table, right: Table) -> List[Match]:
+        """Ranked 1:1 correspondences between two tables."""
+        left_profiles = self.profiler.profile_table(left)
+        right_profiles = self.profiler.profile_table(right)
+        scored: List[Tuple[float, ColumnProfile, ColumnProfile]] = []
+        for lp in left_profiles:
+            for rp in right_profiles:
+                value = self.score(lp, rp)
+                if value >= self.threshold:
+                    scored.append((value, lp, rp))
+        scored.sort(key=lambda item: (-item[0], item[1].column, item[2].column))
+        used_left: Set[str] = set()
+        used_right: Set[str] = set()
+        matches = []
+        for value, lp, rp in scored:
+            if lp.column in used_left or rp.column in used_right:
+                continue
+            used_left.add(lp.column)
+            used_right.add(rp.column)
+            matches.append(Match(left.name, lp.column, right.name, rp.column, round(value, 4)))
+        return matches
+
+    def match_many(self, tables: Sequence[Table]) -> List[Match]:
+        """All pairwise correspondences across a set of tables."""
+        out: List[Match] = []
+        for i in range(len(tables)):
+            for j in range(i + 1, len(tables)):
+                out.extend(self.match(tables[i], tables[j]))
+        return out
+
+    # -- evaluation helper ---------------------------------------------------------------
+
+    @staticmethod
+    def precision_recall(
+        found: Sequence[Match],
+        truth: Set[Tuple[Tuple[str, str], Tuple[str, str]]],
+    ) -> Tuple[float, float]:
+        """Precision/recall of found correspondences against ground truth.
+
+        Truth pairs are unordered: ((t1, c1), (t2, c2)).
+        """
+        found_pairs = {tuple(sorted([m.left, m.right])) for m in found}
+        truth_pairs = {tuple(sorted(pair)) for pair in truth}
+        if not found_pairs:
+            return (0.0, 0.0 if truth_pairs else 1.0)
+        hits = len(found_pairs & truth_pairs)
+        precision = hits / len(found_pairs)
+        recall = hits / len(truth_pairs) if truth_pairs else 1.0
+        return (precision, recall)

@@ -1,0 +1,147 @@
+"""Nested schema mappings for integrating JSON (Constance [63], Sec. 6.3).
+
+Hai, Quix & Kensche extend schema mappings beyond flat relations: mappings
+whose targets are *nested* documents, so heterogeneous JSON sources can be
+exchanged into one integrated document schema.  This module implements the
+data-exchange core:
+
+- a :class:`NestedMapping` is a set of **path rules** ``source_path ->
+  target_path`` (dotted paths on both sides, so values can be relocated
+  into deeper structures or pulled up) plus optional **nesting rules** that
+  group several source documents into one target document with an embedded
+  array (the classic flat-to-nested exchange, e.g. order rows nesting under
+  their customer);
+- ``apply`` transforms one source document; ``exchange`` transforms a
+  collection, applying the grouping when a nesting rule is present;
+- ``compose`` chains two mappings (source -> intermediate -> target), the
+  mapping-composition operation data-exchange systems rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.errors import SchemaError
+from repro.storage.document import get_path
+
+
+def _set_path(document: Dict[str, Any], path: str, value: Any) -> None:
+    """Set a dotted path, creating intermediate objects."""
+    parts = path.split(".")
+    current = document
+    for part in parts[:-1]:
+        nxt = current.get(part)
+        if not isinstance(nxt, dict):
+            nxt = {}
+            current[part] = nxt
+        current = nxt
+    current[parts[-1]] = value
+
+
+@dataclass(frozen=True)
+class PathRule:
+    """One correspondence: the value at *source* lands at *target*."""
+
+    source: str
+    target: str
+
+
+@dataclass(frozen=True)
+class NestingRule:
+    """Group documents by *group_by* and nest the rest under *array_path*.
+
+    All documents sharing the ``group_by`` source value become one target
+    document; each member contributes one element (built from
+    ``element_rules``) to the array at ``array_path``.
+    """
+
+    group_by: str
+    array_path: str
+    element_rules: Tuple[PathRule, ...]
+
+
+class NestedMapping:
+    """A nested schema mapping with document-level data exchange."""
+
+    def __init__(
+        self,
+        rules: Sequence[PathRule] = (),
+        nesting: Optional[NestingRule] = None,
+    ):
+        self.rules = tuple(rules)
+        self.nesting = nesting
+        seen_targets = [r.target for r in self.rules]
+        if len(seen_targets) != len(set(seen_targets)):
+            raise SchemaError("nested mapping has duplicate target paths")
+
+    # -- single-document transformation -----------------------------------------
+
+    def apply(self, document: Mapping[str, Any]) -> Dict[str, Any]:
+        """Transform one document; missing source paths are skipped."""
+        out: Dict[str, Any] = {}
+        for rule in self.rules:
+            value = get_path(document, rule.source)
+            if value is not None:
+                _set_path(out, rule.target, value)
+        return out
+
+    # -- collection-level exchange ---------------------------------------------------
+
+    def exchange(self, documents: Sequence[Mapping[str, Any]]) -> List[Dict[str, Any]]:
+        """Exchange a source collection into the target schema.
+
+        Without a nesting rule, each source document maps independently.
+        With one, documents group by the nesting key: the first member's
+        mapped fields form the parent, and every member contributes an
+        element to the nested array (the flat -> nested exchange).
+        """
+        if self.nesting is None:
+            return [self.apply(doc) for doc in documents]
+        grouped: Dict[str, Dict[str, Any]] = {}
+        order: List[str] = []
+        for document in documents:
+            key_value = get_path(document, self.nesting.group_by)
+            key = str(key_value)
+            if key not in grouped:
+                parent = self.apply(document)
+                _set_path(parent, self.nesting.array_path, [])
+                grouped[key] = parent
+                order.append(key)
+            element: Dict[str, Any] = {}
+            for rule in self.nesting.element_rules:
+                value = get_path(document, rule.source)
+                if value is not None:
+                    _set_path(element, rule.target, value)
+            if element:
+                array = get_path(grouped[key], self.nesting.array_path)
+                if isinstance(array, list):
+                    array.append(element)
+        return [grouped[key] for key in order]
+
+    # -- composition --------------------------------------------------------------------
+
+    def compose(self, inner: "NestedMapping") -> "NestedMapping":
+        """The mapping equivalent to applying *inner* then *self*.
+
+        Each of *self*'s source paths is resolved through *inner*'s rules:
+        a rule ``a -> b`` in *inner* and ``b -> c`` in *self* compose to
+        ``a -> c``.  Rules of *self* whose sources *inner* does not produce
+        are dropped (they could never fire).  Nesting rules do not compose
+        (as in the literature, composition is defined for path mappings).
+        """
+        if self.nesting is not None or inner.nesting is not None:
+            raise SchemaError("nesting rules do not compose")
+        produced = {rule.target: rule.source for rule in inner.rules}
+        composed = []
+        for rule in self.rules:
+            # exact match or prefix match (self reads inside what inner produced)
+            if rule.source in produced:
+                composed.append(PathRule(produced[rule.source], rule.target))
+                continue
+            for target, source in produced.items():
+                if rule.source.startswith(target + "."):
+                    suffix = rule.source[len(target):]
+                    composed.append(PathRule(source + suffix, rule.target))
+                    break
+        return NestedMapping(composed)

@@ -1,0 +1,30 @@
+"""ML-aware data lake features (survey Sec. 8.2, implemented).
+
+The survey poses "data lakes meet machine learning" as an open direction
+and asks concretely: "How to discover related datasets to augment the
+existing training dataset and improve ML model accuracy?", "How to
+effectively clean the raw, heterogeneous datasets in data lakes to improve
+the effectiveness of ML models?", and calls for "new metadata extraction,
+modeling, and enrichment methods for ... the ML life cycle".  This package
+implements those three answers:
+
+- :class:`~repro.lakeml.augmentation.TrainingDataAugmenter` — discovers
+  unionable tables in the lake to grow a training set, and joinable tables
+  to graft extra feature columns onto it;
+- :class:`~repro.lakeml.pipeline.LakeMLPipeline` — the end-to-end loop:
+  discover, clean (RFD repair), augment, train, evaluate;
+- :class:`~repro.lakeml.registry.ModelRegistry` — ML life-cycle metadata
+  (training datasets, parameters, metrics, deployments) wired into the
+  provenance recorder so a model's data lineage is queryable.
+"""
+
+from repro.lakeml.augmentation import TrainingDataAugmenter
+from repro.lakeml.pipeline import LakeMLPipeline
+from repro.lakeml.registry import ModelRegistry, ModelRecord
+
+__all__ = [
+    "LakeMLPipeline",
+    "ModelRecord",
+    "ModelRegistry",
+    "TrainingDataAugmenter",
+]

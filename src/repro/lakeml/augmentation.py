@@ -1,0 +1,163 @@
+"""Training-data augmentation via lake discovery (Sec. 8.2).
+
+Answers the survey's question "How to discover related datasets to augment
+the existing training dataset and improve ML model accuracy?" with the two
+classic augmentation directions:
+
+- **row augmentation** — find *unionable* tables (schema-compatible, same
+  column domains) and append their rows, growing the training set;
+- **feature augmentation** — find *joinable* tables (via JOSIE's exact
+  overlap search on the key column) and left-join their extra columns onto
+  the training table, widening the feature space.
+
+Both return the provenance of what was added, so the model registry can
+record exactly which lake datasets fed a model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.core.dataset import Column, Table
+from repro.core.types import is_null
+from repro.discovery.josie import JosieIndex
+from repro.ml.text import jaccard
+
+
+@dataclass
+class AugmentationResult:
+    """An augmented table plus the lake datasets that contributed."""
+
+    table: Table
+    used_tables: List[str] = field(default_factory=list)
+    added_rows: int = 0
+    added_columns: List[str] = field(default_factory=list)
+
+
+class TrainingDataAugmenter:
+    """Discover unionable/joinable lake tables to grow a training set."""
+
+    def __init__(self, union_threshold: float = 0.6, join_overlap: int = 3):
+        self.union_threshold = union_threshold
+        self.join_overlap = join_overlap
+        self._tables: Dict[str, Table] = {}
+        self._josie = JosieIndex()
+
+    def add_lake_table(self, table: Table) -> None:
+        self._tables[table.name] = table
+        self._josie.add_table(table)
+
+    def lake_tables(self) -> List[str]:
+        return sorted(self._tables)
+
+    # -- unionability ------------------------------------------------------------
+
+    def _unionability(self, left: Table, right: Table) -> float:
+        """Schema compatibility: matched column names with matching domains."""
+        left_names = {c.lower() for c in left.column_names}
+        right_names = {c.lower() for c in right.column_names}
+        name_score = jaccard(left_names, right_names)
+        shared = left_names & right_names
+        if not shared:
+            return 0.0
+        domain_scores = []
+        for name in shared:
+            left_column = next(c for c in left.columns if c.name.lower() == name)
+            right_column = next(c for c in right.columns if c.name.lower() == name)
+            if left_column.dtype != right_column.dtype:
+                domain_scores.append(0.0)
+            elif left_column.dtype.is_numeric:
+                domain_scores.append(1.0)
+            else:
+                domain_scores.append(
+                    min(1.0, 3 * jaccard(left_column.distinct(), right_column.distinct()))
+                )
+        return 0.5 * name_score + 0.5 * (sum(domain_scores) / len(domain_scores))
+
+    def find_unionable(self, training: Table, k: int = 3) -> List[Tuple[str, float]]:
+        """Top-k unionable lake tables for the training table."""
+        scored = []
+        for name, table in self._tables.items():
+            score = self._unionability(training, table)
+            if score >= self.union_threshold:
+                scored.append((name, round(score, 4)))
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored[:k]
+
+    def augment_rows(self, training: Table, k: int = 3) -> AugmentationResult:
+        """Append rows of unionable lake tables (deduplicated)."""
+        result = AugmentationResult(table=training)
+        current = training
+        before = len(training)
+        for name, _ in self.find_unionable(training, k=k):
+            candidate = self._tables[name]
+            mapping = {
+                c: next(t for t in current.column_names if t.lower() == c.lower())
+                for c in candidate.column_names
+                if any(t.lower() == c.lower() for t in current.column_names)
+            }
+            projected = candidate.project(list(mapping)).rename(mapping)
+            current = current.union_rows(projected, name=training.name).distinct_rows(
+                name=training.name
+            )
+            result.used_tables.append(name)
+        result.table = current
+        result.added_rows = len(current) - before
+        return result
+
+    # -- joinability --------------------------------------------------------------------
+
+    def find_joinable(self, training: Table, key_column: str, k: int = 3):
+        """Top-k (table, column) joinable with the training key column."""
+        hits = self._josie.topk_for_column(training, key_column, k=k)
+        return [(ref, overlap) for ref, overlap in hits if overlap >= self.join_overlap]
+
+    def augment_features(
+        self, training: Table, key_column: str, k: int = 2
+    ) -> AugmentationResult:
+        """Left-join extra columns from joinable lake tables.
+
+        Existing rows are preserved (left join); new columns are prefixed
+        with the source table to avoid collisions; at most one new table
+        per source table is joined.
+        """
+        result = AugmentationResult(table=training)
+        current = training
+        joined_tables: Set[str] = set()
+        for (table_name, column_name), _ in self.find_joinable(training, key_column, k=k * 2):
+            if table_name in joined_tables:
+                continue
+            joined_tables.add(table_name)
+            other = self._tables[table_name]
+            current = self._left_join(current, other, key_column, column_name,
+                                      prefix=table_name)
+            result.used_tables.append(table_name)
+            if len(joined_tables) >= k:
+                break
+        result.table = current
+        result.added_columns = [
+            c for c in current.column_names if c not in training.column_names
+        ]
+        return result
+
+    @staticmethod
+    def _left_join(left: Table, right: Table, left_on: str, right_on: str,
+                   prefix: str) -> Table:
+        index: Dict[str, Dict[str, object]] = {}
+        for row in right.rows():
+            key = row.get(right_on)
+            if not is_null(key):
+                index.setdefault(str(key), row)
+        extra_columns = [c for c in right.column_names if c != right_on]
+        new_data: Dict[str, List[object]] = {
+            f"{prefix}.{c}": [] for c in extra_columns
+        }
+        for value in left[left_on].values:
+            match = index.get(str(value)) if not is_null(value) else None
+            for c in extra_columns:
+                new_data[f"{prefix}.{c}"].append(match.get(c) if match else None)
+        columns = list(left.columns) + [
+            Column(name, values) for name, values in new_data.items()
+        ]
+        return Table(left.name, columns)

@@ -1,0 +1,131 @@
+"""ML life-cycle metadata management (Sec. 8.2, "ML-driven metadata
+management").
+
+"The life cycle of an ML model contains multiple steps, including model
+training, hyperparameter tuning, debugging, deployment, etc.  Accordingly,
+we need new metadata extraction, modeling, and enrichment methods for the
+relevant metadata about the ML life circle and the datasets involved in
+each step, which also calls for new data provenance methods."
+
+:class:`ModelRegistry` is the model-zoo-facing answer: every registered
+model version carries its training datasets, hyperparameters and metrics;
+life-cycle transitions (trained → tuned → deployed → retired) are recorded;
+and the shared provenance recorder links models to the lake datasets that
+fed them, so "which models are affected if dataset X is bad?" is one query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.errors import DataLakeError
+from repro.provenance.events import ProvenanceRecorder
+
+LIFECYCLE = ("trained", "tuned", "deployed", "retired")
+
+
+@dataclass
+class ModelRecord:
+    """Metadata for one model version."""
+
+    name: str
+    version: int
+    training_datasets: Tuple[str, ...]
+    hyperparameters: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict)
+    stage: str = "trained"
+
+    @property
+    def key(self) -> str:
+        return f"model:{self.name}:v{self.version}"
+
+
+class ModelRegistry:
+    """Versioned model metadata with data-lineage provenance."""
+
+    def __init__(self, recorder: Optional[ProvenanceRecorder] = None):
+        self.recorder = recorder if recorder is not None else ProvenanceRecorder()
+        self._models: Dict[str, List[ModelRecord]] = {}
+
+    # -- registration ------------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        training_datasets: Sequence[str],
+        hyperparameters: Optional[Mapping[str, Any]] = None,
+        metrics: Optional[Mapping[str, float]] = None,
+        actor: str = "trainer",
+    ) -> ModelRecord:
+        """Register a newly trained model version."""
+        versions = self._models.setdefault(name, [])
+        record = ModelRecord(
+            name=name,
+            version=len(versions) + 1,
+            training_datasets=tuple(training_datasets),
+            hyperparameters=dict(hyperparameters or {}),
+            metrics=dict(metrics or {}),
+        )
+        versions.append(record)
+        self.recorder.record(
+            "train-model", actor=actor, inputs=tuple(training_datasets),
+            outputs=(record.key,), system="lakeml",
+        )
+        return record
+
+    def get(self, name: str, version: Optional[int] = None) -> ModelRecord:
+        versions = self._models.get(name)
+        if not versions:
+            raise DataLakeError(f"no model named {name!r}")
+        if version is None:
+            return versions[-1]
+        if not 1 <= version <= len(versions):
+            raise DataLakeError(f"model {name!r} has no version {version}")
+        return versions[version - 1]
+
+    def models(self) -> List[str]:
+        return sorted(self._models)
+
+    # -- life cycle ------------------------------------------------------------------
+
+    def advance(self, name: str, version: int, stage: str, actor: str = "mlops") -> ModelRecord:
+        """Move a model version to the next life-cycle stage."""
+        if stage not in LIFECYCLE:
+            raise DataLakeError(f"unknown stage {stage!r}; known: {LIFECYCLE}")
+        record = self.get(name, version)
+        if LIFECYCLE.index(stage) <= LIFECYCLE.index(record.stage):
+            raise DataLakeError(
+                f"cannot move {record.key} from {record.stage!r} back to {stage!r}"
+            )
+        record.stage = stage
+        self.recorder.record(f"model:{stage}", actor=actor, inputs=(record.key,),
+                             system="lakeml")
+        return record
+
+    def record_metric(self, name: str, version: int, metric: str, value: float) -> None:
+        self.get(name, version).metrics[metric] = value
+
+    # -- lineage queries ----------------------------------------------------------------
+
+    def models_trained_on(self, dataset: str) -> List[str]:
+        """Model-version keys whose training data includes *dataset*.
+
+        The impact query: a quality problem in *dataset* taints these.
+        """
+        out = []
+        for versions in self._models.values():
+            for record in versions:
+                if dataset in record.training_datasets:
+                    out.append(record.key)
+        return sorted(out)
+
+    def datasets_of(self, name: str, version: Optional[int] = None) -> Tuple[str, ...]:
+        return self.get(name, version).training_datasets
+
+    def best_version(self, name: str, metric: str) -> ModelRecord:
+        """The version maximizing *metric* (hyperparameter-tuning support)."""
+        versions = [r for r in self._models.get(name, []) if metric in r.metrics]
+        if not versions:
+            raise DataLakeError(f"no version of {name!r} reports metric {metric!r}")
+        return max(versions, key=lambda r: r.metrics[metric])

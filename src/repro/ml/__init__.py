@@ -1,0 +1,48 @@
+"""Shared machine-learning and similarity substrate.
+
+The surveyed data lake systems lean on a common toolbox: tokenization and
+string similarity (Aurum, DS-kNN), MinHash sketches and LSH indexes (Aurum,
+D3L, Juneau), dense embeddings (D3L, RNLIM, ALITE, PEXESO), distribution
+statistics (D3L, RNLIM), and classical learners (DLN's random forests,
+DS-kNN's nearest neighbours, ALITE's hierarchical clustering).  scikit-learn
+is unavailable offline, so this package provides small, well-tested
+from-scratch implementations with deterministic seeding.
+"""
+
+from repro.ml.text import (
+    cosine_similarity,
+    jaccard,
+    levenshtein,
+    ngrams,
+    qgrams,
+    TfIdfVectorizer,
+    tokenize,
+)
+from repro.ml.minhash import MinHasher, MinHashSignature
+from repro.ml.lsh import LSHIndex
+from repro.ml.embeddings import HashedEmbedder
+from repro.ml.stats import ks_statistic, numeric_profile
+from repro.ml.knn import KNNClassifier
+from repro.ml.forest import DecisionTree, RandomForest
+from repro.ml.cluster import agglomerative_clusters, connected_components_clusters
+
+__all__ = [
+    "DecisionTree",
+    "HashedEmbedder",
+    "KNNClassifier",
+    "LSHIndex",
+    "MinHashSignature",
+    "MinHasher",
+    "RandomForest",
+    "TfIdfVectorizer",
+    "agglomerative_clusters",
+    "connected_components_clusters",
+    "cosine_similarity",
+    "jaccard",
+    "ks_statistic",
+    "levenshtein",
+    "ngrams",
+    "numeric_profile",
+    "qgrams",
+    "tokenize",
+]

@@ -1,0 +1,99 @@
+"""Clustering helpers: agglomerative clustering and graph communities.
+
+ALITE (Sec. 6.3) "applies hierarchical clustering in order to obtain sets of
+columns that are related"; DomainNet (Sec. 6.4.1) applies "community
+detection" over a value/attribute network; GOODS clusters dataset versions.
+This module provides average-linkage agglomerative clustering with a
+distance cutoff, threshold-graph clustering via connected components, and a
+deterministic label-propagation community detector for networkx graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Sequence, Set, Tuple
+
+import networkx as nx
+
+
+def agglomerative_clusters(
+    items: Sequence[Hashable],
+    distance: Callable[[Hashable, Hashable], float],
+    max_distance: float,
+) -> List[Set[Hashable]]:
+    """Average-linkage agglomerative clustering with a merge cutoff.
+
+    Repeatedly merges the two clusters with the smallest average pairwise
+    distance until no pair falls below *max_distance*.  O(n³) worst case —
+    appropriate for the column-count scales ALITE operates on.
+    """
+    clusters: List[List[Hashable]] = [[item] for item in items]
+    if not clusters:
+        return []
+    cache: Dict[Tuple[int, int], float] = {}
+
+    def pair_distance(i: int, j: int) -> float:
+        total = 0.0
+        count = 0
+        for a in clusters[i]:
+            for b in clusters[j]:
+                total += distance(a, b)
+                count += 1
+        return total / count if count else float("inf")
+
+    while len(clusters) > 1:
+        best_pair = None
+        best_value = max_distance
+        for i in range(len(clusters)):
+            for j in range(i + 1, len(clusters)):
+                value = pair_distance(i, j)
+                if value < best_value or (value == best_value and best_pair is None):
+                    if value <= max_distance:
+                        best_value = value
+                        best_pair = (i, j)
+        if best_pair is None:
+            break
+        i, j = best_pair
+        clusters[i] = clusters[i] + clusters[j]
+        del clusters[j]
+        cache.clear()
+    return [set(cluster) for cluster in clusters]
+
+
+def connected_components_clusters(
+    items: Sequence[Hashable],
+    similarity: Callable[[Hashable, Hashable], float],
+    threshold: float,
+) -> List[Set[Hashable]]:
+    """Cluster by thresholding pairwise similarity and taking components.
+
+    The scheme behind Aurum-style edge creation: connect pairs above the
+    threshold, read off connected components as clusters.
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(items)
+    for i in range(len(items)):
+        for j in range(i + 1, len(items)):
+            if similarity(items[i], items[j]) >= threshold:
+                graph.add_edge(items[i], items[j])
+    return [set(component) for component in nx.connected_components(graph)]
+
+
+def label_propagation_communities(graph: nx.Graph, seed: int = 7, max_rounds: int = 50) -> List[Set]:
+    """Deterministic community detection on *graph*.
+
+    Uses greedy modularity maximization (weight-aware and reproducible),
+    which behaves like converged label propagation without its tie-break
+    degeneracies on small bridged cliques.  Used by DomainNet to find value
+    communities (domains).  ``seed``/``max_rounds`` are kept for API
+    stability; the algorithm is fully deterministic.
+    """
+    if graph.number_of_nodes() == 0:
+        return []
+    if graph.number_of_edges() == 0:
+        communities = [{node} for node in graph.nodes]
+    else:
+        communities = [
+            set(c)
+            for c in nx.community.greedy_modularity_communities(graph, weight="weight")
+        ]
+    return sorted(communities, key=lambda c: (-len(c), str(sorted(map(str, c))[0])))

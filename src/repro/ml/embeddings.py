@@ -1,0 +1,119 @@
+"""Deterministic hashed embeddings — the offline stand-in for BERT/fastText.
+
+The surveyed systems D3L, RNLIM, ALITE and PEXESO consume dense vector
+representations of values and attribute names produced by pre-trained
+language models.  Those models are unavailable offline, so this module
+provides :class:`HashedEmbedder`, a deterministic feature-hashing embedder:
+
+- each word token and character n-gram is hashed into a signed slot of a
+  fixed-dimension vector (the fastText "bag of character n-grams" trick);
+- vectors are L2-normalized so cosine similarity is a dot product.
+
+The substitution preserves the property the downstream systems rely on —
+*similar surface forms map to nearby vectors, and shared-token phrases are
+close* — while remaining fully reproducible.  DESIGN.md records this
+substitution; semantic (synonym-level) similarity additionally flows through
+the small curated ontology in :mod:`repro.enrichment.coredb_enrich`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.ml.text import tokenize
+
+
+def _slot(token: str, dim: int, salt: str) -> int:
+    digest = hashlib.blake2b(f"{salt}:{token}".encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % dim
+
+
+def _sign(token: str, salt: str) -> float:
+    digest = hashlib.blake2b(f"sign:{salt}:{token}".encode("utf-8"), digest_size=1).digest()
+    return 1.0 if digest[0] % 2 == 0 else -1.0
+
+
+class HashedEmbedder:
+    """Deterministic text embedder via signed feature hashing.
+
+    Parameters
+    ----------
+    dim:
+        Embedding dimensionality.
+    char_ngrams:
+        Range of character n-gram sizes mixed in with word tokens; this
+        gives typo- and morphology-robust similarity like fastText subwords.
+    synonyms:
+        Optional mapping folding known synonyms onto a canonical token
+        before hashing, injecting a controllable amount of semantics
+        (e.g. ``{"car": "vehicle", "automobile": "vehicle"}``).
+    """
+
+    def __init__(
+        self,
+        dim: int = 64,
+        char_ngrams: Sequence[int] = (3, 4),
+        synonyms: Dict[str, str] = None,
+        seed: str = "repro",
+    ):
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        self.char_ngrams = tuple(char_ngrams)
+        self.synonyms = dict(synonyms or {})
+        self.seed = seed
+
+    def _features(self, text: str) -> List[str]:
+        features: List[str] = []
+        for token in tokenize(text):
+            token = self.synonyms.get(token, token)
+            features.append(f"w:{token}")
+            padded = f"<{token}>"
+            for n in self.char_ngrams:
+                for i in range(max(0, len(padded) - n + 1)):
+                    features.append(f"c{n}:{padded[i:i + n]}")
+        return features
+
+    def embed(self, text: str) -> np.ndarray:
+        """Embed one string; empty/unknown text maps to the zero vector."""
+        vector = np.zeros(self.dim, dtype=np.float64)
+        for feature in self._features(text):
+            vector[_slot(feature, self.dim, self.seed)] += _sign(feature, self.seed)
+        norm = np.linalg.norm(vector)
+        if norm > 0:
+            vector /= norm
+        return vector
+
+    def embed_many(self, texts: Iterable[str]) -> np.ndarray:
+        """Stack embeddings of *texts* into a (n, dim) matrix."""
+        rows = [self.embed(t) for t in texts]
+        if not rows:
+            return np.zeros((0, self.dim))
+        return np.vstack(rows)
+
+    def embed_set(self, texts: Iterable[str]) -> np.ndarray:
+        """Mean embedding of a value set (a column's semantic centroid).
+
+        D3L represents a column by aggregating the embeddings of its values;
+        the mean is re-normalized so cosine comparisons stay calibrated.
+        """
+        matrix = self.embed_many(texts)
+        if matrix.shape[0] == 0:
+            return np.zeros(self.dim)
+        centroid = matrix.mean(axis=0)
+        norm = np.linalg.norm(centroid)
+        if norm > 0:
+            centroid /= norm
+        return centroid
+
+
+def cosine(left: np.ndarray, right: np.ndarray) -> float:
+    """Cosine similarity of two dense vectors (0 when either is zero)."""
+    norm_l = np.linalg.norm(left)
+    norm_r = np.linalg.norm(right)
+    if norm_l == 0.0 or norm_r == 0.0:
+        return 0.0
+    return float(np.dot(left, right) / (norm_l * norm_r))

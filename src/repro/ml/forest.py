@@ -1,0 +1,195 @@
+"""Decision trees and random forests from scratch.
+
+DLN (Sec. 6.2.4) builds "random-forest classification models" over metadata
+and data features to predict column relatedness at enterprise scale, and
+DS-Prox's successor uses "supervised ensemble models" for dataset-pair
+similarity.  With scikit-learn unavailable offline this module supplies a
+compact CART-style learner: binary splits on numeric features chosen by Gini
+impurity, bootstrap bagging plus feature subsampling for the forest.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    prediction: Optional[Hashable] = None
+    probability: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.prediction is not None
+
+
+def _gini(labels: Sequence[Hashable]) -> float:
+    counts = Counter(labels)
+    total = len(labels)
+    return 1.0 - sum((c / total) ** 2 for c in counts.values())
+
+
+class DecisionTree:
+    """CART-style binary decision tree on numeric feature vectors."""
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_split: int = 2,
+        feature_fraction: float = 1.0,
+        seed: int = 7,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.feature_fraction = feature_fraction
+        self._rng = random.Random(seed)
+        self._root: Optional[_Node] = None
+        self.num_features = 0
+
+    def fit(self, features: Sequence[Sequence[float]], labels: Sequence[Hashable]) -> "DecisionTree":
+        if not features:
+            raise ValueError("cannot fit a tree on an empty training set")
+        if len(features) != len(labels):
+            raise ValueError("features and labels differ in length")
+        self.num_features = len(features[0])
+        rows = [tuple(f) for f in features]
+        self._root = self._build(rows, list(labels), depth=0)
+        return self
+
+    def _leaf(self, labels: Sequence[Hashable]) -> _Node:
+        counts = Counter(labels)
+        label, count = counts.most_common(1)[0]
+        return _Node(prediction=label, probability=count / len(labels))
+
+    def _candidate_features(self) -> List[int]:
+        k = max(1, int(round(self.num_features * self.feature_fraction)))
+        if k >= self.num_features:
+            return list(range(self.num_features))
+        return self._rng.sample(range(self.num_features), k)
+
+    def _best_split(
+        self, rows: List[Tuple[float, ...]], labels: List[Hashable]
+    ) -> Optional[Tuple[int, float, List[int], List[int]]]:
+        base = _gini(labels)
+        best_gain = 1e-12
+        best = None
+        for feature in self._candidate_features():
+            values = sorted({row[feature] for row in rows})
+            if len(values) < 2:
+                continue
+            thresholds = [(a + b) / 2.0 for a, b in zip(values, values[1:])]
+            for threshold in thresholds:
+                left_idx = [i for i, row in enumerate(rows) if row[feature] <= threshold]
+                if not left_idx or len(left_idx) == len(rows):
+                    continue
+                right_idx = [i for i in range(len(rows)) if rows[i][feature] > threshold]
+                left_labels = [labels[i] for i in left_idx]
+                right_labels = [labels[i] for i in right_idx]
+                weighted = (
+                    len(left_labels) * _gini(left_labels)
+                    + len(right_labels) * _gini(right_labels)
+                ) / len(labels)
+                gain = base - weighted
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (feature, threshold, left_idx, right_idx)
+        return best
+
+    def _build(self, rows: List[Tuple[float, ...]], labels: List[Hashable], depth: int) -> _Node:
+        if (
+            depth >= self.max_depth
+            or len(rows) < self.min_samples_split
+            or len(set(labels)) == 1
+        ):
+            return self._leaf(labels)
+        split = self._best_split(rows, labels)
+        if split is None:
+            return self._leaf(labels)
+        feature, threshold, left_idx, right_idx = split
+        left = self._build([rows[i] for i in left_idx], [labels[i] for i in left_idx], depth + 1)
+        right = self._build([rows[i] for i in right_idx], [labels[i] for i in right_idx], depth + 1)
+        return _Node(feature=feature, threshold=threshold, left=left, right=right)
+
+    def predict(self, features: Sequence[float]) -> Hashable:
+        node = self._root
+        if node is None:
+            raise ValueError("tree is not fitted")
+        while not node.is_leaf:
+            node = node.left if features[node.feature] <= node.threshold else node.right
+        return node.prediction
+
+    def predict_proba(self, features: Sequence[float], positive: Hashable = True) -> float:
+        """Probability mass the reached leaf assigns to *positive*."""
+        node = self._root
+        if node is None:
+            raise ValueError("tree is not fitted")
+        while not node.is_leaf:
+            node = node.left if features[node.feature] <= node.threshold else node.right
+        if node.prediction == positive:
+            return node.probability
+        return 1.0 - node.probability
+
+
+class RandomForest:
+    """Bootstrap-aggregated decision trees with feature subsampling."""
+
+    def __init__(
+        self,
+        num_trees: int = 15,
+        max_depth: int = 8,
+        feature_fraction: float = 0.7,
+        seed: int = 7,
+    ):
+        if num_trees <= 0:
+            raise ValueError("num_trees must be positive")
+        self.num_trees = num_trees
+        self.max_depth = max_depth
+        self.feature_fraction = feature_fraction
+        self.seed = seed
+        self._trees: List[DecisionTree] = []
+
+    def fit(self, features: Sequence[Sequence[float]], labels: Sequence[Hashable]) -> "RandomForest":
+        if not features:
+            raise ValueError("cannot fit a forest on an empty training set")
+        rng = random.Random(self.seed)
+        n = len(features)
+        self._trees = []
+        for t in range(self.num_trees):
+            indices = [rng.randrange(n) for _ in range(n)]
+            sample_x = [features[i] for i in indices]
+            sample_y = [labels[i] for i in indices]
+            tree = DecisionTree(
+                max_depth=self.max_depth,
+                feature_fraction=self.feature_fraction,
+                seed=self.seed + 1000 * t,
+            )
+            tree.fit(sample_x, sample_y)
+            self._trees.append(tree)
+        return self
+
+    def predict(self, features: Sequence[float]) -> Hashable:
+        if not self._trees:
+            raise ValueError("forest is not fitted")
+        votes = Counter(tree.predict(features) for tree in self._trees)
+        return votes.most_common(1)[0][0]
+
+    def predict_proba(self, features: Sequence[float], positive: Hashable = True) -> float:
+        """Fraction of trees voting *positive* (a calibrated-enough score)."""
+        if not self._trees:
+            raise ValueError("forest is not fitted")
+        positive_votes = sum(1 for tree in self._trees if tree.predict(features) == positive)
+        return positive_votes / len(self._trees)
+
+    def accuracy(self, features: Sequence[Sequence[float]], labels: Sequence[Hashable]) -> float:
+        """Share of correct predictions on a labeled evaluation set."""
+        if not features:
+            return 0.0
+        correct = sum(1 for x, y in zip(features, labels) if self.predict(x) == y)
+        return correct / len(features)

@@ -1,0 +1,90 @@
+"""k-nearest-neighbour classification.
+
+DS-kNN (Sec. 6.1.2) "incrementally adds every dataset into a new or existing
+category by applying k-nearest-neighbour search" over extracted features.
+This module implements exactly that incremental k-NN with pluggable
+distance, plus the majority-vote category assignment rule: pick the most
+frequent category among the top-k neighbours, or open a new category when no
+neighbour is close enough.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Callable, Hashable, List, Optional, Sequence, Tuple
+
+
+def euclidean(left: Sequence[float], right: Sequence[float]) -> float:
+    """Euclidean distance between two equal-length feature vectors."""
+    if len(left) != len(right):
+        raise ValueError("feature vectors have different lengths")
+    return math.sqrt(sum((a - b) ** 2 for a, b in zip(left, right)))
+
+
+class KNNClassifier:
+    """Incremental k-NN with majority vote and an open-set threshold.
+
+    Parameters
+    ----------
+    k:
+        Neighbourhood size.
+    distance:
+        Callable on two feature vectors; defaults to Euclidean.
+    max_distance:
+        When set, a query whose nearest neighbour is farther than this is
+        treated as belonging to *no* existing class (``predict`` returns
+        ``None``) — DS-kNN then assigns a brand-new category.
+    """
+
+    def __init__(
+        self,
+        k: int = 3,
+        distance: Callable[[Sequence[float], Sequence[float]], float] = euclidean,
+        max_distance: Optional[float] = None,
+    ):
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = k
+        self.distance = distance
+        self.max_distance = max_distance
+        self._points: List[Tuple[Sequence[float], Hashable]] = []
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def add(self, features: Sequence[float], label: Hashable) -> None:
+        """Add one labeled example."""
+        self._points.append((tuple(features), label))
+
+    def fit(self, features: Sequence[Sequence[float]], labels: Sequence[Hashable]) -> "KNNClassifier":
+        """Bulk-add labeled examples."""
+        if len(features) != len(labels):
+            raise ValueError("features and labels differ in length")
+        for point, label in zip(features, labels):
+            self.add(point, label)
+        return self
+
+    def neighbors(self, features: Sequence[float], k: Optional[int] = None) -> List[Tuple[float, Hashable]]:
+        """The k nearest (distance, label) pairs, closest first."""
+        k = k or self.k
+        scored = [(self.distance(features, point), label) for point, label in self._points]
+        scored.sort(key=lambda pair: (pair[0], str(pair[1])))
+        return scored[:k]
+
+    def predict(self, features: Sequence[float]) -> Optional[Hashable]:
+        """Majority-vote label, or None for an empty/too-far neighbourhood."""
+        nearest = self.neighbors(features)
+        if not nearest:
+            return None
+        if self.max_distance is not None and nearest[0][0] > self.max_distance:
+            return None
+        votes = Counter(label for _, label in nearest)
+        top = votes.most_common()
+        best_count = top[0][1]
+        # deterministic tie-break: closest neighbour among tied labels wins
+        tied = {label for label, count in top if count == best_count}
+        for _, label in nearest:
+            if label in tied:
+                return label
+        return top[0][0]

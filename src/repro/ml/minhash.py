@@ -1,0 +1,163 @@
+"""MinHash sketches for Jaccard estimation.
+
+Aurum profiles every column with "a representation of data values (i.e.,
+MinHash)" and D3L / Juneau / Brackenbury et al. all estimate Jaccard
+similarity with MinHash (Table 3).  The implementation uses the classic
+universal-hash family ``h_i(x) = (a_i * x + b_i) mod p`` with a large
+Mersenne prime, seeded deterministically so signatures are reproducible
+across processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+_MERSENNE_PRIME = (1 << 61) - 1
+_MAX_HASH = (1 << 32) - 1
+
+
+def _stable_hash(token: str) -> int:
+    """Deterministic 32-bit hash of a token (process-independent)."""
+    digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") & _MAX_HASH
+
+
+@dataclass(frozen=True)
+class MinHashSignature:
+    """An immutable MinHash signature of a value set."""
+
+    values: Tuple[int, ...]
+    set_size: int = 0
+
+    def jaccard(self, other: "MinHashSignature") -> float:
+        """Estimate the Jaccard similarity of the underlying sets."""
+        if len(self.values) != len(other.values):
+            raise ValueError("signatures have different lengths")
+        if not self.values:
+            return 0.0
+        matches = sum(1 for a, b in zip(self.values, other.values) if a == b)
+        return matches / len(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class MinHasher:
+    """Factory producing fixed-length MinHash signatures.
+
+    Parameters
+    ----------
+    num_perm:
+        Number of hash permutations (signature length).  128 matches the
+        datasketch default used by the Aurum and D3L implementations.
+    seed:
+        Seed for the hash family; two hashers with equal seeds produce
+        comparable signatures.
+    """
+
+    def __init__(self, num_perm: int = 128, seed: int = 1):
+        if num_perm <= 0:
+            raise ValueError("num_perm must be positive")
+        self.num_perm = num_perm
+        self.seed = seed
+        rng = random.Random(seed)
+        self._params: List[Tuple[int, int]] = [
+            (rng.randrange(1, _MERSENNE_PRIME), rng.randrange(0, _MERSENNE_PRIME))
+            for _ in range(num_perm)
+        ]
+
+    def signature(self, values: Iterable) -> MinHashSignature:
+        """Compute the signature of an iterable of values (stringified)."""
+        hashes = {_stable_hash(str(v)) for v in values}
+        if not hashes:
+            return MinHashSignature(tuple([_MAX_HASH] * self.num_perm), 0)
+        mins = []
+        for a, b in self._params:
+            best = _MAX_HASH + 1
+            for h in hashes:
+                permuted = ((a * h + b) % _MERSENNE_PRIME) & _MAX_HASH
+                if permuted < best:
+                    best = permuted
+            mins.append(best)
+        return MinHashSignature(tuple(mins), len(hashes))
+
+    def compatible(self, signature: MinHashSignature) -> bool:
+        """Whether *signature* was produced with this hasher's geometry."""
+        return len(signature) == self.num_perm
+
+    def incremental(self) -> "IncrementalMinHash":
+        """An updatable sketch sharing this hasher's hash family."""
+        return IncrementalMinHash(self)
+
+
+class IncrementalMinHash:
+    """A MinHash sketch updatable one value at a time (streaming setting).
+
+    Feeding the same value set yields *exactly* the signature
+    :meth:`MinHasher.signature` computes, because the same hash family is
+    applied — so stream-maintained sketches are directly comparable with
+    batch-indexed ones (tested as an invariant).
+
+    Memory is **bounded** regardless of stream length: besides the
+    fixed-size signature minima, only a KMV (k-minimum-values) set of at
+    most ``kmv_size`` hashes is retained, which doubles as the distinct-
+    count estimator — exact below ``kmv_size`` distinct values, the
+    standard ``(k-1) / kth_min`` estimate beyond.
+    """
+
+    def __init__(self, hasher: MinHasher, kmv_size: int = 256):
+        self._hasher = hasher
+        self._mins = [_MAX_HASH] * hasher.num_perm
+        self._seen = 0
+        self._empty = True
+        self._kmv_size = kmv_size
+        self._kmv: set = set()       # the kmv_size smallest unique hashes
+        self._kmv_max = -1           # current largest retained hash
+
+    def update(self, value) -> None:
+        """Fold one value into the sketch (duplicates only cost CPU)."""
+        h = _stable_hash(str(value))
+        self._seen += 1
+        self._empty = False
+        # KMV maintenance: keep the kmv_size smallest distinct hashes
+        if h not in self._kmv and (len(self._kmv) < self._kmv_size or h < self._kmv_max):
+            self._kmv.add(h)
+            if len(self._kmv) > self._kmv_size:
+                self._kmv.discard(max(self._kmv))
+            self._kmv_max = max(self._kmv)
+        for index, (a, b) in enumerate(self._hasher._params):
+            permuted = ((a * h + b) % _MERSENNE_PRIME) & _MAX_HASH
+            if permuted < self._mins[index]:
+                self._mins[index] = permuted
+
+    def update_many(self, values: Iterable) -> None:
+        for value in values:
+            self.update(value)
+
+    @property
+    def values_seen(self) -> int:
+        return self._seen
+
+    @property
+    def distinct_count(self) -> int:
+        """Distinct values seen: exact below kmv_size, estimated beyond."""
+        if len(self._kmv) < self._kmv_size:
+            return len(self._kmv)
+        kth = max(self._kmv)
+        if kth == 0:
+            return len(self._kmv)
+        return int((self._kmv_size - 1) * (_MAX_HASH + 1) / kth)
+
+    @property
+    def state_items(self) -> int:
+        """Retained items — constant-bounded regardless of stream length."""
+        return len(self._mins) + len(self._kmv)
+
+    def signature(self) -> MinHashSignature:
+        """The current immutable signature snapshot."""
+        if self._empty:
+            return MinHashSignature(tuple([_MAX_HASH] * self._hasher.num_perm), 0)
+        return MinHashSignature(tuple(self._mins), self.distinct_count)

@@ -1,0 +1,88 @@
+"""Distribution statistics for numeric column comparison.
+
+D3L's fifth similarity dimension and RNLIM's numeric domain matching both
+use "the Kolmogorov-Smirnov statistic" (Table 3 / Sec. 6.2.3) to compare the
+value distributions of numerical attributes.  :func:`numeric_profile`
+provides the summary features DS-kNN and DLN extract from columns.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def ks_statistic(left: Sequence[float], right: Sequence[float]) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic (sup distance of ECDFs).
+
+    Returns a value in [0, 1]; 0 means identical empirical distributions.
+    Either sample being empty yields 1.0 (maximally dissimilar).
+    """
+    if not left or not right:
+        return 1.0
+    xs = sorted(left)
+    ys = sorted(right)
+    i = j = 0
+    d = 0.0
+    n, m = len(xs), len(ys)
+    while i < n and j < m:
+        if xs[i] < ys[j]:
+            i += 1
+        elif xs[i] > ys[j]:
+            j += 1
+        else:  # tie: advance both past the tied value before measuring
+            value = xs[i]
+            while i < n and xs[i] == value:
+                i += 1
+            while j < m and ys[j] == value:
+                j += 1
+        d = max(d, abs(i / n - j / m))
+    return d
+
+
+def ks_similarity(left: Sequence[float], right: Sequence[float]) -> float:
+    """1 - KS statistic, so larger means more similar."""
+    return 1.0 - ks_statistic(left, right)
+
+
+@dataclass(frozen=True)
+class NumericProfile:
+    """Summary statistics of a numeric column."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    def as_features(self) -> list:
+        return [self.count, self.mean, self.std, self.minimum, self.maximum]
+
+
+def numeric_profile(values: Sequence[float]) -> NumericProfile:
+    """Compute a :class:`NumericProfile`; empty input yields all-zero stats."""
+    if not values:
+        return NumericProfile(0, 0.0, 0.0, 0.0, 0.0)
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / n
+    return NumericProfile(n, mean, math.sqrt(variance), min(values), max(values))
+
+
+def histogram(values: Sequence[float], bins: int = 10) -> list:
+    """Equal-width normalized histogram (used as a distribution sketch)."""
+    if not values:
+        return [0.0] * bins
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        out = [0.0] * bins
+        out[0] = 1.0
+        return out
+    counts = [0] * bins
+    width = (hi - lo) / bins
+    for value in values:
+        index = min(int((value - lo) / width), bins - 1)
+        counts[index] += 1
+    total = len(values)
+    return [c / total for c in counts]

@@ -1,0 +1,145 @@
+"""Tokenization and string-similarity primitives.
+
+Every discovery system in the survey's Table 3 reduces columns and names to
+token sets or vectors first: attribute names become q-grams or word tokens
+(Aurum, D3L), values become token sets for Jaccard overlap (JOSIE, Juneau),
+and descriptive text becomes TF-IDF vectors (Aurum's cosine similarity).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter
+from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+
+_TOKEN_RE = re.compile(r"[A-Za-z0-9]+")
+_CAMEL_RE = re.compile(r"(?<=[a-z0-9])(?=[A-Z])")
+
+
+def tokenize(text: str) -> List[str]:
+    """Split *text* into lowercase word tokens.
+
+    Handles the identifier conventions that dominate lake schemata:
+    snake_case, kebab-case, dotted.paths and camelCase all split into their
+    parts, so ``"customerId"`` and ``"customer_id"`` tokenize identically.
+    """
+    if not text:
+        return []
+    spaced = _CAMEL_RE.sub(" ", text)
+    return [t.lower() for t in _TOKEN_RE.findall(spaced)]
+
+
+def qgrams(text: str, q: int = 3) -> Set[str]:
+    """Character q-grams of the lowercased, padded string.
+
+    D3L profiles attribute names as q-gram sets; padding with ``#`` keeps
+    short names distinguishable.
+    """
+    if not text:
+        return set()
+    padded = "#" * (q - 1) + text.lower() + "#" * (q - 1)
+    return {padded[i : i + q] for i in range(len(padded) - q + 1)}
+
+
+def ngrams(tokens: Sequence[str], n: int = 2) -> List[Tuple[str, ...]]:
+    """Word n-grams over a token sequence."""
+    return [tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]
+
+
+def jaccard(left: Iterable, right: Iterable) -> float:
+    """Jaccard similarity |A∩B| / |A∪B| of two collections (as sets)."""
+    a, b = set(left), set(right)
+    if not a and not b:
+        return 0.0
+    return len(a & b) / len(a | b)
+
+
+def containment(left: Iterable, right: Iterable) -> float:
+    """Containment |A∩B| / |A| of *left* in *right* (set semantics)."""
+    a, b = set(left), set(right)
+    if not a:
+        return 0.0
+    return len(a & b) / len(a)
+
+
+def overlap(left: Iterable, right: Iterable) -> int:
+    """Intersection size — JOSIE's overlap set similarity."""
+    return len(set(left) & set(right))
+
+
+def levenshtein(left: str, right: str) -> int:
+    """Edit distance between two strings (two-row dynamic program).
+
+    DS-kNN employs Levenshtein distance when comparing dataset features
+    (Sec. 6.1.2).
+    """
+    if left == right:
+        return 0
+    if not left:
+        return len(right)
+    if not right:
+        return len(left)
+    previous = list(range(len(right) + 1))
+    for i, lchar in enumerate(left, start=1):
+        current = [i]
+        for j, rchar in enumerate(right, start=1):
+            cost = 0 if lchar == rchar else 1
+            current.append(min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost))
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(left: str, right: str) -> float:
+    """Normalized edit similarity in [0, 1]."""
+    if not left and not right:
+        return 1.0
+    distance = levenshtein(left, right)
+    return 1.0 - distance / max(len(left), len(right))
+
+
+def cosine_similarity(left: Mapping[str, float], right: Mapping[str, float]) -> float:
+    """Cosine similarity of two sparse vectors given as dicts."""
+    if not left or not right:
+        return 0.0
+    if len(right) < len(left):
+        left, right = right, left
+    dot = sum(weight * right.get(term, 0.0) for term, weight in left.items())
+    norm_left = math.sqrt(sum(w * w for w in left.values()))
+    norm_right = math.sqrt(sum(w * w for w in right.values()))
+    if norm_left == 0.0 or norm_right == 0.0:
+        return 0.0
+    return dot / (norm_left * norm_right)
+
+
+class TfIdfVectorizer:
+    """TF-IDF weighting over a corpus of token lists.
+
+    ``fit`` learns document frequencies; ``transform`` produces sparse
+    vectors suitable for :func:`cosine_similarity`.  Aurum's attribute-name
+    similarity uses exactly this cosine-over-TF-IDF construction.
+    """
+
+    def __init__(self) -> None:
+        self._doc_freq: Counter = Counter()
+        self._num_docs = 0
+
+    def fit(self, documents: Iterable[Sequence[str]]) -> "TfIdfVectorizer":
+        for tokens in documents:
+            self._num_docs += 1
+            self._doc_freq.update(set(tokens))
+        return self
+
+    def transform(self, tokens: Sequence[str]) -> Dict[str, float]:
+        """TF-IDF vector for one token list (smoothed idf)."""
+        counts = Counter(tokens)
+        total = sum(counts.values()) or 1
+        vector: Dict[str, float] = {}
+        for term, count in counts.items():
+            idf = math.log((1 + self._num_docs) / (1 + self._doc_freq.get(term, 0))) + 1.0
+            vector[term] = (count / total) * idf
+        return vector
+
+    def fit_transform_all(self, documents: Sequence[Sequence[str]]) -> List[Dict[str, float]]:
+        self.fit(documents)
+        return [self.transform(tokens) for tokens in documents]

@@ -1,0 +1,27 @@
+"""Metadata modeling (survey Sec. 5.2): how extracted metadata is structured.
+
+The survey categorizes metadata models into *generic models* (GEMMS,
+HANDLE), *data vault* (hubs/links/satellites), and *graph-based models*
+(Aurum's enterprise knowledge graph, Sawadogo et al.'s evolution-oriented
+graph model).  One implementation of each family lives here, plus the
+mapping from GEMMS elements to HANDLE that the survey notes is possible.
+"""
+
+from repro.modeling.gemms_model import MetadataRepository
+from repro.modeling.handle import HandleModel, HandleEntity
+from repro.modeling.datavault import DataVault, Hub, Link, Satellite
+from repro.modeling.ekg import EnterpriseKnowledgeGraph, HyperEdge
+from repro.modeling.sawadogo import SawadogoMetadataModel
+
+__all__ = [
+    "DataVault",
+    "EnterpriseKnowledgeGraph",
+    "HandleEntity",
+    "HandleModel",
+    "Hub",
+    "HyperEdge",
+    "Link",
+    "MetadataRepository",
+    "Satellite",
+    "SawadogoMetadataModel",
+]

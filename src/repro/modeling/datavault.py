@@ -1,0 +1,210 @@
+"""Data vault modeling for data lakes (Sec. 5.2.2).
+
+The data vault "has three main element types: *hubs* representing business
+concepts, *links* indicating the many-to-many relationships among hubs, and
+*satellites* with descriptive properties of hubs and links".  Nogueira et
+al. "show how their conceptual model based on data vault can be transformed
+into relational and document-oriented logical models" — reproduced here by
+:meth:`DataVault.to_relational` (one table per hub/link/satellite, loaded
+into our relational store) and :meth:`DataVault.to_documents` (one nested
+document per hub business key, loaded into the document store).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.dataset import Table
+from repro.core.errors import SchemaError
+from repro.core.registry import Function, Method, SystemInfo, register_system
+from repro.storage.document import DocumentStore
+from repro.storage.relational import RelationalStore
+
+
+def _hash_key(*parts: str) -> str:
+    """Deterministic surrogate hash key (data vault 2.0 style)."""
+    joined = "|".join(parts)
+    return hashlib.md5(joined.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class Hub:
+    """A business concept keyed by business keys."""
+
+    name: str
+    business_keys: Dict[str, str] = field(default_factory=dict)  # hash_key -> business key
+
+    def add(self, business_key: str) -> str:
+        key = _hash_key(self.name, business_key)
+        self.business_keys[key] = business_key
+        return key
+
+
+@dataclass
+class Link:
+    """A many-to-many relationship among two or more hubs."""
+
+    name: str
+    hub_names: Tuple[str, ...]
+    rows: Dict[str, Tuple[str, ...]] = field(default_factory=dict)  # link key -> hub keys
+
+    def add(self, hub_keys: Sequence[str]) -> str:
+        if len(hub_keys) != len(self.hub_names):
+            raise SchemaError(
+                f"link {self.name!r} expects {len(self.hub_names)} hub keys, "
+                f"got {len(hub_keys)}"
+            )
+        key = _hash_key(self.name, *hub_keys)
+        self.rows[key] = tuple(hub_keys)
+        return key
+
+
+@dataclass
+class Satellite:
+    """Descriptive attributes of a hub or link, versioned by load time."""
+
+    name: str
+    parent: str  # hub or link name
+    records: List[Dict[str, Any]] = field(default_factory=list)
+
+    def add(self, parent_key: str, attributes: Mapping[str, Any], load_ts: int = 0) -> None:
+        record = {"parent_key": parent_key, "load_ts": load_ts}
+        record.update(attributes)
+        self.records.append(record)
+
+    def latest(self, parent_key: str) -> Optional[Dict[str, Any]]:
+        """Most recent attribute record for *parent_key*."""
+        matching = [r for r in self.records if r["parent_key"] == parent_key]
+        if not matching:
+            return None
+        return max(matching, key=lambda r: r["load_ts"])
+
+
+@register_system(SystemInfo(
+    name="Data vault (Nogueira et al. / Giebler et al.)",
+    functions=(Function.METADATA_MODELING,),
+    methods=(Method.DATA_VAULT,),
+    paper_refs=("[57]", "[107]"),
+    summary="Hubs/links/satellites conceptual model with transforms to relational "
+            "and document-oriented logical models.",
+))
+class DataVault:
+    """A data vault with logical-model transformations."""
+
+    def __init__(self) -> None:
+        self.hubs: Dict[str, Hub] = {}
+        self.links: Dict[str, Link] = {}
+        self.satellites: Dict[str, Satellite] = {}
+
+    # -- modeling -----------------------------------------------------------------
+
+    def hub(self, name: str) -> Hub:
+        if name not in self.hubs:
+            self.hubs[name] = Hub(name)
+        return self.hubs[name]
+
+    def link(self, name: str, hub_names: Sequence[str]) -> Link:
+        for hub_name in hub_names:
+            if hub_name not in self.hubs:
+                raise SchemaError(f"link {name!r} references unknown hub {hub_name!r}")
+        if name not in self.links:
+            self.links[name] = Link(name, tuple(hub_names))
+        return self.links[name]
+
+    def satellite(self, name: str, parent: str) -> Satellite:
+        if parent not in self.hubs and parent not in self.links:
+            raise SchemaError(f"satellite {name!r} references unknown parent {parent!r}")
+        if name not in self.satellites:
+            self.satellites[name] = Satellite(name, parent)
+        return self.satellites[name]
+
+    # -- logical model: relational -----------------------------------------------------
+
+    def to_relational(self, store: Optional[RelationalStore] = None) -> RelationalStore:
+        """Emit hub/link/satellite tables into a relational store.
+
+        Naming follows data vault convention: ``hub_<name>``, ``link_<name>``,
+        ``sat_<name>``.
+        """
+        store = store or RelationalStore()
+        for hub in self.hubs.values():
+            rows = [
+                {"hash_key": key, "business_key": business}
+                for key, business in sorted(hub.business_keys.items())
+            ]
+            store.create_table(Table.from_records(f"hub_{hub.name}", rows or [
+                {"hash_key": None, "business_key": None}
+            ]).filter(lambda r: r["hash_key"] is not None, name=f"hub_{hub.name}"))
+        for link in self.links.values():
+            rows = []
+            for key, hub_keys in sorted(link.rows.items()):
+                row = {"hash_key": key}
+                for hub_name, hub_key in zip(link.hub_names, hub_keys):
+                    row[f"{hub_name}_key"] = hub_key
+                rows.append(row)
+            header = ["hash_key"] + [f"{h}_key" for h in link.hub_names]
+            store.create_table(
+                Table.from_rows(f"link_{link.name}", header,
+                                [[r[c] for c in header] for r in rows])
+            )
+        for satellite in self.satellites.values():
+            store.create_table(Table.from_records(f"sat_{satellite.name}",
+                                                  satellite.records)
+                               if satellite.records else
+                               Table.from_rows(f"sat_{satellite.name}",
+                                               ["parent_key", "load_ts"], []))
+        return store
+
+    # -- logical model: documents --------------------------------------------------------
+
+    def to_documents(self, store: Optional[DocumentStore] = None) -> DocumentStore:
+        """Emit one nested document per hub instance into a document store.
+
+        Each document embeds its latest satellite attributes and the linked
+        hub business keys — the document-oriented logical model of [107].
+        """
+        store = store or DocumentStore()
+        for hub in self.hubs.values():
+            store.create_collection(hub.name)
+            for hash_key, business_key in sorted(hub.business_keys.items()):
+                document: Dict[str, Any] = {
+                    "business_key": business_key,
+                    "hash_key": hash_key,
+                }
+                for satellite in self.satellites.values():
+                    if satellite.parent == hub.name:
+                        latest = satellite.latest(hash_key)
+                        if latest is not None:
+                            attrs = {k: v for k, v in latest.items()
+                                     if k not in ("parent_key", "load_ts")}
+                            document[satellite.name] = attrs
+                linked: Dict[str, List[str]] = {}
+                for link in self.links.values():
+                    if hub.name not in link.hub_names:
+                        continue
+                    position = link.hub_names.index(hub.name)
+                    for hub_keys in link.rows.values():
+                        if hub_keys[position] != hash_key:
+                            continue
+                        for other_position, other_name in enumerate(link.hub_names):
+                            if other_position == position:
+                                continue
+                            other_hub = self.hubs[other_name]
+                            business = other_hub.business_keys.get(hub_keys[other_position])
+                            if business is not None:
+                                linked.setdefault(other_name, []).append(business)
+                if linked:
+                    document["linked"] = {k: sorted(v) for k, v in linked.items()}
+                store.insert(hub.name, document)
+        return store
+
+    # -- introspection -------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "hubs": len(self.hubs),
+            "links": len(self.links),
+            "satellites": len(self.satellites),
+        }

@@ -1,0 +1,131 @@
+"""The GEMMS generic metadata model and repository (Sec. 5.2.1).
+
+GEMMS' "logic-based metadata model ... allows the separation of metadata
+containing information about the content, semantics, and structure.  It
+captures the general metadata properties in the form of key-value pairs, as
+well as structural metadata as trees and matrices to assist querying.
+Moreover, domain-specific ontology terms can be attached to metadata
+elements as semantic metadata."
+
+:class:`MetadataRepository` stores :class:`~repro.ingestion.gemms.MetadataRecord`
+objects and offers the three query surfaces that separation implies:
+property lookup, structural path search, and semantic-term search.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.core.errors import DatasetNotFound
+from repro.ingestion.gemms import MetadataRecord
+
+
+class MetadataRepository:
+    """Store and query GEMMS metadata records for a whole lake."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, MetadataRecord] = {}
+
+    def add(self, record: MetadataRecord) -> None:
+        """Insert or replace the record for its dataset."""
+        self._records[record.dataset_name] = record
+
+    def get(self, dataset_name: str) -> MetadataRecord:
+        try:
+            return self._records[dataset_name]
+        except KeyError:
+            raise DatasetNotFound(f"no metadata for dataset {dataset_name!r}") from None
+
+    def __contains__(self, dataset_name: str) -> bool:
+        return dataset_name in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def datasets(self) -> List[str]:
+        return sorted(self._records)
+
+    # -- content queries (key-value properties) -------------------------------
+
+    def find_by_property(self, key: str, value: Any = None) -> List[str]:
+        """Datasets whose properties contain *key* (optionally = *value*)."""
+        out = []
+        for name, record in self._records.items():
+            if key in record.properties:
+                if value is None or record.properties[key] == value:
+                    out.append(name)
+        return sorted(out)
+
+    def property_of(self, dataset_name: str, key: str, default: Any = None) -> Any:
+        return self.get(dataset_name).properties.get(key, default)
+
+    # -- structural queries (trees) ----------------------------------------------
+
+    def find_by_path(self, path_fragment: str) -> List[str]:
+        """Datasets whose structure tree contains a path with *path_fragment*.
+
+        Matching is case-insensitive substring over dotted paths, the
+        "structural metadata ... to assist querying" purpose of the model.
+        """
+        fragment = path_fragment.lower()
+        out = []
+        for name, record in self._records.items():
+            if record.structure is None:
+                continue
+            if any(fragment in path.lower() for path in record.structure.paths()):
+                out.append(name)
+        return sorted(out)
+
+    def structure_paths(self, dataset_name: str) -> List[str]:
+        record = self.get(dataset_name)
+        if record.structure is None:
+            return []
+        return record.structure.paths()
+
+    # -- semantic queries (ontology annotations) ------------------------------------
+
+    def annotate(self, dataset_name: str, element_path: str, ontology_term: str) -> None:
+        """Attach an ontology term to a structural element of a dataset."""
+        self.get(dataset_name).annotate(element_path, ontology_term)
+
+    def find_by_term(self, ontology_term: str) -> List[Tuple[str, str]]:
+        """(dataset, element_path) pairs annotated with *ontology_term*."""
+        out = []
+        for name, record in self._records.items():
+            for path, term in record.semantic_annotations.items():
+                if term == ontology_term:
+                    out.append((name, path))
+        return sorted(out)
+
+    # -- matrix view -----------------------------------------------------------------
+
+    def path_matrix(self) -> Tuple[List[str], List[str], List[List[int]]]:
+        """The dataset x path presence matrix ("trees and matrices").
+
+        Returns (dataset_names, paths, matrix) where matrix[i][j] is 1 when
+        dataset i's structure contains path j.  This matrix powers quick
+        which-datasets-share-structure queries.
+        """
+        datasets = self.datasets()
+        all_paths: List[str] = []
+        seen = set()
+        per_dataset: Dict[str, set] = {}
+        for name in datasets:
+            record = self._records[name]
+            paths = set()
+            if record.structure is not None:
+                for path in record.structure.paths():
+                    # strip the root element so matching is cross-dataset
+                    _, _, tail = path.partition(".")
+                    if tail:
+                        paths.add(tail)
+            per_dataset[name] = paths
+            for path in sorted(paths):
+                if path not in seen:
+                    seen.add(path)
+                    all_paths.append(path)
+        matrix = [
+            [1 if path in per_dataset[name] else 0 for path in all_paths]
+            for name in datasets
+        ]
+        return datasets, all_paths, matrix

@@ -1,0 +1,134 @@
+"""HANDLE — a generic metadata model for data lakes (Sec. 5.2.1).
+
+HANDLE "has three abstract entities: data, metadata, and property.  HANDLE
+enables flexibility with fine-grained levels, and it adapts the zone
+architecture ... the elements of the GEMMS model can also be mapped to
+HANDLE.  Finally, HANDLE can be used for linked data and can be implemented
+in Neo4j."
+
+The implementation stores the three abstract entities in our
+:class:`~repro.storage.graph.GraphStore` (the Neo4j stand-in):
+
+- **data** nodes represent stored data elements at any granularity
+  (a dataset, a column, a single record) and carry a ``zone`` property,
+  reproducing HANDLE's zone-architecture adaptation;
+- **metadata** nodes attach to data nodes via ``describes`` edges;
+- **property** nodes hold key-value payloads linked to metadata nodes via
+  ``has_property`` edges;
+- metadata can be linked to other metadata (``related_to``), which is what
+  "can be used for linked data" requires.
+
+``from_gemms`` performs the GEMMS -> HANDLE mapping the survey mentions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.core.registry import Function, Method, SystemInfo, register_system
+from repro.ingestion.gemms import MetadataRecord
+from repro.storage.graph import GraphStore
+
+
+@dataclass(frozen=True)
+class HandleEntity:
+    """A handle to one of HANDLE's abstract entities in the graph."""
+
+    node_id: int
+    kind: str  # "data" | "metadata" | "property"
+    name: str
+
+
+@register_system(SystemInfo(
+    name="HANDLE",
+    functions=(Function.METADATA_MODELING,),
+    methods=(Method.GENERIC_MODEL, Method.GRAPH_MODEL),
+    paper_refs=("[43]",),
+    summary="Three abstract entities (data, metadata, property) with fine-grained "
+            "granularity, zone awareness, linked-data edges; graph-implemented.",
+))
+class HandleModel:
+    """The HANDLE metadata model over a property-graph store."""
+
+    def __init__(self, graph: Optional[GraphStore] = None):
+        self.graph = graph if graph is not None else GraphStore()
+
+    # -- entity creation ----------------------------------------------------------
+
+    def add_data(self, name: str, zone: str = "raw", granularity: str = "dataset",
+                 parent: Optional[HandleEntity] = None) -> HandleEntity:
+        """Create a data entity; *parent* links fine-grained elements upward."""
+        node_id = self.graph.add_node("data", name=name, zone=zone, granularity=granularity)
+        entity = HandleEntity(node_id, "data", name)
+        if parent is not None:
+            self.graph.add_edge(parent.node_id, node_id, "contains")
+        return entity
+
+    def add_metadata(self, data: HandleEntity, name: str, category: str = "structural") -> HandleEntity:
+        """Attach a metadata entity describing *data*."""
+        node_id = self.graph.add_node("metadata", name=name, category=category)
+        self.graph.add_edge(node_id, data.node_id, "describes")
+        return HandleEntity(node_id, "metadata", name)
+
+    def add_property(self, metadata: HandleEntity, key: str, value: Any) -> HandleEntity:
+        """Attach a key-value property to a metadata entity."""
+        node_id = self.graph.add_node("property", key=key, value=value)
+        self.graph.add_edge(metadata.node_id, node_id, "has_property")
+        return HandleEntity(node_id, "property", key)
+
+    def link_metadata(self, left: HandleEntity, right: HandleEntity, relation: str = "related_to") -> None:
+        """Link two metadata entities (the linked-data capability)."""
+        self.graph.add_edge(left.node_id, right.node_id, relation)
+
+    # -- zone support ----------------------------------------------------------------
+
+    def move_to_zone(self, data: HandleEntity, zone: str) -> None:
+        """Move a data entity to another zone (zone-architecture life cycle)."""
+        self.graph.set_property(data.node_id, "zone", zone)
+
+    def zone_of(self, data: HandleEntity) -> str:
+        return self.graph.node(data.node_id).properties["zone"]
+
+    def data_in_zone(self, zone: str) -> List[str]:
+        return sorted(n.properties["name"] for n in self.graph.match("data", {"zone": zone}))
+
+    # -- queries ----------------------------------------------------------------------
+
+    def metadata_of(self, data: HandleEntity) -> List[HandleEntity]:
+        out = []
+        for node_id in self.graph.neighbors(data.node_id, edge_type="describes", direction="in"):
+            node = self.graph.node(node_id)
+            out.append(HandleEntity(node_id, "metadata", node.properties["name"]))
+        return out
+
+    def properties_of(self, metadata: HandleEntity) -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        for node_id in self.graph.neighbors(metadata.node_id, edge_type="has_property"):
+            node = self.graph.node(node_id)
+            out[node.properties["key"]] = node.properties["value"]
+        return out
+
+    # -- GEMMS mapping ------------------------------------------------------------------
+
+    def from_gemms(self, record: MetadataRecord, zone: str = "raw") -> HandleEntity:
+        """Map a GEMMS metadata record onto HANDLE entities.
+
+        The dataset becomes a data entity; the GEMMS property bag becomes a
+        "properties" metadata entity with one property node per key; each
+        structural tree node becomes a fine-grained data entity under the
+        dataset; semantic annotations become "semantic" metadata.
+        """
+        data = self.add_data(record.dataset_name, zone=zone)
+        properties_meta = self.add_metadata(data, "properties", category="content")
+        for key, value in record.properties.items():
+            self.add_property(properties_meta, key, value)
+        if record.structure is not None:
+            structure_meta = self.add_metadata(data, "structure", category="structural")
+            self.add_property(structure_meta, "num_paths", len(record.structure.paths()))
+            for child_name, child in record.structure.children.items():
+                self.add_data(child_name, zone=zone, granularity="element", parent=data)
+        for path, term in record.semantic_annotations.items():
+            semantic_meta = self.add_metadata(data, f"semantics:{path}", category="semantic")
+            self.add_property(semantic_meta, "ontology_term", term)
+        return data

@@ -1,0 +1,37 @@
+"""Dataset organization (survey Sec. 6.1).
+
+"The dataset organization problem studies how to structure and navigate the
+massive heterogeneous datasets in data lakes."  The survey's three method
+families are implemented:
+
+- catalog-based: :mod:`repro.organization.goods_catalog` (GOODS);
+- classification-model based: :mod:`repro.organization.dsknn` (DS-Prox /
+  DS-kNN);
+- DAG-based: :mod:`repro.organization.kayak` (KAYAK's two DAGs),
+  :mod:`repro.organization.nargesian` (attribute-set organization with
+  Markov navigation), :mod:`repro.organization.juneau_graphs` (workflow and
+  variable dependency graphs), and :mod:`repro.organization.ronin` (RONIN's
+  combined navigation).
+"""
+
+from repro.organization.goods_catalog import GoodsCatalog, CatalogEntry
+from repro.organization.dsknn import DsKnnOrganizer
+from repro.organization.kayak import Kayak, Primitive, AtomicTask
+from repro.organization.nargesian import OrganizationBuilder, Organization
+from repro.organization.juneau_graphs import WorkflowGraph, VariableDependencyGraph, Notebook
+from repro.organization.ronin import Ronin
+
+__all__ = [
+    "AtomicTask",
+    "CatalogEntry",
+    "DsKnnOrganizer",
+    "GoodsCatalog",
+    "Kayak",
+    "Notebook",
+    "Organization",
+    "OrganizationBuilder",
+    "Primitive",
+    "Ronin",
+    "VariableDependencyGraph",
+    "WorkflowGraph",
+]

@@ -1,0 +1,151 @@
+"""DS-Prox / DS-kNN — classification-model dataset organization (Sec. 6.1.2).
+
+DS-kNN "incrementally adds every dataset into a new or existing category by
+applying k-nearest-neighbour search.  Before the step of classification,
+DS-kNN first conducts data preparation by feature extraction.  For each
+attribute, depending on whether its values are continuous or discrete,
+DS-kNN extracts statistical or distribution-based features respectively
+... together with other features based on extracted metadata, e.g., the
+number of attributes, and types of each attribute ... given a new dataset,
+the proposed classification-based algorithm returns top-k neighbors, from
+which DS-kNN chooses the most frequently appeared category ... if none of
+the existing datasets are found, the new dataset is assigned to a new
+category.  Finally, the datasets in the lake can be visualized as a graph."
+
+``similarity_graph`` produces that dataset graph with similarity-labeled
+edges; name features use Levenshtein similarity as in the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+
+from repro.core.dataset import Table
+from repro.core.registry import Function, Method, SystemInfo, register_system
+from repro.core.types import numeric_values
+from repro.ml.knn import KNNClassifier, euclidean
+from repro.ml.stats import numeric_profile
+from repro.ml.text import levenshtein_similarity
+
+
+def dataset_features(table: Table) -> List[float]:
+    """DS-kNN's feature vector for one dataset.
+
+    Metadata features: number of attributes, fraction numeric/textual.
+    Per-attribute features averaged across the table: for continuous
+    attributes statistical features (mean, std of normalized values), for
+    discrete attributes distribution features (average distinct count,
+    average value length).
+    """
+    if table.width == 0:
+        return [0.0] * 8
+    numeric_columns = [c for c in table.columns if c.dtype.is_numeric]
+    text_columns = [c for c in table.columns if not c.dtype.is_numeric]
+    means, stds = [], []
+    for column in numeric_columns:
+        profile = numeric_profile(numeric_values(column.values))
+        span = (profile.maximum - profile.minimum) or 1.0
+        means.append((profile.mean - profile.minimum) / span)
+        stds.append(profile.std / span)
+    distincts, lengths = [], []
+    for column in text_columns:
+        values = column.non_null()
+        distincts.append(len(column.distinct()) / len(values) if values else 0.0)
+        lengths.append(
+            sum(len(str(v)) for v in values) / len(values) if values else 0.0
+        )
+    def avg(xs: Sequence[float]) -> float:
+        return sum(xs) / len(xs) if xs else 0.0
+
+    return [
+        float(table.width),
+        len(numeric_columns) / table.width,
+        len(text_columns) / table.width,
+        avg(means),
+        avg(stds),
+        avg(distincts),
+        min(avg(lengths) / 32.0, 1.0),
+        min(len(table) / 1000.0, 1.0),
+    ]
+
+
+def _name_distance(left: Tuple[str, Sequence[float]], right: Tuple[str, Sequence[float]]) -> float:
+    """Feature distance blended with name dissimilarity (Levenshtein)."""
+    name_term = 1.0 - levenshtein_similarity(left[0].lower(), right[0].lower())
+    return euclidean(left[1], right[1]) + 0.5 * name_term
+
+
+@register_system(SystemInfo(
+    name="DS-Prox / DS-kNN",
+    functions=(Function.DATASET_ORGANIZATION,),
+    methods=(Method.CLASSIFICATION_MODEL,),
+    paper_refs=("[3]", "[4]", "[5]"),
+    summary="Incremental k-NN categorization of datasets over statistical/"
+            "distribution/metadata features with Levenshtein name similarity; "
+            "similarity-graph visualization; pre-filter for schema matching.",
+))
+class DsKnnOrganizer:
+    """Incremental dataset categorization by k-NN over extracted features."""
+
+    def __init__(self, k: int = 3, max_distance: float = 1.2):
+        self.k = k
+        self.max_distance = max_distance
+        self._features: Dict[str, List[float]] = {}
+        self._categories: Dict[str, int] = {}
+        self._next_category = itertools.count(1)
+
+    # -- incremental categorization --------------------------------------------------
+
+    def add(self, table: Table) -> int:
+        """Categorize *table*, creating a new category when nothing is near."""
+        features = dataset_features(table)
+        knn = KNNClassifier(k=self.k, distance=_name_distance, max_distance=self.max_distance)
+        for name, point in self._features.items():
+            knn.add((name, point), self._categories[name])
+        category = knn.predict((table.name, features)) if len(knn) else None
+        if category is None:
+            category = next(self._next_category)
+        self._features[table.name] = features
+        self._categories[table.name] = category
+        return category
+
+    def category_of(self, name: str) -> int:
+        return self._categories[name]
+
+    def categories(self) -> Dict[int, List[str]]:
+        out: Dict[int, List[str]] = {}
+        for name, category in self._categories.items():
+            out.setdefault(category, []).append(name)
+        return {category: sorted(names) for category, names in out.items()}
+
+    # -- visualization graph ------------------------------------------------------------
+
+    def similarity_graph(self, max_edge_distance: float = 1.5) -> nx.Graph:
+        """Dataset graph: nodes are datasets, edges labeled with similarity."""
+        graph = nx.Graph()
+        names = sorted(self._features)
+        graph.add_nodes_from(names)
+        for i in range(len(names)):
+            for j in range(i + 1, len(names)):
+                distance = _name_distance(
+                    (names[i], self._features[names[i]]),
+                    (names[j], self._features[names[j]]),
+                )
+                if distance <= max_edge_distance:
+                    graph.add_edge(names[i], names[j],
+                                   similarity=round(1.0 / (1.0 + distance), 4))
+        return graph
+
+    # -- schema-matching pre-filter (DS-Prox's purpose) -----------------------------------
+
+    def prefilter_pairs(self) -> List[Tuple[str, str]]:
+        """Dataset pairs worth running schema matching on (same category)."""
+        out = []
+        for names in self.categories().values():
+            for i in range(len(names)):
+                for j in range(i + 1, len(names)):
+                    out.append((names[i], names[j]))
+        return sorted(out)

@@ -1,0 +1,191 @@
+"""GOODS — catalog-based dataset organization (Sec. 6.1.1).
+
+GOODS "allows datasets to be created, stored, and modified first, before
+conducting metadata collection.  For each dataset, it collects various
+metadata and adds it as one entry in the GOODS catalog ... the metadata is
+classified into six categories, including basic, content-based, provenance,
+user-supplied, team, project, and temporal metadata" and clusters
+"different versions of the same dataset".
+
+:class:`GoodsCatalog` reproduces the post-hoc catalog: entries carry the
+six metadata categories, keyword search spans them, crowdsourced
+(user-supplied) annotations can be added after the fact (Sec. 6.4.3), and
+``version_clusters`` groups entries that look like versions of one logical
+dataset (same stem / same schema fingerprint).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.core.dataset import Dataset, Table
+from repro.core.errors import DatasetNotFound
+from repro.core.registry import Function, Method, SystemInfo, register_system
+
+#: the six GOODS metadata categories
+CATEGORIES = ("basic", "content", "provenance", "user_supplied", "team_project", "temporal")
+
+_VERSION_SUFFIX = re.compile(r"[_\-.]?(v?\d+|\d{4}-\d{2}-\d{2})$")
+
+
+@dataclass
+class CatalogEntry:
+    """One dataset's catalog entry with six metadata categories."""
+
+    name: str
+    basic: Dict[str, Any] = field(default_factory=dict)
+    content: Dict[str, Any] = field(default_factory=dict)
+    provenance: Dict[str, Any] = field(default_factory=dict)
+    user_supplied: Dict[str, Any] = field(default_factory=dict)
+    team_project: Dict[str, Any] = field(default_factory=dict)
+    temporal: Dict[str, Any] = field(default_factory=dict)
+
+    def category(self, name: str) -> Dict[str, Any]:
+        if name not in CATEGORIES:
+            raise KeyError(f"unknown metadata category {name!r}; known: {CATEGORIES}")
+        return getattr(self, name)
+
+    def all_text(self) -> str:
+        """Searchable text across every category."""
+        parts = [self.name]
+        for category in CATEGORIES:
+            for key, value in self.category(category).items():
+                parts.append(str(key))
+                parts.append(str(value))
+        return " ".join(parts).lower()
+
+
+@register_system(SystemInfo(
+    name="GOODS",
+    functions=(
+        Function.DATASET_ORGANIZATION,
+        Function.METADATA_ENRICHMENT,
+        Function.DATA_PROVENANCE,
+    ),
+    methods=(Method.CATALOG, Method.DESCRIPTIVE_ENRICHMENT),
+    paper_refs=("[67]", "[68]"),
+    summary="Post-hoc metadata catalog with six categories (basic, content, "
+            "provenance, user-supplied, team/project, temporal); version "
+            "clustering; crowdsourced descriptive enrichment.",
+))
+class GoodsCatalog:
+    """A GOODS-style dataset catalog."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, CatalogEntry] = {}
+        self._clock = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    # -- registration (post-hoc metadata collection) ----------------------------
+
+    def register(
+        self,
+        dataset: Dataset,
+        backend: str = "",
+        owner: str = "",
+        team: str = "",
+        project: str = "",
+    ) -> CatalogEntry:
+        """Collect metadata for an already-stored dataset."""
+        self._clock += 1
+        entry = CatalogEntry(name=dataset.name)
+        entry.basic = {
+            "format": dataset.format,
+            "backend": backend,
+            "source": dataset.source,
+        }
+        if isinstance(dataset.payload, Table):
+            table = dataset.payload
+            entry.content = {
+                "num_rows": len(table),
+                "num_columns": table.width,
+                "schema_fingerprint": self._fingerprint(table),
+                "columns": list(table.column_names),
+            }
+        elif isinstance(dataset.payload, list):
+            entry.content = {"num_documents": len(dataset.payload)}
+        entry.provenance = {"ingested_from": dataset.source or "unknown"}
+        entry.team_project = {"owner": owner, "team": team, "project": project}
+        entry.temporal = {"registered_at": self._clock}
+        self._entries[dataset.name] = entry
+        return entry
+
+    @staticmethod
+    def _fingerprint(table: Table) -> str:
+        return "|".join(sorted(c.lower() for c in table.column_names))
+
+    # -- access -------------------------------------------------------------------
+
+    def entry(self, name: str) -> CatalogEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise DatasetNotFound(f"dataset {name!r} is not cataloged") from None
+
+    def entries(self) -> List[CatalogEntry]:
+        return [self._entries[name] for name in sorted(self._entries)]
+
+    # -- crowdsourced enrichment (Sec. 6.4.3) -----------------------------------------
+
+    def annotate(self, name: str, key: str, value: Any, author: str = "") -> None:
+        """Add user-supplied metadata (descriptions, security flags...)."""
+        entry = self.entry(name)
+        entry.user_supplied[key] = value
+        if author:
+            entry.user_supplied.setdefault("_contributors", [])
+            if author not in entry.user_supplied["_contributors"]:
+                entry.user_supplied["_contributors"].append(author)
+
+    def flag_for_security(self, name: str, reason: str, author: str = "") -> None:
+        """Mark a dataset as needing security attention (the GOODS example)."""
+        self.annotate(name, "security_flag", reason, author=author)
+
+    def security_flagged(self) -> List[str]:
+        return sorted(
+            e.name for e in self._entries.values() if "security_flag" in e.user_supplied
+        )
+
+    # -- search & organization ------------------------------------------------------------
+
+    def search(self, keywords: str, k: int = 10) -> List[str]:
+        """Rank entries by how many query keywords their metadata contains."""
+        terms = [t for t in keywords.lower().split() if t]
+        scored = []
+        for entry in self._entries.values():
+            text = entry.all_text()
+            score = sum(1 for term in terms if term in text)
+            if score:
+                scored.append((entry.name, score))
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return [name for name, _ in scored[:k]]
+
+    def version_clusters(self) -> List[List[str]]:
+        """Group datasets that look like versions of one logical dataset.
+
+        Two entries cluster when their version-suffix-stripped name stems
+        match, or their schema fingerprints are identical — GOODS' "cluster
+        different versions of the same dataset".
+        """
+        by_key: Dict[Tuple[str, str], List[str]] = {}
+        for entry in self.entries():
+            stem = _VERSION_SUFFIX.sub("", entry.name)
+            fingerprint = entry.content.get("schema_fingerprint", "")
+            by_key.setdefault((stem, fingerprint), []).append(entry.name)
+        # second pass: merge same-stem groups with different fingerprints
+        by_stem: Dict[str, List[str]] = {}
+        for (stem, _), names in by_key.items():
+            by_stem.setdefault(stem, []).extend(names)
+        return sorted([sorted(names) for names in by_stem.values() if len(names) > 1])
+
+    def by_project(self, project: str) -> List[str]:
+        return sorted(
+            e.name for e in self._entries.values()
+            if e.team_project.get("project") == project
+        )

@@ -1,0 +1,202 @@
+"""Juneau's notebook graphs (Sec. 6.1.3 / 6.7).
+
+Juneau handles "(Jupyter ...) notebooks, workflows in a notebook, and cells
+that constitute a workflow ... A workflow graph is a directed bipartite
+graph with two types of nodes: data object nodes which represent
+input/output files or formatted text cells, and computational module nodes
+representing code cells ... Juneau also has a DAG for managing the
+relationships of variables in notebooks, referred to as variable dependency
+graphs.  In a variable dependency graph, nodes represent the variables, and
+the labeled, directed edges indicate that one variable is computed using
+another variable through a function.  Via subgraph isomorphism, Juneau is
+able to discover tables sharing similar workflows of notebooks."
+
+This module models notebooks, builds both graphs, computes the
+provenance/workflow similarity used by Juneau's table search, and supports
+the lineage query of Sec. 6.7: "given a variable v ... find all other
+variables affecting v via some functions".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.core.dataset import Table
+from repro.core.registry import Function, Method, SystemInfo, register_system
+
+
+@dataclass
+class Cell:
+    """One notebook cell: code that reads and writes variables."""
+
+    cell_id: str
+    function: str                    # the operation the cell applies
+    inputs: Tuple[str, ...] = ()     # variables read
+    outputs: Tuple[str, ...] = ()    # variables written
+    is_code: bool = True
+
+
+@dataclass
+class Notebook:
+    """A computational notebook as an ordered list of cells."""
+
+    name: str
+    cells: List[Cell] = field(default_factory=list)
+    tables: Dict[str, Table] = field(default_factory=dict)  # variable -> table value
+
+    def add_cell(
+        self,
+        function: str,
+        inputs: Sequence[str] = (),
+        outputs: Sequence[str] = (),
+        is_code: bool = True,
+    ) -> Cell:
+        cell = Cell(
+            cell_id=f"{self.name}#{len(self.cells)}",
+            function=function,
+            inputs=tuple(inputs),
+            outputs=tuple(outputs),
+            is_code=is_code,
+        )
+        self.cells.append(cell)
+        return cell
+
+    def bind_table(self, variable: str, table: Table) -> None:
+        """Record the table value a variable held (Juneau's stored outputs)."""
+        self.tables[variable] = table
+
+
+class WorkflowGraph:
+    """The directed bipartite workflow graph of a notebook."""
+
+    def __init__(self, notebook: Notebook):
+        self.graph = nx.DiGraph()
+        for cell in notebook.cells:
+            module = ("module", cell.cell_id)
+            self.graph.add_node(module, kind="module", function=cell.function)
+            for variable in cell.inputs:
+                data = ("data", variable)
+                self.graph.add_node(data, kind="data")
+                self.graph.add_edge(data, module)
+            for variable in cell.outputs:
+                data = ("data", variable)
+                self.graph.add_node(data, kind="data")
+                self.graph.add_edge(module, data)
+
+    def is_bipartite(self) -> bool:
+        """Every edge connects a data node and a module node."""
+        for source, target in self.graph.edges:
+            kinds = {self.graph.nodes[source]["kind"], self.graph.nodes[target]["kind"]}
+            if kinds != {"data", "module"}:
+                return False
+        return True
+
+    def data_nodes(self) -> List[str]:
+        return sorted(n[1] for n, d in self.graph.nodes(data=True) if d["kind"] == "data")
+
+    def module_nodes(self) -> List[str]:
+        return sorted(n[1] for n, d in self.graph.nodes(data=True) if d["kind"] == "module")
+
+
+@register_system(SystemInfo(
+    name="Juneau (graphs)",
+    functions=(Function.DATASET_ORGANIZATION, Function.DATA_PROVENANCE),
+    methods=(Method.DAG,),
+    paper_refs=("[75]", "[151]", "[152]"),
+    summary="Workflow graph (bipartite data/module) and variable dependency graph "
+            "over notebooks; provenance similarity via workflow patterns.",
+    dag_function="Measure table relatedness w.r.t. notebook workflow",
+    dag_node="Notebook variables",
+    dag_edge="Notebook functions (as edge labels)",
+    dag_edge_direction="From the input variable of the function to the output variable",
+))
+class VariableDependencyGraph:
+    """Variables as nodes; labeled edges input -> output through a function."""
+
+    def __init__(self, notebook: Notebook):
+        self.notebook = notebook
+        self.graph = nx.MultiDiGraph()
+        for cell in notebook.cells:
+            if not cell.is_code:
+                continue
+            for output in cell.outputs:
+                self.graph.add_node(output)
+                for input_variable in cell.inputs:
+                    self.graph.add_node(input_variable)
+                    self.graph.add_edge(input_variable, output, function=cell.function)
+
+    def variables(self) -> List[str]:
+        return sorted(self.graph.nodes)
+
+    def edges(self) -> List[Tuple[str, str, str]]:
+        """(input, output, function) triples."""
+        return sorted(
+            (u, v, data["function"]) for u, v, data in self.graph.edges(data=True)
+        )
+
+    # -- lineage (Sec. 6.7) ------------------------------------------------------------
+
+    def affecting(self, variable: str) -> Set[str]:
+        """All variables affecting *variable* via some chain of functions."""
+        if variable not in self.graph:
+            return set()
+        return set(nx.ancestors(self.graph, variable))
+
+    def affected_by(self, variable: str) -> Set[str]:
+        if variable not in self.graph:
+            return set()
+        return set(nx.descendants(self.graph, variable))
+
+    def derivation_functions(self, source: str, target: str) -> List[str]:
+        """Function labels along one shortest derivation path source->target."""
+        try:
+            path = nx.shortest_path(self.graph, source, target)
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            return []
+        labels = []
+        for u, v in zip(path, path[1:]):
+            edge_data = list(self.graph[u][v].values())[0]
+            labels.append(edge_data["function"])
+        return labels
+
+    # -- provenance similarity ------------------------------------------------------------
+
+    def _neighborhood_pattern(self, variable: str, hops: int = 2) -> Set[Tuple[str, int]]:
+        """The multiset of function labels within *hops* of a variable.
+
+        A cheap, order-insensitive stand-in for subgraph isomorphism: two
+        variables produced by the same sequence/pattern of functions share
+        their labeled neighborhoods.
+        """
+        pattern: Set[Tuple[str, int]] = set()
+        frontier = {variable}
+        for hop in range(1, hops + 1):
+            next_frontier: Set[str] = set()
+            for node in frontier:
+                if node not in self.graph:
+                    continue
+                for u, v, data in self.graph.in_edges(node, data=True):
+                    pattern.add((data["function"], hop))
+                    next_frontier.add(u)
+                for u, v, data in self.graph.out_edges(node, data=True):
+                    pattern.add((data["function"], -hop))
+                    next_frontier.add(v)
+            frontier = next_frontier
+        return pattern
+
+    def provenance_similarity(self, left: str, other: "VariableDependencyGraph", right: str) -> float:
+        """Jaccard similarity of the two variables' workflow patterns."""
+        left_pattern = self._neighborhood_pattern(left)
+        right_pattern = other._neighborhood_pattern(right)
+        if not left_pattern and not right_pattern:
+            return 0.0
+        union = left_pattern | right_pattern
+        return len(left_pattern & right_pattern) / len(union)
+
+    def shares_workflow(self, left: str, other: "VariableDependencyGraph", right: str,
+                        threshold: float = 0.6) -> bool:
+        """Do two variables come from similar notebook workflows?"""
+        return self.provenance_similarity(left, other, right) >= threshold

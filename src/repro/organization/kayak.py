@@ -1,0 +1,284 @@
+"""KAYAK — just-in-time data preparation with two DAGs (Sec. 6.1.3).
+
+KAYAK "first defines atomic tasks such as basic profiling and dataset
+joinability computation.  Then a sequence of such atomic tasks further
+builds up a specific operation for data preparation, referred to as a
+*primitive* ... To represent data preparation pipelines, it uses a DAG with
+primitives as nodes and their dependencies (based on execution order) as
+edges.  To manage dependencies among tasks and execute the atomic tasks of
+a primitive in parallel, KAYAK defines the second type of DAG for task
+dependency ... Such a DAG helps to identify which tasks can be parallelized
+during execution." (Table 2)
+
+The implementation provides both DAGs plus a list scheduler: tasks carry a
+cost; the scheduler computes the parallel makespan over ``num_workers``
+workers honoring dependencies, which the ``bench_claim_kayak`` benchmark
+compares against sequential execution.  Tasks execute real callables, so
+pipelines genuinely run (e.g. profiling + joinability over lake tables).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set
+
+import networkx as nx
+
+from repro.core.errors import DataLakeError
+from repro.core.registry import Function, Method, SystemInfo, register_system
+
+
+@dataclass
+class AtomicTask:
+    """An atomic data preparation task with simulated cost and real action.
+
+    ``approximate_action``/``approximate_cost`` support KAYAK's just-in-time
+    mode: when the time budget cannot afford the exact task, a cheaper
+    approximation (e.g. profiling a sample instead of the full dataset) can
+    run in its place — "crossing the finish line faster".
+    """
+
+    name: str
+    cost: float = 1.0
+    action: Optional[Callable[[], Any]] = None
+    result: Any = None
+    approximate_action: Optional[Callable[[], Any]] = None
+    approximate_cost: float = 0.0
+
+    def run(self) -> Any:
+        if self.action is not None:
+            self.result = self.action()
+        return self.result
+
+    def run_approximate(self) -> Any:
+        if self.approximate_action is not None:
+            self.result = self.approximate_action()
+        return self.result
+
+
+@dataclass
+class Primitive:
+    """A data preparation operation composed of atomic tasks.
+
+    ``dependencies`` maps a task name to the names of tasks it must wait
+    for *within this primitive* (the task-dependency DAG of Table 2).
+    """
+
+    name: str
+    tasks: List[AtomicTask] = field(default_factory=list)
+    dependencies: Dict[str, List[str]] = field(default_factory=dict)
+
+    def add_task(self, task: AtomicTask, after: Sequence[str] = ()) -> "Primitive":
+        self.tasks.append(task)
+        if after:
+            self.dependencies[task.name] = list(after)
+        return self
+
+    def task_dag(self) -> nx.DiGraph:
+        """The task-dependency DAG: node = atomic task, edge = exec order."""
+        dag = nx.DiGraph()
+        for task in self.tasks:
+            dag.add_node(task.name, cost=task.cost)
+        for task_name, predecessors in self.dependencies.items():
+            for predecessor in predecessors:
+                dag.add_edge(predecessor, task_name)
+        if not nx.is_directed_acyclic_graph(dag):
+            raise DataLakeError(f"primitive {self.name!r} has cyclic task dependencies")
+        return dag
+
+
+@register_system(SystemInfo(
+    name="KAYAK",
+    functions=(Function.DATASET_ORGANIZATION,),
+    methods=(Method.DAG,),
+    paper_refs=("[90]", "[91]"),
+    summary="Just-in-time data preparation: primitives composed of atomic tasks; "
+            "pipeline DAG over primitives, task-dependency DAG for parallelism.",
+    dag_function="Represent the primitives of a data preparation pipeline / "
+                 "enforce correct execution sequence of tasks while parallelization",
+    dag_node="Primitives / atomic tasks for data preparation operations",
+    dag_edge="Sequential execution order of two primitives / of two tasks",
+    dag_edge_direction="From the previous primitive (task) to the subsequent one",
+))
+class Kayak:
+    """A data-preparation pipeline of primitives with parallel scheduling."""
+
+    def __init__(self, num_workers: int = 4):
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        self.num_workers = num_workers
+        self._primitives: Dict[str, Primitive] = {}
+        self._pipeline_deps: Dict[str, List[str]] = {}
+
+    # -- pipeline DAG (primitive level) -----------------------------------------------
+
+    def add_primitive(self, primitive: Primitive, after: Sequence[str] = ()) -> "Kayak":
+        for name in after:
+            if name not in self._primitives:
+                raise DataLakeError(f"primitive {primitive.name!r} depends on unknown {name!r}")
+        self._primitives[primitive.name] = primitive
+        self._pipeline_deps[primitive.name] = list(after)
+        return self
+
+    def pipeline_dag(self) -> nx.DiGraph:
+        """The pipeline DAG: node = primitive, edge = execution order."""
+        dag = nx.DiGraph()
+        dag.add_nodes_from(self._primitives)
+        for name, predecessors in self._pipeline_deps.items():
+            for predecessor in predecessors:
+                dag.add_edge(predecessor, name)
+        if not nx.is_directed_acyclic_graph(dag):
+            raise DataLakeError("pipeline has cyclic primitive dependencies")
+        return dag
+
+    # -- execution ------------------------------------------------------------------------
+
+    def run(self) -> Dict[str, Any]:
+        """Execute all primitives in topological order; returns task results."""
+        results: Dict[str, Any] = {}
+        for primitive_name in nx.topological_sort(self.pipeline_dag()):
+            primitive = self._primitives[primitive_name]
+            dag = primitive.task_dag()
+            tasks = {task.name: task for task in primitive.tasks}
+            for task_name in nx.topological_sort(dag):
+                results[f"{primitive_name}.{task_name}"] = tasks[task_name].run()
+        return results
+
+    def run_within_budget(self, budget: float) -> Dict[str, Any]:
+        """Just-in-time execution under a (simulated) time budget.
+
+        Tasks run in topological order while the budget lasts.  When a
+        task's exact cost no longer fits but its approximation does, the
+        approximation runs instead (the result is flagged); tasks that fit
+        neither are skipped along with their dependents.  Returns::
+
+            {"results": {...}, "exact": [...], "approximated": [...],
+             "skipped": [...], "cost_spent": float}
+        """
+        if budget < 0:
+            raise ValueError("budget must be non-negative")
+        results: Dict[str, Any] = {}
+        exact: List[str] = []
+        approximated: List[str] = []
+        skipped: List[str] = []
+        spent = 0.0
+        skipped_set: Set[str] = set()
+        for primitive_name in nx.topological_sort(self.pipeline_dag()):
+            primitive = self._primitives[primitive_name]
+            dag = primitive.task_dag()
+            tasks = {task.name: task for task in primitive.tasks}
+            for task_name in nx.topological_sort(dag):
+                task = tasks[task_name]
+                key = f"{primitive_name}.{task_name}"
+                blocked = any(
+                    f"{primitive_name}.{p}" in skipped_set
+                    for p in dag.predecessors(task_name)
+                )
+                if blocked:
+                    skipped.append(key)
+                    skipped_set.add(key)
+                    continue
+                if spent + task.cost <= budget:
+                    results[key] = task.run()
+                    spent += task.cost
+                    exact.append(key)
+                elif (task.approximate_action is not None
+                      and spent + task.approximate_cost <= budget):
+                    results[key] = task.run_approximate()
+                    spent += task.approximate_cost
+                    approximated.append(key)
+                else:
+                    skipped.append(key)
+                    skipped_set.add(key)
+        return {
+            "results": results,
+            "exact": exact,
+            "approximated": approximated,
+            "skipped": skipped,
+            "cost_spent": spent,
+        }
+
+    # -- scheduling analysis --------------------------------------------------------------
+
+    def sequential_makespan(self) -> float:
+        """Total cost when every task runs one after another."""
+        return sum(
+            task.cost
+            for primitive in self._primitives.values()
+            for task in primitive.tasks
+        )
+
+    def parallel_makespan(self, num_workers: Optional[int] = None) -> float:
+        """List-scheduled makespan over the combined task DAG.
+
+        The combined DAG joins every primitive's task DAG and adds edges for
+        pipeline-level dependencies (last tasks of a predecessor primitive
+        precede first tasks of its successors).
+        """
+        workers = num_workers or self.num_workers
+        dag = nx.DiGraph()
+        costs: Dict[str, float] = {}
+        for primitive_name, primitive in self._primitives.items():
+            task_dag = primitive.task_dag()
+            for task in primitive.tasks:
+                node = f"{primitive_name}.{task.name}"
+                dag.add_node(node)
+                costs[node] = task.cost
+            for u, v in task_dag.edges:
+                dag.add_edge(f"{primitive_name}.{u}", f"{primitive_name}.{v}")
+        for name, predecessors in self._pipeline_deps.items():
+            sinks = {
+                f"{p}.{t}" for p in predecessors
+                for t in _sinks(self._primitives[p])
+            }
+            sources = {f"{name}.{t}" for t in _sources(self._primitives[name])}
+            for sink in sinks:
+                for source in sources:
+                    dag.add_edge(sink, source)
+        return _list_schedule(dag, costs, workers)
+
+    def parallelizable_groups(self, primitive_name: str) -> List[List[str]]:
+        """Antichains of tasks that may run concurrently (level sets)."""
+        dag = self._primitives[primitive_name].task_dag()
+        levels: Dict[str, int] = {}
+        for node in nx.topological_sort(dag):
+            levels[node] = 1 + max((levels[p] for p in dag.predecessors(node)), default=-1)
+        groups: Dict[int, List[str]] = {}
+        for node, level in levels.items():
+            groups.setdefault(level, []).append(node)
+        return [sorted(groups[level]) for level in sorted(groups)]
+
+
+def _sources(primitive: Primitive) -> List[str]:
+    dag = primitive.task_dag()
+    return [n for n in dag.nodes if dag.in_degree(n) == 0]
+
+
+def _sinks(primitive: Primitive) -> List[str]:
+    dag = primitive.task_dag()
+    return [n for n in dag.nodes if dag.out_degree(n) == 0]
+
+
+def _list_schedule(dag: nx.DiGraph, costs: Dict[str, float], workers: int) -> float:
+    """Earliest-start list scheduling with *workers* machines."""
+    finish: Dict[str, float] = {}
+    worker_free = [0.0] * workers
+    in_degree = {node: dag.in_degree(node) for node in dag.nodes}
+    ready = [
+        (0.0, node) for node in dag.nodes if in_degree[node] == 0
+    ]
+    heapq.heapify(ready)
+    while ready:
+        available_at, node = heapq.heappop(ready)
+        worker_index = min(range(workers), key=lambda w: worker_free[w])
+        start = max(worker_free[worker_index], available_at)
+        end = start + costs.get(node, 0.0)
+        worker_free[worker_index] = end
+        finish[node] = end
+        for successor in dag.successors(node):
+            in_degree[successor] -= 1
+            if in_degree[successor] == 0:
+                earliest = max(finish[p] for p in dag.predecessors(successor))
+                heapq.heappush(ready, (earliest, successor))
+    return max(finish.values(), default=0.0)

@@ -1,0 +1,105 @@
+"""RONIN — combined data lake exploration (Sec. 6.1.3).
+
+"A more recent system RONIN, combines navigation using the above DAG-based
+structure [104], with metadata keyword search and joinable dataset search
+in a data lake."
+
+:class:`Ronin` is therefore a thin composition of three engines this
+package already provides: the Nargesian organization (hierarchical
+navigation), a keyword index over catalog metadata, and a JOSIE index for
+joinable search.  ``explore`` runs all three for one request and merges the
+table-level results, which is precisely RONIN's browsing experience.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.dataset import Table
+from repro.core.registry import Function, Method, SystemInfo, register_system
+from repro.discovery.josie import JosieIndex
+from repro.ml.embeddings import HashedEmbedder
+from repro.ml.text import tokenize
+from repro.organization.nargesian import Organization, OrganizationBuilder
+
+
+@register_system(SystemInfo(
+    name="RONIN",
+    functions=(Function.DATASET_ORGANIZATION, Function.QUERY_DRIVEN_DISCOVERY),
+    methods=(Method.DAG,),
+    paper_refs=("[110]",),
+    summary="Combines DAG-based organization navigation with metadata keyword "
+            "search and joinable dataset search.",
+))
+class Ronin:
+    """Navigation + keyword + joinable search over one set of lake tables."""
+
+    def __init__(self, embedder: Optional[HashedEmbedder] = None, branching: int = 3):
+        self.embedder = embedder or HashedEmbedder()
+        self.builder = OrganizationBuilder(embedder=self.embedder, branching=branching)
+        self.josie = JosieIndex()
+        self._tables: Dict[str, Table] = {}
+        self._keywords: Dict[str, set] = {}
+        self._organization: Optional[Organization] = None
+
+    # -- indexing ------------------------------------------------------------------
+
+    def add_table(self, table: Table, description: str = "") -> None:
+        self._tables[table.name] = table
+        self.josie.add_table(table)
+        tokens = set(tokenize(table.name)) | set(tokenize(description))
+        for column in table.column_names:
+            tokens |= set(tokenize(column))
+        self._keywords[table.name] = tokens
+        self._organization = None
+
+    @property
+    def organization(self) -> Organization:
+        if self._organization is None:
+            self._organization = self.builder.build_from_tables(
+                [self._tables[name] for name in sorted(self._tables)]
+            )
+        return self._organization
+
+    # -- the three exploration modes -----------------------------------------------------
+
+    def navigate(self, topic: str) -> Optional[Tuple[str, str]]:
+        """Hierarchically navigate the organization toward *topic*."""
+        query = self.embedder.embed(topic)
+        return self.organization.navigate(query)
+
+    def keyword_search(self, keywords: str, k: int = 5) -> List[Tuple[str, int]]:
+        """Tables ranked by matched metadata keywords."""
+        terms = set(tokenize(keywords))
+        scored = []
+        for name, tokens in self._keywords.items():
+            score = len(terms & tokens)
+            if score:
+                scored.append((name, score))
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored[:k]
+
+    def joinable_search(self, table: str, column: str, k: int = 5):
+        """Joinable columns for ``table.column`` via the JOSIE index."""
+        return self.josie.topk_for_column(self._tables[table], column, k=k)
+
+    # -- combined exploration ----------------------------------------------------------------
+
+    def explore(self, topic: str, k: int = 5) -> List[str]:
+        """One-stop exploration: merge all three engines' table suggestions.
+
+        Tables earn points from keyword hits, from holding the navigated
+        attribute, and from being joinable with the navigated column.
+        """
+        scores: Dict[str, float] = {}
+        for name, hits in self.keyword_search(topic, k=k):
+            scores[name] = scores.get(name, 0.0) + float(hits)
+        landed = self.navigate(topic)
+        if landed is not None:
+            table, column = landed
+            scores[table] = scores.get(table, 0.0) + 2.0
+            if table in self._tables and column in self._tables[table]:
+                for (other_table, _), overlap in self.joinable_search(table, column, k=k):
+                    scores[other_table] = scores.get(other_table, 0.0) + 1.0
+        ranked = sorted(scores.items(), key=lambda pair: (-pair[1], pair[0]))
+        return [name for name, _ in ranked[:k]]

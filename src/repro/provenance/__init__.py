@@ -1,0 +1,27 @@
+"""Data provenance (survey Sec. 6.7).
+
+"Data provenance (also known as data lineage) refers to meta information of
+data records, which indicates their origin, usage, status in the life
+cycle."  Implemented:
+
+- :mod:`repro.provenance.events` — the event recorder capturing ingest /
+  transform / query activities across systems (Suriarachchi et al.'s
+  integrated-provenance architecture);
+- :mod:`repro.provenance.provgraph` — GOODS-style provenance graphs:
+  subject-predicate-object triple export, visual graph, path queries;
+- :mod:`repro.provenance.temporal` — CoreDB's temporal provenance DAG
+  answering "who queried a specific entity";
+- Juneau's variable lineage lives on
+  :class:`repro.organization.juneau_graphs.VariableDependencyGraph`.
+"""
+
+from repro.provenance.events import ProvenanceEvent, ProvenanceRecorder
+from repro.provenance.provgraph import ProvenanceGraph
+from repro.provenance.temporal import TemporalProvenance
+
+__all__ = [
+    "ProvenanceEvent",
+    "ProvenanceGraph",
+    "ProvenanceRecorder",
+    "TemporalProvenance",
+]

@@ -1,0 +1,133 @@
+"""Provenance event capture across heterogeneous systems (Sec. 6.7).
+
+Suriarachchi et al. "propose an abstracted architecture that provides
+integrated provenance given multiple data processing and analytics systems
+... as these systems populate provenance events in different standards and
+apply various storage manners."  :class:`ProvenanceRecorder` is that
+abstraction: every subsystem reports events through one normalized schema
+(actor, activity, inputs, outputs), regardless of where it runs; adapters
+(``record_ingest``, ``record_transform``, ``record_query``) normalize the
+common activities.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.registry import Function, Method, SystemInfo, register_system
+
+
+@dataclass(frozen=True)
+class ProvenanceEvent:
+    """One normalized provenance event."""
+
+    event_id: int
+    activity: str                 # "ingest" | "transform" | "query" | custom
+    actor: str                    # user or system that acted
+    inputs: Tuple[str, ...]       # dataset names read
+    outputs: Tuple[str, ...]      # dataset names produced
+    system: str = ""              # which engine emitted the event
+    details: Mapping[str, Any] = field(default_factory=dict)
+    timestamp: int = 0
+
+
+@register_system(SystemInfo(
+    name="Suriarachchi et al.",
+    functions=(Function.DATA_PROVENANCE,),
+    methods=(Method.PIPELINE,),
+    paper_refs=("[141]",),
+    summary="Integrated provenance across heterogeneous processing systems via a "
+            "normalized event stream.",
+))
+class ProvenanceRecorder:
+    """Collect normalized provenance events from every lake subsystem."""
+
+    def __init__(self) -> None:
+        self._events: List[ProvenanceEvent] = []
+        self._ids = itertools.count(1)
+        self._clock = itertools.count(1)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # -- capture ---------------------------------------------------------------------
+
+    def record(
+        self,
+        activity: str,
+        actor: str = "system",
+        inputs: Sequence[str] = (),
+        outputs: Sequence[str] = (),
+        system: str = "",
+        **details: Any,
+    ) -> ProvenanceEvent:
+        """Record a raw event (adapters below cover the common activities)."""
+        event = ProvenanceEvent(
+            event_id=next(self._ids),
+            activity=activity,
+            actor=actor,
+            inputs=tuple(inputs),
+            outputs=tuple(outputs),
+            system=system,
+            details=dict(details),
+            timestamp=next(self._clock),
+        )
+        self._events.append(event)
+        return event
+
+    def record_ingest(self, dataset: str, source: str = "", actor: str = "system") -> ProvenanceEvent:
+        return self.record("ingest", actor=actor, inputs=(source,) if source else (),
+                           outputs=(dataset,), system="ingestion")
+
+    def record_transform(
+        self, inputs: Sequence[str], output: str, operation: str, actor: str = "system"
+    ) -> ProvenanceEvent:
+        return self.record("transform", actor=actor, inputs=inputs, outputs=(output,),
+                           system="maintenance", operation=operation)
+
+    def record_query(self, datasets: Sequence[str], actor: str, query: str = "") -> ProvenanceEvent:
+        return self.record("query", actor=actor, inputs=datasets, outputs=(),
+                           system="exploration", query=query)
+
+    # -- access ----------------------------------------------------------------------------
+
+    def events(self, activity: Optional[str] = None) -> List[ProvenanceEvent]:
+        if activity is None:
+            return list(self._events)
+        return [e for e in self._events if e.activity == activity]
+
+    def events_about(self, dataset: str) -> List[ProvenanceEvent]:
+        """Events reading or producing *dataset*, in time order."""
+        return [
+            e for e in self._events if dataset in e.inputs or dataset in e.outputs
+        ]
+
+    def origin_of(self, dataset: str) -> List[str]:
+        """Transitive input closure: where did *dataset* ultimately come from?"""
+        produced_by: Dict[str, ProvenanceEvent] = {}
+        for event in self._events:
+            for output in event.outputs:
+                produced_by[output] = event
+        origins: List[str] = []
+        seen = set()
+        frontier = [dataset]
+        while frontier:
+            current = frontier.pop()
+            event = produced_by.get(current)
+            if event is None:
+                if current != dataset and current not in origins:
+                    origins.append(current)
+                continue
+            for source in event.inputs:
+                if source not in seen:
+                    seen.add(source)
+                    frontier.append(source)
+        return sorted(origins)
+
+    def usage_of(self, dataset: str) -> List[Tuple[str, str]]:
+        """(actor, activity) pairs that consumed *dataset*."""
+        return [
+            (e.actor, e.activity) for e in self._events if dataset in e.inputs
+        ]

@@ -1,0 +1,122 @@
+"""The IBM governance tool (Sec. 6.7, [143]).
+
+"A governance tool from IBM is presented, which can manage the requests for
+ingesting new data sources or using already ingested datasets in a data
+lake."  (Terrizzano et al., *Data Wrangling: The Challenging Journey from
+the Wild to the Lake*.)
+
+:class:`GovernanceTool` implements that request workflow: users file
+ingestion or usage requests, stewards approve or reject them with a
+recorded rationale, and enforcement hooks (``can_ingest`` / ``can_use``)
+let the lake check entitlements before acting.  Every decision lands in the
+shared :class:`~repro.provenance.events.ProvenanceRecorder` so governance
+actions are themselves provenanced.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.errors import DataLakeError
+from repro.core.registry import Function, Method, SystemInfo, register_system
+from repro.provenance.events import ProvenanceRecorder
+
+
+@dataclass
+class Request:
+    """One governance request."""
+
+    request_id: int
+    kind: str          # "ingest" | "use"
+    user: str
+    target: str        # source url (ingest) or dataset name (use)
+    justification: str = ""
+    status: str = "pending"   # "pending" | "approved" | "rejected"
+    decided_by: str = ""
+    rationale: str = ""
+
+
+@register_system(SystemInfo(
+    name="IBM governance tool",
+    functions=(Function.DATA_PROVENANCE,),
+    methods=(Method.PIPELINE,),
+    paper_refs=("[143]",),
+    summary="Request/approval workflow governing the ingestion of new sources and "
+            "the usage of ingested datasets, with provenanced decisions.",
+))
+class GovernanceTool:
+    """Steward-mediated ingestion/usage governance."""
+
+    def __init__(self, recorder: Optional[ProvenanceRecorder] = None):
+        self.recorder = recorder if recorder is not None else ProvenanceRecorder()
+        self._requests: Dict[int, Request] = {}
+        self._ids = itertools.count(1)
+
+    # -- filing requests ---------------------------------------------------------
+
+    def request_ingestion(self, user: str, source: str, justification: str = "") -> Request:
+        """File a request to ingest a new data source."""
+        return self._file("ingest", user, source, justification)
+
+    def request_usage(self, user: str, dataset: str, justification: str = "") -> Request:
+        """File a request to use an already-ingested dataset."""
+        return self._file("use", user, dataset, justification)
+
+    def _file(self, kind: str, user: str, target: str, justification: str) -> Request:
+        request = Request(next(self._ids), kind, user, target, justification)
+        self._requests[request.request_id] = request
+        self.recorder.record(
+            f"governance:{kind}-requested", actor=user, inputs=(target,),
+            system="governance", request_id=request.request_id,
+        )
+        return request
+
+    # -- steward decisions -----------------------------------------------------------
+
+    def approve(self, request_id: int, steward: str, rationale: str = "") -> Request:
+        return self._decide(request_id, steward, "approved", rationale)
+
+    def reject(self, request_id: int, steward: str, rationale: str = "") -> Request:
+        return self._decide(request_id, steward, "rejected", rationale)
+
+    def _decide(self, request_id: int, steward: str, status: str, rationale: str) -> Request:
+        request = self._requests.get(request_id)
+        if request is None:
+            raise DataLakeError(f"no governance request {request_id}")
+        if request.status != "pending":
+            raise DataLakeError(
+                f"request {request_id} already {request.status}"
+            )
+        request.status = status
+        request.decided_by = steward
+        request.rationale = rationale
+        self.recorder.record(
+            f"governance:{status}", actor=steward, inputs=(request.target,),
+            system="governance", request_id=request_id, rationale=rationale,
+        )
+        return request
+
+    # -- listing & enforcement ------------------------------------------------------------
+
+    def pending(self) -> List[Request]:
+        return [r for r in self._requests.values() if r.status == "pending"]
+
+    def requests_for(self, target: str) -> List[Request]:
+        return [r for r in self._requests.values() if r.target == target]
+
+    def can_ingest(self, user: str, source: str) -> bool:
+        """Has *user* an approved ingestion request for *source*?"""
+        return self._entitled(user, source, "ingest")
+
+    def can_use(self, user: str, dataset: str) -> bool:
+        """Has *user* an approved usage request for *dataset*?"""
+        return self._entitled(user, dataset, "use")
+
+    def _entitled(self, user: str, target: str, kind: str) -> bool:
+        return any(
+            r.user == user and r.target == target and r.kind == kind
+            and r.status == "approved"
+            for r in self._requests.values()
+        )

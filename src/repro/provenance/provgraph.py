@@ -1,0 +1,115 @@
+"""GOODS-style provenance graphs (Sec. 6.7).
+
+GOODS "exports the provenance metadata in the catalog as subject-predicate-
+object triples into a graph-based system, then generates the provenance
+graphs for visualization and path-based querying" so "users can keep track
+of the usage and transformation of the data".
+
+:class:`ProvenanceGraph` builds from a
+:class:`~repro.provenance.events.ProvenanceRecorder`: datasets and events
+become nodes; ``read_by`` / ``produced`` edges connect them.  It exports
+the triples, answers path queries (is B derived from A? via which chain?)
+and renders an ASCII visualization.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+import networkx as nx
+
+from repro.provenance.events import ProvenanceRecorder
+
+
+class ProvenanceGraph:
+    """A queryable, exportable provenance graph over recorded events."""
+
+    def __init__(self, recorder: ProvenanceRecorder):
+        self.graph = nx.DiGraph()
+        for event in recorder.events():
+            event_node = f"event:{event.event_id}"
+            self.graph.add_node(event_node, kind="event", activity=event.activity,
+                                actor=event.actor)
+            for dataset in event.inputs:
+                data_node = f"data:{dataset}"
+                self.graph.add_node(data_node, kind="data", name=dataset)
+                self.graph.add_edge(data_node, event_node, predicate="read_by")
+            for dataset in event.outputs:
+                data_node = f"data:{dataset}"
+                self.graph.add_node(data_node, kind="data", name=dataset)
+                self.graph.add_edge(event_node, data_node, predicate="produced")
+
+    # -- triple export -------------------------------------------------------------
+
+    def triples(self) -> List[Tuple[str, str, str]]:
+        """(subject, predicate, object) export of the whole graph."""
+        out = []
+        for source, target, data in self.graph.edges(data=True):
+            out.append((source, data["predicate"], target))
+        return sorted(out)
+
+    # -- path queries ----------------------------------------------------------------
+
+    def derived_from(self, dataset: str, ancestor: str) -> bool:
+        """Is *dataset* (transitively) derived from *ancestor*?"""
+        source, target = f"data:{ancestor}", f"data:{dataset}"
+        if source not in self.graph or target not in self.graph:
+            return False
+        return nx.has_path(self.graph, source, target)
+
+    def derivation_path(self, dataset: str, ancestor: str) -> List[str]:
+        """One shortest derivation chain ancestor -> ... -> dataset.
+
+        Returned as readable labels alternating datasets and activities.
+        """
+        source, target = f"data:{ancestor}", f"data:{dataset}"
+        try:
+            path = nx.shortest_path(self.graph, source, target)
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            return []
+        labels = []
+        for node in path:
+            data = self.graph.nodes[node]
+            if data["kind"] == "data":
+                labels.append(data["name"])
+            else:
+                labels.append(f"[{data['activity']}]")
+        return labels
+
+    def descendants(self, dataset: str) -> Set[str]:
+        """All datasets transitively derived from *dataset*."""
+        node = f"data:{dataset}"
+        if node not in self.graph:
+            return set()
+        return {
+            self.graph.nodes[n]["name"]
+            for n in nx.descendants(self.graph, node)
+            if self.graph.nodes[n]["kind"] == "data"
+        }
+
+    def ancestors(self, dataset: str) -> Set[str]:
+        node = f"data:{dataset}"
+        if node not in self.graph:
+            return set()
+        return {
+            self.graph.nodes[n]["name"]
+            for n in nx.ancestors(self.graph, node)
+            if self.graph.nodes[n]["kind"] == "data"
+        }
+
+    # -- visualization ------------------------------------------------------------------
+
+    def render(self) -> str:
+        """ASCII rendering of the provenance graph (datasets and events)."""
+        lines = []
+        for node in sorted(self.graph.nodes):
+            data = self.graph.nodes[node]
+            label = data["name"] if data["kind"] == "data" else f"[{data['activity']}]"
+            successors = sorted(self.graph.successors(node))
+            for successor in successors:
+                succ_data = self.graph.nodes[successor]
+                succ_label = (succ_data["name"] if succ_data["kind"] == "data"
+                              else f"[{succ_data['activity']}]")
+                predicate = self.graph[node][successor]["predicate"]
+                lines.append(f"{label} --{predicate}--> {succ_label}")
+        return "\n".join(lines)

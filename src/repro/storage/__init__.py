@@ -1,0 +1,49 @@
+"""The storage tier (survey Sec. 4).
+
+The survey classifies lake storage by *how ingested data is stored*: as
+files (Sec. 4.1), in a single database (Sec. 4.2), or using polystores
+(Sec. 4.3), with cloud object stores as the industrial default (Sec. 4.4).
+This package provides laptop-scale equivalents of each option:
+
+- :class:`~repro.storage.object_store.ObjectStore` — the file tier
+  (HDFS / Azure Blob stand-in): buckets of immutable, versioned objects in
+  their original formats.
+- :class:`~repro.storage.relational.RelationalStore` — the MySQL/PostgreSQL
+  stand-in.
+- :class:`~repro.storage.document.DocumentStore` — the MongoDB stand-in.
+- :class:`~repro.storage.graph.GraphStore` — the Neo4j stand-in.
+- :class:`~repro.storage.polystore.Polystore` — Constance-style routing of
+  raw data "according to its original format".
+- :class:`~repro.storage.lakehouse.LakehouseTable` — a Delta-Lake-style
+  transaction-log table format with ACID commits and time travel
+  (the Sec. 8.3 future direction, implemented).
+"""
+
+from repro.storage.object_store import ObjectStore, StoredObject
+from repro.storage.formats import (
+    CODECS,
+    decode,
+    detect_format,
+    encode,
+)
+from repro.storage.relational import RelationalStore
+from repro.storage.document import DocumentStore
+from repro.storage.graph import GraphStore
+from repro.storage.polystore import Polystore
+from repro.storage.lakehouse import LakehouseTable
+from repro.storage.personal import PersonalDataLake
+
+__all__ = [
+    "CODECS",
+    "DocumentStore",
+    "GraphStore",
+    "LakehouseTable",
+    "ObjectStore",
+    "PersonalDataLake",
+    "Polystore",
+    "RelationalStore",
+    "StoredObject",
+    "decode",
+    "detect_format",
+    "encode",
+]

@@ -1,0 +1,170 @@
+"""An in-memory document store — the MongoDB stand-in.
+
+Constance stores JSON raw data in a document backend (Sec. 4.3); the
+personal data lake serializes heterogeneous fragments "to specifically
+defined JSON objects" (Sec. 4.2).  This store provides collections of JSON
+documents with auto-assigned ids, dotted-path access, Mongo-ish filter
+queries (with a few ``$``-operators), and path-existence statistics used by
+schema extraction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.core.errors import DatasetNotFound, QueryError
+
+
+def get_path(document: Mapping[str, Any], path: str) -> Any:
+    """Resolve a dotted path like ``"address.city"``; missing -> None.
+
+    Numeric segments index into lists, so ``"orders.0.total"`` works.
+    """
+    current: Any = document
+    for segment in path.split("."):
+        if isinstance(current, Mapping):
+            current = current.get(segment)
+        elif isinstance(current, list) and segment.isdigit():
+            index = int(segment)
+            current = current[index] if index < len(current) else None
+        else:
+            return None
+        if current is None:
+            return None
+    return current
+
+
+def iter_paths(document: Any, prefix: str = "") -> Iterator[Tuple[str, Any]]:
+    """Yield (dotted_path, leaf_value) pairs of a nested document."""
+    if isinstance(document, Mapping):
+        for key, value in document.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            yield from iter_paths(value, path)
+    elif isinstance(document, list):
+        for item in document:
+            # lists flatten onto their parent path; schema extraction cares
+            # about which fields exist, not positional structure
+            yield from iter_paths(item, prefix)
+    else:
+        yield prefix, document
+
+
+_QUERY_OPERATORS: Dict[str, Callable[[Any, Any], bool]] = {
+    "$eq": lambda a, b: a == b,
+    "$ne": lambda a, b: a != b,
+    "$gt": lambda a, b: a is not None and a > b,
+    "$gte": lambda a, b: a is not None and a >= b,
+    "$lt": lambda a, b: a is not None and a < b,
+    "$lte": lambda a, b: a is not None and a <= b,
+    "$in": lambda a, b: a in b,
+    "$exists": lambda a, b: (a is not None) == bool(b),
+    "$contains": lambda a, b: isinstance(a, str) and str(b).lower() in a.lower(),
+}
+
+
+def _matches(document: Mapping[str, Any], query: Mapping[str, Any]) -> bool:
+    for path, condition in query.items():
+        value = get_path(document, path)
+        if isinstance(condition, Mapping) and any(k.startswith("$") for k in condition):
+            for op, operand in condition.items():
+                handler = _QUERY_OPERATORS.get(op)
+                if handler is None:
+                    raise QueryError(f"unknown query operator {op!r}")
+                try:
+                    if not handler(value, operand):
+                        return False
+                except TypeError:
+                    return False
+        else:
+            if value != condition:
+                return False
+    return True
+
+
+class DocumentStore:
+    """Collections of JSON documents with filter queries and path stats."""
+
+    def __init__(self) -> None:
+        self._collections: Dict[str, Dict[int, Dict[str, Any]]] = {}
+        self._id_counter = itertools.count(1)
+
+    def create_collection(self, name: str) -> None:
+        self._collections.setdefault(name, {})
+
+    def collections(self) -> List[str]:
+        return sorted(self._collections)
+
+    def _collection(self, name: str) -> Dict[int, Dict[str, Any]]:
+        try:
+            return self._collections[name]
+        except KeyError:
+            raise DatasetNotFound(f"collection {name!r} does not exist") from None
+
+    def insert(self, name: str, document: Mapping[str, Any]) -> int:
+        """Insert one document, returning its assigned ``_id``."""
+        self.create_collection(name)
+        doc_id = next(self._id_counter)
+        stored = dict(document)
+        stored["_id"] = doc_id
+        self._collections[name][doc_id] = stored
+        return doc_id
+
+    def insert_many(self, name: str, documents: Iterable[Mapping[str, Any]]) -> List[int]:
+        return [self.insert(name, doc) for doc in documents]
+
+    def get(self, name: str, doc_id: int) -> Dict[str, Any]:
+        collection = self._collection(name)
+        if doc_id not in collection:
+            raise DatasetNotFound(f"document {doc_id} not in collection {name!r}")
+        return dict(collection[doc_id])
+
+    def delete(self, name: str, doc_id: int) -> None:
+        collection = self._collection(name)
+        if doc_id not in collection:
+            raise DatasetNotFound(f"document {doc_id} not in collection {name!r}")
+        del collection[doc_id]
+
+    def replace(self, name: str, doc_id: int, document: Mapping[str, Any]) -> None:
+        """Replace a document in place, keeping its ``_id`` stable."""
+        collection = self._collection(name)
+        if doc_id not in collection:
+            raise DatasetNotFound(f"document {doc_id} not in collection {name!r}")
+        stored = dict(document)
+        stored["_id"] = doc_id
+        collection[doc_id] = stored
+
+    def find(
+        self,
+        name: str,
+        query: Optional[Mapping[str, Any]] = None,
+        limit: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        """Documents matching a Mongo-style *query* dict (all = no query)."""
+        out = []
+        for document in self._collection(name).values():
+            if query is None or _matches(document, query):
+                out.append(dict(document))
+                if limit is not None and len(out) >= limit:
+                    break
+        return out
+
+    def count(self, name: str, query: Optional[Mapping[str, Any]] = None) -> int:
+        return len(self.find(name, query))
+
+    def all_documents(self, name: str) -> List[Dict[str, Any]]:
+        return self.find(name)
+
+    def path_statistics(self, name: str) -> Dict[str, int]:
+        """How many documents expose each dotted path.
+
+        The raw material for JSON schema extraction (GEMMS/Constance) and
+        for Klettke-style entity-type versioning: paths appearing in only a
+        fraction of documents reveal optional fields and schema drift.
+        """
+        stats: Dict[str, int] = {}
+        for document in self._collection(name).values():
+            seen = {path for path, _ in iter_paths(document) if path != "_id"}
+            for path in seen:
+                stats[path] = stats.get(path, 0) + 1
+        return stats

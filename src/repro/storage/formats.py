@@ -1,0 +1,344 @@
+"""File-format codecs for the object store (survey Sec. 4.1).
+
+HDFS-backed lakes store "text (e.g., CSV, XML, JSON) and binary files",
+"columnar storage formats such as Parquet and row-based storage format
+Avro".  This module implements the laptop-scale equivalents:
+
+- ``csv`` / ``tsv`` — delimited text.
+- ``json`` — a document or list of documents.
+- ``jsonl`` — newline-delimited documents.
+- ``xml`` — a restricted element tree mapped to nested dicts.
+- ``columnar`` — a Parquet-like binary layout: per-column blocks with
+  lightweight dictionary encoding and a footer holding schema + offsets.
+- ``rowbin`` — an Avro-like binary row format with an embedded schema.
+- ``text`` — opaque UTF-8 text (logs, free text).
+
+Each codec round-trips a payload (``Table``, document list, or ``str``)
+through ``bytes``.  :func:`detect_format` implements GEMMS-style format
+detection by sniffing content, used at ingestion time.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import xml.etree.ElementTree as ET
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.core.dataset import Column, Table
+from repro.core.errors import FormatError
+
+_MAGIC_COLUMNAR = b"RPQ1"
+_MAGIC_ROWBIN = b"RAV1"
+
+
+# -- delimited text ----------------------------------------------------------
+
+
+def _encode_csv(payload: Any, delimiter: str = ",") -> bytes:
+    if not isinstance(payload, Table):
+        raise FormatError("csv codec expects a Table payload")
+    text = payload.to_csv()
+    if delimiter != ",":
+        # rebuild with the alternate delimiter for TSV
+        import csv as _csv
+        import io as _io
+
+        buffer = _io.StringIO()
+        writer = _csv.writer(buffer, delimiter=delimiter, lineterminator="\n")
+        writer.writerow(payload.column_names)
+        for row in payload.row_tuples():
+            writer.writerow(["" if v is None else v for v in row])
+        text = buffer.getvalue()
+    return text.encode("utf-8")
+
+
+def _decode_csv(data: bytes, name: str = "table", delimiter: str = ",") -> Table:
+    return Table.from_csv(name, data.decode("utf-8"), delimiter=delimiter)
+
+
+# -- JSON --------------------------------------------------------------------
+
+
+def _encode_json(payload: Any) -> bytes:
+    if isinstance(payload, Table):
+        payload = payload.to_records()
+    try:
+        return json.dumps(payload, default=str).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise FormatError(f"payload is not JSON-serializable: {exc}") from exc
+
+
+def _decode_json(data: bytes, name: str = "doc") -> Any:
+    try:
+        return json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FormatError(f"invalid JSON: {exc}") from exc
+
+
+def _encode_jsonl(payload: Any) -> bytes:
+    if isinstance(payload, Table):
+        payload = payload.to_records()
+    if not isinstance(payload, list):
+        raise FormatError("jsonl codec expects a list of documents")
+    lines = [json.dumps(doc, default=str) for doc in payload]
+    return ("\n".join(lines) + ("\n" if lines else "")).encode("utf-8")
+
+
+def _decode_jsonl(data: bytes, name: str = "docs") -> List[Any]:
+    docs = []
+    for line_no, line in enumerate(data.decode("utf-8").splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            docs.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise FormatError(f"invalid JSONL at line {line_no}: {exc}") from exc
+    return docs
+
+
+# -- XML ---------------------------------------------------------------------
+
+
+def _element_to_obj(element: ET.Element) -> Any:
+    children = list(element)
+    if not children:
+        return element.text if element.text and element.text.strip() else dict(element.attrib) or None
+    obj: Dict[str, Any] = dict(element.attrib)
+    for child in children:
+        value = _element_to_obj(child)
+        if child.tag in obj:
+            existing = obj[child.tag]
+            if not isinstance(existing, list):
+                obj[child.tag] = [existing]
+            obj[child.tag].append(value)
+        else:
+            obj[child.tag] = value
+    return obj
+
+
+def _obj_to_element(tag: str, obj: Any) -> ET.Element:
+    element = ET.Element(tag)
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            if isinstance(value, list):
+                for item in value:
+                    element.append(_obj_to_element(key, item))
+            else:
+                element.append(_obj_to_element(key, value))
+    elif obj is not None:
+        element.text = str(obj)
+    return element
+
+
+def _encode_xml(payload: Any) -> bytes:
+    root_tag = "root"
+    if isinstance(payload, Table):
+        payload = {"row": payload.to_records()}
+        root_tag = "table"
+    if not isinstance(payload, dict):
+        raise FormatError("xml codec expects a dict (or Table) payload")
+    root = _obj_to_element(root_tag, payload)
+    return ET.tostring(root, encoding="utf-8")
+
+
+def _decode_xml(data: bytes, name: str = "doc") -> Any:
+    try:
+        root = ET.fromstring(data.decode("utf-8"))
+    except ET.ParseError as exc:
+        raise FormatError(f"invalid XML: {exc}") from exc
+    return _element_to_obj(root)
+
+
+# -- columnar binary (Parquet stand-in) --------------------------------------
+
+
+def _pack_str(value: str) -> bytes:
+    raw = value.encode("utf-8")
+    return struct.pack("<I", len(raw)) + raw
+
+
+def _unpack_str(data: bytes, offset: int) -> Tuple[str, int]:
+    (length,) = struct.unpack_from("<I", data, offset)
+    offset += 4
+    return data[offset : offset + length].decode("utf-8"), offset + length
+
+
+def _encode_columnar(payload: Any) -> bytes:
+    """Column blocks with dictionary encoding; footer carries the schema.
+
+    Layout: magic | ncols | nrows | per column (name, dictionary, codes).
+    Nulls are dictionary code 0.  Dictionary encoding is what makes the
+    format "columnar" in the Parquet sense: repeated values cost one code.
+    """
+    if not isinstance(payload, Table):
+        raise FormatError("columnar codec expects a Table payload")
+    out = [_MAGIC_COLUMNAR, struct.pack("<II", payload.width, len(payload))]
+    for column in payload.columns:
+        out.append(_pack_str(column.name))
+        dictionary: List[str] = []
+        index: Dict[str, int] = {}
+        codes: List[int] = []
+        for value in column.values:
+            if value is None:
+                codes.append(0)
+                continue
+            key = json.dumps(value, default=str)
+            code = index.get(key)
+            if code is None:
+                dictionary.append(key)
+                code = len(dictionary)  # 0 is reserved for null
+                index[key] = code
+            codes.append(code)
+        out.append(struct.pack("<I", len(dictionary)))
+        for entry in dictionary:
+            out.append(_pack_str(entry))
+        out.append(struct.pack(f"<{len(codes)}I", *codes))
+    return b"".join(out)
+
+
+def _decode_columnar(data: bytes, name: str = "table") -> Table:
+    if data[:4] != _MAGIC_COLUMNAR:
+        raise FormatError("not a columnar file (bad magic)")
+    ncols, nrows = struct.unpack_from("<II", data, 4)
+    offset = 12
+    columns = []
+    for _ in range(ncols):
+        column_name, offset = _unpack_str(data, offset)
+        (dict_size,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        dictionary: List[Any] = [None]
+        for _ in range(dict_size):
+            entry, offset = _unpack_str(data, offset)
+            dictionary.append(json.loads(entry))
+        codes = struct.unpack_from(f"<{nrows}I", data, offset)
+        offset += 4 * nrows
+        columns.append(Column(column_name, [dictionary[c] for c in codes]))
+    return Table(name, columns)
+
+
+# -- row binary (Avro stand-in) ----------------------------------------------
+
+
+def _encode_rowbin(payload: Any) -> bytes:
+    """Row-at-a-time binary with an embedded JSON schema header."""
+    if not isinstance(payload, Table):
+        raise FormatError("rowbin codec expects a Table payload")
+    header = json.dumps({"name": payload.name, "fields": payload.column_names})
+    out = [_MAGIC_ROWBIN, _pack_str(header), struct.pack("<I", len(payload))]
+    for row in payload.row_tuples():
+        encoded = json.dumps(list(row), default=str).encode("utf-8")
+        out.append(struct.pack("<I", len(encoded)))
+        out.append(encoded)
+    return b"".join(out)
+
+
+def _decode_rowbin(data: bytes, name: str = "table") -> Table:
+    if data[:4] != _MAGIC_ROWBIN:
+        raise FormatError("not a rowbin file (bad magic)")
+    header, offset = _unpack_str(data, 4)
+    meta = json.loads(header)
+    (nrows,) = struct.unpack_from("<I", data, offset)
+    offset += 4
+    rows = []
+    for _ in range(nrows):
+        (length,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        rows.append(json.loads(data[offset : offset + length].decode("utf-8")))
+        offset += length
+    return Table.from_rows(meta.get("name", name), meta["fields"], rows)
+
+
+# -- plain text ----------------------------------------------------------------
+
+
+def _encode_text(payload: Any) -> bytes:
+    if not isinstance(payload, str):
+        raise FormatError("text codec expects a str payload")
+    return payload.encode("utf-8")
+
+
+def _decode_text(data: bytes, name: str = "text") -> str:
+    return data.decode("utf-8")
+
+
+#: format name -> (encode, decode)
+CODECS: Dict[str, Tuple[Callable[..., bytes], Callable[..., Any]]] = {
+    "csv": (_encode_csv, _decode_csv),
+    "tsv": (
+        lambda payload: _encode_csv(payload, delimiter="\t"),
+        lambda data, name="table": _decode_csv(data, name, delimiter="\t"),
+    ),
+    "json": (_encode_json, _decode_json),
+    "jsonl": (_encode_jsonl, _decode_jsonl),
+    "xml": (_encode_xml, _decode_xml),
+    "columnar": (_encode_columnar, _decode_columnar),
+    "rowbin": (_encode_rowbin, _decode_rowbin),
+    "text": (_encode_text, _decode_text),
+}
+
+
+def encode(payload: Any, format: str) -> bytes:
+    """Serialize *payload* in *format*."""
+    try:
+        encoder, _ = CODECS[format]
+    except KeyError:
+        raise FormatError(f"unknown format {format!r}; known: {sorted(CODECS)}") from None
+    return encoder(payload)
+
+
+def decode(data: bytes, format: str, name: str = "dataset") -> Any:
+    """Deserialize *data* stored in *format*."""
+    try:
+        _, decoder = CODECS[format]
+    except KeyError:
+        raise FormatError(f"unknown format {format!r}; known: {sorted(CODECS)}") from None
+    return decoder(data, name)
+
+
+def detect_format(data: bytes, filename: str = "") -> str:
+    """Sniff the storage format of raw bytes (GEMMS-style detection).
+
+    Extension hints win when consistent with the content; otherwise the
+    content is probed: binary magics, JSON/XML lead characters, delimiter
+    counting for CSV/TSV, falling back to plain text.
+    """
+    if data.startswith(_MAGIC_COLUMNAR):
+        return "columnar"
+    if data.startswith(_MAGIC_ROWBIN):
+        return "rowbin"
+    extension = filename.rsplit(".", 1)[-1].lower() if "." in filename else ""
+    try:
+        text = data.decode("utf-8")
+    except UnicodeDecodeError:
+        raise FormatError("binary data with unknown magic")
+    stripped = text.lstrip()
+    if extension in ("json",) or stripped[:1] in ("{", "["):
+        try:
+            json.loads(text)
+            return "json"
+        except json.JSONDecodeError:
+            pass
+    if extension == "jsonl" or (stripped[:1] == "{" and "\n{" in text):
+        try:
+            _decode_jsonl(data)
+            return "jsonl"
+        except FormatError:
+            pass
+    if extension == "xml" or stripped.startswith("<"):
+        try:
+            ET.fromstring(text)
+            return "xml"
+        except ET.ParseError:
+            pass
+    lines = [line for line in text.splitlines() if line.strip()]
+    if extension in ("csv", "tsv") or len(lines) >= 2:
+        for delimiter, fmt in (("\t", "tsv"), (",", "csv")):
+            counts = {line.count(delimiter) for line in lines[:20]}
+            if len(counts) == 1 and counts.pop() >= 1:
+                return fmt
+    if extension in ("csv",):
+        return "csv"
+    if extension in ("tsv",):
+        return "tsv"
+    return "text"

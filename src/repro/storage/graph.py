@@ -1,0 +1,154 @@
+"""An in-memory property-graph store — the Neo4j stand-in.
+
+The personal data lake (Sec. 4.2) flattens heterogeneous fragments "to Neo4j
+graph structures"; HANDLE and the graph-based metamodels of Sec. 5.2.3 are
+"implemented in Neo4j"; Juneau stores object relationships in Neo4j.  This
+store provides labeled nodes and typed, directed edges with properties,
+neighborhood traversal, simple pattern matching and path search — the
+operations those systems actually issue.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Set
+
+import networkx as nx
+
+from repro.core.errors import DatasetNotFound
+
+
+@dataclass
+class Node:
+    """A labeled property node."""
+
+    node_id: int
+    label: str
+    properties: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class Edge:
+    """A directed, typed property edge."""
+
+    source: int
+    target: int
+    edge_type: str
+    properties: Dict[str, Any] = field(default_factory=dict)
+
+
+class GraphStore:
+    """Property graph with labels, typed edges and traversals."""
+
+    def __init__(self) -> None:
+        self._graph = nx.MultiDiGraph()
+        self._ids = itertools.count(1)
+
+    # -- mutation -------------------------------------------------------------
+
+    def add_node(self, label: str, **properties: Any) -> int:
+        """Create a node, returning its id."""
+        node_id = next(self._ids)
+        self._graph.add_node(node_id, label=label, properties=dict(properties))
+        return node_id
+
+    def add_edge(self, source: int, target: int, edge_type: str, **properties: Any) -> None:
+        for endpoint in (source, target):
+            if endpoint not in self._graph:
+                raise DatasetNotFound(f"graph node {endpoint} does not exist")
+        self._graph.add_edge(source, target, key=edge_type, edge_type=edge_type,
+                             properties=dict(properties))
+
+    def set_property(self, node_id: int, key: str, value: Any) -> None:
+        self.node(node_id)  # existence check
+        self._graph.nodes[node_id]["properties"][key] = value
+
+    def remove_node(self, node_id: int) -> None:
+        if node_id not in self._graph:
+            raise DatasetNotFound(f"graph node {node_id} does not exist")
+        self._graph.remove_node(node_id)
+
+    # -- access -----------------------------------------------------------------
+
+    def node(self, node_id: int) -> Node:
+        if node_id not in self._graph:
+            raise DatasetNotFound(f"graph node {node_id} does not exist")
+        data = self._graph.nodes[node_id]
+        return Node(node_id, data["label"], dict(data["properties"]))
+
+    def nodes(self, label: Optional[str] = None) -> List[Node]:
+        out = []
+        for node_id, data in self._graph.nodes(data=True):
+            if label is None or data["label"] == label:
+                out.append(Node(node_id, data["label"], dict(data["properties"])))
+        return out
+
+    def edges(self, edge_type: Optional[str] = None) -> List[Edge]:
+        out = []
+        for source, target, data in self._graph.edges(data=True):
+            if edge_type is None or data["edge_type"] == edge_type:
+                out.append(Edge(source, target, data["edge_type"], dict(data["properties"])))
+        return out
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    # -- traversal ---------------------------------------------------------------
+
+    def neighbors(
+        self,
+        node_id: int,
+        edge_type: Optional[str] = None,
+        direction: str = "out",
+    ) -> List[int]:
+        """Adjacent node ids along ``out``, ``in`` or ``both`` directions."""
+        self.node(node_id)
+        found: Set[int] = set()
+        if direction in ("out", "both"):
+            for _, target, data in self._graph.out_edges(node_id, data=True):
+                if edge_type is None or data["edge_type"] == edge_type:
+                    found.add(target)
+        if direction in ("in", "both"):
+            for source, _, data in self._graph.in_edges(node_id, data=True):
+                if edge_type is None or data["edge_type"] == edge_type:
+                    found.add(source)
+        return sorted(found)
+
+    def match(
+        self,
+        label: Optional[str] = None,
+        properties: Optional[Mapping[str, Any]] = None,
+    ) -> List[Node]:
+        """Nodes with the given label whose properties include *properties*."""
+        out = []
+        for node in self.nodes(label):
+            if properties and any(node.properties.get(k) != v for k, v in properties.items()):
+                continue
+            out.append(node)
+        return out
+
+    def find_path(self, source: int, target: int) -> Optional[List[int]]:
+        """A shortest directed path of node ids, or None."""
+        try:
+            return nx.shortest_path(self._graph, source, target)
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            return None
+
+    def subgraph_nodes(self, start: int, depth: int, edge_type: Optional[str] = None) -> Set[int]:
+        """Node ids reachable from *start* within *depth* hops (out-edges)."""
+        frontier = {start}
+        seen = {start}
+        for _ in range(depth):
+            next_frontier: Set[int] = set()
+            for node_id in frontier:
+                for neighbor in self.neighbors(node_id, edge_type=edge_type):
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        next_frontier.add(neighbor)
+            frontier = next_frontier
+        return seen
+
+    def to_networkx(self) -> nx.MultiDiGraph:
+        """A copy of the underlying graph (for analytics like communities)."""
+        return self._graph.copy()

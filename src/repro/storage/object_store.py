@@ -1,0 +1,219 @@
+"""A local, versioned object store — the HDFS / cloud blob stand-in.
+
+The survey's file-based storage tier (Sec. 4.1) keeps raw data "in its
+original format".  :class:`ObjectStore` provides bucket/key addressing,
+immutable versions (every put appends a version, like Azure Data Lake
+Store's hierarchical blob storage), content hashing for redundancy
+detection (one of the AI-assisted lake features of Sec. 2.2), and optional
+persistence to a directory so lakes survive a process restart.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.core.errors import DatasetNotFound, StorageError
+from repro.storage.formats import decode, detect_format, encode
+
+
+@dataclass(frozen=True)
+class StoredObject:
+    """One immutable object version."""
+
+    bucket: str
+    key: str
+    version: int
+    data: bytes
+    format: str
+    content_hash: str
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    def payload(self) -> Any:
+        """Decode the raw bytes with the object's format codec."""
+        return decode(self.data, self.format, name=self.key)
+
+
+def _hash(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class ObjectStore:
+    """Bucketed, versioned blob storage with optional disk persistence."""
+
+    def __init__(self, root: Optional[Path] = None):
+        self._buckets: Dict[str, Dict[str, List[StoredObject]]] = {}
+        self._root = Path(root) if root is not None else None
+        if self._root is not None:
+            self._root.mkdir(parents=True, exist_ok=True)
+            self._load()
+
+    # -- bucket management -------------------------------------------------
+
+    def create_bucket(self, bucket: str) -> None:
+        """Create *bucket*; creating an existing bucket is a no-op."""
+        self._buckets.setdefault(bucket, {})
+
+    def buckets(self) -> List[str]:
+        return sorted(self._buckets)
+
+    def _bucket(self, bucket: str) -> Dict[str, List[StoredObject]]:
+        try:
+            return self._buckets[bucket]
+        except KeyError:
+            raise DatasetNotFound(f"bucket {bucket!r} does not exist") from None
+
+    # -- object I/O ----------------------------------------------------------
+
+    def put_bytes(
+        self,
+        bucket: str,
+        key: str,
+        data: bytes,
+        format: Optional[str] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> StoredObject:
+        """Store raw bytes; a new immutable version is appended.
+
+        When *format* is omitted it is sniffed from content + key, exactly
+        the GEMMS "detect its format, then initiate a corresponding parser"
+        workflow of Sec. 5.1.
+        """
+        self.create_bucket(bucket)
+        if format is None:
+            format = detect_format(data, filename=key)
+        versions = self._buckets[bucket].setdefault(key, [])
+        obj = StoredObject(
+            bucket=bucket,
+            key=key,
+            version=len(versions) + 1,
+            data=data,
+            format=format,
+            content_hash=_hash(data),
+            metadata=dict(metadata or {}),
+        )
+        versions.append(obj)
+        self._persist(obj)
+        return obj
+
+    def put(
+        self,
+        bucket: str,
+        key: str,
+        payload: Any,
+        format: str,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> StoredObject:
+        """Encode *payload* with the codec for *format* and store it."""
+        return self.put_bytes(bucket, key, encode(payload, format), format, metadata)
+
+    def get(self, bucket: str, key: str, version: Optional[int] = None) -> StoredObject:
+        """Fetch an object; latest version by default."""
+        versions = self._bucket(bucket).get(key)
+        if not versions:
+            raise DatasetNotFound(f"object {bucket}/{key} does not exist")
+        if version is None:
+            return versions[-1]
+        if not 1 <= version <= len(versions):
+            raise DatasetNotFound(f"object {bucket}/{key} has no version {version}")
+        return versions[version - 1]
+
+    def exists(self, bucket: str, key: str) -> bool:
+        return bool(self._buckets.get(bucket, {}).get(key))
+
+    def delete(self, bucket: str, key: str) -> None:
+        """Delete all versions of an object."""
+        bucket_map = self._bucket(bucket)
+        if key not in bucket_map:
+            raise DatasetNotFound(f"object {bucket}/{key} does not exist")
+        del bucket_map[key]
+
+    # -- listing & inspection ------------------------------------------------
+
+    def keys(self, bucket: str, prefix: str = "") -> List[str]:
+        """Keys in *bucket* with the given prefix, sorted."""
+        return sorted(k for k in self._bucket(bucket) if k.startswith(prefix))
+
+    def objects(self) -> Iterator[StoredObject]:
+        """Latest version of every object across buckets."""
+        for bucket in sorted(self._buckets):
+            for key in sorted(self._buckets[bucket]):
+                versions = self._buckets[bucket][key]
+                if versions:
+                    yield versions[-1]
+
+    def versions(self, bucket: str, key: str) -> List[StoredObject]:
+        versions = self._bucket(bucket).get(key)
+        if not versions:
+            raise DatasetNotFound(f"object {bucket}/{key} does not exist")
+        return list(versions)
+
+    def duplicates(self) -> List[List[Tuple[str, str]]]:
+        """Groups of (bucket, key) whose latest contents are byte-identical.
+
+        Content hashing enables the "avoiding data redundancy" feature the
+        survey attributes to AI-assisted lakes (Sec. 2.2) and GOODS' version
+        clustering.
+        """
+        by_hash: Dict[str, List[Tuple[str, str]]] = {}
+        for obj in self.objects():
+            by_hash.setdefault(obj.content_hash, []).append((obj.bucket, obj.key))
+        return [group for group in by_hash.values() if len(group) > 1]
+
+    def total_bytes(self) -> int:
+        return sum(obj.size for obj in self.objects())
+
+    # -- persistence ---------------------------------------------------------
+
+    def _object_path(self, obj: StoredObject) -> Path:
+        assert self._root is not None
+        safe_key = obj.key.replace("/", "__")
+        return self._root / obj.bucket / f"{safe_key}.v{obj.version}"
+
+    def _persist(self, obj: StoredObject) -> None:
+        if self._root is None:
+            return
+        path = self._object_path(obj)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(obj.data)
+        meta = {
+            "bucket": obj.bucket,
+            "key": obj.key,
+            "version": obj.version,
+            "format": obj.format,
+            "content_hash": obj.content_hash,
+            "metadata": obj.metadata,
+        }
+        path.with_suffix(path.suffix + ".meta.json").write_text(json.dumps(meta))
+
+    def _load(self) -> None:
+        assert self._root is not None
+        metas = sorted(self._root.glob("*/*.meta.json"))
+        for meta_path in metas:
+            try:
+                meta = json.loads(meta_path.read_text())
+                data_path = meta_path.with_name(meta_path.name[: -len(".meta.json")])
+                data = data_path.read_bytes()
+            except (OSError, json.JSONDecodeError) as exc:
+                raise StorageError(f"corrupt object store entry {meta_path}: {exc}") from exc
+            obj = StoredObject(
+                bucket=meta["bucket"],
+                key=meta["key"],
+                version=meta["version"],
+                data=data,
+                format=meta["format"],
+                content_hash=meta["content_hash"],
+                metadata=meta.get("metadata", {}),
+            )
+            self.create_bucket(obj.bucket)
+            self._buckets[obj.bucket].setdefault(obj.key, []).append(obj)
+        for bucket in self._buckets.values():
+            for versions in bucket.values():
+                versions.sort(key=lambda o: o.version)

@@ -1,0 +1,159 @@
+"""The personal data lake (Sec. 4.2, Walker & Alrehamy).
+
+"The personal data lake applies a graph-based data model (i.e., property
+graphs), and stores data in Neo4j ... Heterogeneous personal data fragments
+generated from user-web interaction (structured, semi-structured,
+unstructured) are serialized to specifically defined JSON objects.  These
+are flattened to Neo4j graph structures with extensible metadata
+management in the data lake, categorizing for kinds of data: raw data,
+metadata, additional semantics, and the data fragment identifiers."
+
+:class:`PersonalDataLake` reproduces that design over our graph store: each
+ingested fragment becomes a four-part graph neighborhood — an identifier
+node linked to a raw-data node, a metadata node, and a semantics node — and
+"data gravity pull" is modeled by linking fragments that share semantic
+tags, so a user's related fragments cluster.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.errors import DatasetNotFound
+from repro.core.registry import Function, Method, SystemInfo, register_system
+from repro.ml.text import tokenize
+from repro.storage.graph import GraphStore
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """A handle to one ingested personal data fragment."""
+
+    fragment_id: str
+    identifier_node: int
+
+
+@register_system(SystemInfo(
+    name="Personal data lake",
+    functions=(Function.STORAGE_BACKEND,),
+    methods=(Method.SINGLE_STORE, Method.GRAPH_MODEL),
+    paper_refs=("[144]",),
+    summary="Single graph store for heterogeneous personal data fragments: JSON "
+            "serialization flattened to graph structures with raw data, metadata, "
+            "semantics and fragment-identifier categories; gravity links.",
+))
+class PersonalDataLake:
+    """A single-graph-store lake for personal data fragments."""
+
+    def __init__(self, graph: Optional[GraphStore] = None):
+        self.graph = graph if graph is not None else GraphStore()
+        self._fragments: Dict[str, Fragment] = {}
+        self._tag_index: Dict[str, Set[str]] = {}
+
+    # -- ingestion -----------------------------------------------------------------
+
+    def ingest(
+        self,
+        payload: Any,
+        source: str,
+        kind: str,
+        tags: Sequence[str] = (),
+    ) -> Fragment:
+        """Serialize *payload* to the defined JSON object and flatten it.
+
+        ``kind`` describes the fragment shape ("structured",
+        "semi-structured", "unstructured"); ``tags`` are the additional
+        semantics the user or an extractor supplies.
+        """
+        serialized = json.dumps(
+            {"source": source, "kind": kind, "payload": payload},
+            default=str, sort_keys=True,
+        )
+        fragment_id = hashlib.sha1(serialized.encode()).hexdigest()[:12]
+        if fragment_id in self._fragments:
+            return self._fragments[fragment_id]
+        identifier = self.graph.add_node("identifier", fragment_id=fragment_id)
+        raw = self.graph.add_node("raw_data", body=serialized)
+        metadata = self.graph.add_node(
+            "metadata", source=source, kind=kind, size=len(serialized),
+        )
+        semantics = self.graph.add_node("semantics", tags=tuple(sorted(tags)))
+        self.graph.add_edge(identifier, raw, "has_raw")
+        self.graph.add_edge(identifier, metadata, "has_metadata")
+        self.graph.add_edge(identifier, semantics, "has_semantics")
+        fragment = Fragment(fragment_id, identifier)
+        self._fragments[fragment_id] = fragment
+        # data gravity pull: semantic tags attract related fragments
+        for tag in tags:
+            token = tag.lower()
+            for other_id in self._tag_index.get(token, set()):
+                other = self._fragments[other_id]
+                self.graph.add_edge(identifier, other.identifier_node,
+                                    "gravity", tag=token)
+            self._tag_index.setdefault(token, set()).add(fragment_id)
+        return fragment
+
+    # -- access ---------------------------------------------------------------------
+
+    def fragments(self) -> List[str]:
+        return sorted(self._fragments)
+
+    def _require(self, fragment_id: str) -> Fragment:
+        fragment = self._fragments.get(fragment_id)
+        if fragment is None:
+            raise DatasetNotFound(f"no fragment {fragment_id!r}")
+        return fragment
+
+    def raw(self, fragment_id: str) -> Any:
+        """The original payload, deserialized."""
+        fragment = self._require(fragment_id)
+        (raw_node,) = self.graph.neighbors(fragment.identifier_node, edge_type="has_raw")
+        return json.loads(self.graph.node(raw_node).properties["body"])["payload"]
+
+    def metadata(self, fragment_id: str) -> Dict[str, Any]:
+        fragment = self._require(fragment_id)
+        (node,) = self.graph.neighbors(fragment.identifier_node, edge_type="has_metadata")
+        return dict(self.graph.node(node).properties)
+
+    def semantics(self, fragment_id: str) -> Tuple[str, ...]:
+        fragment = self._require(fragment_id)
+        (node,) = self.graph.neighbors(fragment.identifier_node, edge_type="has_semantics")
+        return tuple(self.graph.node(node).properties["tags"])
+
+    def add_tag(self, fragment_id: str, tag: str) -> None:
+        """Extend a fragment's semantics after ingestion (extensibility)."""
+        fragment = self._require(fragment_id)
+        (node,) = self.graph.neighbors(fragment.identifier_node, edge_type="has_semantics")
+        tags = set(self.graph.node(node).properties["tags"]) | {tag.lower()}
+        self.graph.set_property(node, "tags", tuple(sorted(tags)))
+        token = tag.lower()
+        for other_id in self._tag_index.get(token, set()):
+            if other_id != fragment_id:
+                self.graph.add_edge(fragment.identifier_node,
+                                    self._fragments[other_id].identifier_node,
+                                    "gravity", tag=token)
+        self._tag_index.setdefault(token, set()).add(fragment_id)
+
+    # -- gravity queries ----------------------------------------------------------------
+
+    def related(self, fragment_id: str) -> List[str]:
+        """Fragments pulled close by shared semantics (gravity edges)."""
+        fragment = self._require(fragment_id)
+        neighbors = self.graph.neighbors(
+            fragment.identifier_node, edge_type="gravity", direction="both",
+        )
+        out = []
+        for node_id in neighbors:
+            node = self.graph.node(node_id)
+            out.append(node.properties["fragment_id"])
+        return sorted(set(out))
+
+    def search_tags(self, query: str) -> List[str]:
+        """Fragments whose semantics match any query token."""
+        found: Set[str] = set()
+        for token in tokenize(query):
+            found |= self._tag_index.get(token, set())
+        return sorted(found)

@@ -1,0 +1,161 @@
+"""Polystore routing (survey Sec. 4.3).
+
+Constance "stores the diverse raw data according to its original format:
+relational (e.g., MySQL), document-based (e.g., MongoDB), and graph
+databases (e.g., Neo4j)", falling back to HDFS for anything else, with the
+option for users to override the placement.  :class:`Polystore` reproduces
+that policy over our local backends and keeps a placement catalog so the
+exploration tier can locate any dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.core.dataset import Dataset, Table
+from repro.core.errors import DatasetNotFound, StorageError
+from repro.core.registry import Function, Method, SystemInfo, register_system
+from repro.storage.document import DocumentStore
+from repro.storage.graph import GraphStore
+from repro.storage.object_store import ObjectStore
+from repro.storage.relational import RelationalStore
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where one dataset lives inside the polystore."""
+
+    dataset: str
+    backend: str  # "relational" | "document" | "graph" | "objects"
+    location: str  # table name / collection name / bucket-key
+
+
+@register_system(SystemInfo(
+    name="Constance (polystore storage)",
+    functions=(Function.STORAGE_BACKEND,),
+    methods=(Method.POLYSTORE,),
+    paper_refs=("[61]", "[65]"),
+    summary="Routes raw data to relational/document/graph stores by original format, "
+            "with file-store fallback and user override.",
+))
+class Polystore:
+    """Format-based dataset placement over heterogeneous backends."""
+
+    #: default format -> backend policy (Constance's defaults, Sec. 4.3)
+    DEFAULT_POLICY: Dict[str, str] = {
+        "table": "relational",
+        "csv": "relational",
+        "tsv": "relational",
+        "columnar": "relational",
+        "rowbin": "relational",
+        "json": "document",
+        "jsonl": "document",
+        "xml": "document",
+        "graph": "graph",
+        "text": "objects",
+        "binary": "objects",
+    }
+
+    def __init__(
+        self,
+        relational: Optional[RelationalStore] = None,
+        document: Optional[DocumentStore] = None,
+        graph: Optional[GraphStore] = None,
+        objects: Optional[ObjectStore] = None,
+    ):
+        self.relational = relational or RelationalStore()
+        self.document = document or DocumentStore()
+        self.graph = graph if graph is not None else GraphStore()
+        self.objects = objects or ObjectStore()
+        self.objects.create_bucket("raw")
+        self._placements: Dict[str, Placement] = {}
+
+    # -- placement ---------------------------------------------------------------
+
+    def choose_backend(self, dataset: Dataset) -> str:
+        """Apply the default routing policy to *dataset*."""
+        if isinstance(dataset.payload, Table):
+            return "relational"
+        return self.DEFAULT_POLICY.get(dataset.format, "objects")
+
+    def store(self, dataset: Dataset, backend: Optional[str] = None) -> Placement:
+        """Place *dataset*; *backend* overrides the policy (the UI override).
+
+        Returns the recorded :class:`Placement`.
+        """
+        chosen = backend or self.choose_backend(dataset)
+        if chosen == "relational":
+            table = dataset.as_table()
+            stored = Table(dataset.name, table.columns)
+            self.relational.create_table(stored)
+            placement = Placement(dataset.name, "relational", dataset.name)
+        elif chosen == "document":
+            documents = dataset.payload
+            if isinstance(documents, dict):
+                documents = [documents]
+            if isinstance(documents, Table):
+                documents = documents.to_records()
+            if not isinstance(documents, list):
+                raise StorageError(
+                    f"dataset {dataset.name!r} cannot be stored as documents"
+                )
+            self.document.create_collection(dataset.name)
+            self.document.insert_many(
+                dataset.name, [d if isinstance(d, dict) else {"value": d} for d in documents]
+            )
+            placement = Placement(dataset.name, "document", dataset.name)
+        elif chosen == "graph":
+            placement = Placement(dataset.name, "graph", dataset.name)
+        elif chosen == "objects":
+            payload = dataset.payload
+            if isinstance(payload, bytes):
+                self.objects.put_bytes("raw", dataset.name, payload, format="text")
+            elif isinstance(payload, Table):
+                # files keep their original (tabular) format in the file tier
+                self.objects.put("raw", dataset.name, payload, format="csv")
+            elif isinstance(payload, list):
+                self.objects.put("raw", dataset.name, payload, format="jsonl")
+            else:
+                text = payload if isinstance(payload, str) else str(payload)
+                self.objects.put("raw", dataset.name, text, format="text")
+            placement = Placement(dataset.name, "objects", f"raw/{dataset.name}")
+        else:
+            raise StorageError(f"unknown backend {chosen!r}")
+        self._placements[dataset.name] = placement
+        return placement
+
+    def placement(self, dataset_name: str) -> Placement:
+        try:
+            return self._placements[dataset_name]
+        except KeyError:
+            raise DatasetNotFound(f"dataset {dataset_name!r} is not placed") from None
+
+    def placements(self) -> List[Placement]:
+        return [self._placements[name] for name in sorted(self._placements)]
+
+    # -- retrieval -----------------------------------------------------------------
+
+    def fetch(self, dataset_name: str) -> Any:
+        """Retrieve a dataset's payload from wherever it was placed."""
+        placement = self.placement(dataset_name)
+        if placement.backend == "relational":
+            return self.relational.table(placement.location)
+        if placement.backend == "document":
+            docs = self.document.all_documents(placement.location)
+            for doc in docs:
+                doc.pop("_id", None)
+            return docs
+        if placement.backend == "objects":
+            bucket, key = placement.location.split("/", 1)
+            return self.objects.get(bucket, key).payload()
+        if placement.backend == "graph":
+            return self.graph
+        raise StorageError(f"unknown backend {placement.backend!r}")
+
+    def backend_summary(self) -> Dict[str, int]:
+        """Dataset count per backend (the storage-tier view of Fig. 2)."""
+        counts: Dict[str, int] = {}
+        for placement in self._placements.values():
+            counts[placement.backend] = counts.get(placement.backend, 0) + 1
+        return counts

@@ -1,0 +1,95 @@
+"""Tests for CLAMS constraint-based cleaning."""
+
+import pytest
+
+from repro.cleaning.clams import Clams, Triple
+
+
+def product_triples(dirty=True):
+    triples = []
+    for i in range(20):
+        triples.append(Triple(f"prod{i}", "color", ["red", "blue"][i % 2]))
+        triples.append(Triple(f"prod{i}", "price", str(10 + i)))
+    if dirty:
+        triples.append(Triple("prod3", "color", "not-a-color-xyz"))
+        triples.append(Triple("prod5", "price", "99999"))
+    return triples
+
+
+@pytest.fixture
+def clams():
+    clams = Clams()
+    clams.add_triples(product_triples())
+    return clams
+
+
+class TestSchemaDiscovery:
+    def test_subjects_grouped_by_predicate_signature(self, clams):
+        types = clams.discover_types()
+        assert len(types) == 1  # all products share {color, price}
+        (signature, subjects), = types.items()
+        assert "color" in signature and "price" in signature
+        assert len(subjects) == 20
+
+    def test_mixed_signatures_split(self):
+        clams = Clams()
+        clams.add_triples([
+            Triple("a", "x", "1"), Triple("b", "x", "1"), Triple("b", "y", "2"),
+        ])
+        assert len(clams.discover_types()) == 2
+
+
+class TestConstraintInference:
+    def test_domain_constraint_inferred(self, clams):
+        constraints = clams.infer_constraints()
+        domain = next(c for c in constraints if c.kind == "domain" and c.predicate == "color")
+        assert domain.allowed == frozenset({"red", "blue"})
+
+    def test_range_constraint_inferred(self, clams):
+        constraints = clams.infer_constraints()
+        price_range = next(c for c in constraints if c.kind == "range" and c.predicate == "price")
+        assert price_range.low < 10
+        assert price_range.high < 99999
+
+    def test_functional_constraint(self):
+        clams = Clams()
+        triples = [Triple(f"s{i}", "capital", "one-value") for i in range(10)]
+        triples.append(Triple("s0", "capital", "conflicting"))
+        clams.add_triples(triples)
+        constraints = clams.infer_constraints()
+        assert any(c.kind == "functional" for c in constraints)
+
+
+class TestViolationRanking:
+    def test_dirty_triples_ranked_first(self, clams):
+        ranked = clams.ranked_candidates()
+        flagged = {t.object for t, _ in ranked}
+        assert "not-a-color-xyz" in flagged
+        assert "99999" in flagged
+
+    def test_clean_triples_not_flagged(self, clams):
+        flagged = {t for t, _ in clams.ranked_candidates()}
+        clean = Triple("prod0", "color", "red")
+        assert clean not in flagged
+
+    def test_violation_counts_positive(self, clams):
+        for _, count in clams.ranked_candidates():
+            assert count >= 1
+
+
+class TestValidationLoop:
+    def test_user_confirms_removals(self, clams):
+        before = len(clams.triples())
+        removed = clams.clean(validate=lambda triple, count: True)
+        assert len(removed) >= 2
+        assert len(clams.triples()) == before - len(removed)
+
+    def test_user_rejects_keeps_triples(self, clams):
+        before = len(clams.triples())
+        removed = clams.clean(validate=lambda triple, count: False)
+        assert removed == []
+        assert len(clams.triples()) == before
+
+    def test_max_candidates(self, clams):
+        removed = clams.clean(validate=lambda t, c: True, max_candidates=1)
+        assert len(removed) == 1

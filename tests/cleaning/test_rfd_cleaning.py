@@ -1,0 +1,49 @@
+"""Tests for Constance's RFD-based cleaning."""
+
+import pytest
+
+from repro.core.dataset import Table
+from repro.cleaning.rfd_cleaning import RfdCleaner
+
+
+@pytest.fixture
+def dirty_table():
+    return Table.from_columns("cities", {
+        "city": ["berlin"] * 5 + ["paris"] * 5 + ["rome"] * 5,
+        "country": ["de"] * 5 + ["fr"] * 4 + ["de"] + ["it"] * 5,
+        "continent": ["europe"] * 15,
+    })
+
+
+class TestInspect:
+    def test_flags_violating_rows(self, dirty_table):
+        report = RfdCleaner(min_confidence=0.85).inspect(dirty_table)
+        assert report.all_flagged() == {9}  # the paris/de row
+
+    def test_perfect_dependencies_unflagged(self, dirty_table):
+        report = RfdCleaner(min_confidence=0.85).inspect(dirty_table)
+        for dependency in report.flagged_rows:
+            assert dependency.confidence < 1.0
+
+    def test_clean_table_empty_report(self, customers):
+        report = RfdCleaner(min_confidence=0.95).inspect(customers)
+        assert report.all_flagged() == set()
+
+
+class TestRepair:
+    def test_repairs_to_dominant_value(self, dirty_table):
+        repaired, report = RfdCleaner(min_confidence=0.85).repair(dirty_table)
+        assert repaired["country"].values[9] == "fr"
+        assert report.repaired_cells >= 1
+
+    def test_repair_idempotent(self, dirty_table):
+        cleaner = RfdCleaner(min_confidence=0.85)
+        repaired, _ = cleaner.repair(dirty_table)
+        again, second_report = cleaner.repair(repaired)
+        assert second_report.repaired_cells == 0
+        assert again == repaired
+
+    def test_other_cells_untouched(self, dirty_table):
+        repaired, _ = RfdCleaner(min_confidence=0.85).repair(dirty_table)
+        assert repaired["city"].values == dirty_table["city"].values
+        assert repaired["continent"].values == dirty_table["continent"].values

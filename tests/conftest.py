@@ -1,0 +1,55 @@
+"""Shared fixtures: small deterministic tables and generated workloads."""
+
+import random
+
+import pytest
+
+from repro.core.dataset import Dataset, Table
+from repro.datagen import LakeGenerator
+
+
+@pytest.fixture
+def customers() -> Table:
+    rng = random.Random(0)
+    ids = [f"cust-{i:04d}" for i in range(150)]
+    return Table.from_columns("customers", {
+        "customer_id": ids,
+        "name": [f"name {i}" for i in range(150)],
+        "city": [rng.choice(["berlin", "paris", "london", "rome"]) for _ in range(150)],
+        "age": [rng.randint(18, 90) for _ in range(150)],
+    })
+
+
+@pytest.fixture
+def orders(customers) -> Table:
+    rng = random.Random(1)
+    ids = customers["customer_id"].values
+    return Table.from_columns("orders", {
+        "order_id": [f"ord-{i:04d}" for i in range(250)],
+        "customer_id": [rng.choice(ids) for _ in range(250)],
+        "amount": [round(rng.uniform(5, 500), 2) for _ in range(250)],
+    })
+
+
+@pytest.fixture
+def products() -> Table:
+    rng = random.Random(2)
+    return Table.from_columns("products", {
+        "sku": [f"sku-{i:04d}" for i in range(80)],
+        "color": [rng.choice(["red", "blue", "green", "black"]) for _ in range(80)],
+        "price": [round(rng.uniform(1, 99), 2) for _ in range(80)],
+    })
+
+
+@pytest.fixture
+def small_lake(customers, orders, products):
+    """Three related tables as a list."""
+    return [customers, orders, products]
+
+
+@pytest.fixture(scope="session")
+def workload():
+    """A generated lake workload with ground truth (session-cached)."""
+    return LakeGenerator(seed=11).generate(
+        num_pools=2, tables_per_pool=2, rows_per_table=80, pool_size=120,
+    )

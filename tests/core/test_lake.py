@@ -1,0 +1,101 @@
+"""Tests for the DataLake facade (Fig. 2 end-to-end)."""
+
+import pytest
+
+from repro import DataLake
+from repro.core.dataset import Dataset, Table
+from repro.core.errors import DatasetNotFound
+
+
+@pytest.fixture
+def lake(customers, orders):
+    lake = DataLake.in_memory()
+    lake.ingest(Dataset("customers", customers))
+    lake.ingest(Dataset("orders", orders))
+    return lake
+
+
+class TestIngestion:
+    def test_ingest_table_convenience(self):
+        lake = DataLake.in_memory()
+        lake.ingest_table("t", {"a": [1, 2]})
+        assert "t" in lake
+        assert len(lake) == 1
+
+    def test_ingest_extracts_metadata(self, lake):
+        record = lake.metadata_repository.get("customers")
+        assert record.properties["num_columns"] == 4
+
+    def test_ingest_catalogs(self, lake):
+        assert "customers" in lake.catalog
+        entry = lake.catalog.entry("customers")
+        assert entry.basic["backend"] == "relational"
+
+    def test_ingest_records_provenance(self, lake):
+        events = lake.provenance.events_about("customers")
+        assert any(e.activity == "ingest" for e in events)
+
+    def test_ingest_bytes_detects_csv(self):
+        lake = DataLake.in_memory()
+        lake.ingest_bytes("t", b"a,b\n1,x\n2,y\n", filename="t.csv")
+        assert lake.table("t")["a"].values == ["1", "2"]
+
+    def test_ingest_bytes_detects_json(self):
+        lake = DataLake.in_memory()
+        lake.ingest_bytes("docs", b'[{"a": 1}, {"a": 2}]', filename="docs.json")
+        assert lake.dataset("docs").format == "json"
+
+
+class TestAccess:
+    def test_dataset_not_found(self, lake):
+        with pytest.raises(DatasetNotFound):
+            lake.dataset("missing")
+
+    def test_datasets_sorted(self, lake):
+        assert lake.datasets() == ["customers", "orders"]
+
+    def test_tables(self, lake):
+        assert len(lake.tables()) == 2
+
+
+class TestDiscovery:
+    def test_discover_joinable(self, lake):
+        hits = lake.discover_joinable("orders", "customer_id", k=3)
+        assert hits
+        assert hits[0][0] == ("customers", "customer_id")
+
+    def test_discover_related(self, lake):
+        hits = lake.discover_related("orders", k=3)
+        assert hits[0][0] == "customers"
+
+    def test_index_rebuilt_after_new_ingest(self, lake, products):
+        lake.discover_joinable("orders", "customer_id")
+        lake.ingest(Dataset("products", products))
+        # the rebuilt index must know the new table
+        hits = lake.discovery.related_tables("products", k=3)
+        assert isinstance(hits, list)
+
+
+class TestExploration:
+    def test_sql(self, lake):
+        result = lake.sql("SELECT COUNT(*) FROM orders")
+        assert result["count"].values == [250]
+
+    def test_sql_join(self, lake):
+        result = lake.sql(
+            "SELECT name FROM orders JOIN customers "
+            "ON orders.customer_id = customers.customer_id LIMIT 5"
+        )
+        assert len(result) == 5
+
+    def test_keyword_search(self, lake):
+        hits = lake.keyword_search("customer")
+        assert {h.table for h in hits} >= {"customers", "orders"}
+
+
+class TestReport:
+    def test_architecture_report(self, lake):
+        report = lake.architecture_report()
+        assert report["datasets"] == 2
+        assert report["storage"]["relational"] == 2
+        assert report["provenance_events"] >= 2

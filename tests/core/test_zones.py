@@ -1,0 +1,125 @@
+"""Tests for pond and zone architectures."""
+
+import pytest
+
+from repro.core.dataset import Dataset, Table
+from repro.core.errors import DataLakeError
+from repro.core.zones import PondManager, TransitionRefused, ZoneManager
+
+
+def table_dataset(name, data=None):
+    return Dataset(name, Table.from_columns(name, data or {"a": [1, 2, 2]}))
+
+
+class TestZoneManager:
+    def test_ingest_lands_in_first_zone(self):
+        zones = ZoneManager()
+        assert zones.ingest(table_dataset("d")) == "landing"
+        assert zones.zone_of("d") == "landing"
+        assert zones.in_zone("landing") == ["d"]
+
+    def test_promote_walks_the_life_cycle(self):
+        zones = ZoneManager()
+        zones.ingest(table_dataset("d"))
+        assert zones.promote("d") == "raw"
+        assert zones.promote("d") == "cleaned"
+        assert zones.promote("d") == "curated"
+        with pytest.raises(DataLakeError, match="final zone"):
+            zones.promote("d")
+
+    def test_guard_refuses(self):
+        zones = ZoneManager()
+        zones.set_guard("cleaned", lambda dataset: False)
+        zones.ingest(table_dataset("d"))
+        zones.promote("d")  # -> raw
+        with pytest.raises(TransitionRefused):
+            zones.promote("d")
+        assert zones.zone_of("d") == "raw"  # unchanged on refusal
+
+    def test_guard_sees_transformed_payload(self):
+        zones = ZoneManager()
+        zones.set_guard("raw", lambda dataset: len(dataset.payload) > 0)
+        zones.ingest(table_dataset("d"))
+        cleaned = table_dataset("d", {"a": [1]})
+        assert zones.promote("d", transformed=cleaned) == "raw"
+        assert zones.dataset("d").payload["a"].values == [1]
+
+    def test_transition_log(self):
+        zones = ZoneManager()
+        zones.ingest(table_dataset("d"))
+        zones.promote("d")
+        assert zones.transition_log("d") == [("d", "", "landing"), ("d", "landing", "raw")]
+
+    def test_provenance_recorded(self):
+        zones = ZoneManager()
+        zones.ingest(table_dataset("d"))
+        zones.promote("d")
+        activities = [e.activity for e in zones.recorder.events()]
+        assert activities == ["zone:enter", "zone:promote"]
+
+    def test_custom_zones(self):
+        zones = ZoneManager(zones=("in", "out"))
+        zones.ingest(table_dataset("d"))
+        assert zones.promote("d") == "out"
+
+    def test_too_few_zones(self):
+        with pytest.raises(DataLakeError):
+            ZoneManager(zones=("only",))
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DataLakeError):
+            ZoneManager().zone_of("ghost")
+
+
+class TestPondManager:
+    def test_all_data_enters_raw(self):
+        ponds = PondManager()
+        assert ponds.ingest(table_dataset("d")) == "raw"
+        assert ponds.pond_of("d") == "raw"
+
+    def test_analog_classification_and_reduction(self):
+        ponds = PondManager()
+        sensor = Dataset("sensor", Table.from_columns("sensor", {
+            "t": [1.0, 2.0, 2.0, 3.0], "v": [5, 6, 6, 7],
+        }))
+        ponds.ingest(sensor)
+        assert ponds.condition("sensor") == "analog"
+        # data reduction: the duplicate row collapsed
+        reduced = ponds._ponds["analog"]["sensor"].payload
+        assert len(reduced) == 3
+
+    def test_application_classification(self):
+        ponds = PondManager()
+        ponds.ingest(Dataset("biz", Table.from_columns("biz", {
+            "customer": ["a", "b"], "city": ["x", "y"], "n": [1, 2],
+        })))
+        assert ponds.condition("biz") == "application"
+
+    def test_textual_classification(self):
+        ponds = PondManager()
+        ponds.ingest(Dataset("notes", "free text body", format="text"))
+        assert ponds.condition("notes") == "textual"
+
+    def test_archive(self):
+        ponds = PondManager()
+        ponds.ingest(Dataset("notes", "text", format="text"))
+        ponds.condition("notes")
+        assert ponds.archive("notes") == "archival"
+        assert ponds.pond_of("notes") == "archival"
+
+    def test_archive_requires_conditioning(self):
+        ponds = PondManager()
+        ponds.ingest(table_dataset("d"))
+        with pytest.raises(DataLakeError):
+            ponds.archive("d")
+
+    def test_condition_unknown(self):
+        with pytest.raises(DataLakeError):
+            PondManager().condition("ghost")
+
+    def test_contents_view(self):
+        ponds = PondManager()
+        ponds.ingest(Dataset("notes", "text", format="text"))
+        contents = ponds.contents()
+        assert contents["raw"] == ["notes"]
+        assert set(contents) == {"raw", "analog", "application", "textual", "archival"}

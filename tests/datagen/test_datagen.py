@@ -1,0 +1,108 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.datagen.jsongen import EvolvingDocumentGenerator
+from repro.datagen.lakegen import LakeGenerator
+from repro.datagen.logs import LogGenerator
+from repro.datagen.notebooks import NotebookGenerator, RECIPES
+
+
+class TestLakeGenerator:
+    def test_deterministic(self):
+        left = LakeGenerator(seed=9).generate(num_pools=1, tables_per_pool=2)
+        right = LakeGenerator(seed=9).generate(num_pools=1, tables_per_pool=2)
+        assert [t.name for t in left.tables] == [t.name for t in right.tables]
+        assert left.tables[1] == right.tables[1]
+
+    def test_joinable_ground_truth_holds(self, workload):
+        """Ground-truth joinable pairs genuinely overlap in values."""
+        for left, right in workload.joinable_pairs:
+            left_set = workload.table(left[0])[left[1]].distinct()
+            right_set = workload.table(right[0])[right[1]].distinct()
+            overlap = len(left_set & right_set) / min(len(left_set), len(right_set))
+            assert overlap > 0.3, (left, right)
+
+    def test_noise_tables_unjoinable(self, workload):
+        noise = [t for t in workload.tables if t.name.startswith("noise")]
+        assert noise
+        for table in noise:
+            for column in table.column_names:
+                assert workload.joinable_partners((table.name, column)) == set()
+
+    def test_domain_ground_truth(self, workload):
+        assert workload.domain_of
+        for (table, column), domain in workload.domain_of.items():
+            values = {v.lower() for v in workload.table(table)[column].distinct()}
+            from repro.datagen.lakegen import VOCABULARIES
+
+            assert values <= set(VOCABULARIES[domain])
+
+    def test_zipf_skews_frequencies(self):
+        from collections import Counter
+
+        uniform = LakeGenerator(seed=3).generate(
+            num_pools=1, tables_per_pool=1, rows_per_table=500, zipf=False,
+        )
+        zipf = LakeGenerator(seed=3).generate(
+            num_pools=1, tables_per_pool=1, rows_per_table=500, zipf=True,
+        )
+
+        def top_share(workload):
+            fact = next(t for t in workload.tables if t.name.startswith("fact"))
+            counts = Counter(fact[fact.column_names[0]].values)
+            return counts.most_common(1)[0][1] / 500
+
+        assert top_share(zipf) > top_share(uniform) * 2
+
+    def test_unionable_groups(self):
+        workload = LakeGenerator(seed=5).generate_unionable(num_groups=2, tables_per_group=3)
+        assert len(workload.unionable_groups) == 2
+        for group in workload.unionable_groups:
+            schemas = {tuple(workload.table(name).column_names) for name in group}
+            assert len(schemas) == 1  # same template
+
+
+class TestLogGenerator:
+    def test_counts_add_up(self):
+        log = LogGenerator(seed=2).generate(num_lines=200, noise_fraction=0.0)
+        assert sum(log.lines_per_template.values()) == 200
+
+    def test_ground_truth_templates_present(self):
+        log = LogGenerator(seed=2).generate(num_lines=200)
+        assert 1 <= len(log.templates) <= 3
+
+
+class TestJsonGenerator:
+    def test_epochs_respected(self):
+        generated = EvolvingDocumentGenerator(seed=2).generate()
+        first_epoch_docs = generated.documents[:8]
+        assert all(set(d) == {"name", "tel"} for _, d in first_epoch_docs)
+
+    def test_expected_operations(self):
+        generated = EvolvingDocumentGenerator().generate()
+        operations = generated.expected_operations()
+        assert ("add", "email") in operations
+        assert ("rename?", "tel->phone") in operations
+
+
+class TestNotebookGenerator:
+    def test_recipes_produce_cells(self):
+        generator = NotebookGenerator()
+        for recipe in RECIPES:
+            notebook = generator.generate(recipe, f"nb_{recipe}")
+            assert len(notebook.cells) == len(RECIPES[recipe])
+
+    def test_final_variable_binding(self, customers):
+        generator = NotebookGenerator()
+        notebook = generator.generate("clean_join", "nb", table=customers)
+        final = generator.final_variable("clean_join", "nb")
+        assert notebook.tables[final] is customers
+
+    def test_prefix_isolation(self):
+        generator = NotebookGenerator()
+        left = generator.generate("clean_join", "a")
+        right = generator.generate("clean_join", "b")
+        left_vars = {v for cell in left.cells for v in cell.outputs}
+        right_vars = {v for cell in right.cells for v in cell.outputs}
+        assert left_vars.isdisjoint(right_vars)

@@ -1,0 +1,113 @@
+"""Tests for Aurum."""
+
+import pytest
+
+from repro.core.dataset import Column, Table
+from repro.core.errors import DatasetNotFound
+from repro.discovery.aurum import Aurum
+
+
+@pytest.fixture
+def aurum(small_lake):
+    engine = Aurum()
+    for table in small_lake:
+        engine.add_table(table)
+    engine.build()
+    return engine
+
+
+class TestBuild:
+    def test_ekg_has_all_columns(self, aurum, small_lake):
+        expected = sum(t.width for t in small_lake)
+        assert aurum.ekg.num_nodes == expected
+
+    def test_content_edge_between_join_columns(self, aurum):
+        relations = aurum.ekg.relations_between(
+            ("customers", "customer_id"), ("orders", "customer_id")
+        )
+        assert "content_sim" in relations
+
+    def test_schema_edge_between_same_names(self, aurum):
+        relations = aurum.ekg.relations_between(
+            ("customers", "customer_id"), ("orders", "customer_id")
+        )
+        assert relations.get("schema_sim", 0) > 0.5
+
+    def test_table_hyperedges(self, aurum):
+        assert len(aurum.ekg.hyperedges("table:")) == 3
+
+    def test_build_idempotent(self, aurum):
+        edges_before = aurum.ekg.num_edges
+        aurum.build()
+        assert aurum.ekg.num_edges == edges_before
+
+
+class TestQueries:
+    def test_joinable(self, aurum):
+        hits = aurum.joinable("orders", "customer_id", k=3)
+        assert hits[0][0] == ("customers", "customer_id")
+        assert hits[0][1] > 0.5
+
+    def test_joinable_excludes_own_table(self, aurum):
+        for ref, _ in aurum.joinable("orders", "customer_id", k=10):
+            assert ref[0] != "orders"
+
+    def test_joinable_unknown_column(self, aurum):
+        with pytest.raises(DatasetNotFound):
+            aurum.joinable("orders", "ghost")
+
+    def test_related_tables(self, aurum):
+        hits = aurum.related_tables("orders", k=3)
+        assert hits[0][0] == "customers"
+
+    def test_pkfk(self, aurum):
+        candidates = aurum.pkfk_candidates()
+        assert (("customers", "customer_id"), ("orders", "customer_id")) in [
+            (key, fk) for key, fk, _ in candidates
+        ]
+
+
+class TestIncrementalUpdates:
+    def test_small_change_skipped(self, aurum, orders):
+        # identical table: change below threshold, no rebuild
+        assert aurum.update_table(orders) is False
+
+    def test_large_change_triggers_rebuild(self, aurum, orders):
+        mutated = Table.from_columns("orders", {
+            "order_id": [f"zzz-{i}" for i in range(50)],
+            "customer_id": [f"other-{i}" for i in range(50)],
+            "amount": list(range(50)),
+        })
+        assert aurum.update_table(mutated) is True
+        # the old join edge should be gone now
+        assert aurum.joinable("orders", "customer_id", k=3) == []
+
+    def test_new_table_added(self, aurum):
+        extra = Table.from_columns("extra", {"customer_id": [f"cust-{i:04d}" for i in range(100)]})
+        assert aurum.update_table(extra) is True
+        hits = aurum.joinable("extra", "customer_id", k=5)
+        assert ("customers", "customer_id") in [ref for ref, _ in hits]
+
+    def test_new_column_triggers_rebuild(self, aurum, orders):
+        widened = Table("orders", list(orders.columns) + [
+            Column("channel", ["web"] * len(orders)),
+        ])
+        assert aurum.update_table(widened) is True
+        assert ("orders", "channel") in aurum.ekg.columns("orders")
+
+
+class TestLinearVsQuadratic:
+    def test_lsh_edges_match_all_pairs(self, small_lake):
+        """LSH-found strong edges agree with the exact quadratic baseline."""
+        engine = Aurum(content_threshold=0.5)
+        for table in small_lake:
+            engine.add_table(table)
+        exact = {(a, b) for a, b, _ in engine.all_pairs_content_edges()}
+        engine.build()
+        approx = set()
+        for ref in engine.ekg.columns():
+            for other, _ in engine.ekg.neighbors(ref, relation="content_sim"):
+                approx.add(tuple(sorted([ref, other])))
+        # every strong exact edge must be recovered by LSH
+        strong = {(a, b) for a, b, s in engine.all_pairs_content_edges() if s > 0.7}
+        assert strong <= approx

@@ -1,0 +1,72 @@
+"""Tests for Brackenbury et al. human-in-the-loop similarity."""
+
+import pytest
+
+from repro.core.dataset import Table
+from repro.discovery.brackenbury import BrackenburyExplorer, LakeFile
+
+
+def make_file(name, values, path="", description=""):
+    table = Table.from_columns(name, {"v": values})
+    return LakeFile(name=name, table=table, path=path, description=description)
+
+
+@pytest.fixture
+def explorer():
+    explorer = BrackenburyExplorer(accept_threshold=0.6, reject_threshold=0.35)
+    explorer.add_file(make_file(
+        "sales_2023", [f"row{i}" for i in range(30)],
+        path="/finance/sales/2023.csv", description="quarterly sales report",
+    ))
+    explorer.add_file(make_file(
+        "sales_2024", [f"row{i}" for i in range(30)],
+        path="/finance/sales/2024.csv", description="quarterly sales report",
+    ))
+    explorer.add_file(make_file(
+        "hr_survey", [f"answer{i}" for i in range(30)],
+        path="/hr/surveys/2024.csv", description="employee satisfaction survey",
+    ))
+    return explorer
+
+
+class TestSimilarity:
+    def test_near_duplicates_score_high(self, explorer):
+        assert explorer.similarity("sales_2023", "sales_2024") > 0.6
+
+    def test_unrelated_score_low(self, explorer):
+        assert explorer.similarity("sales_2023", "hr_survey") < 0.4
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            BrackenburyExplorer(accept_threshold=0.3, reject_threshold=0.5)
+
+
+class TestHumanInTheLoop:
+    def test_confident_pairs_skip_oracle(self, explorer):
+        explorer.oracle = lambda *args: (_ for _ in ()).throw(AssertionError("called"))
+        assert explorer.decide("sales_2023", "sales_2024") is True
+        assert explorer.decide("sales_2023", "hr_survey") is False
+
+    def test_ambiguous_pair_consults_oracle(self):
+        explorer = BrackenburyExplorer(
+            accept_threshold=0.95, reject_threshold=0.01,
+            oracle=lambda left, right, score: True,
+        )
+        explorer.add_file(make_file("a", ["x", "y"], path="/data/a"))
+        explorer.add_file(make_file("b", ["x", "z"], path="/data/b"))
+        assert explorer.decide("a", "b") is True
+        assert explorer.oracle_calls == 1
+
+    def test_no_oracle_is_conservative(self):
+        explorer = BrackenburyExplorer(accept_threshold=0.95, reject_threshold=0.01)
+        explorer.add_file(make_file("a", ["x", "y"], path="/data/a"))
+        explorer.add_file(make_file("b", ["x", "z"], path="/data/b"))
+        assert explorer.decide("a", "b") is False
+
+
+class TestClustering:
+    def test_clusters_related_files(self, explorer):
+        clusters = explorer.cluster()
+        as_sets = [frozenset(c) for c in clusters]
+        assert frozenset({"sales_2023", "sales_2024"}) in as_sets
+        assert frozenset({"hr_survey"}) in as_sets

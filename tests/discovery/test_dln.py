@@ -1,0 +1,109 @@
+"""Tests for DLN (Data Lake Navigator)."""
+
+import pytest
+
+from repro.core.errors import DatasetNotFound
+from repro.discovery.dln import DataLakeNavigator, labels_from_query_log
+
+
+class TestQueryLogLabeling:
+    def test_join_pairs_positive(self):
+        queries = [
+            "SELECT * FROM orders JOIN customers ON orders.customer_id = customers.customer_id",
+        ]
+        columns = [("orders", "customer_id"), ("customers", "customer_id"),
+                   ("orders", "amount"), ("customers", "city")]
+        labeled = labels_from_query_log(queries, columns)
+        positives = [(l, r) for l, r, related in labeled if related]
+        assert positives == [(("customers", "customer_id"), ("orders", "customer_id"))]
+
+    def test_negatives_never_joined(self):
+        queries = ["SELECT 1 FROM a JOIN b ON a.x = b.y"]
+        columns = [("a", "x"), ("b", "y"), ("a", "z"), ("b", "w"), ("c", "q")]
+        labeled = labels_from_query_log(queries, columns, negatives_per_positive=3)
+        negatives = [(l, r) for l, r, related in labeled if not related]
+        assert negatives
+        assert (("a", "x"), ("b", "y")) not in negatives
+        # negatives never pair columns of the same table
+        assert all(l[0] != r[0] for l, r in negatives)
+
+    def test_deterministic(self):
+        queries = ["SELECT 1 FROM a JOIN b ON a.x = b.y"]
+        columns = [("a", "x"), ("b", "y"), ("c", "q"), ("d", "r")]
+        assert labels_from_query_log(queries, columns, seed=3) == \
+            labels_from_query_log(queries, columns, seed=3)
+
+
+@pytest.fixture
+def dln(small_lake):
+    navigator = DataLakeNavigator()
+    for table in small_lake:
+        navigator.add_table(table)
+    return navigator
+
+
+@pytest.fixture
+def trained(dln):
+    queries = [
+        "SELECT name FROM orders JOIN customers ON orders.customer_id = customers.customer_id",
+        "SELECT 1 FROM orders JOIN customers ON orders.customer_id = customers.customer_id",
+    ]
+    count = dln.train_from_query_log(queries)
+    assert count > 0
+    return dln
+
+
+class TestFeatures:
+    def test_metadata_features_width(self, dln):
+        features = dln.metadata_features(("customers", "customer_id"), ("orders", "customer_id"))
+        assert len(features) == 5
+        assert features[0] == 1.0  # identical names
+
+    def test_data_features_width(self, dln):
+        features = dln.data_features(("customers", "customer_id"), ("orders", "customer_id"))
+        assert len(features) == 2
+        assert features[0] > 0.3
+
+    def test_ensemble_pads_numeric_pairs(self, dln):
+        features = dln._ensemble_features(("customers", "age"), ("orders", "amount"))
+        assert features[-2:] == [0.0, 0.0]
+
+    def test_metadata_cost_independent_of_data(self, dln):
+        dln.metadata_feature_ops = dln.data_feature_ops = 0
+        dln.metadata_features(("customers", "customer_id"), ("orders", "customer_id"))
+        assert dln.data_feature_ops == 0
+
+    def test_data_cost_scales_with_values(self, dln):
+        dln.data_feature_ops = 0
+        dln.data_features(("customers", "customer_id"), ("orders", "customer_id"))
+        assert dln.data_feature_ops > 100
+
+    def test_unknown_column(self, dln):
+        with pytest.raises(DatasetNotFound):
+            dln.metadata_features(("ghost", "x"), ("customers", "city"))
+
+
+class TestModels:
+    def test_both_classifiers_trained(self, trained):
+        assert trained.metadata_model is not None
+        assert trained.ensemble_model is not None
+
+    def test_predicts_join_pair(self, trained):
+        assert trained.related(("customers", "customer_id"), ("orders", "customer_id"))
+
+    def test_metadata_only_model_works(self, trained):
+        assert trained.related(
+            ("customers", "customer_id"), ("orders", "customer_id"), use_ensemble=False
+        )
+
+    def test_related_columns_ranked(self, trained):
+        hits = trained.related_columns("orders", "customer_id", k=3)
+        assert hits[0][0] == ("customers", "customer_id")
+
+    def test_untrained_rejected(self, dln):
+        with pytest.raises(ValueError):
+            dln.related(("customers", "city"), ("orders", "amount"))
+
+    def test_empty_training_rejected(self, dln):
+        with pytest.raises(ValueError):
+            dln.train([])

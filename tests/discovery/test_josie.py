@@ -1,0 +1,92 @@
+"""Tests for JOSIE exact top-k overlap search."""
+
+import random
+
+import pytest
+
+from repro.core.dataset import Table
+from repro.core.errors import DatasetNotFound
+from repro.discovery.josie import JosieIndex, brute_force_topk
+
+
+@pytest.fixture
+def index(small_lake):
+    index = JosieIndex()
+    for table in small_lake:
+        index.add_table(table)
+    return index
+
+
+class TestIndexing:
+    def test_sets_indexed(self, index, small_lake):
+        assert len(index) == sum(t.width for t in small_lake)
+
+    def test_duplicate_key_rejected(self, index):
+        with pytest.raises(ValueError):
+            index.add_set(("customers", "customer_id"), ["x"])
+
+    def test_set_of(self, index):
+        assert "cust-0000" in index.set_of(("customers", "customer_id"))
+        with pytest.raises(DatasetNotFound):
+            index.set_of(("nope", "x"))
+
+
+class TestTopK:
+    def test_finds_joinable_column(self, index, orders):
+        hits = index.topk_for_column(orders, "customer_id", k=3)
+        assert hits[0][0] == ("customers", "customer_id")
+        assert hits[0][1] > 50
+
+    def test_overlap_is_exact(self, index, orders, customers):
+        hits = index.topk_for_column(orders, "customer_id", k=1)
+        truth = len(orders["customer_id"].distinct() & customers["customer_id"].distinct())
+        assert hits[0][1] == truth
+
+    def test_no_threshold_needed(self, index):
+        """Top-k works even for weakly overlapping queries."""
+        hits = index.topk(["cust-0001", "unrelated-x"], k=5)
+        assert any(overlap == 1 for _, overlap in hits)
+
+    def test_empty_query(self, index):
+        assert index.topk([], k=3) == []
+
+    def test_zero_overlap_not_returned(self, index):
+        assert index.topk(["zzz-does-not-exist"], k=3) == []
+
+
+class TestExactness:
+    @pytest.mark.parametrize("zipf", [False, True], ids=["uniform", "zipf"])
+    def test_matches_brute_force_across_distributions(self, zipf):
+        """JOSIE is exact and 'robust to different data distributions'."""
+        rng = random.Random(42)
+        universe = [f"v{i}" for i in range(500)]
+        weights = [1.0 / (r + 1) for r in range(len(universe))] if zipf else None
+        index = JosieIndex()
+        sets = {}
+        for i in range(40):
+            if weights:
+                values = set(rng.choices(universe, weights=weights, k=80))
+            else:
+                values = set(rng.sample(universe, 80))
+            key = ("t", f"col{i}")
+            index.add_set(key, values)
+            sets[key] = {str(v) for v in values}
+        query = set(rng.sample(universe, 60))
+        expected = brute_force_topk(sets, query, k=10)
+        actual = index.topk(query, k=10)
+        assert actual == expected
+
+    def test_candidate_elimination_reduces_work(self):
+        """The cost model must examine fewer candidates than exist."""
+        rng = random.Random(1)
+        index = JosieIndex()
+        # one highly-overlapping set + many near-disjoint ones sharing a
+        # handful of common tokens
+        common = [f"shared{i}" for i in range(3)]
+        index.add_set("target", [f"q{i}" for i in range(100)] + common)
+        for i in range(200):
+            index.add_set(f"noise{i}", [f"n{i}-{j}" for j in range(30)] + common)
+        index.candidates_examined = 0
+        hits = index.topk([f"q{i}" for i in range(100)] + common, k=1)
+        assert hits[0][0] == "target"
+        assert index.candidates_examined < 201  # some noise sets eliminated

@@ -1,0 +1,117 @@
+"""Tests for Juneau task-specific table search."""
+
+import pytest
+
+from repro.core.dataset import Table
+from repro.core.errors import DatasetNotFound
+from repro.datagen.notebooks import NotebookGenerator
+from repro.discovery.juneau_search import TASK_FEATURES, JuneauSearch
+
+
+@pytest.fixture
+def searcher(customers, orders, products):
+    searcher = JuneauSearch()
+    searcher.add_table(customers, description="customer master data")
+    searcher.add_table(orders, description="order transactions")
+    searcher.add_table(products, description="product catalog")
+    return searcher
+
+
+class TestSignals:
+    def test_value_overlap(self, searcher):
+        left = searcher._entry("customers")
+        right = searcher._entry("orders")
+        assert searcher.value_overlap(left, right) > 0.1
+
+    def test_schema_overlap(self, searcher):
+        left = searcher._entry("customers")
+        right = searcher._entry("orders")
+        assert searcher.schema_overlap(left, right) == pytest.approx(1 / 6)
+
+    def test_key_match(self, searcher):
+        left = searcher._entry("customers")
+        right = searcher._entry("orders")
+        # customers.customer_id is a key; orders.order_id is a key; they do
+        # not overlap, but customer_id/orders side isn't a key, so low score
+        assert 0.0 <= searcher.key_match(left, right) <= 1.0
+
+    def test_new_attribute_rate(self, searcher):
+        left = searcher._entry("customers")
+        right = searcher._entry("orders")
+        assert searcher.new_attribute_rate(left, right) == pytest.approx(2 / 3)
+
+    def test_new_instance_rate_no_shared_columns(self, searcher):
+        left = searcher._entry("customers")
+        right = searcher._entry("products")
+        assert searcher.new_instance_rate(left, right) == 0.0
+
+    def test_null_difference_rewards_completeness(self):
+        searcher = JuneauSearch()
+        holey = Table.from_columns("holey", {"k": ["a", "b", None, None]})
+        full = Table.from_columns("full", {"k": ["a", "b", "c", "d"]})
+        searcher.add_table(holey)
+        searcher.add_table(full)
+        gain = searcher.null_difference(searcher._entry("holey"), searcher._entry("full"))
+        assert gain > 0.0
+
+    def test_description_signal(self, searcher):
+        left = searcher._entry("customers")
+        right = searcher._entry("orders")
+        assert searcher.description(left, right) == 0.0
+        searcher.add_table(Table.from_columns("o2", {"x": [1]}),
+                           description="customer master data")
+        assert searcher.description(left, searcher._entry("o2")) == 1.0
+
+
+class TestProvenanceSignal:
+    def test_same_recipe_notebooks_similar(self, customers, orders):
+        generator = NotebookGenerator()
+        nb1 = generator.generate("clean_join", "nb1", table=customers)
+        nb2 = generator.generate("clean_join", "nb2", table=orders)
+        nb3 = generator.generate("quick_plot", "nb3", table=orders)
+        searcher = JuneauSearch()
+        searcher.add_table(customers, notebook=nb1,
+                           variable=generator.final_variable("clean_join", "nb1"))
+        searcher.add_table(orders, notebook=nb2,
+                           variable=generator.final_variable("clean_join", "nb2"))
+        same = searcher.provenance(searcher._entry("customers"), searcher._entry("orders"))
+        assert same > 0.8
+
+    def test_provenance_zero_without_notebook(self, searcher):
+        assert searcher.provenance(
+            searcher._entry("customers"), searcher._entry("orders")
+        ) == 0.0
+
+
+class TestSearch:
+    def test_mode3_search(self, searcher):
+        hits = searcher.search("orders", task="general", k=2)
+        assert hits[0][0] == "customers"
+
+    def test_task_feature_subsets_differ(self, searcher):
+        cleaning = searcher.relatedness("orders", "customers", task="cleaning")
+        augmentation = searcher.relatedness("orders", "customers", task="augmentation")
+        assert cleaning != augmentation
+
+    def test_unknown_task(self, searcher):
+        with pytest.raises(ValueError):
+            searcher.search("orders", task="mystery")
+
+    def test_unknown_table(self, searcher):
+        with pytest.raises(DatasetNotFound):
+            searcher.search("ghost")
+
+    def test_pruning_counts(self, customers, orders, products):
+        searcher = JuneauSearch(prune_schema_overlap=0.1)
+        for table in (customers, orders, products):
+            searcher.add_table(table)
+        searcher.search("orders", k=5)
+        assert searcher.pruned_count >= 1  # products shares no columns
+
+    def test_every_task_has_features(self):
+        for task, features in TASK_FEATURES.items():
+            assert features, task
+
+    def test_suggest_new_attributes(self, searcher):
+        suggested = searcher.suggest_new_attributes("orders", "customers")
+        assert suggested == ["age", "city", "name"]

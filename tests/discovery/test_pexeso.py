@@ -1,0 +1,110 @@
+"""Tests for PEXESO vector-similarity join discovery."""
+
+import pytest
+
+import numpy as np
+
+from repro.core.dataset import Table
+from repro.core.errors import DatasetNotFound
+from repro.discovery.pexeso import Pexeso, _Grid
+
+
+class TestGrid:
+    @pytest.fixture
+    def grid(self):
+        rng = np.random.RandomState(0)
+        vectors = rng.uniform(-1, 1, size=(100, 8))
+        return _Grid(vectors, levels=(2, 3), grid_dims=3)
+
+    def test_cell_deterministic(self, grid):
+        vector = np.full(8, 0.25)
+        assert grid.cell(vector, 2) == grid.cell(vector, 2)
+
+    def test_finer_levels_separate_more(self):
+        rng = np.random.RandomState(1)
+        vectors = rng.uniform(-1, 1, size=(200, 8))
+        grid = _Grid(vectors, levels=(1, 4), grid_dims=2)
+        coarse = {grid.cell(v, 1) for v in vectors}
+        fine = {grid.cell(v, 4) for v in vectors}
+        assert len(fine) > len(coarse)
+
+    def test_picks_high_variance_dims(self):
+        vectors = np.zeros((50, 6))
+        vectors[:, 2] = np.linspace(-1, 1, 50)   # only dim 2 varies
+        vectors[:, 5] = np.linspace(0, 0.5, 50)  # dim 5 varies less
+        grid = _Grid(vectors, levels=(2,), grid_dims=2)
+        assert grid.dims[0] == 2
+
+    def test_neighborhood_contains_center(self, grid):
+        vector = np.full(8, 0.1)
+        assert grid.cell(vector, 2) in set(grid.neighborhood(vector, 2))
+
+
+@pytest.fixture
+def pexeso():
+    engine = Pexeso(epsilon=0.3, tau=0.5)
+    engine.add_column("colors_a", "color", ["red", "blue", "green", "black"])
+    engine.add_column("colors_b", "colour", ["red", "blue", "green", "white"])
+    engine.add_column("weekdays", "day", ["monday", "tuesday", "friday", "sunday"])
+    return engine
+
+
+class TestJoinability:
+    def test_semantically_joinable_found(self, pexeso):
+        hits = pexeso.joinable(["red", "blue", "green"], k=3)
+        tables = [ref[0] for ref, _ in hits]
+        assert "colors_a" in tables and "colors_b" in tables
+        assert "weekdays" not in tables
+
+    def test_tau_threshold(self):
+        engine = Pexeso(epsilon=0.05, tau=1.0)
+        engine.add_column("t", "c", ["alpha", "beta"])
+        # only half the query values match exactly -> below tau=1.0
+        assert engine.joinable(["alpha", "omega"], k=3) == []
+
+    def test_exact_values_match_fraction_one(self, pexeso):
+        hits = pexeso.joinable(["red", "blue", "green", "black"], k=1)
+        assert hits[0] == (("colors_a", "color"), 1.0)
+
+    def test_joinable_for_column(self, pexeso):
+        hits = pexeso.joinable_for_column("colors_a", "color", k=2)
+        assert hits[0][0] == ("colors_b", "colour")
+
+    def test_unknown_column(self, pexeso):
+        with pytest.raises(DatasetNotFound):
+            pexeso.joinable_for_column("nope", "c")
+
+    def test_invalid_tau(self):
+        with pytest.raises(ValueError):
+            Pexeso(tau=0.0)
+
+
+class TestPruning:
+    def test_index_reduces_comparisons(self):
+        engine = Pexeso(epsilon=0.2, tau=0.5)
+        for i in range(30):
+            engine.add_column("lake", f"col{i}", [f"word{i}-{j}" for j in range(20)])
+        query = [f"word3-{j}" for j in range(20)]
+        engine.pairs_compared = 0
+        engine.joinable(query, k=3, use_index=False)
+        exhaustive = engine.pairs_compared
+        engine.pairs_compared = 0
+        engine.joinable(query, k=3, use_index=True)
+        pruned = engine.pairs_compared
+        assert pruned < exhaustive
+
+    def test_index_does_not_lose_exact_match(self, pexeso):
+        with_index = pexeso.joinable(["red", "blue", "green", "black"], k=1,
+                                     use_index=True)
+        without = pexeso.joinable(["red", "blue", "green", "black"], k=1,
+                                  use_index=False)
+        assert with_index[0][0] == without[0][0]
+
+
+class TestTableApi:
+    def test_add_table_skips_numeric(self, products):
+        engine = Pexeso()
+        engine.add_table(products)
+        columns = [ref[1] for ref in engine.columns()]
+        assert "color" in columns
+        assert "price" not in columns

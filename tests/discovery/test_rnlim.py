@@ -1,0 +1,84 @@
+"""Tests for RNLIM classifier-based semantic relatedness."""
+
+import pytest
+
+from repro.core.dataset import Table
+from repro.core.errors import DatasetNotFound
+from repro.discovery.rnlim import Rnlim
+
+
+@pytest.fixture
+def rnlim(small_lake):
+    engine = Rnlim()
+    for table in small_lake:
+        engine.add_table(table)
+    return engine
+
+
+@pytest.fixture
+def trained(rnlim):
+    labeled = [
+        (("customers", "customer_id"), ("orders", "customer_id"), True),
+        (("customers", "city"), ("orders", "amount"), False),
+        (("customers", "age"), ("orders", "order_id"), False),
+        (("customers", "name"), ("products", "price"), False),
+        (("products", "sku"), ("orders", "amount"), False),
+        (("customers", "age"), ("products", "color"), False),
+    ]
+    rnlim.train(labeled)
+    return rnlim
+
+
+class TestEvidence:
+    def test_grouped_signals(self, rnlim):
+        evidence = rnlim.evidence(("customers", "customer_id"), ("orders", "customer_id"))
+        assert set(evidence.name_group) == {"name_embedding", "name_jaccard"}
+        assert set(evidence.domain_group) == {
+            "type_match", "domain_overlap", "domain_distribution",
+        }
+        assert evidence.name_group["name_jaccard"] == 1.0
+        assert evidence.domain_group["type_match"] == 1.0
+        assert evidence.domain_group["domain_overlap"] > 0.3
+
+    def test_numeric_domain_uses_ks(self, rnlim):
+        evidence = rnlim.evidence(("customers", "age"), ("customers", "age"))
+        assert evidence.domain_group["domain_distribution"] == 1.0
+
+    def test_vector_has_five_entries(self, rnlim):
+        evidence = rnlim.evidence(("customers", "city"), ("products", "color"))
+        assert len(evidence.vector()) == 5
+
+    def test_unknown_column(self, rnlim):
+        with pytest.raises(DatasetNotFound):
+            rnlim.evidence(("ghost", "x"), ("customers", "city"))
+
+
+class TestClassification:
+    def test_predicts_known_positive(self, trained):
+        assert trained.predict(("customers", "customer_id"), ("orders", "customer_id"))
+
+    def test_predicts_known_negative(self, trained):
+        assert not trained.predict(("customers", "age"), ("orders", "order_id"))
+
+    def test_score_in_unit_interval(self, trained):
+        score = trained.score(("customers", "city"), ("products", "color"))
+        assert 0.0 <= score <= 1.0
+
+    def test_related_columns_ranked(self, trained):
+        hits = trained.related_columns("orders", "customer_id", k=3)
+        assert hits[0][0] == ("customers", "customer_id")
+
+    def test_untrained_rejected(self, rnlim):
+        with pytest.raises(ValueError):
+            rnlim.predict(("customers", "city"), ("products", "color"))
+
+    def test_empty_training_rejected(self, rnlim):
+        with pytest.raises(ValueError):
+            rnlim.train([])
+
+
+class TestExplainability:
+    def test_explain_reports_both_groups(self, trained):
+        explanation = trained.explain(("customers", "customer_id"), ("orders", "customer_id"))
+        assert set(explanation) == {"names", "domains"}
+        assert explanation["names"]["name_jaccard"] == 1.0

@@ -1,0 +1,91 @@
+"""Tests for CoreDB semantic enrichment."""
+
+import pytest
+
+from repro.core.dataset import Dataset, Table
+from repro.enrichment.coredb_enrich import CoreDbEnricher, KnowledgeBase, stem
+
+
+class TestKnowledgeBase:
+    def test_lookup_entity(self):
+        kb = KnowledgeBase()
+        assert kb.lookup("berlin") == ("berlin", "city")
+
+    def test_lookup_alias(self):
+        kb = KnowledgeBase()
+        assert kb.lookup("deutschland") == ("germany", "country")
+
+    def test_lookup_unknown(self):
+        assert KnowledgeBase().lookup("atlantis") is None
+
+    def test_synonym_rings(self):
+        kb = KnowledgeBase()
+        assert "client" in kb.synonyms("customer")
+        assert "customer" in kb.synonyms("client")
+
+    def test_custom_entity(self):
+        kb = KnowledgeBase()
+        kb.add_entity("Acme", "organization", aliases=["acme corp"])
+        assert kb.lookup("acme corp") == ("acme", "organization")
+
+
+class TestStem:
+    @pytest.mark.parametrize("word,expected", [
+        ("bookings", "book"),
+        ("cities", "city"),
+        ("running", "runn"),
+        ("sales", "sal"),
+        ("cat", "cat"),
+    ])
+    def test_stems(self, word, expected):
+        assert stem(word) == expected
+
+
+@pytest.fixture
+def enricher():
+    return CoreDbEnricher()
+
+
+class TestEnrichment:
+    def test_keywords_extracted(self, enricher):
+        table = Table.from_columns("sales", {
+            "city": ["Berlin", "Paris", "Berlin"], "amount": [1, 2, 3],
+        })
+        result = enricher.enrich(Dataset("sales", table))
+        assert "berlin" in result.keywords
+
+    def test_entities_linked(self, enricher):
+        result = enricher.enrich(Dataset("note", "Offices in Berlin and Paris", format="text"))
+        assert ("berlin", "city") in result.entities
+        assert ("paris", "city") in result.entities
+
+    def test_synonym_expansion(self, enricher):
+        result = enricher.enrich(Dataset("t", "customer customer customer", format="text"))
+        assert "client" in result.expanded["customer"]
+
+    def test_kb_links(self, enricher):
+        result = enricher.enrich(Dataset("t", "berlin berlin berlin", format="text"))
+        assert result.kb_links["berlin"] == "city"
+
+    def test_all_terms_union(self, enricher):
+        result = enricher.enrich(Dataset("t", "customer berlin", format="text"))
+        terms = result.all_terms()
+        assert {"customer", "berlin", "client"} <= terms
+
+
+class TestGroupingAndSearch:
+    def test_group_by_entity_type(self, enricher):
+        enricher.enrich(Dataset("eu", "Berlin Paris offices", format="text"))
+        enricher.enrich(Dataset("orgs", "Google and Amazon filings", format="text"))
+        groups = enricher.group_sources()
+        assert "eu" in groups["city"]
+        assert "orgs" in groups["organization"]
+
+    def test_untyped_group(self, enricher):
+        enricher.enrich(Dataset("misc", "lorem ipsum dolor", format="text"))
+        assert "misc" in enricher.group_sources()["untyped"]
+
+    def test_search_by_expanded_term(self, enricher):
+        enricher.enrich(Dataset("crm", "customer customer records", format="text"))
+        assert enricher.search("client") == ["crm"]
+        assert enricher.search("zzz") == []

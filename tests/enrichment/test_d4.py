@@ -1,0 +1,93 @@
+"""Tests for D4 domain discovery."""
+
+import pytest
+
+from repro.core.dataset import Table
+from repro.enrichment.d4 import D4
+
+
+@pytest.fixture
+def d4():
+    d4 = D4(overlap_threshold=0.3, min_support=2)
+    d4.add_table(Table.from_columns("vehicles", {
+        "vehicle_color": ["red", "white", "black", "green", "red"],
+        "vin": ["v1", "v2", "v3", "v4", "v5"],
+    }))
+    d4.add_table(Table.from_columns("buildings", {
+        "building_color": ["red", "white", "black", "blue"],
+        "address": ["a1", "a2", "a3", "a4"],
+    }))
+    d4.add_table(Table.from_columns("clothes", {
+        "cloth_color": ["red", "white", "green", "blue"],
+        "size": ["s", "m", "l", "xl"],
+    }))
+    return d4
+
+
+class TestDiscovery:
+    def test_color_domain_found(self, d4):
+        domains = d4.discover()
+        color = next(d for d in domains if "red" in d.terms)
+        assert {"red", "white"} <= color.terms
+        assert len(color.columns) == 3
+        assert color.label() == "color"
+
+    def test_terms_come_from_multiple_attributes(self, d4):
+        """'blue' only appears in buildings+clothes; 'green' in vehicles+clothes."""
+        domains = d4.discover()
+        color = next(d for d in domains if "red" in d.terms)
+        assert "blue" in color.terms
+        assert "green" in color.terms
+
+    def test_stray_values_filtered_by_support(self, d4):
+        d4.add_table(Table.from_columns("extra", {
+            "paint_color": ["red", "white", "TYPO-ONCE"],
+        }))
+        domains = d4.discover()
+        color = next(d for d in domains if "red" in d.terms)
+        assert "typo-once" not in color.terms
+
+    def test_numeric_columns_skipped(self, d4):
+        d4.add_table(Table.from_columns("metrics", {"reading": [1.5, 2.5]}))
+        assert ("metrics", "reading") not in d4.columns()
+
+    def test_unrelated_columns_separate_domains(self, d4):
+        domains = d4.discover()
+        sizes = next((d for d in domains if "xl" in d.terms), None)
+        assert sizes is not None
+        assert "red" not in sizes.terms
+
+
+class TestAmbiguousTerms:
+    def test_homograph_lands_in_both_domains(self):
+        d4 = D4(overlap_threshold=0.3, min_support=2)
+        d4.add_table(Table.from_columns("fruit_stand", {
+            "fruit_a": ["apple", "banana", "cherry", "mango"],
+        }))
+        d4.add_table(Table.from_columns("fruit_shop", {
+            "fruit_b": ["apple", "banana", "cherry", "kiwi"],
+        }))
+        d4.add_table(Table.from_columns("tech_a", {
+            "brand_a": ["apple", "google", "amazon", "bosch"],
+        }))
+        d4.add_table(Table.from_columns("tech_b", {
+            "brand_b": ["apple", "google", "amazon", "siemens"],
+        }))
+        domains = d4.discover()
+        containing = d4.domains_of_term("apple", domains)
+        assert len(containing) == 2
+
+
+class TestQueries:
+    def test_domain_of_column(self, d4):
+        domains = d4.discover()
+        domain = d4.domain_of_column("vehicles", "vehicle_color", domains)
+        assert domain is not None and "red" in domain.terms
+
+    def test_domain_of_unknown_column(self, d4):
+        assert d4.domain_of_column("ghost", "x") is None
+
+    def test_domains_sorted_largest_first(self, d4):
+        domains = d4.discover()
+        sizes = [d.size for d in domains]
+        assert sizes == sorted(sizes, reverse=True)

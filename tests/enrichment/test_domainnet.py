@@ -1,0 +1,73 @@
+"""Tests for DomainNet homograph detection."""
+
+import pytest
+
+from repro.core.dataset import Table
+from repro.enrichment.domainnet import DomainNet
+
+
+@pytest.fixture
+def domainnet():
+    net = DomainNet()
+    net.add_table(Table.from_columns("groceries", {
+        "fruit": ["apple", "banana", "cherry", "mango"],
+    }))
+    net.add_table(Table.from_columns("market", {
+        "produce": ["apple", "banana", "cherry", "kiwi"],
+    }))
+    net.add_table(Table.from_columns("stocks", {
+        "company": ["apple", "google", "amazon", "siemens"],
+    }))
+    net.add_table(Table.from_columns("vendors", {
+        "supplier": ["apple", "google", "amazon", "bosch"],
+    }))
+    return net
+
+
+class TestNetwork:
+    def test_bipartite_network(self, domainnet):
+        graph = domainnet.network()
+        kinds = {data["kind"] for _, data in graph.nodes(data=True)}
+        assert kinds == {"value", "attr"}
+        for source, target in graph.edges:
+            assert {graph.nodes[source]["kind"], graph.nodes[target]["kind"]} == \
+                {"value", "attr"}
+
+    def test_numeric_columns_ignored(self, domainnet):
+        domainnet.add_table(Table.from_columns("m", {"x": [1.0, 2.0]}))
+        assert ("m", "x") not in domainnet.attribute_communities()
+
+
+class TestCommunities:
+    def test_fruit_and_tech_separate(self, domainnet):
+        communities = domainnet.attribute_communities()
+        assert communities[("groceries", "fruit")] == communities[("market", "produce")]
+        assert communities[("stocks", "company")] == communities[("vendors", "supplier")]
+        assert communities[("groceries", "fruit")] != communities[("stocks", "company")]
+
+
+class TestHomographs:
+    def test_apple_is_homograph(self, domainnet):
+        homographs = dict(domainnet.homographs(min_score=0.2))
+        assert "apple" in homographs
+
+    def test_unambiguous_values_score_zero(self, domainnet):
+        assert domainnet.homograph_score("banana") == 0.0
+        assert domainnet.homograph_score("siemens") == 0.0
+
+    def test_unknown_value(self, domainnet):
+        assert domainnet.homograph_score("durian") == 0.0
+
+    def test_homographs_sorted(self, domainnet):
+        scores = [score for _, score in domainnet.homographs(min_score=0.0)]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_meanings_of_apple(self, domainnet):
+        meanings = domainnet.meanings_of("apple")
+        assert len(meanings) == 2
+        flattened = {ref for group in meanings for ref in group}
+        assert ("groceries", "fruit") in flattened
+        assert ("stocks", "company") in flattened
+
+    def test_meanings_of_single_domain_value(self, domainnet):
+        assert len(domainnet.meanings_of("banana")) == 1

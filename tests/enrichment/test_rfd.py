@@ -1,0 +1,108 @@
+"""Tests for relaxed functional dependency discovery."""
+
+import pytest
+
+from repro.core.dataset import Table
+from repro.enrichment.rfd import (
+    RelaxedFD,
+    dependency_confidence,
+    discover_rfds,
+    violations,
+)
+
+
+@pytest.fixture
+def cities():
+    """city -> country holds except one dirty row."""
+    return Table.from_columns("cities", {
+        "city": ["berlin", "berlin", "berlin", "paris", "paris", "rome",
+                 "rome", "berlin", "paris", "rome"],
+        "country": ["de", "de", "de", "fr", "fr", "it", "it", "de", "fr", "XX"],
+        "zone": ["eu"] * 10,
+    })
+
+
+class TestConfidence:
+    def test_perfect_dependency(self, cities):
+        assert dependency_confidence(cities, ["city"], "zone") == 1.0
+
+    def test_relaxed_dependency(self, cities):
+        confidence = dependency_confidence(cities, ["city"], "country")
+        assert confidence == pytest.approx(0.9)
+
+    def test_no_dependency(self):
+        table = Table.from_columns("t", {
+            "a": ["x", "x", "x", "x"], "b": ["1", "2", "3", "4"],
+        })
+        assert dependency_confidence(table, ["a"], "b") == 0.25
+
+    def test_nulls_ignored(self):
+        table = Table.from_columns("t", {
+            "a": ["x", "x", None], "b": ["1", "1", "9"],
+        })
+        assert dependency_confidence(table, ["a"], "b") == 1.0
+
+    def test_tolerance_merges_similar_values(self):
+        table = Table.from_columns("t", {
+            "a": ["x", "x", "x"], "b": ["Berlin", "berlin", "BERLIN"],
+        })
+        strict = dependency_confidence(table, ["a"], "b", tolerance=1.0)
+        relaxed = dependency_confidence(table, ["a"], "b", tolerance=0.9)
+        assert relaxed == 1.0
+        assert strict < 1.0
+
+
+class TestDiscovery:
+    def test_finds_relaxed_dependency(self, cities):
+        found = discover_rfds(cities, min_confidence=0.85)
+        as_pairs = {(fd.lhs, fd.rhs) for fd in found}
+        assert (("city",), "country") in as_pairs
+
+    def test_key_lhs_suppressed(self):
+        table = Table.from_columns("t", {
+            "id": ["a", "b", "c", "d"], "v": ["1", "1", "2", "2"],
+        })
+        found = discover_rfds(table, min_confidence=0.9)
+        assert all(fd.lhs != ("id",) for fd in found)
+
+    def test_composite_lhs_only_when_needed(self):
+        table = Table.from_columns("t", {
+            "a": ["x", "x", "y", "y"] * 3,
+            "b": ["1", "2", "1", "2"] * 3,
+            "c": ["x1", "x2", "y1", "y2"] * 3,
+        })
+        found = discover_rfds(table, min_confidence=0.99, max_lhs=2)
+        pairs = {(fd.lhs, fd.rhs) for fd in found}
+        assert (("a", "b"), "c") in pairs
+        assert (("a",), "c") not in pairs
+
+    def test_redundant_composite_suppressed(self, cities):
+        found = discover_rfds(cities, min_confidence=0.85, max_lhs=2)
+        # city -> zone holds, so {city, country} -> zone must not be listed
+        assert all(
+            not (len(fd.lhs) == 2 and "city" in fd.lhs and fd.rhs == "zone")
+            for fd in found
+        )
+
+    def test_sorted_by_confidence(self, cities):
+        found = discover_rfds(cities, min_confidence=0.5)
+        confidences = [fd.confidence for fd in found]
+        assert confidences == sorted(confidences, reverse=True)
+
+
+class TestViolations:
+    def test_flags_minority_row(self, cities):
+        fd = RelaxedFD("cities", ("city",), "country", 0.9)
+        bad = violations(cities, fd)
+        assert bad == [9]  # the rome/XX row
+
+    def test_clean_dependency_no_violations(self, cities):
+        fd = RelaxedFD("cities", ("city",), "zone", 1.0)
+        assert violations(cities, fd) == []
+
+    def test_tolerant_violations(self):
+        table = Table.from_columns("t", {
+            "a": ["x", "x", "x"], "b": ["berlin", "Berlin", "rome"],
+        })
+        fd = RelaxedFD("t", ("a",), "b", 0.66)
+        assert violations(table, fd, tolerance=0.9) == [2]

@@ -1,0 +1,116 @@
+"""Tests for Klettke et al. schema-evolution reconstruction."""
+
+import pytest
+
+from repro.datagen.jsongen import Epoch, EvolvingDocumentGenerator
+from repro.evolution.klettke import SchemaEvolutionAnalyzer, SchemaOperation
+
+
+@pytest.fixture
+def analyzer():
+    analyzer = SchemaEvolutionAnalyzer()
+    generated = EvolvingDocumentGenerator(seed=1).generate()
+    for timestamp, document in generated.documents:
+        analyzer.load("contact", timestamp, document)
+    return analyzer
+
+
+class TestVersionExtraction:
+    def test_three_epochs_three_versions(self, analyzer):
+        versions = analyzer.extract_versions("contact")
+        assert len(versions) == 3
+        assert versions[0].properties == frozenset({"name", "tel"})
+        assert versions[2].properties == frozenset({"name", "phone", "email"})
+
+    def test_residency_intervals_ordered(self, analyzer):
+        versions = analyzer.extract_versions("contact")
+        for previous, current in zip(versions, versions[1:]):
+            assert previous.last_seen < current.first_seen
+
+    def test_unknown_entity_type(self, analyzer):
+        assert analyzer.extract_versions("ghost") == []
+
+    def test_nested_paths_count_as_properties(self):
+        analyzer = SchemaEvolutionAnalyzer()
+        analyzer.load("e", 1, {"a": {"b": 1}})
+        analyzer.load("e", 2, {"a": {"b": 1, "c": 2}})
+        versions = analyzer.extract_versions("e")
+        assert versions[0].properties == frozenset({"a.b"})
+        assert versions[1].properties == frozenset({"a.b", "a.c"})
+
+
+class TestOperationDetection:
+    def test_default_history(self, analyzer):
+        history = analyzer.detect_operations("contact")
+        kinds = [(op.kind, op.property, op.renamed_to) for op in history.operations]
+        assert ("add", "email", "") in kinds
+        assert ("rename", "tel", "phone") in kinds
+
+    def test_user_validation_overrides(self, analyzer):
+        def prefer_add_delete(alternatives):
+            return next(op for op in alternatives if op.kind == "delete")
+
+        history = analyzer.detect_operations("contact", validate=prefer_add_delete)
+        kinds = {(op.kind, op.property) for op in history.operations}
+        assert ("delete", "tel") in kinds
+        assert ("add", "phone") in kinds  # residual add still recorded
+
+    def test_pure_add(self):
+        analyzer = SchemaEvolutionAnalyzer()
+        analyzer.load("e", 1, {"a": 1})
+        analyzer.load("e", 2, {"a": 1, "b": 2})
+        history = analyzer.detect_operations("e")
+        assert [op.kind for op in history.operations] == ["add"]
+
+    def test_pure_delete(self):
+        analyzer = SchemaEvolutionAnalyzer()
+        analyzer.load("e", 1, {"a": 1, "b": 2})
+        analyzer.load("e", 2, {"a": 1})
+        history = analyzer.detect_operations("e")
+        assert [op.kind for op in history.operations] == ["delete"]
+
+    def test_rename_picks_most_similar_name(self):
+        analyzer = SchemaEvolutionAnalyzer()
+        analyzer.load("e", 1, {"telephone": 1, "zzz": 2})
+        analyzer.load("e", 2, {"telephone_nr": 1, "zzz": 2})
+        history = analyzer.detect_operations("e")
+        rename = next(op for op in history.operations if op.kind == "rename")
+        assert (rename.property, rename.renamed_to) == ("telephone", "telephone_nr")
+
+
+class TestInclusionDependencies:
+    def test_unary_ind(self):
+        analyzer = SchemaEvolutionAnalyzer()
+        for i in range(5):
+            analyzer.load("orders", i, {"cust": f"c{i % 3}", "amt": i})
+        for i in range(4):
+            analyzer.load("customers", 10 + i, {"id": f"c{i}", "name": f"n{i}"})
+        found = analyzer.detect_inclusion_dependencies(max_arity=1)
+        assert any(
+            d.source_type == "orders" and d.source_attributes == ("cust",)
+            and d.target_type == "customers" and d.target_attributes == ("id",)
+            for d in found
+        )
+
+    def test_binary_ind(self):
+        """The NoSQL 'less normalized' case: a 2-ary dependency."""
+        analyzer = SchemaEvolutionAnalyzer()
+        pairs = [("de", "berlin"), ("fr", "paris"), ("it", "rome")]
+        for i, (country, city) in enumerate(pairs):
+            analyzer.load("shipments", i, {"dst_country": country, "dst_city": city})
+        for i, (country, city) in enumerate(pairs + [("es", "madrid")]):
+            analyzer.load("locations", 10 + i, {"country": country, "city": city})
+        found = analyzer.detect_inclusion_dependencies(max_arity=2)
+        assert any(
+            d.arity == 2 and d.source_type == "shipments"
+            and set(d.source_attributes) == {"dst_country", "dst_city"}
+            and d.target_type == "locations"
+            for d in found
+        )
+
+    def test_no_false_positive(self):
+        analyzer = SchemaEvolutionAnalyzer()
+        for i in range(4):
+            analyzer.load("a", i, {"x": f"only-a-{i}"})
+            analyzer.load("b", i, {"y": f"only-b-{i}"})
+        assert analyzer.detect_inclusion_dependencies(max_arity=1) == []

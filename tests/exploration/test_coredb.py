@@ -1,0 +1,152 @@
+"""Tests for the CoreDB service (CRUD, search, roles, encryption)."""
+
+import pytest
+
+from repro.core.dataset import Table
+from repro.exploration.coredb import AccessDenied, CoreDbService, Session
+
+
+@pytest.fixture
+def service():
+    service = CoreDbService()
+    service.create_user("root", "rootpw", "admin")
+    service.create_user("carla", "curatorpw", "curator")
+    service.create_user("alex", "analystpw", "analyst")
+    return service
+
+
+@pytest.fixture
+def sessions(service):
+    return {
+        "root": service.authenticate("root", "rootpw"),
+        "carla": service.authenticate("carla", "curatorpw"),
+        "alex": service.authenticate("alex", "analystpw"),
+    }
+
+
+class TestAuthentication:
+    def test_valid_login(self, service):
+        session = service.authenticate("root", "rootpw")
+        assert session.user == "root"
+
+    def test_wrong_password(self, service):
+        with pytest.raises(AccessDenied):
+            service.authenticate("root", "wrong")
+
+    def test_unknown_user(self, service):
+        with pytest.raises(AccessDenied):
+            service.authenticate("ghost", "x")
+
+    def test_forged_token_rejected(self, service, sessions):
+        forged = Session("root", "deadbeef")
+        with pytest.raises(AccessDenied):
+            service.read(forged, "anything", 1)
+
+    def test_unknown_role(self, service):
+        from repro.core.errors import DataLakeError
+
+        with pytest.raises(DataLakeError):
+            service.create_user("x", "p", "superuser")
+
+
+class TestCrudWithRoles:
+    def test_curator_creates_analyst_reads(self, service, sessions):
+        service.grant("products", "carla")
+        service.grant("products", "alex")
+        entity_id = service.create(sessions["carla"], "products",
+                                   {"sku": "P1", "color": "red"})
+        entity = service.read(sessions["alex"], "products", entity_id)
+        assert entity["color"] == "red"
+
+    def test_analyst_cannot_create(self, service, sessions):
+        service.grant("products", "alex")
+        with pytest.raises(AccessDenied, match="lacks the role"):
+            service.create(sessions["alex"], "products", {"sku": "P1"})
+
+    def test_ungranted_dataset_denied(self, service, sessions):
+        service.grant("products", "carla")
+        service.create(sessions["carla"], "products", {"sku": "P1"})
+        with pytest.raises(AccessDenied, match="no grant"):
+            service.read(sessions["alex"], "products", 1)
+
+    def test_admin_bypasses_grants(self, service, sessions):
+        service.grant("products", "carla")
+        entity_id = service.create(sessions["carla"], "products", {"sku": "P1"})
+        assert service.read(sessions["root"], "products", entity_id)["sku"] == "P1"
+
+    def test_update(self, service, sessions):
+        service.grant("products", "carla")
+        entity_id = service.create(sessions["carla"], "products", {"sku": "P1", "qty": 5})
+        service.update(sessions["carla"], "products", entity_id, {"qty": 9})
+        assert service.read(sessions["carla"], "products", entity_id)["qty"] == 9
+
+    def test_delete_requires_admin(self, service, sessions):
+        service.grant("products", "carla")
+        entity_id = service.create(sessions["carla"], "products", {"sku": "P1"})
+        with pytest.raises(AccessDenied):
+            service.delete(sessions["carla"], "products", entity_id)
+        service.delete(sessions["root"], "products", entity_id)
+
+    def test_public_dataset_readable_by_all(self, service, sessions):
+        service.grant("open", "carla")
+        entity_id = service.create(sessions["carla"], "open", {"v": 1})
+        service.make_public("open")
+        assert service.read(sessions["alex"], "open", entity_id)["v"] == 1
+
+
+class TestFullTextSearch:
+    def test_search_finds_entities(self, service, sessions):
+        service.grant("products", "carla")
+        service.make_public("products")
+        service.create(sessions["carla"], "products", {"name": "crimson lamp"})
+        service.create(sessions["carla"], "products", {"name": "blue chair"})
+        hits = service.search(sessions["alex"], "crimson")
+        assert hits == [("products", 1)]
+
+    def test_search_respects_grants(self, service, sessions):
+        service.grant("secret", "carla")
+        service.create(sessions["carla"], "secret", {"name": "classified widget"})
+        assert service.search(sessions["alex"], "classified") == []
+        assert service.search(sessions["root"], "classified") == [("secret", 1)]
+
+    def test_deleted_entities_unsearchable(self, service, sessions):
+        service.grant("products", "carla")
+        service.make_public("products")
+        entity_id = service.create(sessions["carla"], "products", {"name": "gizmo"})
+        service.delete(sessions["root"], "products", entity_id)
+        assert service.search(sessions["alex"], "gizmo") == []
+
+
+class TestEncryption:
+    def test_values_obfuscated_at_rest_but_readable(self, service, sessions):
+        service.grant("patients", "carla")
+        service.enable_encryption("patients")
+        entity_id = service.create(sessions["carla"], "patients", {"name": "Ann Doe"})
+        raw = service.document.get("patients", entity_id)
+        assert raw["name"].startswith("enc:")
+        assert "Ann" not in raw["name"]
+        decrypted = service.read(sessions["carla"], "patients", entity_id)
+        assert decrypted["name"] == "Ann Doe"
+
+
+class TestSqlAndProvenance:
+    def test_sql_over_registered_table(self, service, sessions):
+        service.register_table(Table.from_columns("sales", {
+            "region": ["eu", "us"], "amount": [10, 20],
+        }), public=True)
+        result = service.sql(sessions["alex"], "SELECT amount FROM sales WHERE region = 'eu'")
+        assert result["amount"].values == [10]
+
+    def test_sql_requires_grant(self, service, sessions):
+        service.register_table(Table.from_columns("sales", {"amount": [1]}))
+        with pytest.raises(AccessDenied):
+            service.sql(sessions["alex"], "SELECT amount FROM sales")
+
+    def test_who_touched(self, service, sessions):
+        service.grant("products", "carla")
+        service.make_public("products")
+        entity_id = service.create(sessions["carla"], "products", {"sku": "P1"})
+        service.read(sessions["alex"], "products", entity_id)
+        touched = service.who_touched("products/")
+        assert ("carla", "create") in touched
+        assert ("alex", "query") in touched

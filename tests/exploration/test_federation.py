@@ -1,0 +1,90 @@
+"""Tests for federated query processing."""
+
+import pytest
+
+from repro.core.dataset import Dataset, Table
+from repro.core.errors import QueryError
+from repro.exploration.federation import FederatedQueryEngine, SourceProfile
+from repro.storage.polystore import Polystore
+
+
+@pytest.fixture
+def engine():
+    polystore = Polystore()
+    polystore.store(Dataset("people", [
+        {"name": "ann", "city": "berlin"},
+        {"name": "bob", "city": "paris"},
+        {"name": "cid", "city": "berlin"},
+    ], format="json"))
+    polystore.store(Dataset("cities", Table.from_columns("cities", {
+        "city_name": ["berlin", "paris", "rome"],
+        "country": ["de", "fr", "it"],
+    })))
+    engine = FederatedQueryEngine(polystore)
+    engine.profile_from_placement("people", {
+        "personName": "name", "personCity": "city",
+    })
+    engine.profile_from_placement("cities", {
+        "cityName": "city_name", "cityCountry": "country",
+    })
+    return engine
+
+
+class TestSingleSource:
+    def test_bound_pattern_filters(self, engine):
+        rows = engine.query([("?p", "personCity", "berlin"),
+                             ("?p", "personName", "?n")])
+        assert sorted(r["?n"] for r in rows) == ["ann", "cid"]
+
+    def test_all_variable_patterns(self, engine):
+        rows = engine.query([("?p", "personName", "?n")])
+        assert len(rows) == 3
+
+    def test_no_capable_source(self, engine):
+        with pytest.raises(QueryError):
+            engine.query([("?x", "unknownProperty", "?v")])
+
+    def test_non_variable_subject_rejected(self, engine):
+        with pytest.raises(QueryError):
+            engine.query([("person1", "personName", "?n")])
+
+
+class TestMediatorJoin:
+    def test_join_on_shared_variable(self, engine):
+        rows = engine.query([
+            ("?p", "personName", "?n"),
+            ("?p", "personCity", "?c"),
+            ("?city", "cityName", "?c"),
+            ("?city", "cityCountry", "?country"),
+        ])
+        by_name = {r["?n"]: r["?country"] for r in rows}
+        assert by_name == {"ann": "de", "bob": "fr", "cid": "de"}
+
+    def test_join_with_selection(self, engine):
+        rows = engine.query([
+            ("?p", "personName", "?n"),
+            ("?p", "personCity", "?c"),
+            ("?city", "cityName", "?c"),
+            ("?city", "cityCountry", "de"),
+        ])
+        assert sorted(r["?n"] for r in rows) == ["ann", "cid"]
+
+
+class TestPushdown:
+    def test_pushdown_reduces_transfer(self, engine):
+        patterns = [("?p", "personCity", "berlin"), ("?p", "personName", "?n")]
+        engine.rows_transferred = 0
+        with_pushdown = engine.query(patterns, pushdown=True)
+        pushed = engine.rows_transferred
+        engine.rows_transferred = 0
+        without = engine.query(patterns, pushdown=False)
+        full = engine.rows_transferred
+        assert with_pushdown == without  # same answers
+        assert pushed < full             # fewer rows moved
+
+    def test_relational_pushdown(self, engine):
+        engine.rows_transferred = 0
+        rows = engine.query([("?c", "cityName", "berlin"),
+                             ("?c", "cityCountry", "?x")])
+        assert rows == [{"?c": rows[0]["?c"], "?x": "de"}]
+        assert engine.rows_transferred == 1

@@ -1,0 +1,59 @@
+"""Tests for keyword search over schemata and data."""
+
+import pytest
+
+from repro.core.dataset import Table
+from repro.exploration.keyword import KeywordSearch
+
+
+@pytest.fixture
+def searcher():
+    searcher = KeywordSearch()
+    searcher.add_table(Table.from_columns("customer_master", {
+        "customer_id": ["c1", "c2"],
+        "city": ["berlin", "paris"],
+    }))
+    searcher.add_table(Table.from_columns("web_orders", {
+        "order_id": ["o1", "o2"],
+        "customer_id": ["c1", "c1"],
+        "status": ["shipped", "pending"],
+    }))
+    return searcher
+
+
+class TestSearch:
+    def test_schema_hits(self, searcher):
+        hits = searcher.search("customer")
+        tables = [h.table for h in hits]
+        assert set(tables) == {"customer_master", "web_orders"}
+
+    def test_value_hits(self, searcher):
+        hits = searcher.search("berlin")
+        assert hits[0].table == "customer_master"
+        assert "berlin" in hits[0].matched_values
+
+    def test_schema_weighs_above_values(self, searcher):
+        searcher.add_table(Table.from_columns("misc", {"note": ["status report"]}))
+        hits = searcher.search("status")
+        assert hits[0].table == "web_orders"  # column name beats cell value
+
+    def test_multi_term_accumulates(self, searcher):
+        hits = searcher.search("customer city")
+        assert hits[0].table == "customer_master"
+
+    def test_matched_schema_reported(self, searcher):
+        hits = searcher.search("status")
+        web = next(h for h in hits if h.table == "web_orders")
+        assert "status" in web.matched_schema
+
+    def test_no_hits(self, searcher):
+        assert searcher.search("quux") == []
+
+    def test_empty_query(self, searcher):
+        assert searcher.search("") == []
+
+    def test_k_bound(self, searcher):
+        assert len(searcher.search("customer", k=1)) == 1
+
+    def test_identifier_convention_insensitive(self, searcher):
+        assert searcher.search("customerId")  # camelCase finds customer_id

@@ -1,0 +1,60 @@
+"""Tests for the document path-query engine."""
+
+import pytest
+
+from repro.exploration.pathquery import PathQueryEngine
+from repro.storage.document import DocumentStore
+
+
+@pytest.fixture
+def engine():
+    store = DocumentStore()
+    store.insert_many("users", [
+        {"name": "ann", "address": {"city": "berlin", "zip": "10115"}, "age": 34},
+        {"name": "bob", "address": {"city": "paris"}, "age": 28},
+        {"name": "cid", "address": {"city": "berlin"}, "age": 45},
+    ])
+    return PathQueryEngine(store)
+
+
+class TestSelect:
+    def test_nested_projection(self, engine):
+        assert sorted(engine.select("users", "address.city")) == ["berlin", "berlin", "paris"]
+
+    def test_missing_path_skipped(self, engine):
+        assert engine.select("users", "address.zip") == ["10115"]
+
+
+class TestWhere:
+    def test_filter(self, engine):
+        found = engine.where("users", {"address.city": "berlin", "age": {"$gt": 40}})
+        assert [d["name"] for d in found] == ["cid"]
+
+
+class TestGroupCount:
+    def test_counts(self, engine):
+        assert engine.group_count("users", "address.city") == {"berlin": 2, "paris": 1}
+
+
+class TestFlatten:
+    def test_flatten_to_table(self, engine):
+        table = engine.flatten("users")
+        assert set(table.column_names) == {"name", "address.city", "address.zip", "age"}
+        assert len(table) == 3
+
+    def test_flattened_table_queryable_by_sql(self, engine):
+        from repro.exploration.sql import SqlEngine
+        from repro.storage.relational import RelationalStore
+
+        store = RelationalStore()
+        flattened = engine.flatten("users").rename(
+            {"address.city": "city", "address.zip": "zip"}
+        )
+        store.create_table(flattened)
+        result = SqlEngine(store).execute("SELECT name FROM users WHERE city = 'berlin'")
+        assert sorted(result["name"].values) == ["ann", "cid"]
+
+    def test_distinct_paths(self, engine):
+        assert engine.distinct_paths("users") == [
+            "address.city", "address.zip", "age", "name",
+        ]

@@ -1,0 +1,61 @@
+"""Tests for the three exploration modes (Sec. 7.1)."""
+
+import pytest
+
+from repro.core.dataset import Table
+from repro.core.errors import DatasetNotFound
+from repro.exploration.search import ExplorationService
+
+
+@pytest.fixture
+def service(small_lake):
+    service = ExplorationService()
+    for table in small_lake:
+        service.add_table(table)
+    return service
+
+
+class TestMode1ColumnJoin:
+    def test_joinable_tables(self, service):
+        hits = service.joinable_tables("orders", "customer_id", k=3)
+        assert hits[0][0] == "customers"
+        assert hits[0][1] > 50
+
+    def test_one_entry_per_table(self, service):
+        hits = service.joinable_tables("orders", "customer_id", k=10)
+        tables = [t for t, _ in hits]
+        assert len(tables) == len(set(tables))
+
+    def test_unknown_table(self, service):
+        with pytest.raises(DatasetNotFound):
+            service.joinable_tables("ghost", "x")
+
+
+class TestMode2Populate:
+    def test_populate(self, service):
+        result = service.populate("orders", k=2)
+        assert "customers" in result
+
+
+class TestMode3TaskSearch:
+    def test_task_search(self, service):
+        hits = service.task_search("orders", task="cleaning", k=2)
+        assert hits
+        assert hits[0][0] == "customers"
+
+    def test_different_tasks_rank_differently_or_same(self, service):
+        cleaning = service.task_search("orders", task="cleaning", k=3)
+        augmentation = service.task_search("orders", task="augmentation", k=3)
+        assert cleaning and augmentation  # both modes produce rankings
+
+    def test_unknown_task(self, service):
+        with pytest.raises(ValueError):
+            service.task_search("orders", task="nope")
+
+
+class TestIndexCoherence:
+    def test_all_engines_know_all_tables(self, service, small_lake):
+        names = {t.name for t in small_lake}
+        assert set(service.tables()) == names
+        assert set(service.d3l.tables()) == names
+        assert set(service.juneau.tables()) == names

@@ -1,0 +1,80 @@
+"""Tests for DATAMARAN log-structure extraction."""
+
+import pytest
+
+from repro.datagen.logs import LogGenerator
+from repro.ingestion.datamaran import Datamaran, _template_of_line
+
+
+class TestTemplateAbstraction:
+    def test_fields_extracted(self):
+        template, fields = _template_of_line("ERROR 42: worker w7 failed")
+        # ':' glues into its field so timestamps like 12:30:05 stay one field
+        assert fields == ("ERROR", "42:", "worker", "w7", "failed")
+        assert "<F>" in template
+
+    def test_same_structure_same_template(self):
+        left, _ = _template_of_line("[123] host1 INFO done in 5 ms")
+        right, _ = _template_of_line("[999] host2 INFO done in 71 ms")
+        assert left == right
+
+
+class TestGeneration:
+    def test_coverage_threshold_filters(self):
+        lines = ["a=1"] * 20 + ["completely different ### line %%"]
+        extractor = Datamaran(coverage_threshold=0.1)
+        templates = extractor.generate_templates(lines)
+        assert len(templates) == 1
+        assert templates[0].coverage == 20
+
+    def test_counts_field_values(self):
+        extractor = Datamaran(coverage_threshold=0.01)
+        templates = extractor.generate_templates(["x=1", "x=2"])
+        assert templates[0].field_values == [("x", "1"), ("x", "2")]
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            Datamaran(coverage_threshold=0.0)
+
+
+class TestEndToEnd:
+    def test_recovers_generated_templates(self):
+        log = LogGenerator(seed=5).generate(num_lines=400)
+        extractor = Datamaran(coverage_threshold=0.05, max_templates=5)
+        assert extractor.accuracy(log.text, log.templates) == 1.0
+
+    def test_noise_is_pruned(self):
+        log = LogGenerator(seed=6).generate(num_lines=300, noise_fraction=0.05)
+        extractor = Datamaran(coverage_threshold=0.05, max_templates=3)
+        templates = extractor.extract(log.text)
+        assert len(templates) == 3  # only the three true record types survive
+
+    def test_refinement_finds_constants(self):
+        text = "\n".join(f"status=OK id={i}" for i in range(50))
+        extractor = Datamaran(coverage_threshold=0.5)
+        templates = extractor.extract(text)
+        template = templates[0]
+        # "status" and "OK" never vary -> refined to constants
+        constant_values = set(template.constant_fields.values())
+        assert "OK" in constant_values
+        assert "status" in constant_values
+
+    def test_to_tables(self):
+        text = "\n".join(f"evt {i} user{i % 3}" for i in range(30))
+        tables = Datamaran(coverage_threshold=0.5).to_tables(text)
+        assert len(tables) == 1
+        table = tables[0]
+        assert len(table) == 30
+        assert table.column_names == ["field_0", "field_1", "field_2"]
+
+    def test_accuracy_empty_truth(self):
+        assert Datamaran().accuracy("whatever", []) == 1.0
+
+
+class TestScore:
+    def test_higher_coverage_scores_higher(self):
+        extractor = Datamaran(coverage_threshold=0.01)
+        templates = extractor.generate_templates(["a=1"] * 30 + ["b: 2 3"] * 5)
+        scores = {t.pattern: t.score(35) for t in templates}
+        high = max(scores.values())
+        assert scores[[p for p in scores if "=" in p][0]] == high

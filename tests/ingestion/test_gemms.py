@@ -1,0 +1,119 @@
+"""Tests for the GEMMS metadata extractor."""
+
+import pytest
+
+from repro.core.dataset import Dataset, Table
+from repro.core.types import DataType
+from repro.ingestion.gemms import GemmsExtractor
+
+
+@pytest.fixture
+def extractor():
+    return GemmsExtractor()
+
+
+class TestTableExtraction:
+    def test_properties(self, extractor, customers):
+        record = extractor.extract(Dataset("customers", customers))
+        assert record.properties["num_rows"] == 150
+        assert record.properties["num_columns"] == 4
+        assert record.properties["column_types"]["age"] == "integer"
+
+    def test_structure_tree(self, extractor, customers):
+        record = extractor.extract(Dataset("customers", customers))
+        assert record.structure.kind == "table"
+        assert set(record.structure.children) == {"customer_id", "name", "city", "age"}
+        assert record.structure.children["age"].dtype is DataType.INTEGER
+
+    def test_null_fractions(self, extractor):
+        table = Table.from_columns("t", {"a": [1, None, None, 4]})
+        record = extractor.extract(Dataset("t", table))
+        assert record.properties["null_fractions"]["a"] == 0.5
+
+
+class TestDocumentExtraction:
+    def test_breadth_first_merges_documents(self, extractor):
+        docs = [
+            {"name": "ann", "address": {"city": "berlin"}},
+            {"name": "bob", "address": {"city": "paris", "zip": "75001"}},
+            {"name": "cid", "tags": ["a", "b"]},
+        ]
+        record = extractor.extract(Dataset("users", docs, format="json"))
+        paths = {p.split(".", 1)[1] for p in record.structure.paths() if "." in p}
+        assert "address.city" in paths
+        assert "address.zip" in paths
+        assert "tags" in paths or "tags.[]" in paths
+        assert record.properties["num_documents"] == 3
+
+    def test_occurrence_counts(self, extractor):
+        docs = [{"a": 1}, {"a": 2}, {"b": 3}]
+        record = extractor.extract(Dataset("d", docs, format="json"))
+        assert record.structure.children["a"].occurrences == 2
+        assert record.structure.children["b"].occurrences == 1
+
+    def test_type_unification(self, extractor):
+        docs = [{"x": 1}, {"x": 2.5}]
+        record = extractor.extract(Dataset("d", docs, format="json"))
+        assert record.structure.children["x"].dtype is DataType.FLOAT
+
+    def test_max_depth(self, extractor):
+        docs = [{"a": {"b": {"c": 1}}}]
+        record = extractor.extract(Dataset("d", docs, format="json"))
+        assert record.properties["max_depth"] == 3
+
+    def test_single_mapping_payload(self, extractor):
+        record = extractor.extract(Dataset("d", {"a": 1}, format="json"))
+        assert record.properties["num_documents"] == 1
+
+
+class TestTextExtraction:
+    def test_text_properties(self, extractor):
+        record = extractor.extract(Dataset("notes", "header line\nsecond", format="text"))
+        assert record.properties["num_lines"] == 2
+        assert record.properties["header"] == "header line"
+
+    def test_unknown_payload(self, extractor):
+        record = extractor.extract(Dataset("odd", 42, format="binary"))
+        assert record.properties["payload_type"] == "int"
+
+
+class TestAnnotations:
+    def test_annotate(self, extractor, customers):
+        record = extractor.extract(Dataset("customers", customers))
+        record.annotate("customers.city", "schema.org/City")
+        assert record.semantic_annotations == {"customers.city": "schema.org/City"}
+
+
+class TestStructureNode:
+    def test_paths(self, extractor):
+        record = extractor.extract(Dataset("d", [{"a": {"b": 1}}], format="json"))
+        assert "d.a.b" in record.structure.paths()
+
+    def test_depth_of_flat_table(self, extractor, customers):
+        record = extractor.extract(Dataset("customers", customers))
+        assert record.structure.depth == 2
+
+
+class TestGraphExtraction:
+    def test_label_level_schema(self, extractor):
+        from repro.storage.graph import GraphStore
+
+        graph = GraphStore()
+        ann = graph.add_node("person", name="ann", age=30)
+        bob = graph.add_node("person", name="bob")
+        acme = graph.add_node("company", name="acme")
+        graph.add_edge(ann, acme, "works_at")
+        graph.add_edge(bob, acme, "works_at")
+        record = extractor.extract_graph("org", graph)
+        assert record.properties["node_labels"] == ["company", "person"]
+        assert record.properties["edge_types"] == {"works_at": 2}
+        person = record.structure.children["person"]
+        assert set(person.children) >= {"name", "age", "->company"}
+        assert person.occurrences == 2
+
+    def test_empty_graph(self, extractor):
+        from repro.storage.graph import GraphStore
+
+        record = extractor.extract_graph("empty", GraphStore())
+        assert record.properties["num_nodes"] == 0
+        assert record.structure.children == {}

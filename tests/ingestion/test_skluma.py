@@ -1,0 +1,85 @@
+"""Tests for the Skluma content/context extraction pipeline."""
+
+import pytest
+
+from repro.core.dataset import Table
+from repro.ingestion.skluma import Skluma
+
+
+@pytest.fixture
+def skluma():
+    return Skluma()
+
+
+class TestContext:
+    def test_file_context_metadata(self, skluma):
+        report = skluma.profile("measurements.csv", b"a,b\n1,2\n", path="/lab/run1/measurements.csv")
+        assert report.filename == "measurements.csv"
+        assert report.extension == "csv"
+        assert report.size == 8
+        assert report.path == "/lab/run1/measurements.csv"
+
+    def test_type_inference(self, skluma):
+        assert skluma.profile("x.json", b'{"a": 1}').inferred_type == "json"
+        assert skluma.profile("x.txt", b"some free text").inferred_type == "text"
+
+    def test_binary_marked(self, skluma):
+        report = skluma.profile("x.bin", bytes([0xFF, 0xFE, 0x01]))
+        assert report.inferred_type == "binary"
+        assert report.extractors_run == []
+
+
+class TestTabularExtractor:
+    def test_column_stats(self, skluma):
+        data = b"temp,site\n20.5,alpha\n21.0,beta\n19.5,alpha\n"
+        report = skluma.profile("t.csv", data)
+        assert "tabular" in report.extractors_run
+        temp = report.content["columns"]["temp"]
+        assert temp["dtype"] == "float"
+        assert temp["min"] == 19.5
+        assert temp["max"] == 21.0
+        assert report.content["num_rows"] == 3
+
+    def test_sentinel_nulls_detected(self, skluma):
+        rows = "\n".join(["value,site"] + ["-9999,alpha"] * 5 + ["20,beta"] * 5)
+        report = skluma.profile("t.csv", rows.encode())
+        assert report.content["sentinel_nulls"] == {"value": "-9999"}
+
+    def test_no_sentinels_key_absent(self, skluma):
+        report = skluma.profile("t.csv", b"a,b\n1,2\n3,4\n")
+        assert "sentinel_nulls" not in report.content
+
+
+class TestFreeTextExtractor:
+    def test_keywords(self, skluma):
+        text = b"ocean temperature sensor ocean salinity ocean"
+        report = skluma.profile("notes.txt", text)
+        assert report.content["top_keywords"][0] == "ocean"
+        assert report.content["num_lines"] == 1
+
+    def test_stopwords_filtered(self, skluma):
+        report = skluma.profile("n.txt", b"the the the data")
+        assert "the" not in report.content["top_keywords"]
+
+
+class TestJsonExtractor:
+    def test_top_level_keys(self, skluma):
+        report = skluma.profile("d.json", b'[{"a": 1, "b": 2}, {"a": 3}]')
+        assert report.content["num_documents"] == 2
+        assert report.content["top_level_keys"] == ["a", "b"]
+
+
+class TestExtensibility:
+    def test_register_custom_extractor(self, skluma):
+        def count_lines(data, report):
+            report.extractors_run.append("custom")
+            report.content["custom_lines"] = data.count(b"\n")
+
+        skluma.register_extractor("text", count_lines)
+        report = skluma.profile("x.txt", b"one\ntwo\n")
+        assert report.content["custom_lines"] == 2
+        assert "custom" in report.extractors_run
+
+    def test_profile_many_sorted(self, skluma):
+        reports = skluma.profile_many({"b.txt": b"x", "a.txt": b"y"})
+        assert [r.filename for r in reports] == ["a.txt", "b.txt"]

@@ -1,0 +1,96 @@
+"""Tests for ALITE alignment and full disjunction."""
+
+import pytest
+
+from repro.core.dataset import Table
+from repro.integration.alite import Alite, full_disjunction
+
+
+class TestFullDisjunction:
+    def test_joins_on_shared_columns(self):
+        left = Table.from_columns("l", {"k": ["a", "b"], "v": [1, 2]})
+        right = Table.from_columns("r", {"k": ["b", "c"], "w": [20, 30]})
+        fd = full_disjunction([left, right])
+        rows = {tuple(str(row.get(c)) for c in ("k", "v", "w")) for row in fd.rows()}
+        assert ("b", "2", "20") in rows          # joined tuple
+        assert ("a", "1", "None") in rows        # left-only preserved
+        assert ("c", "None", "30") in rows       # right-only preserved
+
+    def test_no_shared_columns_cross_preserves_all(self):
+        left = Table.from_columns("l", {"a": [1]})
+        right = Table.from_columns("r", {"b": [2]})
+        fd = full_disjunction([left, right])
+        assert len(fd) == 2  # both tuples survive, padded
+
+    def test_subsumed_tuples_removed(self):
+        left = Table.from_columns("l", {"k": ["a"], "v": [1]})
+        right = Table.from_columns("r", {"k": ["a"]})
+        fd = full_disjunction([left, right])
+        assert len(fd) == 1  # (a, None) subsumed by (a, 1)
+
+    def test_three_way(self):
+        t1 = Table.from_columns("t1", {"k": ["x"], "a": [1]})
+        t2 = Table.from_columns("t2", {"k": ["x"], "b": [2]})
+        t3 = Table.from_columns("t3", {"k": ["x"], "c": [3]})
+        fd = full_disjunction([t1, t2, t3])
+        assert len(fd) == 1
+        row = fd.row(0)
+        assert (row["a"], row["b"], row["c"]) == (1, 2, 3)
+
+    def test_empty_input(self):
+        assert len(full_disjunction([])) == 0
+
+    def test_null_keys_do_not_join(self):
+        left = Table.from_columns("l", {"k": [None], "v": [1]})
+        right = Table.from_columns("r", {"k": [None], "w": [2]})
+        fd = full_disjunction([left, right])
+        assert len(fd) == 2
+
+
+class TestAlignment:
+    def test_same_domain_columns_cluster(self):
+        left = Table.from_columns("l", {
+            "city": ["berlin", "paris", "rome"], "revenue": [1, 2, 3],
+        })
+        right = Table.from_columns("r", {
+            "town": ["berlin", "paris", "madrid"], "income": [4, 5, 6],
+        })
+        alite = Alite(max_distance=0.7)
+        clusters = alite.align([left, right])
+        as_sets = [frozenset(c) for c in clusters]
+        assert frozenset({("l", "city"), ("r", "town")}) in as_sets
+
+    def test_never_aligns_same_table_columns(self, customers):
+        alite = Alite(max_distance=2.0)  # absurdly permissive
+        clusters = alite.align([customers])
+        assert all(len(c) == 1 for c in clusters)
+
+    def test_integrated_names_deduplicated(self):
+        alite = Alite()
+        clusters = [{("a", "x")}, {("b", "x")}]
+        naming = alite.integrated_names(clusters)
+        assert sorted(naming.values()) == ["x", "x_1"]
+
+
+class TestIntegrate:
+    def test_end_to_end(self):
+        left = Table.from_columns("l", {
+            "city": ["berlin", "paris"], "pop": [3_600_000, 2_100_000],
+        })
+        right = Table.from_columns("r", {
+            "city": ["berlin", "rome"], "country": ["de", "it"],
+        })
+        result = Alite(max_distance=0.5).integrate([left, right])
+        berlin = [row for row in result.rows() if row.get("city") == "berlin"]
+        assert berlin and berlin[0]["country"] == "de"
+        assert berlin[0]["pop"] == 3_600_000
+
+    def test_unionable_workload_reassembles(self):
+        from repro.datagen import LakeGenerator
+
+        workload = LakeGenerator(seed=4).generate_unionable(
+            num_groups=1, tables_per_group=2, rows_per_table=20,
+        )
+        result = Alite(max_distance=0.45).integrate(workload.tables)
+        # partitions are disjoint: the FD holds all 40 rows
+        assert len(result) == 40

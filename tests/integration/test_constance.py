@@ -1,0 +1,84 @@
+"""Tests for the Constance end-to-end integration pipeline."""
+
+import pytest
+
+from repro.core.dataset import Dataset, Table
+from repro.core.errors import DatasetNotFound, QueryError
+from repro.integration.constance import Constance
+
+
+@pytest.fixture
+def constance():
+    constance = Constance(match_threshold=0.4)
+    constance.add_source(Dataset("eu_customers", Table.from_columns("eu_customers", {
+        "customer_id": [f"c{i}" for i in range(30)],
+        "city": ["berlin", "paris", "rome"] * 10,
+        "spend": [str(i * 10) for i in range(30)],
+    })))
+    # the US source arrives as JSON documents -> document backend
+    constance.add_source(Dataset("us_customers", [
+        {"cust_id": f"c{i}", "town": "paris" if i % 2 else "berlin", "spend": i * 10}
+        for i in range(20, 50)
+    ], format="json"))
+    constance.integrate(["eu_customers", "us_customers"])
+    return constance
+
+
+class TestIntegration:
+    def test_polystore_placement(self, constance):
+        assert constance.polystore.placement("eu_customers").backend == "relational"
+        assert constance.polystore.placement("us_customers").backend == "document"
+
+    def test_integrated_schema(self, constance):
+        schema = constance.schema()
+        assert "cust_id" in schema.attributes or "customer_id" in schema.attributes
+
+    def test_missing_schema(self, constance):
+        with pytest.raises(DatasetNotFound):
+            constance.schema("other")
+
+
+class TestIntegratedQuery:
+    def test_merges_both_sources(self, constance):
+        schema = constance.schema()
+        key = "cust_id" if "cust_id" in schema.attributes else "customer_id"
+        result = constance.query([key])
+        assert len(result) == 60
+
+    def test_predicate_pushdown_to_both_backends(self, constance):
+        schema = constance.schema()
+        key = "cust_id" if "cust_id" in schema.attributes else "customer_id"
+        city = "city" if "city" in schema.attributes else "town"
+        before = constance.polystore.relational.rows_scanned
+        result = constance.query([key, city], predicates=[(city, "=", "berlin")])
+        values = set(result[city].values)
+        assert values == {"berlin"}
+        assert len(result) == 10 + 15
+
+    def test_type_conflicts_resolved(self, constance):
+        """EU spend is text, US spend is int: the merge unifies them."""
+        schema = constance.schema()
+        result = constance.query(["spend"])
+        types = {type(v) for v in result["spend"].values if v is not None}
+        assert types == {int}
+
+    def test_distinct(self, constance):
+        schema = constance.schema()
+        city = "city" if "city" in schema.attributes else "town"
+        result = constance.query([city], distinct=True)
+        assert len(result) == len(set(result[city].values))
+
+    def test_unknown_attribute_rejected(self, constance):
+        from repro.core.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            constance.query(["nonexistent_attribute"])
+
+
+class TestBrowse:
+    def test_browse_lists_sources(self, constance):
+        listing = constance.browse()
+        assert {entry["source"] for entry in listing} == {"eu_customers", "us_customers"}
+        eu = next(e for e in listing if e["source"] == "eu_customers")
+        assert eu["num_rows"] == 30
+        assert "city" in eu["schema"]

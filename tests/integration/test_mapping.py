@@ -1,0 +1,97 @@
+"""Tests for integrated schemas, mappings and query rewriting."""
+
+import pytest
+
+from repro.core.dataset import Table
+from repro.core.errors import SchemaError
+from repro.integration.mapping import IntegratedSchema
+from repro.integration.matching import Match
+
+
+@pytest.fixture
+def schema():
+    eu = Table.from_columns("eu", {"customer_id": ["c1"], "city": ["berlin"]})
+    us = Table.from_columns("us", {"cust_id": ["c9"], "town": ["boston"]})
+    matches = [
+        Match("eu", "customer_id", "us", "cust_id", 0.9),
+        Match("eu", "city", "us", "town", 0.8),
+    ]
+    return IntegratedSchema.from_matches([eu, us], matches), eu, us
+
+
+class TestIntegratedSchema:
+    def test_matched_groups_collapse(self, schema):
+        integrated, _, _ = schema
+        assert integrated.attributes == ["city", "cust_id"]
+
+    def test_mappings_cover_all_source_columns(self, schema):
+        integrated, eu, us = schema
+        assert integrated.mappings["eu"].column_map == {
+            "customer_id": "cust_id", "city": "city",
+        }
+        assert integrated.mappings["us"].column_map == {
+            "cust_id": "cust_id", "town": "city",
+        }
+
+    def test_unmatched_columns_survive(self):
+        left = Table.from_columns("l", {"k": ["a"], "only_left": [1]})
+        right = Table.from_columns("r", {"k": ["a"]})
+        matches = [Match("l", "k", "r", "k", 1.0)]
+        integrated = IntegratedSchema.from_matches([left, right], matches)
+        assert "only_left" in integrated.attributes
+
+    def test_name_collision_qualified(self):
+        left = Table.from_columns("l", {"x": [1]})
+        right = Table.from_columns("r", {"x": [2]})
+        integrated = IntegratedSchema.from_matches([left, right], [])
+        assert sorted(integrated.attributes) == ["r_x", "x"]
+
+    def test_transitive_matches_merge(self):
+        a = Table.from_columns("a", {"id": [1]})
+        b = Table.from_columns("b", {"key": [1]})
+        c = Table.from_columns("c", {"pk": [1]})
+        matches = [Match("a", "id", "b", "key", 0.9), Match("b", "key", "c", "pk", 0.9)]
+        integrated = IntegratedSchema.from_matches([a, b, c], matches)
+        assert integrated.attributes == ["id"]
+        assert integrated.mappings["c"].column_map == {"pk": "id"}
+
+
+class TestRewrite:
+    def test_rewrites_to_all_capable_sources(self, schema):
+        integrated, _, _ = schema
+        plans = integrated.rewrite(["cust_id", "city"])
+        assert set(plans) == {"eu", "us"}
+        assert plans["eu"]["columns"] == ["customer_id", "city"]
+        assert plans["us"]["columns"] == ["cust_id", "town"]
+
+    def test_predicates_renamed(self, schema):
+        integrated, _, _ = schema
+        plans = integrated.rewrite(["cust_id"], predicates=[("city", "=", "berlin")])
+        assert plans["eu"]["predicates"] == [("city", "=", "berlin")]
+        assert plans["us"]["predicates"] == [("town", "=", "berlin")]
+
+    def test_source_without_predicate_attribute_excluded(self):
+        left = Table.from_columns("l", {"k": ["a"], "extra": [1]})
+        right = Table.from_columns("r", {"k": ["a"]})
+        integrated = IntegratedSchema.from_matches(
+            [left, right], [Match("l", "k", "r", "k", 1.0)]
+        )
+        plans = integrated.rewrite(["k"], predicates=[("extra", "=", 1)])
+        assert set(plans) == {"l"}
+
+    def test_unknown_attribute_rejected(self, schema):
+        integrated, _, _ = schema
+        with pytest.raises(SchemaError):
+            integrated.rewrite(["nope"])
+
+
+class TestTransform:
+    def test_rename_into_integrated_vocabulary(self, schema):
+        integrated, eu, _ = schema
+        transformed = integrated.transform(eu)
+        assert set(transformed.column_names) == {"cust_id", "city"}
+
+    def test_unknown_source(self, schema):
+        integrated, _, _ = schema
+        with pytest.raises(SchemaError):
+            integrated.transform(Table.from_columns("mystery", {"a": [1]}))

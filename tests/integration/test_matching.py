@@ -1,0 +1,79 @@
+"""Tests for the schema matcher."""
+
+import pytest
+
+from repro.core.dataset import Table
+from repro.integration.matching import Match, SchemaMatcher
+
+
+@pytest.fixture
+def eu_customers():
+    return Table.from_columns("cust_eu", {
+        "customer_id": [f"c{i}" for i in range(40)],
+        "full_name": [f"person {i}" for i in range(40)],
+        "city": ["berlin", "paris"] * 20,
+    })
+
+
+@pytest.fixture
+def us_customers():
+    return Table.from_columns("cust_us", {
+        "cust_id": [f"c{i}" for i in range(20, 60)],
+        "name": [f"person {i}" for i in range(20, 60)],
+        "town": ["berlin", "paris"] * 20,
+    })
+
+
+class TestMatching:
+    def test_instance_overlap_drives_matches(self, eu_customers, us_customers):
+        matches = SchemaMatcher(threshold=0.4).match(eu_customers, us_customers)
+        pairs = {(m.left_column, m.right_column) for m in matches}
+        assert ("customer_id", "cust_id") in pairs
+        assert ("city", "town") in pairs
+
+    def test_one_to_one(self, eu_customers, us_customers):
+        matches = SchemaMatcher(threshold=0.2).match(eu_customers, us_customers)
+        lefts = [m.left_column for m in matches]
+        rights = [m.right_column for m in matches]
+        assert len(lefts) == len(set(lefts))
+        assert len(rights) == len(set(rights))
+
+    def test_threshold_filters(self, eu_customers, us_customers):
+        strict = SchemaMatcher(threshold=0.95).match(eu_customers, us_customers)
+        loose = SchemaMatcher(threshold=0.3).match(eu_customers, us_customers)
+        assert len(strict) <= len(loose)
+
+    def test_schema_only_mode(self, eu_customers, us_customers):
+        matches = SchemaMatcher(threshold=0.5, use_instances=False).match(
+            eu_customers, us_customers
+        )
+        pairs = {(m.left_column, m.right_column) for m in matches}
+        assert ("customer_id", "cust_id") in pairs  # name-token overlap
+
+    def test_identical_tables_match_fully(self, eu_customers):
+        copy = eu_customers.rename({}, name="copy")
+        matches = SchemaMatcher(threshold=0.5).match(eu_customers, copy)
+        assert len(matches) == 3
+        assert all(m.score > 0.9 for m in matches)
+
+    def test_match_many(self, eu_customers, us_customers):
+        third = Table.from_columns("t3", {"customer_id": [f"c{i}" for i in range(40)]})
+        matches = SchemaMatcher(threshold=0.4).match_many(
+            [eu_customers, us_customers, third]
+        )
+        table_pairs = {(m.left_table, m.right_table) for m in matches}
+        assert ("cust_eu", "cust_us") in table_pairs
+        assert ("cust_eu", "t3") in table_pairs
+
+
+class TestEvaluation:
+    def test_precision_recall(self):
+        found = [Match("a", "x", "b", "y", 0.9), Match("a", "z", "b", "w", 0.8)]
+        truth = {(("a", "x"), ("b", "y")), (("a", "q"), ("b", "r"))}
+        precision, recall = SchemaMatcher.precision_recall(found, truth)
+        assert precision == 0.5
+        assert recall == 0.5
+
+    def test_empty_found(self):
+        precision, recall = SchemaMatcher.precision_recall([], {(("a", "x"), ("b", "y"))})
+        assert (precision, recall) == (0.0, 0.0)

@@ -1,0 +1,115 @@
+"""Tests for nested schema mappings (Constance [63])."""
+
+import pytest
+
+from repro.core.errors import SchemaError
+from repro.integration.nested_mapping import NestedMapping, NestingRule, PathRule
+
+
+class TestApply:
+    def test_flat_rename(self):
+        mapping = NestedMapping([PathRule("cust_id", "customer.id")])
+        assert mapping.apply({"cust_id": "c1"}) == {"customer": {"id": "c1"}}
+
+    def test_pull_up_nested_source(self):
+        mapping = NestedMapping([PathRule("address.city", "city")])
+        assert mapping.apply({"address": {"city": "berlin"}}) == {"city": "berlin"}
+
+    def test_missing_source_skipped(self):
+        mapping = NestedMapping([PathRule("absent", "x"), PathRule("a", "b")])
+        assert mapping.apply({"a": 1}) == {"b": 1}
+
+    def test_multiple_rules_build_structure(self):
+        mapping = NestedMapping([
+            PathRule("name", "person.name"),
+            PathRule("tel", "person.contact.phone"),
+        ])
+        assert mapping.apply({"name": "ann", "tel": "1"}) == {
+            "person": {"name": "ann", "contact": {"phone": "1"}},
+        }
+
+    def test_duplicate_targets_rejected(self):
+        with pytest.raises(SchemaError):
+            NestedMapping([PathRule("a", "x"), PathRule("b", "x")])
+
+
+class TestExchange:
+    def test_without_nesting_one_to_one(self):
+        mapping = NestedMapping([PathRule("a", "b")])
+        assert mapping.exchange([{"a": 1}, {"a": 2}]) == [{"b": 1}, {"b": 2}]
+
+    def test_flat_to_nested_grouping(self):
+        """Order rows nest under their customer — the classic exchange."""
+        mapping = NestedMapping(
+            rules=[
+                PathRule("cust", "customer.id"),
+                PathRule("cust_city", "customer.city"),
+            ],
+            nesting=NestingRule(
+                group_by="cust",
+                array_path="customer.orders",
+                element_rules=(
+                    PathRule("order_id", "id"),
+                    PathRule("amount", "total"),
+                ),
+            ),
+        )
+        rows = [
+            {"cust": "c1", "cust_city": "berlin", "order_id": "o1", "amount": 10},
+            {"cust": "c1", "cust_city": "berlin", "order_id": "o2", "amount": 20},
+            {"cust": "c2", "cust_city": "paris", "order_id": "o3", "amount": 30},
+        ]
+        exchanged = mapping.exchange(rows)
+        assert len(exchanged) == 2
+        first = exchanged[0]["customer"]
+        assert first["id"] == "c1"
+        assert first["orders"] == [{"id": "o1", "total": 10}, {"id": "o2", "total": 20}]
+        assert exchanged[1]["customer"]["city"] == "paris"
+
+    def test_grouping_preserves_first_seen_order(self):
+        mapping = NestedMapping(
+            rules=[PathRule("k", "key")],
+            nesting=NestingRule("k", "items", (PathRule("v", "value"),)),
+        )
+        exchanged = mapping.exchange([{"k": "b", "v": 1}, {"k": "a", "v": 2},
+                                      {"k": "b", "v": 3}])
+        assert [d["key"] for d in exchanged] == ["b", "a"]
+        assert exchanged[0]["items"] == [{"value": 1}, {"value": 3}]
+
+
+class TestComposition:
+    def test_exact_composition(self):
+        inner = NestedMapping([PathRule("raw_name", "name")])
+        outer = NestedMapping([PathRule("name", "person.name")])
+        composed = outer.compose(inner)
+        assert composed.apply({"raw_name": "ann"}) == {"person": {"name": "ann"}}
+
+    def test_prefix_composition(self):
+        """outer reads inside a structure inner built."""
+        inner = NestedMapping([PathRule("addr", "address")])
+        outer = NestedMapping([PathRule("address.city", "city")])
+        composed = outer.compose(inner)
+        assert composed.apply({"addr": {"city": "rome"}}) == {"city": "rome"}
+
+    def test_composition_equals_sequential_application(self):
+        inner = NestedMapping([PathRule("a", "m.x"), PathRule("b", "m.y")])
+        outer = NestedMapping([PathRule("m.x", "out.first"), PathRule("m.y", "out.second")])
+        document = {"a": 1, "b": 2, "noise": 3}
+        sequential = outer.apply(inner.apply(document))
+        composed = outer.compose(inner).apply(document)
+        assert sequential == composed
+
+    def test_unproduced_sources_dropped(self):
+        inner = NestedMapping([PathRule("a", "x")])
+        outer = NestedMapping([PathRule("never_produced", "y"), PathRule("x", "z")])
+        composed = outer.compose(inner)
+        assert [r.target for r in composed.rules] == ["z"]
+
+    def test_nesting_rules_do_not_compose(self):
+        nested = NestedMapping(
+            rules=[PathRule("k", "key")],
+            nesting=NestingRule("k", "items", ()),
+        )
+        flat = NestedMapping([PathRule("key", "k2")])
+        with pytest.raises(SchemaError):
+            flat.compose(nested)

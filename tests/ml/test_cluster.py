@@ -1,0 +1,78 @@
+"""Tests for clustering helpers."""
+
+import networkx as nx
+import pytest
+
+from repro.ml.cluster import (
+    agglomerative_clusters,
+    connected_components_clusters,
+    label_propagation_communities,
+)
+
+
+class TestAgglomerative:
+    def test_two_obvious_clusters(self):
+        points = {"a": 0.0, "b": 0.1, "c": 5.0, "d": 5.1}
+        clusters = agglomerative_clusters(
+            sorted(points), lambda x, y: abs(points[x] - points[y]), max_distance=1.0
+        )
+        assert sorted(sorted(c) for c in clusters) == [["a", "b"], ["c", "d"]]
+
+    def test_cutoff_respected(self):
+        points = {"a": 0.0, "b": 10.0}
+        clusters = agglomerative_clusters(
+            ["a", "b"], lambda x, y: abs(points[x] - points[y]), max_distance=1.0
+        )
+        assert len(clusters) == 2
+
+    def test_empty(self):
+        assert agglomerative_clusters([], lambda x, y: 0.0, 1.0) == []
+
+    def test_single_item(self):
+        assert agglomerative_clusters(["x"], lambda x, y: 0.0, 1.0) == [{"x"}]
+
+    def test_average_linkage_chains_less_than_single(self):
+        # a chain 0, 0.9, 1.8 with cutoff 1.0: average linkage merges the
+        # first pair then stops (average distance to the third > 1.0 after merge)
+        points = {"a": 0.0, "b": 0.9, "c": 1.8}
+        clusters = agglomerative_clusters(
+            sorted(points), lambda x, y: abs(points[x] - points[y]), max_distance=1.0
+        )
+        assert {"a", "b"} in clusters
+
+
+class TestConnectedComponents:
+    def test_threshold_graph(self):
+        similarity = {("a", "b"): 0.9, ("b", "c"): 0.2, ("c", "d"): 0.8}
+
+        def sim(x, y):
+            return similarity.get((x, y), similarity.get((y, x), 0.0))
+
+        clusters = connected_components_clusters(["a", "b", "c", "d"], sim, 0.5)
+        assert sorted(sorted(c) for c in clusters) == [["a", "b"], ["c", "d"]]
+
+
+class TestLabelPropagation:
+    def test_two_cliques(self):
+        graph = nx.Graph()
+        for clique in (["a1", "a2", "a3"], ["b1", "b2", "b3"]):
+            for i in range(len(clique)):
+                for j in range(i + 1, len(clique)):
+                    graph.add_edge(clique[i], clique[j])
+        graph.add_edge("a1", "b1")  # one weak bridge
+        communities = label_propagation_communities(graph, seed=1)
+        as_sets = [set(c) for c in communities]
+        assert {"a1", "a2", "a3"} in as_sets
+        assert {"b1", "b2", "b3"} in as_sets
+
+    def test_isolated_nodes_keep_own_label(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(["x", "y"])
+        communities = label_propagation_communities(graph)
+        assert sorted(sorted(map(str, c)) for c in communities) == [["x"], ["y"]]
+
+    def test_deterministic(self):
+        graph = nx.karate_club_graph()
+        left = label_propagation_communities(graph, seed=3)
+        right = label_propagation_communities(graph, seed=3)
+        assert [sorted(map(str, c)) for c in left] == [sorted(map(str, c)) for c in right]

@@ -1,0 +1,72 @@
+"""Tests for the hashed embedder (the BERT/fastText stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.embeddings import HashedEmbedder, cosine
+
+
+@pytest.fixture
+def embedder():
+    return HashedEmbedder(dim=64)
+
+
+class TestEmbed:
+    def test_deterministic(self, embedder):
+        assert np.allclose(embedder.embed("hello world"), embedder.embed("hello world"))
+
+    def test_unit_norm(self, embedder):
+        assert np.linalg.norm(embedder.embed("customer id")) == pytest.approx(1.0)
+
+    def test_empty_is_zero(self, embedder):
+        assert np.allclose(embedder.embed(""), np.zeros(64))
+
+    def test_identifier_conventions_close(self, embedder):
+        assert cosine(embedder.embed("customerId"), embedder.embed("customer_id")) > 0.95
+
+    def test_shared_tokens_closer_than_disjoint(self, embedder):
+        shared = cosine(embedder.embed("customer name"), embedder.embed("customer address"))
+        disjoint = cosine(embedder.embed("customer name"), embedder.embed("engine torque"))
+        assert shared > disjoint
+
+    def test_typo_robustness_via_subwords(self, embedder):
+        typo = cosine(embedder.embed("customer"), embedder.embed("custoner"))
+        unrelated = cosine(embedder.embed("customer"), embedder.embed("zebra"))
+        assert typo > unrelated
+
+    def test_synonym_folding(self):
+        embedder = HashedEmbedder(synonyms={"automobile": "car", "vehicle": "car"})
+        assert cosine(embedder.embed("automobile"), embedder.embed("vehicle")) > 0.99
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            HashedEmbedder(dim=0)
+
+
+class TestEmbedSet:
+    def test_mean_is_normalized(self, embedder):
+        vector = embedder.embed_set(["red", "blue", "green"])
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_empty_set(self, embedder):
+        assert np.allclose(embedder.embed_set([]), np.zeros(64))
+
+    def test_overlapping_sets_close(self, embedder):
+        left = embedder.embed_set(["red", "blue", "green", "black"])
+        right = embedder.embed_set(["red", "blue", "green", "white"])
+        far = embedder.embed_set(["tuesday", "march", "monday", "june"])
+        assert cosine(left, right) > cosine(left, far)
+
+    def test_embed_many_shape(self, embedder):
+        matrix = embedder.embed_many(["a", "b", "c"])
+        assert matrix.shape == (3, 64)
+        assert embedder.embed_many([]).shape == (0, 64)
+
+
+class TestCosine:
+    def test_zero_vector(self):
+        assert cosine(np.zeros(4), np.ones(4)) == 0.0
+
+    def test_bounds(self, embedder):
+        value = cosine(embedder.embed("abc def"), embedder.embed("ghi jkl"))
+        assert -1.0 <= value <= 1.0

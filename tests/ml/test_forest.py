@@ -1,0 +1,97 @@
+"""Tests for the from-scratch decision tree and random forest."""
+
+import random
+
+import pytest
+
+from repro.ml.forest import DecisionTree, RandomForest
+
+
+def make_separable(n=80, seed=3):
+    """Linearly separable 2-D data: x0 > 0.5 -> positive."""
+    rng = random.Random(seed)
+    features, labels = [], []
+    for _ in range(n):
+        x = rng.random()
+        y = rng.random()
+        features.append([x, y])
+        labels.append(x > 0.5)
+    return features, labels
+
+
+def make_xor(n=120, seed=4):
+    rng = random.Random(seed)
+    features, labels = [], []
+    for _ in range(n):
+        x, y = rng.random(), rng.random()
+        features.append([x, y])
+        labels.append((x > 0.5) != (y > 0.5))
+    return features, labels
+
+
+class TestDecisionTree:
+    def test_fits_separable(self):
+        features, labels = make_separable()
+        tree = DecisionTree().fit(features, labels)
+        assert tree.predict([0.9, 0.1]) is True
+        assert tree.predict([0.1, 0.9]) is False
+
+    def test_fits_xor(self):
+        features, labels = make_xor()
+        tree = DecisionTree(max_depth=6).fit(features, labels)
+        correct = sum(1 for x, y in zip(features, labels) if tree.predict(x) == y)
+        assert correct / len(features) > 0.9
+
+    def test_pure_leaf(self):
+        tree = DecisionTree().fit([[0], [1]], ["a", "a"])
+        assert tree.predict([0.5]) == "a"
+
+    def test_predict_before_fit(self):
+        with pytest.raises(ValueError):
+            DecisionTree().predict([1])
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTree().fit([], [])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTree().fit([[1]], [])
+
+    def test_proba_in_bounds(self):
+        features, labels = make_separable()
+        tree = DecisionTree().fit(features, labels)
+        assert 0.0 <= tree.predict_proba([0.7, 0.5]) <= 1.0
+
+
+class TestRandomForest:
+    def test_fits_xor_better_than_chance(self):
+        features, labels = make_xor(n=150)
+        forest = RandomForest(num_trees=9, seed=1).fit(features, labels)
+        assert forest.accuracy(features, labels) > 0.85
+
+    def test_deterministic_given_seed(self):
+        features, labels = make_separable()
+        left = RandomForest(num_trees=5, seed=9).fit(features, labels)
+        right = RandomForest(num_trees=5, seed=9).fit(features, labels)
+        probes = [[0.3, 0.3], [0.7, 0.2], [0.5, 0.9]]
+        assert [left.predict(p) for p in probes] == [right.predict(p) for p in probes]
+
+    def test_proba_is_vote_fraction(self):
+        features, labels = make_separable()
+        forest = RandomForest(num_trees=10, seed=2).fit(features, labels)
+        proba = forest.predict_proba([0.95, 0.5], positive=True)
+        assert proba > 0.7
+
+    def test_predict_before_fit(self):
+        with pytest.raises(ValueError):
+            RandomForest().predict([1])
+
+    def test_invalid_num_trees(self):
+        with pytest.raises(ValueError):
+            RandomForest(num_trees=0)
+
+    def test_accuracy_empty(self):
+        features, labels = make_separable()
+        forest = RandomForest(num_trees=3).fit(features, labels)
+        assert forest.accuracy([], []) == 0.0

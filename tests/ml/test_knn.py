@@ -1,0 +1,59 @@
+"""Tests for the incremental k-NN classifier."""
+
+import pytest
+
+from repro.ml.knn import KNNClassifier, euclidean
+
+
+class TestEuclidean:
+    def test_known_distance(self):
+        assert euclidean([0, 0], [3, 4]) == 5.0
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            euclidean([1], [1, 2])
+
+
+class TestKNN:
+    def test_majority_vote(self):
+        knn = KNNClassifier(k=3)
+        knn.fit([[0, 0], [0.1, 0], [5, 5], [5.1, 5]], ["a", "a", "b", "b"])
+        assert knn.predict([0.05, 0.05]) == "a"
+        assert knn.predict([5.05, 5.05]) == "b"
+
+    def test_empty_returns_none(self):
+        assert KNNClassifier().predict([1, 2]) is None
+
+    def test_open_set_threshold(self):
+        knn = KNNClassifier(k=1, max_distance=1.0)
+        knn.add([0, 0], "a")
+        assert knn.predict([0.5, 0]) == "a"
+        assert knn.predict([10, 10]) is None
+
+    def test_incremental_add(self):
+        knn = KNNClassifier(k=1)
+        knn.add([0], "a")
+        assert knn.predict([0.1]) == "a"
+        knn.add([10], "b")
+        assert knn.predict([9.5]) == "b"
+
+    def test_neighbors_sorted(self):
+        knn = KNNClassifier(k=3)
+        knn.fit([[0], [1], [2]], ["x", "y", "z"])
+        distances = [d for d, _ in knn.neighbors([0])]
+        assert distances == sorted(distances)
+
+    def test_tie_break_prefers_closest(self):
+        knn = KNNClassifier(k=2)
+        knn.add([0.0], "near")
+        knn.add([1.0], "far")
+        # one vote each: the closest neighbour's label wins
+        assert knn.predict([0.1]) == "near"
+
+    def test_fit_validates_lengths(self):
+        with pytest.raises(ValueError):
+            KNNClassifier().fit([[1]], ["a", "b"])
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KNNClassifier(k=0)

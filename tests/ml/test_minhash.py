@@ -1,0 +1,65 @@
+"""Tests for MinHash signatures."""
+
+import pytest
+
+from repro.ml.minhash import MinHasher, MinHashSignature
+
+
+class TestMinHasher:
+    def test_deterministic(self):
+        left = MinHasher(num_perm=64, seed=5).signature(["a", "b", "c"])
+        right = MinHasher(num_perm=64, seed=5).signature(["a", "b", "c"])
+        assert left.values == right.values
+
+    def test_order_independent(self):
+        hasher = MinHasher(num_perm=64)
+        assert hasher.signature(["a", "b"]).values == hasher.signature(["b", "a"]).values
+
+    def test_stringification(self):
+        hasher = MinHasher(num_perm=64)
+        assert hasher.signature([1, 2]).values == hasher.signature(["1", "2"]).values
+
+    def test_empty_set(self):
+        signature = MinHasher(num_perm=32).signature([])
+        assert signature.set_size == 0
+        assert len(signature) == 32
+
+    def test_invalid_num_perm(self):
+        with pytest.raises(ValueError):
+            MinHasher(num_perm=0)
+
+    def test_compatible(self):
+        hasher = MinHasher(num_perm=16)
+        assert hasher.compatible(hasher.signature(["x"]))
+        assert not hasher.compatible(MinHasher(num_perm=32).signature(["x"]))
+
+
+class TestJaccardEstimation:
+    def test_identical_sets(self):
+        hasher = MinHasher(num_perm=128)
+        signature = hasher.signature(range(100))
+        assert signature.jaccard(signature) == 1.0
+
+    def test_disjoint_sets(self):
+        hasher = MinHasher(num_perm=128)
+        left = hasher.signature(f"a{i}" for i in range(100))
+        right = hasher.signature(f"b{i}" for i in range(100))
+        assert left.jaccard(right) < 0.1
+
+    def test_estimate_near_truth(self):
+        hasher = MinHasher(num_perm=256)
+        left = hasher.signature(range(200))
+        right = hasher.signature(range(100, 300))
+        truth = 100 / 300
+        assert abs(left.jaccard(right) - truth) < 0.12
+
+    def test_mismatched_lengths_rejected(self):
+        left = MinHasher(num_perm=16).signature(["a"])
+        right = MinHasher(num_perm=32).signature(["a"])
+        with pytest.raises(ValueError):
+            left.jaccard(right)
+
+    def test_seed_changes_signature(self):
+        left = MinHasher(num_perm=64, seed=1).signature(["a", "b"])
+        right = MinHasher(num_perm=64, seed=2).signature(["a", "b"])
+        assert left.values != right.values

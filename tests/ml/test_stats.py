@@ -1,0 +1,81 @@
+"""Tests for distribution statistics."""
+
+import random
+
+import pytest
+
+from repro.ml.stats import histogram, ks_similarity, ks_statistic, numeric_profile
+
+
+class TestKsStatistic:
+    def test_identical_samples(self):
+        sample = [1.0, 2.0, 3.0]
+        assert ks_statistic(sample, sample) == 0.0
+
+    def test_disjoint_ranges(self):
+        assert ks_statistic([1, 2, 3], [100, 200, 300]) == 1.0
+
+    def test_empty_sample(self):
+        assert ks_statistic([], [1.0]) == 1.0
+
+    def test_symmetry(self):
+        rng = random.Random(3)
+        left = [rng.gauss(0, 1) for _ in range(50)]
+        right = [rng.gauss(1, 1) for _ in range(60)]
+        assert ks_statistic(left, right) == pytest.approx(ks_statistic(right, left))
+
+    def test_same_distribution_small_statistic(self):
+        rng = random.Random(4)
+        left = [rng.gauss(10, 2) for _ in range(500)]
+        right = [rng.gauss(10, 2) for _ in range(500)]
+        assert ks_statistic(left, right) < 0.15
+
+    def test_shifted_distribution_large_statistic(self):
+        rng = random.Random(5)
+        left = [rng.gauss(0, 1) for _ in range(300)]
+        right = [rng.gauss(5, 1) for _ in range(300)]
+        assert ks_statistic(left, right) > 0.8
+
+    def test_agrees_with_scipy(self):
+        from scipy.stats import ks_2samp
+
+        rng = random.Random(6)
+        left = [rng.uniform(0, 1) for _ in range(80)]
+        right = [rng.uniform(0.3, 1.3) for _ in range(90)]
+        ours = ks_statistic(left, right)
+        theirs = ks_2samp(left, right).statistic
+        assert ours == pytest.approx(theirs, abs=1e-9)
+
+    def test_similarity_complement(self):
+        assert ks_similarity([1, 2], [1, 2]) == 1.0
+
+
+class TestNumericProfile:
+    def test_basic_stats(self):
+        profile = numeric_profile([1.0, 2.0, 3.0])
+        assert profile.count == 3
+        assert profile.mean == 2.0
+        assert profile.minimum == 1.0
+        assert profile.maximum == 3.0
+
+    def test_empty(self):
+        profile = numeric_profile([])
+        assert profile.count == 0
+        assert profile.as_features() == [0, 0.0, 0.0, 0.0, 0.0]
+
+    def test_std(self):
+        profile = numeric_profile([2.0, 4.0])
+        assert profile.std == pytest.approx(1.0)
+
+
+class TestHistogram:
+    def test_normalized(self):
+        bins = histogram([1, 2, 3, 4], bins=4)
+        assert sum(bins) == pytest.approx(1.0)
+
+    def test_constant_values(self):
+        bins = histogram([5.0, 5.0], bins=4)
+        assert bins[0] == 1.0
+
+    def test_empty(self):
+        assert histogram([], bins=3) == [0.0, 0.0, 0.0]

@@ -1,0 +1,103 @@
+"""Tests for tokenization and string similarity."""
+
+import pytest
+
+from repro.ml.text import (
+    TfIdfVectorizer,
+    containment,
+    cosine_similarity,
+    jaccard,
+    levenshtein,
+    levenshtein_similarity,
+    ngrams,
+    overlap,
+    qgrams,
+    tokenize,
+)
+
+
+class TestTokenize:
+    def test_snake_case(self):
+        assert tokenize("customer_id") == ["customer", "id"]
+
+    def test_camel_case(self):
+        assert tokenize("customerId") == ["customer", "id"]
+
+    def test_kebab_and_dots(self):
+        assert tokenize("order-total.amount") == ["order", "total", "amount"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+    def test_identifier_conventions_agree(self):
+        assert tokenize("customerId") == tokenize("customer_id") == tokenize("Customer ID")
+
+
+class TestQgrams:
+    def test_padding(self):
+        grams = qgrams("ab", q=3)
+        assert "##a" in grams and "ab#" in grams
+
+    def test_empty(self):
+        assert qgrams("") == set()
+
+    def test_similar_names_share_grams(self):
+        assert len(qgrams("customer") & qgrams("customers")) > 5
+
+
+class TestSetSimilarities:
+    def test_jaccard(self):
+        assert jaccard({1, 2}, {2, 3}) == pytest.approx(1 / 3)
+
+    def test_jaccard_empty(self):
+        assert jaccard(set(), set()) == 0.0
+
+    def test_containment_asymmetric(self):
+        assert containment({1, 2}, {1, 2, 3}) == 1.0
+        assert containment({1, 2, 3}, {1, 2}) == pytest.approx(2 / 3)
+
+    def test_overlap(self):
+        assert overlap([1, 2, 3], [2, 3, 4]) == 2
+
+    def test_ngrams(self):
+        assert ngrams(["a", "b", "c"], 2) == [("a", "b"), ("b", "c")]
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein("abc", "abc") == 0
+
+    def test_known_distance(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_empty(self):
+        assert levenshtein("", "abc") == 3
+
+    def test_symmetric(self):
+        assert levenshtein("abc", "xbz") == levenshtein("xbz", "abc")
+
+    def test_similarity_normalized(self):
+        assert levenshtein_similarity("abc", "abc") == 1.0
+        assert levenshtein_similarity("", "") == 1.0
+        assert 0.0 <= levenshtein_similarity("abc", "xyz") <= 1.0
+
+
+class TestTfIdf:
+    def test_cosine_of_identical_vectors(self):
+        vectorizer = TfIdfVectorizer().fit([["a", "b"], ["b", "c"]])
+        vector = vectorizer.transform(["a", "b"])
+        assert cosine_similarity(vector, vector) == pytest.approx(1.0)
+
+    def test_rare_terms_weigh_more(self):
+        vectorizer = TfIdfVectorizer().fit([["common", "rare"], ["common"], ["common"]])
+        vector = vectorizer.transform(["common", "rare"])
+        assert vector["rare"] > vector["common"]
+
+    def test_disjoint_vectors_are_orthogonal(self):
+        vectorizer = TfIdfVectorizer().fit([["a"], ["b"]])
+        left = vectorizer.transform(["a"])
+        right = vectorizer.transform(["b"])
+        assert cosine_similarity(left, right) == 0.0
+
+    def test_cosine_empty(self):
+        assert cosine_similarity({}, {"a": 1.0}) == 0.0

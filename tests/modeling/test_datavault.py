@@ -1,0 +1,96 @@
+"""Tests for data vault modeling."""
+
+import pytest
+
+from repro.core.errors import SchemaError
+from repro.modeling.datavault import DataVault
+
+
+@pytest.fixture
+def vault():
+    vault = DataVault()
+    customers = vault.hub("customer")
+    products = vault.hub("product")
+    c1 = customers.add("C-001")
+    c2 = customers.add("C-002")
+    p1 = products.add("P-100")
+    orders = vault.link("order", ["customer", "product"])
+    orders.add([c1, p1])
+    orders.add([c2, p1])
+    details = vault.satellite("customer_details", "customer")
+    details.add(c1, {"name": "Ann", "city": "Berlin"}, load_ts=1)
+    details.add(c1, {"name": "Ann", "city": "Paris"}, load_ts=2)
+    details.add(c2, {"name": "Bob", "city": "Rome"}, load_ts=1)
+    vault.c1, vault.c2, vault.p1 = c1, c2, p1
+    return vault
+
+
+class TestModeling:
+    def test_summary(self, vault):
+        assert vault.summary() == {"hubs": 2, "links": 1, "satellites": 1}
+
+    def test_hub_keys_deterministic(self):
+        left = DataVault().hub("customer").add("C-001")
+        right = DataVault().hub("customer").add("C-001")
+        assert left == right
+
+    def test_link_arity_checked(self, vault):
+        with pytest.raises(SchemaError):
+            vault.links["order"].add([vault.c1])
+
+    def test_link_requires_known_hubs(self, vault):
+        with pytest.raises(SchemaError):
+            vault.link("bad", ["customer", "warehouse"])
+
+    def test_satellite_requires_known_parent(self, vault):
+        with pytest.raises(SchemaError):
+            vault.satellite("s", "nonexistent")
+
+    def test_satellite_latest(self, vault):
+        latest = vault.satellites["customer_details"].latest(vault.c1)
+        assert latest["city"] == "Paris"
+
+    def test_satellite_latest_missing(self, vault):
+        assert vault.satellites["customer_details"].latest("nope") is None
+
+
+class TestRelationalTransform:
+    def test_tables_created(self, vault):
+        store = vault.to_relational()
+        assert store.tables() == ["hub_customer", "hub_product", "link_order",
+                                  "sat_customer_details"]
+
+    def test_hub_contents(self, vault):
+        store = vault.to_relational()
+        hub = store.table("hub_customer")
+        assert sorted(hub["business_key"].values) == ["C-001", "C-002"]
+
+    def test_link_references_hub_keys(self, vault):
+        store = vault.to_relational()
+        link = store.table("link_order")
+        assert set(link.column_names) == {"hash_key", "customer_key", "product_key"}
+        assert vault.c1 in link["customer_key"].values
+
+    def test_relational_join_reconstructs(self, vault):
+        store = vault.to_relational()
+        joined = store.join("link_order", "hub_customer", "customer_key", "hash_key")
+        assert sorted(joined["business_key"].values) == ["C-001", "C-002"]
+
+
+class TestDocumentTransform:
+    def test_documents_per_hub_instance(self, vault):
+        store = vault.to_documents()
+        docs = store.all_documents("customer")
+        assert len(docs) == 2
+
+    def test_embedded_satellite_is_latest(self, vault):
+        store = vault.to_documents()
+        ann = store.find("customer", {"business_key": "C-001"})[0]
+        assert ann["customer_details"]["city"] == "Paris"
+
+    def test_embedded_links(self, vault):
+        store = vault.to_documents()
+        ann = store.find("customer", {"business_key": "C-001"})[0]
+        assert ann["linked"] == {"product": ["P-100"]}
+        product = store.find("product", {"business_key": "P-100"})[0]
+        assert product["linked"] == {"customer": ["C-001", "C-002"]}

@@ -1,0 +1,78 @@
+"""Tests for the Diamantini et al. network metadata model."""
+
+import pytest
+
+from repro.modeling.diamantini import NetworkMetadataModel
+
+
+@pytest.fixture
+def model():
+    model = NetworkMetadataModel(merge_threshold=0.6)
+    model.add_source("crm", ["customer_name", "customer_city", "revenue"],
+                     format="json",
+                     descriptions={"revenue": "monthly revenue in euro"})
+    model.add_source("erp", ["cust_name", "billing_city", "monthly_revenue"],
+                     format="xml",
+                     rules={"monthly_revenue": "must be positive"})
+    return model
+
+
+class TestConstruction:
+    def test_field_nodes_with_part_of_arcs(self, model):
+        assert len(model.field_nodes()) == 6
+        assert model.graph.has_edge("field:crm.customer_name", "source:crm")
+        assert model.graph["field:crm.customer_name"]["source:crm"]["label"] == "part_of"
+
+    def test_formats_recorded(self, model):
+        assert model.graph.nodes["source:erp"]["format"] == "xml"
+
+    def test_descriptions_and_rules(self, model):
+        assert "euro" in model.graph.nodes["field:crm.revenue"]["description"]
+        assert model.graph.nodes["field:erp.monthly_revenue"]["rule"]
+
+
+class TestMerging:
+    def test_similar_names_merge(self, model):
+        merged = model.merge_similar()
+        merged_pairs = {tuple(sorted(pair)) for pair in merged}
+        assert tuple(sorted(("field:crm.customer_name", "field:erp.cust_name"))) \
+            in merged_pairs or model.canonical("field:erp.cust_name") == \
+            "field:crm.customer_name"
+
+    def test_same_as_arcs_created(self, model):
+        model.merge_similar()
+        same_as = [
+            (u, v) for u, v, d in model.graph.edges(data=True) if d["label"] == "same_as"
+        ]
+        assert same_as
+
+    def test_canonical_resolution(self, model):
+        model.merge_similar()
+        representative = model.canonical("field:erp.monthly_revenue")
+        assert representative in ("field:crm.revenue", "field:erp.monthly_revenue")
+
+
+class TestSemantics:
+    def test_link_to_knowledge_base(self):
+        model = NetworkMetadataModel()
+        model.add_source("geo", ["berlin_office", "hq_city"])
+        linked = model.link_semantics()
+        assert linked.get("field:geo.berlin_office") == "berlin"
+        assert model.graph.has_node("concept:berlin")
+
+
+class TestThematicViews:
+    def test_view_contains_topic_fields(self, model):
+        model.merge_similar()
+        view = model.thematic_view("revenue")
+        field_nodes = [n for n in view.nodes if n.startswith("field:")]
+        assert "field:crm.revenue" in field_nodes
+        assert "field:erp.monthly_revenue" in field_nodes
+        assert "field:crm.customer_city" not in field_nodes
+
+    def test_view_includes_sources(self, model):
+        view = model.thematic_view("customer")
+        assert any(n.startswith("source:") for n in view.nodes)
+
+    def test_empty_topic(self, model):
+        assert len(model.thematic_view("astrophysics").nodes) == 0

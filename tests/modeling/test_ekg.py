@@ -1,0 +1,95 @@
+"""Tests for the enterprise knowledge graph."""
+
+import pytest
+
+from repro.modeling.ekg import EnterpriseKnowledgeGraph
+
+
+@pytest.fixture
+def ekg():
+    g = EnterpriseKnowledgeGraph()
+    g.add_column("customers", "customer_id", sample=("c1", "c2"))
+    g.add_column("customers", "city", sample=("berlin", "paris"))
+    g.add_column("orders", "customer_id", sample=("c1",))
+    g.add_column("orders", "amount", sample=(10, 20))
+    g.add_relation(("customers", "customer_id"), ("orders", "customer_id"),
+                   "content_sim", 0.8)
+    g.add_relation(("customers", "customer_id"), ("orders", "customer_id"),
+                   "schema_sim", 1.0)
+    g.add_relation(("customers", "city"), ("orders", "amount"), "content_sim", 0.1)
+    return g
+
+
+class TestStructure:
+    def test_counts(self, ekg):
+        assert ekg.num_nodes == 4
+        assert ekg.num_edges == 2
+
+    def test_stacked_relations(self, ekg):
+        relations = ekg.relations_between(
+            ("customers", "customer_id"), ("orders", "customer_id")
+        )
+        assert relations == {"content_sim": 0.8, "schema_sim": 1.0}
+
+    def test_relation_requires_nodes(self, ekg):
+        with pytest.raises(KeyError):
+            ekg.add_relation(("x", "y"), ("orders", "amount"), "content_sim", 0.5)
+
+    def test_columns_by_table(self, ekg):
+        assert ekg.columns("orders") == [("orders", "amount"), ("orders", "customer_id")]
+
+    def test_remove_column(self, ekg):
+        ekg.add_hyperedge("g", [("orders", "amount")])
+        ekg.remove_column("orders", "amount")
+        assert ("orders", "amount") not in ekg.columns()
+        assert ekg.hyperedges("g") == []
+
+
+class TestHyperedges:
+    def test_group_table(self, ekg):
+        hyperedge = ekg.group_table("customers")
+        assert hyperedge.members == frozenset({
+            ("customers", "customer_id"), ("customers", "city"),
+        })
+
+    def test_hyperedges_prefix(self, ekg):
+        ekg.group_table("customers")
+        ekg.group_table("orders")
+        assert len(ekg.hyperedges("table:")) == 2
+
+
+class TestDiscoveryPrimitives:
+    def test_schema_search(self, ekg):
+        assert ("customers", "customer_id") in ekg.schema_search("customer")
+        assert ekg.schema_search("zzz") == []
+
+    def test_content_search(self, ekg):
+        assert ekg.content_search("berlin") == [("customers", "city")]
+
+    def test_neighbors_by_relation(self, ekg):
+        hits = ekg.neighbors(("customers", "customer_id"), relation="content_sim")
+        assert hits == [(("orders", "customer_id"), 0.8)]
+
+    def test_neighbors_min_weight(self, ekg):
+        hits = ekg.neighbors(("customers", "city"), min_weight=0.5)
+        assert hits == []
+
+    def test_neighbors_unknown_node(self, ekg):
+        assert ekg.neighbors(("ghost", "x")) == []
+
+    def test_paths(self, ekg):
+        paths = ekg.paths(("customers", "city"), ("orders", "customer_id"), max_hops=3)
+        assert paths == []  # no connection between those components yet
+        ekg.add_relation(("orders", "amount"), ("orders", "customer_id"), "content_sim", 0.4)
+        paths = ekg.paths(("customers", "city"), ("orders", "customer_id"), max_hops=3)
+        assert len(paths) >= 1
+
+    def test_paths_relation_filtered(self, ekg):
+        paths = ekg.paths(
+            ("customers", "customer_id"), ("orders", "customer_id"),
+            relation="schema_sim",
+        )
+        assert len(paths) == 1
+
+    def test_join_path_tables(self, ekg):
+        assert ekg.join_path_tables("customers") == {"orders"}

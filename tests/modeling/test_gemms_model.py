@@ -1,0 +1,82 @@
+"""Tests for the GEMMS metadata repository."""
+
+import pytest
+
+from repro.core.dataset import Dataset, Table
+from repro.core.errors import DatasetNotFound
+from repro.ingestion.gemms import GemmsExtractor
+from repro.modeling.gemms_model import MetadataRepository
+
+
+@pytest.fixture
+def repository(customers, orders):
+    repo = MetadataRepository()
+    extractor = GemmsExtractor()
+    repo.add(extractor.extract(Dataset("customers", customers)))
+    repo.add(extractor.extract(Dataset("orders", orders)))
+    return repo
+
+
+class TestBasics:
+    def test_add_get(self, repository):
+        assert repository.get("customers").dataset_name == "customers"
+        assert len(repository) == 2
+        assert "orders" in repository
+
+    def test_missing(self, repository):
+        with pytest.raises(DatasetNotFound):
+            repository.get("ghost")
+
+    def test_replace(self, repository, customers):
+        record = GemmsExtractor().extract(Dataset("customers", customers.head(3)))
+        repository.add(record)
+        assert repository.property_of("customers", "num_rows") == 3
+        assert len(repository) == 2
+
+
+class TestContentQueries:
+    def test_find_by_property(self, repository):
+        assert repository.find_by_property("num_rows") == ["customers", "orders"]
+        assert repository.find_by_property("num_rows", 150) == ["customers"]
+
+    def test_property_default(self, repository):
+        assert repository.property_of("orders", "nonexistent", "dflt") == "dflt"
+
+
+class TestStructuralQueries:
+    def test_find_by_path(self, repository):
+        assert repository.find_by_path("customer_id") == ["customers", "orders"]
+        assert repository.find_by_path("amount") == ["orders"]
+
+    def test_case_insensitive(self, repository):
+        assert repository.find_by_path("AMOUNT") == ["orders"]
+
+    def test_structure_paths(self, repository):
+        assert "orders.amount" in repository.structure_paths("orders")
+
+
+class TestSemanticQueries:
+    def test_annotate_and_find(self, repository):
+        repository.annotate("customers", "customers.city", "schema.org/City")
+        assert repository.find_by_term("schema.org/City") == [("customers", "customers.city")]
+
+    def test_unknown_term(self, repository):
+        assert repository.find_by_term("nothing") == []
+
+
+class TestMatrixView:
+    def test_path_matrix_shape(self, repository):
+        datasets, paths, matrix = repository.path_matrix()
+        assert datasets == ["customers", "orders"]
+        assert len(matrix) == 2
+        assert all(len(row) == len(paths) for row in matrix)
+
+    def test_shared_path_marked_for_both(self, repository):
+        datasets, paths, matrix = repository.path_matrix()
+        index = paths.index("customer_id")
+        assert matrix[0][index] == 1 and matrix[1][index] == 1
+
+    def test_exclusive_path(self, repository):
+        datasets, paths, matrix = repository.path_matrix()
+        index = paths.index("age")
+        assert matrix[0][index] == 1 and matrix[1][index] == 0

@@ -1,0 +1,80 @@
+"""Tests for the HANDLE metadata model."""
+
+import pytest
+
+from repro.core.dataset import Dataset, Table
+from repro.ingestion.gemms import GemmsExtractor
+from repro.modeling.handle import HandleModel
+
+
+@pytest.fixture
+def model():
+    return HandleModel()
+
+
+class TestEntities:
+    def test_three_abstract_entities(self, model):
+        data = model.add_data("sales")
+        meta = model.add_metadata(data, "schema")
+        prop = model.add_property(meta, "columns", 4)
+        assert data.kind == "data"
+        assert meta.kind == "metadata"
+        assert prop.kind == "property"
+
+    def test_metadata_of(self, model):
+        data = model.add_data("sales")
+        model.add_metadata(data, "schema")
+        model.add_metadata(data, "stats")
+        assert sorted(m.name for m in model.metadata_of(data)) == ["schema", "stats"]
+
+    def test_properties_of(self, model):
+        data = model.add_data("sales")
+        meta = model.add_metadata(data, "stats")
+        model.add_property(meta, "rows", 10)
+        model.add_property(meta, "cols", 2)
+        assert model.properties_of(meta) == {"rows": 10, "cols": 2}
+
+    def test_fine_grained_hierarchy(self, model):
+        dataset = model.add_data("sales", granularity="dataset")
+        column = model.add_data("amount", granularity="element", parent=dataset)
+        children = model.graph.neighbors(dataset.node_id, edge_type="contains")
+        assert children == [column.node_id]
+
+
+class TestZones:
+    def test_zone_lifecycle(self, model):
+        data = model.add_data("raw_events", zone="raw")
+        assert model.zone_of(data) == "raw"
+        model.move_to_zone(data, "curated")
+        assert model.zone_of(data) == "curated"
+
+    def test_data_in_zone(self, model):
+        model.add_data("a", zone="raw")
+        model.add_data("b", zone="curated")
+        model.add_data("c", zone="raw")
+        assert model.data_in_zone("raw") == ["a", "c"]
+
+
+class TestLinkedData:
+    def test_link_metadata(self, model):
+        left_data = model.add_data("a")
+        right_data = model.add_data("b")
+        left = model.add_metadata(left_data, "schema")
+        right = model.add_metadata(right_data, "schema")
+        model.link_metadata(left, right, "same_domain")
+        assert right.node_id in model.graph.neighbors(left.node_id, edge_type="same_domain")
+
+
+class TestGemmsMapping:
+    def test_from_gemms(self, model, customers):
+        record = GemmsExtractor().extract(Dataset("customers", customers))
+        record.annotate("customers.city", "schema.org/City")
+        data = model.from_gemms(record, zone="landing")
+        assert model.zone_of(data) == "landing"
+        names = sorted(m.name for m in model.metadata_of(data))
+        assert "properties" in names
+        assert "structure" in names
+        assert "semantics:customers.city" in names
+        # structural children became fine-grained data entities
+        contained = model.graph.neighbors(data.node_id, edge_type="contains")
+        assert len(contained) == 4

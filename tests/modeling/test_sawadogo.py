@@ -1,0 +1,84 @@
+"""Tests for the Sawadogo et al. evolution-oriented metadata model."""
+
+import pytest
+
+from repro.modeling.sawadogo import SawadogoMetadataModel
+
+
+@pytest.fixture
+def model():
+    model = SawadogoMetadataModel()
+    model.add_dataset("sales", format="csv")
+    model.add_dataset("customers", format="json")
+    return model
+
+
+class TestSemanticEnrichment:
+    def test_enrich_and_query(self, model):
+        model.enrich("sales", "revenue", source="user")
+        model.enrich("sales", "finance")
+        assert model.semantic_terms("sales") == ["finance", "revenue"]
+
+
+class TestIndexing:
+    def test_lookup(self, model):
+        model.index_terms("sales", ["revenue", "Quarterly"])
+        assert model.lookup("quarterly") == ["sales"]
+        assert model.lookup("nothing") == []
+
+
+class TestLinks:
+    def test_link_and_query(self, model):
+        model.link("sales", "customers", "joinable", similarity=0.8)
+        assert ("customers", "joinable") in model.links_of("sales")
+        assert ("sales", "joinable") in model.links_of("customers")
+
+
+class TestPolymorphism:
+    def test_forms(self, model):
+        model.add_form("sales", "parquet")
+        model.add_form("sales", "aggregated_monthly")
+        assert model.forms_of("sales") == ["aggregated_monthly", "parquet"]
+        assert model.forms_of("customers") == []
+
+
+class TestVersioning:
+    def test_version_chain(self, model):
+        model.add_version("sales", change="added column tax")
+        model.add_version("sales")
+        assert model.version_count("sales") == 3
+        history = model.version_history("sales")
+        assert len(history) == 3
+        # the newest node links back to its predecessor
+        newest = history[-1]
+        assert model.graph.neighbors(newest, edge_type="previous_version") == [history[-2]]
+
+    def test_links_follow_latest_version(self, model):
+        model.add_version("sales")
+        model.link("sales", "customers", "joinable")
+        assert ("customers", "joinable") in model.links_of("sales")
+
+
+class TestUsageTracking:
+    def test_usage_log(self, model):
+        model.track_usage("sales", "ann")
+        model.track_usage("sales", "bob")
+        model.track_usage("customers", "ann")
+        assert model.usage_log("sales") == ["ann", "bob"]
+        assert model.most_used(1) == [("sales", 2)]
+
+
+class TestFeatureReport:
+    def test_all_six_features_counted(self, model):
+        model.enrich("sales", "finance")
+        model.index_terms("sales", ["revenue"])
+        model.link("sales", "customers", "joinable")
+        model.add_form("sales", "parquet")
+        model.add_version("sales")
+        model.track_usage("sales", "ann")
+        report = model.feature_report()
+        assert all(count >= 1 for count in report.values()), report
+        assert set(report) == {
+            "semantic_enrichment", "data_indexing", "link_generation",
+            "data_polymorphism", "data_versioning", "usage_tracking",
+        }

@@ -1,0 +1,93 @@
+"""Tests for DS-kNN dataset categorization."""
+
+import random
+
+import pytest
+
+from repro.core.dataset import Table
+from repro.organization.dsknn import DsKnnOrganizer, dataset_features
+
+
+def sales_like(name, seed):
+    rng = random.Random(seed)
+    return Table.from_columns(name, {
+        "region": [rng.choice(["eu", "us"]) for _ in range(60)],
+        "amount": [rng.uniform(10, 100) for _ in range(60)],
+        "quarter": [rng.choice(["q1", "q2", "q3", "q4"]) for _ in range(60)],
+    })
+
+
+def sensor_like(name, seed):
+    rng = random.Random(seed)
+    return Table.from_columns(name, {
+        "t0": [rng.gauss(0, 1) for _ in range(60)],
+        "t1": [rng.gauss(0, 1) for _ in range(60)],
+        "t2": [rng.gauss(0, 1) for _ in range(60)],
+        "t3": [rng.gauss(0, 1) for _ in range(60)],
+        "t4": [rng.gauss(0, 1) for _ in range(60)],
+    })
+
+
+class TestFeatures:
+    def test_fixed_width(self, customers):
+        assert len(dataset_features(customers)) == 8
+
+    def test_empty_table(self):
+        assert dataset_features(Table("t", [])) == [0.0] * 8
+
+    def test_numeric_fraction(self):
+        table = sales_like("s", 0)
+        features = dataset_features(table)
+        assert features[1] == pytest.approx(1 / 3)  # one numeric of three
+
+
+class TestIncrementalCategorization:
+    def test_first_dataset_opens_category(self):
+        organizer = DsKnnOrganizer()
+        assert organizer.add(sales_like("sales_a", 1)) == 1
+
+    def test_similar_datasets_share_category(self):
+        organizer = DsKnnOrganizer(k=1, max_distance=1.0)
+        first = organizer.add(sales_like("sales_a", 1))
+        second = organizer.add(sales_like("sales_b", 2))
+        assert first == second
+
+    def test_dissimilar_dataset_opens_new_category(self):
+        organizer = DsKnnOrganizer(k=1, max_distance=0.8)
+        sales_category = organizer.add(sales_like("sales_a", 1))
+        sensor_category = organizer.add(sensor_like("sensor_x", 3))
+        assert sales_category != sensor_category
+
+    def test_categories_listing(self):
+        organizer = DsKnnOrganizer(k=1, max_distance=1.0)
+        organizer.add(sales_like("sales_a", 1))
+        organizer.add(sales_like("sales_b", 2))
+        organizer.add(sensor_like("sensor_x", 3))
+        categories = organizer.categories()
+        grouped = sorted(sorted(names) for names in categories.values())
+        assert ["sales_a", "sales_b"] in grouped
+        assert ["sensor_x"] in grouped
+
+    def test_category_of(self):
+        organizer = DsKnnOrganizer()
+        organizer.add(sales_like("s", 1))
+        assert organizer.category_of("s") == 1
+
+
+class TestGraphAndPrefilter:
+    def test_similarity_graph(self):
+        organizer = DsKnnOrganizer(k=1, max_distance=1.0)
+        organizer.add(sales_like("sales_a", 1))
+        organizer.add(sales_like("sales_b", 2))
+        graph = organizer.similarity_graph(max_edge_distance=2.0)
+        assert graph.has_edge("sales_a", "sales_b")
+        assert 0.0 < graph["sales_a"]["sales_b"]["similarity"] <= 1.0
+
+    def test_prefilter_pairs_within_category_only(self):
+        organizer = DsKnnOrganizer(k=1, max_distance=0.8)
+        organizer.add(sales_like("sales_a", 1))
+        organizer.add(sales_like("sales_b", 2))
+        organizer.add(sensor_like("sensor_x", 3))
+        pairs = organizer.prefilter_pairs()
+        assert ("sales_a", "sales_b") in pairs
+        assert all("sensor_x" not in pair for pair in pairs)

@@ -1,0 +1,85 @@
+"""Tests for the GOODS catalog."""
+
+import pytest
+
+from repro.core.dataset import Dataset, Table
+from repro.core.errors import DatasetNotFound
+from repro.organization.goods_catalog import CATEGORIES, GoodsCatalog
+
+
+@pytest.fixture
+def catalog(customers, orders):
+    catalog = GoodsCatalog()
+    catalog.register(Dataset("customers", customers, source="crm"),
+                     backend="relational", owner="ann", team="sales", project="crm360")
+    catalog.register(Dataset("orders", orders, source="shop"),
+                     backend="relational", owner="bob", team="sales", project="crm360")
+    return catalog
+
+
+class TestRegistration:
+    def test_six_categories_exist(self, catalog):
+        entry = catalog.entry("customers")
+        for category in CATEGORIES:
+            assert isinstance(entry.category(category), dict)
+
+    def test_unknown_category(self, catalog):
+        with pytest.raises(KeyError):
+            catalog.entry("customers").category("bogus")
+
+    def test_content_metadata(self, catalog):
+        entry = catalog.entry("customers")
+        assert entry.content["num_rows"] == 150
+        assert "customer_id" in entry.content["columns"]
+
+    def test_temporal_ordering(self, catalog):
+        first = catalog.entry("customers").temporal["registered_at"]
+        second = catalog.entry("orders").temporal["registered_at"]
+        assert second > first
+
+    def test_document_dataset(self, catalog):
+        catalog.register(Dataset("events", [{"a": 1}], format="json"))
+        assert catalog.entry("events").content["num_documents"] == 1
+
+    def test_missing_entry(self, catalog):
+        with pytest.raises(DatasetNotFound):
+            catalog.entry("ghost")
+
+
+class TestCrowdsourcedEnrichment:
+    def test_annotate(self, catalog):
+        catalog.annotate("customers", "description", "master customer data", author="ann")
+        entry = catalog.entry("customers")
+        assert entry.user_supplied["description"] == "master customer data"
+        assert entry.user_supplied["_contributors"] == ["ann"]
+
+    def test_security_flagging(self, catalog):
+        catalog.flag_for_security("customers", "contains PII", author="auditor")
+        assert catalog.security_flagged() == ["customers"]
+
+
+class TestSearch:
+    def test_keyword_over_all_categories(self, catalog):
+        assert "customers" in catalog.search("crm")
+        catalog.annotate("orders", "note", "weekly export to warehouse")
+        assert catalog.search("warehouse") == ["orders"]
+
+    def test_ranked_by_matches(self, catalog):
+        catalog.annotate("customers", "note", "sales sales sales")
+        hits = catalog.search("sales crm360")
+        assert hits[0] == "customers"
+
+    def test_by_project(self, catalog):
+        assert catalog.by_project("crm360") == ["customers", "orders"]
+
+
+class TestVersionClusters:
+    def test_version_suffixes_cluster(self, catalog, customers):
+        catalog.register(Dataset("daily_dump_v1", customers))
+        catalog.register(Dataset("daily_dump_v2", customers))
+        catalog.register(Dataset("daily_dump_2024-01-01", customers))
+        clusters = catalog.version_clusters()
+        assert ["daily_dump_2024-01-01", "daily_dump_v1", "daily_dump_v2"] in clusters
+
+    def test_no_false_clusters(self, catalog):
+        assert catalog.version_clusters() == []

@@ -1,0 +1,99 @@
+"""Tests for Juneau's workflow and variable dependency graphs."""
+
+import pytest
+
+from repro.core.dataset import Table
+from repro.datagen.notebooks import NotebookGenerator
+from repro.organization.juneau_graphs import (
+    Notebook,
+    VariableDependencyGraph,
+    WorkflowGraph,
+)
+
+
+@pytest.fixture
+def notebook():
+    nb = Notebook("analysis")
+    nb.add_cell("read_csv", outputs=["raw"])
+    nb.add_cell("dropna", inputs=["raw"], outputs=["clean"])
+    nb.add_cell("read_csv", outputs=["dim"])
+    nb.add_cell("merge", inputs=["clean", "dim"], outputs=["joined"])
+    nb.add_cell("markdown note", is_code=False)
+    return nb
+
+
+class TestWorkflowGraph:
+    def test_bipartite(self, notebook):
+        graph = WorkflowGraph(notebook)
+        assert graph.is_bipartite()
+
+    def test_node_partitions(self, notebook):
+        graph = WorkflowGraph(notebook)
+        assert graph.data_nodes() == ["clean", "dim", "joined", "raw"]
+        assert len(graph.module_nodes()) == 5
+
+    def test_edges_direction(self, notebook):
+        graph = WorkflowGraph(notebook)
+        merge_module = ("module", "analysis#3")
+        assert graph.graph.has_edge(("data", "clean"), merge_module)
+        assert graph.graph.has_edge(merge_module, ("data", "joined"))
+
+
+class TestVariableDependencyGraph:
+    def test_labeled_edges(self, notebook):
+        graph = VariableDependencyGraph(notebook)
+        assert ("clean", "joined", "merge") in graph.edges()
+        assert ("raw", "clean", "dropna") in graph.edges()
+
+    def test_non_code_cells_ignored(self, notebook):
+        graph = VariableDependencyGraph(notebook)
+        assert all("markdown" not in f for _, _, f in graph.edges())
+
+    def test_affecting(self, notebook):
+        graph = VariableDependencyGraph(notebook)
+        assert graph.affecting("joined") == {"raw", "clean", "dim"}
+        assert graph.affecting("raw") == set()
+        assert graph.affecting("ghost") == set()
+
+    def test_affected_by(self, notebook):
+        graph = VariableDependencyGraph(notebook)
+        assert graph.affected_by("raw") == {"clean", "joined"}
+
+    def test_derivation_functions(self, notebook):
+        graph = VariableDependencyGraph(notebook)
+        assert graph.derivation_functions("raw", "joined") == ["dropna", "merge"]
+        assert graph.derivation_functions("joined", "raw") == []
+
+
+class TestProvenanceSimilarity:
+    def test_same_recipe_high_similarity(self):
+        generator = NotebookGenerator()
+        nb1 = generator.generate("clean_join", "nb1")
+        nb2 = generator.generate("clean_join", "nb2")
+        g1, g2 = VariableDependencyGraph(nb1), VariableDependencyGraph(nb2)
+        v1 = generator.final_variable("clean_join", "nb1")
+        v2 = generator.final_variable("clean_join", "nb2")
+        assert g1.provenance_similarity(v1, g2, v2) > 0.9
+        assert g1.shares_workflow(v1, g2, v2)
+
+    def test_different_recipe_low_similarity(self):
+        generator = NotebookGenerator()
+        nb1 = generator.generate("clean_join", "nb1")
+        nb3 = generator.generate("quick_plot", "nb3")
+        g1, g3 = VariableDependencyGraph(nb1), VariableDependencyGraph(nb3)
+        v1 = generator.final_variable("clean_join", "nb1")
+        v3 = generator.final_variable("quick_plot", "nb3")
+        assert g1.provenance_similarity(v1, g3, v3) < 0.5
+        assert not g1.shares_workflow(v1, g3, v3)
+
+    def test_empty_patterns(self):
+        nb = Notebook("empty")
+        graph = VariableDependencyGraph(nb)
+        assert graph.provenance_similarity("x", graph, "y") == 0.0
+
+
+class TestNotebookBinding:
+    def test_bind_table(self, notebook):
+        table = Table.from_columns("t", {"a": [1]})
+        notebook.bind_table("joined", table)
+        assert notebook.tables["joined"] is table

@@ -1,0 +1,163 @@
+"""Tests for KAYAK pipelines and scheduling."""
+
+import pytest
+
+from repro.core.errors import DataLakeError
+from repro.organization.kayak import AtomicTask, Kayak, Primitive
+
+
+def diamond_primitive(name="prep", cost=1.0):
+    """profile -> (joinability, stats) -> summarize."""
+    primitive = Primitive(name)
+    primitive.add_task(AtomicTask("profile", cost=cost))
+    primitive.add_task(AtomicTask("joinability", cost=cost), after=["profile"])
+    primitive.add_task(AtomicTask("stats", cost=cost), after=["profile"])
+    primitive.add_task(AtomicTask("summarize", cost=cost), after=["joinability", "stats"])
+    return primitive
+
+
+class TestPrimitives:
+    def test_task_dag_structure(self):
+        dag = diamond_primitive().task_dag()
+        assert set(dag.nodes) == {"profile", "joinability", "stats", "summarize"}
+        assert dag.has_edge("profile", "joinability")
+
+    def test_cycle_detected(self):
+        primitive = Primitive("bad")
+        primitive.add_task(AtomicTask("a"), after=["b"])
+        primitive.add_task(AtomicTask("b"), after=["a"])
+        with pytest.raises(DataLakeError, match="cyclic"):
+            primitive.task_dag()
+
+    def test_parallelizable_groups(self):
+        kayak = Kayak()
+        kayak.add_primitive(diamond_primitive())
+        groups = kayak.parallelizable_groups("prep")
+        assert groups == [["profile"], ["joinability", "stats"], ["summarize"]]
+
+
+class TestPipeline:
+    def test_pipeline_dag(self):
+        kayak = Kayak()
+        kayak.add_primitive(diamond_primitive("ingest"))
+        kayak.add_primitive(diamond_primitive("prepare"), after=["ingest"])
+        dag = kayak.pipeline_dag()
+        assert list(dag.edges) == [("ingest", "prepare")]
+
+    def test_unknown_dependency_rejected(self):
+        kayak = Kayak()
+        with pytest.raises(DataLakeError):
+            kayak.add_primitive(diamond_primitive("x"), after=["ghost"])
+
+    def test_run_executes_actions_in_order(self):
+        executed = []
+        primitive = Primitive("p")
+        primitive.add_task(AtomicTask("first", action=lambda: executed.append("first") or 1))
+        primitive.add_task(AtomicTask("second", action=lambda: executed.append("second") or 2),
+                           after=["first"])
+        kayak = Kayak()
+        kayak.add_primitive(primitive)
+        results = kayak.run()
+        assert executed == ["first", "second"]
+        assert results == {"p.first": 1, "p.second": 2}
+
+    def test_run_respects_pipeline_order(self):
+        executed = []
+        first = Primitive("first")
+        first.add_task(AtomicTask("t", action=lambda: executed.append("first")))
+        second = Primitive("second")
+        second.add_task(AtomicTask("t", action=lambda: executed.append("second")))
+        kayak = Kayak()
+        kayak.add_primitive(first)
+        kayak.add_primitive(second, after=["first"])
+        kayak.run()
+        assert executed == ["first", "second"]
+
+
+class TestScheduling:
+    def test_parallel_beats_sequential(self):
+        kayak = Kayak(num_workers=2)
+        kayak.add_primitive(diamond_primitive(cost=1.0))
+        sequential = kayak.sequential_makespan()
+        parallel = kayak.parallel_makespan()
+        assert sequential == 4.0
+        assert parallel == 3.0  # joinability & stats run concurrently
+
+    def test_single_worker_equals_sequential(self):
+        kayak = Kayak(num_workers=1)
+        kayak.add_primitive(diamond_primitive(cost=1.0))
+        assert kayak.parallel_makespan() == kayak.sequential_makespan()
+
+    def test_independent_primitives_overlap(self):
+        kayak = Kayak(num_workers=4)
+        kayak.add_primitive(diamond_primitive("a"))
+        kayak.add_primitive(diamond_primitive("b"))
+        assert kayak.parallel_makespan() < kayak.sequential_makespan()
+
+    def test_pipeline_dependency_serializes(self):
+        kayak = Kayak(num_workers=8)
+        kayak.add_primitive(diamond_primitive("a"))
+        kayak.add_primitive(diamond_primitive("b"), after=["a"])
+        # chained diamonds: 3 + 3 critical path
+        assert kayak.parallel_makespan() == 6.0
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            Kayak(num_workers=0)
+
+    def test_empty_pipeline(self):
+        assert Kayak().parallel_makespan() == 0.0
+
+
+class TestJustInTimeBudget:
+    def _jit_primitive(self):
+        primitive = Primitive("profile")
+        primitive.add_task(AtomicTask(
+            "full_profile", cost=10.0, action=lambda: "exact-profile",
+            approximate_action=lambda: "sampled-profile", approximate_cost=2.0,
+        ))
+        primitive.add_task(AtomicTask(
+            "joinability", cost=10.0, action=lambda: "exact-join",
+            approximate_action=lambda: "sketch-join", approximate_cost=3.0,
+        ), after=["full_profile"])
+        primitive.add_task(AtomicTask(
+            "report", cost=1.0, action=lambda: "report",
+        ), after=["joinability"])
+        return primitive
+
+    def test_generous_budget_runs_exact(self):
+        kayak = Kayak()
+        kayak.add_primitive(self._jit_primitive())
+        outcome = kayak.run_within_budget(budget=100.0)
+        assert outcome["exact"] == ["profile.full_profile", "profile.joinability",
+                                    "profile.report"]
+        assert outcome["approximated"] == []
+        assert outcome["results"]["profile.full_profile"] == "exact-profile"
+
+    def test_tight_budget_approximates(self):
+        kayak = Kayak()
+        kayak.add_primitive(self._jit_primitive())
+        outcome = kayak.run_within_budget(budget=6.0)
+        assert "profile.full_profile" in outcome["approximated"]
+        assert outcome["results"]["profile.full_profile"] == "sampled-profile"
+        assert outcome["cost_spent"] <= 6.0
+
+    def test_exhausted_budget_skips_dependents(self):
+        kayak = Kayak()
+        kayak.add_primitive(self._jit_primitive())
+        outcome = kayak.run_within_budget(budget=2.0)
+        assert outcome["approximated"] == ["profile.full_profile"]
+        # joinability cannot fit at all -> skipped, and report depends on it
+        assert "profile.joinability" in outcome["skipped"]
+        assert "profile.report" in outcome["skipped"]
+
+    def test_zero_budget(self):
+        kayak = Kayak()
+        kayak.add_primitive(self._jit_primitive())
+        outcome = kayak.run_within_budget(budget=0.0)
+        assert outcome["exact"] == []
+        assert outcome["cost_spent"] == 0.0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Kayak().run_within_budget(budget=-1.0)

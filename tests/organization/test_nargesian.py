@@ -1,0 +1,105 @@
+"""Tests for the Nargesian et al. organization."""
+
+import pytest
+
+from repro.core.dataset import Table
+from repro.organization.nargesian import Organization, OrganizationBuilder
+
+
+@pytest.fixture
+def tables():
+    colors = Table.from_columns("paints", {
+        "paint_color": ["red", "blue", "green", "black", "white"],
+        "paint_price": [1, 2, 3, 4, 5],
+    })
+    cities = Table.from_columns("trips", {
+        "destination_city": ["berlin", "paris", "london", "rome", "madrid"],
+        "trip_cost": [100, 200, 300, 150, 250],
+    })
+    fruit = Table.from_columns("market", {
+        "fruit_name": ["apple", "banana", "cherry", "mango", "kiwi"],
+    })
+    return [colors, cities, fruit]
+
+
+@pytest.fixture
+def builder():
+    return OrganizationBuilder(branching=2)
+
+
+class TestConstruction:
+    def test_all_attributes_are_leaves(self, builder, tables):
+        organization = builder.build_from_tables(tables)
+        expected = {(t.name, c) for t in tables for c in t.column_names}
+        assert set(organization.attributes()) == expected
+
+    def test_containment_invariant(self, builder, tables):
+        organization = builder.build_from_tables(tables)
+        assert organization.containment_holds()
+
+    def test_flat_baseline_depth_two(self, builder, tables):
+        vectors = builder.attribute_vectors(tables)
+        flat = builder.build_flat(vectors)
+        assert flat.depth() == 2
+        assert set(flat.attributes()) == set(vectors)
+
+    def test_random_baseline_preserves_leaves(self, builder, tables):
+        vectors = builder.attribute_vectors(tables)
+        random_org = builder.build_random(vectors, seed=3)
+        assert set(random_org.attributes()) == set(vectors)
+        assert random_org.containment_holds()
+
+    def test_branching_validated(self):
+        with pytest.raises(ValueError):
+            OrganizationBuilder(branching=1)
+
+
+class TestNavigation:
+    def test_navigate_reaches_semantic_leaf(self, builder, tables):
+        organization = builder.build_from_tables(tables)
+        landed = organization.navigate(builder.embedder.embed("paint color red blue"))
+        assert landed is not None
+
+    def test_discovery_probability_sums_to_one_over_leaves(self, builder, tables):
+        organization = builder.build_from_tables(tables)
+        query = builder.embedder.embed("destination city")
+        total = sum(
+            organization.discovery_probability(query, attribute)
+            for attribute in organization.attributes()
+        )
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_probability_of_absent_attribute_zero(self, builder, tables):
+        organization = builder.build_from_tables(tables)
+        query = builder.embedder.embed("anything")
+        assert organization.discovery_probability(query, ("ghost", "x")) == 0.0
+
+
+class TestOptimizationObjective:
+    def test_optimized_beats_random(self, workload):
+        """The survey's claim: the organization maximizes find probability.
+
+        Queries are *noisy* topic vectors (attribute name + 3 sample
+        values), not the exact leaf representations — the realistic setting
+        where structure matters.
+        """
+        builder = OrganizationBuilder(branching=3)
+        vectors = builder.attribute_vectors(workload.tables)
+        queries = {}
+        for table in workload.tables:
+            for column in table.columns:
+                sample = sorted(column.distinct())[:3]
+                queries[(table.name, column.name)] = builder.embedder.embed_set(
+                    [column.name] + [str(v) for v in sample]
+                )
+        optimized = builder.build(vectors)
+        random_scores = [
+            builder.build_random(vectors, seed=seed).expected_discovery_probability(queries)
+            for seed in range(3)
+        ]
+        optimized_score = optimized.expected_discovery_probability(queries)
+        assert optimized_score > max(random_scores)
+
+    def test_expected_probability_empty(self, builder, tables):
+        organization = builder.build_from_tables(tables)
+        assert organization.expected_discovery_probability({}) == 0.0

@@ -1,0 +1,53 @@
+"""Tests for RONIN combined exploration."""
+
+import pytest
+
+from repro.core.dataset import Table
+from repro.organization.ronin import Ronin
+
+
+@pytest.fixture
+def ronin(customers, orders, products):
+    ronin = Ronin(branching=2)
+    ronin.add_table(customers, description="customer master records")
+    ronin.add_table(orders, description="order transactions")
+    ronin.add_table(products, description="product colors and prices")
+    return ronin
+
+
+class TestComponents:
+    def test_keyword_search(self, ronin):
+        hits = ronin.keyword_search("customer")
+        assert hits[0][0] in ("customers", "orders")
+
+    def test_keyword_search_uses_description(self, ronin):
+        assert ronin.keyword_search("colors")[0][0] == "products"
+
+    def test_joinable_search(self, ronin):
+        hits = ronin.joinable_search("orders", "customer_id", k=3)
+        assert hits[0][0] == ("customers", "customer_id")
+
+    def test_navigation_lands_somewhere(self, ronin):
+        landed = ronin.navigate("product color")
+        assert landed is not None
+
+    def test_organization_covers_all_attributes(self, ronin, customers, orders, products):
+        expected = {
+            (t.name, c) for t in (customers, orders, products) for c in t.column_names
+        }
+        assert set(ronin.organization.attributes()) == expected
+
+    def test_organization_rebuilt_after_add(self, ronin):
+        before = len(ronin.organization.attributes())
+        ronin.add_table(Table.from_columns("extra", {"x": [1, 2]}))
+        assert len(ronin.organization.attributes()) == before + 1
+
+
+class TestCombinedExploration:
+    def test_explore_returns_ranked_tables(self, ronin):
+        result = ronin.explore("customer orders", k=3)
+        assert result
+        assert "orders" in result or "customers" in result
+
+    def test_explore_k_bound(self, ronin):
+        assert len(ronin.explore("customer", k=1)) <= 1

@@ -1,0 +1,52 @@
+"""Tests for the provenance event recorder."""
+
+import pytest
+
+from repro.provenance.events import ProvenanceRecorder
+
+
+@pytest.fixture
+def recorder():
+    recorder = ProvenanceRecorder()
+    recorder.record_ingest("raw_sales", source="s3://bucket/sales.csv")
+    recorder.record_transform(["raw_sales"], "clean_sales", "dropna", actor="etl")
+    recorder.record_transform(["clean_sales", "regions"], "report", "join", actor="etl")
+    recorder.record_query(["report"], actor="ann", query="SELECT *")
+    return recorder
+
+
+class TestCapture:
+    def test_event_count(self, recorder):
+        assert len(recorder) == 4
+
+    def test_timestamps_monotonic(self, recorder):
+        stamps = [e.timestamp for e in recorder.events()]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == len(stamps)
+
+    def test_activity_filter(self, recorder):
+        assert len(recorder.events("transform")) == 2
+        assert len(recorder.events("query")) == 1
+
+    def test_custom_event(self, recorder):
+        event = recorder.record("compact", system="lakehouse", files=3)
+        assert event.details == {"files": 3}
+
+
+class TestQueries:
+    def test_events_about(self, recorder):
+        activities = [e.activity for e in recorder.events_about("clean_sales")]
+        assert activities == ["transform", "transform"]
+
+    def test_origin_of_transitive(self, recorder):
+        assert recorder.origin_of("report") == ["regions", "s3://bucket/sales.csv"]
+
+    def test_origin_of_source(self, recorder):
+        assert recorder.origin_of("raw_sales") == ["s3://bucket/sales.csv"]
+
+    def test_usage_of(self, recorder):
+        assert ("ann", "query") in recorder.usage_of("report")
+        assert recorder.usage_of("report") == [("ann", "query")]
+
+    def test_usage_of_untouched(self, recorder):
+        assert recorder.usage_of("nothing") == []

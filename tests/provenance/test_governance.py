@@ -1,0 +1,75 @@
+"""Tests for the IBM governance tool."""
+
+import pytest
+
+from repro.core.errors import DataLakeError
+from repro.provenance.governance import GovernanceTool
+
+
+@pytest.fixture
+def tool():
+    return GovernanceTool()
+
+
+class TestRequests:
+    def test_file_ingestion_request(self, tool):
+        request = tool.request_ingestion("ann", "s3://raw/sales", "Q3 analysis")
+        assert request.status == "pending"
+        assert request in tool.pending()
+
+    def test_file_usage_request(self, tool):
+        request = tool.request_usage("bob", "customers")
+        assert request.kind == "use"
+
+    def test_requests_for_target(self, tool):
+        tool.request_usage("ann", "customers")
+        tool.request_usage("bob", "customers")
+        assert len(tool.requests_for("customers")) == 2
+
+
+class TestDecisions:
+    def test_approve(self, tool):
+        request = tool.request_usage("ann", "customers")
+        decided = tool.approve(request.request_id, steward="dpo", rationale="ok")
+        assert decided.status == "approved"
+        assert decided.decided_by == "dpo"
+        assert tool.pending() == []
+
+    def test_reject(self, tool):
+        request = tool.request_ingestion("ann", "s3://pii-dump")
+        tool.reject(request.request_id, steward="dpo", rationale="PII risk")
+        assert tool.requests_for("s3://pii-dump")[0].status == "rejected"
+
+    def test_double_decision_rejected(self, tool):
+        request = tool.request_usage("ann", "customers")
+        tool.approve(request.request_id, "dpo")
+        with pytest.raises(DataLakeError):
+            tool.reject(request.request_id, "dpo")
+
+    def test_unknown_request(self, tool):
+        with pytest.raises(DataLakeError):
+            tool.approve(999, "dpo")
+
+
+class TestEnforcement:
+    def test_can_use_requires_approval(self, tool):
+        request = tool.request_usage("ann", "customers")
+        assert not tool.can_use("ann", "customers")
+        tool.approve(request.request_id, "dpo")
+        assert tool.can_use("ann", "customers")
+        assert not tool.can_use("bob", "customers")
+
+    def test_can_ingest(self, tool):
+        request = tool.request_ingestion("ann", "s3://raw")
+        tool.approve(request.request_id, "dpo")
+        assert tool.can_ingest("ann", "s3://raw")
+        assert not tool.can_use("ann", "s3://raw")  # kinds are distinct
+
+
+class TestProvenanceTrail:
+    def test_decisions_are_provenanced(self, tool):
+        request = tool.request_usage("ann", "customers")
+        tool.approve(request.request_id, "dpo")
+        activities = [e.activity for e in tool.recorder.events()]
+        assert "governance:use-requested" in activities
+        assert "governance:approved" in activities

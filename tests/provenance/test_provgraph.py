@@ -1,0 +1,56 @@
+"""Tests for GOODS-style provenance graphs."""
+
+import pytest
+
+from repro.provenance.events import ProvenanceRecorder
+from repro.provenance.provgraph import ProvenanceGraph
+
+
+@pytest.fixture
+def graph():
+    recorder = ProvenanceRecorder()
+    recorder.record_ingest("raw", source="upstream")
+    recorder.record_transform(["raw"], "clean", "dropna")
+    recorder.record_transform(["clean"], "features", "encode")
+    recorder.record_transform(["raw"], "audit_copy", "copy")
+    return ProvenanceGraph(recorder)
+
+
+class TestTriples:
+    def test_export_shape(self, graph):
+        triples = graph.triples()
+        assert all(len(t) == 3 for t in triples)
+        predicates = {p for _, p, _ in triples}
+        assert predicates == {"read_by", "produced"}
+
+    def test_specific_triple(self, graph):
+        assert ("data:raw", "read_by", "event:2") in graph.triples()
+
+
+class TestPathQueries:
+    def test_derived_from(self, graph):
+        assert graph.derived_from("features", "raw")
+        assert graph.derived_from("clean", "raw")
+        assert not graph.derived_from("raw", "features")
+        assert not graph.derived_from("ghost", "raw")
+
+    def test_derivation_path(self, graph):
+        path = graph.derivation_path("features", "raw")
+        assert path == ["raw", "[transform]", "clean", "[transform]", "features"]
+
+    def test_no_path(self, graph):
+        assert graph.derivation_path("audit_copy", "features") == []
+
+    def test_descendants(self, graph):
+        assert graph.descendants("raw") == {"clean", "features", "audit_copy"}
+        assert graph.descendants("features") == set()
+
+    def test_ancestors(self, graph):
+        assert graph.ancestors("features") == {"raw", "clean", "upstream"}
+
+
+class TestRendering:
+    def test_render_mentions_everything(self, graph):
+        rendered = graph.render()
+        assert "raw --read_by--> [transform]" in rendered
+        assert "[transform] --produced--> clean" in rendered

@@ -1,0 +1,71 @@
+"""Tests for CoreDB temporal provenance."""
+
+import pytest
+
+from repro.provenance.temporal import TemporalProvenance
+
+
+@pytest.fixture
+def provenance():
+    tp = TemporalProvenance()
+    tp.touch("etl", "create", "customers", state={"rows": 10}, timestamp=1)
+    tp.touch("ann", "query", "customers", timestamp=2)
+    tp.touch("etl", "update", "customers", state={"rows": 20}, timestamp=3)
+    tp.touch("bob", "read", "customers", timestamp=4)
+    tp.touch("ann", "query", "orders", timestamp=5)
+    return tp
+
+
+class TestWhoQueried:
+    def test_all_time(self, provenance):
+        assert provenance.who_queried("customers") == ["ann", "bob"]
+
+    def test_interval(self, provenance):
+        assert provenance.who_queried("customers", since=3) == ["bob"]
+        assert provenance.who_queried("customers", until=2) == ["ann"]
+
+    def test_updates_not_counted_as_queries(self, provenance):
+        assert "etl" not in provenance.who_queried("customers")
+
+
+class TestStateAt:
+    def test_versioned_states(self, provenance):
+        assert provenance.state_at("customers", 1) == {"rows": 10}
+        assert provenance.state_at("customers", 2) == {"rows": 10}
+        assert provenance.state_at("customers", 3) == {"rows": 20}
+
+    def test_before_creation(self, provenance):
+        assert provenance.state_at("customers", 0) is None
+
+    def test_unknown_entity(self, provenance):
+        assert provenance.state_at("ghost", 99) is None
+
+
+class TestTimeline:
+    def test_ordered(self, provenance):
+        timeline = provenance.timeline("customers")
+        assert [a.action for a in timeline] == ["create", "query", "update", "read"]
+
+
+class TestDag:
+    def test_dag_is_acyclic_with_version_chain(self, provenance):
+        dag = provenance.dag()
+        assert dag.has_edge("customers@1", "customers@3")
+        version_nodes = [n for n, d in dag.nodes(data=True) if d["kind"] == "version"]
+        assert len(version_nodes) == 2
+
+    def test_activities_attach_to_current_version(self, provenance):
+        dag = provenance.dag()
+        # bob's read (t=4) attaches to the t=3 version
+        read_nodes = [
+            n for n, d in dag.nodes(data=True)
+            if d["kind"] == "activity" and d.get("actor") == "bob"
+        ]
+        (read_node,) = read_nodes
+        assert dag.has_edge(read_node, "customers@3")
+
+    def test_auto_timestamps(self):
+        tp = TemporalProvenance()
+        first = tp.touch("x", "create", "e", state={})
+        second = tp.touch("x", "read", "e")
+        assert second.timestamp > first.timestamp

@@ -1,0 +1,99 @@
+"""Tests for the document store."""
+
+import pytest
+
+from repro.core.errors import DatasetNotFound, QueryError
+from repro.storage.document import DocumentStore, get_path, iter_paths
+
+
+@pytest.fixture
+def store():
+    store = DocumentStore()
+    store.insert_many("users", [
+        {"name": "ann", "age": 34, "address": {"city": "berlin", "zip": "10115"}},
+        {"name": "bob", "age": 28, "address": {"city": "paris"}},
+        {"name": "cid", "age": 45, "tags": ["admin", "ops"]},
+    ])
+    return store
+
+
+class TestPathHelpers:
+    def test_get_path_nested(self):
+        assert get_path({"a": {"b": {"c": 1}}}, "a.b.c") == 1
+
+    def test_get_path_missing(self):
+        assert get_path({"a": 1}, "a.b") is None
+
+    def test_get_path_list_index(self):
+        assert get_path({"orders": [{"total": 5}]}, "orders.0.total") == 5
+
+    def test_iter_paths(self):
+        paths = dict(iter_paths({"a": 1, "b": {"c": 2}}))
+        assert paths == {"a": 1, "b.c": 2}
+
+    def test_iter_paths_flattens_lists(self):
+        paths = list(iter_paths({"tags": ["x", "y"]}))
+        assert paths == [("tags", "x"), ("tags", "y")]
+
+
+class TestCrud:
+    def test_insert_assigns_ids(self, store):
+        doc_id = store.insert("users", {"name": "dan"})
+        assert store.get("users", doc_id)["name"] == "dan"
+
+    def test_delete(self, store):
+        doc_id = store.insert("users", {"name": "tmp"})
+        store.delete("users", doc_id)
+        with pytest.raises(DatasetNotFound):
+            store.get("users", doc_id)
+
+    def test_missing_collection(self, store):
+        with pytest.raises(DatasetNotFound):
+            store.find("nope")
+
+    def test_get_returns_copy(self, store):
+        doc_id = store.insert("users", {"name": "x"})
+        fetched = store.get("users", doc_id)
+        fetched["name"] = "mutated"
+        assert store.get("users", doc_id)["name"] == "x"
+
+
+class TestFind:
+    def test_equality(self, store):
+        assert len(store.find("users", {"name": "ann"})) == 1
+
+    def test_nested_path(self, store):
+        found = store.find("users", {"address.city": "berlin"})
+        assert found[0]["name"] == "ann"
+
+    def test_operators(self, store):
+        assert len(store.find("users", {"age": {"$gte": 30}})) == 2
+        assert len(store.find("users", {"age": {"$lt": 30}})) == 1
+        assert len(store.find("users", {"name": {"$in": ["ann", "bob"]}})) == 2
+        assert len(store.find("users", {"address.zip": {"$exists": True}})) == 1
+        assert len(store.find("users", {"name": {"$contains": "AN"}})) == 1
+
+    def test_conjunction(self, store):
+        found = store.find("users", {"age": {"$gt": 20}, "address.city": "paris"})
+        assert [d["name"] for d in found] == ["bob"]
+
+    def test_unknown_operator(self, store):
+        with pytest.raises(QueryError):
+            store.find("users", {"age": {"$regex": ".*"}})
+
+    def test_limit(self, store):
+        assert len(store.find("users", limit=2)) == 2
+
+    def test_count(self, store):
+        assert store.count("users") == 3
+        assert store.count("users", {"age": {"$gt": 100}}) == 0
+
+
+class TestPathStatistics:
+    def test_counts_per_path(self, store):
+        stats = store.path_statistics("users")
+        assert stats["name"] == 3
+        assert stats["address.city"] == 2
+        assert stats["address.zip"] == 1
+        assert stats["tags"] == 1
+        assert "_id" not in stats

@@ -1,0 +1,133 @@
+"""Tests for format codecs and format detection."""
+
+import pytest
+
+from repro.core.dataset import Table
+from repro.core.errors import FormatError
+from repro.storage.formats import CODECS, decode, detect_format, encode
+
+
+@pytest.fixture
+def table():
+    return Table.from_columns("t", {
+        "id": [1, 2, 3],
+        "name": ["alpha", "beta", None],
+        "score": [1.5, 2.5, 3.5],
+    })
+
+
+class TestCsv:
+    def test_roundtrip(self, table):
+        again = decode(encode(table, "csv"), "csv")
+        assert again.column_names == table.column_names
+        assert len(again) == 3
+
+    def test_tsv_roundtrip(self, table):
+        again = decode(encode(table, "tsv"), "tsv")
+        assert again["name"].values[0] == "alpha"
+
+    def test_rejects_non_table(self):
+        with pytest.raises(FormatError):
+            encode([{"a": 1}], "csv")
+
+
+class TestJson:
+    def test_roundtrip_documents(self):
+        docs = [{"a": 1, "nested": {"b": [1, 2]}}]
+        assert decode(encode(docs, "json"), "json") == docs
+
+    def test_table_encodes_as_records(self, table):
+        decoded = decode(encode(table, "json"), "json")
+        assert decoded[0]["id"] == 1
+
+    def test_invalid_json(self):
+        with pytest.raises(FormatError):
+            decode(b"{broken", "json")
+
+    def test_jsonl_roundtrip(self):
+        docs = [{"a": 1}, {"a": 2}]
+        assert decode(encode(docs, "jsonl"), "jsonl") == docs
+
+    def test_jsonl_reports_bad_line(self):
+        with pytest.raises(FormatError, match="line 2"):
+            decode(b'{"a": 1}\nnot json\n', "jsonl")
+
+
+class TestXml:
+    def test_roundtrip_dict(self):
+        doc = {"person": {"name": "ann", "age": "30"}}
+        assert decode(encode(doc, "xml"), "xml") == doc
+
+    def test_repeated_elements_become_lists(self):
+        data = b"<root><item>a</item><item>b</item></root>"
+        assert decode(data, "xml") == {"item": ["a", "b"]}
+
+    def test_invalid_xml(self):
+        with pytest.raises(FormatError):
+            decode(b"<open>", "xml")
+
+
+class TestBinaryFormats:
+    def test_columnar_roundtrip_exact(self, table):
+        again = decode(encode(table, "columnar"), "columnar")
+        assert again == table
+        assert again["name"].values[2] is None
+
+    def test_columnar_dictionary_efficiency(self):
+        repeated = Table.from_columns("t", {"status": ["active"] * 1000})
+        varied = Table.from_columns("t", {"status": [f"v{i}" for i in range(1000)]})
+        assert len(encode(repeated, "columnar")) < len(encode(varied, "columnar")) / 2
+
+    def test_rowbin_roundtrip(self, table):
+        again = decode(encode(table, "rowbin"), "rowbin")
+        assert list(again.rows()) == list(table.rows())
+        assert again.name == "t"
+
+    def test_bad_magic(self):
+        with pytest.raises(FormatError, match="magic"):
+            decode(b"XXXXgarbage", "columnar")
+
+
+class TestText:
+    def test_roundtrip(self):
+        assert decode(encode("hello\nworld", "text"), "text") == "hello\nworld"
+
+    def test_unknown_format(self):
+        with pytest.raises(FormatError, match="unknown format"):
+            encode("x", "parquet")
+
+
+class TestDetectFormat:
+    def test_csv(self, table):
+        assert detect_format(table.to_csv().encode(), "data.csv") == "csv"
+
+    def test_csv_without_extension(self, table):
+        assert detect_format(table.to_csv().encode()) == "csv"
+
+    def test_tsv(self, table):
+        assert detect_format(encode(table, "tsv"), "data.tsv") == "tsv"
+
+    def test_json(self):
+        assert detect_format(b'{"a": 1}') == "json"
+
+    def test_jsonl(self):
+        assert detect_format(b'{"a": 1}\n{"a": 2}\n', "x.jsonl") == "jsonl"
+
+    def test_xml(self):
+        assert detect_format(b"<root><a>1</a></root>") == "xml"
+
+    def test_binary_magics(self, table):
+        assert detect_format(encode(table, "columnar")) == "columnar"
+        assert detect_format(encode(table, "rowbin")) == "rowbin"
+
+    def test_free_text(self):
+        assert detect_format(b"just a single line of text") == "text"
+
+    def test_undecodable_binary(self):
+        with pytest.raises(FormatError):
+            detect_format(bytes([0xFF, 0xFE, 0x00, 0x99]))
+
+    def test_every_codec_is_reachable(self):
+        assert set(CODECS) == {
+            "csv", "tsv", "json", "jsonl", "xml", "columnar", "rowbin", "text",
+        }

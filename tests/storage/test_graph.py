@@ -1,0 +1,86 @@
+"""Tests for the property-graph store."""
+
+import pytest
+
+from repro.core.errors import DatasetNotFound
+from repro.storage.graph import GraphStore
+
+
+@pytest.fixture
+def graph():
+    g = GraphStore()
+    g.ann = g.add_node("person", name="ann")
+    g.bob = g.add_node("person", name="bob")
+    g.acme = g.add_node("company", name="acme")
+    g.add_edge(g.ann, g.bob, "knows", since=2020)
+    g.add_edge(g.ann, g.acme, "works_at")
+    g.add_edge(g.bob, g.acme, "works_at")
+    return g
+
+
+class TestNodes:
+    def test_add_and_fetch(self, graph):
+        node = graph.node(graph.ann)
+        assert node.label == "person"
+        assert node.properties["name"] == "ann"
+
+    def test_nodes_by_label(self, graph):
+        assert len(graph.nodes("person")) == 2
+        assert len(graph.nodes()) == 3
+
+    def test_set_property(self, graph):
+        graph.set_property(graph.ann, "age", 30)
+        assert graph.node(graph.ann).properties["age"] == 30
+
+    def test_remove_node(self, graph):
+        graph.remove_node(graph.bob)
+        assert len(graph) == 2
+        with pytest.raises(DatasetNotFound):
+            graph.node(graph.bob)
+
+    def test_missing_node(self, graph):
+        with pytest.raises(DatasetNotFound):
+            graph.node(999)
+
+
+class TestEdges:
+    def test_edge_requires_endpoints(self, graph):
+        with pytest.raises(DatasetNotFound):
+            graph.add_edge(graph.ann, 999, "knows")
+
+    def test_edges_by_type(self, graph):
+        assert len(graph.edges("works_at")) == 2
+        assert len(graph.edges()) == 3
+
+    def test_edge_properties(self, graph):
+        edge = graph.edges("knows")[0]
+        assert edge.properties["since"] == 2020
+
+
+class TestTraversal:
+    def test_neighbors_out(self, graph):
+        assert graph.neighbors(graph.ann, direction="out") == sorted([graph.bob, graph.acme])
+
+    def test_neighbors_in(self, graph):
+        assert graph.neighbors(graph.acme, direction="in") == sorted([graph.ann, graph.bob])
+
+    def test_neighbors_filtered_by_type(self, graph):
+        assert graph.neighbors(graph.ann, edge_type="works_at") == [graph.acme]
+
+    def test_match(self, graph):
+        hits = graph.match("person", {"name": "bob"})
+        assert [n.node_id for n in hits] == [graph.bob]
+
+    def test_find_path(self, graph):
+        assert graph.find_path(graph.ann, graph.acme) is not None
+        assert graph.find_path(graph.acme, graph.ann) is None  # directed
+
+    def test_subgraph_nodes(self, graph):
+        reachable = graph.subgraph_nodes(graph.ann, depth=1)
+        assert reachable == {graph.ann, graph.bob, graph.acme}
+        assert graph.subgraph_nodes(graph.ann, depth=0) == {graph.ann}
+
+    def test_to_networkx_is_copy(self, graph):
+        nxg = graph.to_networkx()
+        nxg.remove_node(graph.ann)
+        assert graph.node(graph.ann)  # original untouched

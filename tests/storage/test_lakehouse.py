@@ -1,0 +1,105 @@
+"""Tests for the lakehouse transaction log (ACID, time travel, OCC)."""
+
+import threading
+
+import pytest
+
+from repro.core.errors import StorageError, TransactionConflict
+from repro.storage.lakehouse import LakehouseTable
+
+
+@pytest.fixture
+def table():
+    return LakehouseTable("events")
+
+
+class TestAppend:
+    def test_append_accumulates(self, table):
+        table.append([{"id": 1}, {"id": 2}])
+        table.append([{"id": 3}])
+        assert table.row_count() == 3
+        assert table.version == 2
+
+    def test_schema_union_across_files(self, table):
+        table.append([{"a": 1}])
+        table.append([{"b": 2}])
+        snapshot = table.snapshot()
+        assert set(snapshot.column_names) == {"a", "b"}
+
+    def test_empty_table(self, table):
+        assert table.row_count() == 0
+        assert table.version == 0
+
+
+class TestTimeTravel:
+    def test_snapshot_at_version(self, table):
+        table.append([{"id": 1}])
+        table.append([{"id": 2}])
+        assert table.row_count(0) == 0
+        assert table.row_count(1) == 1
+        assert table.row_count(2) == 2
+
+    def test_old_snapshots_immutable_after_overwrite(self, table):
+        table.append([{"id": 1}, {"id": 2}])
+        table.overwrite([{"id": 99}])
+        assert table.row_count(1) == 2
+        assert sorted(r["id"] for r in table.snapshot(1).rows()) == [1, 2]
+        assert table.snapshot()["id"].values == [99]
+
+    def test_unknown_version(self, table):
+        with pytest.raises(StorageError):
+            table.snapshot(5)
+
+
+class TestDelete:
+    def test_delete_where_rewrites(self, table):
+        table.append([{"id": 1}, {"id": 2}, {"id": 3}])
+        table.delete_where(lambda row: row["id"] == 2)
+        assert sorted(r["id"] for r in table.snapshot().rows()) == [1, 3]
+        # the pre-delete snapshot still has all rows
+        assert table.row_count(1) == 3
+
+
+class TestOptimisticConcurrency:
+    def test_conflict_detected(self, table):
+        version = table.version
+        table.append([{"id": 1}], expected_version=version)
+        with pytest.raises(TransactionConflict):
+            table.append([{"id": 2}], expected_version=version)
+
+    def test_retry_succeeds(self, table):
+        version = table.version
+        table.append([{"id": 1}], expected_version=version)
+        table.append([{"id": 2}], expected_version=table.version)
+        assert table.row_count() == 2
+
+    def test_concurrent_appends_all_land(self, table):
+        """Unconditional appends from threads serialize through the lock."""
+        errors = []
+
+        def writer(start):
+            try:
+                for i in range(10):
+                    table.append([{"id": start + i}])
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(k * 100,)) for k in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert table.row_count() == 40
+        assert table.version == 40
+
+
+class TestHistory:
+    def test_history_newest_first(self, table):
+        table.append([{"id": 1}])
+        table.overwrite([{"id": 2}], metadata={"reason": "compaction"})
+        history = table.history()
+        assert [h["version"] for h in history] == [2, 1]
+        assert history[0]["operation"] == "overwrite"
+        assert history[0]["metadata"]["reason"] == "compaction"
+        assert history[1]["rows_added"] == 1

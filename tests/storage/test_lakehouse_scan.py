@@ -1,0 +1,61 @@
+"""Tests for lakehouse data skipping (Hyperspace-style indexed scans)."""
+
+import pytest
+
+from repro.storage.lakehouse import LakehouseTable
+
+
+@pytest.fixture
+def table():
+    """Three files with disjoint value ranges: [0..9], [100..109], [200..209]."""
+    table = LakehouseTable("events")
+    for base in (0, 100, 200):
+        table.append([{"v": base + i, "tag": f"t{base + i}"} for i in range(10)])
+    return table
+
+
+class TestDataSkipping:
+    def test_equality_reads_one_file(self, table):
+        result = table.scan("v", "=", 105)
+        assert len(result) == 1
+        assert result["v"].values == [105]
+        assert table.files_read == 1
+        assert table.files_skipped == 2
+
+    def test_range_skips_excluded_files(self, table):
+        result = table.scan("v", ">", 150)
+        assert sorted(result["v"].values) == list(range(200, 210))
+        assert table.files_read == 1
+        assert table.files_skipped == 2
+
+    def test_less_equal_boundary(self, table):
+        result = table.scan("v", "<=", 100)
+        assert len(result) == 11  # all of file 1 plus v=100
+        assert table.files_skipped == 1  # only the [200..209] file skipped
+
+    def test_not_equal_never_skips(self, table):
+        result = table.scan("v", "!=", 105)
+        assert len(result) == 29
+        assert table.files_skipped == 0
+
+    def test_no_match_anywhere(self, table):
+        result = table.scan("v", "=", 5000)
+        assert len(result) == 0
+        assert table.files_read == 0
+
+    def test_scan_respects_time_travel(self, table):
+        result = table.scan("v", ">=", 0, version=1)
+        assert len(result) == 10
+
+    def test_results_match_snapshot_filter(self, table):
+        scanned = sorted(table.scan("v", ">", 50)["v"].values)
+        filtered = sorted(
+            row["v"] for row in table.snapshot().rows() if row["v"] > 50
+        )
+        assert scanned == filtered
+
+    def test_non_numeric_column_not_skipped(self, table):
+        """Columns without numeric stats always read (correctness first)."""
+        result = table.scan("tag", "=", "t5")
+        assert len(result) == 1
+        assert table.files_read == 3

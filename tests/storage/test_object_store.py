@@ -1,0 +1,105 @@
+"""Tests for the versioned object store."""
+
+import pytest
+
+from repro.core.dataset import Table
+from repro.core.errors import DatasetNotFound
+from repro.storage.object_store import ObjectStore
+
+
+@pytest.fixture
+def store():
+    return ObjectStore()
+
+
+class TestBuckets:
+    def test_create_idempotent(self, store):
+        store.create_bucket("raw")
+        store.create_bucket("raw")
+        assert store.buckets() == ["raw"]
+
+    def test_missing_bucket(self, store):
+        with pytest.raises(DatasetNotFound):
+            store.keys("nope")
+
+
+class TestPutGet:
+    def test_roundtrip_bytes(self, store):
+        store.put_bytes("b", "k", b"payload", format="text")
+        assert store.get("b", "k").data == b"payload"
+
+    def test_format_detection_on_put(self, store):
+        obj = store.put_bytes("b", "data.csv", b"a,b\n1,2\n")
+        assert obj.format == "csv"
+
+    def test_payload_decodes(self, store):
+        table = Table.from_columns("t", {"a": [1, 2]})
+        store.put("b", "t", table, format="columnar")
+        assert store.get("b", "t").payload() == table
+
+    def test_missing_object(self, store):
+        store.create_bucket("b")
+        with pytest.raises(DatasetNotFound):
+            store.get("b", "nope")
+
+    def test_content_hash_stable(self, store):
+        left = store.put_bytes("b", "x", b"same", format="text")
+        right = store.put_bytes("b", "y", b"same", format="text")
+        assert left.content_hash == right.content_hash
+
+
+class TestVersioning:
+    def test_puts_append_versions(self, store):
+        store.put_bytes("b", "k", b"v1", format="text")
+        store.put_bytes("b", "k", b"v2", format="text")
+        assert store.get("b", "k").data == b"v2"
+        assert store.get("b", "k", version=1).data == b"v1"
+        assert len(store.versions("b", "k")) == 2
+
+    def test_unknown_version(self, store):
+        store.put_bytes("b", "k", b"v1", format="text")
+        with pytest.raises(DatasetNotFound):
+            store.get("b", "k", version=9)
+
+    def test_delete_removes_all_versions(self, store):
+        store.put_bytes("b", "k", b"v1", format="text")
+        store.delete("b", "k")
+        assert not store.exists("b", "k")
+        with pytest.raises(DatasetNotFound):
+            store.delete("b", "k")
+
+
+class TestListing:
+    def test_keys_prefix(self, store):
+        store.put_bytes("b", "logs/a", b"1", format="text")
+        store.put_bytes("b", "logs/b", b"2", format="text")
+        store.put_bytes("b", "data/c", b"3", format="text")
+        assert store.keys("b", prefix="logs/") == ["logs/a", "logs/b"]
+
+    def test_objects_iterates_latest(self, store):
+        store.put_bytes("b", "k", b"v1", format="text")
+        store.put_bytes("b", "k", b"v2", format="text")
+        objects = list(store.objects())
+        assert len(objects) == 1
+        assert objects[0].version == 2
+
+    def test_duplicates(self, store):
+        store.put_bytes("b", "x", b"same", format="text")
+        store.put_bytes("b", "y", b"same", format="text")
+        store.put_bytes("b", "z", b"different", format="text")
+        groups = store.duplicates()
+        assert [("b", "x"), ("b", "y")] in [sorted(g) for g in groups]
+
+    def test_total_bytes(self, store):
+        store.put_bytes("b", "x", b"12345", format="text")
+        assert store.total_bytes() == 5
+
+
+class TestPersistence:
+    def test_survives_reload(self, tmp_path):
+        store = ObjectStore(root=tmp_path)
+        store.put_bytes("b", "k", b"v1", format="text", metadata={"owner": "ann"})
+        store.put_bytes("b", "k", b"v2", format="text")
+        reloaded = ObjectStore(root=tmp_path)
+        assert reloaded.get("b", "k").data == b"v2"
+        assert reloaded.get("b", "k", version=1).metadata == {"owner": "ann"}

@@ -1,0 +1,76 @@
+"""Tests for the personal data lake."""
+
+import pytest
+
+from repro.core.errors import DatasetNotFound
+from repro.storage.personal import PersonalDataLake
+
+
+@pytest.fixture
+def lake():
+    lake = PersonalDataLake()
+    lake.email = lake.ingest(
+        {"from": "travel@airline.com", "subject": "Your flight to Rome"},
+        source="mail", kind="semi-structured", tags=["travel", "rome"],
+    )
+    lake.photo = lake.ingest(
+        "IMG_2041.jpg binary-ref", source="phone", kind="unstructured",
+        tags=["travel", "photo"],
+    )
+    lake.contact = lake.ingest(
+        {"name": "Hotel Roma", "tel": "+39-06-123"},
+        source="addressbook", kind="structured", tags=["rome"],
+    )
+    return lake
+
+
+class TestFourCategories:
+    def test_raw_roundtrip(self, lake):
+        assert lake.raw(lake.email.fragment_id)["subject"] == "Your flight to Rome"
+        assert lake.raw(lake.photo.fragment_id) == "IMG_2041.jpg binary-ref"
+
+    def test_metadata(self, lake):
+        metadata = lake.metadata(lake.email.fragment_id)
+        assert metadata["source"] == "mail"
+        assert metadata["kind"] == "semi-structured"
+        assert metadata["size"] > 0
+
+    def test_semantics(self, lake):
+        assert lake.semantics(lake.email.fragment_id) == ("rome", "travel")
+
+    def test_identifier_dedup(self, lake):
+        again = lake.ingest(
+            {"from": "travel@airline.com", "subject": "Your flight to Rome"},
+            source="mail", kind="semi-structured", tags=["travel", "rome"],
+        )
+        assert again.fragment_id == lake.email.fragment_id
+        assert len(lake.fragments()) == 3
+
+    def test_unknown_fragment(self, lake):
+        with pytest.raises(DatasetNotFound):
+            lake.raw("nope")
+
+
+class TestGravity:
+    def test_shared_tags_link_fragments(self, lake):
+        related = lake.related(lake.email.fragment_id)
+        assert lake.photo.fragment_id in related   # shares 'travel'
+        assert lake.contact.fragment_id in related  # shares 'rome'
+
+    def test_unrelated_fragments_not_linked(self, lake):
+        note = lake.ingest("groceries list", source="notes", kind="unstructured",
+                           tags=["shopping"])
+        assert lake.related(note.fragment_id) == []
+
+    def test_add_tag_creates_gravity(self, lake):
+        note = lake.ingest("packing list", source="notes", kind="unstructured",
+                           tags=[])
+        lake.add_tag(note.fragment_id, "travel")
+        assert lake.email.fragment_id in lake.related(note.fragment_id)
+        assert "travel" in lake.semantics(note.fragment_id)
+
+    def test_search_tags(self, lake):
+        found = lake.search_tags("rome travel")
+        assert set(found) == {
+            lake.email.fragment_id, lake.photo.fragment_id, lake.contact.fragment_id,
+        }

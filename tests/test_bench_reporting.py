@@ -1,0 +1,32 @@
+"""Tests for the benchmark reporting helpers."""
+
+from repro.bench.reporting import render_table, report_experiment
+
+
+class TestRenderTable:
+    def test_contains_title_and_rows(self):
+        rendered = render_table("My Table", ["a", "b"], [[1, "x"], [2, "y"]])
+        assert "=== My Table ===" in rendered
+        assert "1" in rendered and "y" in rendered
+
+    def test_columns_aligned(self):
+        rendered = render_table("T", ["col", "value"], [["a", 1], ["longer", 22]])
+        lines = [l for l in rendered.splitlines() if "|" in l and "-" not in l]
+        pipes = {line.index("|") for line in lines}
+        assert len(pipes) == 1  # same pipe position on every row
+
+    def test_long_cells_clipped(self):
+        rendered = render_table("T", ["c"], [["x" * 500]], max_cell=10)
+        assert "x" * 11 not in rendered
+        assert "…" in rendered
+
+    def test_empty_rows(self):
+        rendered = render_table("T", ["a"], [])
+        assert "=== T ===" in rendered
+
+
+class TestReportExperiment:
+    def test_format(self):
+        report = report_experiment("exp-1", "the claim", "the measurement")
+        assert "[exp-1] paper: the claim" in report
+        assert "[exp-1] measured: the measurement" in report

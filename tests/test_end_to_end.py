@@ -1,0 +1,155 @@
+"""Cross-module integration tests: whole-workflow scenarios over one lake."""
+
+import pytest
+
+from repro import DataLake
+from repro.core.dataset import Dataset, Table
+from repro.datagen import LakeGenerator, LogGenerator
+from repro.discovery import Aurum, D3L, JosieIndex
+from repro.enrichment import D4
+from repro.exploration.search import ExplorationService
+from repro.ingestion import Datamaran
+from repro.integration import Alite, Constance
+from repro.storage.lakehouse import LakehouseTable
+
+
+@pytest.fixture(scope="module")
+def lake_workload():
+    return LakeGenerator(seed=21).generate(
+        num_pools=2, tables_per_pool=2, rows_per_table=150, pool_size=100,
+        key_coverage=1.0,
+    )
+
+
+class TestDiscoveryAgainstGroundTruth:
+    """All discovery engines must find planted joinable pairs."""
+
+    def _precision_at_1(self, hits_fn, workload):
+        correct = 0
+        total = 0
+        for left, right in sorted(workload.joinable_pairs):
+            total += 1
+            hits = hits_fn(left)
+            if hits and hits[0][0] == right or any(h[0] == right for h in hits[:3]):
+                correct += 1
+        return correct / total if total else 0.0
+
+    def test_aurum_finds_planted_pairs(self, lake_workload):
+        aurum = Aurum(content_threshold=0.4)
+        for table in lake_workload.tables:
+            aurum.add_table(table)
+        aurum.build()
+        score = self._precision_at_1(
+            lambda ref: aurum.joinable(ref[0], ref[1], k=3), lake_workload
+        )
+        assert score >= 0.8
+
+    def test_josie_finds_planted_pairs(self, lake_workload):
+        index = JosieIndex()
+        for table in lake_workload.tables:
+            index.add_table(table)
+        score = self._precision_at_1(
+            lambda ref: index.topk_for_column(
+                lake_workload.table(ref[0]), ref[1], k=3
+            ), lake_workload,
+        )
+        assert score >= 0.8
+
+    def test_d3l_finds_planted_pairs(self, lake_workload):
+        d3l = D3L()
+        for table in lake_workload.tables:
+            d3l.add_table(table)
+        score = self._precision_at_1(
+            lambda ref: d3l.related_columns(ref[0], ref[1], k=3), lake_workload
+        )
+        assert score >= 0.8
+
+
+class TestEnrichmentOnGeneratedDomains:
+    def test_d4_recovers_planted_domains(self, lake_workload):
+        d4 = D4(overlap_threshold=0.25)
+        for table in lake_workload.tables:
+            d4.add_table(table)
+        domains = d4.discover()
+        for (table, column), truth in lake_workload.domain_of.items():
+            domain = d4.domain_of_column(table, column, domains)
+            assert domain is not None
+            # the planted vocabulary must be covered by the discovered terms
+            from repro.datagen.lakegen import VOCABULARIES
+
+            planted = {v for v in VOCABULARIES[truth]}
+            observed = {
+                v.lower() for v in lake_workload.table(table)[column].distinct()
+            }
+            assert observed <= (domain.terms | planted)
+
+
+class TestIngestThenExplore:
+    def test_full_lifecycle(self, lake_workload):
+        lake = DataLake.in_memory()
+        for table in lake_workload.tables:
+            lake.ingest(Dataset(table.name, table))
+        # metadata extracted for all
+        assert len(lake.metadata_repository) == len(lake_workload.tables)
+        # discovery works through the facade
+        some_pair = sorted(lake_workload.joinable_pairs)[0]
+        (left_table, left_column), (right_table, right_column) = some_pair
+        hits = lake.discover_joinable(left_table, left_column, k=5)
+        assert any(ref == (right_table, right_column) for ref, _ in hits)
+        # the relational backend answers SQL over an ingested table
+        first = lake_workload.tables[0]
+        count = lake.sql(f"SELECT COUNT(*) FROM {first.name}")
+        assert count["count"].values == [len(first)]
+        # provenance recorded each ingest
+        assert len(lake.provenance.events("ingest")) == len(lake_workload.tables)
+
+
+class TestLogIngestionToQuery:
+    def test_datamaran_output_is_queryable(self):
+        log = LogGenerator(seed=8).generate(num_lines=200, noise_fraction=0.0)
+        tables = Datamaran(coverage_threshold=0.05).to_tables(log.text)
+        assert tables
+        lake = DataLake.in_memory()
+        for table in tables:
+            lake.ingest(Dataset(table.name, table))
+        total = sum(
+            lake.sql(f"SELECT COUNT(*) FROM {t.name}")["count"].values[0]
+            for t in tables
+        )
+        assert total == 200
+
+
+class TestDiscoverThenIntegrate:
+    def test_discovery_feeds_alite(self, lake_workload):
+        """The ALITE workflow: discover related tables, then integrate them."""
+        d3l = D3L()
+        for table in lake_workload.tables:
+            d3l.add_table(table)
+        seed_table = "dim_ent0"
+        related = [name for name, _ in d3l.related_tables(seed_table, k=2)]
+        group = [lake_workload.table(seed_table)] + [
+            lake_workload.table(name) for name in related
+        ]
+        integrated = Alite(max_distance=0.4).integrate(group)
+        assert len(integrated) > 0
+        assert integrated.width >= max(t.width for t in group)
+
+
+class TestLakehouseWithValidation:
+    def test_validated_appends(self):
+        """Auto-Validate gates lakehouse appends: dirty batches are refused."""
+        from repro.cleaning.autovalidate import AutoValidate
+
+        history = Table.from_columns("feed", {
+            "code": [f"AB-{i:04d}" for i in range(100)],
+        })
+        validator = AutoValidate()
+        validator.train(history)
+        lakehouse = LakehouseTable("feed")
+        clean_batch = [{"code": f"AB-{i:04d}"} for i in range(5)]
+        dirty_batch = [{"code": "garbage!!!"} for _ in range(5)]
+        if validator.batch_ok(Table.from_records("b", clean_batch)):
+            lakehouse.append(clean_batch)
+        if validator.batch_ok(Table.from_records("b", dirty_batch)):
+            lakehouse.append(dirty_batch)
+        assert lakehouse.row_count() == 5  # only the clean batch landed

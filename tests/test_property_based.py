@@ -1,0 +1,201 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Each property encodes an invariant the framework depends on: sketch
+accuracy, codec losslessness, exact top-k equivalence, lakehouse snapshot
+immutability, and the algebraic behaviour of table operators.
+"""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cleaning.autovalidate import generalize
+from repro.core.dataset import Table
+from repro.core.types import DataType, infer_column_type, unify, value_pattern
+from repro.discovery.josie import JosieIndex, brute_force_topk
+from repro.ml.minhash import MinHasher
+from repro.ml.stats import ks_statistic
+from repro.ml.text import jaccard, levenshtein
+from repro.storage.formats import decode, encode
+from repro.storage.lakehouse import LakehouseTable
+
+# -- strategies ---------------------------------------------------------------
+
+simple_text = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"), max_codepoint=0x7F),
+    min_size=0, max_size=12,
+)
+cell = st.one_of(st.none(), st.integers(-1000, 1000), simple_text,
+                 st.floats(allow_nan=False, allow_infinity=False, width=32))
+value_sets = st.sets(st.integers(0, 300), min_size=1, max_size=60)
+
+
+def tables(min_rows=0, max_rows=8, min_cols=1, max_cols=4):
+    def build(draw):
+        num_cols = draw(st.integers(min_cols, max_cols))
+        num_rows = draw(st.integers(min_rows, max_rows))
+        names = [f"c{i}" for i in range(num_cols)]
+        data = {
+            name: draw(st.lists(cell, min_size=num_rows, max_size=num_rows))
+            for name in names
+        }
+        return Table.from_columns("t", data)
+
+    return st.composite(build)()
+
+
+# -- MinHash ----------------------------------------------------------------------
+
+
+class TestMinHashProperties:
+    @given(value_sets, value_sets)
+    @settings(max_examples=30, deadline=None)
+    def test_estimate_close_to_true_jaccard(self, left, right):
+        hasher = MinHasher(num_perm=256)
+        estimate = hasher.signature(left).jaccard(hasher.signature(right))
+        truth = jaccard({str(v) for v in left}, {str(v) for v in right})
+        assert abs(estimate - truth) < 0.25
+
+    @given(value_sets)
+    @settings(max_examples=20, deadline=None)
+    def test_self_similarity_is_one(self, values):
+        hasher = MinHasher(num_perm=64)
+        signature = hasher.signature(values)
+        assert signature.jaccard(signature) == 1.0
+
+
+# -- text metrics -------------------------------------------------------------------
+
+
+class TestMetricProperties:
+    @given(simple_text, simple_text)
+    @settings(max_examples=50, deadline=None)
+    def test_levenshtein_symmetry_and_identity(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+        assert levenshtein(a, a) == 0
+        assert levenshtein(a, b) <= max(len(a), len(b))
+
+    @given(simple_text, simple_text, simple_text)
+    @settings(max_examples=30, deadline=None)
+    def test_levenshtein_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=40),
+           st.lists(st.floats(-100, 100), min_size=1, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_ks_statistic_bounds_and_symmetry(self, left, right):
+        d = ks_statistic(left, right)
+        assert 0.0 <= d <= 1.0
+        assert d == ks_statistic(right, left)
+        assert ks_statistic(left, left) == 0.0
+
+
+# -- type system -----------------------------------------------------------------------
+
+
+class TestTypeProperties:
+    @given(st.sampled_from(list(DataType)), st.sampled_from(list(DataType)))
+    def test_unify_commutative(self, a, b):
+        assert unify(a, b) == unify(b, a)
+
+    @given(st.sampled_from(list(DataType)))
+    def test_unify_idempotent(self, a):
+        assert unify(a, a) == a
+
+    @given(st.lists(cell, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_column_inference_total(self, values):
+        assert infer_column_type(values) in DataType
+
+    @given(simple_text)
+    def test_value_pattern_idempotent_alphabet(self, text):
+        pattern = value_pattern(text)
+        assert set(pattern) <= set("A9 ") | set(text)
+        # patterns of patterns are stable for alnum-only text
+        assert value_pattern(pattern.replace("9", "1").replace("A", "x")) == pattern
+
+    @given(simple_text, st.integers(0, 2))
+    def test_generalize_monotone(self, text, level):
+        pattern = value_pattern(text)
+        assert len(generalize(pattern, level)) <= len(pattern) or level == 0
+
+
+# -- codecs -------------------------------------------------------------------------------
+
+
+class TestCodecProperties:
+    @given(tables())
+    @settings(max_examples=25, deadline=None)
+    def test_columnar_roundtrip(self, table):
+        assert decode(encode(table, "columnar"), "columnar") == table
+
+    @given(tables())
+    @settings(max_examples=25, deadline=None)
+    def test_rowbin_roundtrip(self, table):
+        again = decode(encode(table, "rowbin"), "rowbin")
+        assert list(again.rows()) == list(table.rows())
+
+    @given(st.lists(st.dictionaries(simple_text.filter(bool), st.integers(), max_size=4),
+                    max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_jsonl_roundtrip(self, docs):
+        assert decode(encode(docs, "jsonl"), "jsonl") == docs
+
+
+# -- table algebra ---------------------------------------------------------------------------
+
+
+class TestTableProperties:
+    @given(tables())
+    @settings(max_examples=25, deadline=None)
+    def test_distinct_rows_idempotent(self, table):
+        once = table.distinct_rows()
+        assert once.distinct_rows() == once
+        assert len(once) <= len(table)
+
+    @given(tables())
+    @settings(max_examples=25, deadline=None)
+    def test_union_with_self_doubles(self, table):
+        union = table.union_rows(table)
+        assert len(union) == 2 * len(table)
+        assert union.column_names == table.column_names
+
+    @given(tables())
+    @settings(max_examples=25, deadline=None)
+    def test_project_preserves_length(self, table):
+        projected = table.project(table.column_names[:1])
+        assert len(projected) == len(table)
+
+
+# -- JOSIE exactness ----------------------------------------------------------------------------
+
+
+class TestJosieProperty:
+    @given(st.lists(value_sets, min_size=1, max_size=12), value_sets,
+           st.integers(1, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_topk_equals_brute_force(self, indexed_sets, query, k):
+        index = JosieIndex()
+        sets = {}
+        for i, values in enumerate(indexed_sets):
+            index.add_set(f"s{i}", values)
+            sets[f"s{i}"] = {str(v) for v in values}
+        assert index.topk(query, k=k) == brute_force_topk(sets, query, k=k)
+
+
+# -- lakehouse ---------------------------------------------------------------------------------
+
+
+class TestLakehouseProperty:
+    @given(st.lists(st.lists(st.integers(0, 50), min_size=1, max_size=5),
+                    min_size=1, max_size=6))
+    @settings(max_examples=20, deadline=None)
+    def test_snapshots_are_prefix_sums(self, batches):
+        table = LakehouseTable("prop")
+        for batch in batches:
+            table.append([{"v": value} for value in batch])
+        running = 0
+        for version, batch in enumerate(batches, start=1):
+            running += len(batch)
+            assert table.row_count(version) == running
+        assert table.row_count(0) == 0

@@ -1,0 +1,84 @@
+"""Additional property-based tests for the extension subsystems."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.minhash import MinHasher
+from repro.storage.lakehouse import LakehouseTable
+
+values = st.sets(
+    st.text(alphabet="abcdefgh0123456789", min_size=1, max_size=6),
+    min_size=0, max_size=50,
+)
+
+
+class TestIncrementalMinHashProperties:
+    @given(values)
+    @settings(max_examples=30, deadline=None)
+    def test_incremental_equals_batch(self, value_set):
+        """The streaming sketch is indistinguishable from the batch one."""
+        hasher = MinHasher(num_perm=64)
+        incremental = hasher.incremental()
+        incremental.update_many(sorted(value_set))
+        assert incremental.signature().values == hasher.signature(value_set).values
+
+    @given(values, values)
+    @settings(max_examples=30, deadline=None)
+    def test_union_merges_via_replay(self, left, right):
+        """Replaying both streams equals sketching the union."""
+        hasher = MinHasher(num_perm=64)
+        incremental = hasher.incremental()
+        incremental.update_many(sorted(left))
+        incremental.update_many(sorted(right))
+        assert incremental.signature().values == hasher.signature(left | right).values
+
+    @given(st.lists(st.text(alphabet="abc", min_size=1, max_size=3),
+                    min_size=0, max_size=200))
+    @settings(max_examples=25, deadline=None)
+    def test_distinct_count_exact_below_kmv(self, stream):
+        hasher = MinHasher(num_perm=16)
+        incremental = hasher.incremental()
+        incremental.update_many(stream)
+        assert incremental.distinct_count == len({str(v) for v in stream})
+
+    @given(st.integers(300, 3000))
+    @settings(max_examples=10, deadline=None)
+    def test_distinct_estimate_reasonable_above_kmv(self, n):
+        hasher = MinHasher(num_perm=16)
+        incremental = hasher.incremental()
+        incremental.update_many(f"v{i}" for i in range(n))
+        estimate = incremental.distinct_count
+        assert 0.5 * n < estimate < 2.0 * n
+
+    @given(values)
+    @settings(max_examples=20, deadline=None)
+    def test_state_bounded(self, value_set):
+        hasher = MinHasher(num_perm=32)
+        incremental = hasher.incremental()
+        incremental.update_many(value_set)
+        assert incremental.state_items <= 32 + 256
+
+
+class TestLakehouseScanProperty:
+    @given(st.lists(st.lists(st.integers(-50, 50), min_size=1, max_size=8),
+                    min_size=1, max_size=5),
+           st.integers(-50, 50),
+           st.sampled_from(["=", "<", "<=", ">", ">="]))
+    @settings(max_examples=25, deadline=None)
+    def test_skipping_scan_equals_filtered_snapshot(self, batches, pivot, op):
+        """Data skipping must never change scan results."""
+        table = LakehouseTable("prop")
+        for batch in batches:
+            table.append([{"v": value} for value in batch])
+        result = table.scan("v", op, pivot)
+        scanned = sorted(result["v"].values) if "v" in result else []
+        comparators = {
+            "=": lambda a: float(a) == float(pivot),
+            "<": lambda a: float(a) < float(pivot),
+            "<=": lambda a: float(a) <= float(pivot),
+            ">": lambda a: float(a) > float(pivot),
+            ">=": lambda a: float(a) >= float(pivot),
+        }
+        expected = sorted(
+            row["v"] for row in table.snapshot().rows() if comparators[op](row["v"])
+        )
+        assert scanned == expected

@@ -1,0 +1,100 @@
+"""Targeted tests for less-traveled code paths across modules."""
+
+import pytest
+
+from repro.core.dataset import Dataset, Table
+from repro.core.errors import QueryError
+
+
+class TestFederationSourceChoice:
+    def test_prefers_source_serving_all_properties(self):
+        from repro.exploration.federation import FederatedQueryEngine, SourceProfile
+        from repro.storage.polystore import Polystore
+
+        polystore = Polystore()
+        polystore.store(Dataset("partial", [{"a": 1}], format="json"))
+        polystore.store(Dataset("full", [{"a": 2, "b": 3}], format="json"))
+        engine = FederatedQueryEngine(polystore)
+        engine.register_source(SourceProfile("partial", "document", {"pa": "a"}))
+        engine.register_source(SourceProfile("full", "document", {"pa": "a", "pb": "b"}))
+        rows = engine.query([("?x", "pa", "?va"), ("?x", "pb", "?vb")])
+        assert rows == [{"?x": rows[0]["?x"], "?va": 2, "?vb": 3}]
+
+    def test_object_store_source(self):
+        from repro.exploration.federation import FederatedQueryEngine, SourceProfile
+        from repro.storage.polystore import Polystore
+
+        polystore = Polystore()
+        table = Table.from_columns("flat", {"a": [1, 2], "b": ["x", "y"]})
+        polystore.store(Dataset("flat", table), backend="relational")
+        # simulate a file-resident source: profile declares backend "objects"
+        polystore.objects.put("raw", "flat_file", table, format="columnar")
+        engine = FederatedQueryEngine(polystore)
+        engine.register_source(SourceProfile("flat", "relational", {"pa": "a", "pb": "b"}))
+        rows = engine.query([("?r", "pa", 2), ("?r", "pb", "?v")])
+        assert [r["?v"] for r in rows] == ["y"]
+
+
+class TestConstanceObjectFallback:
+    def test_queries_object_store_sources(self):
+        """A tabular source placed in the *file tier* still answers queries.
+
+        The polystore keeps tabular files as CSV objects, and Constance's
+        subquery executor falls back to fetch-then-filter at the mediator.
+        """
+        from repro.integration.constance import Constance
+
+        constance = Constance(match_threshold=0.4)
+        table = Table.from_columns("archive", {"k": ["a", "b"], "v": [1, 2]})
+        constance.polystore.store(Dataset("archive", table), backend="objects")
+        assert constance.polystore.placement("archive").backend == "objects"
+        constance.integrate(["archive"])
+        result = constance.query(["k", "v"], predicates=[("v", ">", 1)])
+        assert [str(r["k"]) for r in result.rows()] == ["b"]
+
+
+class TestIngestBytesXml:
+    def test_xml_roundtrip_through_lake(self):
+        from repro import DataLake
+
+        lake = DataLake.in_memory()
+        xml = b"<root><station>ST-1</station><pm25>12.5</pm25></root>"
+        dataset = lake.ingest_bytes("reading", xml, filename="reading.xml")
+        assert dataset.format == "xml"
+        assert lake.dataset("reading").payload["station"] == "ST-1"
+
+
+class TestDatasetTags:
+    def test_tags_flow_into_catalog_search(self):
+        from repro import DataLake
+
+        lake = DataLake.in_memory()
+        dataset = Dataset("d", Table.from_columns("d", {"a": [1]}),
+                          tags=["quarterly", "finance"])
+        lake.ingest(dataset)
+        lake.catalog.annotate("d", "tags", dataset.tags)
+        assert lake.catalog.search("finance") == ["d"]
+
+
+class TestSqlEngineEdges:
+    def test_join_reversed_condition(self):
+        from repro.exploration.sql import SqlEngine
+        from repro.storage.relational import RelationalStore
+
+        store = RelationalStore()
+        store.create_table(Table.from_columns("a", {"k": ["x"], "va": [1]}))
+        store.create_table(Table.from_columns("b", {"k": ["x"], "vb": [2]}))
+        engine = SqlEngine(store)
+        # condition written right-table-first still resolves
+        result = engine.execute("SELECT va, vb FROM a JOIN b ON b.k = a.k")
+        assert result.to_records() == [{"va": 1, "vb": 2}]
+
+    def test_unresolvable_join(self):
+        from repro.exploration.sql import SqlEngine
+        from repro.storage.relational import RelationalStore
+
+        store = RelationalStore()
+        store.create_table(Table.from_columns("a", {"k": ["x"]}))
+        store.create_table(Table.from_columns("b", {"j": ["x"]}))
+        with pytest.raises(QueryError, match="join"):
+            SqlEngine(store).execute("SELECT * FROM a JOIN b ON a.zz = b.qq")
