@@ -4,12 +4,25 @@ Benchmarks regenerate the survey's tables/figures and validate its
 comparative claims.  Rendered artifacts are collected here and printed in
 the terminal summary (so they appear even though pytest captures stdout),
 and written to ``benchmarks/results/`` for inspection.
+
+The harness is also wired to ``repro.obs``: an autouse fixture snapshots
+the spans each benchmark produced (the instrumented hot paths fire
+automatically), and the session writes one consolidated
+``BENCH_observability.json`` with per-test and per-system timing
+aggregates — the repo's machine-readable perf trajectory.
 """
 
+import json
 import pathlib
+
+import pytest
+
+from repro.obs import aggregate_spans, get_recorder, reset as obs_reset
 
 _REPORTS = []
 _RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+_OBS_PATH = pathlib.Path(__file__).parent.parent / "BENCH_observability.json"
+_OBS_TESTS = []
 
 
 def add_report(name: str, text: str) -> None:
@@ -19,7 +32,61 @@ def add_report(name: str, text: str) -> None:
     (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
 
+@pytest.fixture(autouse=True)
+def obs_metrics(request):
+    """Collect per-test span aggregates from the instrumented hot paths."""
+    obs_reset()
+    yield
+    spans = get_recorder().all_spans()
+    if not spans:
+        return
+    aggregates = aggregate_spans(spans)
+    _OBS_TESTS.append({
+        "test": request.node.name,
+        "span_count": aggregates["span_count"],
+        "tiers": aggregates["tiers"],
+        "systems": aggregates["systems"],
+    })
+
+
+def _merge(target, entry):
+    target["calls"] = target.get("calls", 0) + entry.get("calls", 0)
+    target["total_ms"] = round(target.get("total_ms", 0.0) + entry.get("total_ms", 0.0), 6)
+    functions = target.setdefault("functions", {})
+    for name, stats in entry.get("functions", {}).items():
+        merged = functions.setdefault(name, {})
+        merged["calls"] = merged.get("calls", 0) + stats.get("calls", 0)
+        merged["total_ms"] = round(merged.get("total_ms", 0.0) + stats.get("total_ms", 0.0), 6)
+    return target
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _OBS_TESTS:
+        return
+    systems = {}
+    tiers = {}
+    for test_entry in _OBS_TESTS:
+        for name, entry in test_entry["systems"].items():
+            _merge(systems.setdefault(name, {}), entry)
+        for name, entry in test_entry["tiers"].items():
+            _merge(tiers.setdefault(name, {}), entry)
+    payload = {
+        "schema": "repro.obs/bench-v1",
+        "total_spans": sum(t["span_count"] for t in _OBS_TESTS),
+        "systems": systems,
+        "tiers": tiers,
+        "tests": _OBS_TESTS,
+    }
+    _OBS_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if _OBS_TESTS:
+        terminalreporter.section("observability")
+        terminalreporter.write_line(
+            f"wrote {_OBS_PATH.name}: {sum(t['span_count'] for t in _OBS_TESTS)} spans "
+            f"across {len(_OBS_TESTS)} benchmarks"
+        )
     if not _REPORTS:
         return
     terminalreporter.section("reproduced paper artifacts")

@@ -1,0 +1,83 @@
+"""[bench-obs-overhead] Instrumentation must be nearly free.
+
+The observability layer claims "negligible overhead": ingesting a
+synthetic lake with the live span recorder enabled must be < 10% slower
+than the same workload with the no-op recorder installed.  Modes are
+interleaved, GC is parked during the timed region, and the medians of
+several repeats are compared, so scheduler/allocator noise from the rest
+of the benchmark session doesn't produce false regressions.
+"""
+
+import gc
+import statistics
+import time
+
+from repro import DataLake
+from repro.bench.reporting import render_table, report_experiment
+from repro.obs import disable, enable, reset
+
+from conftest import add_report
+
+NUM_TABLES = 16
+NUM_ROWS = 800
+REPEATS = 7
+
+
+def ingest_workload() -> float:
+    """Build one synthetic lake; returns elapsed seconds."""
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        lake = DataLake.in_memory()
+        for t in range(NUM_TABLES):
+            lake.ingest_table(f"table_{t}", {
+                "id": [f"{t}-{r}" for r in range(NUM_ROWS)],
+                "key": [f"k{r % 40}" for r in range(NUM_ROWS)],
+                "value": [float(r * t % 97) for r in range(NUM_ROWS)],
+                "label": [f"cat-{r % 7}" for r in range(NUM_ROWS)],
+            }, source=f"gen-{t}")
+        return time.perf_counter() - start
+    finally:
+        gc.enable()
+
+
+def test_obs_overhead_under_ten_percent():
+    timings = {"enabled": [], "disabled": []}
+    try:
+        ingest_workload()  # warmup: lazy imports + allocator steady state
+        for _ in range(REPEATS):
+            enable()
+            reset()
+            timings["enabled"].append(ingest_workload())
+            disable()
+            timings["disabled"].append(ingest_workload())
+    finally:
+        enable()
+
+    best_on = statistics.median(timings["enabled"])
+    best_off = statistics.median(timings["disabled"])
+    overhead = best_on / best_off - 1.0
+
+    add_report("obs_overhead", "\n".join([
+        render_table(
+            "observability overhead (synthetic ingest)",
+            ["recorder", "best_ms", "mean_ms"],
+            [
+                ["enabled", round(best_on * 1000, 2),
+                 round(sum(timings["enabled"]) / REPEATS * 1000, 2)],
+                ["no-op", round(best_off * 1000, 2),
+                 round(sum(timings["disabled"]) / REPEATS * 1000, 2)],
+            ],
+        ),
+        report_experiment(
+            "bench-obs-overhead",
+            "instrumentation adds negligible overhead",
+            f"span recorder overhead on ingest: {overhead * 100:+.2f}% (limit +10%)",
+        ),
+    ]))
+    assert overhead < 0.10, (
+        f"instrumented ingest is {overhead * 100:.1f}% slower than the no-op "
+        f"recorder (limit 10%): enabled={best_on * 1000:.2f}ms "
+        f"disabled={best_off * 1000:.2f}ms"
+    )

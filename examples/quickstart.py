@@ -64,6 +64,12 @@ def main() -> None:
     for hit in lake.keyword_search("berlin"):
         print(f"  {hit.table} (score {hit.score}) values={hit.matched_values}")
 
+    # -- observability: where did the time go? -------------------------------
+    print("\n== trace of everything above (repro.obs) ==")
+    print(lake.observability.span_tree())
+    print()
+    print(lake.observability.render_report())
+
 
 if __name__ == "__main__":
     main()

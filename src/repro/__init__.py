@@ -21,6 +21,9 @@ into an executable framework:
   and heterogeneous data querying).
 - :mod:`repro.datagen` -- synthetic data lake workloads with ground truth,
   used by the test suite and the benchmark harness.
+- :mod:`repro.obs` -- the observability layer: tracing spans over every
+  hot path, a process-wide metrics registry, and JSON/Prometheus/ASCII
+  exporters (see ``lake.observability`` and docs/OBSERVABILITY.md).
 
 Quickstart::
 
@@ -42,6 +45,7 @@ from repro.core.registry import (
     default_registry,
     register_system,
 )
+from repro.obs import Observability, traced
 
 __version__ = "1.0.0"
 
@@ -51,10 +55,12 @@ __all__ = [
     "Dataset",
     "Function",
     "Method",
+    "Observability",
     "SystemInfo",
     "Table",
     "Tier",
     "default_registry",
     "register_system",
+    "traced",
     "__version__",
 ]

@@ -15,17 +15,33 @@ def render_table(
     rows: Sequence[Sequence[Any]],
     max_cell: int = 60,
 ) -> str:
-    """Render an ASCII table with a title bar."""
+    """Render an ASCII table with a title bar.
+
+    Numeric cells (ints/floats, but not bools) are right-aligned; empty
+    ``rows`` render as a header-only table, with every column at least one
+    character wide so the separator bars stay aligned.
+    """
     def clip(value: Any) -> str:
         text = str(value)
         return text if len(text) <= max_cell else text[: max_cell - 1] + "…"
 
+    def is_numeric(value: Any) -> bool:
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+
     cells = [[clip(h) for h in header]] + [[clip(v) for v in row] for row in rows]
-    widths = [max(len(row[i]) for row in cells) for i in range(len(header))]
+    numeric = [[False] * len(header)] + [[is_numeric(v) for v in row] for row in rows]
+    num_columns = max((len(row) for row in cells), default=0)
+    widths = [
+        max(max((len(row[i]) for row in cells if i < len(row)), default=0), 1)
+        for i in range(num_columns)
+    ]
     line = "+".join("-" * (w + 2) for w in widths)
     out = [f"=== {title} ===", line]
     for index, row in enumerate(cells):
-        out.append(" | ".join(value.ljust(width) for value, width in zip(row, widths)))
+        out.append(" | ".join(
+            value.rjust(width) if right else value.ljust(width)
+            for value, right, width in zip(row, numeric[index], widths)
+        ))
         if index == 0:
             out.append(line)
     out.append(line)

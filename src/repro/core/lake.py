@@ -23,6 +23,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 from repro.core.dataset import Dataset, Table
 from repro.core.errors import DatasetNotFound
 from repro.core.registry import SystemRegistry, default_registry
+from repro.obs import Observability, get_recorder, traced
 
 
 class DataLake:
@@ -93,6 +94,7 @@ class DataLake:
 
     # -- ingestion tier -----------------------------------------------------------
 
+    @traced("ingestion.lake.ingest", tier="ingestion", function="ingestion")
     def ingest(self, dataset: Dataset, extract_metadata: bool = True) -> Dataset:
         """Ingest a :class:`Dataset`: place it, extract metadata, catalog it."""
         from repro.ingestion.gemms import GemmsExtractor
@@ -104,8 +106,10 @@ class DataLake:
             record = extractor.extract(dataset)
             self.metadata_repository.add(record)
             dataset.properties.update(record.properties)
-        self.catalog.register(dataset, backend=placement.backend)
-        self.provenance.record_ingest(dataset.name, source=dataset.source)
+        with get_recorder().span("maintenance.catalog.register", tier="maintenance",
+                                 system="GOODS", function="dataset_organization"):
+            self.catalog.register(dataset, backend=placement.backend)
+            self.provenance.record_ingest(dataset.name, source=dataset.source)
         self._discovery_index = None  # indexes are rebuilt lazily on change
         return dataset
 
@@ -119,6 +123,7 @@ class DataLake:
         table = Table.from_columns(name, data)
         return self.ingest(Dataset(name=name, payload=table, format="table", source=source))
 
+    @traced("ingestion.lake.ingest_bytes", tier="ingestion", function="ingestion")
     def ingest_bytes(self, name: str, data: bytes, filename: str = "", source: str = "") -> Dataset:
         """Ingest raw bytes: detect format, parse, then ingest the payload."""
         from repro.storage.formats import decode, detect_format
@@ -169,29 +174,39 @@ class DataLake:
         if self._discovery_index is None:
             from repro.discovery.aurum import Aurum
 
-            engine = Aurum()
-            for table in self.tables():
-                engine.add_table(table)
-            engine.build()
+            with get_recorder().span("maintenance.discovery.index_build",
+                                     tier="maintenance", system="Aurum",
+                                     function="related_dataset_discovery"):
+                engine = Aurum()
+                for table in self.tables():
+                    engine.add_table(table)
+                engine.build()
             self._discovery_index = engine
         return self._discovery_index
 
+    @traced("exploration.lake.discover_joinable", tier="exploration",
+            function="query_driven_discovery")
     def discover_joinable(self, table_name: str, column: str, k: int = 5):
         """Top-k columns joinable with ``table.column`` (Sec. 7.1 mode 1)."""
         return self.discovery.joinable(table_name, column, k=k)
 
+    @traced("exploration.lake.discover_related", tier="exploration",
+            function="query_driven_discovery")
     def discover_related(self, table_name: str, k: int = 5):
         """Top-k related tables for a whole query table."""
         return self.discovery.related_tables(table_name, k=k)
 
     # -- exploration tier --------------------------------------------------------------
 
+    @traced("exploration.lake.sql", tier="exploration", function="heterogeneous_query")
     def sql(self, query: str) -> Table:
         """Run a SQL-subset query against the lake's relational backend."""
         from repro.exploration.sql import SqlEngine
 
         return SqlEngine(self.polystore.relational).execute(query)
 
+    @traced("exploration.lake.keyword_search", tier="exploration",
+            function="keyword_search")
     def keyword_search(self, keywords: str, k: int = 10):
         """Keyword search over schemata and values (Sec. 7.2, Constance)."""
         from repro.exploration.keyword import KeywordSearch
@@ -202,6 +217,13 @@ class DataLake:
         return searcher.search(keywords, k=k)
 
     # -- reporting ---------------------------------------------------------------------
+
+    @property
+    def observability(self) -> Observability:
+        """Spans + metrics over this process's lake operations (repro.obs)."""
+        if getattr(self, "_observability", None) is None:
+            self._observability = Observability()
+        return self._observability
 
     def architecture_report(self) -> Dict[str, Any]:
         """Live snapshot of the Fig. 2 architecture for this lake instance."""

@@ -33,6 +33,7 @@ from repro.discovery.profiles import ColumnProfile, TableProfiler
 from repro.ml.lsh import LSHIndex
 from repro.ml.text import TfIdfVectorizer, cosine_similarity
 from repro.modeling.ekg import ColumnRef, EnterpriseKnowledgeGraph
+from repro.obs import annotate, traced
 
 
 @register_system(SystemInfo(
@@ -89,6 +90,8 @@ class Aurum:
             )
         self._built = False
 
+    @traced("maintenance.aurum.build", tier="maintenance", system="Aurum",
+            function="related_dataset_discovery")
     def build(self) -> EnterpriseKnowledgeGraph:
         """Materialize all EKG edges from the staged profiles.
 
@@ -100,6 +103,7 @@ class Aurum:
         if self._built:
             return self.ekg
         refs = sorted(self._profiles)
+        annotate(num_columns=len(refs), num_tables=len(self._tables))
         # content-similarity edges via LSH (no all-pairs scan)
         for ref in refs:
             profile = self._profiles[ref]
@@ -186,6 +190,8 @@ class Aurum:
             raise DatasetNotFound(f"column {table}.{column} is not indexed")
         return profile
 
+    @traced("exploration.aurum.joinable", tier="exploration", system="Aurum",
+            function="query_driven_discovery")
     def joinable(self, table: str, column: str, k: int = 5) -> List[Tuple[ColumnRef, float]]:
         """Top-k columns joinable with ``table.column`` (content similarity)."""
         self.build()
@@ -197,6 +203,8 @@ class Aurum:
         ]
         return hits[:k]
 
+    @traced("exploration.aurum.related_tables", tier="exploration", system="Aurum",
+            function="query_driven_discovery")
     def related_tables(self, table: str, k: int = 5) -> List[Tuple[str, float]]:
         """Top-k tables related to *table*, aggregating edge weights."""
         self.build()

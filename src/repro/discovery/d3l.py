@@ -40,6 +40,7 @@ from repro.discovery.profiles import ColumnProfile, TableProfiler
 from repro.ml.embeddings import cosine
 from repro.ml.lsh import LSHIndex
 from repro.ml.stats import ks_similarity
+from repro.obs import traced
 from repro.ml.text import jaccard
 
 FEATURE_NAMES = ("name", "value", "embedding", "format", "distribution")
@@ -215,6 +216,8 @@ class D3L:
                 found.add(ref)
         return found
 
+    @traced("exploration.d3l.related_columns", tier="exploration", system="D3L",
+            function="query_driven_discovery")
     def related_columns(
         self, table: str, column: str, k: int = 5
     ) -> List[Tuple[Tuple[str, str], float]]:
@@ -231,6 +234,8 @@ class D3L:
         scored.sort(key=lambda pair: (-pair[1], pair[0]))
         return scored[:k]
 
+    @traced("exploration.d3l.related_tables", tier="exploration", system="D3L",
+            function="query_driven_discovery")
     def related_tables(self, table: str, k: int = 5) -> List[Tuple[str, float]]:
         """Top-k tables by summed best-per-column similarity."""
         if table not in self._tables:
@@ -250,6 +255,8 @@ class D3L:
         ranked = sorted(per_table.items(), key=lambda pair: (-pair[1], pair[0]))
         return ranked[:k]
 
+    @traced("exploration.d3l.populate", tier="exploration", system="D3L",
+            function="query_driven_discovery")
     def populate(self, table: str, k: int = 5) -> List[str]:
         """Exploration mode 2: tables to populate *table*, with join paths.
 

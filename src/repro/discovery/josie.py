@@ -34,6 +34,7 @@ from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 from repro.core.dataset import Table
 from repro.core.errors import DatasetNotFound
 from repro.core.registry import Function, Method, SystemInfo, register_system
+from repro.obs import annotate, traced
 
 
 @register_system(SystemInfo(
@@ -83,6 +84,8 @@ class JosieIndex:
 
     # -- search --------------------------------------------------------------------
 
+    @traced("exploration.josie.topk", tier="exploration", system="JOSIE",
+            function="query_driven_discovery")
     def topk(
         self,
         query_values: Iterable,
@@ -95,6 +98,7 @@ class JosieIndex:
         final overlap falls under the current top-k floor are eliminated
         without further reads.
         """
+        postings_before = self.postings_read
         query = {str(v) for v in query_values}
         # rare tokens first: each read discriminates the most
         tokens = sorted(
@@ -128,6 +132,8 @@ class JosieIndex:
                     self.candidates_examined += 1
                 counts[key] += 1
                 self.postings_read += 1
+        annotate(postings_read=self.postings_read - postings_before,
+                 candidates=len(counts))
         ranked = sorted(counts.items(), key=lambda pair: (-pair[1], str(pair[0])))
         return [(key, overlap) for key, overlap in ranked[:k] if overlap > 0]
 

@@ -43,6 +43,7 @@ from repro.core.dataset import Table
 from repro.core.errors import DatasetNotFound
 from repro.core.registry import Function, Method, SystemInfo, register_system
 from repro.ml.embeddings import HashedEmbedder
+from repro.obs import annotate, traced
 
 ColumnRef = Tuple[str, str]
 
@@ -177,6 +178,8 @@ class Pexeso:
         matched = (1.0 - sims.max(axis=1)) <= self.epsilon
         return float(matched.mean())
 
+    @traced("exploration.pexeso.joinable", tier="exploration", system="PEXESO",
+            function="query_driven_discovery")
     def joinable(
         self,
         values: Iterable[str],
@@ -195,6 +198,7 @@ class Pexeso:
             candidates = self._candidate_columns(query_matrix)
         else:
             candidates = set(self._vectors)
+        annotate(candidates=len(candidates), use_index=use_index)
         scored = []
         for ref in candidates:
             if ref == exclude:

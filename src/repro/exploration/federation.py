@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Mapping, Sequence, Tuple
 from repro.core.dataset import Table
 from repro.core.errors import QueryError
 from repro.core.registry import Function, Method, SystemInfo, register_system
+from repro.obs import annotate, traced
 from repro.storage.polystore import Polystore
 from repro.storage.relational import Predicate
 
@@ -86,6 +87,8 @@ class FederatedQueryEngine:
 
     # -- query processing -----------------------------------------------------------------
 
+    @traced("exploration.federation.query", tier="exploration",
+            system="Ontario/Squerall", function="heterogeneous_query")
     def query(
         self,
         patterns: Sequence[Pattern],
@@ -99,6 +102,7 @@ class FederatedQueryEngine:
         """
         if not patterns:
             return []
+        rows_before = self.rows_transferred
         # 1. decomposition: group patterns by subject variable
         by_subject: Dict[str, List[Pattern]] = {}
         for pattern in patterns:
@@ -122,6 +126,8 @@ class FederatedQueryEngine:
         result = partials[0][1]
         for _, bindings in partials[1:]:
             result = self._join_bindings(result, bindings)
+        annotate(rows_transferred=self.rows_transferred - rows_before,
+                 pushdown=pushdown, subqueries=len(partials))
         return result
 
     def _choose_source(self, patterns: Sequence[Pattern]) -> SourceProfile:

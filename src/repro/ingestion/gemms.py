@@ -27,6 +27,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 from repro.core.dataset import Dataset, Table
 from repro.core.registry import Function, Method, SystemInfo, register_system
 from repro.core.types import DataType, infer_type
+from repro.obs import traced
 
 
 @dataclass
@@ -96,6 +97,8 @@ class MetadataRecord:
 class GemmsExtractor:
     """Extract structural metadata and metadata properties from a dataset."""
 
+    @traced("ingestion.gemms.extract", tier="ingestion", system="GEMMS",
+            function="metadata_extraction")
     def extract(self, dataset: Dataset) -> MetadataRecord:
         """Run format-appropriate extraction on *dataset*."""
         payload = dataset.payload

@@ -1,0 +1,88 @@
+"""Observability layer: tracing spans, metrics, exporters, instrumentation.
+
+The survey's comparative claims ("Aurum reduces O(n²) to linear", "JOSIE
+shows high performance") are performance claims; this subsystem is the
+measurement substrate that makes them observable in the running lake:
+
+- :mod:`repro.obs.spans` — hierarchical, thread-safe tracing spans with
+  per-span wall time, counters and tags, plus the no-op opt-out recorder;
+- :mod:`repro.obs.metrics` — a process-wide registry of counters, gauges
+  and fixed-bucket histograms with p50/p95/p99 summaries;
+- :mod:`repro.obs.export` — JSON, Prometheus-text and ASCII exporters and
+  the tier → function → system aggregation mirroring Table 1;
+- :mod:`repro.obs.instrument` — the ``@traced`` decorator, the global
+  recorder/registry wiring and the instrumentation manifest enforced by
+  ``tools/check_instrumentation.py``.
+
+Typical use::
+
+    from repro import DataLake
+
+    lake = DataLake.in_memory()
+    lake.ingest_table("sales", {"region": ["EU", "US"], "amount": [10, 20]})
+    print(lake.observability.span_tree())
+    print(lake.observability.report()["tiers"].keys())
+"""
+
+from repro.obs.export import (
+    aggregate_spans,
+    export_json,
+    export_prometheus,
+    render_metrics_table,
+    render_report,
+    render_span_tree,
+)
+from repro.obs.instrument import (
+    INSTRUMENTATION_MANIFEST,
+    Observability,
+    annotate,
+    current_span,
+    disable,
+    enable,
+    get_recorder,
+    get_registry,
+    incr,
+    observability_enabled,
+    reset,
+    set_recorder,
+    traced,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.spans import NOOP_RECORDER, NoopRecorder, Span, SpanRecorder
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "INSTRUMENTATION_MANIFEST",
+    "MetricsRegistry",
+    "NOOP_RECORDER",
+    "NoopRecorder",
+    "Observability",
+    "Span",
+    "SpanRecorder",
+    "aggregate_spans",
+    "annotate",
+    "current_span",
+    "disable",
+    "enable",
+    "export_json",
+    "export_prometheus",
+    "get_recorder",
+    "get_registry",
+    "incr",
+    "observability_enabled",
+    "render_metrics_table",
+    "render_report",
+    "render_span_tree",
+    "reset",
+    "set_recorder",
+    "traced",
+]

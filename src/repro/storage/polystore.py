@@ -16,6 +16,7 @@ from typing import Any, Dict, List, Optional
 from repro.core.dataset import Dataset, Table
 from repro.core.errors import DatasetNotFound, StorageError
 from repro.core.registry import Function, Method, SystemInfo, register_system
+from repro.obs import annotate, traced
 from repro.storage.document import DocumentStore
 from repro.storage.graph import GraphStore
 from repro.storage.object_store import ObjectStore
@@ -79,12 +80,15 @@ class Polystore:
             return "relational"
         return self.DEFAULT_POLICY.get(dataset.format, "objects")
 
+    @traced("storage.polystore.store", tier="storage", system="Constance",
+            function="storage_backend")
     def store(self, dataset: Dataset, backend: Optional[str] = None) -> Placement:
         """Place *dataset*; *backend* overrides the policy (the UI override).
 
         Returns the recorded :class:`Placement`.
         """
         chosen = backend or self.choose_backend(dataset)
+        annotate(backend=chosen)
         if chosen == "relational":
             table = dataset.as_table()
             stored = Table(dataset.name, table.columns)
@@ -136,9 +140,12 @@ class Polystore:
 
     # -- retrieval -----------------------------------------------------------------
 
+    @traced("storage.polystore.fetch", tier="storage", system="Constance",
+            function="storage_backend")
     def fetch(self, dataset_name: str) -> Any:
         """Retrieve a dataset's payload from wherever it was placed."""
         placement = self.placement(dataset_name)
+        annotate(backend=placement.backend)
         if placement.backend == "relational":
             return self.relational.table(placement.location)
         if placement.backend == "document":

@@ -24,6 +24,29 @@ class TestRenderTable:
         rendered = render_table("T", ["a"], [])
         assert "=== T ===" in rendered
 
+    def test_empty_rows_separator_bars_stay_aligned(self):
+        rendered = render_table("T", ["", "x"], [])
+        bars = [l for l in rendered.splitlines() if set(l) <= {"-", "+"}]
+        assert len(bars) == 3
+        assert len({len(bar) for bar in bars}) == 1
+        assert all(len(bar) >= len(" | ") for bar in bars)  # no zero-width columns
+
+    def test_numeric_cells_right_aligned(self):
+        rendered = render_table("T", ["name", "count"], [["a", 5], ["bb", 12345]])
+        lines = rendered.splitlines()  # 0=title 1=bar 2=header 3=bar 4..=rows
+        assert lines[4].endswith("    5")  # 5 right-aligned under "count"
+        assert lines[5].endswith("12345")
+
+    def test_bools_and_strings_stay_left_aligned(self):
+        rendered = render_table("T", ["flag"], [[True], ["yes"]])
+        lines = rendered.splitlines()
+        assert lines[4].startswith("True")
+        assert lines[5].startswith("yes ")
+
+    def test_ragged_rows_do_not_raise(self):
+        rendered = render_table("T", ["a", "b"], [["only-one"]])
+        assert "only-one" in rendered
+
 
 class TestReportExperiment:
     def test_format(self):

@@ -1,0 +1,54 @@
+"""Tier-1 gate: the instrumentation manifest matches the code (tools lint)."""
+
+import pathlib
+import sys
+
+TOOLS = pathlib.Path(__file__).resolve().parent.parent / "tools"
+if str(TOOLS) not in sys.path:
+    sys.path.insert(0, str(TOOLS))
+
+import check_instrumentation  # noqa: E402
+
+
+class TestInstrumentationLint:
+    def test_all_manifest_entry_points_are_instrumented(self):
+        violations = check_instrumentation.check()
+        assert violations == [], "\n".join(violations)
+
+    def test_manifest_covers_lake_and_polystore_entry_points(self):
+        from repro.obs import INSTRUMENTATION_MANIFEST
+
+        classes = {(entry[1], entry[2]) for entry in INSTRUMENTATION_MANIFEST}
+        assert ("DataLake", "ingest") in classes
+        assert ("Polystore", "store") in classes
+        assert ("Polystore", "fetch") in classes
+
+    def test_detects_missing_decorator(self, tmp_path):
+        module = tmp_path / "fake.py"
+        module.write_text(
+            "from repro.obs import traced\n"
+            "class Thing:\n"
+            "    @traced('x')\n"
+            "    def traced_op(self):\n"
+            "        pass\n"
+            "    def bare_op(self):\n"
+            "        pass\n"
+        )
+        manifest = (
+            ("fake.py", "Thing", "traced_op"),
+            ("fake.py", "Thing", "bare_op"),
+            ("fake.py", "Thing", "gone_op"),
+            ("fake.py", "Missing", "anything"),
+            ("nowhere.py", "X", "y"),
+        )
+        violations = check_instrumentation.check(manifest, root=tmp_path)
+        assert len(violations) == 4
+        assert any("bare_op" in v and "missing" in v for v in violations)
+        assert any("gone_op" in v for v in violations)
+        assert any("class Missing" in v for v in violations)
+        assert any("nowhere.py" in v for v in violations)
+
+    def test_main_returns_zero_on_clean_tree(self, capsys):
+        assert check_instrumentation.main() == 0
+        out = capsys.readouterr().out
+        assert "instrumented" in out

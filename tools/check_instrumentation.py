@@ -1,0 +1,96 @@
+"""Lint: every manifest-listed hot-path entry point must carry ``@traced``.
+
+Walks the AST of the files named in
+``repro.obs.instrument.INSTRUMENTATION_MANIFEST`` and reports any listed
+``Class.method`` that is missing a ``traced(...)`` decorator (or that no
+longer exists — a stale manifest is also a failure, so renames can't
+silently drop instrumentation).
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/check_instrumentation.py
+
+A tier-1 test (``tests/test_check_instrumentation.py``) runs the same
+check on every test run.
+"""
+
+import ast
+import pathlib
+import sys
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.obs.instrument import INSTRUMENTATION_MANIFEST  # noqa: E402
+
+DECORATOR_NAMES = {"traced"}
+
+
+def _decorator_name(node: ast.expr) -> str:
+    """The base name of a decorator expression (``traced(...)`` -> ``traced``)."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _has_traced_decorator(fn_node: ast.FunctionDef) -> bool:
+    return any(_decorator_name(d) in DECORATOR_NAMES for d in fn_node.decorator_list)
+
+
+def check(manifest=INSTRUMENTATION_MANIFEST, root: pathlib.Path = SRC):
+    """Return a list of human-readable violations (empty = all instrumented)."""
+    violations = []
+    trees = {}
+    for rel_path, class_name, method_name in manifest:
+        path = root / rel_path
+        if rel_path not in trees:
+            if not path.exists():
+                trees[rel_path] = None
+            else:
+                trees[rel_path] = ast.parse(path.read_text(), filename=str(path))
+        tree = trees[rel_path]
+        if tree is None:
+            violations.append(f"{rel_path}: file not found (stale manifest entry?)")
+            continue
+        class_node = next(
+            (n for n in ast.walk(tree)
+             if isinstance(n, ast.ClassDef) and n.name == class_name),
+            None,
+        )
+        if class_node is None:
+            violations.append(f"{rel_path}: class {class_name} not found")
+            continue
+        method_node = next(
+            (n for n in class_node.body
+             if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+             and n.name == method_name),
+            None,
+        )
+        if method_node is None:
+            violations.append(f"{rel_path}: {class_name}.{method_name} not found")
+        elif not _has_traced_decorator(method_node):
+            violations.append(
+                f"{rel_path}: {class_name}.{method_name} is missing a "
+                f"@traced decorator"
+            )
+    return violations
+
+
+def main() -> int:
+    violations = check()
+    if violations:
+        print(f"{len(violations)} instrumentation violation(s):")
+        for violation in violations:
+            print(f"  - {violation}")
+        return 1
+    print(f"all {len(INSTRUMENTATION_MANIFEST)} manifest entry points are instrumented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
