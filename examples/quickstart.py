@@ -70,6 +70,29 @@ def main() -> None:
     print()
     print(lake.observability.render_report())
 
+    # -- maintenance runtime: bulk ingest, then drain ------------------------
+    # For bulk loads, maintenance (metadata, catalog, index upkeep) can run
+    # as background jobs instead of inline; drain() is the barrier.
+    bulk = DataLake(async_maintenance=True)
+    for month in ("jan", "feb", "mar", "apr", "may", "jun"):
+        bulk.ingest_table(f"sales_{month}", {
+            "order_id": [f"{month}-{i}" for i in range(25)],
+            "customer_id": [f"c{i % 9}" for i in range(25)],
+            "amount": [10 + i for i in range(25)],
+        }, source=f"erp-{month}")
+    results = bulk.drain()
+
+    print("\n== bulk ingest via the maintenance runtime ==")
+    stats = bulk.runtime.stats()
+    print(f"  jobs run: {stats['jobs']} (by state: {stats['by_state']})")
+    print(f"  cataloged: {len(bulk.catalog)} datasets, "
+          f"all ok: {all(r.ok for r in results.values())}")
+    for (table, column), similarity in bulk.discover_joinable(
+            "sales_jan", "customer_id", k=2):
+        print(f"  joinable after drain: {table}.{column} "
+              f"(similarity {similarity:.2f})")
+    bulk.close()
+
 
 if __name__ == "__main__":
     main()

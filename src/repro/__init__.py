@@ -24,6 +24,11 @@ into an executable framework:
 - :mod:`repro.obs` -- the observability layer: tracing spans over every
   hot path, a process-wide metrics registry, and JSON/Prometheus/ASCII
   exporters (see ``lake.observability`` and docs/OBSERVABILITY.md).
+- :mod:`repro.runtime` -- the maintenance runtime: a dependency-aware
+  background job scheduler with retries, backpressure and dead-letter
+  semantics, plus incremental (delta-based) discovery-index upkeep
+  (see ``lake.runtime``, ``DataLake(async_maintenance=True)`` and
+  docs/RUNTIME.md).
 
 Quickstart::
 
@@ -46,6 +51,7 @@ from repro.core.registry import (
     register_system,
 )
 from repro.obs import Observability, traced
+from repro.runtime import JobScheduler, RetryPolicy
 
 __version__ = "1.0.0"
 
@@ -54,8 +60,10 @@ __all__ = [
     "DataLake",
     "Dataset",
     "Function",
+    "JobScheduler",
     "Method",
     "Observability",
+    "RetryPolicy",
     "SystemInfo",
     "Table",
     "Tier",

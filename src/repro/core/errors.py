@@ -46,5 +46,25 @@ class ValidationError(DataLakeError):
     """Data failed a cleaning/validation rule (CLAMS, Auto-Validate, RFDs)."""
 
 
+class MaintenanceError(DataLakeError):
+    """A maintenance-runtime operation failed (jobs, scheduling, index upkeep)."""
+
+
+class JobTimeout(MaintenanceError):
+    """A job exceeded its deadline before or during execution."""
+
+
+class UpstreamFailed(MaintenanceError):
+    """A job was abandoned because one of its dependencies is dead."""
+
+
+class SchedulerClosed(MaintenanceError):
+    """The scheduler no longer accepts work (``close()`` was called)."""
+
+
+class QueueFull(MaintenanceError):
+    """Backpressure: the scheduler's bounded queue rejected a non-blocking submit."""
+
+
 class ProvenanceError(DataLakeError):
     """Provenance graph inconsistency, e.g. an event referencing unknown data."""

@@ -18,27 +18,61 @@ and free of cycles.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.core.dataset import Dataset, Table
-from repro.core.errors import DatasetNotFound
+from repro.core.errors import DatasetNotFound, SchemaError
 from repro.core.registry import SystemRegistry, default_registry
-from repro.obs import Observability, get_recorder, traced
+from repro.obs import Observability, get_recorder, get_registry, traced
 
 
 class DataLake:
-    """A complete data lake: storage + ingestion + maintenance + exploration."""
+    """A complete data lake: storage + ingestion + maintenance + exploration.
 
-    def __init__(self, registry: Optional[SystemRegistry] = None):
+    Maintenance runs in one of three modes (see docs/RUNTIME.md):
+
+    - **sync incremental** (the default): maintenance work happens inline
+      during ``ingest`` exactly as before, but discovery indexes are kept
+      as persistent structures updated with per-table deltas instead of
+      being thrown away and rebuilt;
+    - **sync full** (``incremental_maintenance=False``): the seed
+      behavior — every ingest invalidates the indexes, every index access
+      rebuilds from scratch (kept as the benchmark baseline);
+    - **async** (``async_maintenance=True``): ingest enqueues metadata
+      extraction, catalog registration and index-delta jobs on a
+      :class:`~repro.runtime.scheduler.JobScheduler` and returns
+      immediately — built for bulk loads; call :meth:`drain` (or any
+      exploration query, which quiesces first) to reach a consistent view.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[SystemRegistry] = None,
+        *,
+        async_maintenance: bool = False,
+        incremental_maintenance: bool = True,
+        maintenance_workers: int = 4,
+        maintenance_queue_size: int = 256,
+    ):
         from repro.storage.polystore import Polystore
 
         self.polystore = Polystore()
         self.registry = registry or default_registry()
+        self.async_maintenance = async_maintenance
+        self.incremental_maintenance = incremental_maintenance
+        self._maintenance_workers = maintenance_workers
+        self._maintenance_queue_size = maintenance_queue_size
         self._datasets: Dict[str, Dataset] = {}
         self._catalog = None
         self._provenance = None
         self._discovery_index = None
+        self._keyword_index = None
         self._metadata_repository = None
+        self._runtime = None
+        self._maintainer = None
+        self._index_refresh_pending = False  # coalesces async refresh jobs
+        self._index_flag_lock = threading.Lock()
 
     @classmethod
     def in_memory(cls) -> "DataLake":
@@ -92,26 +126,132 @@ class DataLake:
             self._governance = GovernanceTool(recorder=self.provenance)
         return self._governance
 
+    @property
+    def runtime(self):
+        """The maintenance job scheduler (created on first access)."""
+        if self._runtime is None:
+            from repro.runtime.scheduler import JobScheduler
+
+            self._runtime = JobScheduler(
+                workers=self._maintenance_workers,
+                queue_size=self._maintenance_queue_size,
+            )
+        return self._runtime
+
+    @property
+    def maintainer(self):
+        """The incremental index maintainer (created on first access)."""
+        if self._maintainer is None:
+            from repro.runtime.incremental import IncrementalIndexMaintainer
+
+            self._maintainer = IncrementalIndexMaintainer()
+        return self._maintainer
+
     # -- ingestion tier -----------------------------------------------------------
 
     @traced("ingestion.lake.ingest", tier="ingestion", function="ingestion")
     def ingest(self, dataset: Dataset, extract_metadata: bool = True) -> Dataset:
-        """Ingest a :class:`Dataset`: place it, extract metadata, catalog it."""
-        from repro.ingestion.gemms import GemmsExtractor
+        """Ingest a :class:`Dataset`: place it, extract metadata, catalog it.
 
+        In async mode the metadata/catalog/index work is enqueued on
+        :attr:`runtime` instead of running inline; :meth:`drain` is the
+        barrier that waits for it.
+        """
         placement = self.polystore.store(dataset)
         self._datasets[dataset.name] = dataset
-        if extract_metadata:
-            extractor = GemmsExtractor()
-            record = extractor.extract(dataset)
-            self.metadata_repository.add(record)
-            dataset.properties.update(record.properties)
+        if self.async_maintenance:
+            self._enqueue_maintenance(dataset, placement, extract_metadata)
+        else:
+            if extract_metadata:
+                self._extract_metadata(dataset)
+            self._register_catalog(dataset, placement)
+            self._note_index_change(dataset)
+        return dataset
+
+    # -- maintenance work units (run inline in sync mode, as jobs in async) --------
+
+    def _extract_metadata(self, dataset: Dataset) -> None:
+        from repro.ingestion.gemms import GemmsExtractor
+
+        record = GemmsExtractor().extract(dataset)
+        self.metadata_repository.add(record)
+        dataset.properties.update(record.properties)
+
+    def _register_catalog(self, dataset: Dataset, placement) -> None:
         with get_recorder().span("maintenance.catalog.register", tier="maintenance",
                                  system="GOODS", function="dataset_organization"):
             self.catalog.register(dataset, backend=placement.backend)
             self.provenance.record_ingest(dataset.name, source=dataset.source)
-        self._discovery_index = None  # indexes are rebuilt lazily on change
-        return dataset
+
+    def _note_index_change(self, dataset: Dataset) -> None:
+        if not self.incremental_maintenance:
+            # seed behavior: throw the indexes away, rebuild lazily on access
+            self._discovery_index = None
+            self._keyword_index = None
+            return
+        try:
+            table = dataset.as_table()
+        except SchemaError:
+            get_registry().counter("lake.index.skipped_nontabular").inc()
+            return
+        self.maintainer.note(table)
+
+    def _enqueue_maintenance(self, dataset: Dataset, placement, extract_metadata: bool) -> None:
+        # materialize the shared tier components on the caller thread: the
+        # lazy properties are not locked, and two worker-thread jobs racing
+        # through first access would each build (and one would drop) a store
+        self.catalog, self.provenance, self.metadata_repository
+        runtime = self.runtime
+        depends_on = []
+        if extract_metadata:
+            depends_on.append(runtime.submit(
+                self._extract_metadata, args=(dataset,),
+                name=f"metadata:{dataset.name}", tags={"dataset": dataset.name},
+            ))
+        # catalog entries describe the *enriched* dataset, so register after
+        # metadata extraction — same ordering the sync path guarantees
+        runtime.submit(
+            self._register_catalog, args=(dataset, placement),
+            name=f"catalog:{dataset.name}", depends_on=depends_on,
+            tags={"dataset": dataset.name},
+        )
+        self._note_index_change(dataset)  # the dirty mark itself is cheap
+        if self.incremental_maintenance:
+            self._submit_index_refresh()
+
+    def _submit_index_refresh(self) -> None:
+        """Enqueue one index-delta job; pending refreshes coalesce."""
+        with self._index_flag_lock:
+            if self._index_refresh_pending:
+                return
+            self._index_refresh_pending = True
+        self.runtime.submit(self._run_index_refresh, name="index:refresh")
+
+    def _run_index_refresh(self) -> int:
+        with self._index_flag_lock:
+            self._index_refresh_pending = False
+        return self.maintainer.refresh()
+
+    def _quiesce(self) -> None:
+        """In async mode, wait out enqueued maintenance before querying."""
+        if self.async_maintenance and self._runtime is not None and len(self._runtime):
+            self._runtime.drain()
+
+    def drain(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Barrier: wait for all enqueued maintenance jobs; returns results.
+
+        A no-op returning ``{}`` in sync mode.  Always returns — jobs that
+        failed permanently are in ``lake.runtime.dead_letter()``.
+        """
+        if self._runtime is None:
+            return {}
+        return self._runtime.drain(timeout)
+
+    def close(self) -> None:
+        """Drain and stop the maintenance runtime (no-op in sync mode)."""
+        if self._runtime is not None:
+            self._runtime.drain()
+            self._runtime.close()
 
     def ingest_table(
         self,
@@ -150,14 +290,22 @@ class DataLake:
         return self.dataset(name).as_table()
 
     def tables(self) -> List[Table]:
-        """All tabularizable datasets as tables."""
+        """All tabularizable datasets as tables.
+
+        Datasets without a tabular interpretation (free text, raw bytes) are
+        skipped and counted on the ``lake.tables.skipped_nontabular``
+        metric; any other failure propagates instead of being swallowed.
+        """
         out = []
+        skipped = 0
         for name in self.datasets():
             dataset = self._datasets[name]
             try:
                 out.append(dataset.as_table())
-            except Exception:
-                continue
+            except SchemaError:
+                skipped += 1
+        if skipped:
+            get_registry().counter("lake.tables.skipped_nontabular").inc(skipped)
         return out
 
     def __contains__(self, name: str) -> bool:
@@ -170,7 +318,15 @@ class DataLake:
 
     @property
     def discovery(self):
-        """A lazily (re)built Aurum discovery engine over the lake's tables."""
+        """The Aurum discovery engine, current as of this access.
+
+        Incremental mode returns the maintainer's persistent engine with
+        pending deltas applied; full mode lazily rebuilds from scratch
+        after every invalidating ingest (the seed behavior).
+        """
+        if self.incremental_maintenance:
+            self._quiesce()
+            return self.maintainer.engine()
         if self._discovery_index is None:
             from repro.discovery.aurum import Aurum
 
@@ -209,12 +365,25 @@ class DataLake:
             function="keyword_search")
     def keyword_search(self, keywords: str, k: int = 10):
         """Keyword search over schemata and values (Sec. 7.2, Constance)."""
-        from repro.exploration.keyword import KeywordSearch
+        return self._keyword_searcher().search(keywords, k=k)
 
-        searcher = KeywordSearch()
-        for table in self.tables():
-            searcher.add_table(table)
-        return searcher.search(keywords, k=k)
+    def _keyword_searcher(self):
+        """The lake's keyword index — persistent, never rebuilt per query.
+
+        Incremental mode shares the maintainer's delta-maintained index;
+        full mode caches a searcher that ingest invalidates.
+        """
+        if self.incremental_maintenance:
+            self._quiesce()
+            return self.maintainer.searcher()
+        if self._keyword_index is None:
+            from repro.exploration.keyword import KeywordSearch
+
+            searcher = KeywordSearch()
+            for table in self.tables():
+                searcher.add_table(table)
+            self._keyword_index = searcher
+        return self._keyword_index
 
     # -- reporting ---------------------------------------------------------------------
 
@@ -227,10 +396,13 @@ class DataLake:
 
     def architecture_report(self) -> Dict[str, Any]:
         """Live snapshot of the Fig. 2 architecture for this lake instance."""
-        return {
+        report = {
             "storage": self.polystore.backend_summary(),
             "datasets": len(self),
             "catalog_entries": len(self.catalog),
             "provenance_events": len(self.provenance),
             "metadata_records": len(self.metadata_repository),
         }
+        if self._runtime is not None:
+            report["maintenance_jobs"] = self._runtime.stats()
+        return report

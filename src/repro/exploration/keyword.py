@@ -52,6 +52,28 @@ class KeywordSearch:
                 for token in tokenize(str(value)):
                     self._index[token][table.name]["value"].add(str(value))
 
+    def remove_table(self, name: str) -> bool:
+        """Drop every posting of table *name*; returns True when it was indexed.
+
+        Makes the index *maintainable*: a re-ingested table is removed and
+        re-added instead of forcing a rebuild of the whole inverted index.
+        """
+        if name not in self._tables:
+            return False
+        self._tables.discard(name)
+        for term in list(self._index):
+            posting = self._index[term]
+            posting.pop(name, None)
+            if not posting:
+                del self._index[term]
+        return True
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __contains__(self, table_name: str) -> bool:
+        return table_name in self._tables
+
     def search(self, keywords: str, k: int = 10) -> List[KeywordHit]:
         """Top-k tables for the query, schema matches boosted."""
         terms = tokenize(keywords)

@@ -40,6 +40,10 @@ INSTRUMENTATION_MANIFEST = (
     ("repro/storage/polystore.py", "Polystore", "fetch"),
     ("repro/ingestion/gemms.py", "GemmsExtractor", "extract"),
     ("repro/discovery/aurum.py", "Aurum", "build"),
+    ("repro/discovery/aurum.py", "Aurum", "build_delta"),
+    ("repro/runtime/scheduler.py", "JobScheduler", "submit"),
+    ("repro/runtime/scheduler.py", "JobScheduler", "drain"),
+    ("repro/runtime/incremental.py", "IncrementalIndexMaintainer", "refresh"),
     ("repro/discovery/aurum.py", "Aurum", "joinable"),
     ("repro/discovery/aurum.py", "Aurum", "related_tables"),
     ("repro/discovery/josie.py", "JosieIndex", "topk"),

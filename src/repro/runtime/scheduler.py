@@ -1,0 +1,414 @@
+"""Dependency-aware job scheduler over a bounded worker pool.
+
+The execution substrate of the maintenance runtime: jobs are submitted
+with optional dependencies (forming a DAG — a dependency must already be
+submitted, so topological order is guaranteed by construction), run on a
+small pool of daemon worker threads, and retried with backoff per their
+:class:`~repro.runtime.jobs.RetryPolicy`.  Failure is contained, never
+contagious to the pool: a job that exhausts its retries (or misses its
+deadline) is dead-lettered, its dependents are abandoned with
+``UpstreamFailed``, and :meth:`JobScheduler.drain` still returns.
+
+Backpressure is a bound on *outstanding* (non-terminal) jobs: once
+``queue_size`` jobs are in flight, ``submit`` blocks (or raises
+``QueueFull`` when ``block=False``) until workers free capacity — a bulk
+producer can never grow the queue without limit.
+
+Every state transition feeds ``repro.obs``: a ``runtime.queue_depth``
+gauge, submitted/succeeded/retried/dead counters, a ``runtime.job_ms``
+latency histogram, and one ``maintenance.runtime.job`` span per attempt.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.errors import (
+    JobTimeout,
+    MaintenanceError,
+    QueueFull,
+    SchedulerClosed,
+    UpstreamFailed,
+)
+from repro.obs import get_recorder, get_registry, traced
+from repro.runtime.jobs import (
+    DEAD,
+    PENDING,
+    QUEUED,
+    RETRYING,
+    RUNNING,
+    SUCCEEDED,
+    TERMINAL_STATES,
+    Job,
+    JobResult,
+    RetryPolicy,
+)
+
+
+class JobScheduler:
+    """Bounded worker pool executing dependency-ordered maintenance jobs."""
+
+    def __init__(
+        self,
+        workers: int = 4,
+        queue_size: int = 256,
+        default_retry: Optional[RetryPolicy] = None,
+    ):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        if queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        self.workers = workers
+        self.queue_size = queue_size
+        self.default_retry = default_retry or RetryPolicy()
+        self._cv = threading.Condition()
+        self._jobs: Dict[str, Job] = {}
+        self._state: Dict[str, str] = {}
+        self._results: Dict[str, JobResult] = {}
+        self._submitted_at: Dict[str, float] = {}
+        self._attempts: Dict[str, int] = {}
+        self._waiting: Dict[str, set] = {}        # job id -> unresolved dep ids
+        self._dependents: Dict[str, List[str]] = {}
+        self._ready: deque = deque()
+        self._deferred: List = []                 # heap of (ready_at, seq, job id)
+        self._dead: List[JobResult] = []
+        self._outstanding = 0
+        self._seq = itertools.count()
+        self._threads: List[threading.Thread] = []
+        self._closed = False
+        registry = get_registry()
+        self._m_submitted = registry.counter("runtime.jobs_submitted")
+        self._m_succeeded = registry.counter("runtime.jobs_succeeded")
+        self._m_retried = registry.counter("runtime.jobs_retried")
+        self._m_dead = registry.counter("runtime.jobs_dead")
+        self._m_backpressure = registry.counter("runtime.backpressure_waits")
+        self._g_depth = registry.gauge("runtime.queue_depth")
+        self._h_job_ms = registry.histogram("runtime.job_ms")
+
+    # -- submission --------------------------------------------------------------
+
+    @traced("maintenance.runtime.submit", tier="maintenance", system="runtime",
+            function="job_scheduling")
+    def submit(
+        self,
+        fn: Callable[..., Any],
+        *,
+        name: str = "",
+        args: Sequence[Any] = (),
+        kwargs: Optional[Dict[str, Any]] = None,
+        depends_on: Sequence[str] = (),
+        timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        tags: Optional[Dict[str, Any]] = None,
+        block: bool = True,
+    ) -> str:
+        """Submit a job; returns its id.  Blocks under backpressure.
+
+        ``depends_on`` must name already-submitted jobs (the DAG is built in
+        topological order); a dependency that is already dead kills the new
+        job immediately with ``UpstreamFailed``.
+        """
+        job = Job(fn=fn, name=name, args=tuple(args), kwargs=kwargs or {},
+                  depends_on=tuple(depends_on), timeout=timeout,
+                  retry=retry or self.default_retry, tags=dict(tags or {}))
+        with self._cv:
+            if self._closed:
+                raise SchedulerClosed("scheduler is closed")
+            while self._outstanding >= self.queue_size:
+                if not block:
+                    raise QueueFull(
+                        f"{self._outstanding} jobs outstanding "
+                        f"(queue_size={self.queue_size})"
+                    )
+                self._m_backpressure.inc()
+                self._cv.wait()
+                if self._closed:
+                    raise SchedulerClosed("scheduler closed while waiting to submit")
+            job_id = f"{job.name}#{next(self._seq)}"
+            unknown = [d for d in job.depends_on if d not in self._jobs]
+            if unknown:
+                raise MaintenanceError(f"job {job_id!r} depends on unknown job(s) {unknown}")
+            if job_id in job.depends_on:
+                raise MaintenanceError(f"job {job_id!r} cannot depend on itself")
+            self._jobs[job_id] = job
+            self._submitted_at[job_id] = time.monotonic()
+            self._attempts[job_id] = 0
+            self._outstanding += 1
+            self._m_submitted.inc()
+            dead_deps = [d for d in job.depends_on if self._state.get(d) == DEAD]
+            if dead_deps:
+                self._state[job_id] = PENDING
+                self._kill_locked(job_id, UpstreamFailed(
+                    f"dependency {dead_deps[0]!r} is dead"), attempts=0)
+            else:
+                unresolved = {d for d in job.depends_on
+                              if self._state.get(d) not in TERMINAL_STATES}
+                for dep in unresolved:
+                    self._dependents.setdefault(dep, []).append(job_id)
+                if unresolved:
+                    self._state[job_id] = PENDING
+                    self._waiting[job_id] = unresolved
+                else:
+                    self._enqueue_locked(job_id)
+            self._ensure_workers_locked()
+            self._cv.notify_all()
+        return job_id
+
+    @traced("maintenance.runtime.submit_many", tier="maintenance", system="runtime",
+            function="job_scheduling")
+    def submit_many(self, fns: Sequence[Callable[..., Any]], **options: Any) -> List[str]:
+        """Submit a batch of independent jobs with shared options."""
+        return [self.submit(fn, **options) for fn in fns]
+
+    # -- barriers ----------------------------------------------------------------
+
+    @traced("maintenance.runtime.drain", tier="maintenance", system="runtime",
+            function="job_scheduling")
+    def drain(self, timeout: Optional[float] = None) -> Dict[str, JobResult]:
+        """Block until every submitted job is terminal; returns all results.
+
+        Dead-lettered jobs are terminal, so ``drain`` returns even when work
+        has failed permanently — inspect :meth:`dead_letter` afterwards.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cv:
+            while self._outstanding > 0:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise JobTimeout(
+                        f"drain timed out with {self._outstanding} jobs outstanding"
+                    )
+                self._cv.wait(remaining)
+            return dict(self._results)
+
+    #: ``flush`` is the drain barrier under its buffered-IO name
+    flush = drain
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> JobResult:
+        """Block until *job_id* is terminal; returns its result."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cv:
+            if job_id not in self._jobs:
+                raise MaintenanceError(f"unknown job {job_id!r}")
+            while job_id not in self._results:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise JobTimeout(f"wait({job_id!r}) timed out")
+                self._cv.wait(remaining)
+            return self._results[job_id]
+
+    # -- introspection -----------------------------------------------------------
+
+    def status(self, job_id: str) -> str:
+        with self._cv:
+            try:
+                return self._state[job_id]
+            except KeyError:
+                raise MaintenanceError(f"unknown job {job_id!r}") from None
+
+    def result(self, job_id: str) -> Optional[JobResult]:
+        """The terminal result of *job_id*, or None while it is in flight."""
+        with self._cv:
+            if job_id not in self._jobs:
+                raise MaintenanceError(f"unknown job {job_id!r}")
+            return self._results.get(job_id)
+
+    def results(self) -> Dict[str, JobResult]:
+        with self._cv:
+            return dict(self._results)
+
+    def dead_letter(self) -> List[JobResult]:
+        """Results of permanently failed jobs, oldest first."""
+        with self._cv:
+            return list(self._dead)
+
+    def outstanding(self) -> int:
+        with self._cv:
+            return self._outstanding
+
+    def stats(self) -> Dict[str, Any]:
+        """Counts by state plus queue depth and pool size."""
+        with self._cv:
+            by_state: Dict[str, int] = {}
+            for state in self._state.values():
+                by_state[state] = by_state.get(state, 0) + 1
+            return {
+                "jobs": len(self._jobs),
+                "outstanding": self._outstanding,
+                "queue_depth": len(self._ready) + len(self._deferred),
+                "dead_letter": len(self._dead),
+                "workers": len(self._threads),
+                "by_state": by_state,
+            }
+
+    def __len__(self) -> int:
+        with self._cv:
+            return len(self._jobs)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self, timeout: Optional[float] = 5.0) -> None:
+        """Stop accepting work and join the workers (idempotent).
+
+        Queued-but-unstarted jobs are dead-lettered with ``SchedulerClosed``
+        so a pending ``drain`` in another thread still returns.
+        """
+        with self._cv:
+            if self._closed:
+                return
+            self._closed = True
+            error = SchedulerClosed("scheduler closed before execution")
+            for job_id, state in list(self._state.items()):
+                if state not in TERMINAL_STATES and state != RUNNING:
+                    self._kill_locked(job_id, error, attempts=self._attempts[job_id])
+            self._ready.clear()
+            self._deferred.clear()
+            self._cv.notify_all()
+            threads = list(self._threads)
+        for thread in threads:
+            thread.join(timeout)
+
+    def __enter__(self) -> "JobScheduler":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.drain()
+        self.close()
+        return False
+
+    # -- internals (all *_locked helpers require self._cv held) -------------------
+
+    def _ensure_workers_locked(self) -> None:
+        while len(self._threads) < self.workers:
+            thread = threading.Thread(
+                target=self._worker,
+                name=f"repro-maintenance-{len(self._threads)}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def _enqueue_locked(self, job_id: str, ready_at: Optional[float] = None) -> None:
+        if ready_at is None:
+            self._state[job_id] = QUEUED
+            self._ready.append(job_id)
+        else:
+            self._state[job_id] = RETRYING
+            heapq.heappush(self._deferred, (ready_at, next(self._seq), job_id))
+        self._g_depth.set(len(self._ready) + len(self._deferred))
+
+    def _worker(self) -> None:
+        while True:
+            with self._cv:
+                job_id = None
+                while job_id is None:
+                    if self._closed:
+                        return
+                    now = time.monotonic()
+                    while self._deferred and self._deferred[0][0] <= now:
+                        _, _, deferred_id = heapq.heappop(self._deferred)
+                        self._ready.append(deferred_id)
+                        self._state[deferred_id] = QUEUED
+                    if self._ready:
+                        job_id = self._ready.popleft()
+                        break
+                    delay = self._deferred[0][0] - now if self._deferred else None
+                    self._cv.wait(delay)
+                self._state[job_id] = RUNNING
+                self._g_depth.set(len(self._ready) + len(self._deferred))
+            self._run_one(job_id)
+
+    def _run_one(self, job_id: str) -> None:
+        job = self._jobs[job_id]
+        attempt = self._attempts[job_id] + 1
+        self._attempts[job_id] = attempt
+        deadline = (None if job.timeout is None
+                    else self._submitted_at[job_id] + job.timeout)
+        if deadline is not None and time.monotonic() > deadline:
+            with self._cv:
+                self._kill_locked(job_id, JobTimeout(
+                    f"deadline of {job.timeout}s passed before attempt {attempt}"
+                ), attempts=attempt - 1)
+                self._cv.notify_all()
+            return
+        start = time.perf_counter()
+        error: Optional[BaseException] = None
+        value: Any = None
+        with get_recorder().span("maintenance.runtime.job", tier="maintenance",
+                                 system="runtime", function="job_scheduling",
+                                 job=job.name, attempt=attempt, **job.tags):
+            try:
+                value = job.run()
+            except Exception as exc:  # noqa: BLE001 - contained: routed to retry/dead-letter
+                error = exc
+        latency_ms = (time.perf_counter() - start) * 1000.0
+        self._h_job_ms.observe(latency_ms)
+        with self._cv:
+            if error is None:
+                self._finish_locked(job_id, JobResult(
+                    job_id=job_id, name=job.name, status=SUCCEEDED, value=value,
+                    attempts=attempt, latency_ms=latency_ms,
+                    total_ms=(time.monotonic() - self._submitted_at[job_id]) * 1000.0,
+                ))
+            elif job.retry.retries(error, attempt) and not self._closed:
+                delay = job.retry.delay(job.name, attempt)
+                if deadline is not None and time.monotonic() + delay > deadline:
+                    self._kill_locked(job_id, JobTimeout(
+                        f"deadline of {job.timeout}s leaves no room for retry "
+                        f"after: {error!r}"
+                    ), attempts=attempt, latency_ms=latency_ms)
+                else:
+                    self._m_retried.inc()
+                    self._enqueue_locked(job_id, ready_at=time.monotonic() + delay)
+            else:
+                self._kill_locked(job_id, error, attempts=attempt,
+                                  latency_ms=latency_ms)
+            self._cv.notify_all()
+
+    def _finish_locked(self, job_id: str, result: JobResult) -> None:
+        self._state[job_id] = result.status
+        self._results[job_id] = result
+        self._outstanding -= 1
+        self._m_succeeded.inc()
+        for child in self._dependents.pop(job_id, ()):
+            unresolved = self._waiting.get(child)
+            if unresolved is None:
+                continue
+            unresolved.discard(job_id)
+            if not unresolved:
+                del self._waiting[child]
+                self._enqueue_locked(child)
+
+    def _kill_locked(
+        self,
+        job_id: str,
+        error: BaseException,
+        attempts: int,
+        latency_ms: float = 0.0,
+    ) -> None:
+        """Dead-letter *job_id* and cascade ``UpstreamFailed`` to dependents."""
+        job = self._jobs[job_id]
+        result = JobResult(
+            job_id=job_id, name=job.name, status=DEAD,
+            error=str(error), error_type=type(error).__name__,
+            attempts=attempts, latency_ms=latency_ms,
+            total_ms=(time.monotonic() - self._submitted_at[job_id]) * 1000.0,
+        )
+        self._state[job_id] = DEAD
+        self._results[job_id] = result
+        self._dead.append(result)
+        self._outstanding -= 1
+        self._m_dead.inc()
+        self._waiting.pop(job_id, None)
+        for child in self._dependents.pop(job_id, ()):
+            if self._state.get(child) not in TERMINAL_STATES:
+                self._kill_locked(
+                    child,
+                    UpstreamFailed(f"dependency {job_id!r} is dead: {error}"),
+                    attempts=self._attempts.get(child, 0),
+                )

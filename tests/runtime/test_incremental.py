@@ -1,0 +1,163 @@
+"""Tests for dirty-set tracking and delta-based index upkeep."""
+
+import pytest
+
+from repro.core.dataset import Table
+from repro.discovery.aurum import Aurum
+from repro.runtime import DirtySet, IncrementalIndexMaintainer
+
+
+def make_table(name, key_prefix="c", rows=30, extra=None):
+    data = {
+        f"{name}_id": [f"{name}-{i}" for i in range(rows)],
+        "customer_id": [f"{key_prefix}{i}" for i in range(rows)],
+    }
+    data.update(extra or {})
+    return Table.from_columns(name, data)
+
+
+class TestDirtySet:
+    def test_mark_and_take(self):
+        dirty = DirtySet()
+        a = make_table("a")
+        assert dirty.mark(a) is True
+        assert "a" in dirty and len(dirty) == 1
+        taken = dirty.take()
+        assert [t.name for t in taken] == ["a"]
+        assert len(dirty) == 0
+
+    def test_latest_payload_wins(self):
+        dirty = DirtySet()
+        old = make_table("a", rows=5)
+        new = make_table("a", rows=9)
+        assert dirty.mark(old) is True
+        assert dirty.mark(new) is False  # coalesced, not a new entry
+        assert len(dirty) == 1
+        assert len(dirty.take()[0]) == 9
+
+    def test_peek_does_not_drain(self):
+        dirty = DirtySet()
+        dirty.mark(make_table("x"))
+        assert dirty.peek() == ["x"]
+        assert len(dirty) == 1
+
+
+class TestIncrementalMaintainer:
+    def test_new_tables_become_queryable(self):
+        maintainer = IncrementalIndexMaintainer()
+        maintainer.note(make_table("customers"))
+        maintainer.note(make_table("orders"))
+        engine = maintainer.engine()
+        hits = engine.joinable("orders", "customer_id", k=3)
+        assert hits and hits[0][0] == ("customers", "customer_id")
+        assert len(maintainer) == 2 and "orders" in maintainer
+
+    def test_later_tables_use_delta_not_full_build(self, monkeypatch):
+        maintainer = IncrementalIndexMaintainer()
+        maintainer.note(make_table("customers"))
+        maintainer.note(make_table("orders"))
+        maintainer.refresh()  # first refresh may build from scratch
+
+        real_build = Aurum.build
+
+        def forbidden_build(self):
+            if not self._built:  # a real (non-short-circuited) full rebuild
+                raise AssertionError("full build() called on the incremental path")
+            return real_build(self)
+
+        monkeypatch.setattr(Aurum, "build", forbidden_build)
+        maintainer.note(make_table("products"))
+        maintainer.refresh()
+        hits = maintainer.engine().related_tables("products", k=3)
+        assert {name for name, _ in hits} >= {"customers", "orders"}
+
+    def test_refresh_is_idempotent_when_clean(self):
+        maintainer = IncrementalIndexMaintainer()
+        maintainer.note(make_table("solo"))
+        assert maintainer.refresh() == 1
+        assert maintainer.refresh() == 0
+
+    def test_keyword_index_is_persistent_and_updatable(self):
+        maintainer = IncrementalIndexMaintainer()
+        maintainer.note(make_table("events", extra={"city": ["berlin"] * 30}))
+        first = maintainer.searcher()
+        assert {h.table for h in first.search("berlin")} == {"events"}
+        maintainer.note(make_table("venues", extra={"city": ["berlin"] * 30}))
+        second = maintainer.searcher()
+        assert second is first  # same instance, never rebuilt
+        assert {h.table for h in second.search("berlin")} == {"events", "venues"}
+
+    def test_changed_table_is_reindexed(self):
+        maintainer = IncrementalIndexMaintainer()
+        maintainer.note(make_table("events", extra={"city": ["berlin"] * 30}))
+        maintainer.refresh()
+        # same name, substantially different content
+        maintainer.note(make_table("events", key_prefix="z",
+                                   extra={"city": ["tokyo"] * 30}))
+        searcher = maintainer.searcher()
+        assert searcher.search("berlin") == []
+        assert {h.table for h in searcher.search("tokyo")} == {"events"}
+
+
+class TestDeltaEquivalence:
+    """A delta-built EKG answers like a from-scratch build."""
+
+    def test_joinable_matches_full_build(self):
+        tables = [
+            make_table("customers"),
+            make_table("orders"),
+            make_table("tickets"),
+            make_table("refunds"),
+        ]
+        full = Aurum()
+        for table in tables:
+            full.add_table(table)
+        full.build()
+
+        delta = Aurum()
+        for table in tables:
+            delta.add_table(table)
+            delta.build_delta()
+
+        for query in ("orders", "tickets", "refunds"):
+            full_hits = full.joinable(query, "customer_id", k=3)
+            delta_hits = delta.joinable(query, "customer_id", k=3)
+            assert [ref for ref, _ in full_hits] == [ref for ref, _ in delta_hits]
+
+    def test_pkfk_matches_full_build(self):
+        key_table = Table.from_columns("dim", {
+            "customer_id": [f"c{i}" for i in range(40)],
+        })
+        fact_table = Table.from_columns("fact", {
+            "customer_id": [f"c{i % 20}" for i in range(40)],
+        })
+        full = Aurum()
+        full.add_table(key_table)
+        full.add_table(fact_table)
+        full.build()
+
+        delta = Aurum()
+        delta.add_table(key_table)
+        delta.build_delta()
+        delta.add_table(fact_table)
+        delta.build_delta()
+
+        assert [(k, o) for k, o, _ in delta.pkfk_candidates()] == \
+               [(k, o) for k, o, _ in full.pkfk_candidates()]
+
+
+class TestBuildDeltaEdgeCases:
+    def test_delta_with_no_staging_falls_back_to_full(self):
+        engine = Aurum()
+        engine.add_table(make_table("a"))
+        engine.add_table(make_table("b"))
+        ekg = engine.build_delta()  # first call: everything fresh == full build
+        assert ekg.num_nodes == 4
+        assert engine.build_delta() is ekg  # already built and clean
+
+    def test_traced_metadata_present(self):
+        # the lint requires build_delta/refresh to be traced entry points
+        assert hasattr(Aurum.build_delta, "__obs_span__")
+        assert hasattr(IncrementalIndexMaintainer.refresh, "__obs_span__")
+        span = Aurum.build_delta.__obs_span__
+        assert span["tier"] == "maintenance" and span["system"] == "Aurum"

@@ -1,0 +1,214 @@
+"""Tests for the dependency-aware, backpressured JobScheduler."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.errors import (
+    JobTimeout,
+    MaintenanceError,
+    QueueFull,
+    SchedulerClosed,
+)
+from repro.runtime import DEAD, SUCCEEDED, JobScheduler, RetryPolicy
+
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.002, max_delay=0.01)
+
+
+@pytest.fixture
+def scheduler():
+    scheduler = JobScheduler(workers=3, queue_size=32, default_retry=FAST_RETRY)
+    yield scheduler
+    scheduler.close()
+
+
+class TestExecution:
+    def test_submit_and_drain_returns_values(self, scheduler):
+        ids = [scheduler.submit(lambda i=i: i * i, name=f"sq{i}") for i in range(10)]
+        results = scheduler.drain()
+        assert sorted(results[j].value for j in ids) == [i * i for i in range(10)]
+        assert all(results[j].status == SUCCEEDED for j in ids)
+
+    def test_dependency_ordering(self, scheduler):
+        order = []
+        first = scheduler.submit(lambda: order.append("first"), name="first")
+        second = scheduler.submit(lambda: order.append("second"),
+                                  name="second", depends_on=[first])
+        third = scheduler.submit(lambda: order.append("third"),
+                                 name="third", depends_on=[second])
+        scheduler.drain()
+        assert order == ["first", "second", "third"]
+        assert scheduler.status(third) == SUCCEEDED
+
+    def test_dependency_on_already_finished_job(self, scheduler):
+        first = scheduler.submit(lambda: 1, name="first")
+        scheduler.drain()
+        second = scheduler.submit(lambda: 2, name="second", depends_on=[first])
+        assert scheduler.drain()[second].value == 2
+
+    def test_unknown_dependency_rejected(self, scheduler):
+        with pytest.raises(MaintenanceError, match="unknown job"):
+            scheduler.submit(lambda: 1, depends_on=["ghost#99"])
+
+    def test_results_and_wait(self, scheduler):
+        job_id = scheduler.submit(lambda: "done", name="solo")
+        assert scheduler.wait(job_id, timeout=5).value == "done"
+        assert scheduler.result(job_id).ok
+        with pytest.raises(MaintenanceError):
+            scheduler.status("nope#0")
+
+
+class TestRetry:
+    def test_transient_failure_succeeds_after_backoff(self, scheduler):
+        calls = []
+
+        def flaky():
+            calls.append(time.monotonic())
+            if len(calls) < 3:
+                raise ValueError("transient fault")
+            return "recovered"
+
+        job_id = scheduler.submit(flaky, name="flaky")
+        result = scheduler.wait(job_id, timeout=10)
+        assert result.status == SUCCEEDED
+        assert result.value == "recovered"
+        assert result.attempts == 3
+        # backoff actually waited between attempts
+        assert calls[1] - calls[0] >= FAST_RETRY.base_delay
+        assert scheduler.dead_letter() == []
+
+    def test_permanent_failure_lands_in_dead_letter(self, scheduler):
+        def broken():
+            raise RuntimeError("permanent fault")
+
+        job_id = scheduler.submit(broken, name="broken")
+        results = scheduler.drain()  # must return despite the dead job
+        assert results[job_id].status == DEAD
+        assert results[job_id].attempts == FAST_RETRY.max_attempts
+        assert results[job_id].error_type == "RuntimeError"
+        dead = scheduler.dead_letter()
+        assert [r.job_id for r in dead] == [job_id]
+        # the scheduler is not wedged: new work still runs
+        assert scheduler.wait(scheduler.submit(lambda: 7), timeout=5).value == 7
+
+    def test_non_retryable_error_dies_on_first_attempt(self, scheduler):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.001, retry_on=(ValueError,))
+        job_id = scheduler.submit(lambda: 1 / 0, name="div", retry=policy)
+        result = scheduler.wait(job_id, timeout=5)
+        assert result.status == DEAD
+        assert result.attempts == 1
+
+    def test_dead_dependency_cascades_upstream_failed(self, scheduler):
+        dead_id = scheduler.submit(lambda: (_ for _ in ()).throw(RuntimeError("x")),
+                                   name="dead")
+        child = scheduler.submit(lambda: "never", name="child", depends_on=[dead_id])
+        grandchild = scheduler.submit(lambda: "never", name="grandchild",
+                                      depends_on=[child])
+        results = scheduler.drain()
+        assert results[child].error_type == "UpstreamFailed"
+        assert results[grandchild].error_type == "UpstreamFailed"
+        # submitting against an already-dead dependency dies immediately
+        late = scheduler.submit(lambda: "late", name="late", depends_on=[dead_id])
+        assert scheduler.wait(late, timeout=5).error_type == "UpstreamFailed"
+
+
+class TestDeadlines:
+    def test_expired_deadline_skips_execution(self, scheduler):
+        ran = []
+        gate = threading.Event()
+        # saturate the workers so the deadlined job sits in the queue
+        blockers = [scheduler.submit(gate.wait, name=f"block{i}") for i in range(3)]
+        job_id = scheduler.submit(lambda: ran.append(1), name="stale", timeout=0.05)
+        time.sleep(0.15)
+        gate.set()
+        results = scheduler.drain()
+        assert results[job_id].status == DEAD
+        assert results[job_id].error_type == "JobTimeout"
+        assert ran == []
+        assert all(results[b].status == SUCCEEDED for b in blockers)
+
+    def test_deadline_cuts_retry_loop_short(self, scheduler):
+        policy = RetryPolicy(max_attempts=50, base_delay=0.05, max_delay=0.05)
+        job_id = scheduler.submit(lambda: 1 / 0, name="doomed",
+                                  timeout=0.08, retry=policy)
+        result = scheduler.wait(job_id, timeout=10)
+        assert result.status == DEAD
+        assert result.error_type == "JobTimeout"
+        assert result.attempts < 50
+
+
+class TestBackpressure:
+    def test_non_blocking_submit_raises_queue_full(self):
+        scheduler = JobScheduler(workers=1, queue_size=2)
+        gate = threading.Event()
+        try:
+            scheduler.submit(gate.wait, name="hold")
+            scheduler.submit(lambda: 1, name="queued")
+            with pytest.raises(QueueFull):
+                scheduler.submit(lambda: 2, name="rejected", block=False)
+        finally:
+            gate.set()
+            scheduler.drain()
+            scheduler.close()
+
+    def test_blocking_submit_waits_for_capacity(self):
+        scheduler = JobScheduler(workers=1, queue_size=1)
+        gate = threading.Event()
+        try:
+            scheduler.submit(gate.wait, name="hold")
+            unblocked = []
+
+            def producer():
+                scheduler.submit(lambda: unblocked.append(1), name="pushed")
+
+            thread = threading.Thread(target=producer)
+            thread.start()
+            thread.join(0.05)
+            assert thread.is_alive()  # submit is blocked on backpressure
+            gate.set()
+            thread.join(5)
+            assert not thread.is_alive()
+            scheduler.drain()
+            assert unblocked == [1]
+        finally:
+            gate.set()
+            scheduler.close()
+
+
+class TestLifecycle:
+    def test_stats_and_len(self, scheduler):
+        ids = [scheduler.submit(lambda: None) for _ in range(5)]
+        scheduler.drain()
+        stats = scheduler.stats()
+        assert stats["jobs"] == len(scheduler) == 5
+        assert stats["outstanding"] == 0
+        assert stats["by_state"] == {SUCCEEDED: 5}
+        assert all(scheduler.status(i) == SUCCEEDED for i in ids)
+
+    def test_submit_after_close_raises(self, scheduler):
+        scheduler.submit(lambda: 1)
+        scheduler.drain()
+        scheduler.close()
+        scheduler.close()  # idempotent
+        with pytest.raises(SchedulerClosed):
+            scheduler.submit(lambda: 2)
+
+    def test_context_manager_drains(self):
+        hits = []
+        with JobScheduler(workers=2, queue_size=8) as scheduler:
+            for _ in range(4):
+                scheduler.submit(lambda: hits.append(1))
+        assert hits == [1, 1, 1, 1]
+
+    def test_drain_timeout(self):
+        scheduler = JobScheduler(workers=1, queue_size=4)
+        gate = threading.Event()
+        try:
+            scheduler.submit(gate.wait, name="hold")
+            with pytest.raises(JobTimeout):
+                scheduler.drain(timeout=0.05)
+        finally:
+            gate.set()
+            scheduler.drain()
+            scheduler.close()

@@ -1,0 +1,92 @@
+"""Tier-1 gate: no new swallow-everything ``except`` handlers under src/."""
+
+import pathlib
+import sys
+import textwrap
+
+TOOLS = pathlib.Path(__file__).resolve().parent.parent / "tools"
+if str(TOOLS) not in sys.path:
+    sys.path.insert(0, str(TOOLS))
+
+import check_bare_except  # noqa: E402
+
+
+class TestRepoIsClean:
+    def test_src_tree_has_no_unsanctioned_broad_handlers(self):
+        violations = check_bare_except.check()
+        assert violations == [], "\n".join(violations)
+
+    def test_allowlist_is_current(self):
+        # every allowlisted file still exists and still needs its exemption
+        assert "repro/runtime/scheduler.py" in check_bare_except.ALLOWLIST
+
+    def test_main_returns_zero_on_clean_tree(self, capsys):
+        assert check_bare_except.main() == 0
+        assert "no unsanctioned" in capsys.readouterr().out
+
+
+class TestDetection:
+    def _check(self, tmp_path, source, allowlist=None):
+        (tmp_path / "mod.py").write_text(textwrap.dedent(source))
+        return check_bare_except.check(root=tmp_path, allowlist=allowlist or {})
+
+    def test_flags_bare_except(self, tmp_path):
+        violations = self._check(tmp_path, """
+            try:
+                work()
+            except:
+                pass
+        """)
+        assert len(violations) == 1 and "mod.py:4" in violations[0]
+
+    def test_flags_except_exception_and_base_exception(self, tmp_path):
+        violations = self._check(tmp_path, """
+            try:
+                work()
+            except Exception:
+                pass
+            try:
+                work()
+            except (ValueError, BaseException):
+                pass
+        """)
+        assert len(violations) == 2
+
+    def test_reraising_handler_is_sanctioned(self, tmp_path):
+        violations = self._check(tmp_path, """
+            try:
+                work()
+            except Exception as exc:
+                log(exc)
+                raise
+        """)
+        assert violations == []
+
+    def test_narrow_handler_is_fine(self, tmp_path):
+        violations = self._check(tmp_path, """
+            try:
+                work()
+            except (ValueError, KeyError):
+                pass
+        """)
+        assert violations == []
+
+    def test_allowlist_sanctions_exact_count(self, tmp_path):
+        source = """
+            try:
+                work()
+            except Exception:
+                pass
+            try:
+                work()
+            except Exception:
+                pass
+        """
+        assert self._check(tmp_path, source, allowlist={"mod.py": 2}) == []
+        over_budget = self._check(tmp_path, source, allowlist={"mod.py": 1})
+        assert len(over_budget) == 1
+
+    def test_stale_allowlist_entry_is_a_violation(self, tmp_path):
+        violations = check_bare_except.check(
+            root=tmp_path, allowlist={"gone.py": 1})
+        assert violations and "stale allowlist" in violations[0]

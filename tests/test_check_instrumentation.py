@@ -52,3 +52,39 @@ class TestInstrumentationLint:
         assert check_instrumentation.main() == 0
         out = capsys.readouterr().out
         assert "instrumented" in out
+
+
+class TestRuntimeEntryPointLint:
+    def test_repo_runtime_entry_points_are_traced(self):
+        violations = check_instrumentation.check_runtime()
+        assert violations == [], "\n".join(violations)
+
+    def test_detects_untraced_job_entry_point(self, tmp_path):
+        runtime = tmp_path / "repro" / "runtime"
+        runtime.mkdir(parents=True)
+        (runtime / "rogue.py").write_text(
+            "from repro.obs import traced\n"
+            "class RogueScheduler:\n"
+            "    @traced('ok')\n"
+            "    def submit(self):\n"
+            "        pass\n"
+            "    def drain_all(self):\n"            # entry point, untraced
+            "        pass\n"
+            "    def refresh(self):\n"              # entry point, untraced
+            "        pass\n"
+            "    def _drain_locked(self):\n"        # private: exempt
+            "        pass\n"
+            "    def peek(self):\n"                 # not an entry-point name: exempt
+            "        pass\n"
+            "class _Internal:\n"                    # private class: exempt
+            "    def submit(self):\n"
+            "        pass\n"
+        )
+        violations = check_instrumentation.check_runtime(root=tmp_path)
+        assert len(violations) == 2
+        assert any("RogueScheduler.drain_all" in v for v in violations)
+        assert any("RogueScheduler.refresh" in v for v in violations)
+
+    def test_missing_runtime_package_is_a_violation(self, tmp_path):
+        violations = check_instrumentation.check_runtime(root=tmp_path)
+        assert violations and "not found" in violations[0]

@@ -1,0 +1,122 @@
+"""Concurrency stress: metrics and span recording under the maintenance pool.
+
+The maintenance runtime executes jobs on worker threads, and every job
+reports through the observability layer.  These tests hammer a shared
+:class:`MetricsRegistry` and :class:`SpanRecorder` from the
+:class:`JobScheduler` worker pool and check that nothing is lost: counter
+totals are exact, gauges net out to zero, histograms see every sample,
+and no span is left open (orphaned) on any worker thread.
+"""
+
+import threading
+
+from repro.obs import MetricsRegistry, SpanRecorder
+from repro.runtime import NO_RETRY, JobScheduler
+
+WORKERS = 8
+JOBS = 120
+INCS_PER_JOB = 50
+
+
+class TestMetricsUnderWorkerPool:
+    def test_no_lost_counter_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("stress.ops")
+
+        def bump():
+            for _ in range(INCS_PER_JOB):
+                counter.inc()
+
+        with JobScheduler(workers=WORKERS, queue_size=JOBS) as scheduler:
+            for i in range(JOBS):
+                scheduler.submit(bump, name=f"bump{i}")
+        assert counter.value == JOBS * INCS_PER_JOB
+
+    def test_gauge_inc_dec_nets_to_zero(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("stress.in_flight")
+
+        def wobble():
+            for _ in range(INCS_PER_JOB):
+                gauge.inc()
+                gauge.dec()
+
+        with JobScheduler(workers=WORKERS, queue_size=JOBS) as scheduler:
+            for i in range(JOBS):
+                scheduler.submit(wobble, name=f"wobble{i}")
+        assert gauge.value == 0
+
+    def test_histogram_sees_every_sample(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("stress.latency_ms")
+
+        def observe(value):
+            histogram.observe(value)
+
+        with JobScheduler(workers=WORKERS, queue_size=JOBS) as scheduler:
+            for i in range(JOBS):
+                scheduler.submit(observe, args=(float(i % 10),), name=f"obs{i}")
+        assert histogram.count == JOBS
+        assert histogram.sum == sum(float(i % 10) for i in range(JOBS))
+
+    def test_concurrent_get_or_create_yields_one_instance(self):
+        registry = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(WORKERS)
+
+        def fetch():
+            barrier.wait()  # maximize the chance of a racing first access
+            seen.append(registry.counter("stress.singleton"))
+
+        threads = [threading.Thread(target=fetch) for _ in range(WORKERS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(seen) == WORKERS
+        assert all(c is seen[0] for c in seen)
+        seen[0].inc()
+        assert registry.counter("stress.singleton").value == 1
+
+
+class TestSpansUnderWorkerPool:
+    def test_every_job_span_is_recorded_and_closed(self):
+        registry = MetricsRegistry()
+        recorder = SpanRecorder(registry=registry)
+        leaks = []
+
+        def traced_work(i):
+            with recorder.span("stress.job", tier="maintenance", job=i) as span:
+                with recorder.span("stress.step", tier="maintenance"):
+                    span.add("steps")
+            if recorder.current() is not None:  # orphan on this worker thread
+                leaks.append(i)
+
+        with JobScheduler(workers=WORKERS, queue_size=JOBS) as scheduler:
+            for i in range(JOBS):
+                scheduler.submit(traced_work, args=(i,), name=f"span{i}")
+
+        assert leaks == []
+        spans = recorder.all_spans()
+        assert len(spans) == 2 * JOBS
+        roots = recorder.roots()
+        assert len(roots) == JOBS  # every job span is a root, none nested across threads
+        assert {s.tags["job"] for s in roots} == set(range(JOBS))
+        assert all(len(root.children) == 1 for root in roots)
+        assert recorder.current() is None  # main thread untouched
+
+    def test_failing_jobs_do_not_leak_open_spans(self):
+        recorder = SpanRecorder(registry=MetricsRegistry())
+
+        def explode(i):
+            with recorder.span("stress.doomed", job=i):
+                raise ValueError(f"boom {i}")
+
+        with JobScheduler(workers=WORKERS, queue_size=JOBS) as scheduler:
+            for i in range(JOBS):
+                scheduler.submit(explode, args=(i,), name=f"boom{i}", retry=NO_RETRY)
+            scheduler.drain()
+            assert len(scheduler.dead_letter()) == JOBS
+        assert len(recorder.all_spans()) == JOBS
+        assert recorder.current() is None
+        assert all(span.status == "error" for span in recorder.all_spans())

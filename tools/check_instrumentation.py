@@ -6,16 +6,23 @@ Walks the AST of the files named in
 longer exists — a stale manifest is also a failure, so renames can't
 silently drop instrumentation).
 
+A second rule covers the maintenance runtime without needing manifest
+entries per method: every public job entry point in ``repro/runtime``
+(public methods named ``submit*``, ``drain*``, ``flush*``, ``refresh*``,
+``rebuild*``, ``execute*`` or ``apply*`` on public classes) must be
+``@traced`` — new scheduler surface cannot ship untraced.
+
 Run from the repository root::
 
     PYTHONPATH=src python tools/check_instrumentation.py
 
 A tier-1 test (``tests/test_check_instrumentation.py``) runs the same
-check on every test run.
+checks on every test run.
 """
 
 import ast
 import pathlib
+import re
 import sys
 
 SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
@@ -81,14 +88,46 @@ def check(manifest=INSTRUMENTATION_MANIFEST, root: pathlib.Path = SRC):
     return violations
 
 
+#: public method names that constitute a runtime job entry point
+RUNTIME_ENTRY_POINT = re.compile(
+    r"^(submit|drain|flush|refresh|rebuild|execute|apply)(_|$)"
+)
+
+
+def check_runtime(root: pathlib.Path = SRC):
+    """Every job entry point under ``repro/runtime`` must be ``@traced``."""
+    violations = []
+    runtime_dir = root / "repro" / "runtime"
+    if not runtime_dir.is_dir():
+        return ["repro/runtime: package not found (runtime lint has nothing to scan)"]
+    for path in sorted(runtime_dir.glob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        rel = path.relative_to(root)
+        for node in tree.body:
+            if not isinstance(node, ast.ClassDef) or node.name.startswith("_"):
+                continue
+            for item in node.body:
+                if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if item.name.startswith("_") or not RUNTIME_ENTRY_POINT.match(item.name):
+                    continue
+                if not _has_traced_decorator(item):
+                    violations.append(
+                        f"{rel}: {node.name}.{item.name} is a runtime job entry "
+                        f"point missing a @traced decorator"
+                    )
+    return violations
+
+
 def main() -> int:
-    violations = check()
+    violations = check() + check_runtime()
     if violations:
         print(f"{len(violations)} instrumentation violation(s):")
         for violation in violations:
             print(f"  - {violation}")
         return 1
-    print(f"all {len(INSTRUMENTATION_MANIFEST)} manifest entry points are instrumented")
+    print(f"all {len(INSTRUMENTATION_MANIFEST)} manifest entry points and all "
+          f"runtime job entry points are instrumented")
     return 0
 
 
