@@ -10,6 +10,11 @@ the spans each benchmark produced (the instrumented hot paths fire
 automatically), and the session writes one consolidated
 ``BENCH_observability.json`` with per-test and per-system timing
 aggregates — the repo's machine-readable perf trajectory.
+
+``repro.analysis`` rides along the same way: the session end runs the
+lakelint engine over ``src``/``benchmarks``/``tools`` and writes its JSON
+report as ``BENCH_lint.json`` next to the other ``BENCH_*`` artifacts, so
+every benchmark run records static-analysis health alongside perf.
 """
 
 import json
@@ -20,9 +25,13 @@ import pytest
 from repro.obs import aggregate_spans, get_recorder, reset as obs_reset
 
 _REPORTS = []
+_REPO_ROOT = pathlib.Path(__file__).parent.parent
 _RESULTS_DIR = pathlib.Path(__file__).parent / "results"
-_OBS_PATH = pathlib.Path(__file__).parent.parent / "BENCH_observability.json"
+_OBS_PATH = _REPO_ROOT / "BENCH_observability.json"
 _OBS_TESTS = []
+_LINT_PATH = _REPO_ROOT / "BENCH_lint.json"
+_LINT_PATHS = ("src", "benchmarks", "tools")
+_LINT_SUMMARY = []
 
 
 def add_report(name: str, text: str) -> None:
@@ -60,7 +69,26 @@ def _merge(target, entry):
     return target
 
 
+def _write_lint_artifact():
+    """Run lakelint over the default trees and persist the JSON report."""
+    try:
+        from repro.analysis import LintEngine, default_rules
+
+        result = LintEngine(default_rules()).run(
+            [_REPO_ROOT / p for p in _LINT_PATHS], root=_REPO_ROOT)
+    except Exception as exc:
+        print(f"lakelint artifact skipped: {exc}")
+        return
+    _LINT_PATH.write_text(
+        json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n")
+    state = "clean" if result.clean else f"{len(result.findings)} finding(s)"
+    _LINT_SUMMARY.append(
+        f"wrote {_LINT_PATH.name}: {state} across {result.files_scanned} "
+        f"files, {len(result.rules)} rules")
+
+
 def pytest_sessionfinish(session, exitstatus):
+    _write_lint_artifact()
     if not _OBS_TESTS:
         return
     systems = {}
@@ -81,6 +109,10 @@ def pytest_sessionfinish(session, exitstatus):
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if _LINT_SUMMARY:
+        terminalreporter.section("lakelint")
+        for line in _LINT_SUMMARY:
+            terminalreporter.write_line(line)
     if _OBS_TESTS:
         terminalreporter.section("observability")
         terminalreporter.write_line(

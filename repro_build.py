@@ -122,6 +122,41 @@ def build_editable(wheel_directory, config_settings=None, metadata_directory=Non
     return _write_wheel(wheel_directory, [pth])
 
 
+def _load_tasks():
+    """Parse the ``[tool.repro.tasks]`` table from pyproject.toml.
+
+    The values are plain ``name = "script args"`` strings, so a line scan
+    suffices — no tomllib needed (the backend must import on >= 3.9).
+    """
+    tasks = {}
+    in_section = False
+    with open(os.path.join(ROOT, "pyproject.toml"), encoding="utf-8") as handle:
+        for line in handle:
+            stripped = line.strip()
+            if stripped.startswith("["):
+                in_section = stripped == "[tool.repro.tasks]"
+            elif in_section and "=" in stripped and not stripped.startswith("#"):
+                name, _, value = stripped.partition("=")
+                tasks[name.strip()] = value.strip().strip('"')
+    return tasks
+
+
+def main(argv=None) -> int:
+    """Task-runner entry point: ``python repro_build.py lint [args...]``."""
+    import subprocess
+    import sys
+
+    argv = sys.argv[1:] if argv is None else list(argv)
+    tasks = _load_tasks()
+    if not argv or argv[0] not in tasks:
+        known = ", ".join(sorted(tasks)) or "(none defined)"
+        print(f"usage: python repro_build.py <task> [args...] — tasks: {known}")
+        return 2
+    script, *base_args = tasks[argv[0]].split()
+    command = [sys.executable, os.path.join(ROOT, script), *base_args, *argv[1:]]
+    return subprocess.call(command)
+
+
 def build_sdist(sdist_directory, config_settings=None):
     import tarfile
 
@@ -139,3 +174,7 @@ def build_sdist(sdist_directory, config_settings=None):
             if os.path.exists(path):
                 archive.add(path, arcname=f"{base}/{name}")
     return sdist_name
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,185 @@
+"""The single-pass lint engine: discover, parse once, run rules, filter.
+
+:class:`LintEngine` walks the requested paths, parses every ``.py`` file
+exactly once into a shared :class:`~repro.analysis.walker.Module`, runs
+each in-scope rule over each module, gives every rule one cross-file
+``finalize`` pass, then applies the two suppression mechanisms:
+
+- inline ``# lakelint: disable=<rule>`` pragmas on the finding's line;
+- per-rule allowlists (path suffix → sanctioned finding count), with
+  stale entries — an allowlisted file that no longer exists — reported
+  as findings themselves so allowlists cannot rot.
+
+A file that fails to parse yields a ``parse-error`` finding rather than
+aborting the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Context, Rule, default_rules
+from repro.analysis.walker import Module, parse_module
+
+#: JSON payload schema tag, bumped on breaking reporter changes
+SCHEMA = "repro.analysis/lint-v1"
+
+PathLike = Union[str, pathlib.Path]
+
+
+class LintPathError(ValueError):
+    """A requested scan path does not exist or is not lintable."""
+
+
+@dataclass
+class LintResult:
+    """Everything one engine run produced, ready for the reporters."""
+
+    findings: List[Finding]
+    files_scanned: int
+    rules: List[Rule] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "clean": self.clean,
+            "files_scanned": self.files_scanned,
+            "rules": [{"name": rule.name, "description": rule.description}
+                      for rule in self.rules],
+            "counts": self.counts_by_rule(),
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+
+def _discover(path: pathlib.Path) -> Iterable[pathlib.Path]:
+    if path.is_file():
+        if path.suffix == ".py":
+            yield path
+        return
+    for candidate in sorted(path.rglob("*.py")):
+        if any(part == "__pycache__" or part.startswith(".")
+               for part in candidate.relative_to(path).parts):
+            continue
+        yield candidate
+
+
+class LintEngine:
+    """Runs a rule set over a file tree in one parse pass."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None):
+        self.rules: List[Rule] = list(rules) if rules is not None else default_rules()
+
+    def run(self, paths: Sequence[PathLike], root: Optional[PathLike] = None) -> LintResult:
+        root_path = pathlib.Path(root if root is not None else ".").resolve()
+        modules, findings = self._load(paths, root_path)
+        for rule in self.rules:
+            rule.begin(root_path)
+        for module in modules:
+            for rule in self.rules:
+                if rule.in_scope(module.rel):
+                    findings.extend(rule.check_module(module))
+        ctx = Context(modules, root_path)
+        for rule in self.rules:
+            findings.extend(rule.finalize(ctx))
+        findings = self._apply_pragmas(findings, modules)
+        findings = self._apply_allowlists(findings, modules)
+        findings.sort(key=Finding.sort_key)
+        return LintResult(findings=findings, files_scanned=len(modules),
+                          rules=list(self.rules))
+
+    # -- file loading ------------------------------------------------------------
+
+    def _load(self, paths: Sequence[PathLike], root: pathlib.Path):
+        modules: List[Module] = []
+        findings: List[Finding] = []
+        seen = set()
+        for raw in paths:
+            path = pathlib.Path(raw)
+            if not path.is_absolute():
+                path = root / path
+            path = path.resolve()
+            if not path.exists():
+                raise LintPathError(f"no such file or directory: {raw}")
+            for file_path in _discover(path):
+                if file_path in seen:
+                    continue
+                seen.add(file_path)
+                rel = self._rel(file_path, path, root)
+                try:
+                    modules.append(parse_module(file_path, rel))
+                except SyntaxError as exc:
+                    findings.append(Finding(
+                        rule="parse-error", path=rel, line=exc.lineno or 0,
+                        message=f"file does not parse: {exc.msg}"))
+                except OSError as exc:
+                    findings.append(Finding(
+                        rule="parse-error", path=rel, line=0,
+                        message=f"file is unreadable: {exc}"))
+        return modules, findings
+
+    @staticmethod
+    def _rel(file_path: pathlib.Path, scan_path: pathlib.Path,
+             root: pathlib.Path) -> str:
+        try:
+            return file_path.relative_to(root).as_posix()
+        except ValueError:
+            pass  # outside the root (absolute fixture paths): anchor at the scan path
+        if scan_path.is_dir():
+            return (pathlib.PurePosixPath(scan_path.name)
+                    / file_path.relative_to(scan_path).as_posix()).as_posix()
+        return file_path.name
+
+    # -- suppression -------------------------------------------------------------
+
+    @staticmethod
+    def _apply_pragmas(findings: List[Finding], modules: Sequence[Module]):
+        by_rel = {module.rel: module for module in modules}
+        kept = []
+        for finding in findings:
+            module = by_rel.get(finding.path)
+            if module is not None and finding.line:
+                disabled = module.disabled_rules(finding.line)
+                if finding.rule in disabled or "all" in disabled:
+                    continue
+            kept.append(finding)
+        return kept
+
+    def _apply_allowlists(self, findings: List[Finding], modules: Sequence[Module]):
+        kept = list(findings)
+        for rule in self.rules:
+            if not rule.allowlist:
+                continue
+            for suffix, budget in sorted(rule.allowlist.items()):
+                matches_file = any(
+                    m.rel == suffix or m.rel.endswith("/" + suffix)
+                    for m in modules)
+                if not matches_file:
+                    kept.append(rule.finding(
+                        suffix, 0,
+                        "stale allowlist entry (file not found under the "
+                        "scanned paths)"))
+                    continue
+                remaining = budget
+                filtered = []
+                for finding in sorted(kept, key=Finding.sort_key):
+                    if (remaining > 0 and finding.rule == rule.name
+                            and (finding.path == suffix
+                                 or finding.path.endswith("/" + suffix))):
+                        remaining -= 1
+                        continue
+                    filtered.append(finding)
+                kept = filtered
+        return kept

@@ -1,0 +1,49 @@
+"""The finding/severity model shared by every lakelint rule.
+
+A :class:`Finding` is one rule violation anchored to a file (and, when
+the rule can point at a node, a line).  Findings are immutable and
+order-comparable so reports are deterministic regardless of rule or
+filesystem iteration order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+#: recognised severities, most severe first
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation: where, which rule, what, and how bad."""
+
+    rule: str
+    path: str       # posix-style path relative to the scan root
+    line: int       # 1-based; 0 = file-level / cross-file finding
+    message: str
+    severity: str = "error"
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}" if self.line else self.path
+
+    def format(self) -> str:
+        return f"{self.location}: [{self.rule}] {self.message}"
+
+    def sort_key(self):
+        return (self.path, self.line, self.rule, self.message)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "severity": self.severity,
+            "message": self.message,
+        }

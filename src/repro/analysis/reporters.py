@@ -1,0 +1,36 @@
+"""Finding reporters: human text and machine JSON.
+
+The JSON payload (schema ``repro.analysis/lint-v1``) is what
+``tools/lakelint.py --format json`` prints and what the benchmark
+harness records alongside the ``BENCH_*.json`` artifacts, so lint status
+travels with every benchmark run.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import LintResult
+
+
+def render_text(result: LintResult) -> str:
+    """One ``path:line: [rule] message`` line per finding plus a summary."""
+    lines = [finding.format() for finding in result.findings]
+    active = ", ".join(rule.name for rule in result.rules)
+    if result.clean:
+        lines.append(
+            f"clean: {result.files_scanned} file(s) pass "
+            f"{len(result.rules)} rule(s) ({active})")
+    else:
+        counts = result.counts_by_rule()
+        breakdown = ", ".join(f"{name}: {count}"
+                              for name, count in sorted(counts.items()))
+        lines.append(
+            f"{len(result.findings)} finding(s) in {result.files_scanned} "
+            f"file(s) — {breakdown}")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult, indent: int = 2) -> str:
+    """The ``repro.analysis/lint-v1`` payload as pretty-printed JSON."""
+    return json.dumps(result.to_dict(), indent=indent, sort_keys=True)

@@ -1,0 +1,90 @@
+"""Benchmark determinism: measurement paths must be reproducible.
+
+Every benchmark under ``benchmarks/`` regenerates a survey table or
+validates a comparative claim, and its numbers land in committed
+``BENCH_*.json`` artifacts — an unseeded RNG or a wall-clock-derived
+value makes those artifacts unreproducible and diffs meaningless.  The
+repo idiom is ``rng = random.Random(seed)`` for data and
+``time.perf_counter()`` for timing; this rule flags everything else:
+
+- the shared module-level RNG (``random.random()``, ``random.choice``,
+  ...) and unseeded ``random.Random()`` / ``numpy`` generators;
+- wall-clock reads (``time.time``, ``datetime.now`` and friends) whose
+  value would leak into benchmark data — ``perf_counter`` /
+  ``monotonic`` interval timing stays allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule
+from repro.analysis.walker import Module, dotted_name
+
+#: sanctioned attributes of the ``random`` module (seeded idioms)
+SEEDED_RANDOM_ATTRS = frozenset({"Random", "seed"})
+
+#: numpy generator constructors that are fine *when given a seed*
+NUMPY_SEEDED_CTORS = frozenset({"default_rng", "RandomState", "Generator"})
+
+#: wall-clock calls whose value is nondeterministic run to run
+WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns", "datetime.now", "datetime.utcnow",
+    "datetime.today", "date.today", "datetime.datetime.now",
+    "datetime.datetime.utcnow", "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+
+class BenchDeterminismRule(Rule):
+    """No unseeded randomness or wall-clock values in benchmark paths."""
+
+    name = "bench-determinism"
+    description = ("benchmarks must use seeded RNGs (random.Random(seed)) and "
+                   "perf_counter timing — no shared-RNG calls, unseeded "
+                   "generators, or wall-clock values")
+    scope = ("/benchmarks/",)
+
+    def check_module(self, module: Module) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                message = self._classify(node)
+                if message is not None:
+                    findings.append(self.finding(module.rel, node.lineno, message))
+        return findings
+
+    def _classify(self, node: ast.Call) -> Optional[str]:
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return None
+        seeded = bool(node.args or node.keywords)
+        if dotted == "random.Random":
+            if not seeded:
+                return ("unseeded `random.Random()` — pass an explicit seed "
+                        "so the benchmark is reproducible")
+            return None
+        if dotted.startswith("random.") and dotted.count(".") == 1:
+            attr = dotted.split(".", 1)[1]
+            if attr not in SEEDED_RANDOM_ATTRS:
+                return (f"`{dotted}()` uses the shared module-level RNG — "
+                        f"construct `random.Random(seed)` instead")
+            return None
+        if dotted in WALL_CLOCK:
+            return (f"`{dotted}()` is a wall-clock value — time intervals "
+                    f"with `time.perf_counter()` and derive data from fixed "
+                    f"seeds")
+        if (dotted.startswith(("np.random.", "numpy.random."))
+                and dotted.count(".") == 2):
+            attr = dotted.rsplit(".", 1)[1]
+            if attr in NUMPY_SEEDED_CTORS:
+                if not seeded:
+                    return (f"unseeded `{dotted}()` — pass an explicit seed "
+                            f"so the benchmark is reproducible")
+                return None
+            if attr != "seed":
+                return (f"`{dotted}()` uses numpy's shared global RNG — use "
+                        f"a seeded `default_rng(seed)` generator instead")
+        return None

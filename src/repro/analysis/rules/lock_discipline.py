@@ -1,0 +1,199 @@
+"""Lock-discipline rule for the concurrent subsystems (obs + runtime).
+
+The thread-safety story of ``repro.obs`` and ``repro.runtime`` is a
+convention: a class that creates a lock in ``__init__`` (``self._lock =
+threading.Lock()``, an ``RLock`` or a ``Condition``) protects its private
+mutable state with that lock.  This rule makes the convention checkable:
+
+- *protected attributes* are the private (``_``-prefixed) attributes
+  assigned in ``__init__`` of a lock-owning class, minus the lock
+  objects themselves and ``threading.local()`` slots (which are
+  per-thread by construction);
+- a *mutation* is a direct assignment / augmented assignment / deletion
+  of a protected attribute or one of its subscripts, a call to a known
+  container mutator on it (``append``, ``clear``, ``pop``, ``add``,
+  ``update``, ...), or a ``heapq`` heap operation targeting it;
+- every mutation outside ``__init__`` must happen lexically inside a
+  ``with self.<lock>:`` block, or inside a helper whose name ends in
+  ``_locked`` (the repo convention for "caller holds the lock").
+
+Reads are deliberately not checked (snapshot-read-without-lock is an
+accepted pattern here); the rule catches the dangerous half — writes
+racing other writers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule
+from repro.analysis.walker import Module, iter_classes, iter_methods, self_attribute
+
+#: constructors that make an attribute a lock (``threading.`` prefix optional)
+LOCK_FACTORIES = frozenset({"Lock", "RLock", "Condition", "Semaphore",
+                            "BoundedSemaphore"})
+
+#: constructors whose product is inherently thread-local, hence unprotected
+THREAD_LOCAL_FACTORIES = frozenset({"local"})
+
+#: method names that mutate a container in place
+MUTATOR_METHODS = frozenset({
+    "append", "appendleft", "extend", "extendleft", "insert", "remove",
+    "pop", "popleft", "popitem", "clear", "add", "discard", "update",
+    "setdefault",
+})
+
+#: module-level functions that mutate their first argument in place
+MUTATOR_FUNCTIONS = frozenset({
+    "heappush", "heappop", "heapify", "heappushpop", "heapreplace",
+})
+
+
+def _callee_base_name(call: ast.Call) -> str:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _classify_init(init_node: ast.AST) -> Tuple[Set[str], Set[str]]:
+    """(lock attrs, protected attrs) from the assignments in ``__init__``."""
+    locks: Set[str] = set()
+    protected: Set[str] = set()
+    for node in ast.walk(init_node):
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        else:
+            continue
+        for target in targets:
+            attr = self_attribute(target)
+            if attr is None:
+                continue
+            factory = (_callee_base_name(value)
+                       if isinstance(value, ast.Call) else "")
+            if factory in LOCK_FACTORIES:
+                locks.add(attr)
+            elif factory in THREAD_LOCAL_FACTORIES:
+                continue
+            elif attr.startswith("_"):
+                protected.add(attr)
+    return locks, protected - locks
+
+
+class _MutationScanner(ast.NodeVisitor):
+    """Collects (line, attr) mutations of protected attrs outside the lock."""
+
+    def __init__(self, protected: Set[str], locks: Set[str]):
+        self.protected = protected
+        self.locks = locks
+        self.lock_depth = 0
+        self.hits: List[Tuple[int, str]] = []
+
+    # -- lock tracking -----------------------------------------------------------
+
+    def _holds_lock(self, with_node) -> bool:
+        for item in with_node.items:
+            attr = self_attribute(item.context_expr)
+            if attr in self.locks:
+                return True
+        return False
+
+    def visit_With(self, node: ast.With) -> None:
+        locked = self._holds_lock(node)
+        self.lock_depth += locked
+        self.generic_visit(node)
+        self.lock_depth -= locked
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self.visit_With(node)  # same item shape
+
+    # -- mutation detection ------------------------------------------------------
+
+    def _protected_target(self, node: ast.expr) -> Optional[str]:
+        """Protected attr mutated when *node* is written to / deleted."""
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        attr = self_attribute(node)
+        return attr if attr in self.protected else None
+
+    def _record(self, node: ast.expr, attr: Optional[str]) -> None:
+        if attr is not None and self.lock_depth == 0:
+            self.hits.append((node.lineno, attr))
+
+    def _check_target(self, target: ast.expr) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_target(element)
+        elif isinstance(target, ast.Starred):
+            self._check_target(target.value)
+        else:
+            self._record(target, self._protected_target(target))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_target(node.target)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_target(target)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in MUTATOR_METHODS:
+            self._record(node, self._protected_target(func.value))
+        elif _callee_base_name(node) in MUTATOR_FUNCTIONS and node.args:
+            self._record(node, self._protected_target(node.args[0]))
+        self.generic_visit(node)
+
+
+class LockDisciplineRule(Rule):
+    """Lock-protected state may only be mutated while holding the lock."""
+
+    name = "lock-discipline"
+    description = ("private attributes initialized in __init__ of a "
+                   "lock-owning class may only be mutated inside "
+                   "`with self.<lock>:` (or a *_locked helper)")
+    scope = ("/repro/obs/", "/repro/runtime/")
+
+    def check_module(self, module: Module) -> List[Finding]:
+        findings: List[Finding] = []
+        for class_node in iter_classes(module.tree):
+            init_node = next((m for m in iter_methods(class_node)
+                              if m.name == "__init__"), None)
+            if init_node is None:
+                continue
+            locks, protected = _classify_init(init_node)
+            if not locks or not protected:
+                continue
+            lock_label = " / ".join(f"self.{name}" for name in sorted(locks))
+            for method in iter_methods(class_node):
+                if method.name == "__init__" or method.name.endswith("_locked"):
+                    continue
+                scanner = _MutationScanner(protected, locks)
+                for stmt in method.body:
+                    scanner.visit(stmt)
+                for lineno, attr in scanner.hits:
+                    findings.append(self.finding(
+                        module.rel, lineno,
+                        f"{class_node.name}.{method.name} mutates "
+                        f"lock-protected self.{attr} outside "
+                        f"`with {lock_label}:` — hold the lock or rename "
+                        f"the helper to *_locked"))
+        return findings

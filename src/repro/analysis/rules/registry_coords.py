@@ -1,0 +1,242 @@
+"""Registry-coordinate consistency: the classification stays machine-true.
+
+The survey's central contribution is the tier → function → method
+classification; ``repro.core.registry`` makes it executable and
+``repro.systems`` populates it.  This rule closes the loop statically:
+
+- every ``@register_system(SystemInfo(...))`` in the system packages
+  must name real ``Function.*`` / ``Method.*`` coordinates from the
+  registry vocabulary, carry a non-empty name, and register at least one
+  function (otherwise the system falls out of Table 1);
+- every module imported by ``repro/systems.py`` must actually define a
+  ``@register_system`` (a stale import is a classification hole), and —
+  conversely — a registered system module that ``repro/systems.py`` does
+  not import would silently vanish from the populated registry;
+- no two modules may register the same system name;
+- every registered system module must be referenced in
+  ``docs/SURVEY_MAP.md`` so the paper-to-code map stays complete.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Context, Rule
+from repro.analysis.walker import Module, decorator_name, dotted_name
+
+#: the packages whose modules implement surveyed systems
+SYSTEM_PACKAGES = (
+    "discovery", "storage", "integration", "ingestion", "modeling",
+    "organization", "enrichment", "cleaning", "evolution", "provenance",
+    "exploration",
+)
+
+
+def default_vocabulary() -> Tuple[Set[str], Set[str]]:
+    """(Function member names, Method member names) from the live registry."""
+    from repro.core.registry import Function, Method
+    return set(Function.__members__), set(Method.__members__)
+
+
+def _keyword(call: ast.Call, name: str, position: Optional[int] = None):
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    if position is not None and len(call.args) > position:
+        return call.args[position]
+    return None
+
+
+def _module_dotted(rel: str) -> Optional[str]:
+    """``src/repro/discovery/aurum.py`` -> ``repro.discovery.aurum``."""
+    parts = rel.replace("\\", "/").split("/")
+    if "repro" not in parts or not parts[-1].endswith(".py"):
+        return None
+    tail = parts[parts.index("repro"):]
+    tail[-1] = tail[-1][:-3]
+    return ".".join(tail)
+
+
+class RegistryCoordsRule(Rule):
+    """``@register_system`` coordinates are valid, unique, imported, mapped."""
+
+    name = "registry-coords"
+    description = ("SystemInfo tier/function/method coordinates are valid "
+                   "registry vocabulary; registered modules are imported by "
+                   "repro/systems.py and mapped in docs/SURVEY_MAP.md")
+    scope = tuple(f"/repro/{pkg}/" for pkg in SYSTEM_PACKAGES)
+
+    def __init__(self, scope=None, vocabulary: Optional[Tuple[Set[str], Set[str]]] = None,
+                 survey_map: Optional[str] = None):
+        super().__init__(scope=scope)
+        self._vocabulary = vocabulary
+        self._survey_map = survey_map
+        self._registered: Dict[str, List[Tuple[str, int, str]]] = {}
+
+    @property
+    def vocabulary(self) -> Tuple[Set[str], Set[str]]:
+        if self._vocabulary is None:
+            self._vocabulary = default_vocabulary()
+        return self._vocabulary
+
+    def begin(self, root: pathlib.Path) -> None:
+        self._registered = {}  # module rel -> [(system name, line, stem)]
+
+    # -- per-module validation ---------------------------------------------------
+
+    def check_module(self, module: Module) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for dec in node.decorator_list:
+                if not (isinstance(dec, ast.Call)
+                        and decorator_name(dec) == "register_system"):
+                    continue
+                findings.extend(self._validate_call(module, dec))
+        return findings
+
+    def _validate_call(self, module: Module, dec: ast.Call) -> List[Finding]:
+        findings: List[Finding] = []
+        info = dec.args[0] if dec.args else None
+        if not (isinstance(info, ast.Call) and decorator_name(info) == "SystemInfo"):
+            # a dynamically-built SystemInfo cannot be checked statically;
+            # record the registration so cross-file checks still see it
+            self._note(module, dec.lineno, None)
+            return findings
+        functions_vocab, methods_vocab = self.vocabulary
+        name_node = _keyword(info, "name", position=0)
+        system_name = (name_node.value
+                       if isinstance(name_node, ast.Constant)
+                       and isinstance(name_node.value, str) else None)
+        if not system_name:
+            findings.append(self.finding(
+                module.rel, info.lineno,
+                "SystemInfo needs a non-empty literal `name=` (Table 1 keys "
+                "systems by name)"))
+        self._note(module, info.lineno, system_name)
+        findings.extend(self._validate_coords(
+            module, info, "functions", "Function", functions_vocab, required=True))
+        findings.extend(self._validate_coords(
+            module, info, "methods", "Method", methods_vocab, required=False))
+        return findings
+
+    def _validate_coords(self, module: Module, info: ast.Call, field: str,
+                         enum_name: str, vocab: Set[str], required: bool):
+        findings: List[Finding] = []
+        position = 1 if field == "functions" else 2
+        value = _keyword(info, field, position=position)
+        if value is None:
+            if required:
+                findings.append(self.finding(
+                    module.rel, info.lineno,
+                    f"SystemInfo registers no `{field}=` coordinates — the "
+                    f"system would not appear at any tier of Table 1"))
+            return findings
+        if not isinstance(value, (ast.Tuple, ast.List)):
+            findings.append(self.finding(
+                module.rel, value.lineno,
+                f"`{field}=` must be a literal tuple of {enum_name}.* "
+                f"coordinates so the classification is statically checkable"))
+            return findings
+        if required and not value.elts:
+            findings.append(self.finding(
+                module.rel, value.lineno,
+                f"SystemInfo registers an empty `{field}=` tuple — the "
+                f"system would not appear at any tier of Table 1"))
+        for element in value.elts:
+            dotted = dotted_name(element) or ""
+            prefix, _, member = dotted.rpartition(".")
+            if prefix.rsplit(".", 1)[-1] != enum_name or member not in vocab:
+                label = dotted or ast.dump(element)
+                findings.append(self.finding(
+                    module.rel, element.lineno,
+                    f"unknown {field[:-1]} coordinate `{label}` — valid "
+                    f"coordinates are {enum_name}.* members of "
+                    f"repro/core/registry.py"))
+        return findings
+
+    def _note(self, module: Module, line: int, system_name: Optional[str]) -> None:
+        stem = pathlib.PurePosixPath(module.rel).stem
+        self._registered.setdefault(module.rel, []).append(
+            (system_name or "", line, stem))
+
+    # -- cross-file checks -------------------------------------------------------
+
+    def finalize(self, ctx: Context) -> List[Finding]:
+        findings: List[Finding] = []
+        findings.extend(self._check_duplicates())
+        findings.extend(self._check_systems_manifest(ctx))
+        findings.extend(self._check_survey_map(ctx))
+        return findings
+
+    def _check_duplicates(self) -> List[Finding]:
+        findings: List[Finding] = []
+        by_name: Dict[str, List[Tuple[str, int]]] = {}
+        for rel, entries in self._registered.items():
+            for system_name, line, _ in entries:
+                if system_name:
+                    by_name.setdefault(system_name, []).append((rel, line))
+        for system_name, sites in sorted(by_name.items()):
+            if len(sites) > 1:
+                first = f"{sites[0][0]}:{sites[0][1]}"
+                for rel, line in sites[1:]:
+                    findings.append(self.finding(
+                        rel, line,
+                        f"system {system_name!r} is already registered at "
+                        f"{first} — duplicate registrations conflict at "
+                        f"import time"))
+        return findings
+
+    def _check_systems_manifest(self, ctx: Context) -> List[Finding]:
+        manifest = ctx.find("repro/systems.py")
+        if manifest is None:
+            return []  # partial scan: nothing to cross-check against
+        findings: List[Finding] = []
+        imports: Dict[str, int] = {}
+        for node in ast.walk(manifest.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.startswith("repro."):
+                        imports[alias.name] = node.lineno
+        for dotted, lineno in sorted(imports.items()):
+            suffix = dotted.replace(".", "/") + ".py"
+            target = ctx.find(suffix)
+            if target is None or not self.in_scope(target.rel):
+                continue
+            if target.rel not in self._registered:
+                findings.append(self.finding(
+                    target.rel, 0,
+                    f"imported by repro/systems.py:{lineno} but defines no "
+                    f"@register_system(SystemInfo(...)) — the import "
+                    f"populates nothing"))
+        for rel, entries in sorted(self._registered.items()):
+            dotted = _module_dotted(rel)
+            if dotted is not None and dotted not in imports:
+                findings.append(self.finding(
+                    rel, entries[0][1],
+                    f"defines a surveyed system but {dotted} is not imported "
+                    f"by repro/systems.py — the populated registry (and "
+                    f"Table 1) will not include it"))
+        return findings
+
+    def _check_survey_map(self, ctx: Context) -> List[Finding]:
+        text = self._survey_map
+        if text is None:
+            path = ctx.root / "docs" / "SURVEY_MAP.md"
+            if not path.is_file():
+                return []  # no map to check against (fixture trees)
+            text = path.read_text(encoding="utf-8")
+        findings: List[Finding] = []
+        for rel, entries in sorted(self._registered.items()):
+            stem = entries[0][2]
+            if stem not in text:
+                findings.append(self.finding(
+                    rel, entries[0][1],
+                    f"system module `{stem}` is not referenced in "
+                    f"docs/SURVEY_MAP.md — the paper-to-code map is "
+                    f"incomplete"))
+        return findings

@@ -325,8 +325,9 @@ class JobScheduler:
 
     def _run_one(self, job_id: str) -> None:
         job = self._jobs[job_id]
-        attempt = self._attempts[job_id] + 1
-        self._attempts[job_id] = attempt
+        with self._cv:
+            attempt = self._attempts[job_id] + 1
+            self._attempts[job_id] = attempt
         deadline = (None if job.timeout is None
                     else self._submitted_at[job_id] + job.timeout)
         if deadline is not None and time.monotonic() > deadline:
@@ -344,7 +345,7 @@ class JobScheduler:
                                  job=job.name, attempt=attempt, **job.tags):
             try:
                 value = job.run()
-            except Exception as exc:  # noqa: BLE001 - contained: routed to retry/dead-letter
+            except Exception as exc:  # lakelint: disable=exception-hygiene — routed to retry/dead-letter, counted there
                 error = exc
         latency_ms = (time.perf_counter() - start) * 1000.0
         self._h_job_ms.observe(latency_ms)

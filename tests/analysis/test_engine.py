@@ -1,0 +1,163 @@
+"""Engine mechanics: discovery, pragmas, allowlists, reporters, results."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    LintEngine,
+    LintPathError,
+    SCHEMA,
+    collect_pragmas,
+    render_json,
+    render_text,
+)
+from repro.analysis.rules import BareExceptRule, ExceptionHygieneRule, Rule
+
+
+def _write(tmp_path, rel, source):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+SWALLOW = """
+    try:
+        work()
+    except Exception:
+        pass
+"""
+
+
+class TestDiscoveryAndParsing:
+    def test_scans_directories_recursively_and_files_once(self, tmp_path):
+        _write(tmp_path, "pkg/a.py", SWALLOW)
+        _write(tmp_path, "pkg/sub/b.py", SWALLOW)
+        engine = LintEngine([ExceptionHygieneRule()])
+        result = engine.run([tmp_path, tmp_path / "pkg" / "a.py"], root=tmp_path)
+        assert result.files_scanned == 2  # the explicit file is not re-parsed
+        assert {f.path for f in result.findings} == {"pkg/a.py", "pkg/sub/b.py"}
+
+    def test_pycache_and_hidden_dirs_are_skipped(self, tmp_path):
+        _write(tmp_path, "__pycache__/junk.py", SWALLOW)
+        _write(tmp_path, ".hidden/junk.py", SWALLOW)
+        result = LintEngine([ExceptionHygieneRule()]).run([tmp_path], root=tmp_path)
+        assert result.files_scanned == 0 and result.clean
+
+    def test_missing_path_raises_usage_error(self, tmp_path):
+        with pytest.raises(LintPathError):
+            LintEngine([]).run([tmp_path / "nope"], root=tmp_path)
+
+    def test_syntax_error_becomes_parse_error_finding(self, tmp_path):
+        _write(tmp_path, "broken.py", "def f(:\n")
+        result = LintEngine([ExceptionHygieneRule()]).run([tmp_path], root=tmp_path)
+        assert [f.rule for f in result.findings] == ["parse-error"]
+        assert not result.clean
+
+
+class TestPragmas:
+    def test_inline_pragma_suppresses_named_rule(self, tmp_path):
+        _write(tmp_path, "mod.py", """
+            try:
+                work()
+            except Exception:  # lakelint: disable=exception-hygiene
+                pass
+        """)
+        result = LintEngine([ExceptionHygieneRule()]).run([tmp_path], root=tmp_path)
+        assert result.clean
+
+    def test_pragma_for_other_rule_does_not_suppress(self, tmp_path):
+        _write(tmp_path, "mod.py", """
+            try:
+                work()
+            except Exception:  # lakelint: disable=lock-discipline
+                pass
+        """)
+        result = LintEngine([ExceptionHygieneRule()]).run([tmp_path], root=tmp_path)
+        assert len(result.findings) == 1
+
+    def test_disable_all_suppresses_everything_on_the_line(self, tmp_path):
+        _write(tmp_path, "mod.py", """
+            try:
+                work()
+            except Exception:  # lakelint: disable=all
+                pass
+        """)
+        rules = [ExceptionHygieneRule(), BareExceptRule(scope=(), allowlist={})]
+        assert LintEngine(rules).run([tmp_path], root=tmp_path).clean
+
+    def test_pragma_inside_string_literal_is_ignored(self):
+        pragmas = collect_pragmas(
+            'x = "# lakelint: disable=bare-except"\n'
+            'y = 1  # lakelint: disable=bare-except, lock-discipline\n')
+        assert pragmas == {2: {"bare-except", "lock-discipline"}}
+
+
+class TestAllowlists:
+    def test_allowlist_drops_exactly_the_budgeted_count(self, tmp_path):
+        _write(tmp_path, "mod.py", SWALLOW + SWALLOW)
+        rule = BareExceptRule(scope=(), allowlist={"mod.py": 1})
+        result = LintEngine([rule]).run([tmp_path], root=tmp_path)
+        assert len(result.findings) == 1
+
+    def test_stale_allowlist_entry_is_reported(self, tmp_path):
+        _write(tmp_path, "mod.py", "x = 1\n")
+        rule = BareExceptRule(scope=(), allowlist={"gone.py": 1})
+        result = LintEngine([rule]).run([tmp_path], root=tmp_path)
+        assert len(result.findings) == 1
+        assert "stale allowlist" in result.findings[0].message
+
+    def test_allowlist_matches_by_path_suffix(self, tmp_path):
+        _write(tmp_path, "deep/nest/mod.py", SWALLOW)
+        rule = BareExceptRule(scope=(), allowlist={"nest/mod.py": 1})
+        assert LintEngine([rule]).run([tmp_path], root=tmp_path).clean
+
+
+class TestReporters:
+    def _result(self, tmp_path):
+        _write(tmp_path, "mod.py", SWALLOW)
+        return LintEngine([ExceptionHygieneRule()]).run([tmp_path], root=tmp_path)
+
+    def test_text_report_has_file_line_rule_and_summary(self, tmp_path):
+        text = render_text(self._result(tmp_path))
+        assert "mod.py:4: [exception-hygiene]" in text
+        assert "1 finding(s)" in text
+
+    def test_clean_text_report_names_active_rules(self, tmp_path):
+        _write(tmp_path, "ok.py", "x = 1\n")
+        result = LintEngine([ExceptionHygieneRule()]).run(
+            [tmp_path / "ok.py"], root=tmp_path)
+        assert "exception-hygiene" in render_text(result)
+
+    def test_json_schema_shape(self, tmp_path):
+        payload = json.loads(render_json(self._result(tmp_path)))
+        assert payload["schema"] == SCHEMA
+        assert payload["clean"] is False
+        assert payload["files_scanned"] == 1
+        assert payload["counts"] == {"exception-hygiene": 1}
+        assert payload["rules"][0]["name"] == "exception-hygiene"
+        finding = payload["findings"][0]
+        assert set(finding) == {"rule", "path", "line", "severity", "message"}
+        assert finding["path"] == "mod.py" and finding["line"] == 4
+
+    def test_findings_are_sorted_and_deterministic(self, tmp_path):
+        _write(tmp_path, "b.py", SWALLOW)
+        _write(tmp_path, "a.py", SWALLOW)
+        result = LintEngine([ExceptionHygieneRule()]).run([tmp_path], root=tmp_path)
+        assert [f.path for f in result.findings] == ["a.py", "b.py"]
+
+
+class TestRuleBase:
+    def test_scope_fragments_match_as_path_substrings(self):
+        rule = Rule(scope=("/repro/runtime/",))
+        assert rule.in_scope("src/repro/runtime/scheduler.py")
+        assert rule.in_scope("repro/runtime/rogue.py")
+        assert not rule.in_scope("repro/obs/spans.py")
+        assert Rule().in_scope("anything.py")
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError):
+            Finding(rule="r", path="p", line=1, message="m", severity="fatal")

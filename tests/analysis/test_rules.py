@@ -1,0 +1,327 @@
+"""Per-rule fixtures: each rule fires on a seeded violation and stays
+quiet on the idiomatic negative counterpart."""
+
+import textwrap
+
+from repro.analysis import LintEngine
+from repro.analysis.rules import (
+    BareExceptRule,
+    BenchDeterminismRule,
+    ExceptionHygieneRule,
+    LockDisciplineRule,
+    RegistryCoordsRule,
+    RuntimeTracedRule,
+    TracedManifestRule,
+    default_rules,
+)
+
+
+def _tree(tmp_path, files):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return tmp_path
+
+
+def _run(rule, tmp_path):
+    return LintEngine([rule]).run([tmp_path], root=tmp_path).findings
+
+
+VOCAB = ({"METADATA_EXTRACTION", "DATA_DISCOVERY"}, {"INDEXING", "PROFILING"})
+
+
+class TestLockDiscipline:
+    COUNTER = """
+        import threading
+
+        class Counter:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._count: int = 0
+                self._items = []
+
+            def bump(self):
+                {body}
+    """
+
+    def _fixture(self, tmp_path, body):
+        source = self.COUNTER.format(body=body)
+        return _tree(tmp_path, {"repro/runtime/counter.py": source})
+
+    def test_unlocked_assignment_fires_with_file_and_line(self, tmp_path):
+        self._fixture(tmp_path, "self._count += 1")
+        findings = _run(LockDisciplineRule(), tmp_path)
+        assert len(findings) == 1
+        assert findings[0].path == "repro/runtime/counter.py"
+        assert findings[0].line == 11
+        assert "Counter.bump mutates lock-protected self._count" in findings[0].message
+
+    def test_mutation_under_with_lock_is_clean(self, tmp_path):
+        self._fixture(tmp_path, "with self._lock:\n                    self._count += 1")
+        assert _run(LockDisciplineRule(), tmp_path) == []
+
+    def test_container_mutator_call_fires(self, tmp_path):
+        self._fixture(tmp_path, "self._items.append(1)")
+        findings = _run(LockDisciplineRule(), tmp_path)
+        assert len(findings) == 1 and "self._items" in findings[0].message
+
+    def test_locked_suffix_helper_is_exempt(self, tmp_path):
+        _tree(tmp_path, {"repro/runtime/counter.py": """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._count = 0
+
+                def _bump_locked(self):
+                    self._count += 1
+        """})
+        assert _run(LockDisciplineRule(), tmp_path) == []
+
+    def test_class_without_lock_is_out_of_contract(self, tmp_path):
+        _tree(tmp_path, {"repro/obs/plain.py": """
+            class Plain:
+                def __init__(self):
+                    self._count = 0
+
+                def bump(self):
+                    self._count += 1
+        """})
+        assert _run(LockDisciplineRule(), tmp_path) == []
+
+    def test_out_of_scope_package_is_ignored(self, tmp_path):
+        self._fixture(tmp_path, "self._count += 1")
+        source = (tmp_path / "repro/runtime/counter.py").read_text()
+        _tree(tmp_path, {"repro/discovery/counter.py": source})
+        findings = _run(LockDisciplineRule(), tmp_path)
+        assert {f.path for f in findings} == {"repro/runtime/counter.py"}
+
+
+class TestRegistryCoords:
+    def _rule(self, survey_map="searcher"):
+        return RegistryCoordsRule(vocabulary=VOCAB, survey_map=survey_map)
+
+    GOOD = """
+        from repro.core.registry import Function, Method, SystemInfo, register_system
+
+        @register_system(SystemInfo(
+            name="searcher",
+            functions=(Function.DATA_DISCOVERY,),
+            methods=(Method.INDEXING,),
+        ))
+        class Searcher:
+            pass
+    """
+
+    def test_valid_coordinates_are_clean(self, tmp_path):
+        _tree(tmp_path, {"repro/discovery/searcher.py": self.GOOD})
+        assert _run(self._rule(), tmp_path) == []
+
+    def test_unknown_coordinate_fires_with_file_and_line(self, tmp_path):
+        bad = self.GOOD.replace("Function.DATA_DISCOVERY", "Function.NOPE")
+        _tree(tmp_path, {"repro/discovery/searcher.py": bad})
+        findings = _run(self._rule(), tmp_path)
+        assert len(findings) == 1
+        assert findings[0].path == "repro/discovery/searcher.py"
+        assert findings[0].line == 6
+        assert "unknown function coordinate `Function.NOPE`" in findings[0].message
+
+    def test_missing_functions_tuple_fires(self, tmp_path):
+        bad = self.GOOD.replace("functions=(Function.DATA_DISCOVERY,),\n", "")
+        _tree(tmp_path, {"repro/discovery/searcher.py": bad})
+        findings = _run(self._rule(), tmp_path)
+        assert any("registers no `functions=`" in f.message for f in findings)
+
+    def test_duplicate_system_name_fires_on_second_site(self, tmp_path):
+        _tree(tmp_path, {
+            "repro/discovery/searcher.py": self.GOOD,
+            "repro/storage/searcher2.py": self.GOOD,
+        })
+        findings = _run(self._rule(survey_map="searcher searcher2"), tmp_path)
+        assert len(findings) == 1
+        assert findings[0].path == "repro/storage/searcher2.py"
+        assert "already registered at repro/discovery/searcher.py" in findings[0].message
+
+    def test_stale_systems_import_fires(self, tmp_path):
+        _tree(tmp_path, {
+            "repro/discovery/empty.py": "class NotRegistered:\n    pass\n",
+            "repro/systems.py": "import repro.discovery.empty\n",
+        })
+        findings = _run(self._rule(survey_map="empty"), tmp_path)
+        assert len(findings) == 1
+        assert "defines no @register_system" in findings[0].message
+
+    def test_registered_module_missing_from_manifest_fires(self, tmp_path):
+        _tree(tmp_path, {
+            "repro/discovery/searcher.py": self.GOOD,
+            "repro/systems.py": "import json\n",
+        })
+        findings = _run(self._rule(), tmp_path)
+        assert len(findings) == 1
+        assert "not imported by repro/systems.py" in findings[0].message
+
+    def test_module_absent_from_survey_map_fires(self, tmp_path):
+        _tree(tmp_path, {"repro/discovery/searcher.py": self.GOOD})
+        findings = _run(self._rule(survey_map="other modules only"), tmp_path)
+        assert len(findings) == 1
+        assert "not referenced in docs/SURVEY_MAP.md" in findings[0].message
+
+
+class TestBenchDeterminism:
+    def _findings(self, tmp_path, source):
+        _tree(tmp_path, {"benchmarks/bench_x.py": source})
+        return _run(BenchDeterminismRule(), tmp_path)
+
+    def test_seeded_rng_and_perf_counter_are_clean(self, tmp_path):
+        assert self._findings(tmp_path, """
+            import random, time
+            rng = random.Random(1234)
+            start = time.perf_counter()
+            value = rng.random()
+            elapsed = time.perf_counter() - start
+        """) == []
+
+    def test_unseeded_random_constructor_fires(self, tmp_path):
+        findings = self._findings(tmp_path, "import random\nrng = random.Random()\n")
+        assert len(findings) == 1 and "unseeded `random.Random()`" in findings[0].message
+        assert findings[0].line == 2
+
+    def test_shared_module_rng_fires(self, tmp_path):
+        findings = self._findings(tmp_path, "import random\nx = random.choice([1])\n")
+        assert len(findings) == 1 and "shared module-level RNG" in findings[0].message
+
+    def test_wall_clock_fires(self, tmp_path):
+        findings = self._findings(tmp_path, "import time\nstamp = time.time()\n")
+        assert len(findings) == 1 and "wall-clock" in findings[0].message
+
+    def test_numpy_global_rng_fires_and_seeded_generator_passes(self, tmp_path):
+        findings = self._findings(tmp_path, """
+            import numpy as np
+            bad = np.random.rand(3)
+            ok = np.random.default_rng(7)
+        """)
+        assert len(findings) == 1 and "np.random.rand" in findings[0].message
+
+    def test_non_benchmark_paths_are_out_of_scope(self, tmp_path):
+        _tree(tmp_path, {"repro/util.py": "import time\nstamp = time.time()\n"})
+        assert _run(BenchDeterminismRule(), tmp_path) == []
+
+
+class TestExceptionHygiene:
+    def _findings(self, tmp_path, body):
+        source = f"""
+            import logging
+            log = logging.getLogger(__name__)
+
+            def f():
+                try:
+                    work()
+                except Exception as exc:
+            {body}
+        """
+        _tree(tmp_path, {"repro/mod.py": textwrap.dedent(source)})
+        return _run(ExceptionHygieneRule(), tmp_path)
+
+    def test_silent_swallow_fires(self, tmp_path):
+        findings = self._findings(tmp_path, "        result = None")
+        assert len(findings) == 1
+        assert findings[0].rule == "exception-hygiene"
+
+    def test_logging_handler_is_clean(self, tmp_path):
+        assert self._findings(tmp_path, '        log.warning("boom: %s", exc)') == []
+
+    def test_reraising_handler_is_clean(self, tmp_path):
+        assert self._findings(tmp_path, "        raise") == []
+
+    def test_narrow_handler_is_not_flagged(self, tmp_path):
+        _tree(tmp_path, {"repro/mod.py": """
+            def f():
+                try:
+                    work()
+                except KeyError:
+                    pass
+        """})
+        assert _run(ExceptionHygieneRule(), tmp_path) == []
+
+
+class TestBareExcept:
+    def test_bare_except_fires_and_narrow_does_not(self, tmp_path):
+        _tree(tmp_path, {"repro/mod.py": """
+            def f():
+                try:
+                    work()
+                except:
+                    pass
+                try:
+                    work()
+                except ValueError:
+                    pass
+        """})
+        findings = _run(BareExceptRule(allowlist={}), tmp_path)
+        assert len(findings) == 1 and findings[0].rule == "bare-except"
+
+
+class TestTracedRules:
+    TRACED = """
+        from repro.obs.instrument import traced
+
+        class Engine:
+            @traced("engine.run")
+            def run(self):
+                pass
+    """
+
+    def test_manifest_entry_satisfied(self, tmp_path):
+        _tree(tmp_path, {"repro/engine.py": self.TRACED})
+        rule = TracedManifestRule(manifest=[("repro/engine.py", "Engine", "run")])
+        assert _run(rule, tmp_path) == []
+
+    def test_missing_decorator_fires(self, tmp_path):
+        bad = self.TRACED.replace('@traced("engine.run")\n            ', "")
+        _tree(tmp_path, {"repro/engine.py": bad})
+        rule = TracedManifestRule(manifest=[("repro/engine.py", "Engine", "run")])
+        findings = _run(rule, tmp_path)
+        assert len(findings) == 1
+        assert "missing a @traced decorator" in findings[0].message
+
+    def test_stale_manifest_entry_fires(self, tmp_path):
+        _tree(tmp_path, {"repro/engine.py": self.TRACED})
+        rule = TracedManifestRule(manifest=[("repro/gone.py", "Engine", "run")])
+        findings = _run(rule, tmp_path)
+        assert len(findings) == 1 and "stale manifest entry" in findings[0].message
+
+    def test_runtime_entry_point_without_traced_fires(self, tmp_path):
+        _tree(tmp_path, {"repro/runtime/worker.py": """
+            class Worker:
+                def submit(self, job):
+                    pass
+
+                def _submit_internal(self, job):
+                    pass
+
+                def helper(self):
+                    pass
+        """})
+        findings = _run(RuntimeTracedRule(), tmp_path)
+        assert len(findings) == 1
+        assert "Worker.submit" in findings[0].message
+
+    def test_missing_runtime_package_reported(self, tmp_path):
+        _tree(tmp_path, {"repro/other.py": "x = 1\n"})
+        findings = _run(RuntimeTracedRule(), tmp_path)
+        assert len(findings) == 1
+        assert "package not found" in findings[0].message
+
+
+class TestDefaultRules:
+    def test_at_least_five_rules_and_fresh_instances(self):
+        first, second = default_rules(), default_rules()
+        assert len(first) >= 5
+        names = [rule.name for rule in first]
+        assert len(names) == len(set(names))
+        assert {"traced-manifest", "runtime-traced", "bare-except",
+                "exception-hygiene", "lock-discipline", "registry-coords",
+                "bench-determinism"} <= set(names)
+        assert all(a is not b for a, b in zip(first, second))

@@ -1,0 +1,123 @@
+"""Tier-1 gate: the repository is lakelint-clean and the rules have teeth.
+
+This is the enforcement half of ``tools/lakelint.py`` — the default
+engine run over ``src``, ``benchmarks`` and ``tools`` must come back
+clean with at least five active rules, and deliberately seeded
+violations must still fire (so a "clean" result means the rules ran,
+not that they rotted)."""
+
+import json
+import pathlib
+import subprocess
+import sys
+import textwrap
+
+from repro.analysis import SCHEMA, LintEngine, default_rules
+from repro.analysis.rules import LockDisciplineRule, RegistryCoordsRule
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+LINT_PATHS = ["src", "benchmarks", "tools"]
+
+
+def _lakelint(*argv):
+    return subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "lakelint.py"), *argv],
+        capture_output=True, text=True, cwd=REPO_ROOT)
+
+
+class TestRepositoryIsClean:
+    def test_default_run_is_clean_with_at_least_five_rules(self):
+        rules = default_rules()
+        assert len(rules) >= 5, "the engine must ship >= 5 active rules"
+        result = LintEngine(rules).run(
+            [REPO_ROOT / p for p in LINT_PATHS], root=REPO_ROOT)
+        assert result.findings == [], "\n".join(
+            f.format() for f in result.findings)
+        assert result.files_scanned > 100  # the whole tree, not a subset
+
+    def test_cli_exits_zero_on_the_repository(self):
+        proc = _lakelint(*LINT_PATHS)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean:" in proc.stdout
+
+    def test_cli_json_report_is_clean_and_well_formed(self):
+        proc = _lakelint("--format", "json", *LINT_PATHS)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["schema"] == SCHEMA
+        assert payload["clean"] is True
+        assert payload["findings"] == []
+        assert len(payload["rules"]) >= 5
+
+
+class TestRulesHaveTeeth:
+    """Seeded violations must fire with file:line — guards against a rule
+    silently matching nothing."""
+
+    def _seed(self, tmp_path, rel, source):
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+
+    def test_seeded_lock_discipline_violation_fires(self, tmp_path):
+        self._seed(tmp_path, "repro/runtime/racy.py", """
+            import threading
+
+            class Racy:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._state = {}
+
+                def poke(self, key):
+                    self._state[key] = 1
+        """)
+        result = LintEngine([LockDisciplineRule()]).run([tmp_path], root=tmp_path)
+        assert len(result.findings) == 1
+        finding = result.findings[0]
+        assert finding.rule == "lock-discipline"
+        assert finding.location == "repro/runtime/racy.py:10"
+
+    def test_seeded_coordinate_violation_fires(self, tmp_path):
+        self._seed(tmp_path, "repro/discovery/bogus.py", """
+            from repro.core.registry import Function, SystemInfo, register_system
+
+            @register_system(SystemInfo(
+                name="bogus",
+                functions=(Function.NOT_A_REAL_FUNCTION,),
+            ))
+            class Bogus:
+                pass
+        """)
+        rule = RegistryCoordsRule(survey_map="bogus")  # live registry vocabulary
+        result = LintEngine([rule]).run([tmp_path], root=tmp_path)
+        assert len(result.findings) == 1
+        finding = result.findings[0]
+        assert finding.rule == "registry-coords"
+        assert finding.location == "repro/discovery/bogus.py:6"
+        assert "Function.NOT_A_REAL_FUNCTION" in finding.message
+
+
+class TestCliContract:
+    def test_exit_one_on_findings(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("try:\n    x()\nexcept Exception:\n    pass\n")
+        proc = _lakelint("--rules", "exception-hygiene", str(bad))
+        assert proc.returncode == 1
+        assert "[exception-hygiene]" in proc.stdout
+
+    def test_exit_two_on_unknown_rule(self):
+        proc = _lakelint("--rules", "no-such-rule", "src")
+        assert proc.returncode == 2
+        assert "unknown rule" in proc.stderr
+
+    def test_exit_two_on_missing_path(self):
+        proc = _lakelint("definitely/not/a/path")
+        assert proc.returncode == 2
+
+    def test_list_rules(self):
+        proc = _lakelint("--list-rules")
+        assert proc.returncode == 0
+        for name in ("traced-manifest", "runtime-traced", "bare-except",
+                     "exception-hygiene", "lock-discipline",
+                     "registry-coords", "bench-determinism"):
+            assert name in proc.stdout

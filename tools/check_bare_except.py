@@ -1,91 +1,46 @@
-"""Lint: no new swallow-everything ``except`` handlers under ``src/``.
+"""Lint shim: no swallow-everything ``except`` under ``src/`` (lakelint).
 
-The seed's ``DataLake.tables()`` dropped *every* payload error through a
-bare ``except Exception:`` — including real bugs that should have
-surfaced.  This lint keeps that failure mode from coming back: it flags
-every handler that catches ``Exception`` / ``BaseException`` or has no
-exception type at all, unless the handler visibly re-raises (a broad
-catch that re-raises is containment, not swallowing) or the file is on
-the allowlist below with a sanctioned count.
-
-Run from the repository root::
+The AST walking that used to live here is now the lakelint engine's
+:class:`~repro.analysis.rules.exceptions.BareExceptRule`; this module
+stays as a thin CLI shim so the historical entry point and the tier-1
+test (``tests/test_check_bare_except.py``) keep working unchanged::
 
     python tools/check_bare_except.py
 
-A tier-1 test (``tests/test_check_bare_except.py``) runs the same check
-on every test run.
+Prefer the full engine for new work::
+
+    python tools/lakelint.py src benchmarks tools
 """
 
-import ast
 import pathlib
 import sys
 
 SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.analysis import LintEngine  # noqa: E402
+from repro.analysis.rules import BareExceptRule  # noqa: E402
 
 #: relative path -> number of sanctioned broad handlers in that file.
-#: Add an entry only with a comment saying why the broad catch is correct.
-ALLOWLIST = {
-    # the scheduler's worker loop routes *any* job failure into the
-    # retry/dead-letter machinery; letting exceptions escape would kill
-    # the worker thread and wedge drain()
-    "repro/runtime/scheduler.py": 1,
-}
-
-BROAD_NAMES = {"Exception", "BaseException"}
-
-
-def _is_broad(handler: ast.ExceptHandler) -> bool:
-    """Does *handler* catch everything (no type, Exception, BaseException)?"""
-    node = handler.type
-    if node is None:
-        return True
-    if isinstance(node, ast.Tuple):
-        return any(_name_of(el) in BROAD_NAMES for el in node.elts)
-    return _name_of(node) in BROAD_NAMES
-
-
-def _name_of(node: ast.expr) -> str:
-    if isinstance(node, ast.Attribute):
-        return node.attr
-    if isinstance(node, ast.Name):
-        return node.id
-    return ""
-
-
-def _reraises(handler: ast.ExceptHandler) -> bool:
-    """Does the handler body contain a ``raise`` anywhere?"""
-    return any(isinstance(node, ast.Raise)
-               for stmt in handler.body for node in ast.walk(stmt))
+#: Kept as the rule's single source of truth; see BareExceptRule.DEFAULT_ALLOWLIST
+#: for the rationale comments.
+ALLOWLIST = dict(BareExceptRule.DEFAULT_ALLOWLIST)
 
 
 def check(root: pathlib.Path = SRC, allowlist=None):
     """Return human-readable violations (empty = clean tree)."""
     if allowlist is None:
         allowlist = ALLOWLIST
-    violations = []
-    seen_allowlisted = set()
-    for path in sorted(root.rglob("*.py")):
-        rel = str(path.relative_to(root))
-        tree = ast.parse(path.read_text(), filename=str(path))
-        broad = [
-            node for node in ast.walk(tree)
-            if isinstance(node, ast.ExceptHandler)
-            and _is_broad(node) and not _reraises(node)
-        ]
-        if rel in allowlist:
-            seen_allowlisted.add(rel)
-        allowed = allowlist.get(rel, 0)
-        if len(broad) > allowed:
-            for node in broad[allowed:] if allowed else broad:
-                violations.append(
-                    f"{rel}:{node.lineno}: broad `except "
-                    f"{'Exception' if node.type is not None else ''}` swallows "
-                    f"errors — catch the specific exception or re-raise "
-                    f"(allowlisted: {allowed})"
-                )
-    for rel in sorted(set(allowlist) - seen_allowlisted):
-        violations.append(f"{rel}: stale allowlist entry (file not found under src/)")
-    return violations
+    # scope=() scans every file under *root*, matching the standalone
+    # checker which linted whatever tree it was pointed at
+    rule = BareExceptRule(scope=(), allowlist=allowlist)
+    result = LintEngine([rule]).run([pathlib.Path(root)], root=root)
+    out = []
+    for finding in result.findings:
+        location = f"{finding.path}:{finding.line}" if finding.line else finding.path
+        out.append(f"{location}: {finding.message}")
+    return out
 
 
 def main() -> int:

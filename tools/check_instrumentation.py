@@ -1,122 +1,54 @@
-"""Lint: every manifest-listed hot-path entry point must carry ``@traced``.
+"""Lint shim: manifest/runtime ``@traced`` coverage via ``repro.analysis``.
 
-Walks the AST of the files named in
-``repro.obs.instrument.INSTRUMENTATION_MANIFEST`` and reports any listed
-``Class.method`` that is missing a ``traced(...)`` decorator (or that no
-longer exists — a stale manifest is also a failure, so renames can't
-silently drop instrumentation).
-
-A second rule covers the maintenance runtime without needing manifest
-entries per method: every public job entry point in ``repro/runtime``
-(public methods named ``submit*``, ``drain*``, ``flush*``, ``refresh*``,
-``rebuild*``, ``execute*`` or ``apply*`` on public classes) must be
-``@traced`` — new scheduler surface cannot ship untraced.
-
-Run from the repository root::
+This used to be a standalone AST walker; the walking now lives in the
+lakelint engine (``repro.analysis``) as :class:`TracedManifestRule` and
+:class:`RuntimeTracedRule`, and this module is kept as a thin CLI shim so
+the historical entry point and the tier-1 test
+(``tests/test_check_instrumentation.py``) keep working unchanged::
 
     PYTHONPATH=src python tools/check_instrumentation.py
 
-A tier-1 test (``tests/test_check_instrumentation.py``) runs the same
-checks on every test run.
+Prefer the full engine for new work::
+
+    python tools/lakelint.py src benchmarks tools
 """
 
-import ast
 import pathlib
-import re
 import sys
 
 SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
+from repro.analysis import LintEngine  # noqa: E402
+from repro.analysis.rules import RuntimeTracedRule, TracedManifestRule  # noqa: E402
 from repro.obs.instrument import INSTRUMENTATION_MANIFEST  # noqa: E402
 
-DECORATOR_NAMES = {"traced"}
 
-
-def _decorator_name(node: ast.expr) -> str:
-    """The base name of a decorator expression (``traced(...)`` -> ``traced``)."""
-    if isinstance(node, ast.Call):
-        node = node.func
-    if isinstance(node, ast.Attribute):
-        return node.attr
-    if isinstance(node, ast.Name):
-        return node.id
-    return ""
-
-
-def _has_traced_decorator(fn_node: ast.FunctionDef) -> bool:
-    return any(_decorator_name(d) in DECORATOR_NAMES for d in fn_node.decorator_list)
+def _legacy(finding) -> str:
+    return f"{finding.path}: {finding.message}"
 
 
 def check(manifest=INSTRUMENTATION_MANIFEST, root: pathlib.Path = SRC):
     """Return a list of human-readable violations (empty = all instrumented)."""
-    violations = []
-    trees = {}
-    for rel_path, class_name, method_name in manifest:
-        path = root / rel_path
-        if rel_path not in trees:
-            if not path.exists():
-                trees[rel_path] = None
-            else:
-                trees[rel_path] = ast.parse(path.read_text(), filename=str(path))
-        tree = trees[rel_path]
-        if tree is None:
-            violations.append(f"{rel_path}: file not found (stale manifest entry?)")
-            continue
-        class_node = next(
-            (n for n in ast.walk(tree)
-             if isinstance(n, ast.ClassDef) and n.name == class_name),
-            None,
-        )
-        if class_node is None:
-            violations.append(f"{rel_path}: class {class_name} not found")
-            continue
-        method_node = next(
-            (n for n in class_node.body
-             if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
-             and n.name == method_name),
-            None,
-        )
-        if method_node is None:
-            violations.append(f"{rel_path}: {class_name}.{method_name} not found")
-        elif not _has_traced_decorator(method_node):
-            violations.append(
-                f"{rel_path}: {class_name}.{method_name} is missing a "
-                f"@traced decorator"
-            )
-    return violations
-
-
-#: public method names that constitute a runtime job entry point
-RUNTIME_ENTRY_POINT = re.compile(
-    r"^(submit|drain|flush|refresh|rebuild|execute|apply)(_|$)"
-)
+    root = pathlib.Path(root)
+    # scan only the manifest's files, as the standalone checker did; files
+    # that no longer exist surface as stale-manifest findings
+    paths = sorted({root / rel for rel, _, _ in manifest if (root / rel).exists()})
+    rule = TracedManifestRule(manifest=manifest)
+    result = LintEngine([rule]).run(paths, root=root)
+    return [_legacy(f) for f in result.findings]
 
 
 def check_runtime(root: pathlib.Path = SRC):
     """Every job entry point under ``repro/runtime`` must be ``@traced``."""
-    violations = []
+    root = pathlib.Path(root)
     runtime_dir = root / "repro" / "runtime"
     if not runtime_dir.is_dir():
         return ["repro/runtime: package not found (runtime lint has nothing to scan)"]
-    for path in sorted(runtime_dir.glob("*.py")):
-        tree = ast.parse(path.read_text(), filename=str(path))
-        rel = path.relative_to(root)
-        for node in tree.body:
-            if not isinstance(node, ast.ClassDef) or node.name.startswith("_"):
-                continue
-            for item in node.body:
-                if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                    continue
-                if item.name.startswith("_") or not RUNTIME_ENTRY_POINT.match(item.name):
-                    continue
-                if not _has_traced_decorator(item):
-                    violations.append(
-                        f"{rel}: {node.name}.{item.name} is a runtime job entry "
-                        f"point missing a @traced decorator"
-                    )
-    return violations
+    rule = RuntimeTracedRule()
+    result = LintEngine([rule]).run([runtime_dir], root=root)
+    return [_legacy(f) for f in result.findings]
 
 
 def main() -> int:
