@@ -2,7 +2,9 @@
 
 Walks the survey's three tiers end to end on a small retail scenario:
 ingestion (with automatic metadata extraction), maintenance (related
-dataset discovery, provenance) and exploration (SQL and keyword search).
+dataset discovery, provenance) and exploration (SQL and keyword search),
+then a chaos demo: fault injection, circuit breakers and degraded-mode
+storage (see docs/FAULTS.md).
 
 Run:  python examples/quickstart.py
 """
@@ -92,6 +94,41 @@ def main() -> None:
         print(f"  joinable after drain: {table}.{column} "
               f"(similarity {similarity:.2f})")
     bulk.close()
+
+    # -- chaos demo: fault injection, breakers, degraded mode ----------------
+    # Wrap a backend in a seeded FaultInjector, kill it outright, and watch
+    # the lake stay available: writes fail over to the object-store fallback
+    # tier, health() reports the degraded placements, and once the "outage"
+    # ends repair_degraded() moves the data back where it belongs.
+    from repro.faults import FaultInjector, FaultSchedule, FaultSpec, ResilienceConfig
+    from repro.storage.polystore import Polystore
+    from repro.storage.relational import RelationalStore
+
+    schedule = FaultSchedule().set("relational", "*", FaultSpec(error_rate=1.0))
+    chaos = DataLake(polystore=Polystore(
+        relational=FaultInjector(RelationalStore(), "relational", schedule, seed=7),
+        resilience=ResilienceConfig(failure_threshold=2, reset_timeout=0.0),
+    ))
+    chaos.ingest_table("chaos_orders", {
+        "order_id": ["x1", "x2"], "amount": [10, 20],
+    }, source="chaos-demo")
+
+    print("\n== chaos demo: relational backend down ==")
+    report = chaos.health()
+    print(f"  healthy: {report['healthy']}")
+    print(f"  degraded placements: {report['degraded_placements']}")
+    print(f"  survived the outage: {chaos.polystore.fetch('chaos_orders').name!r} "
+          "served from the fallback tier")
+
+    schedule.set("relational", "*", FaultSpec())   # outage over
+    chaos.repair_degraded()
+    for _ in range(2):                             # probe traffic closes the breaker
+        chaos.polystore.fetch("chaos_orders")
+    report = chaos.health()
+    print(f"  after repair_degraded(): healthy={report['healthy']}, "
+          f"placement back on "
+          f"{chaos.polystore.placement('chaos_orders').backend!r}")
+    chaos.close()
 
 
 if __name__ == "__main__":

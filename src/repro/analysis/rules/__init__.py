@@ -8,6 +8,7 @@ and list it here (see ``docs/LINT.md``).
 """
 
 from repro.analysis.rules.base import Context, Rule
+from repro.analysis.rules.breaker_guard import BreakerGuardRule
 from repro.analysis.rules.determinism import BenchDeterminismRule
 from repro.analysis.rules.exceptions import BareExceptRule, ExceptionHygieneRule
 from repro.analysis.rules.instrumentation import RuntimeTracedRule, TracedManifestRule
@@ -17,6 +18,7 @@ from repro.analysis.rules.registry_coords import RegistryCoordsRule
 __all__ = [
     "BareExceptRule",
     "BenchDeterminismRule",
+    "BreakerGuardRule",
     "Context",
     "ExceptionHygieneRule",
     "LockDisciplineRule",
@@ -38,4 +40,5 @@ def default_rules():
         LockDisciplineRule(),
         RegistryCoordsRule(),
         BenchDeterminismRule(),
+        BreakerGuardRule(),
     ]

@@ -1,0 +1,212 @@
+"""Shared fault-tolerance workload for the chaos benchmark and CLI task.
+
+One seeded scenario, parameterized by injected fault rate: 200 datasets
+are stored through a :class:`~repro.storage.polystore.Polystore` whose
+relational backend sits behind a :class:`~repro.faults.FaultInjector`,
+then every dataset is fetched for several rounds (with a federated query
+mixed in) while faults fire.  The workload reports *availability* — the
+fraction of queries that produced an answer, degraded or not — alongside
+failover counts, breaker transitions, and per-query latency percentiles.
+
+Used by ``benchmarks/test_bench_faults.py`` (writes ``BENCH_faults.json``)
+and ``tools/faults_bench.py`` (the ``faults-bench`` build task), so both
+always run exactly the same scenario.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.dataset import Dataset, Table
+from repro.core.errors import DataLakeError
+from repro.exploration.federation import FederatedQueryEngine
+from repro.faults import FaultInjector, FaultSchedule, FaultSpec, ResilienceConfig
+from repro.runtime.jobs import RetryPolicy
+from repro.storage.polystore import Polystore
+from repro.storage.relational import RelationalStore
+
+SEED = 17
+DATASETS = 200
+ROUNDS = 2
+
+#: call-index window on the relational fetch op that simulates a hard
+#: outage mid-workload — consecutive failures that drive the breaker
+#: through open -> half-open -> closed (transient-then-recover)
+OUTAGE_WINDOW = (100, 130)
+
+#: breaker reset timeout shared with the workload's recovery pause
+RESET_TIMEOUT = 0.02
+
+
+def _percentile(values: List[float], fraction: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def _dataset(index: int) -> Dataset:
+    name = f"ds_{index:03d}"
+    table = Table.from_rows(name, ["id", "value"],
+                            [[row, (index * 31 + row) % 97] for row in range(5)])
+    return Dataset(name, table, format="table")
+
+
+def build_polystore(
+    fault_rate: float, seed: int = SEED,
+) -> Tuple[Polystore, FaultSchedule]:
+    """A polystore whose relational backend injects faults at *fault_rate*."""
+    schedule = FaultSchedule()
+    if fault_rate > 0.0:
+        schedule.set("relational", "*", FaultSpec(error_rate=fault_rate))
+        schedule.set("relational", "table",
+                     FaultSpec(error_rate=fault_rate, outages=(OUTAGE_WINDOW,)))
+    relational = FaultInjector(RelationalStore(), "relational", schedule,
+                               seed=seed)
+    config = ResilienceConfig(
+        failure_threshold=3,
+        reset_timeout=RESET_TIMEOUT,
+        probe_budget=1,
+        success_threshold=1,
+        # write-through replication is the high-availability mode the fault
+        # runs exercise; the 0% baseline keeps the cheap default
+        replicate="always" if fault_rate > 0.0 else "on-failure",
+        retry=RetryPolicy(max_attempts=2, base_delay=0.0005, multiplier=2.0,
+                          max_delay=0.01, jitter=0.0),
+    )
+    return Polystore(relational=relational, resilience=config), schedule
+
+
+def _federation_engine(polystore: Polystore) -> FederatedQueryEngine:
+    engine = FederatedQueryEngine(polystore)
+    engine.profile_from_placement("ds_000", {"id": "id", "value": "value"})
+    return engine
+
+
+def run_workload(
+    fault_rate: float,
+    seed: int = SEED,
+    datasets: int = DATASETS,
+    rounds: int = ROUNDS,
+) -> Dict[str, Any]:
+    """Store *datasets*, then fetch them for *rounds*; report availability."""
+    polystore, _ = build_polystore(fault_rate, seed)
+    injector = polystore.relational
+
+    store_failures = 0
+    for index in range(datasets):
+        try:
+            polystore.store(_dataset(index))
+        except DataLakeError:
+            store_failures += 1  # counted against availability below
+
+    engine = _federation_engine(polystore)
+    answered = 0
+    unavailable = 0
+    partial_answers = 0
+    unhandled: List[str] = []
+    latencies_ms: List[float] = []
+    total_queries = 0
+
+    for round_index in range(rounds):
+        for index in range(datasets):
+            total_queries += 1
+            started = time.perf_counter()
+            try:
+                polystore.fetch(f"ds_{index:03d}")
+                answered += 1
+            except DataLakeError:
+                unavailable += 1
+            except Exception as exc:  # lakelint: disable=bare-except,exception-hygiene — the zero-unhandled acceptance gate: recorded in the report and asserted empty
+                unhandled.append(f"{type(exc).__name__}: {exc}")
+            latencies_ms.append((time.perf_counter() - started) * 1000.0)
+            if index % 20 == 19:
+                total_queries += 1
+                try:
+                    result = engine.query([("?r", "id", "?i"),
+                                           ("?r", "value", "?v")])
+                    answered += 1
+                    if not result.completeness.complete:
+                        partial_answers += 1
+                except DataLakeError:
+                    unavailable += 1
+                except Exception as exc:  # lakelint: disable=bare-except,exception-hygiene — same gate as the fetch loop above
+                    unhandled.append(f"{type(exc).__name__}: {exc}")
+        if round_index + 1 < rounds and polystore.health.degraded():
+            # between rounds the storm passes: give open breakers their
+            # reset window so the next round drives probes through
+            # half-open and (injected faults permitting) back to closed
+            time.sleep(RESET_TIMEOUT * 1.5)
+
+    transitions = polystore.health.transitions()
+    report = {
+        "fault_rate": fault_rate,
+        "queries": total_queries,
+        "answered": answered,
+        "unavailable": unavailable + store_failures,
+        "partial_answers": partial_answers,
+        "unhandled_errors": unhandled,
+        "availability": answered / total_queries if total_queries else 1.0,
+        "failover": {
+            "degraded_placements": len(polystore.degraded_placements()),
+        },
+        "injected": injector.injected_counts(),
+        "breaker": {
+            "transitions": len(transitions),
+            "sequence": [f"{t.breaker}:{t.from_state}->{t.to_state}"
+                         for t in transitions],
+            "final_states": {name: breaker.state for name, breaker
+                             in polystore.health.breakers().items()},
+        },
+        "latency_ms": {
+            "p50": round(_percentile(latencies_ms, 0.50), 4),
+            "p95": round(_percentile(latencies_ms, 0.95), 4),
+        },
+    }
+    return report
+
+
+def measure_breaker_overhead(
+    seed: int = SEED, datasets: int = 50, fetches: int = 2000,
+) -> Dict[str, float]:
+    """Per-fetch cost with the breaker guard on vs. off, healthy backend."""
+    def timed(resilience: Optional[ResilienceConfig]) -> float:
+        polystore = Polystore(resilience=resilience)
+        for index in range(datasets):
+            polystore.store(_dataset(index))
+        names = [f"ds_{index:03d}" for index in range(datasets)]
+        started = time.perf_counter()
+        for fetch_index in range(fetches):
+            polystore.fetch(names[fetch_index % datasets])
+        return (time.perf_counter() - started) * 1000.0 / fetches
+
+    raw_ms = timed(ResilienceConfig(enabled=False))
+    guarded_ms = timed(None)  # the default config, breaker guard active
+    return {
+        "raw_ms_per_fetch": round(raw_ms, 6),
+        "guarded_ms_per_fetch": round(guarded_ms, 6),
+        "overhead_ratio": round(guarded_ms / raw_ms, 4) if raw_ms else 1.0,
+    }
+
+
+def run_bench(
+    rates: Tuple[float, ...] = (0.0, 0.05, 0.20), seed: int = SEED,
+) -> Dict[str, Any]:
+    """The full chaos scenario: every fault rate plus the overhead probe."""
+    by_rate = {str(rate): run_workload(rate, seed=seed) for rate in rates}
+    baseline_p95 = by_rate[str(rates[0])]["latency_ms"]["p95"]
+    return {
+        "schema": "repro.faults/bench-v1",
+        "seed": seed,
+        "datasets": DATASETS,
+        "rounds": ROUNDS,
+        "rates": by_rate,
+        "p95_delta_ms": {
+            str(rate): round(
+                by_rate[str(rate)]["latency_ms"]["p95"] - baseline_p95, 4)
+            for rate in rates[1:]
+        },
+        "breaker_overhead": measure_breaker_overhead(seed=seed),
+    }

@@ -42,6 +42,24 @@ class TransactionConflict(StorageError):
     """Optimistic concurrency control detected a conflicting lakehouse commit."""
 
 
+class BackendUnavailable(StorageError):
+    """A storage backend failed (or keeps failing) — the degraded-mode trigger.
+
+    Raised by the polystore's breaker guard when a backend call fails for an
+    infrastructure reason (injected fault, I/O error, open circuit) rather
+    than a data reason; callers that can degrade (failover to the fallback
+    store, partial federation results) catch exactly this type.
+    """
+
+
+class CircuitOpen(BackendUnavailable):
+    """A circuit breaker is open: the backend is failing fast, not being called."""
+
+
+class FaultInjected(BackendUnavailable):
+    """A fault deliberately injected by :mod:`repro.faults` (tests/benchmarks)."""
+
+
 class ValidationError(DataLakeError):
     """Data failed a cleaning/validation rule (CLAMS, Auto-Validate, RFDs)."""
 

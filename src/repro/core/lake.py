@@ -54,10 +54,11 @@ class DataLake:
         incremental_maintenance: bool = True,
         maintenance_workers: int = 4,
         maintenance_queue_size: int = 256,
+        polystore: Optional["Polystore"] = None,
     ):
         from repro.storage.polystore import Polystore
 
-        self.polystore = Polystore()
+        self.polystore = polystore if polystore is not None else Polystore()
         self.registry = registry or default_registry()
         self.async_maintenance = async_maintenance
         self.incremental_maintenance = incremental_maintenance
@@ -393,6 +394,54 @@ class DataLake:
         if getattr(self, "_observability", None) is None:
             self._observability = Observability()
         return self._observability
+
+    def health(self) -> Dict[str, Any]:
+        """Degraded-mode facade: breaker states, failovers, dead letters.
+
+        ``healthy`` is True only when every backend circuit is closed, no
+        placement is degraded, and no maintenance job is dead-lettered —
+        the single flag a load balancer or operator dashboard polls.
+        """
+        report = self.polystore.health_report()
+        runtime_report: Dict[str, Any] = {"dead_letter": 0, "outstanding": 0}
+        if self._runtime is not None:
+            dead = self._runtime.dead_letter()
+            runtime_report = {
+                "dead_letter": len(dead),
+                "dead_jobs": [result.name for result in dead],
+                "outstanding": self._runtime.outstanding(),
+            }
+        report["runtime"] = runtime_report
+        report["healthy"] = report["healthy"] and not runtime_report["dead_letter"]
+        return report
+
+    def repair_degraded(self, wait: bool = True) -> List[str]:
+        """Enqueue a repair job per degraded placement; returns job ids.
+
+        Repairs run on the maintenance runtime with a patient
+        :class:`~repro.runtime.jobs.RetryPolicy` (the intended backend may
+        still be recovering).  With ``wait=True`` the call drains the
+        runtime before returning; failed repairs land in the dead-letter
+        list, visible through :meth:`health`.
+        """
+        from repro.runtime.jobs import RetryPolicy
+
+        degraded = self.polystore.degraded_placements()
+        if not degraded:
+            return []
+        retry = RetryPolicy(max_attempts=4, base_delay=0.01, max_delay=0.5)
+        job_ids = [
+            self.runtime.submit(
+                self.polystore.repair, args=(placement.dataset,),
+                name=f"repair:{placement.dataset}", retry=retry,
+                tags={"dataset": placement.dataset,
+                      "intended_backend": placement.intended_backend},
+            )
+            for placement in degraded
+        ]
+        if wait:
+            self.runtime.drain()
+        return job_ids
 
     def architecture_report(self) -> Dict[str, Any]:
         """Live snapshot of the Fig. 2 architecture for this lake instance."""

@@ -23,17 +23,25 @@ Query processing:
 
 ``rows_transferred`` counts rows moved from sources to the mediator — the
 quantity pushdown is meant to reduce.
+
+Degraded mode (see ``docs/FAULTS.md``): source access goes through the
+polystore's breaker guard, and a source whose backend is unavailable is
+*skipped* instead of failing the whole query.  :meth:`query` returns a
+:class:`FederatedResult` — a plain list of bindings that additionally
+carries a :class:`Completeness` report naming every skipped source, so
+callers can tell a complete answer from a partial one.  Pass
+``partial=False`` to get the old raise-on-failure behavior.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.dataset import Table
-from repro.core.errors import QueryError
+from repro.core.errors import BackendUnavailable, QueryError
 from repro.core.registry import Function, Method, SystemInfo, register_system
-from repro.obs import annotate, traced
+from repro.obs import annotate, get_registry, traced
 from repro.storage.polystore import Polystore
 from repro.storage.relational import Predicate
 
@@ -57,6 +65,39 @@ class SourceProfile:
         return property_name in self.property_map
 
 
+@dataclass(frozen=True)
+class Completeness:
+    """How much of a federated query was actually answered.
+
+    ``skipped_sources`` maps each unavailable source to the reason it was
+    skipped; ``dropped_variables`` are the subject variables whose
+    bindings are therefore missing from the result.
+    """
+
+    subqueries: int
+    executed: int
+    skipped_sources: Dict[str, str] = field(default_factory=dict)
+    dropped_variables: Tuple[str, ...] = ()
+
+    @property
+    def complete(self) -> bool:
+        return not self.skipped_sources
+
+
+class FederatedResult(List[Dict[str, Any]]):
+    """Query bindings plus the :class:`Completeness` report.
+
+    Subclasses ``list`` so existing callers that iterate/index/len the
+    result keep working unchanged; resilience-aware callers inspect
+    ``result.completeness``.
+    """
+
+    def __init__(self, bindings: Sequence[Dict[str, Any]],
+                 completeness: Completeness):
+        super().__init__(bindings)
+        self.completeness = completeness
+
+
 @register_system(SystemInfo(
     name="Ontario / Squerall (federation)",
     functions=(Function.HETEROGENEOUS_QUERYING,),
@@ -72,6 +113,7 @@ class FederatedQueryEngine:
         self.polystore = polystore
         self._profiles: Dict[str, SourceProfile] = {}
         self.rows_transferred = 0
+        self._m_skipped = get_registry().counter("federation.sources_skipped")
 
     # -- profiling ---------------------------------------------------------------------
 
@@ -93,15 +135,19 @@ class FederatedQueryEngine:
         self,
         patterns: Sequence[Pattern],
         pushdown: bool = True,
-    ) -> List[Dict[str, Any]]:
-        """Execute conjunctive patterns; returns variable bindings.
+        partial: bool = True,
+    ) -> FederatedResult:
+        """Execute conjunctive patterns; returns bindings + completeness.
 
         All patterns over one subject variable against one source form one
         subquery.  Multiple subject variables join on shared variables at
-        the mediator.
+        the mediator.  With ``partial=True`` (the default) a source whose
+        backend is unavailable is skipped and reported in the result's
+        :class:`Completeness` instead of failing the query; planner errors
+        (no capable source, malformed patterns) always raise.
         """
         if not patterns:
-            return []
+            return FederatedResult([], Completeness(subqueries=0, executed=0))
         rows_before = self.rows_transferred
         # 1. decomposition: group patterns by subject variable
         by_subject: Dict[str, List[Pattern]] = {}
@@ -113,6 +159,8 @@ class FederatedQueryEngine:
         # 2+3. per-subject source selection and subquery execution,
         #      most selective (most bound values) first
         partials: List[Tuple[str, List[Dict[str, Any]]]] = []
+        skipped: Dict[str, str] = {}
+        dropped: List[str] = []
         ordered_subjects = sorted(
             by_subject,
             key=lambda s: -sum(1 for p in by_subject[s] if not _is_variable(p[2])),
@@ -120,15 +168,27 @@ class FederatedQueryEngine:
         for subject in ordered_subjects:
             subject_patterns = by_subject[subject]
             source = self._choose_source(subject_patterns)
-            bindings = self._execute_subquery(source, subject, subject_patterns, pushdown)
+            try:
+                bindings = self._execute_subquery(
+                    source, subject, subject_patterns, pushdown)
+            except BackendUnavailable as exc:
+                if not partial:
+                    raise
+                self._m_skipped.inc()
+                skipped[source.name] = str(exc)
+                dropped.append(subject)
+                continue
             partials.append((subject, bindings))
-        # 4. mediator join on shared variables
-        result = partials[0][1]
+        # 4. mediator join on shared variables (over the surviving subjects)
+        result: List[Dict[str, Any]] = partials[0][1] if partials else []
         for _, bindings in partials[1:]:
             result = self._join_bindings(result, bindings)
         annotate(rows_transferred=self.rows_transferred - rows_before,
-                 pushdown=pushdown, subqueries=len(partials))
-        return result
+                 pushdown=pushdown, subqueries=len(partials),
+                 skipped_sources=len(skipped))
+        return FederatedResult(result, Completeness(
+            subqueries=len(by_subject), executed=len(partials),
+            skipped_sources=skipped, dropped_variables=tuple(dropped)))
 
     def _choose_source(self, patterns: Sequence[Pattern]) -> SourceProfile:
         needed = {p[1] for p in patterns}
@@ -151,14 +211,17 @@ class FederatedQueryEngine:
         projections = {p[1]: source.property_map[p[1]] for p in patterns}
         if source.source_type == "relational":
             predicates = [Predicate(c, op, v) for c, op, v in bound] if pushdown else []
-            table = self.polystore.relational.scan(source.name, predicates=predicates)
+            table = self.polystore.guarded(
+                "relational", "scan",
+                lambda: self.polystore.relational.scan(source.name,
+                                                       predicates=predicates))
             rows = list(table.rows())
         elif source.source_type == "document":
-            if pushdown:
-                query = {c: {"$eq": v} for c, op, v in bound}
-                rows = self.polystore.document.find(source.name, query or None)
-            else:
-                rows = self.polystore.document.find(source.name)
+            filter_query = ({c: {"$eq": v} for c, op, v in bound} or None
+                            if pushdown else None)
+            rows = self.polystore.guarded(
+                "document", "find",
+                lambda: self.polystore.document.find(source.name, filter_query))
         else:
             payload = self.polystore.fetch(source.name)
             if isinstance(payload, Table):

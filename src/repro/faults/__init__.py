@@ -1,0 +1,60 @@
+"""Fault injection, circuit breakers and degraded-mode plumbing.
+
+The survey's architecture assumes the storage tier's heterogeneous
+backends are always available; a production lake cannot.  This package
+is the resilience layer grown around the storage and exploration tiers
+(see ``docs/FAULTS.md``):
+
+- :mod:`repro.faults.injector` — a deterministic, seeded
+  :class:`FaultInjector` proxy that injects errors, latency, outage
+  windows and payload corruption on a per-``(backend, operation)``
+  :class:`FaultSchedule`, so failures are reproducible in tests and
+  benchmarks;
+- :mod:`repro.faults.breaker` — a thread-safe :class:`CircuitBreaker`
+  (closed → open → half-open with a probe budget), the per-backend
+  :class:`HealthRegistry`, and :class:`ResilienceConfig`, the policy
+  object the polystore's degraded mode runs under.
+
+Typical chaos drill::
+
+    from repro.faults import FaultInjector, FaultSchedule, FaultSpec
+    from repro.storage.polystore import Polystore
+    from repro.storage.relational import RelationalStore
+
+    schedule = FaultSchedule().set("relational", "*", FaultSpec(error_rate=0.2))
+    store = Polystore(relational=FaultInjector(
+        RelationalStore(), "relational", schedule, seed=7))
+    # stores/fetches now fail over to the object store instead of raising
+"""
+
+from repro.faults.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    HealthRegistry,
+    ResilienceConfig,
+    Transition,
+)
+from repro.faults.injector import (
+    NO_FAULTS,
+    FaultInjector,
+    FaultSchedule,
+    FaultSpec,
+    corrupt_payload,
+)
+
+__all__ = [
+    "CLOSED",
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultSpec",
+    "HALF_OPEN",
+    "HealthRegistry",
+    "NO_FAULTS",
+    "OPEN",
+    "ResilienceConfig",
+    "Transition",
+    "corrupt_payload",
+]

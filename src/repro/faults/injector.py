@@ -1,0 +1,253 @@
+"""Deterministic fault injection for storage backends.
+
+A production lake must keep answering queries while a backend is
+misbehaving — but "misbehaving" is impossible to test unless failures can
+be *reproduced*.  :class:`FaultInjector` wraps any storage backend
+(relational / document / graph / object) behind a transparent proxy and
+injects faults on a per-``(backend, operation)`` :class:`FaultSchedule`:
+
+- **errors** — a seeded coin flip raises
+  :class:`~repro.core.errors.FaultInjected` instead of calling through;
+- **latency** — a fixed delay added to every call;
+- **outages** — half-open call-index windows ``[start, stop)`` during
+  which every call hard-fails (transient-then-recover: the backend comes
+  back once the window passes — this is what drives circuit breakers
+  through their full state machine in tests);
+- **corruption** — a seeded coin flip mutates the returned payload so
+  readers can exercise their validation paths.
+
+Everything is derived from an explicit seed: the RNG for operation *op*
+of backend *b* is seeded with ``sha256(seed:b:op)``, so two runs with the
+same schedule and seed inject exactly the same faults on exactly the
+same calls, regardless of thread interleaving of *other* operations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.core.errors import FaultInjected
+from repro.obs import get_registry
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Fault configuration for one ``(backend, operation)`` slot.
+
+    ``outages`` are half-open windows over the operation's 0-based call
+    index: a call whose index falls in any window fails unconditionally.
+    """
+
+    error_rate: float = 0.0
+    latency: float = 0.0
+    corrupt_rate: float = 0.0
+    outages: Tuple[Tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.error_rate <= 1.0:
+            raise ValueError("error_rate must be a probability in [0, 1]")
+        if not 0.0 <= self.corrupt_rate <= 1.0:
+            raise ValueError("corrupt_rate must be a probability in [0, 1]")
+        if self.latency < 0:
+            raise ValueError("latency must be non-negative")
+        for start, stop in self.outages:
+            if start < 0 or stop < start:
+                raise ValueError(f"outage window ({start}, {stop}) is not ordered")
+
+    @property
+    def inert(self) -> bool:
+        return (self.error_rate == 0.0 and self.latency == 0.0
+                and self.corrupt_rate == 0.0 and not self.outages)
+
+    def in_outage(self, call_index: int) -> bool:
+        return any(start <= call_index < stop for start, stop in self.outages)
+
+
+#: the all-quiet spec — what an unconfigured slot resolves to
+NO_FAULTS = FaultSpec()
+
+
+class FaultSchedule:
+    """Maps ``(backend, operation)`` to a :class:`FaultSpec`.
+
+    Lookup precedence: exact ``(backend, op)``, then ``(backend, "*")``,
+    then ``("*", op)``, then the schedule default.  Schedules are built
+    once and read concurrently, so mutation after wiring is not supported.
+    """
+
+    WILDCARD = "*"
+
+    def __init__(self, default: FaultSpec = NO_FAULTS):
+        self.default = default
+        self._specs: Dict[Tuple[str, str], FaultSpec] = {}
+
+    def set(self, backend: str, operation: str, spec: FaultSpec) -> "FaultSchedule":
+        """Configure one slot; returns ``self`` for chaining."""
+        self._specs[(backend, operation)] = spec
+        return self
+
+    def spec_for(self, backend: str, operation: str) -> FaultSpec:
+        for key in ((backend, operation), (backend, self.WILDCARD),
+                    (self.WILDCARD, operation)):
+            spec = self._specs.get(key)
+            if spec is not None:
+                return spec
+        return self.default
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+
+def _derive_seed(seed: int, backend: str, operation: str) -> int:
+    digest = hashlib.sha256(f"{seed}:{backend}:{operation}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def corrupt_payload(value: Any) -> Any:
+    """Deterministically damage *value* in a shape-preserving way.
+
+    Bytes get their first byte flipped, strings a marker prefix, lists
+    lose their last element, dicts gain a marker key; anything else is
+    returned untouched (the injection counter still records the event).
+    """
+    if isinstance(value, bytes) and value:
+        return bytes([value[0] ^ 0xFF]) + value[1:]
+    if isinstance(value, str):
+        return "\x00corrupt\x00" + value
+    if isinstance(value, list):
+        return value[:-1]
+    if isinstance(value, dict):
+        damaged = dict(value)
+        damaged["__corrupt__"] = True
+        return damaged
+    return value
+
+
+class FaultInjector:
+    """Proxy a backend object, injecting scheduled faults on method calls.
+
+    Attribute reads of non-callables and private (``_``-prefixed) names
+    pass straight through, so the proxy is drop-in wherever the wrapped
+    backend is expected (``Polystore(relational=FaultInjector(...))``).
+    Container protocol (``in`` / ``len``) is forwarded explicitly because
+    ``__getattr__`` does not cover dunder lookup.
+    """
+
+    #: attributes that live on the proxy itself (everything else delegates)
+    _OWN = frozenset({
+        "_target", "_backend", "_schedule", "_seed", "_sleep", "_lock",
+        "_counts", "_injected", "_rngs", "_m_errors", "_m_corrupted",
+        "_m_delays",
+    })
+
+    def __init__(
+        self,
+        target: Any,
+        backend: str,
+        schedule: Optional[FaultSchedule] = None,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self._target = target
+        self._backend = backend
+        # `is not None`, not `or`: an empty FaultSchedule is falsy (len 0)
+        # but must still be shared with the caller, who may populate it later
+        self._schedule = schedule if schedule is not None else FaultSchedule()
+        self._seed = seed
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {}
+        self._injected: Dict[str, int] = {}
+        self._rngs: Dict[str, random.Random] = {}
+        registry = get_registry()
+        self._m_errors = registry.counter(f"faults.injected_errors.{backend}")
+        self._m_corrupted = registry.counter(f"faults.injected_corruption.{backend}")
+        self._m_delays = registry.counter(f"faults.injected_delays.{backend}")
+
+    # -- proxying ----------------------------------------------------------------
+
+    @property
+    def wrapped(self) -> Any:
+        """The unproxied backend, for assertions and repair paths."""
+        return self._target
+
+    def __getattr__(self, name: str) -> Any:
+        attr = getattr(self._target, name)
+        if name.startswith("_") or not callable(attr):
+            return attr
+        spec = self._schedule.spec_for(self._backend, name)
+        if spec.inert and self._schedule.default.inert:
+            return attr  # fast path: nothing scheduled for this operation
+        return self._wrap(name, attr, spec)
+
+    def __contains__(self, item: Any) -> bool:
+        return item in self._target
+
+    def __len__(self) -> int:
+        return len(self._target)
+
+    def __bool__(self) -> bool:
+        # without this, truthiness checks fall through to __len__, which
+        # not every wrapped backend supports
+        return True
+
+    def __repr__(self) -> str:
+        return f"FaultInjector({self._backend!r}, {self._target!r})"
+
+    # -- injection ---------------------------------------------------------------
+
+    def _advance_locked(self, operation: str) -> Tuple[int, random.Random]:
+        index = self._counts.get(operation, 0)
+        self._counts[operation] = index + 1
+        rng = self._rngs.get(operation)
+        if rng is None:
+            rng = self._rngs[operation] = random.Random(
+                _derive_seed(self._seed, self._backend, operation))
+        return index, rng
+
+    def _wrap(self, operation: str, method: Callable[..., Any],
+              spec: FaultSpec) -> Callable[..., Any]:
+        def injected(*args: Any, **kwargs: Any) -> Any:
+            with self._lock:
+                index, rng = self._advance_locked(operation)
+                fail = spec.in_outage(index) or (
+                    spec.error_rate > 0.0 and rng.random() < spec.error_rate)
+                damage = (spec.corrupt_rate > 0.0
+                          and rng.random() < spec.corrupt_rate)
+            if spec.latency > 0.0:
+                self._m_delays.inc()
+                self._sleep(spec.latency)
+            if fail:
+                self._m_errors.inc()
+                with self._lock:
+                    self._injected[operation] = self._injected.get(operation, 0) + 1
+                raise FaultInjected(
+                    f"injected fault in {self._backend}.{operation} "
+                    f"(call #{index})")
+            result = method(*args, **kwargs)
+            if damage:
+                self._m_corrupted.inc()
+                with self._lock:
+                    self._injected[operation] = self._injected.get(operation, 0) + 1
+                return corrupt_payload(result)
+            return result
+
+        injected.__name__ = operation
+        return injected
+
+    # -- introspection -----------------------------------------------------------
+
+    def call_counts(self) -> Dict[str, int]:
+        """Calls seen per operation (including failed ones)."""
+        with self._lock:
+            return dict(self._counts)
+
+    def injected_counts(self) -> Dict[str, int]:
+        """Faults actually injected per operation (errors + corruption)."""
+        with self._lock:
+            return dict(self._injected)

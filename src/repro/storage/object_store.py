@@ -16,7 +16,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-from repro.core.errors import DatasetNotFound, StorageError
+from repro.core.errors import DatasetNotFound
+from repro.obs import get_registry
 from repro.storage.formats import decode, detect_format, encode
 
 
@@ -51,6 +52,7 @@ class ObjectStore:
     def __init__(self, root: Optional[Path] = None):
         self._buckets: Dict[str, Dict[str, List[StoredObject]]] = {}
         self._root = Path(root) if root is not None else None
+        self._quarantined: List[Dict[str, str]] = []
         if self._root is not None:
             self._root.mkdir(parents=True, exist_ok=True)
             self._load()
@@ -194,6 +196,14 @@ class ObjectStore:
         path.with_suffix(path.suffix + ".meta.json").write_text(json.dumps(meta))
 
     def _load(self) -> None:
+        """Reload persisted objects, quarantining unreadable/corrupt entries.
+
+        A damaged entry (unreadable file, bad JSON, missing metadata
+        fields) must not take the whole store down: it is recorded on
+        :attr:`quarantined`, counted on the
+        ``storage.object_store.quarantined`` metric, and skipped — every
+        healthy object still loads.
+        """
         assert self._root is not None
         metas = sorted(self._root.glob("*/*.meta.json"))
         for meta_path in metas:
@@ -201,19 +211,27 @@ class ObjectStore:
                 meta = json.loads(meta_path.read_text())
                 data_path = meta_path.with_name(meta_path.name[: -len(".meta.json")])
                 data = data_path.read_bytes()
-            except (OSError, json.JSONDecodeError) as exc:
-                raise StorageError(f"corrupt object store entry {meta_path}: {exc}") from exc
-            obj = StoredObject(
-                bucket=meta["bucket"],
-                key=meta["key"],
-                version=meta["version"],
-                data=data,
-                format=meta["format"],
-                content_hash=meta["content_hash"],
-                metadata=meta.get("metadata", {}),
-            )
+                obj = StoredObject(
+                    bucket=meta["bucket"],
+                    key=meta["key"],
+                    version=meta["version"],
+                    data=data,
+                    format=meta["format"],
+                    content_hash=meta["content_hash"],
+                    metadata=meta.get("metadata", {}),
+                )
+            except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
+                self._quarantined.append(
+                    {"path": str(meta_path), "error": f"{type(exc).__name__}: {exc}"})
+                get_registry().counter("storage.object_store.quarantined").inc()
+                continue
             self.create_bucket(obj.bucket)
             self._buckets[obj.bucket].setdefault(obj.key, []).append(obj)
         for bucket in self._buckets.values():
             for versions in bucket.values():
                 versions.sort(key=lambda o: o.version)
+
+    @property
+    def quarantined(self) -> List[Dict[str, str]]:
+        """Entries skipped by :meth:`_load` as ``{"path", "error"}`` records."""
+        return list(self._quarantined)

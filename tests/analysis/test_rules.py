@@ -7,6 +7,7 @@ from repro.analysis import LintEngine
 from repro.analysis.rules import (
     BareExceptRule,
     BenchDeterminismRule,
+    BreakerGuardRule,
     ExceptionHygieneRule,
     LockDisciplineRule,
     RegistryCoordsRule,
@@ -263,6 +264,73 @@ class TestBareExcept:
         assert len(findings) == 1 and findings[0].rule == "bare-except"
 
 
+class TestBreakerGuarded:
+    def _findings(self, tmp_path, body):
+        source = "class Polystore:\n" + textwrap.indent(
+            textwrap.dedent(body), "    ")
+        _tree(tmp_path, {"repro/storage/polystore.py": source})
+        return _run(BreakerGuardRule(), tmp_path)
+
+    def test_raw_backend_call_fires(self, tmp_path):
+        findings = self._findings(tmp_path, """
+            def fetch(self, name):
+                return self.relational.scan(name)
+        """)
+        assert len(findings) == 1
+        assert findings[0].rule == "breaker-guarded"
+        assert "self.relational.scan" in findings[0].message
+
+    def test_call_inside_guard_thunk_is_clean(self, tmp_path):
+        assert self._findings(tmp_path, """
+            def fetch(self, name):
+                return self._guarded("relational", "scan",
+                                     lambda: self.relational.scan(name))
+        """) == []
+
+    def test_public_guard_receiver_is_clean(self, tmp_path):
+        # the federation engine calls polystore.guarded(...)
+        assert self._findings(tmp_path, """
+            def subquery(self, name):
+                return self.polystore.guarded(
+                    "document", "find",
+                    lambda: self.polystore.document.find(name))
+        """) == []
+
+    def test_dotted_receiver_fires_too(self, tmp_path):
+        findings = self._findings(tmp_path, """
+            def subquery(self, name):
+                return self.polystore.document.find(name)
+        """)
+        assert len(findings) == 1
+        assert "self.polystore.document.find" in findings[0].message
+
+    def test_unguarded_helper_is_sanctioned_raw_access(self, tmp_path):
+        assert self._findings(tmp_path, """
+            def _replica_unguarded(self, name):
+                return self.objects.get("fallback", name)
+        """) == []
+
+    def test_init_wiring_is_sanctioned(self, tmp_path):
+        assert self._findings(tmp_path, """
+            def __init__(self):
+                self.objects.create_bucket("raw")
+        """) == []
+
+    def test_non_backend_receivers_ignored(self, tmp_path):
+        assert self._findings(tmp_path, """
+            def report(self):
+                return self.health.snapshot()
+        """) == []
+
+    def test_out_of_scope_files_ignored(self, tmp_path):
+        _tree(tmp_path, {"repro/cleaning/mod.py": """
+            class C:
+                def f(self):
+                    return self.relational.scan("t")
+        """})
+        assert _run(BreakerGuardRule(), tmp_path) == []
+
+
 class TestTracedRules:
     TRACED = """
         from repro.obs.instrument import traced
@@ -323,5 +391,5 @@ class TestDefaultRules:
         assert len(names) == len(set(names))
         assert {"traced-manifest", "runtime-traced", "bare-except",
                 "exception-hygiene", "lock-discipline", "registry-coords",
-                "bench-determinism"} <= set(names)
+                "bench-determinism", "breaker-guarded"} <= set(names)
         assert all(a is not b for a, b in zip(first, second))

@@ -1,0 +1,94 @@
+"""Partial federated results: skipped sources and the completeness report."""
+
+import pytest
+
+from repro.core.dataset import Dataset, Table
+from repro.core.errors import BackendUnavailable, QueryError
+from repro.exploration.federation import FederatedQueryEngine, FederatedResult
+from repro.faults import FaultInjector, FaultSchedule, FaultSpec, ResilienceConfig
+from repro.storage.polystore import Polystore
+from repro.storage.relational import RelationalStore
+
+
+@pytest.fixture
+def setup():
+    """Two sources: people (relational, faultable) and orders (document)."""
+    schedule = FaultSchedule()
+    relational = FaultInjector(RelationalStore(), "relational", schedule, seed=2)
+    polystore = Polystore(relational=relational,
+                          resilience=ResilienceConfig(failure_threshold=1))
+    polystore.store(Dataset("people", Table.from_rows(
+        "people", ["pid", "name"], [[1, "ada"], [2, "bob"]])))
+    polystore.store(Dataset("orders", [{"pid": 1, "total": 9},
+                                       {"pid": 2, "total": 3}], format="jsonl"))
+    engine = FederatedQueryEngine(polystore)
+    engine.profile_from_placement("people", {"person": "pid", "name": "name"})
+    engine.profile_from_placement("orders", {"person": "pid", "total": "total"})
+    return engine, schedule
+
+
+PATTERNS = [("?p", "person", "?i"), ("?p", "name", "?n"),
+            ("?o", "person", "?i"), ("?o", "total", "?t")]
+
+
+class TestCompleteResults:
+    def test_healthy_query_is_complete(self, setup):
+        engine, _ = setup
+        result = engine.query(PATTERNS)
+        assert isinstance(result, FederatedResult)
+        assert result.completeness.complete
+        assert result.completeness.subqueries == 2
+        assert result.completeness.executed == 2
+        assert {binding["?n"] for binding in result} == {"ada", "bob"}
+
+    def test_result_still_behaves_like_a_list(self, setup):
+        engine, _ = setup
+        result = engine.query(PATTERNS)
+        assert len(result) == 2
+        assert result[0]["?i"] is not None
+        assert list(result) == [dict(binding) for binding in result]
+
+    def test_empty_patterns(self, setup):
+        engine, _ = setup
+        result = engine.query([])
+        assert result == []
+        assert result.completeness.complete
+        assert result.completeness.subqueries == 0
+
+
+class TestPartialResults:
+    def test_unavailable_source_is_skipped_and_reported(self, setup):
+        engine, schedule = setup
+        schedule.set("relational", "*", FaultSpec(error_rate=1.0))
+        result = engine.query(PATTERNS)
+        assert not result.completeness.complete
+        assert list(result.completeness.skipped_sources) == ["people"]
+        assert "relational" in result.completeness.skipped_sources["people"]
+        assert result.completeness.dropped_variables == ("?p",)
+        assert result.completeness.executed == 1
+        # the surviving source still answers
+        assert {binding["?t"] for binding in result} == {9, 3}
+        assert all("?n" not in binding for binding in result)
+
+    def test_partial_false_restores_raise_semantics(self, setup):
+        engine, schedule = setup
+        schedule.set("relational", "*", FaultSpec(error_rate=1.0))
+        with pytest.raises(BackendUnavailable):
+            engine.query(PATTERNS, partial=False)
+
+    def test_planner_errors_always_raise(self, setup):
+        engine, schedule = setup
+        schedule.set("relational", "*", FaultSpec(error_rate=1.0))
+        with pytest.raises(QueryError):  # no source serves this property
+            engine.query([("?x", "nonexistent_property", "?v")])
+
+    def test_recovery_restores_completeness(self, setup):
+        engine, schedule = setup
+        schedule.set("relational", "*", FaultSpec(error_rate=1.0))
+        assert not engine.query(PATTERNS).completeness.complete
+        schedule.set("relational", "*", FaultSpec())
+        # wait out the breaker (configured reset_timeout is 0.25s)
+        import time
+        time.sleep(0.3)
+        result = engine.query(PATTERNS)
+        assert result.completeness.complete

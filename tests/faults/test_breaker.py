@@ -1,0 +1,194 @@
+"""CircuitBreaker state machine and the HealthRegistry."""
+
+import threading
+
+import pytest
+
+from repro.core.errors import CircuitOpen
+from repro.faults import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    HealthRegistry,
+    ResilienceConfig,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_breaker(**kwargs):
+    clock = FakeClock()
+    defaults = dict(failure_threshold=3, reset_timeout=1.0, probe_budget=1,
+                    success_threshold=2, clock=clock)
+    defaults.update(kwargs)
+    return CircuitBreaker("test", **defaults), clock
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        breaker, _ = make_breaker()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_opens_after_consecutive_failures(self):
+        breaker, _ = make_breaker(failure_threshold=3)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _ = make_breaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # streak restarted at 0
+
+    def test_half_open_after_reset_timeout(self):
+        breaker, clock = make_breaker(failure_threshold=1, reset_timeout=1.0)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(0.5)
+        assert not breaker.allow()
+        clock.advance(0.6)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()  # admitted as a probe
+
+    def test_probe_budget_limits_concurrent_probes(self):
+        breaker, clock = make_breaker(failure_threshold=1, probe_budget=1)
+        breaker.record_failure()
+        clock.advance(2.0)
+        assert breaker.allow()       # the one probe slot
+        assert not breaker.allow()   # budget exhausted
+
+    def test_probe_successes_close_the_circuit(self):
+        breaker, clock = make_breaker(
+            failure_threshold=1, probe_budget=2, success_threshold=2)
+        breaker.record_failure()
+        clock.advance(2.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == HALF_OPEN  # one success is not enough
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_probe_failure_reopens(self):
+        breaker, clock = make_breaker(failure_threshold=1)
+        breaker.record_failure()
+        clock.advance(2.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()  # the open clock restarted
+
+    def test_full_cycle_is_recorded_in_transitions(self):
+        breaker, clock = make_breaker(failure_threshold=1, success_threshold=1)
+        breaker.record_failure()
+        clock.advance(2.0)
+        breaker.allow()
+        breaker.record_success()
+        states = [(t.from_state, t.to_state) for t in breaker.transitions()]
+        assert states == [(CLOSED, OPEN), (OPEN, HALF_OPEN), (HALF_OPEN, CLOSED)]
+        assert all(t.breaker == "test" for t in breaker.transitions())
+
+    def test_call_wrapper(self):
+        breaker, _ = make_breaker(failure_threshold=1)
+        assert breaker.call(lambda: 42) == 42
+        with pytest.raises(RuntimeError):
+            breaker.call(self._boom)
+        with pytest.raises(CircuitOpen):
+            breaker.call(lambda: 42)
+
+    @staticmethod
+    def _boom():
+        raise RuntimeError("boom")
+
+    def test_snapshot(self):
+        breaker, _ = make_breaker()
+        breaker.record_failure()
+        snap = breaker.snapshot()
+        assert snap["state"] == CLOSED
+        assert snap["consecutive_failures"] == 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"failure_threshold": 0}, {"probe_budget": 0}, {"success_threshold": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            make_breaker(**kwargs)
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_records_never_crash(self):
+        breaker, clock = make_breaker(failure_threshold=5, reset_timeout=0.0)
+        errors = []
+
+        def hammer(n):
+            try:
+                for i in range(500):
+                    if breaker.allow():
+                        (breaker.record_failure if (i + n) % 3 == 0
+                         else breaker.record_success)()
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(n,)) for n in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert breaker.state in (CLOSED, OPEN, HALF_OPEN)
+
+
+class TestResilienceConfig:
+    def test_replicate_vocabulary(self):
+        for mode in ("never", "on-failure", "always"):
+            assert ResilienceConfig(replicate=mode).replicate == mode
+        with pytest.raises(ValueError):
+            ResilienceConfig(replicate="sometimes")
+
+    def test_default_retry_is_modest(self):
+        config = ResilienceConfig()
+        assert config.retry.max_attempts == 2
+
+
+class TestHealthRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = HealthRegistry()
+        assert registry.breaker("relational") is registry.breaker("relational")
+        assert set(registry.breakers()) == {"relational"}
+
+    def test_breakers_inherit_the_config(self):
+        registry = HealthRegistry(ResilienceConfig(failure_threshold=9))
+        assert registry.breaker("x").failure_threshold == 9
+
+    def test_degraded_and_healthy(self):
+        registry = HealthRegistry(ResilienceConfig(failure_threshold=1))
+        assert registry.healthy
+        registry.breaker("relational").record_failure()
+        registry.breaker("document")
+        assert registry.degraded() == ["relational"]
+        assert not registry.healthy
+
+    def test_snapshot_and_transitions_aggregate(self):
+        registry = HealthRegistry(ResilienceConfig(failure_threshold=1))
+        registry.breaker("a").record_failure()
+        snap = registry.snapshot()
+        assert snap["a"]["state"] == OPEN
+        assert [t.breaker for t in registry.transitions()] == ["a"]

@@ -1,0 +1,199 @@
+"""FaultInjector: deterministic faults behind a transparent proxy."""
+
+import pytest
+
+from repro.core.errors import FaultInjected
+from repro.faults import (
+    NO_FAULTS,
+    FaultInjector,
+    FaultSchedule,
+    FaultSpec,
+    corrupt_payload,
+)
+
+
+class Backend:
+    """A tiny stand-in storage backend."""
+
+    def __init__(self):
+        self.calls = []
+        self.tables = {"t": [1, 2, 3]}
+
+    def scan(self, name):
+        self.calls.append(("scan", name))
+        return self.tables[name]
+
+    def put(self, name, rows):
+        self.calls.append(("put", name))
+        self.tables[name] = rows
+        return len(rows)
+
+
+class TestFaultSpec:
+    def test_defaults_are_inert(self):
+        assert FaultSpec().inert
+        assert NO_FAULTS.inert
+
+    def test_any_configured_fault_is_not_inert(self):
+        assert not FaultSpec(error_rate=0.1).inert
+        assert not FaultSpec(latency=0.5).inert
+        assert not FaultSpec(corrupt_rate=0.1).inert
+        assert not FaultSpec(outages=((0, 2),)).inert
+
+    def test_outage_windows_are_half_open(self):
+        spec = FaultSpec(outages=((2, 4),))
+        assert not spec.in_outage(1)
+        assert spec.in_outage(2)
+        assert spec.in_outage(3)
+        assert not spec.in_outage(4)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"error_rate": -0.1}, {"error_rate": 1.5},
+        {"corrupt_rate": 2.0}, {"latency": -1.0},
+        {"outages": ((3, 1),)}, {"outages": ((-1, 2),)},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultSpec(**kwargs)
+
+
+class TestFaultSchedule:
+    def test_precedence_exact_over_wildcards(self):
+        exact = FaultSpec(error_rate=0.1)
+        backend_wide = FaultSpec(error_rate=0.2)
+        op_wide = FaultSpec(error_rate=0.3)
+        schedule = (FaultSchedule()
+                    .set("relational", "scan", exact)
+                    .set("relational", "*", backend_wide)
+                    .set("*", "scan", op_wide))
+        assert schedule.spec_for("relational", "scan") is exact
+        assert schedule.spec_for("relational", "put") is backend_wide
+        assert schedule.spec_for("document", "scan") is op_wide
+        assert schedule.spec_for("document", "put") is schedule.default
+
+    def test_empty_schedule_resolves_to_default(self):
+        schedule = FaultSchedule(default=FaultSpec(error_rate=1.0))
+        assert schedule.spec_for("x", "y").error_rate == 1.0
+
+
+class TestProxying:
+    def test_transparent_for_inert_schedule(self):
+        backend = Backend()
+        proxy = FaultInjector(backend, "b")
+        assert proxy.scan("t") == [1, 2, 3]
+        assert proxy.put("u", [9]) == 1
+        assert backend.calls == [("scan", "t"), ("put", "u")]
+        assert proxy.wrapped is backend
+
+    def test_non_callable_attributes_pass_through(self):
+        backend = Backend()
+        proxy = FaultInjector(backend, "b")
+        assert proxy.tables is backend.tables
+
+    def test_truthiness_does_not_require_len(self):
+        # Backend has no __len__; `proxy or default` must keep the proxy
+        proxy = FaultInjector(Backend(), "b")
+        assert bool(proxy)
+        assert (proxy or None) is proxy
+
+    def test_schedule_shared_with_caller_even_when_empty(self):
+        # regression: an empty FaultSchedule is falsy (len 0) but must not
+        # be replaced by a private copy — callers mutate it after wiring
+        schedule = FaultSchedule()
+        proxy = FaultInjector(Backend(), "b", schedule)
+        schedule.set("b", "*", FaultSpec(error_rate=1.0))
+        with pytest.raises(FaultInjected):
+            proxy.scan("t")
+
+
+class TestErrorInjection:
+    def test_rate_one_always_raises_and_never_calls_through(self):
+        backend = Backend()
+        schedule = FaultSchedule().set("b", "scan", FaultSpec(error_rate=1.0))
+        proxy = FaultInjector(backend, "b", schedule, seed=3)
+        for _ in range(5):
+            with pytest.raises(FaultInjected, match=r"b\.scan"):
+                proxy.scan("t")
+        assert backend.calls == []
+        assert proxy.injected_counts() == {"scan": 5}
+        assert proxy.call_counts() == {"scan": 5}
+
+    def test_same_seed_same_fault_sequence(self):
+        def run(seed):
+            schedule = FaultSchedule().set("b", "scan", FaultSpec(error_rate=0.4))
+            proxy = FaultInjector(Backend(), "b", schedule, seed=seed)
+            outcomes = []
+            for _ in range(40):
+                try:
+                    proxy.scan("t")
+                    outcomes.append("ok")
+                except FaultInjected:
+                    outcomes.append("fault")
+            return outcomes
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+        assert "fault" in run(7) and "ok" in run(7)
+
+    def test_operations_have_independent_streams(self):
+        # injecting on scan must not perturb put's RNG stream
+        schedule = FaultSchedule().set("b", "*", FaultSpec(error_rate=0.5))
+        solo = FaultInjector(Backend(), "b", schedule, seed=1)
+        puts_solo = []
+        for _ in range(20):
+            try:
+                solo.put("u", [1])
+                puts_solo.append("ok")
+            except FaultInjected:
+                puts_solo.append("fault")
+        mixed = FaultInjector(Backend(), "b", schedule, seed=1)
+        puts_mixed = []
+        for _ in range(20):
+            try:
+                mixed.scan("t")
+            except FaultInjected:
+                pass
+            try:
+                mixed.put("u", [1])
+                puts_mixed.append("ok")
+            except FaultInjected:
+                puts_mixed.append("fault")
+        assert puts_solo == puts_mixed
+
+
+class TestOutages:
+    def test_window_fails_then_recovers(self):
+        schedule = FaultSchedule().set("b", "scan", FaultSpec(outages=((1, 3),)))
+        proxy = FaultInjector(Backend(), "b", schedule, seed=0)
+        assert proxy.scan("t") == [1, 2, 3]        # call 0: before window
+        for _ in range(2):                          # calls 1-2: inside
+            with pytest.raises(FaultInjected):
+                proxy.scan("t")
+        assert proxy.scan("t") == [1, 2, 3]        # call 3: recovered
+
+
+class TestLatency:
+    def test_injected_delay_uses_sleep_hook(self):
+        naps = []
+        schedule = FaultSchedule().set("b", "scan", FaultSpec(latency=0.05))
+        proxy = FaultInjector(Backend(), "b", schedule, seed=0,
+                              sleep=naps.append)
+        proxy.scan("t")
+        proxy.scan("t")
+        assert naps == [0.05, 0.05]
+
+
+class TestCorruption:
+    def test_corrupt_payload_shapes(self):
+        assert corrupt_payload(b"\x01abc") == b"\xfeabc"
+        assert corrupt_payload("hi").endswith("hi")
+        assert corrupt_payload("hi") != "hi"
+        assert corrupt_payload([1, 2, 3]) == [1, 2]
+        assert corrupt_payload({"a": 1})["__corrupt__"] is True
+        assert corrupt_payload(42) == 42  # unknown shapes untouched
+
+    def test_rate_one_always_damages_result(self):
+        schedule = FaultSchedule().set("b", "scan", FaultSpec(corrupt_rate=1.0))
+        proxy = FaultInjector(Backend(), "b", schedule, seed=0)
+        assert proxy.scan("t") == [1, 2]  # list loses its last element
+        assert proxy.injected_counts() == {"scan": 1}

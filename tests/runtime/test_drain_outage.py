@@ -1,0 +1,75 @@
+"""drain() while a job's storage backend is mid-outage (satellite of the
+fault-injection work): dead-lettered jobs must surface in introspection
+and must never hang the drain barrier."""
+
+from repro.core.dataset import Dataset, Table
+from repro.faults import FaultInjector, FaultSchedule, FaultSpec, ResilienceConfig
+from repro.runtime.jobs import RetryPolicy
+from repro.runtime.scheduler import JobScheduler
+from repro.storage.polystore import Polystore
+from repro.storage.relational import RelationalStore
+
+
+def outage_polystore(schedule):
+    relational = FaultInjector(RelationalStore(), "relational", schedule, seed=4)
+    # resilience disabled: jobs see the raw backend errors, so the
+    # scheduler's own retry/dead-letter machinery is what is under test
+    return Polystore(relational=relational,
+                     resilience=ResilienceConfig(enabled=False))
+
+
+def dataset(name):
+    return Dataset(name, Table.from_rows(name, ["x"], [[1], [2]]))
+
+
+class TestDrainDuringOutage:
+    def test_dead_lettered_jobs_do_not_hang_drain(self):
+        schedule = FaultSchedule().set("relational", "*",
+                                      FaultSpec(error_rate=1.0))
+        polystore = outage_polystore(schedule)
+        with JobScheduler(workers=2) as scheduler:
+            for i in range(4):
+                scheduler.submit(
+                    polystore.store, args=(dataset(f"d{i}"),),
+                    name=f"store:d{i}",
+                    retry=RetryPolicy(max_attempts=2, base_delay=0.001,
+                                      jitter=0.0))
+            results = scheduler.drain(timeout=30.0)  # returns despite failures
+            assert len(results) == 4
+            dead = scheduler.dead_letter()
+            assert sorted(r.name for r in dead) == [f"store:d{i}" for i in range(4)]
+            for result in dead:
+                assert result.status == "dead"
+                assert result.attempts == 2  # the retry budget was spent
+                assert result.error_type == "FaultInjected"
+            assert scheduler.outstanding() == 0
+
+    def test_transient_outage_recovers_within_retry_budget(self):
+        # the first store call per table hits the outage window; retries land
+        # after it and succeed — nothing dead-letters
+        schedule = FaultSchedule().set("relational", "create_table",
+                                      FaultSpec(outages=((0, 1),)))
+        polystore = outage_polystore(schedule)
+        with JobScheduler(workers=1) as scheduler:
+            scheduler.submit(
+                polystore.store, args=(dataset("d0"),), name="store:d0",
+                retry=RetryPolicy(max_attempts=3, base_delay=0.001, jitter=0.0))
+            scheduler.drain(timeout=30.0)
+            assert scheduler.dead_letter() == []
+            assert polystore.placement("d0").backend == "relational"
+
+    def test_mixed_outcomes_keep_survivors(self):
+        # relational is down, objects is fine: only relational-bound work dies
+        schedule = FaultSchedule().set("relational", "*",
+                                      FaultSpec(error_rate=1.0))
+        polystore = outage_polystore(schedule)
+        with JobScheduler(workers=2) as scheduler:
+            scheduler.submit(
+                polystore.store, args=(dataset("tabular"),),
+                name="store:tabular", retry=RetryPolicy(max_attempts=1))
+            scheduler.submit(
+                polystore.store, args=(Dataset("blob", b"\x00", format="binary"),),
+                name="store:blob", retry=RetryPolicy(max_attempts=1))
+            scheduler.drain(timeout=30.0)
+            assert [r.name for r in scheduler.dead_letter()] == ["store:tabular"]
+            assert polystore.placement("blob").backend == "objects"

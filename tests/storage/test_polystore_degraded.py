@@ -1,0 +1,193 @@
+"""Degraded-mode polystore: breaker guards, failover, repair."""
+
+import pytest
+
+from repro.core.dataset import Dataset, Table
+from repro.core.errors import (
+    BackendUnavailable,
+    CircuitOpen,
+    DatasetNotFound,
+    FaultInjected,
+    StorageError,
+)
+from repro.faults import (
+    OPEN,
+    FaultInjector,
+    FaultSchedule,
+    FaultSpec,
+    ResilienceConfig,
+)
+from repro.storage.polystore import Polystore
+from repro.storage.relational import RelationalStore
+
+
+def people_table():
+    return Table.from_rows("people", ["pid", "name"], [[1, "ada"], [2, "bob"]])
+
+
+def broken_polystore(schedule=None, **config):
+    """A polystore whose relational backend obeys *schedule*."""
+    schedule = schedule if schedule is not None else FaultSchedule()
+    relational = FaultInjector(RelationalStore(), "relational", schedule, seed=5)
+    config.setdefault("failure_threshold", 2)
+    return Polystore(relational=relational,
+                     resilience=ResilienceConfig(**config)), schedule
+
+
+class TestGuard:
+    def test_data_errors_pass_through_and_count_as_success(self):
+        polystore = Polystore(resilience=ResilienceConfig(failure_threshold=1))
+        with pytest.raises(DatasetNotFound):
+            polystore.fetch("ghost")
+        # a missing dataset is not a backend failure: nothing tripped
+        assert polystore.health.healthy
+
+    def test_infrastructure_errors_surface_as_backend_unavailable(self):
+        schedule = FaultSchedule().set("relational", "*", FaultSpec(error_rate=1.0))
+        polystore, _ = broken_polystore(schedule)
+        with pytest.raises(BackendUnavailable):
+            polystore.guarded("relational", "scan",
+                              lambda: polystore.relational.scan("t"))
+
+    def test_open_circuit_fails_fast_without_touching_backend(self):
+        schedule = FaultSchedule().set("relational", "*", FaultSpec(error_rate=1.0))
+        polystore, _ = broken_polystore(schedule, failure_threshold=1,
+                                        reset_timeout=60.0)
+        with pytest.raises(BackendUnavailable):
+            polystore.guarded("relational", "scan",
+                              lambda: polystore.relational.scan("t"))
+        calls_before = polystore.relational.call_counts().get("scan", 0)
+        with pytest.raises(CircuitOpen):
+            polystore.guarded("relational", "scan",
+                              lambda: polystore.relational.scan("t"))
+        assert polystore.relational.call_counts().get("scan", 0) == calls_before
+
+    def test_retry_recovers_from_a_transient_blip(self):
+        # exactly one failing call, then healthy: the in-guard retry absorbs it
+        schedule = FaultSchedule().set("relational", "scan",
+                                      FaultSpec(outages=((0, 1),)))
+        polystore, _ = broken_polystore(schedule, failure_threshold=5)
+        polystore.relational.wrapped.create_table(people_table())
+        table = polystore.guarded(
+            "relational", "scan", lambda: polystore.relational.scan("people"))
+        assert len(list(table.rows())) == 2
+
+    def test_disabled_resilience_is_a_passthrough(self):
+        schedule = FaultSchedule().set("relational", "*", FaultSpec(error_rate=1.0))
+        polystore, _ = broken_polystore(schedule, enabled=False)
+        with pytest.raises(FaultInjected):  # raw error, no breaker, no wrap
+            polystore.guarded("relational", "scan",
+                              lambda: polystore.relational.scan("t"))
+
+
+class TestStoreFailover:
+    def test_store_fails_over_to_fallback_bucket(self):
+        schedule = FaultSchedule().set("relational", "*", FaultSpec(error_rate=1.0))
+        polystore, _ = broken_polystore(schedule)
+        placement = polystore.store(Dataset("people", people_table()))
+        assert placement.degraded
+        assert placement.backend == "objects"
+        assert placement.intended_backend == "relational"
+        assert placement.location == "fallback/people"
+        assert polystore.degraded_placements() == [placement]
+
+    def test_failed_over_dataset_is_fetchable(self):
+        schedule = FaultSchedule().set("relational", "*", FaultSpec(error_rate=1.0))
+        polystore, _ = broken_polystore(schedule)
+        polystore.store(Dataset("people", people_table()))
+        fetched = polystore.fetch("people")
+        assert [row["name"] for row in fetched.rows()] == ["ada", "bob"]
+
+    def test_unknown_backend_still_rejected(self):
+        polystore = Polystore()
+        with pytest.raises(StorageError, match="unknown backend"):
+            polystore.store(Dataset("d", people_table()), backend="blob")
+
+    def test_objects_tier_failure_is_not_failed_over(self):
+        # the fallback tier IS objects: when it fails there is nowhere to go
+        schedule = (FaultSchedule()
+                    .set("objects", "put", FaultSpec(error_rate=1.0))
+                    .set("objects", "put_bytes", FaultSpec(error_rate=1.0)))
+        objects_proxy = FaultInjector(
+            __import__("repro.storage.object_store", fromlist=["ObjectStore"])
+            .ObjectStore(), "objects", schedule, seed=1)
+        polystore = Polystore(
+            objects=objects_proxy,
+            resilience=ResilienceConfig(failure_threshold=2))
+        with pytest.raises(BackendUnavailable):
+            polystore.store(Dataset("blob", b"\x00\x01", format="binary"))
+
+
+class TestFetchFailover:
+    def test_replicated_dataset_survives_backend_outage(self):
+        schedule = FaultSchedule()
+        polystore, _ = broken_polystore(schedule, replicate="always")
+        placement = polystore.store(Dataset("people", people_table()))
+        assert not placement.degraded  # the primary store succeeded
+        schedule.set("relational", "*", FaultSpec(error_rate=1.0))
+        fetched = polystore.fetch("people")  # served from the replica
+        assert [row["name"] for row in fetched.rows()] == ["ada", "bob"]
+
+    def test_without_replica_the_outage_surfaces(self):
+        schedule = FaultSchedule()
+        polystore, _ = broken_polystore(schedule, replicate="never")
+        polystore.store(Dataset("people", people_table()))
+        schedule.set("relational", "*", FaultSpec(error_rate=1.0))
+        with pytest.raises(BackendUnavailable):
+            polystore.fetch("people")
+
+    def test_not_found_error_names_backend_and_location(self):
+        polystore = Polystore()
+        polystore.store(Dataset("people", people_table()))
+        polystore.relational.drop_table("people")
+        with pytest.raises(DatasetNotFound) as excinfo:
+            polystore.fetch("people")
+        message = str(excinfo.value)
+        assert "'people'" in message
+        assert "'relational'" in message  # the attempted backend
+        assert "location" in message
+
+
+class TestRepair:
+    def test_repair_promotes_back_to_intended_backend(self):
+        schedule = FaultSchedule().set("relational", "*", FaultSpec(error_rate=1.0))
+        polystore, _ = broken_polystore(schedule, reset_timeout=0.0)
+        polystore.store(Dataset("people", people_table()))
+        schedule.set("relational", "*", FaultSpec())  # backend heals
+        repaired = polystore.repair("people")
+        assert not repaired.degraded
+        assert repaired.backend == "relational"
+        assert polystore.degraded_placements() == []
+        fetched = polystore.fetch("people")
+        assert [row["name"] for row in fetched.rows()] == ["ada", "bob"]
+
+    def test_repair_of_healthy_placement_is_a_noop(self):
+        polystore = Polystore()
+        placement = polystore.store(Dataset("people", people_table()))
+        assert polystore.repair("people") == placement
+
+    def test_repair_while_backend_still_down_raises(self):
+        schedule = FaultSchedule().set("relational", "*", FaultSpec(error_rate=1.0))
+        polystore, _ = broken_polystore(schedule, reset_timeout=0.0)
+        polystore.store(Dataset("people", people_table()))
+        with pytest.raises(BackendUnavailable):
+            polystore.repair("people")
+        assert polystore.placement("people").degraded  # still on the work-list
+
+
+class TestHealthReport:
+    def test_healthy_lake(self):
+        report = Polystore().health_report()
+        assert report["healthy"]
+        assert report["degraded_placements"] == []
+
+    def test_degraded_lake(self):
+        schedule = FaultSchedule().set("relational", "*", FaultSpec(error_rate=1.0))
+        polystore, _ = broken_polystore(schedule, failure_threshold=1,
+                                        reset_timeout=60.0)
+        polystore.store(Dataset("people", people_table()))
+        report = polystore.health_report()
+        assert not report["healthy"]
+        assert report["breakers"]["relational"]["state"] == OPEN
+        assert report["degraded_placements"] == ["people"]
+        assert report["failover"]["stores"] >= 1

@@ -19,21 +19,33 @@ from repro.storage.object_store import ObjectStore
 
 
 class TestCorruptObjectStore:
-    def test_corrupt_meta_json_detected(self, tmp_path):
+    def test_corrupt_meta_json_quarantined(self, tmp_path):
         store = ObjectStore(root=tmp_path)
         store.put_bytes("b", "k", b"payload", format="text")
-        meta_files = list(tmp_path.glob("*/*.meta.json"))
-        meta_files[0].write_text("{broken json")
-        with pytest.raises(StorageError, match="corrupt"):
-            ObjectStore(root=tmp_path)
+        store.put_bytes("b", "healthy", b"fine", format="text")
+        meta_files = sorted(tmp_path.glob("*/*.meta.json"))
+        corrupt = next(p for p in meta_files if p.name.startswith("k."))
+        corrupt.write_text("{broken json")
+        reloaded = ObjectStore(root=tmp_path)
+        # the damaged entry is quarantined, the healthy one still loads
+        assert reloaded.get("b", "healthy").data == b"fine"
+        assert not reloaded.exists("b", "k")
+        (entry,) = reloaded.quarantined
+        assert entry["path"] == str(corrupt)
+        assert "JSONDecodeError" in entry["error"]
 
-    def test_missing_data_file_detected(self, tmp_path):
+    def test_missing_data_file_quarantined(self, tmp_path):
         store = ObjectStore(root=tmp_path)
         store.put_bytes("b", "k", b"payload", format="text")
-        data_files = [p for p in tmp_path.glob("*/*") if not p.name.endswith(".meta.json")]
+        store.put_bytes("b", "healthy", b"fine", format="text")
+        data_files = [p for p in tmp_path.glob("*/*")
+                      if not p.name.endswith(".meta.json") and p.name.startswith("k.")]
         data_files[0].unlink()
-        with pytest.raises(StorageError):
-            ObjectStore(root=tmp_path)
+        reloaded = ObjectStore(root=tmp_path)
+        assert reloaded.get("b", "healthy").data == b"fine"
+        assert not reloaded.exists("b", "k")
+        (entry,) = reloaded.quarantined
+        assert "FileNotFoundError" in entry["error"]
 
     def test_truncated_columnar_payload(self):
         table = Table.from_columns("t", {"a": [1, 2, 3]})

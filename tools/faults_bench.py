@@ -1,0 +1,68 @@
+"""faults-bench CLI: regenerate ``BENCH_faults.json`` outside pytest.
+
+Run from the repository root::
+
+    python repro_build.py faults-bench            # default rates 0/5/20%
+    python tools/faults_bench.py --rates 0,0.5    # custom fault rates
+    python tools/faults_bench.py --seed 23        # different fault seed
+
+Runs the exact seeded chaos workload the benchmark suite uses
+(:mod:`repro.bench.faults`) and writes the JSON artifact to the repo
+root.  Exit codes: 0 = all availability targets met, 1 = a fault run
+dropped below 99% availability or leaked an unhandled exception.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.bench.faults import SEED, run_bench  # noqa: E402
+
+RESULT_PATH = REPO_ROOT / "BENCH_faults.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rates", default="0,0.05,0.2",
+                        help="comma-separated injected fault rates")
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument("--output", type=pathlib.Path, default=RESULT_PATH)
+    args = parser.parse_args(argv)
+
+    try:
+        rates = tuple(float(r) for r in args.rates.split(",") if r.strip())
+    except ValueError:
+        parser.error(f"--rates must be comma-separated floats, got {args.rates!r}")
+    if not rates:
+        parser.error("--rates must name at least one fault rate")
+
+    report = run_bench(rates=rates, seed=args.seed)
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    ok = True
+    for rate_key in sorted(report["rates"], key=float):
+        rate_report = report["rates"][rate_key]
+        unhandled = len(rate_report["unhandled_errors"])
+        met = rate_report["availability"] >= 0.99 and unhandled == 0
+        ok = ok and met
+        print(f"fault rate {float(rate_key):>5.0%}: "
+              f"availability {rate_report['availability']:.4f}  "
+              f"degraded {rate_report['failover']['degraded_placements']:>3}  "
+              f"breaker transitions {rate_report['breaker']['transitions']}  "
+              f"unhandled {unhandled}  [{'ok' if met else 'FAIL'}]")
+    overhead = report["breaker_overhead"]
+    print(f"breaker overhead: x{overhead['overhead_ratio']} "
+          f"({overhead['guarded_ms_per_fetch']} ms vs "
+          f"{overhead['raw_ms_per_fetch']} ms per fetch)")
+    print(f"wrote {args.output}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
