@@ -9,6 +9,7 @@ and list it here (see ``docs/LINT.md``).
 
 from repro.analysis.rules.base import Context, Rule
 from repro.analysis.rules.breaker_guard import BreakerGuardRule
+from repro.analysis.rules.cache_epoch import CacheEpochRule
 from repro.analysis.rules.determinism import BenchDeterminismRule
 from repro.analysis.rules.exceptions import BareExceptRule, ExceptionHygieneRule
 from repro.analysis.rules.instrumentation import RuntimeTracedRule, TracedManifestRule
@@ -19,6 +20,7 @@ __all__ = [
     "BareExceptRule",
     "BenchDeterminismRule",
     "BreakerGuardRule",
+    "CacheEpochRule",
     "Context",
     "ExceptionHygieneRule",
     "LockDisciplineRule",
@@ -41,4 +43,5 @@ def default_rules():
         RegistryCoordsRule(),
         BenchDeterminismRule(),
         BreakerGuardRule(),
+        CacheEpochRule(),
     ]

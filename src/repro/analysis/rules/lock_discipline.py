@@ -170,7 +170,8 @@ class LockDisciplineRule(Rule):
     description = ("private attributes initialized in __init__ of a "
                    "lock-owning class may only be mutated inside "
                    "`with self.<lock>:` (or a *_locked helper)")
-    scope = ("/repro/obs/", "/repro/runtime/", "/repro/faults/")
+    scope = ("/repro/obs/", "/repro/runtime/", "/repro/faults/",
+             "/repro/exploration/parallel.py")
 
     def check_module(self, module: Module) -> List[Finding]:
         findings: List[Finding] = []

@@ -44,6 +44,19 @@ class DataLake:
       :class:`~repro.runtime.scheduler.JobScheduler` and returns
       immediately — built for bulk loads; call :meth:`drain` (or any
       exploration query, which quiesces first) to reach a consistent view.
+
+    Exploration runs through two orthogonal knobs (see docs/EXPLORATION.md):
+
+    - ``parallelism=`` — discovery fan-out width.  ``1`` (the default)
+      keeps every query strictly serial; higher values shard candidate
+      tables and batched queries across a bounded
+      :class:`~repro.exploration.parallel.ParallelDiscoveryExecutor`
+      whose merged output is element-for-element identical to serial;
+    - ``cache=`` — the lake-wide
+      :class:`~repro.exploration.parallel.QueryCache`.  ``True`` (the
+      default) memoizes discovery/keyword answers keyed by (engine,
+      normalized query, index epoch); an ``int`` bounds ``max_entries``;
+      ``False``/``None`` disables; a ``QueryCache`` instance is shared.
     """
 
     def __init__(
@@ -55,7 +68,12 @@ class DataLake:
         maintenance_workers: int = 4,
         maintenance_queue_size: int = 256,
         polystore: Optional["Polystore"] = None,
+        parallelism: int = 1,
+        cache: Any = True,
     ):
+        from repro.exploration.parallel import (EpochClock,
+                                                ParallelDiscoveryExecutor,
+                                                QueryCache)
         from repro.storage.polystore import Polystore
 
         self.polystore = polystore if polystore is not None else Polystore()
@@ -74,6 +92,20 @@ class DataLake:
         self._maintainer = None
         self._index_refresh_pending = False  # coalesces async refresh jobs
         self._index_flag_lock = threading.Lock()
+        self.parallelism = max(1, parallelism)
+        self._epochs = EpochClock()
+        self._executor = ParallelDiscoveryExecutor(
+            workers=self.parallelism, health=self.polystore.health)
+        if isinstance(cache, QueryCache):
+            self._query_cache: Optional[QueryCache] = cache
+        elif isinstance(cache, bool):
+            self._query_cache = QueryCache() if cache else None
+        elif isinstance(cache, int):
+            self._query_cache = QueryCache(max_entries=cache)
+        else:
+            self._query_cache = None
+        self._union_index = None
+        self._union_epoch = -1
 
     @classmethod
     def in_memory(cls) -> "DataLake":
@@ -141,12 +173,39 @@ class DataLake:
 
     @property
     def maintainer(self):
-        """The incremental index maintainer (created on first access)."""
+        """The incremental index maintainer (created on first access).
+
+        Wired to the lake's epoch clock: every noted table change bumps
+        the discovery-engine epochs, which is what invalidates the query
+        cache (stale entries stop matching rather than being scanned for).
+        """
         if self._maintainer is None:
             from repro.runtime.incremental import IncrementalIndexMaintainer
 
-            self._maintainer = IncrementalIndexMaintainer()
+            self._maintainer = IncrementalIndexMaintainer(
+                on_change=self._bump_engine_epochs)
         return self._maintainer
+
+    # -- query-cache epochs ---------------------------------------------------
+
+    @property
+    def epochs(self):
+        """The per-engine index :class:`~repro.exploration.parallel.EpochClock`."""
+        return self._epochs
+
+    @property
+    def query_cache(self):
+        """The lake-wide query cache, or ``None`` when disabled."""
+        return self._query_cache
+
+    @property
+    def executor(self):
+        """The parallel discovery executor (serial degradation included)."""
+        return self._executor
+
+    def _bump_engine_epochs(self, table_name: str) -> None:
+        """A tabular change invalidates all three discovery engines."""
+        self._epochs.bump("aurum", "keyword", "union")
 
     # -- ingestion tier -----------------------------------------------------------
 
@@ -189,13 +248,20 @@ class DataLake:
             # seed behavior: throw the indexes away, rebuild lazily on access
             self._discovery_index = None
             self._keyword_index = None
+            try:
+                dataset.as_table()
+            except SchemaError:
+                get_registry().counter("lake.index.skipped_nontabular").inc()
+                return
+            # tabular content changed: cached answers must stop matching
+            self._bump_engine_epochs(dataset.name)
             return
         try:
             table = dataset.as_table()
         except SchemaError:
             get_registry().counter("lake.index.skipped_nontabular").inc()
             return
-        self.maintainer.note(table)
+        self.maintainer.note(table)  # note() bumps the epochs via on_change
 
     def _enqueue_maintenance(self, dataset: Dataset, placement, extract_metadata: bool) -> None:
         # materialize the shared tier components on the caller thread: the
@@ -234,8 +300,15 @@ class DataLake:
         return self.maintainer.refresh()
 
     def _quiesce(self) -> None:
-        """In async mode, wait out enqueued maintenance before querying."""
-        if self.async_maintenance and self._runtime is not None and len(self._runtime):
+        """In async mode, wait out enqueued maintenance before querying.
+
+        Gated on ``outstanding()`` — jobs still queued or running — not on
+        ``len()``, which counts every job ever submitted and therefore
+        stays truthy forever after the first ingest, turning every query
+        on an idle lake into a full drain (results-dict copy included).
+        """
+        if (self.async_maintenance and self._runtime is not None
+                and self._runtime.outstanding()):
             self._runtime.drain()
 
     def drain(self, timeout: Optional[float] = None) -> Dict[str, Any]:
@@ -249,10 +322,11 @@ class DataLake:
         return self._runtime.drain(timeout)
 
     def close(self) -> None:
-        """Drain and stop the maintenance runtime (no-op in sync mode)."""
+        """Drain and stop the maintenance runtime and the discovery pool."""
         if self._runtime is not None:
             self._runtime.drain()
             self._runtime.close()
+        self._executor.close()
 
     def ingest_table(
         self,
@@ -341,17 +415,185 @@ class DataLake:
             self._discovery_index = engine
         return self._discovery_index
 
+    def _union_search(self):
+        """The lake's union-search index, rebuilt only when its epoch moves.
+
+        Unlike the Aurum/keyword indexes the union profiles are cheap to
+        rebuild and immutable once built, so maintenance here is
+        build-and-swap: readers of the previous index are unaffected.
+        """
+        self._quiesce()
+        epoch = self._epochs.epoch("union")
+        if self._union_index is None or self._union_epoch != epoch:
+            from repro.discovery.table_union import TableUnionSearch
+
+            with get_recorder().span("maintenance.union.index_build",
+                                     tier="maintenance", system="TableUnionSearch",
+                                     function="related_dataset_discovery"):
+                index = TableUnionSearch()
+                for table in self.tables():
+                    index.add_table(table)
+            self._union_index = index
+            self._union_epoch = epoch
+        return self._union_index
+
+    # -- the cache funnel ------------------------------------------------------
+    #
+    # Every engine query in this facade flows through _cached(): the epoch is
+    # read first, then the compute runs against indexes at least that fresh,
+    # so a cached entry can only ever be *newer* than its key promises.  The
+    # cache-epoch lakelint rule enforces that no engine query method is
+    # called outside the *_uncached helpers below.
+
+    def _cached(self, query, compute):
+        """Single epoch-checked entry point for every discovery answer."""
+        cache = self._query_cache
+        if cache is None:
+            return compute()
+        return cache.fetch(query.engine, query.key(),
+                           self._epochs.epoch(query.engine), compute)
+
+    def _index_read(self):
+        """Shared-side index guard for the duration of one engine query."""
+        from contextlib import nullcontext
+
+        if self.incremental_maintenance:
+            return self.maintainer.reading()
+        return nullcontext()
+
+    def _run_discovery_uncached(self, query):
+        if query.kind == "joinable":
+            engine = self.discovery
+            with self._index_read():
+                return engine.joinable(query.table, query.column, k=query.k)
+        if query.kind == "related":
+            return self._related_uncached(query)
+        if query.kind == "keyword":
+            return self._keyword_uncached(query)
+        return self._union_uncached(query)
+
+    def _related_uncached(self, query):
+        engine = self.discovery
+        candidates = [name for name in engine.table_names()
+                      if name != query.table]
+        with self._index_read():
+            if self.parallelism <= 1 or len(candidates) <= 1:
+                return engine.related_tables(query.table, k=query.k)
+            engine.build()  # no-op unless the lake is brand new
+            partials = self._executor.run_sharded(
+                candidates,
+                lambda names: [engine.related_scores(query.table, names)],
+                label="related")
+        scores: Dict[str, float] = {}
+        for partial in partials:
+            scores.update(partial)  # shards cover disjoint candidates
+        ranked = sorted(scores.items(), key=lambda pair: (-pair[1], pair[0]))
+        return ranked[:query.k]
+
+    def _keyword_uncached(self, query):
+        from repro.exploration.keyword import KeywordSearch
+
+        searcher = self._keyword_searcher()
+        with self._index_read():
+            names = searcher.table_names()
+            if self.parallelism <= 1 or len(names) <= 1:
+                return searcher.search(query.keywords, k=query.k)
+            partials = self._executor.run_sharded(
+                names,
+                lambda chunk: [searcher.score_tables(query.keywords, chunk)],
+                label="keyword")
+        scores: Dict[str, float] = {}
+        schema_matches: Dict[str, Any] = {}
+        value_matches: Dict[str, Any] = {}
+        for chunk_scores, chunk_schema, chunk_values in partials:
+            scores.update(chunk_scores)
+            schema_matches.update(chunk_schema)
+            value_matches.update(chunk_values)
+        return KeywordSearch.rank(scores, schema_matches, value_matches, query.k)
+
+    def _union_uncached(self, query):
+        index = self._union_search()
+        query_table = self.table(query.table)
+        names = index.tables()
+        if self.parallelism <= 1 or len(names) <= 1:
+            return index.top_k(query_table, k=query.k, min_score=query.min_score)
+        scored = self._executor.run_sharded(
+            names,
+            lambda chunk: index.score_candidates(query_table, chunk,
+                                                 min_score=query.min_score),
+            label="union")
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored[:query.k]
+
+    def _warm_engines_uncached(self, queries) -> None:
+        """Materialize every needed index serially before a batch fan-out.
+
+        Index (re)builds are not safe to race from pool workers; warming on
+        the caller thread means workers only ever *read* current engines.
+        """
+        engines = {query.engine for query in queries}
+        if "aurum" in engines:
+            self.discovery.build()
+        if "keyword" in engines:
+            self._keyword_searcher()
+        if "union" in engines:
+            self._union_search()
+
     @traced("exploration.lake.discover_joinable", tier="exploration",
             function="query_driven_discovery")
     def discover_joinable(self, table_name: str, column: str, k: int = 5):
         """Top-k columns joinable with ``table.column`` (Sec. 7.1 mode 1)."""
-        return self.discovery.joinable(table_name, column, k=k)
+        from repro.exploration.parallel import DiscoveryQuery
+
+        query = DiscoveryQuery(kind="joinable", table=table_name,
+                               column=column, k=k)
+        return self._cached(query, lambda: self._run_discovery_uncached(query))
 
     @traced("exploration.lake.discover_related", tier="exploration",
             function="query_driven_discovery")
     def discover_related(self, table_name: str, k: int = 5):
         """Top-k related tables for a whole query table."""
-        return self.discovery.related_tables(table_name, k=k)
+        from repro.exploration.parallel import DiscoveryQuery
+
+        query = DiscoveryQuery(kind="related", table=table_name, k=k)
+        return self._cached(query, lambda: self._run_discovery_uncached(query))
+
+    @traced("exploration.lake.discover_union", tier="exploration",
+            function="query_driven_discovery")
+    def discover_union(self, table_name: str, k: int = 5,
+                       min_score: float = 0.3):
+        """Top-k unionable tables for *table_name* (Nargesian et al.)."""
+        from repro.exploration.parallel import DiscoveryQuery
+
+        query = DiscoveryQuery(kind="union", table=table_name, k=k,
+                               min_score=min_score)
+        return self._cached(query, lambda: self._run_discovery_uncached(query))
+
+    @traced("exploration.lake.discover_batch", tier="exploration",
+            function="query_driven_discovery")
+    def discover_batch(self, queries: Sequence[Any]) -> List[Any]:
+        """Run many discovery queries at once; results align with *queries*.
+
+        Each element is a :class:`~repro.exploration.parallel.DiscoveryQuery`,
+        a mapping of its fields, or a tuple like ``("joinable", table,
+        column)`` / ``("keyword", "text")``.  Queries are sharded across
+        the lake's executor (each still individually served from the
+        query cache), so repeated and mixed workloads overlap; output
+        order always matches input order.
+        """
+        from repro.exploration.parallel import as_query
+
+        specs = [as_query(spec) for spec in queries]
+        if not specs:
+            return []
+        self._warm_engines_uncached(specs)
+        return self._executor.run_sharded(
+            specs,
+            lambda chunk: [
+                self._cached(q, lambda q=q: self._run_discovery_uncached(q))
+                for q in chunk
+            ],
+            label="batch")
 
     # -- exploration tier --------------------------------------------------------------
 
@@ -366,7 +608,13 @@ class DataLake:
             function="keyword_search")
     def keyword_search(self, keywords: str, k: int = 10):
         """Keyword search over schemata and values (Sec. 7.2, Constance)."""
-        return self._keyword_searcher().search(keywords, k=k)
+        from repro.exploration.parallel import DiscoveryQuery
+        from repro.ml.text import tokenize
+
+        if not tokenize(keywords):
+            return []  # term-free queries match nothing and are never cached
+        query = DiscoveryQuery(kind="keyword", keywords=keywords, k=k)
+        return self._cached(query, lambda: self._run_discovery_uncached(query))
 
     def _keyword_searcher(self):
         """The lake's keyword index — persistent, never rebuilt per query.
@@ -454,4 +702,11 @@ class DataLake:
         }
         if self._runtime is not None:
             report["maintenance_jobs"] = self._runtime.stats()
+        report["exploration"] = {
+            "parallelism": self.parallelism,
+            "executor": self._executor.stats(),
+            "cache": (self._query_cache.stats()
+                      if self._query_cache is not None else None),
+            "epochs": self._epochs.snapshot(),
+        }
         return report

@@ -6,6 +6,11 @@ Two function families:
   :class:`~repro.exploration.search.ExplorationService` exposes the three
   input/output modes the survey enumerates (column-join top-k via JOSIE,
   table-population top-k via D3L, task-specific top-k via Juneau);
+- **parallel + cached discovery** (``repro.exploration.parallel``):
+  :class:`~repro.exploration.parallel.ParallelDiscoveryExecutor` (bounded
+  fan-out with deterministic merge), :class:`~repro.exploration.parallel.QueryCache`
+  and :class:`~repro.exploration.parallel.EpochClock` (epoch-coherent
+  memoization of discovery answers);
 - **heterogeneous data querying** (Sec. 7.2):
   :class:`~repro.exploration.sql.SqlEngine` (SQL subset over the relational
   backend), :class:`~repro.exploration.pathquery.PathQueryEngine` (JSONiq-
@@ -20,12 +25,22 @@ from repro.exploration.sql import SqlEngine
 from repro.exploration.pathquery import PathQueryEngine
 from repro.exploration.keyword import KeywordSearch
 from repro.exploration.federation import FederatedQueryEngine, SourceProfile
+from repro.exploration.parallel import (
+    DiscoveryQuery,
+    EpochClock,
+    ParallelDiscoveryExecutor,
+    QueryCache,
+)
 
 __all__ = [
+    "DiscoveryQuery",
+    "EpochClock",
     "ExplorationService",
     "FederatedQueryEngine",
     "KeywordSearch",
+    "ParallelDiscoveryExecutor",
     "PathQueryEngine",
+    "QueryCache",
     "SourceProfile",
     "SqlEngine",
 ]

@@ -34,6 +34,8 @@ INSTRUMENTATION_MANIFEST = (
     ("repro/core/lake.py", "DataLake", "ingest_bytes"),
     ("repro/core/lake.py", "DataLake", "discover_joinable"),
     ("repro/core/lake.py", "DataLake", "discover_related"),
+    ("repro/core/lake.py", "DataLake", "discover_union"),
+    ("repro/core/lake.py", "DataLake", "discover_batch"),
     ("repro/core/lake.py", "DataLake", "sql"),
     ("repro/core/lake.py", "DataLake", "keyword_search"),
     ("repro/storage/polystore.py", "Polystore", "store"),

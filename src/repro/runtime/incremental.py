@@ -22,10 +22,71 @@ degraded quadratically.  This module replaces both with *deltas*:
 from __future__ import annotations
 
 import threading
-from typing import Dict, List
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional
 
 from repro.core.dataset import Table
 from repro.obs import annotate, get_registry, traced
+
+
+class ReadWriteLock:
+    """Writer-preferring readers-writer lock guarding index reads vs deltas.
+
+    Discovery queries only *read* the maintained engines, so any number
+    may proceed concurrently; a delta refresh mutates postings and EKG
+    edges in place and must exclude them.  Writer preference (new readers
+    wait while a writer is queued) keeps a steady query stream from
+    starving maintenance, which would otherwise stall ``drain()``.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writers_waiting = 0
+        self._writing = False
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writing or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if not self._readers:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writing or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writing = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writing = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def reading(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def writing(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
 
 
 class DirtySet:
@@ -72,7 +133,8 @@ class IncrementalIndexMaintainer:
     pending deltas first.
     """
 
-    def __init__(self, aurum=None, keyword=None):
+    def __init__(self, aurum=None, keyword=None,
+                 on_change: Optional[Callable[[str], None]] = None):
         from repro.discovery.aurum import Aurum
         from repro.exploration.keyword import KeywordSearch
 
@@ -81,9 +143,12 @@ class IncrementalIndexMaintainer:
         self._dirty = DirtySet()
         self._indexed: set = set()
         self._lock = threading.RLock()
+        self._rw = ReadWriteLock()
+        self._on_change = on_change
         registry = get_registry()
         self._m_delta = registry.counter("runtime.index.delta_tables")
         self._m_updates = registry.counter("runtime.index.table_updates")
+        self._m_clean = registry.counter("runtime.index.clean_accesses")
         self._g_tables = registry.gauge("runtime.index.tables")
         self._g_dirty = registry.gauge("runtime.index.dirty")
 
@@ -93,6 +158,11 @@ class IncrementalIndexMaintainer:
         """Mark *table* dirty (new or changed); cheap, safe from any thread."""
         fresh = self._dirty.mark(table)
         self._g_dirty.set(len(self._dirty))
+        if self._on_change is not None:
+            # fires *after* the dirty mark: an observer (the lake's epoch
+            # clock) that publishes the new epoch is guaranteed that any
+            # query reading it will see this change applied on refresh
+            self._on_change(table.name)
         return fresh
 
     def dirty(self) -> List[str]:
@@ -110,33 +180,60 @@ class IncrementalIndexMaintainer:
             if not pending:
                 return 0
             annotate(delta_tables=len(pending))
-            for table in pending:
-                if table.name in self._indexed:
-                    self._keyword.remove_table(table.name)
-                    self._keyword.add_table(table)
-                    self._aurum.update_table(table)  # change-threshold aware
-                    self._m_updates.inc()
-                else:
-                    self._keyword.add_table(table)
-                    self._aurum.add_table(table)
-                    self._indexed.add(table.name)
-            self._aurum.build_delta()
+            # the engines mutate in place: exclude in-flight index readers
+            # (parallel discovery shards) for the duration of the delta
+            with self._rw.writing():
+                for table in pending:
+                    if table.name in self._indexed:
+                        self._keyword.remove_table(table.name)
+                        self._keyword.add_table(table)
+                        self._aurum.update_table(table)  # change-threshold aware
+                        self._m_updates.inc()
+                    else:
+                        self._keyword.add_table(table)
+                        self._aurum.add_table(table)
+                        self._indexed.add(table.name)
+                self._aurum.build_delta()
             self._m_delta.inc(len(pending))
             self._g_tables.set(len(self._indexed))
             return len(pending)
 
     # -- query access (deltas applied first) --------------------------------------
 
+    def reading(self):
+        """Context manager for engine readers; excludes in-place deltas.
+
+        Queries hold this (shared) side while traversing the returned
+        engines so a concurrent :meth:`refresh` cannot mutate postings or
+        EKG edges mid-iteration; writer preference keeps a steady query
+        stream from starving maintenance.
+        """
+        return self._rw.reading()
+
     def engine(self):
-        """The maintained Aurum engine, current as of this call."""
+        """The maintained Aurum engine, current as of this call.
+
+        Clean accesses skip the (traced) refresh machinery entirely — the
+        dirty check is one locked length read — so repeated queries on an
+        unchanged lake do no maintenance work at all.
+        """
         with self._lock:
-            self.refresh()
+            if len(self._dirty):
+                self.refresh()
+            else:
+                self._m_clean.inc()
             return self._aurum
 
     def searcher(self):
-        """The maintained keyword index, current as of this call."""
+        """The maintained keyword index, current as of this call.
+
+        Same clean fast path as :meth:`engine`.
+        """
         with self._lock:
-            self.refresh()
+            if len(self._dirty):
+                self.refresh()
+            else:
+                self._m_clean.inc()
             return self._keyword
 
     def __len__(self) -> int:

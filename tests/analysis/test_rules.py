@@ -8,6 +8,7 @@ from repro.analysis.rules import (
     BareExceptRule,
     BenchDeterminismRule,
     BreakerGuardRule,
+    CacheEpochRule,
     ExceptionHygieneRule,
     LockDisciplineRule,
     RegistryCoordsRule,
@@ -331,6 +332,64 @@ class TestBreakerGuarded:
         assert _run(BreakerGuardRule(), tmp_path) == []
 
 
+class TestCacheEpoch:
+    def _findings(self, tmp_path, body):
+        source = "class DataLake:\n" + textwrap.indent(
+            textwrap.dedent(body), "    ")
+        _tree(tmp_path, {"repro/core/lake.py": source})
+        return _run(CacheEpochRule(), tmp_path)
+
+    def test_raw_engine_query_fires(self, tmp_path):
+        findings = self._findings(tmp_path, """
+            def discover_related(self, table, k=5):
+                return self.discovery.related_tables(table, k=k)
+        """)
+        assert len(findings) == 1
+        assert findings[0].rule == "cache-epoch"
+        assert "related_tables" in findings[0].message
+        assert findings[0].path == "repro/core/lake.py"
+
+    def test_local_rebound_engine_fires_too(self, tmp_path):
+        # receivers are routinely re-bound; the method name is the signal
+        findings = self._findings(tmp_path, """
+            def keyword_search(self, keywords, k=10):
+                searcher = self._keyword_searcher()
+                return searcher.search(keywords, k=k)
+        """)
+        assert len(findings) == 1
+        assert "`search(...)`" in findings[0].message
+
+    def test_call_inside_cached_thunk_is_clean(self, tmp_path):
+        assert self._findings(tmp_path, """
+            def discover_related(self, table, k=5):
+                return self._cached(
+                    ("related", table, k),
+                    lambda: self.discovery.related_tables(table, k=k))
+        """) == []
+
+    def test_uncached_helper_is_sanctioned(self, tmp_path):
+        assert self._findings(tmp_path, """
+            def _related_uncached(self, table, k):
+                return self.discovery.related_tables(table, k=k)
+        """) == []
+
+    def test_non_query_methods_ignored(self, tmp_path):
+        assert self._findings(tmp_path, """
+            def warm(self):
+                self.discovery.build()
+                return self.maintainer.engine()
+        """) == []
+
+    def test_out_of_scope_files_ignored(self, tmp_path):
+        # engine modules call their own query methods by design
+        _tree(tmp_path, {"repro/discovery/aurum.py": """
+            class Aurum:
+                def related_tables(self, table, k=5):
+                    return self.related_scores(table)
+        """})
+        assert _run(CacheEpochRule(), tmp_path) == []
+
+
 class TestTracedRules:
     TRACED = """
         from repro.obs.instrument import traced
@@ -391,5 +450,6 @@ class TestDefaultRules:
         assert len(names) == len(set(names))
         assert {"traced-manifest", "runtime-traced", "bare-except",
                 "exception-hygiene", "lock-discipline", "registry-coords",
-                "bench-determinism", "breaker-guarded"} <= set(names)
+                "bench-determinism", "breaker-guarded",
+                "cache-epoch"} <= set(names)
         assert all(a is not b for a, b in zip(first, second))

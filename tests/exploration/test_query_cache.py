@@ -1,0 +1,271 @@
+"""Query-cache coherence, eviction, and exact counter accounting.
+
+The cache's one non-negotiable property: **a re-ingested table can never
+be answered from its pre-ingest cached entry** — epoch keys make stale
+entries unmatchable rather than relying on any scan-and-invalidate.
+Alongside it: LRU eviction under a small ``max_entries`` bound, exact
+hit/miss/eviction sequences, copy-on-return isolation, and the
+executor's degradation ladder (saturation, open breakers).
+"""
+
+import pytest
+
+from repro.core.lake import DataLake
+from repro.exploration.parallel import (
+    DiscoveryQuery,
+    EpochClock,
+    ParallelDiscoveryExecutor,
+    QueryCache,
+    as_query,
+    split_shards,
+)
+
+
+class TestQueryCache:
+    def test_exact_hit_miss_sequence(self):
+        cache = QueryCache(max_entries=8)
+        assert cache.lookup("aurum", ("q",), 0) == (False, None)
+        cache.store("aurum", ("q",), 0, [1, 2])
+        assert cache.lookup("aurum", ("q",), 0) == (True, [1, 2])
+        assert cache.lookup("aurum", ("q",), 1) == (False, None)  # new epoch
+        assert cache.lookup("keyword", ("q",), 0) == (False, None)  # other engine
+        stats = cache.stats()
+        assert (stats["hits"], stats["misses"], stats["evictions"]) == (1, 3, 0)
+        assert stats["hit_rate"] == 0.25
+
+    def test_fetch_memoizes_and_counts(self):
+        cache = QueryCache()
+        calls = []
+        compute = lambda: calls.append(1) or ["answer"]
+        assert cache.fetch("union", "k", 3, compute) == ["answer"]
+        assert cache.fetch("union", "k", 3, compute) == ["answer"]
+        assert len(calls) == 1
+        stats = cache.stats()
+        assert (stats["hits"], stats["misses"]) == (1, 1)
+
+    def test_eviction_under_small_bound_is_lru(self):
+        cache = QueryCache(max_entries=2)
+        cache.store("aurum", "a", 0, [1])
+        cache.store("aurum", "b", 0, [2])
+        assert cache.lookup("aurum", "a", 0)[0]  # touch a: b is now oldest
+        cache.store("aurum", "c", 0, [3])
+        assert cache.stats()["evictions"] == 1
+        assert len(cache) == 2
+        assert cache.lookup("aurum", "b", 0) == (False, None)  # evicted
+        assert cache.lookup("aurum", "a", 0) == (True, [1])
+        assert cache.lookup("aurum", "c", 0) == (True, [3])
+
+    def test_returned_lists_are_copies(self):
+        cache = QueryCache()
+        cache.store("aurum", "q", 0, [1, 2])
+        first = cache.fetch("aurum", "q", 0, list)
+        first.append(99)
+        assert cache.lookup("aurum", "q", 0) == (True, [1, 2])
+
+    def test_stored_value_from_fetch_is_isolated_too(self):
+        cache = QueryCache()
+        computed = cache.fetch("aurum", "q", 0, lambda: [1, 2])
+        computed.append(99)  # the caller got a copy of what was stored
+        assert cache.lookup("aurum", "q", 0) == (True, [1, 2])
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            QueryCache(max_entries=0)
+
+    def test_clear(self):
+        cache = QueryCache()
+        cache.store("aurum", "q", 0, [1])
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestEpochClock:
+    def test_bump_selected_engines_only(self):
+        clock = EpochClock()
+        clock.bump("aurum")
+        assert clock.snapshot() == {"aurum": 1, "keyword": 0, "union": 0}
+        clock.bump("keyword", "union")
+        assert clock.epoch("keyword") == 1 and clock.epoch("union") == 1
+
+    def test_bump_all_when_unqualified(self):
+        clock = EpochClock()
+        clock.bump()
+        assert set(clock.snapshot().values()) == {1}
+
+    def test_unknown_engine_defaults_to_zero(self):
+        assert EpochClock().epoch("nope") == 0
+
+
+class TestDiscoveryQuery:
+    def test_engine_mapping(self):
+        assert DiscoveryQuery(kind="joinable", table="t", column="c").engine == "aurum"
+        assert DiscoveryQuery(kind="related", table="t").engine == "aurum"
+        assert DiscoveryQuery(kind="union", table="t").engine == "union"
+        assert DiscoveryQuery(kind="keyword", keywords="x").engine == "keyword"
+
+    def test_keyword_key_is_token_normalized(self):
+        loud = DiscoveryQuery(kind="keyword", keywords="  Customer   City ")
+        quiet = DiscoveryQuery(kind="keyword", keywords="customer city")
+        assert loud.key() == quiet.key()
+
+    @pytest.mark.parametrize("bad", [
+        dict(kind="nope", table="t"),
+        dict(kind="related"),
+        dict(kind="joinable", table="t"),
+        dict(kind="keyword"),
+        dict(kind="related", table="t", k=0),
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            DiscoveryQuery(**bad)
+
+    def test_as_query_coercions(self):
+        assert as_query(("joinable", "t", "c", 3)).k == 3
+        assert as_query(("keyword", "hello", 7)).keywords == "hello"
+        assert as_query({"kind": "union", "table": "t"}).engine == "union"
+        original = DiscoveryQuery(kind="related", table="t")
+        assert as_query(original) is original
+        with pytest.raises(ValueError):
+            as_query(("garbage",))
+
+
+class TestSplitShards:
+    def test_contiguous_and_balanced(self):
+        shards = split_shards(list(range(10)), 3)
+        assert [list(s) for s in shards] == [[0, 1, 2, 3], [4, 5, 6], [7, 8, 9]]
+
+    def test_fewer_items_than_shards(self):
+        assert [list(s) for s in split_shards([1, 2], 8)] == [[1], [2]]
+
+    def test_empty_and_invalid(self):
+        assert split_shards([], 4) == []
+        with pytest.raises(ValueError):
+            split_shards([1], 0)
+
+
+class _FakeHealth:
+    def __init__(self, degraded_names=(), boom=False):
+        self._names = list(degraded_names)
+        self._boom = boom
+
+    def degraded(self):
+        if self._boom:
+            raise RuntimeError("health probe crashed")
+        return self._names
+
+
+class TestExecutor:
+    def test_order_preserving_merge(self):
+        with ParallelDiscoveryExecutor(workers=4) as executor:
+            out = executor.run_sharded(
+                list(range(20)), lambda chunk: [i * i for i in chunk])
+        assert out == [i * i for i in range(20)]
+
+    def test_single_worker_never_spawns_a_pool(self):
+        executor = ParallelDiscoveryExecutor(workers=1)
+        assert executor.run_sharded([1, 2, 3], lambda c: list(c)) == [1, 2, 3]
+        assert executor._pool is None
+
+    def test_saturation_degrades_to_serial(self):
+        executor = ParallelDiscoveryExecutor(workers=2)
+        before = executor.stats()
+        # occupy all slots: the next fan-out must run inline, not queue
+        assert executor._acquire_slots(2) == 2
+        try:
+            assert executor.run_sharded([1, 2, 3, 4], lambda c: list(c)) == [1, 2, 3, 4]
+        finally:
+            executor._release_slots(2)
+        after = executor.stats()
+        assert after["degraded_serial"] - before["degraded_serial"] == 1
+        assert after["fanouts"] == before["fanouts"]
+        executor.close()
+
+    def test_open_breaker_forces_serial(self):
+        executor = ParallelDiscoveryExecutor(
+            workers=4, health=_FakeHealth(degraded_names=["relational"]))
+        before = executor.stats()
+        assert executor.run_sharded([1, 2, 3, 4], lambda c: list(c)) == [1, 2, 3, 4]
+        after = executor.stats()
+        assert after["breaker_serial"] - before["breaker_serial"] == 1
+        assert after["fanouts"] == before["fanouts"]
+        executor.close()
+
+    def test_broken_health_probe_fails_safe_to_serial(self):
+        executor = ParallelDiscoveryExecutor(workers=4,
+                                             health=_FakeHealth(boom=True))
+        assert executor.run_sharded([1, 2, 3], lambda c: list(c)) == [1, 2, 3]
+        executor.close()
+
+    def test_chunk_exception_propagates(self):
+        def explode(chunk):
+            raise RuntimeError("shard failed")
+
+        with ParallelDiscoveryExecutor(workers=4) as executor:
+            with pytest.raises(RuntimeError, match="shard failed"):
+                executor.run_sharded([1, 2, 3, 4], explode)
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            ParallelDiscoveryExecutor(workers=0)
+
+
+class TestLakeCoherence:
+    """Ingest -> query -> re-ingest -> query must never serve the old answer."""
+
+    @staticmethod
+    def _lake(**kwargs):
+        kwargs.setdefault("cache", True)
+        lake = DataLake(parallelism=1, **kwargs)
+        lake.ingest_table("facts", {"id": [1, 2, 3],
+                                    "tag": ["alpha", "alpha", "beta"]})
+        lake.ingest_table("other", {"id": [4, 5], "tag": ["beta", "beta"]})
+        return lake
+
+    @pytest.mark.parametrize("incremental", [True, False])
+    def test_reingest_invalidates_cached_answer(self, incremental):
+        lake = self._lake(incremental_maintenance=incremental)
+        pre = lake.keyword_search("gamma")
+        assert pre == []  # and this empty answer is now cached
+        assert lake.keyword_search("gamma") == []
+        lake.ingest_table("facts", {"id": [7, 8, 9],
+                                    "tag": ["gamma", "gamma", "gamma"]})
+        post = lake.keyword_search("gamma")
+        assert [hit.table for hit in post] == ["facts"], (
+            "re-ingest served the pre-ingest cached answer")
+
+    def test_exact_counter_sequence_through_reingest(self):
+        lake = self._lake()
+        stats = lambda: (lake.query_cache.stats()["hits"],
+                         lake.query_cache.stats()["misses"])
+        assert stats() == (0, 0)
+        lake.keyword_search("alpha")
+        assert stats() == (0, 1)  # cold
+        lake.keyword_search("alpha")
+        assert stats() == (1, 1)  # warm
+        lake.discover_related("facts")
+        assert stats() == (1, 2)  # different engine, cold
+        lake.ingest_table("facts", {"id": [1], "tag": ["alpha"]})
+        lake.keyword_search("alpha")
+        assert stats() == (1, 3)  # epoch moved: cold again
+        lake.keyword_search("alpha")
+        assert stats() == (2, 3)  # warm at the new epoch
+
+    def test_eviction_via_lake_knob(self):
+        lake = self._lake(cache=2)
+        assert lake.query_cache.max_entries == 2
+        lake.keyword_search("alpha")
+        lake.keyword_search("beta")
+        lake.keyword_search("alpha beta")  # third entry: evicts the oldest
+        assert lake.query_cache.stats()["evictions"] == 1
+        assert lake.query_cache.stats()["entries"] == 2
+
+    def test_cache_disabled_recomputes(self):
+        lake = DataLake(parallelism=1, cache=False)
+        lake.ingest_table("t", {"id": [1], "tag": ["alpha"]})
+        assert lake.query_cache is None
+        assert lake.keyword_search("alpha") == lake.keyword_search("alpha")
+
+    def test_shared_cache_instance_knob(self):
+        shared = QueryCache(max_entries=16)
+        lake = DataLake(cache=shared)
+        assert lake.query_cache is shared

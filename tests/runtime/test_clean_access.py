@@ -1,0 +1,84 @@
+"""Regression: index accessors must not pay maintenance costs when clean.
+
+Before the fast path existed, every ``DataLake.discovery`` /
+``_keyword_searcher()`` access ran the traced ``refresh()`` (and, in
+full-rebuild mode, a from-scratch index build) even when nothing was
+dirty — so a read-heavy workload burned maintenance spans per query.
+These tests pin the fixed behavior through the observability layer:
+span counts for the maintenance paths stay flat across repeated clean
+queries while the ``runtime.index.clean_accesses`` counter grows.
+
+Note: ``obs.reset()`` replaces the metric objects held by existing
+lakes, so every test resets *first* and builds its lake after.
+"""
+
+from repro.core.lake import DataLake
+from repro.obs import get_recorder, get_registry, reset
+
+
+def _span_count(name):
+    return sum(1 for span in get_recorder().all_spans() if span.name == name)
+
+
+def _populate(lake):
+    lake.ingest_table("orders", {"id": [1, 2, 3], "city": ["a", "b", "c"]})
+    lake.ingest_table("users", {"id": [2, 3, 4], "city": ["b", "c", "d"]})
+    return lake
+
+
+def test_clean_incremental_access_skips_refresh():
+    reset()
+    lake = _populate(DataLake(cache=False))
+    lake.discover_related("orders")  # flushes the dirty set once
+    refreshes = _span_count("maintenance.runtime.refresh")
+    clean_before = get_registry().counter("runtime.index.clean_accesses").value
+    for _ in range(5):
+        lake.discover_related("orders")
+        lake.keyword_search("city")
+    assert _span_count("maintenance.runtime.refresh") == refreshes, (
+        "clean accessor re-ran refresh() with an empty dirty set")
+    clean_after = get_registry().counter("runtime.index.clean_accesses").value
+    assert clean_after - clean_before >= 10
+
+    # a real mutation still refreshes exactly once more
+    lake.ingest_table("late", {"id": [9], "city": ["z"]})
+    lake.discover_related("late")
+    assert _span_count("maintenance.runtime.refresh") == refreshes + 1
+
+
+def test_clean_full_mode_access_builds_once():
+    reset()
+    lake = _populate(DataLake(cache=False, incremental_maintenance=False))
+    for _ in range(5):
+        lake.discover_related("orders")
+    assert _span_count("maintenance.discovery.index_build") == 1, (
+        "full-rebuild mode rebuilt the Aurum index on a clean repeat query")
+
+
+def test_idle_async_queries_do_not_drain():
+    reset()
+    lake = DataLake(cache=False, async_maintenance=True)
+    try:
+        _populate(lake)
+        lake.discover_related("orders")  # may drain pending ingest jobs
+        drains = _span_count("maintenance.runtime.drain")
+        for _ in range(5):
+            lake.discover_related("orders")
+            lake.keyword_search("city")
+        assert _span_count("maintenance.runtime.drain") == drains, (
+            "idle queries forced scheduler drains with nothing outstanding")
+        assert lake.runtime.outstanding() == 0
+    finally:
+        lake.close()
+
+
+def test_union_index_rebuilds_only_on_epoch_move():
+    reset()
+    lake = _populate(DataLake(cache=False))
+    for _ in range(4):
+        lake.discover_union("orders")
+    assert _span_count("maintenance.union.index_build") == 1
+    lake.ingest_table("late", {"id": [9], "city": ["z"]})
+    lake.discover_union("orders")
+    lake.discover_union("users")
+    assert _span_count("maintenance.union.index_build") == 2

@@ -1,0 +1,47 @@
+"""Tier-1 coverage floor for the parallel-discovery module.
+
+Runs the repo's dependency-free coverage task (``tools/coverage_task.py``,
+stdlib settrace backend) over the fast exploration unit suite and holds
+``repro/exploration/parallel.py`` to a line-coverage floor.  The suite
+measures 97%+ today; the floor leaves margin so refactors don't flap,
+while still catching a dead degradation branch or an untested knob.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+TARGET = "src/repro/exploration/parallel.py"
+FLOOR = 0.90
+
+
+@pytest.fixture(scope="module")
+def coverage_report():
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "coverage_task.py"),
+         "--json", "--force-settrace",
+         "--targets", TARGET,
+         "--tests", "tests/exploration/test_query_cache.py"],
+        cwd=REPO_ROOT, capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, (
+        f"coverage task failed:\n{proc.stdout}\n{proc.stderr}")
+    return json.loads(proc.stdout)
+
+
+def test_parallel_module_meets_floor(coverage_report):
+    entry = coverage_report["targets"][TARGET]
+    assert entry["executable"] > 100, "tracer saw an implausibly small module"
+    assert entry["coverage"] >= FLOOR, (
+        f"coverage {entry['coverage']:.1%} fell below the {FLOOR:.0%} floor; "
+        f"missing lines: {entry['missing']}")
+
+
+def test_report_shape_is_stable(coverage_report):
+    assert coverage_report["backend"] in ("settrace", "pytest-cov")
+    total = coverage_report["total"]
+    assert total["covered"] <= total["executable"]
+    assert 0.0 <= total["coverage"] <= 1.0
