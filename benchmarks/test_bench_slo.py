@@ -1,0 +1,90 @@
+"""[observability] SLO burn-rate discrimination + sampling-profiler overhead.
+
+Two claims behind the "always-on observability" design:
+
+- **the sampler is cheap enough to leave on** — run against the
+  repeated parallel discovery stream (uncached, so the sampler sees
+  real work), the sampler's self-metered duty cycle — time inside ticks
+  over wall time sampled, i.e. the wall-clock share it steals on this
+  single-core host — stays <= 5%.  Off-vs-on wall clock is recorded for
+  context but not asserted: host scatter (±10%) swamps the effect;
+- **the SLO engine discriminates** — one seeded storage workload run
+  clean and again with a 20% injected fault rate (``replicate="never"``,
+  so faults surface as errored spans, not degraded successes) must flag
+  the availability objective as a multi-window burn-rate breach on the
+  faulty run only, emit an ``slo.breach`` event, and flip the health
+  indicator the degraded() verdict folds in.
+
+Results land in ``BENCH_slo.json``.
+"""
+
+import json
+import pathlib
+
+from repro.bench.reporting import render_table, report_experiment
+from repro.bench.slo import FAULT_RATE, SEED, run_bench
+
+from conftest import add_report
+
+RESULT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_slo.json"
+
+MAX_OVERHEAD_PCT = 5.0
+
+
+def test_bench_slo(benchmark):
+    report = benchmark.pedantic(run_bench, iterations=1, rounds=1)
+
+    overhead = report["profiler_overhead"]
+    clean = report["runs"]["clean"]
+    faulty = report["runs"]["faulty"]
+    rendered = render_table(
+        f"SLO burn-rate + profiler overhead (seed {report['seed']})",
+        ["run", "fault rate", "error fraction", "breached", "breach events",
+         "health degraded"],
+        [
+            ["clean", "0%", clean["error_fraction"],
+             str(clean["breached"]), len(clean["breach_events"]),
+             ",".join(clean["health_degraded"]) or "-"],
+            ["faulty", f"{faulty['fault_rate']:.0%}",
+             faulty["error_fraction"], str(faulty["breached"]),
+             len(faulty["breach_events"]),
+             ",".join(faulty["health_degraded"]) or "-"],
+        ],
+    )
+    rendered += (
+        f"\nprofiler duty cycle: {overhead['overhead_pct']}% "
+        f"({overhead['tick_cost_ms']}ms of ticks, "
+        f"{overhead['sampler_samples']} samples @ "
+        f"{overhead['interval_s'] * 1000:.0f}ms; "
+        f"wall off {overhead['off_s']}s vs on {overhead['on_s']}s)\n"
+    )
+    rendered += report_experiment(
+        "observability",
+        "sampling profiler <= 5% duty cycle on the discovery stream; "
+        "20%-fault run breaches the availability SLO while the clean "
+        "run passes",
+        f"duty cycle {overhead['overhead_pct']}%, "
+        f"clean breached={clean['breached']}, "
+        f"faulty breached={faulty['breached']}",
+    )
+    add_report("BENCH_slo", rendered)
+    RESULT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    # -- acceptance -----------------------------------------------------------
+    assert report["seed"] == SEED
+    assert faulty["fault_rate"] == FAULT_RATE
+
+    # the sampler actually ran and stayed inside the overhead budget
+    assert overhead["sampler_samples"] > 50, "sampler never ticked"
+    assert overhead["tick_cost_ms"] > 0
+    assert overhead["overhead_pct"] <= MAX_OVERHEAD_PCT
+
+    # discrimination: the faulty run alarms, the clean run does not
+    assert report["discriminates"]
+    assert not clean["breached"]
+    assert clean["breach_events"] == []
+    assert faulty["verdicts"]["fetch-availability"]
+    assert faulty["breach_events"], "breach produced no slo.breach event"
+    assert "slo:fetch-availability" in faulty["health_degraded"]
+    # the injected error fraction really exceeded the 1% budget
+    assert faulty["error_fraction"] > 0.05

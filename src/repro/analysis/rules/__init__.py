@@ -10,6 +10,7 @@ and list it here (see ``docs/LINT.md``).
 from repro.analysis.rules.base import Context, Rule
 from repro.analysis.rules.breaker_guard import BreakerGuardRule
 from repro.analysis.rules.cache_epoch import CacheEpochRule
+from repro.analysis.rules.context_propagation import ContextPropagationRule
 from repro.analysis.rules.determinism import BenchDeterminismRule
 from repro.analysis.rules.exceptions import BareExceptRule, ExceptionHygieneRule
 from repro.analysis.rules.instrumentation import RuntimeTracedRule, TracedManifestRule
@@ -22,6 +23,7 @@ __all__ = [
     "BreakerGuardRule",
     "CacheEpochRule",
     "Context",
+    "ContextPropagationRule",
     "ExceptionHygieneRule",
     "LockDisciplineRule",
     "RegistryCoordsRule",
@@ -44,4 +46,5 @@ def default_rules():
         BenchDeterminismRule(),
         BreakerGuardRule(),
         CacheEpochRule(),
+        ContextPropagationRule(),
     ]

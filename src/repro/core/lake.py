@@ -24,7 +24,8 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 from repro.core.dataset import Dataset, Table
 from repro.core.errors import DatasetNotFound, SchemaError
 from repro.core.registry import SystemRegistry, default_registry
-from repro.obs import Observability, get_recorder, get_registry, traced
+from repro.obs import (Observability, emit, ensure_profiler, get_event_log,
+                       get_recorder, get_registry, traced)
 
 
 class DataLake:
@@ -57,6 +58,12 @@ class DataLake:
       default) memoizes discovery/keyword answers keyed by (engine,
       normalized query, index epoch); an ``int`` bounds ``max_entries``;
       ``False``/``None`` disables; a ``QueryCache`` instance is shared.
+
+    Observability (see docs/OBSERVABILITY.md): ``slos=`` takes a sequence
+    of :class:`~repro.obs.slo.SLO` objectives, evaluated over this lake's
+    spans with burn-rate alerting wired into its health registry;
+    ``profile=False`` opts out of starting the process-wide sampling
+    profiler.
     """
 
     def __init__(
@@ -70,6 +77,8 @@ class DataLake:
         polystore: Optional["Polystore"] = None,
         parallelism: int = 1,
         cache: Any = True,
+        slos: Optional[Sequence[Any]] = None,
+        profile: bool = True,
     ):
         from repro.exploration.parallel import (EpochClock,
                                                 ParallelDiscoveryExecutor,
@@ -106,6 +115,15 @@ class DataLake:
             self._query_cache = None
         self._union_index = None
         self._union_epoch = -1
+        self._slo_engine = None
+        if slos:
+            from repro.obs.slo import SLOEngine
+
+            self._slo_engine = SLOEngine(
+                slos, registry=get_registry(), events=get_event_log(),
+                health=self.polystore.health).attach(get_recorder())
+        if profile:
+            ensure_profiler()  # the always-on wall-clock sampler
 
     @classmethod
     def in_memory(cls) -> "DataLake":
@@ -226,6 +244,9 @@ class DataLake:
                 self._extract_metadata(dataset)
             self._register_catalog(dataset, placement)
             self._note_index_change(dataset)
+        emit("ingest.committed", dataset=dataset.name, format=dataset.format,
+             backend=placement.backend, mode="async" if self.async_maintenance
+             else "sync")
         return dataset
 
     # -- maintenance work units (run inline in sync mode, as jobs in async) --------
@@ -327,6 +348,8 @@ class DataLake:
             self._runtime.drain()
             self._runtime.close()
         self._executor.close()
+        if self._slo_engine is not None:
+            self._slo_engine.detach()
 
     def ingest_table(
         self,
@@ -642,6 +665,31 @@ class DataLake:
         if getattr(self, "_observability", None) is None:
             self._observability = Observability()
         return self._observability
+
+    @property
+    def slo_engine(self):
+        """The lake's :class:`~repro.obs.slo.SLOEngine`, or None."""
+        return self._slo_engine
+
+    def slo_report(self) -> str:
+        """Burn-rate report for the configured SLOs (text)."""
+        if self._slo_engine is None:
+            return "(no SLOs configured)"
+        return self._slo_engine.render_report()
+
+    def flight_recorder(self, last: int = 100,
+                        request_id: Optional[str] = None) -> str:
+        """The newest *last* structured events as JSONL — the dump-on-error
+        hook.  Slice to one request's causal history with ``request_id=``::
+
+            try:
+                lake.discover_related("sales")
+            except Exception:
+                print(lake.flight_recorder(last=50))
+                raise
+        """
+        log = get_event_log()
+        return log.export_jsonl(log.events(request_id=request_id, limit=last))
 
     def health(self) -> Dict[str, Any]:
         """Degraded-mode facade: breaker states, failovers, dead letters.

@@ -26,9 +26,11 @@ mechanisms that carry a single-query engine stack to that workload:
   index change: the changed engine's epoch moves on and the stale entry
   simply stops matching (and ages out of the LRU).
 
-Hit/miss/eviction counts are exposed both as ``repro.obs`` counters
-(``exploration.cache.*``) and as exact per-instance integers via
-:meth:`QueryCache.stats`, which the coherence tests assert against.
+Hit/miss/eviction counts are exposed both as per-engine labelled
+``repro.obs`` counters (``exploration.cache.hits{engine="aurum"}``) and
+as exact per-instance integers via :meth:`QueryCache.stats`, which the
+coherence tests assert against; every lookup and eviction also lands in
+the structured event log, and epoch bumps emit ``index.epoch_bump``.
 """
 
 from __future__ import annotations
@@ -40,7 +42,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.ml.text import tokenize
-from repro.obs import get_recorder, get_registry
+from repro.obs import emit, get_recorder, get_registry, with_context
 
 #: the engines the cache and epoch clock know about, one epoch stream each
 ENGINES: Tuple[str, ...] = ("aurum", "keyword", "union")
@@ -67,17 +69,21 @@ class EpochClock:
         self._epochs: Dict[str, int] = {engine: 0 for engine in engines}
         self._lock = threading.Lock()
         registry = get_registry()
-        self._gauges = {engine: registry.gauge(f"exploration.epoch.{engine}")
+        self._gauges = {engine: registry.gauge("exploration.epoch", engine=engine)
                         for engine in engines}
 
     def bump(self, *engines: str) -> None:
         """Advance the named engines' epochs (all engines when none given)."""
+        bumped: List[Tuple[str, int]] = []
         with self._lock:
             for engine in engines or tuple(self._epochs):
                 self._epochs[engine] = self._epochs.get(engine, 0) + 1
                 gauge = self._gauges.get(engine)
                 if gauge is not None:
                     gauge.set(self._epochs[engine])
+                bumped.append((engine, self._epochs[engine]))
+        for engine, epoch in bumped:  # outside the lock: emit takes its own
+            emit("index.epoch_bump", engine=engine, epoch=epoch)
 
     def epoch(self, engine: str) -> int:
         with self._lock:
@@ -106,11 +112,8 @@ class QueryCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
-        registry = get_registry()
-        self._m_hits = registry.counter("exploration.cache.hits")
-        self._m_misses = registry.counter("exploration.cache.misses")
-        self._m_evictions = registry.counter("exploration.cache.evictions")
-        self._g_entries = registry.gauge("exploration.cache.entries")
+        self._registry = get_registry()
+        self._g_entries = self._registry.gauge("exploration.cache.entries")
 
     @staticmethod
     def _copy(value: Any) -> Any:
@@ -123,22 +126,33 @@ class QueryCache:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self._hits += 1
-                self._m_hits.inc()
-                return True, self._copy(self._entries[key])
-            self._misses += 1
-            self._m_misses.inc()
-            return False, None
+                hit = True
+                value = self._copy(self._entries[key])
+            else:
+                self._misses += 1
+                hit, value = False, None
+        if hit:
+            self._registry.counter("exploration.cache.hits", engine=engine).inc()
+            emit("cache.hit", engine=engine, epoch=epoch)
+            return True, value
+        self._registry.counter("exploration.cache.misses", engine=engine).inc()
+        emit("cache.miss", engine=engine, epoch=epoch)
+        return False, None
 
     def store(self, engine: str, query_key: Hashable, epoch: int, value: Any) -> None:
         key = (engine, query_key, epoch)
+        evicted = 0
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self._evictions += 1
-                self._m_evictions.inc()
+                evicted += 1
             self._g_entries.set(len(self._entries))
+        for _ in range(evicted):
+            self._registry.counter("exploration.cache.evictions", engine=engine).inc()
+            emit("cache.evict", engine=engine)
 
     def fetch(self, engine: str, query_key: Hashable, epoch: int,
               compute: Callable[[], Any]) -> Any:
@@ -379,7 +393,10 @@ class ParallelDiscoveryExecutor:
                     system="parallel", function="query_driven_discovery",
                     label=label, shards=len(shards), items=len(items)):
                 self._m_fanouts.inc()
-                futures = [pool.submit(compute_chunk, shard) for shard in shards]
+                # capture once, rebind on every pool thread: shard spans
+                # must carry the submitting request's id
+                runner = with_context(compute_chunk)
+                futures = [pool.submit(runner, shard) for shard in shards]
                 try:
                     merged: List[Any] = []
                     for future in futures:

@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.errors import CircuitOpen
-from repro.obs import get_recorder, get_registry
+from repro.obs import emit, get_recorder, get_registry
 from repro.runtime.jobs import RetryPolicy
 
 #: breaker states
@@ -115,9 +115,11 @@ class CircuitBreaker:
         self._opened_at: Optional[float] = None
         self._transitions: List[Transition] = []
         registry = get_registry()
-        self._m_state = registry.gauge(f"faults.breaker.{name}.state")
-        self._m_transitions = registry.counter(f"faults.breaker.{name}.transitions")
-        self._m_rejected = registry.counter(f"faults.breaker.{name}.rejected")
+        self._m_state = registry.gauge("faults.breaker.state", breaker=name)
+        self._m_transitions = registry.counter("faults.breaker.transitions",
+                                               breaker=name)
+        self._m_rejected = registry.counter("faults.breaker.rejected",
+                                            breaker=name)
 
     # -- state machine (writes only under self._lock) ---------------------------
 
@@ -136,6 +138,8 @@ class CircuitBreaker:
             self._failures = 0
         self._m_state.set(_STATE_VALUE[to_state])
         self._m_transitions.inc()
+        emit("breaker.transition", breaker=self.name, from_state=from_state,
+             to_state=to_state, reason=reason)
         with get_recorder().span("faults.breaker.transition", tier="storage",
                                  system="faults", function="storage_backend",
                                  breaker=self.name, to_state=to_state,
@@ -227,7 +231,13 @@ class CircuitBreaker:
 
 
 class HealthRegistry:
-    """Get-or-create home for every breaker; the lake's health authority."""
+    """Get-or-create home for every breaker; the lake's health authority.
+
+    Besides breakers, the registry carries named boolean **indicators**
+    set by other subsystems (the SLO engine flips ``slo:<name>`` on a
+    burn-rate breach); a failing indicator degrades the lake's health
+    verdict exactly like a non-closed breaker does.
+    """
 
     def __init__(self, config: Optional[ResilienceConfig] = None,
                  clock: Callable[[], float] = time.monotonic):
@@ -235,6 +245,7 @@ class HealthRegistry:
         self._clock = clock
         self._lock = threading.Lock()
         self._breakers: Dict[str, CircuitBreaker] = {}
+        self._indicators: Dict[str, Tuple[bool, str]] = {}
 
     def breaker(self, name: str) -> CircuitBreaker:
         # lock-free fast path: dict reads are snapshots, and entries are
@@ -259,10 +270,21 @@ class HealthRegistry:
         with self._lock:
             return dict(self._breakers)
 
+    def set_indicator(self, name: str, ok: bool, detail: str = "") -> None:
+        """Record a named health signal from outside the breaker layer."""
+        with self._lock:
+            self._indicators[name] = (bool(ok), detail)
+
+    def indicators(self) -> Dict[str, Tuple[bool, str]]:
+        with self._lock:
+            return dict(self._indicators)
+
     def degraded(self) -> List[str]:
-        """Names of breakers that are not closed, sorted."""
-        return sorted(name for name, breaker in self.breakers().items()
-                      if breaker.state != CLOSED)
+        """Non-closed breakers plus failing indicators, sorted by name."""
+        out = [name for name, breaker in self.breakers().items()
+               if breaker.state != CLOSED]
+        out.extend(name for name, (ok, _) in self.indicators().items() if not ok)
+        return sorted(out)
 
     @property
     def healthy(self) -> bool:

@@ -12,7 +12,15 @@ measurement substrate that makes them observable in the running lake:
   the tier → function → system aggregation mirroring Table 1;
 - :mod:`repro.obs.instrument` — the ``@traced`` decorator, the global
   recorder/registry wiring and the instrumentation manifest enforced by
-  ``tools/check_instrumentation.py``.
+  ``tools/check_instrumentation.py``;
+- :mod:`repro.obs.context` — per-request identity (:class:`RequestContext`)
+  propagated across every thread boundary in the repo;
+- :mod:`repro.obs.events` — the bounded structured event log ("flight
+  recorder") with JSONL export;
+- :mod:`repro.obs.profiler` — the always-on wall-clock sampling profiler
+  with per-request attribution and collapsed-stack output;
+- :mod:`repro.obs.slo` — declarative per-operation objectives with
+  multi-window burn-rate alerting.
 
 Typical use::
 
@@ -24,6 +32,17 @@ Typical use::
     print(lake.observability.report()["tiers"].keys())
 """
 
+from repro.obs.context import (
+    RequestContext,
+    bind_context,
+    capture_context,
+    current_context,
+    new_context,
+    request_context,
+    thread_request_id,
+    with_context,
+)
+from repro.obs.events import NOOP_EVENT_LOG, Event, EventLog, NoopEventLog, emit
 from repro.obs.export import (
     aggregate_spans,
     export_json,
@@ -39,6 +58,9 @@ from repro.obs.instrument import (
     current_span,
     disable,
     enable,
+    ensure_profiler,
+    get_event_log,
+    get_profiler,
     get_recorder,
     get_registry,
     incr,
@@ -54,35 +76,56 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.profiler import SamplingProfiler
+from repro.obs.slo import SLO, SLOEngine
 from repro.obs.spans import NOOP_RECORDER, NoopRecorder, Span, SpanRecorder
 
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "Event",
+    "EventLog",
     "Gauge",
     "Histogram",
     "INSTRUMENTATION_MANIFEST",
     "MetricsRegistry",
+    "NOOP_EVENT_LOG",
     "NOOP_RECORDER",
+    "NoopEventLog",
     "NoopRecorder",
     "Observability",
+    "RequestContext",
+    "SLO",
+    "SLOEngine",
+    "SamplingProfiler",
     "Span",
     "SpanRecorder",
     "aggregate_spans",
     "annotate",
+    "bind_context",
+    "capture_context",
+    "current_context",
     "current_span",
     "disable",
+    "emit",
     "enable",
+    "ensure_profiler",
     "export_json",
     "export_prometheus",
+    "get_event_log",
+    "get_profiler",
     "get_recorder",
     "get_registry",
     "incr",
+    "new_context",
     "observability_enabled",
     "render_metrics_table",
     "render_report",
     "render_span_tree",
+    "request_context",
     "reset",
     "set_recorder",
+    "thread_request_id",
     "traced",
+    "with_context",
 ]

@@ -1,0 +1,199 @@
+"""Request context propagation: one identity for everything a call causes.
+
+The lake crosses thread boundaries constantly — async maintenance runs
+on :class:`~repro.runtime.scheduler.JobScheduler` workers, discovery
+fans out over a :class:`~repro.exploration.parallel.ParallelDiscoveryExecutor`
+pool — and a span or event recorded on a worker thread is useless for
+accounting unless it still knows *which* ``DataLake`` call it belongs
+to.  A :class:`RequestContext` is that identity: a request id, an
+optional tenant tag, an optional deadline, and free-form baggage.
+
+The active context rides a :mod:`contextvars` variable, which follows
+the logical call flow on one thread but does **not** cross into pool
+workers or scheduler threads by itself.  Every thread-spawn site in the
+repo therefore hands the context over explicitly (enforced by the
+``context-propagation`` lakelint rule):
+
+- :func:`capture_context` at the submission site,
+- :func:`bind_context` (or :func:`with_context`) around the work on the
+  receiving thread.
+
+Activation also maintains a thread-id → request-id map that the
+sampling profiler reads at tick time, so wall-clock samples are
+attributable without touching the sampled thread's context variables.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, Mapping, Optional
+
+#: request ids are ``req-<pid>-<counter>``: unique within the process and
+#: distinguishable across processes sharing a log sink
+_IDS = itertools.count(1)
+_PID = os.getpid()
+
+_CURRENT: "contextvars.ContextVar[Optional[RequestContext]]" = contextvars.ContextVar(
+    "repro_request_context", default=None)
+
+#: thread id -> request id of the context active on that thread, kept for
+#: the sampling profiler (reading another thread's contextvars is not
+#: possible from the sampler thread; this map is the sanctioned side door)
+_THREAD_REQUESTS: Dict[int, str] = {}
+
+
+@dataclass(frozen=True)
+class RequestContext:
+    """Identity and budget of one logical request through the lake.
+
+    ``deadline`` is an *absolute* ``time.monotonic()`` instant (use
+    :func:`new_context`'s ``timeout=`` to derive one); ``baggage`` is
+    free-form key/value metadata carried verbatim across every hop.
+    """
+
+    request_id: str
+    tenant: str = ""
+    deadline: Optional[float] = None
+    baggage: Mapping[str, Any] = field(default_factory=dict)
+
+    def remaining(self) -> Optional[float]:
+        """Seconds until the deadline (negative when past), or None."""
+        if self.deadline is None:
+            return None
+        return self.deadline - time.monotonic()
+
+    def expired(self) -> bool:
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"request_id": self.request_id}
+        if self.tenant:
+            out["tenant"] = self.tenant
+        if self.deadline is not None:
+            out["deadline_remaining_s"] = round(self.remaining() or 0.0, 6)
+        if self.baggage:
+            out["baggage"] = dict(self.baggage)
+        return out
+
+
+def new_context(
+    tenant: str = "",
+    request_id: Optional[str] = None,
+    deadline: Optional[float] = None,
+    timeout: Optional[float] = None,
+    **baggage: Any,
+) -> RequestContext:
+    """Mint a fresh context (no activation); ``timeout`` sets the deadline."""
+    if timeout is not None:
+        if timeout < 0:
+            raise ValueError("timeout must be non-negative")
+        deadline = time.monotonic() + timeout
+    if request_id is None:
+        request_id = f"req-{_PID}-{next(_IDS):06d}"
+    return RequestContext(request_id=request_id, tenant=tenant,
+                          deadline=deadline, baggage=dict(baggage))
+
+
+def current_context() -> Optional[RequestContext]:
+    """The context active on this thread's logical flow, or None."""
+    return _CURRENT.get()
+
+
+def capture_context() -> Optional[RequestContext]:
+    """Alias of :func:`current_context` naming the hand-off intent.
+
+    Use at a thread-spawn site: ``ctx = capture_context()`` on the
+    submitting thread, ``with bind_context(ctx):`` on the worker.
+    """
+    return _CURRENT.get()
+
+
+def _activate(ctx: Optional[RequestContext]):
+    """Set *ctx* active; returns (token, thread-map restore value)."""
+    token = _CURRENT.set(ctx)
+    ident = threading.get_ident()
+    previous = _THREAD_REQUESTS.get(ident)
+    if ctx is not None:
+        _THREAD_REQUESTS[ident] = ctx.request_id
+    else:
+        _THREAD_REQUESTS.pop(ident, None)
+    return token, previous
+
+
+def _deactivate(token, previous: Optional[str]) -> None:
+    _CURRENT.reset(token)
+    ident = threading.get_ident()
+    if previous is not None:
+        _THREAD_REQUESTS[ident] = previous
+    else:
+        _THREAD_REQUESTS.pop(ident, None)
+
+
+def thread_request_id(ident: int) -> Optional[str]:
+    """Request id active on thread *ident* (profiler attribution hook)."""
+    return _THREAD_REQUESTS.get(ident)
+
+
+@contextmanager
+def request_context(
+    tenant: str = "",
+    request_id: Optional[str] = None,
+    deadline: Optional[float] = None,
+    timeout: Optional[float] = None,
+    **baggage: Any,
+) -> Iterator[RequestContext]:
+    """Activate a fresh :class:`RequestContext` for the ``with`` body."""
+    ctx = new_context(tenant=tenant, request_id=request_id,
+                      deadline=deadline, timeout=timeout, **baggage)
+    token, previous = _activate(ctx)
+    try:
+        yield ctx
+    finally:
+        _deactivate(token, previous)
+
+
+@contextmanager
+def bind_context(ctx: Optional[RequestContext]) -> Iterator[Optional[RequestContext]]:
+    """Re-activate a captured context on the current (worker) thread.
+
+    Binding ``None`` is an explicit "no originating request" and clears
+    any context the worker happened to inherit — a job submitted outside
+    a request must not be attributed to whatever ran last.
+    """
+    token, previous = _activate(ctx)
+    try:
+        yield ctx
+    finally:
+        _deactivate(token, previous)
+
+
+def with_context(
+    fn: Callable[..., Any],
+    ctx: Optional[RequestContext] = None,
+    *,
+    capture: bool = True,
+) -> Callable[..., Any]:
+    """Wrap *fn* so it runs under *ctx* (captured now when not given).
+
+    The hand-off helper for pool submissions::
+
+        pool.submit(with_context(compute_chunk), shard)
+    """
+    if ctx is None and capture:
+        ctx = capture_context()
+    bound = ctx
+
+    def runner(*args: Any, **kwargs: Any) -> Any:
+        with bind_context(bound):
+            return fn(*args, **kwargs)
+
+    runner.__name__ = getattr(fn, "__name__", "with_context")
+    runner.__obs_context__ = bound
+    return runner

@@ -111,22 +111,38 @@ def _format_value(value: float) -> str:
     return repr(value) if isinstance(value, float) else str(value)
 
 
+def _prom_labels(labels, extra: str = "") -> str:
+    """Render a ``{k="v",...}`` block from a LabelSet plus an extra pair."""
+    pairs = [f'{_prom_name(key)}="{value}"' for key, value in labels]
+    if extra:
+        pairs.append(extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
 def export_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
-    """Render the registry in the Prometheus text exposition format."""
+    """Render the registry in the Prometheus text exposition format.
+
+    Label sets of one family share a single ``# TYPE`` header; histogram
+    bucket lines merge the instrument's labels with the ``le`` bound.
+    """
     from repro.obs.instrument import get_registry
 
     registry = registry if registry is not None else get_registry()
     lines: List[str] = []
-    for name, metric in registry.metrics().items():
+    for name, instruments in sorted(registry.families().items()):
         prom = _prom_name(name)
-        lines.append(f"# TYPE {prom} {metric.kind}")
-        if isinstance(metric, Histogram):
-            for bound, cumulative in metric.bucket_counts():
-                lines.append(f'{prom}_bucket{{le="{_format_value(bound)}"}} {cumulative}')
-            lines.append(f"{prom}_sum {_format_value(metric.sum)}")
-            lines.append(f"{prom}_count {metric.count}")
-        else:
-            lines.append(f"{prom} {_format_value(metric.value)}")
+        lines.append(f"# TYPE {prom} {instruments[0].kind}")
+        for metric in instruments:
+            labels = _prom_labels(metric.labels)
+            if isinstance(metric, Histogram):
+                for bound, cumulative in metric.bucket_counts():
+                    le = f'le="{_format_value(bound)}"'
+                    lines.append(
+                        f"{prom}_bucket{_prom_labels(metric.labels, le)} {cumulative}")
+                lines.append(f"{prom}_sum{labels} {_format_value(metric.sum)}")
+                lines.append(f"{prom}_count{labels} {metric.count}")
+            else:
+                lines.append(f"{prom}{labels} {_format_value(metric.value)}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -144,7 +160,11 @@ def _tree_lines(span: Span, prefix: str, is_last: bool, out: List[str]) -> None:
         counters = ",".join(f"{k}={v:g}" for k, v in sorted(span.counters.items()))
         parts.append(f"[{counters}]")
     if span.status != "ok":
-        parts.append(f"!{span.status}")
+        if span.error:
+            detail = f": {span.error_message}" if span.error_message else ""
+            parts.append(f"!{span.status}({span.error}{detail})")
+        else:
+            parts.append(f"!{span.status}")
     out.append(prefix + connector + "  ".join(parts))
     child_prefix = prefix + ("   " if is_last else "│  ")
     for index, child in enumerate(span.children):

@@ -16,6 +16,8 @@ from __future__ import annotations
 import functools
 from typing import Any, Callable, Dict, Optional
 
+from repro.obs.context import current_context, request_context
+from repro.obs.events import EventLog
 from repro.obs.export import (
     aggregate_spans,
     export_json,
@@ -25,6 +27,7 @@ from repro.obs.export import (
     render_span_tree,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import SamplingProfiler
 from repro.obs.spans import NOOP_RECORDER, Span, SpanRecorder
 
 #: (source file under src/, class name, method name) triples that MUST be
@@ -59,6 +62,23 @@ INSTRUMENTATION_MANIFEST = (
 _REGISTRY = MetricsRegistry()
 _LIVE_RECORDER = SpanRecorder(registry=_REGISTRY)
 _RECORDER = _LIVE_RECORDER  # the active recorder: live or NOOP_RECORDER
+_EVENT_LOG = EventLog()
+_PROFILER = SamplingProfiler()  # created eagerly, started on demand
+
+
+def get_event_log() -> EventLog:
+    """The process-wide structured event log (flight recorder)."""
+    return _EVENT_LOG
+
+
+def get_profiler() -> SamplingProfiler:
+    """The process-wide sampling profiler (not started until asked)."""
+    return _PROFILER
+
+
+def ensure_profiler() -> SamplingProfiler:
+    """Start the process profiler if it is not already running."""
+    return _PROFILER.start()
 
 
 def get_recorder():
@@ -97,9 +117,11 @@ def enable() -> None:
 
 
 def reset() -> None:
-    """Clear all finished spans and all metrics (the live recorder survives)."""
+    """Clear spans, metrics, events and profile data (recorder survives)."""
     _LIVE_RECORDER.reset()
     _REGISTRY.reset()
+    _EVENT_LOG.reset()
+    _PROFILER.reset()
 
 
 # -- decorator + in-span helpers --------------------------------------------------
@@ -117,6 +139,11 @@ def traced(
     one identity check; otherwise it opens a span named *name* (default:
     the function's qualified name, lower-cased) tagged with the survey
     *tier*, *system* and *function*.
+
+    A traced call with no active :class:`~repro.obs.context.RequestContext`
+    mints one for its own duration, so every traced entry point is a
+    request root and no span is ever unattributed; nested traced calls
+    inherit the ambient context instead.
     """
 
     def decorate(fn: Callable) -> Callable:
@@ -127,6 +154,11 @@ def traced(
             recorder = _RECORDER
             if recorder is NOOP_RECORDER:
                 return fn(*args, **kwargs)
+            if current_context() is None:
+                with request_context():
+                    with recorder.span(span_name, tier=tier, system=system,
+                                       function=function):
+                        return fn(*args, **kwargs)
             with recorder.span(span_name, tier=tier, system=system, function=function):
                 return fn(*args, **kwargs)
 
@@ -175,6 +207,14 @@ class Observability:
     @property
     def registry(self) -> MetricsRegistry:
         return get_registry()
+
+    @property
+    def events(self) -> EventLog:
+        return get_event_log()
+
+    @property
+    def profiler(self) -> SamplingProfiler:
+        return get_profiler()
 
     @property
     def enabled(self) -> bool:

@@ -6,13 +6,34 @@ distributions with p50/p95/p99 summaries.  Everything is thread-safe via
 per-instrument locks; histogram quantiles are estimated by linear
 interpolation inside fixed buckets, so their error is bounded by the
 bucket width (asserted by the test suite).
+
+Instruments may carry **labels** (``registry.counter("cache.hits",
+engine="aurum")``): each distinct label set is its own child instrument
+under one *family* name, rendered Prometheus-style as
+``cache.hits{engine="aurum"}``.  A family's kind (counter / gauge /
+histogram) is fixed by its first registration regardless of labels.
 """
 
 from __future__ import annotations
 
 import bisect
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: one label set, normalized: sorted ``(key, str(value))`` pairs
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def normalize_labels(labels: Dict[str, Any]) -> LabelSet:
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+def render_name(name: str, labels: LabelSet = ()) -> str:
+    """``family{k="v",...}`` — the registry's stable instrument key."""
+    if not labels:
+        return name
+    inner = ",".join(f'{key}="{value}"' for key, value in labels)
+    return f"{name}{{{inner}}}"
 
 #: default bucket upper bounds, tuned for millisecond latencies (spans) but
 #: wide enough for counts and sizes; +Inf overflow bucket is implicit
@@ -27,10 +48,11 @@ class Counter:
     """A monotonically increasing count."""
 
     kind = "counter"
-    __slots__ = ("name", "_value", "_lock")
+    __slots__ = ("name", "labels", "_value", "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: LabelSet = ()):
         self.name = name
+        self.labels = labels
         self._value = 0.0
         self._lock = threading.Lock()
 
@@ -52,10 +74,11 @@ class Gauge:
     """A value that can go up and down (queue depth, dataset count, ...)."""
 
     kind = "gauge"
-    __slots__ = ("name", "_value", "_lock")
+    __slots__ = ("name", "labels", "_value", "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: LabelSet = ()):
         self.name = name
+        self.labels = labels
         self._value = 0.0
         self._lock = threading.Lock()
 
@@ -83,12 +106,15 @@ class Histogram:
     """Fixed-bucket histogram with interpolated p50/p95/p99 quantiles."""
 
     kind = "histogram"
-    __slots__ = ("name", "bounds", "_counts", "_sum", "_count", "_min", "_max", "_lock")
+    __slots__ = ("name", "labels", "bounds", "_counts", "_sum", "_count",
+                 "_min", "_max", "_lock")
 
-    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS):
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS,
+                 labels: LabelSet = ()):
         if not buckets:
             raise ValueError("histogram needs at least one bucket bound")
         self.name = name
+        self.labels = labels
         self.bounds: Tuple[float, ...] = tuple(sorted(set(float(b) for b in buckets)))
         self._counts = [0] * (len(self.bounds) + 1)  # +1 = +Inf overflow
         self._sum = 0.0
@@ -185,44 +211,80 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Get-or-create home for every named metric in the process."""
+    """Get-or-create home for every named metric in the process.
+
+    ``**labels`` on the accessors select a child instrument of the named
+    family — same family name, per-label-set state.  The family's kind
+    is fixed on first use; registering the same family under a different
+    kind raises regardless of labels.
+    """
 
     def __init__(self) -> None:
-        self._metrics: Dict[str, object] = {}
+        self._metrics: Dict[Tuple[str, LabelSet], object] = {}
+        self._kinds: Dict[str, str] = {}
         self._lock = threading.Lock()
 
-    def _get_or_create(self, name: str, factory, kind: str):
+    def _get_or_create(self, name: str, labels: Dict[str, Any], factory, kind: str):
+        label_set = normalize_labels(labels) if labels else ()
+        key = (name, label_set)
         with self._lock:
-            metric = self._metrics.get(name)
+            metric = self._metrics.get(key)
             if metric is None:
-                metric = self._metrics[name] = factory()
+                known = self._kinds.get(name)
+                if known is not None and known != kind:
+                    raise ValueError(
+                        f"metric {name!r} already registered as {known}, not {kind}"
+                    )
+                metric = self._metrics[key] = factory(label_set)
+                self._kinds[name] = kind
             elif metric.kind != kind:
                 raise ValueError(
                     f"metric {name!r} already registered as {metric.kind}, not {kind}"
                 )
             return metric
 
-    def counter(self, name: str) -> Counter:
-        return self._get_or_create(name, lambda: Counter(name), "counter")
-
-    def gauge(self, name: str) -> Gauge:
-        return self._get_or_create(name, lambda: Gauge(name), "gauge")
-
-    def histogram(self, name: str, buckets: Optional[Sequence[float]] = None) -> Histogram:
+    def counter(self, name: str, **labels: Any) -> Counter:
         return self._get_or_create(
-            name, lambda: Histogram(name, buckets or DEFAULT_BUCKETS), "histogram"
-        )
+            name, labels, lambda ls: Counter(name, ls), "counter")
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get_or_create(
+            name, labels, lambda ls: Gauge(name, ls), "gauge")
+
+    def histogram(self, name: str, buckets: Optional[Sequence[float]] = None,
+                  **labels: Any) -> Histogram:
+        return self._get_or_create(
+            name, labels,
+            lambda ls: Histogram(name, buckets or DEFAULT_BUCKETS, labels=ls),
+            "histogram")
 
     def metrics(self) -> Dict[str, object]:
-        """Snapshot of name -> metric object, sorted by name."""
+        """Snapshot of rendered name -> metric object, sorted by name.
+
+        Labeled instruments render as ``family{k="v"}``; the dict is
+        sorted so label sets of one family stay adjacent.
+        """
         with self._lock:
-            return {name: self._metrics[name] for name in sorted(self._metrics)}
+            items = [(render_name(name, labels), metric)
+                     for (name, labels), metric in self._metrics.items()]
+        return dict(sorted(items))
+
+    def families(self) -> Dict[str, List[object]]:
+        """Family name -> its instruments (label sets in sorted order)."""
+        out: Dict[str, List[object]] = {}
+        with self._lock:
+            entries = sorted(self._metrics.items())
+        for (name, _), metric in entries:
+            out.setdefault(name, []).append(metric)
+        return out
 
     def snapshot(self) -> Dict[str, Dict[str, float]]:
         """JSON-ready ``{name: {"type": ..., **stats}}`` for every metric."""
         out: Dict[str, Dict[str, float]] = {}
         for name, metric in self.metrics().items():
-            entry: Dict[str, float] = {"type": metric.kind}
+            entry: Dict[str, Any] = {"type": metric.kind}
+            if metric.labels:
+                entry["labels"] = dict(metric.labels)
             entry.update(metric.snapshot())
             out[name] = entry
         return out
@@ -230,6 +292,7 @@ class MetricsRegistry:
     def reset(self) -> None:
         with self._lock:
             self._metrics.clear()
+            self._kinds.clear()
 
     def __len__(self) -> int:
         with self._lock:
@@ -237,4 +300,7 @@ class MetricsRegistry:
 
     def __contains__(self, name: str) -> bool:
         with self._lock:
-            return name in self._metrics
+            if name in self._kinds:  # family name, any label set
+                return True
+            return any(render_name(family, labels) == name
+                       for family, labels in self._metrics)

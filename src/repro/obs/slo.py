@@ -1,0 +1,265 @@
+"""Declarative service-level objectives with multi-window burn-rate alerts.
+
+An :class:`SLO` states what "good" means for one operation — a p95
+latency target, a maximum error rate, a minimum availability — and the
+:class:`SLOEngine` checks reality against it over *two* sliding
+windows.  The two-window rule is the standard burn-rate construction:
+the **long** window proves the problem is sustained (a single slow call
+cannot breach a 5-minute objective) and the **short** window proves it
+is *current* (an incident resolved minutes ago stops alerting by
+itself).  A breach requires the error-budget burn rate to exceed the
+threshold in both.
+
+Burn rate is budget-relative: with an availability objective of 99%
+the error budget is 1%, so a window observing 2% failures burns at
+2.0×.  Thresholds above 1.0 mean "alert only when burning faster than
+the budget allows", the usual paging posture.
+
+The engine is fed by the span layer — attach it as a
+:class:`~repro.obs.spans.SpanRecorder` listener and every finished span
+whose name matches an objective's ``operation`` becomes a sample
+(``status != "ok"`` = bad; latency objectives additionally count slow
+successes as bad).  On a verdict flip it emits ``slo.breach`` /
+``slo.recovered`` events, mirrors the burn rate into labelled gauges,
+and (when given a health registry) flips a named health indicator so
+SLO state degrades :class:`~repro.faults.HealthRegistry` verdicts the
+same way an open breaker does.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One operation's objectives; unset objectives are simply not checked.
+
+    ``operation`` matches span names exactly, or as a prefix when it
+    ends with ``*`` (``"lake_discover_*"``).
+    """
+
+    name: str
+    operation: str
+    p95_ms: Optional[float] = None        #: 95% of calls must finish within
+    error_rate: Optional[float] = None    #: max tolerated error fraction
+    availability: Optional[float] = None  #: min tolerated ok fraction
+    window_s: float = 300.0               #: long window (sustained)
+    short_window_s: float = 60.0          #: short window (current)
+    burn_threshold: float = 1.0           #: alert above this burn rate
+
+    def __post_init__(self):
+        if self.error_rate is None and self.availability is None and self.p95_ms is None:
+            raise ValueError(f"SLO {self.name!r} declares no objectives")
+        if self.short_window_s > self.window_s:
+            raise ValueError(f"SLO {self.name!r}: short window exceeds long window")
+
+    def matches(self, span_name: str) -> bool:
+        if self.operation.endswith("*"):
+            return span_name.startswith(self.operation[:-1])
+        return span_name == self.operation
+
+    def budgets(self) -> Dict[str, float]:
+        """Objective -> allowed bad fraction (the error budget)."""
+        out: Dict[str, float] = {}
+        if self.p95_ms is not None:
+            out["latency_p95"] = 0.05  # 5% of calls may exceed the target
+        if self.error_rate is not None:
+            out["error_rate"] = max(self.error_rate, 1e-9)
+        if self.availability is not None:
+            out["availability"] = max(1.0 - self.availability, 1e-9)
+        return out
+
+
+class _Samples:
+    """Per-SLO ring of (ts, duration_ms, ok) samples, pruned to the window."""
+
+    __slots__ = ("window_s", "_points")
+
+    def __init__(self, window_s: float):
+        self.window_s = window_s
+        self._points: deque = deque()
+
+    def add(self, ts: float, duration_ms: float, ok: bool) -> None:
+        self._points.append((ts, duration_ms, ok))
+        horizon = ts - self.window_s
+        while self._points and self._points[0][0] < horizon:
+            self._points.popleft()
+
+    def window(self, now: float, seconds: float) -> List[Any]:
+        horizon = now - seconds
+        return [p for p in self._points if p[0] >= horizon]
+
+
+def _bad_fraction(points: Sequence, objective: str,
+                  slo: SLO) -> Optional[float]:
+    """Fraction of *points* violating *objective*; None when no data."""
+    if not points:
+        return None
+    total = len(points)
+    if objective == "latency_p95":
+        bad = sum(1 for _, duration_ms, ok in points
+                  if ok and duration_ms > slo.p95_ms)
+        # errored calls don't count against the latency budget: they are
+        # charged to error_rate/availability instead
+        good_total = sum(1 for _, _, ok in points if ok)
+        return bad / good_total if good_total else None
+    bad = sum(1 for _, _, ok in points if not ok)
+    return bad / total
+
+
+class SLOEngine:
+    """Evaluates a set of :class:`SLO` objectives over live span traffic."""
+
+    def __init__(
+        self,
+        slos: Sequence[SLO],
+        registry=None,
+        events=None,
+        health=None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        names = [s.name for s in slos]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate SLO names")
+        self.slos = tuple(slos)
+        self.registry = registry
+        self.events = events
+        self.health = health
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._samples: Dict[str, _Samples] = {
+            s.name: _Samples(s.window_s) for s in slos}
+        self._breached: Dict[str, bool] = {s.name: False for s in slos}
+        self._recorder = None
+
+    # -- feeding -----------------------------------------------------------------
+
+    def observe_span(self, span) -> None:
+        """SpanRecorder listener: route matching spans into sample rings."""
+        self.record(span.name, span.duration_ms, span.status == "ok")
+
+    def record(self, operation: str, duration_ms: float, ok: bool,
+               ts: Optional[float] = None) -> None:
+        now = self.clock() if ts is None else ts
+        with self._lock:
+            for slo in self.slos:
+                if slo.matches(operation):
+                    self._samples[slo.name].add(now, duration_ms, ok)
+
+    def attach(self, recorder) -> "SLOEngine":
+        """Subscribe to *recorder*'s finished spans."""
+        recorder.add_listener(self.observe_span)
+        with self._lock:
+            self._recorder = recorder
+        return self
+
+    def detach(self) -> None:
+        with self._lock:
+            recorder, self._recorder = self._recorder, None
+        if recorder is not None:
+            recorder.remove_listener(self.observe_span)
+
+    # -- evaluation --------------------------------------------------------------
+
+    def evaluate(self, now: Optional[float] = None) -> List[Dict[str, Any]]:
+        """Burn rates and verdicts per SLO; fires alerts on verdict flips.
+
+        A breach needs *some* objective burning above threshold in both
+        the short and the long window; windows with no data are treated
+        as compliant (no traffic burns no budget).
+        """
+        now = self.clock() if now is None else now
+        results: List[Dict[str, Any]] = []
+        for slo in self.slos:
+            with self._lock:
+                long_points = self._samples[slo.name].window(now, slo.window_s)
+                short_points = self._samples[slo.name].window(now, slo.short_window_s)
+            objectives: Dict[str, Any] = {}
+            breached = False
+            for objective, budget in slo.budgets().items():
+                burn_long = _burn(long_points, objective, slo, budget)
+                burn_short = _burn(short_points, objective, slo, budget)
+                over = (burn_long is not None and burn_short is not None
+                        and burn_long > slo.burn_threshold
+                        and burn_short > slo.burn_threshold)
+                objectives[objective] = {
+                    "budget": round(budget, 6),
+                    "burn_long": _round(burn_long),
+                    "burn_short": _round(burn_short),
+                    "breached": over,
+                }
+                breached = breached or over
+            result = {
+                "slo": slo.name,
+                "operation": slo.operation,
+                "samples": len(long_points),
+                "objectives": objectives,
+                "breached": breached,
+            }
+            results.append(result)
+            self._publish(slo, result)
+        return results
+
+    def _publish(self, slo: SLO, result: Dict[str, Any]) -> None:
+        """Mirror one verdict into gauges/events/health; alert on flips."""
+        if self.registry is not None:
+            worst = max((o["burn_long"] or 0.0
+                         for o in result["objectives"].values()), default=0.0)
+            self.registry.gauge("slo.burn_rate", slo=slo.name).set(worst)
+            self.registry.gauge("slo.breached", slo=slo.name).set(
+                1.0 if result["breached"] else 0.0)
+        with self._lock:
+            was = self._breached[slo.name]
+            self._breached[slo.name] = result["breached"]
+        if result["breached"] and not was:
+            if self.events is not None:
+                failing = [name for name, o in result["objectives"].items()
+                           if o["breached"]]
+                self.events.emit("slo.breach", slo=slo.name,
+                                 objectives=",".join(failing))
+            if self.registry is not None:
+                self.registry.counter("slo.breaches", slo=slo.name).inc()
+        elif was and not result["breached"]:
+            if self.events is not None:
+                self.events.emit("slo.recovered", slo=slo.name)
+        if self.health is not None:
+            self.health.set_indicator(
+                f"slo:{slo.name}", ok=not result["breached"],
+                detail=f"burn-rate breach on {slo.operation}"
+                if result["breached"] else "")
+
+    def verdicts(self, now: Optional[float] = None) -> Dict[str, bool]:
+        """SLO name -> currently breached."""
+        return {r["slo"]: r["breached"] for r in self.evaluate(now)}
+
+    def render_report(self, now: Optional[float] = None) -> str:
+        """Text report: one block per SLO with per-objective burn rates."""
+        lines: List[str] = []
+        for result in self.evaluate(now):
+            verdict = "BREACH" if result["breached"] else "ok"
+            lines.append(f"{result['slo']}  [{verdict}]  "
+                         f"operation={result['operation']}  "
+                         f"samples={result['samples']}")
+            for name, o in sorted(result["objectives"].items()):
+                burn_l = "n/a" if o["burn_long"] is None else f"{o['burn_long']:.2f}x"
+                burn_s = "n/a" if o["burn_short"] is None else f"{o['burn_short']:.2f}x"
+                flag = "  << breached" if o["breached"] else ""
+                lines.append(f"    {name:<14s} budget={o['budget']:<8g} "
+                             f"burn(long)={burn_l:<8s} burn(short)={burn_s}{flag}")
+        return "\n".join(lines) if lines else "(no SLOs configured)"
+
+
+def _burn(points, objective: str, slo: SLO, budget: float) -> Optional[float]:
+    bad = _bad_fraction(points, objective, slo)
+    if bad is None:
+        return None
+    return bad / budget
+
+
+def _round(value: Optional[float]) -> Optional[float]:
+    return None if value is None else round(value, 4)

@@ -15,6 +15,13 @@ zero-dependency:
 Thread model: each thread owns its own span stack (``threading.local``),
 finished root spans are appended to a bounded, lock-protected deque.
 Span objects are only ever mutated by the thread that opened them.
+
+Every span is stamped with the :class:`~repro.obs.context.RequestContext`
+active when it opened (``request_id``), so work done on scheduler or
+pool threads stays attributable to the originating ``DataLake`` call; a
+span that exits via an exception records the exception type *and*
+message, so an errored trace is distinguishable from a clean one in
+every exporter.
 """
 
 from __future__ import annotations
@@ -24,12 +31,18 @@ import time
 from collections import deque
 from typing import Any, Dict, Iterator, List, Optional
 
+from repro.obs.context import current_context
+
+#: error messages recorded on spans are clipped to this many characters
+MAX_ERROR_CHARS = 240
+
 
 class Span:
     """One timed, tagged, counted operation in the trace tree."""
 
     __slots__ = ("name", "tier", "system", "function", "tags", "counters",
-                 "start", "duration_ms", "children", "status")
+                 "start", "duration_ms", "children", "status", "request_id",
+                 "error", "error_message")
 
     def __init__(
         self,
@@ -49,6 +62,9 @@ class Span:
         self.duration_ms = 0.0
         self.children: List["Span"] = []
         self.status = "ok"
+        self.request_id: Optional[str] = None
+        self.error: Optional[str] = None
+        self.error_message: Optional[str] = None
 
     def add(self, counter: str, amount: float = 1) -> None:
         """Increment a per-span counter (e.g. ``postings_read``)."""
@@ -71,7 +87,8 @@ class Span:
             "duration_ms": round(self.duration_ms, 6),
             "status": self.status,
         }
-        for key in ("tier", "system", "function"):
+        for key in ("tier", "system", "function", "request_id",
+                    "error", "error_message"):
             value = getattr(self, key)
             if value is not None:
                 out[key] = value
@@ -98,6 +115,11 @@ class _ActiveSpan:
         self._span = span
 
     def __enter__(self) -> Span:
+        context = current_context()
+        if context is not None:
+            self._span.request_id = context.request_id
+            if context.tenant:
+                self._span.tags.setdefault("tenant", context.tenant)
         self._recorder._push(self._span)
         self._span.start = time.perf_counter()
         return self._span
@@ -107,7 +129,9 @@ class _ActiveSpan:
         span.duration_ms = (time.perf_counter() - span.start) * 1000.0
         if exc_type is not None:
             span.status = "error"
-            span.tags.setdefault("error", exc_type.__name__)
+            span.error = exc_type.__name__
+            span.error_message = str(exc)[:MAX_ERROR_CHARS] if exc is not None else ""
+            span.tags.setdefault("error", span.error)  # legacy tag consumers
         self._recorder._pop(span)
         return False
 
@@ -127,6 +151,7 @@ class SpanRecorder:
         self._lock = threading.Lock()
         self._local = threading.local()
         self.registry = registry
+        self._listeners: List[Any] = []
 
     # -- span lifecycle ----------------------------------------------------------
 
@@ -164,6 +189,25 @@ class SpanRecorder:
                 self._roots.append(span)
         if self.registry is not None:
             self.registry.histogram(f"span_ms.{span.name}").observe(span.duration_ms)
+        for listener in self._listeners:
+            try:
+                listener(span)
+            except Exception:  # lakelint: disable=bare-except,exception-hygiene — a broken listener must never take the traced operation down; counted on the registry
+                if self.registry is not None:
+                    self.registry.counter("obs.span_listener_errors").inc()
+
+    # -- listeners ---------------------------------------------------------------
+
+    def add_listener(self, listener) -> None:
+        """Call *listener(span)* for every finished span (SLO feed etc.)."""
+        with self._lock:
+            if listener not in self._listeners:
+                self._listeners = self._listeners + [listener]
+
+    def remove_listener(self, listener) -> None:
+        # equality, not identity: bound methods are recreated per access
+        with self._lock:
+            self._listeners = [l for l in self._listeners if l != listener]
 
     # -- introspection -----------------------------------------------------------
 
@@ -217,6 +261,12 @@ class NoopRecorder:
 
     def span(self, name, tier=None, system=None, function=None, **tags):
         return _NULL_CONTEXT
+
+    def add_listener(self, listener) -> None:
+        pass
+
+    def remove_listener(self, listener) -> None:
+        pass
 
     def current(self):
         return None

@@ -82,6 +82,11 @@ class Job:
     wall-clock deadline in seconds measured from submission — a job still
     queued (or about to be retried) past its deadline is dead-lettered with
     :class:`~repro.core.errors.JobTimeout` instead of running stale work.
+
+    ``context`` is the :class:`~repro.obs.context.RequestContext` captured
+    at submission (typed loosely to keep this module obs-free); the
+    scheduler re-binds it on the worker thread for every attempt, so work
+    done on behalf of a request stays attributed to it.
     """
 
     fn: Callable[..., Any]
@@ -92,6 +97,7 @@ class Job:
     timeout: Optional[float] = None
     retry: Optional[RetryPolicy] = None
     tags: Dict[str, Any] = field(default_factory=dict)
+    context: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if not callable(self.fn):

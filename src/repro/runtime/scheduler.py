@@ -35,7 +35,7 @@ from repro.core.errors import (
     SchedulerClosed,
     UpstreamFailed,
 )
-from repro.obs import get_recorder, get_registry, traced
+from repro.obs import bind_context, capture_context, emit, get_recorder, get_registry, traced
 from repro.runtime.jobs import (
     DEAD,
     PENDING,
@@ -115,7 +115,8 @@ class JobScheduler:
         """
         job = Job(fn=fn, name=name, args=tuple(args), kwargs=kwargs or {},
                   depends_on=tuple(depends_on), timeout=timeout,
-                  retry=retry or self.default_retry, tags=dict(tags or {}))
+                  retry=retry or self.default_retry, tags=dict(tags or {}),
+                  context=capture_context())
         with self._cv:
             if self._closed:
                 raise SchedulerClosed("scheduler is closed")
@@ -285,7 +286,9 @@ class JobScheduler:
 
     def _ensure_workers_locked(self) -> None:
         while len(self._threads) < self.workers:
-            thread = threading.Thread(
+            # workers are context-neutral by design: each job's captured
+            # context is re-bound per attempt in _run_one instead
+            thread = threading.Thread(  # lakelint: disable=context-propagation
                 target=self._worker,
                 name=f"repro-maintenance-{len(self._threads)}",
                 daemon=True,
@@ -340,13 +343,14 @@ class JobScheduler:
         start = time.perf_counter()
         error: Optional[BaseException] = None
         value: Any = None
-        with get_recorder().span("maintenance.runtime.job", tier="maintenance",
-                                 system="runtime", function="job_scheduling",
-                                 job=job.name, attempt=attempt, **job.tags):
-            try:
-                value = job.run()
-            except Exception as exc:  # lakelint: disable=exception-hygiene — routed to retry/dead-letter, counted there
-                error = exc
+        with bind_context(job.context):
+            with get_recorder().span("maintenance.runtime.job", tier="maintenance",
+                                     system="runtime", function="job_scheduling",
+                                     job=job.name, attempt=attempt, **job.tags):
+                try:
+                    value = job.run()
+                except Exception as exc:  # lakelint: disable=exception-hygiene — routed to retry/dead-letter, counted there
+                    error = exc
         latency_ms = (time.perf_counter() - start) * 1000.0
         self._h_job_ms.observe(latency_ms)
         with self._cv:
@@ -365,6 +369,10 @@ class JobScheduler:
                     ), attempts=attempt, latency_ms=latency_ms)
                 else:
                     self._m_retried.inc()
+                    emit("job.retry",
+                         request_id=getattr(job.context, "request_id", None),
+                         job=job.name, job_id=job_id, attempt=attempt,
+                         error=type(error).__name__, delay_s=round(delay, 4))
                     self._enqueue_locked(job_id, ready_at=time.monotonic() + delay)
             else:
                 self._kill_locked(job_id, error, attempts=attempt,
@@ -405,6 +413,10 @@ class JobScheduler:
         self._dead.append(result)
         self._outstanding -= 1
         self._m_dead.inc()
+        emit("job.dead_letter",
+             request_id=getattr(job.context, "request_id", None),
+             job=job.name, job_id=job_id, attempts=attempts,
+             error=type(error).__name__)
         self._waiting.pop(job_id, None)
         for child in self._dependents.pop(job_id, ()):
             if self._state.get(child) not in TERMINAL_STATES:

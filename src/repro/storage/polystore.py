@@ -42,7 +42,7 @@ from repro.core.errors import (
 )
 from repro.core.registry import Function, Method, SystemInfo, register_system
 from repro.faults.breaker import HealthRegistry, ResilienceConfig
-from repro.obs import annotate, get_registry, traced
+from repro.obs import annotate, emit, get_registry, traced
 from repro.storage.document import DocumentStore
 from repro.storage.graph import GraphStore
 from repro.storage.object_store import ObjectStore, StoredObject
@@ -267,6 +267,8 @@ class Polystore:
                 raise
             self._m_failover_fetches.inc()
             annotate(failover=True)
+            emit("fetch.degraded", dataset=dataset_name,
+                 backend=placement.backend)
             return replica.payload()
 
     def _fetch_from(self, placement: Placement) -> Any:
@@ -319,6 +321,8 @@ class Polystore:
         """Redirect a failed store to the fallback bucket, marked degraded."""
         self._m_failover_stores.inc()
         annotate(failover=intended, cause=type(cause).__name__)
+        emit("store.degraded", dataset=dataset.name, intended=intended,
+             cause=type(cause).__name__)
         self._put_object_unguarded(
             self.FALLBACK_BUCKET, dataset.name, dataset,
             metadata={"intended_backend": intended,

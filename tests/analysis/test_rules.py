@@ -9,6 +9,7 @@ from repro.analysis.rules import (
     BenchDeterminismRule,
     BreakerGuardRule,
     CacheEpochRule,
+    ContextPropagationRule,
     ExceptionHygieneRule,
     LockDisciplineRule,
     RegistryCoordsRule,
@@ -442,6 +443,95 @@ class TestTracedRules:
         assert "package not found" in findings[0].message
 
 
+class TestContextPropagation:
+    def _findings(self, tmp_path, body, rel="repro/runtime/scheduler.py"):
+        _tree(tmp_path, {rel: body})
+        return _run(ContextPropagationRule(), tmp_path)
+
+    def test_bare_pool_submit_fires(self, tmp_path):
+        findings = self._findings(tmp_path, """
+            def fan_out(pool, work):
+                return [pool.submit(work, item) for item in range(4)]
+        """)
+        assert len(findings) == 1
+        assert findings[0].rule == "context-propagation"
+        assert "pool.submit(...)" in findings[0].message
+        assert "RequestContext" in findings[0].message
+
+    def test_bare_thread_spawn_fires(self, tmp_path):
+        findings = self._findings(tmp_path, """
+            import threading
+
+            def spawn(fn):
+                thread = threading.Thread(target=fn, daemon=True)
+                thread.start()
+        """)
+        assert len(findings) == 1
+        assert "threading.Thread(...)" in findings[0].message
+
+    def test_with_context_wrapper_is_clean(self, tmp_path):
+        assert self._findings(tmp_path, """
+            from repro.obs import with_context
+
+            def fan_out(pool, work):
+                runner = with_context(work)
+                return [pool.submit(runner, item) for item in range(4)]
+        """) == []
+
+    def test_capture_and_bind_pair_is_clean(self, tmp_path):
+        assert self._findings(tmp_path, """
+            import threading
+            from repro.obs import bind_context, capture_context
+
+            def spawn(fn):
+                ctx = capture_context()
+
+                def run():
+                    with bind_context(ctx):
+                        fn()
+
+                threading.Thread(target=run, daemon=True).start()
+        """) == []
+
+    def test_helper_in_nested_lambda_satisfies_the_spawn_site(self, tmp_path):
+        assert self._findings(tmp_path, """
+            def fan_out(pool, work, obs):
+                return pool.submit(lambda: obs.with_context(work)())
+        """) == []
+
+    def test_self_submit_delegation_is_exempt(self, tmp_path):
+        assert self._findings(tmp_path, """
+            class Scheduler:
+                def enqueue(self, job):
+                    return self.submit(job)
+        """) == []
+
+    def test_pragma_suppresses_with_rationale(self, tmp_path):
+        assert self._findings(tmp_path, """
+            import threading
+
+            def spawn(fn):
+                # worker loop re-binds per job, not per thread
+                thread = threading.Thread(  # lakelint: disable=context-propagation
+                    target=fn, daemon=True)
+                thread.start()
+        """) == []
+
+    def test_out_of_scope_modules_ignored(self, tmp_path):
+        findings = self._findings(tmp_path, """
+            def fan_out(pool, work):
+                return pool.submit(work)
+        """, rel="repro/storage/mover.py")
+        assert findings == []
+
+    def test_exploration_parallel_is_in_scope(self, tmp_path):
+        findings = self._findings(tmp_path, """
+            def fan_out(pool, work):
+                return pool.submit(work)
+        """, rel="repro/exploration/parallel.py")
+        assert len(findings) == 1
+
+
 class TestDefaultRules:
     def test_at_least_five_rules_and_fresh_instances(self):
         first, second = default_rules(), default_rules()
@@ -451,5 +541,5 @@ class TestDefaultRules:
         assert {"traced-manifest", "runtime-traced", "bare-except",
                 "exception-hygiene", "lock-discipline", "registry-coords",
                 "bench-determinism", "breaker-guarded",
-                "cache-epoch"} <= set(names)
+                "cache-epoch", "context-propagation"} <= set(names)
         assert all(a is not b for a, b in zip(first, second))

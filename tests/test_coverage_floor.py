@@ -1,9 +1,10 @@
-"""Tier-1 coverage floor for the parallel-discovery module.
+"""Tier-1 coverage floors for parallel discovery and the obs core.
 
 Runs the repo's dependency-free coverage task (``tools/coverage_task.py``,
-stdlib settrace backend) over the fast exploration unit suite and holds
-``repro/exploration/parallel.py`` to a line-coverage floor.  The suite
-measures 97%+ today; the floor leaves margin so refactors don't flap,
+stdlib settrace backend) over the fast unit suites and holds
+``repro/exploration/parallel.py`` plus the observability core modules
+(context, events, profiler, SLO) to a line-coverage floor.  The suites
+measure 95%+ today; the floor leaves margin so refactors don't flap,
 while still catching a dead degradation branch or an untested knob.
 """
 
@@ -16,6 +17,18 @@ import pytest
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 TARGET = "src/repro/exploration/parallel.py"
+OBS_TARGETS = (
+    "src/repro/obs/context.py",
+    "src/repro/obs/events.py",
+    "src/repro/obs/profiler.py",
+    "src/repro/obs/slo.py",
+)
+OBS_TESTS = (
+    "tests/test_obs_context.py",
+    "tests/test_obs_events.py",
+    "tests/test_obs_profiler.py",
+    "tests/test_obs_slo.py",
+)
 FLOOR = 0.90
 
 
@@ -38,6 +51,28 @@ def test_parallel_module_meets_floor(coverage_report):
     assert entry["coverage"] >= FLOOR, (
         f"coverage {entry['coverage']:.1%} fell below the {FLOOR:.0%} floor; "
         f"missing lines: {entry['missing']}")
+
+
+@pytest.fixture(scope="module")
+def obs_coverage_report():
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "coverage_task.py"),
+         "--json", "--force-settrace",
+         "--targets", ",".join(OBS_TARGETS),
+         "--tests", ",".join(OBS_TESTS)],
+        cwd=REPO_ROOT, capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, (
+        f"coverage task failed:\n{proc.stdout}\n{proc.stderr}")
+    return json.loads(proc.stdout)
+
+
+@pytest.mark.parametrize("target", OBS_TARGETS)
+def test_obs_modules_meet_floor(obs_coverage_report, target):
+    entry = obs_coverage_report["targets"][target]
+    assert entry["executable"] > 50, "tracer saw an implausibly small module"
+    assert entry["coverage"] >= FLOOR, (
+        f"{target} coverage {entry['coverage']:.1%} fell below the "
+        f"{FLOOR:.0%} floor; missing lines: {entry['missing']}")
 
 
 def test_report_shape_is_stable(coverage_report):

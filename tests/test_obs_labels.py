@@ -1,0 +1,157 @@
+"""Labeled metric families and their Prometheus text rendering."""
+
+import re
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry, reset
+from repro.obs.export import export_prometheus
+from repro.obs.metrics import normalize_labels, render_name
+
+#: Prometheus text exposition: every sample line is name{labels} value
+_SAMPLE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'
+    r' -?[0-9.+einf]+$')
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    reset()
+    yield
+    reset()
+
+
+class TestLabelNormalization:
+    def test_labels_sort_and_stringify(self):
+        assert normalize_labels({"b": 2, "a": "x"}) == (("a", "x"), ("b", "2"))
+
+    def test_render_name_with_and_without_labels(self):
+        assert render_name("cache.hits") == "cache.hits"
+        assert (render_name("cache.hits", (("engine", "aurum"),))
+                == 'cache.hits{engine="aurum"}')
+
+
+class TestLabeledFamilies:
+    def test_same_labels_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("cache.hits", engine="aurum")
+        b = registry.counter("cache.hits", engine="aurum")
+        assert a is b
+
+    def test_kwarg_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits", engine="x", tier="hot")
+        b = registry.counter("hits", tier="hot", engine="x")
+        assert a is b
+
+    def test_distinct_label_sets_are_independent(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", engine="a").inc(3)
+        registry.counter("hits", engine="b").inc(5)
+        assert registry.counter("hits", engine="a").value == 3
+        assert registry.counter("hits", engine="b").value == 5
+
+    def test_family_kind_fixed_across_label_sets(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", engine="a")
+        with pytest.raises(ValueError):
+            registry.gauge("hits", engine="b")
+        with pytest.raises(ValueError):
+            registry.gauge("hits")  # unlabeled clash too
+
+    def test_rendered_names_in_metrics_and_contains(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", engine="aurum").inc()
+        registry.gauge("depth")
+        names = list(registry.metrics())
+        assert 'hits{engine="aurum"}' in names
+        assert "depth" in names
+        assert "hits" in registry  # family name
+        assert 'hits{engine="aurum"}' in registry  # rendered name
+        assert "misses" not in registry
+
+    def test_families_group_label_children(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", engine="b")
+        registry.counter("hits", engine="a")
+        families = registry.families()
+        assert [dict(m.labels)["engine"] for m in families["hits"]] == ["a", "b"]
+
+    def test_snapshot_carries_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", engine="aurum").inc(2)
+        snap = registry.snapshot()
+        entry = snap['hits{engine="aurum"}']
+        assert entry["labels"] == {"engine": "aurum"}
+        assert entry["value"] == 2
+
+
+class TestPrometheusRendering:
+    def test_one_type_header_per_family(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", engine="a").inc()
+        registry.counter("hits", engine="b").inc()
+        text = export_prometheus(registry)
+        assert text.count("# TYPE hits counter") == 1
+        assert 'hits{engine="a"} 1' in text
+        assert 'hits{engine="b"} 1' in text
+
+    def test_histogram_buckets_merge_labels_with_le(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=[1.0, 10.0], engine="a").observe(0.5)
+        text = export_prometheus(registry)
+        assert 'lat_bucket{engine="a",le="1.0"} 1' in text
+        assert 'lat_bucket{engine="a",le="+Inf"} 1' in text
+        assert 'lat_count{engine="a"} 1' in text
+
+    def test_every_line_parses(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", engine="a", tier="hot").inc(3)
+        registry.gauge("depth").set(-2)
+        registry.histogram("lat", engine="a").observe(12.5)
+        for line in export_prometheus(registry).splitlines():
+            if not line or line.startswith("#"):
+                continue
+            assert _SAMPLE.match(line), f"unparseable sample line: {line!r}"
+
+    def test_parsing_stays_stable_under_concurrent_writers(self):
+        """S3: renders taken mid-write must still be valid exposition text."""
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        errors = []
+
+        def writer(engine):
+            i = 0
+            while not stop.is_set():
+                registry.counter("stress.hits", engine=engine).inc()
+                registry.histogram("stress.lat", engine=engine).observe(i % 50)
+                registry.gauge("stress.depth", engine=engine).set(i)
+                i += 1
+
+        def reader():
+            try:
+                for _ in range(40):
+                    for line in export_prometheus(registry).splitlines():
+                        if not line or line.startswith("#"):
+                            continue
+                        assert _SAMPLE.match(line), line
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        writers = [threading.Thread(target=writer, args=(f"e{i}",))
+                   for i in range(4)]
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        for t in writers + readers:
+            t.start()
+        for t in readers:
+            t.join()
+        stop.set()
+        for t in writers:
+            t.join()
+        assert errors == []
+        # counts settled after the dust: every engine family member present
+        text = export_prometheus(registry)
+        for i in range(4):
+            assert f'stress_hits{{engine="e{i}"}}' in text

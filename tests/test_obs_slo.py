@@ -1,0 +1,245 @@
+"""SLO declarations and the multi-window burn-rate engine."""
+
+import pytest
+
+from repro.faults import HealthRegistry
+from repro.obs import (
+    SLO,
+    EventLog,
+    MetricsRegistry,
+    SLOEngine,
+    SpanRecorder,
+    reset,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    reset()
+    yield
+    reset()
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def _engine(*slos, **kwargs):
+    clock = FakeClock()
+    engine = SLOEngine(slos, clock=clock, **kwargs)
+    return engine, clock
+
+
+class TestSLODeclaration:
+    def test_needs_at_least_one_objective(self):
+        with pytest.raises(ValueError):
+            SLO(name="empty", operation="op")
+
+    def test_short_window_cannot_exceed_long(self):
+        with pytest.raises(ValueError):
+            SLO(name="w", operation="op", p95_ms=10,
+                window_s=10, short_window_s=60)
+
+    def test_duplicate_names_rejected(self):
+        slo = SLO(name="dup", operation="op", p95_ms=10)
+        other = SLO(name="dup", operation="other", error_rate=0.1)
+        with pytest.raises(ValueError):
+            SLOEngine([slo, other])
+
+    def test_operation_prefix_matching(self):
+        slo = SLO(name="d", operation="lake_discover_*", p95_ms=10)
+        assert slo.matches("lake_discover_joinable")
+        assert not slo.matches("lake_ingest")
+        exact = SLO(name="e", operation="lake_ingest", p95_ms=10)
+        assert exact.matches("lake_ingest")
+        assert not exact.matches("lake_ingest_2")
+
+    def test_budgets_per_objective(self):
+        slo = SLO(name="b", operation="op", p95_ms=50,
+                  error_rate=0.02, availability=0.99)
+        budgets = slo.budgets()
+        assert budgets["latency_p95"] == pytest.approx(0.05)
+        assert budgets["error_rate"] == pytest.approx(0.02)
+        assert budgets["availability"] == pytest.approx(0.01)
+
+
+class TestBurnRateEvaluation:
+    def test_no_traffic_is_compliant(self):
+        engine, _ = _engine(SLO(name="quiet", operation="op", p95_ms=10))
+        (result,) = engine.evaluate()
+        assert not result["breached"]
+        assert result["objectives"]["latency_p95"]["burn_long"] is None
+
+    def test_fast_healthy_traffic_passes(self):
+        engine, clock = _engine(
+            SLO(name="lat", operation="op", p95_ms=50,
+                window_s=100, short_window_s=10))
+        for _ in range(50):
+            clock.t += 0.1
+            engine.record("op", duration_ms=5.0, ok=True)
+        assert engine.verdicts() == {"lat": False}
+
+    def test_sustained_slowness_breaches_latency(self):
+        engine, clock = _engine(
+            SLO(name="lat", operation="op", p95_ms=50,
+                window_s=100, short_window_s=10))
+        for _ in range(50):
+            clock.t += 0.1
+            engine.record("op", duration_ms=200.0, ok=True)
+        (result,) = engine.evaluate()
+        assert result["breached"]
+        objective = result["objectives"]["latency_p95"]
+        # every call over target against a 5% budget: 20x burn
+        assert objective["burn_long"] == pytest.approx(20.0)
+        assert objective["breached"]
+
+    def test_errors_charge_error_rate_not_latency(self):
+        engine, clock = _engine(
+            SLO(name="err", operation="op", p95_ms=50, error_rate=0.05,
+                window_s=100, short_window_s=10))
+        for i in range(40):
+            clock.t += 0.1
+            engine.record("op", duration_ms=1.0, ok=(i % 2 == 0))
+        (result,) = engine.evaluate()
+        assert result["objectives"]["error_rate"]["breached"]
+        # the errored half never counts against the latency budget
+        assert not result["objectives"]["latency_p95"]["breached"]
+
+    def test_resolved_incident_stops_alerting(self):
+        """Old errors in the long window alone must not page (short window gate)."""
+        engine, clock = _engine(
+            SLO(name="avail", operation="op", availability=0.99,
+                window_s=300, short_window_s=10))
+        for _ in range(20):  # incident: t in (0, 2]
+            clock.t += 0.1
+            engine.record("op", duration_ms=1.0, ok=False)
+        clock.t = 290.0
+        for _ in range(50):  # recovered traffic inside the short window
+            clock.t += 0.1
+            engine.record("op", duration_ms=1.0, ok=True)
+        (result,) = engine.evaluate()
+        objective = result["objectives"]["availability"]
+        assert objective["burn_long"] > 1.0  # still sustained...
+        assert objective["burn_short"] == pytest.approx(0.0)  # ...but not current
+        assert not result["breached"]
+
+    def test_mixed_good_traffic_below_budget_passes(self):
+        engine, clock = _engine(
+            SLO(name="avail", operation="op", availability=0.50,
+                window_s=100, short_window_s=10))
+        for i in range(40):
+            clock.t += 0.1
+            engine.record("op", duration_ms=1.0, ok=(i % 4 != 0))  # 25% bad
+        assert engine.verdicts() == {"avail": False}  # budget is 50%
+
+
+class TestAlertingSideEffects:
+    def _breach_engine(self):
+        events = EventLog()
+        registry = MetricsRegistry()
+        health = HealthRegistry()
+        engine, clock = _engine(
+            SLO(name="disc", operation="op", error_rate=0.01,
+                window_s=100, short_window_s=10),
+            events=events, registry=registry, health=health)
+        return engine, clock, events, registry, health
+
+    def _drive(self, engine, clock, ok):
+        for _ in range(30):
+            clock.t += 0.1
+            engine.record("op", duration_ms=1.0, ok=ok)
+
+    def test_breach_emits_event_metric_and_health_indicator(self):
+        engine, clock, events, registry, health = self._breach_engine()
+        self._drive(engine, clock, ok=False)
+        (result,) = engine.evaluate()
+        assert result["breached"]
+        breach_events = events.events(kind="slo.breach")
+        assert len(breach_events) == 1
+        assert breach_events[0].fields["slo"] == "disc"
+        assert 'slo.breaches{slo="disc"}' in registry
+        assert registry.gauge("slo.breached", slo="disc").value == 1.0
+        assert registry.gauge("slo.burn_rate", slo="disc").value > 1.0
+        assert health.degraded() == ["slo:disc"]
+
+    def test_breach_event_fires_once_until_recovery(self):
+        engine, clock, events, registry, health = self._breach_engine()
+        self._drive(engine, clock, ok=False)
+        engine.evaluate()
+        engine.evaluate()  # still breached: no second event
+        assert len(events.events(kind="slo.breach")) == 1
+        assert registry.counter("slo.breaches", slo="disc").value == 1
+
+        # flood the short window with good traffic -> recovery
+        clock.t += 95.0
+        self._drive(engine, clock, ok=True)
+        (result,) = engine.evaluate()
+        assert not result["breached"]
+        assert len(events.events(kind="slo.recovered")) == 1
+        assert health.degraded() == []
+        assert registry.gauge("slo.breached", slo="disc").value == 0.0
+
+        # breach again -> a second alert
+        self._drive(engine, clock, ok=False)
+        engine.evaluate()
+        assert len(events.events(kind="slo.breach")) == 2
+
+    def test_render_report_shows_verdicts(self):
+        engine, clock, *_ = self._breach_engine()
+        self._drive(engine, clock, ok=False)
+        report = engine.render_report()
+        assert "disc" in report and "BREACH" in report
+        assert "error_rate" in report and "burn(long)" in report
+
+
+class TestSpanFeed:
+    def test_attach_routes_matching_spans(self):
+        recorder = SpanRecorder()
+        engine, clock = _engine(
+            SLO(name="lat", operation="work", p95_ms=1.0,
+                window_s=100, short_window_s=10))
+        engine.attach(recorder)
+        try:
+            for _ in range(20):
+                clock.t += 0.1
+                with recorder.span("work"):
+                    pass
+                with recorder.span("unrelated"):
+                    pass
+        finally:
+            engine.detach()
+        (result,) = engine.evaluate()
+        assert result["samples"] == 20  # the unrelated spans were ignored
+
+    def test_errored_spans_count_as_bad(self):
+        recorder = SpanRecorder()
+        engine, clock = _engine(
+            SLO(name="err", operation="work", error_rate=0.01,
+                window_s=100, short_window_s=10))
+        engine.attach(recorder)
+        try:
+            for _ in range(20):
+                clock.t += 0.1
+                with pytest.raises(RuntimeError):
+                    with recorder.span("work"):
+                        raise RuntimeError("boom")
+        finally:
+            engine.detach()
+        assert engine.verdicts() == {"err": True}
+
+    def test_detach_stops_the_feed(self):
+        recorder = SpanRecorder()
+        engine, clock = _engine(
+            SLO(name="lat", operation="work", p95_ms=10,
+                window_s=100, short_window_s=10))
+        engine.attach(recorder)
+        engine.detach()
+        clock.t += 1.0
+        with recorder.span("work"):
+            pass
+        (result,) = engine.evaluate()
+        assert result["samples"] == 0

@@ -33,10 +33,20 @@ SRC = REPO_ROOT / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
-DEFAULT_TARGETS = ("src/repro/exploration/parallel.py",)
+DEFAULT_TARGETS = (
+    "src/repro/exploration/parallel.py",
+    "src/repro/obs/context.py",
+    "src/repro/obs/events.py",
+    "src/repro/obs/profiler.py",
+    "src/repro/obs/slo.py",
+)
 DEFAULT_TESTS = (
     "tests/exploration/test_query_cache.py",
     "tests/exploration/test_parallel_equivalence.py",
+    "tests/test_obs_context.py",
+    "tests/test_obs_events.py",
+    "tests/test_obs_profiler.py",
+    "tests/test_obs_slo.py",
 )
 
 

@@ -1,0 +1,76 @@
+"""profile-report CLI: sampler hotspots for the discovery stream.
+
+Run from the repository root::
+
+    python repro_build.py profile-report           # default stream + interval
+    python tools/profile_report.py --sweeps 8      # longer measurement
+    python tools/profile_report.py --collapsed     # append collapsed stacks
+
+Runs the profiler-overhead stream the SLO benchmark uses
+(:mod:`repro.bench.slo`) and writes the hotspot table — plus the
+sampler's self-metered duty cycle — to
+``benchmarks/results/profile_report.txt``.  Exit codes: 0 = duty cycle
+within the always-on budget (<= 5%), 1 = over budget.
+"""
+
+import argparse
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.bench.slo import (PROFILE_SWEEPS, SEED,  # noqa: E402
+                             measure_profiler_overhead)
+
+RESULT_PATH = REPO_ROOT / "benchmarks" / "results" / "profile_report.txt"
+MAX_DUTY_CYCLE_PCT = 5.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument("--sweeps", type=int, default=PROFILE_SWEEPS)
+    parser.add_argument("--collapsed", action="store_true",
+                        help="append collapsed stacks (flamegraph input)")
+    parser.add_argument("--output", type=pathlib.Path, default=RESULT_PATH)
+    args = parser.parse_args(argv)
+    if args.sweeps < 1:
+        parser.error("--sweeps must be at least 1")
+
+    report = measure_profiler_overhead(
+        seed=args.seed, sweeps=args.sweeps,
+        collapsed_min_ms=5.0 if args.collapsed else None)
+    within_budget = report["overhead_pct"] <= MAX_DUTY_CYCLE_PCT
+
+    lines = [
+        f"sampling profiler report (seed {args.seed}, "
+        f"{args.sweeps} sweeps of {report['queries_total']} queries)",
+        "",
+        f"duty cycle: {report['overhead_pct']}% "
+        f"({report['tick_cost_ms']}ms of ticks, "
+        f"{report['sampler_samples']} samples @ "
+        f"{report['interval_s'] * 1000:.0f}ms) "
+        f"[{'ok' if within_budget else 'OVER BUDGET'}]",
+        f"wall clock: off {report['off_s']}s vs on {report['on_s']}s "
+        f"(delta {report['wall_delta_pct']}%, informational)",
+        "",
+        f"{'self_ms':>10s}  {'cum_ms':>10s}  hotspot",
+    ]
+    for entry in report["hotspots"]:
+        lines.append(f"{entry['self_ms']:>10.1f}  {entry['cum_ms']:>10.1f}  "
+                     f"{entry['module']}:{entry['function']}")
+    if args.collapsed and report.get("collapsed"):
+        lines.extend(["", "collapsed stacks:", report["collapsed"]])
+    body = "\n".join(lines) + "\n"
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(body)
+    print(body)
+    print(f"wrote {args.output}")
+    return 0 if within_budget else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

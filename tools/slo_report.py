@@ -1,0 +1,72 @@
+"""slo-report CLI: burn-rate verdicts for the seeded SLO scenario.
+
+Run from the repository root::
+
+    python repro_build.py slo-report              # clean + 20%-fault runs
+    python tools/slo_report.py --fault-rate 0.5   # heavier injected faults
+    python tools/slo_report.py --seed 23          # different fault seed
+
+Runs the exact clean-vs-faulty workload the SLO benchmark uses
+(:mod:`repro.bench.slo`) and writes the rendered burn-rate report to
+``benchmarks/results/slo_report.txt``.  Exit codes: 0 = the engine
+discriminates (the faulty run breaches, the clean run passes),
+1 = it does not.
+"""
+
+import argparse
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.bench.slo import FAULT_RATE, SEED, run_slo_scenario  # noqa: E402
+
+RESULT_PATH = REPO_ROOT / "benchmarks" / "results" / "slo_report.txt"
+
+
+def _render_run(label: str, run: dict) -> str:
+    lines = [
+        f"== {label} run (fault rate {run['fault_rate']:.0%}) ==",
+        f"fetches {run['fetches']}  failures {run['fetch_failures']}  "
+        f"error fraction {run['error_fraction']:.2%}",
+        f"breached: {run['breached']}  "
+        f"({', '.join(n for n, v in run['verdicts'].items() if v) or 'none'})",
+        f"breach events: {len(run['breach_events'])}  "
+        f"health degraded: {', '.join(run['health_degraded']) or '-'}",
+        "",
+        run["report"],
+    ]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fault-rate", type=float, default=FAULT_RATE)
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument("--output", type=pathlib.Path, default=RESULT_PATH)
+    args = parser.parse_args(argv)
+    if not 0.0 < args.fault_rate <= 1.0:
+        parser.error("--fault-rate must be in (0, 1]")
+
+    clean = run_slo_scenario(0.0, seed=args.seed)
+    faulty = run_slo_scenario(args.fault_rate, seed=args.seed)
+    discriminates = faulty["breached"] and not clean["breached"]
+
+    body = "\n\n".join([
+        f"SLO burn-rate report (seed {args.seed})",
+        _render_run("clean", clean),
+        _render_run("faulty", faulty),
+        f"discriminates: {discriminates}",
+    ]) + "\n"
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(body)
+    print(body)
+    print(f"wrote {args.output}")
+    return 0 if discriminates else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
