@@ -16,6 +16,7 @@ from repro.analysis.rules.exceptions import BareExceptRule, ExceptionHygieneRule
 from repro.analysis.rules.instrumentation import RuntimeTracedRule, TracedManifestRule
 from repro.analysis.rules.lock_discipline import LockDisciplineRule
 from repro.analysis.rules.registry_coords import RegistryCoordsRule
+from repro.analysis.rules.serving_context import ServingContextRule
 
 __all__ = [
     "BareExceptRule",
@@ -29,6 +30,7 @@ __all__ = [
     "RegistryCoordsRule",
     "Rule",
     "RuntimeTracedRule",
+    "ServingContextRule",
     "TracedManifestRule",
     "default_rules",
 ]
@@ -47,4 +49,5 @@ def default_rules():
         BreakerGuardRule(),
         CacheEpochRule(),
         ContextPropagationRule(),
+        ServingContextRule(),
     ]

@@ -72,6 +72,11 @@ class BareExceptRule(Rule):
         # retry/dead-letter machinery; letting exceptions escape would kill
         # the worker thread and wedge drain()
         "repro/runtime/scheduler.py": 1,
+        # the serving dispatcher is the typed-response boundary: every
+        # failure (counted in serving.errors and emitted to the flight
+        # recorder) must become a ServingResponse, never a raw exception
+        # surfacing through future.result()
+        "repro/serving/server.py": 1,
     }
     allowlist = DEFAULT_ALLOWLIST
 

@@ -86,3 +86,28 @@ class QueueFull(MaintenanceError):
 
 class ProvenanceError(DataLakeError):
     """Provenance graph inconsistency, e.g. an event referencing unknown data."""
+
+
+class DeadlineExceeded(DataLakeError):
+    """The active :class:`~repro.obs.context.RequestContext` deadline passed.
+
+    Raised by the deadline checkpoints (``DataLake._cached`` entry, the
+    parallel executor's fan-out loop) so a per-request timeout actually
+    cuts discovery work short instead of merely being carried along.
+    """
+
+
+class ServingError(DataLakeError):
+    """Base class for the multi-tenant serving tier (:mod:`repro.serving`)."""
+
+
+class AuthenticationError(ServingError):
+    """The presented token is unknown, revoked, or expired."""
+
+
+class QuotaExceeded(ServingError):
+    """A declarative per-tenant quota rejected the request (in-flight cap)."""
+
+
+class Throttled(ServingError):
+    """Load was shed: rate limit or server capacity — retry after backoff."""

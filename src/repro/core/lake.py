@@ -24,8 +24,8 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 from repro.core.dataset import Dataset, Table
 from repro.core.errors import DatasetNotFound, SchemaError
 from repro.core.registry import SystemRegistry, default_registry
-from repro.obs import (Observability, emit, ensure_profiler, get_event_log,
-                       get_recorder, get_registry, traced)
+from repro.obs import (Observability, check_deadline, emit, ensure_profiler,
+                       get_event_log, get_recorder, get_registry, traced)
 
 
 class DataLake:
@@ -469,7 +469,15 @@ class DataLake:
     # called outside the *_uncached helpers below.
 
     def _cached(self, query, compute):
-        """Single epoch-checked entry point for every discovery answer."""
+        """Single epoch-checked entry point for every discovery answer.
+
+        Also the lake-side deadline checkpoint: a request whose
+        :class:`~repro.obs.context.RequestContext` deadline has already
+        passed is cut short here with
+        :class:`~repro.core.errors.DeadlineExceeded` instead of paying
+        for an engine answer nobody is waiting for.
+        """
+        check_deadline(f"exploration.{query.engine}")
         cache = self._query_cache
         if cache is None:
             return compute()
@@ -738,6 +746,17 @@ class DataLake:
         if wait:
             self.runtime.drain()
         return job_ids
+
+    def server(self, **kwargs) -> Any:
+        """A :class:`~repro.serving.server.LakeServer` front-end over this lake.
+
+        Keyword arguments pass through to the server constructor
+        (``workers=``, ``default_quota=``, ``default_timeout=``, ...);
+        see docs/SERVING.md for the multi-tenant model.
+        """
+        from repro.serving.server import LakeServer
+
+        return LakeServer(self, **kwargs)
 
     def architecture_report(self) -> Dict[str, Any]:
         """Live snapshot of the Fig. 2 architecture for this lake instance."""

@@ -42,7 +42,8 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.ml.text import tokenize
-from repro.obs import emit, get_recorder, get_registry, with_context
+from repro.obs import (check_deadline, emit, get_recorder, get_registry,
+                       with_context)
 
 #: the engines the cache and epoch clock know about, one epoch stream each
 ENGINES: Tuple[str, ...] = ("aurum", "keyword", "union")
@@ -372,6 +373,7 @@ class ParallelDiscoveryExecutor:
         """
         if not len(items):
             return []
+        check_deadline("exploration.parallel.run_sharded")
         if self.workers <= 1 or len(items) <= 1:
             self._m_serial.inc()
             return list(compute_chunk(items))
@@ -400,6 +402,9 @@ class ParallelDiscoveryExecutor:
                 try:
                     merged: List[Any] = []
                     for future in futures:
+                        # an expired request stops collecting shards; the
+                        # finally-wait still quiesces in-flight workers
+                        check_deadline("exploration.parallel.fanout")
                         merged.extend(future.result())
                     return merged
                 finally:

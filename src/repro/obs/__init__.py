@@ -36,6 +36,7 @@ from repro.obs.context import (
     RequestContext,
     bind_context,
     capture_context,
+    check_deadline,
     current_context,
     new_context,
     request_context,
@@ -104,6 +105,7 @@ __all__ = [
     "annotate",
     "bind_context",
     "capture_context",
+    "check_deadline",
     "current_context",
     "current_span",
     "disable",

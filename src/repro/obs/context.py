@@ -141,6 +141,36 @@ def thread_request_id(ident: int) -> Optional[str]:
     return _THREAD_REQUESTS.get(ident)
 
 
+def check_deadline(op: str = "") -> None:
+    """Raise :class:`~repro.core.errors.DeadlineExceeded` if the active
+    context's deadline has passed; no-op without a context or deadline.
+
+    This is the deadline *checkpoint* the lake's entry points call
+    (``DataLake._cached``, the parallel executor's fan-out loop, the
+    serving dispatcher) so a per-request timeout cuts work short instead
+    of merely riding along in the baggage.
+    """
+    ctx = _CURRENT.get()
+    if ctx is None or ctx.deadline is None:
+        return
+    remaining = ctx.deadline - time.monotonic()
+    if remaining > 0:
+        return
+    # cold path only: the imports would be cyclic at module load
+    # (core.lake -> repro.obs -> context -> core.errors -> core package)
+    from repro.core.errors import DeadlineExceeded
+    from repro.obs.events import emit
+    from repro.obs.instrument import get_registry
+
+    get_registry().counter("context.deadline_exceeded").inc()
+    emit("context.deadline_exceeded", request_id=ctx.request_id,
+         tenant=ctx.tenant, op=op, overrun_s=round(-remaining, 6))
+    where = f" at {op}" if op else ""
+    raise DeadlineExceeded(
+        f"request {ctx.request_id} exceeded its deadline{where} "
+        f"(over by {-remaining:.4f}s)")
+
+
 @contextmanager
 def request_context(
     tenant: str = "",

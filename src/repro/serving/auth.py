@@ -1,0 +1,121 @@
+"""Token authentication for the serving tier.
+
+The :class:`AuthRegistry` is the single token → tenant authority a
+:class:`~repro.serving.server.LakeServer` consults on every request.
+Tokens are opaque strings minted by :meth:`AuthRegistry.issue` (or
+supplied explicitly, which keeps tests and benchmarks deterministic);
+each carries the tenant it authenticates and an optional expiry measured
+on an injectable monotonic clock, so expiry is testable without
+sleeping.
+
+Tenant names double as dataset-namespace prefixes (``tenant__dataset``
+inside the shared lake), so they are validated at issue time to the
+identifier subset the SQL engine and the discovery indexes can carry:
+``[A-Za-z][A-Za-z0-9_]*``, no ``__`` run (the prefix separator), no
+trailing ``_``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import re
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.errors import AuthenticationError
+
+#: the namespace separator between tenant prefix and dataset name
+NAMESPACE_SEPARATOR = "__"
+
+_TENANT_RE = re.compile(r"^[A-Za-z][A-Za-z0-9_]*$")
+_TOKEN_IDS = itertools.count(1)
+
+
+def validate_tenant(tenant: str) -> str:
+    """Return *tenant* if it is a legal namespace prefix, else raise."""
+    if (not _TENANT_RE.match(tenant) or NAMESPACE_SEPARATOR in tenant
+            or tenant.endswith("_")):
+        raise ValueError(
+            f"tenant {tenant!r} is not a legal namespace prefix: expected "
+            f"[A-Za-z][A-Za-z0-9_]* without {NAMESPACE_SEPARATOR!r} or a "
+            f"trailing underscore")
+    return tenant
+
+
+@dataclass(frozen=True)
+class Credential:
+    """One issued token: who it authenticates and until when."""
+
+    token: str
+    tenant: str
+    expires_at: Optional[float] = None  # monotonic instant, None = no expiry
+
+    def expired(self, now: float) -> bool:
+        return self.expires_at is not None and now >= self.expires_at
+
+
+class AuthRegistry:
+    """Thread-safe token → tenant registry with optional expiry.
+
+    ``clock`` defaults to :func:`time.monotonic`; tests inject a fake to
+    step tokens past their TTL deterministically.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._credentials: Dict[str, Credential] = {}
+
+    def issue(self, tenant: str, ttl: Optional[float] = None,
+              token: Optional[str] = None) -> str:
+        """Mint (or register) a token for *tenant*; returns the token.
+
+        ``ttl`` is seconds until expiry (None = never).  A caller-chosen
+        ``token`` is registered verbatim — the deterministic path used by
+        benchmarks; minted tokens hash a process-unique counter so they
+        are unguessable-enough for a test double without any RNG.
+        """
+        validate_tenant(tenant)
+        if ttl is not None and ttl < 0:
+            raise ValueError("ttl must be non-negative")
+        if token is None:
+            seq = next(_TOKEN_IDS)
+            digest = hashlib.sha256(
+                f"{tenant}:{seq}:{id(self)}".encode()).hexdigest()[:16]
+            token = f"tok-{seq:04d}-{digest}"
+        expires_at = None if ttl is None else self._clock() + ttl
+        with self._lock:
+            self._credentials[token] = Credential(
+                token=token, tenant=tenant, expires_at=expires_at)
+        return token
+
+    def resolve(self, token: str) -> str:
+        """The tenant *token* authenticates; raises on unknown/expired."""
+        with self._lock:
+            credential = self._credentials.get(token)
+        if credential is None:
+            raise AuthenticationError("unknown or revoked token")
+        if credential.expired(self._clock()):
+            raise AuthenticationError(
+                f"token for tenant {credential.tenant!r} has expired")
+        return credential.tenant
+
+    def revoke(self, token: str) -> bool:
+        """Forget *token*; returns whether it existed."""
+        with self._lock:
+            return self._credentials.pop(token, None) is not None
+
+    def tenants(self) -> List[str]:
+        """Distinct tenants with at least one unexpired credential."""
+        now = self._clock()
+        with self._lock:
+            live = {c.tenant for c in self._credentials.values()
+                    if not c.expired(now)}
+        return sorted(live)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._credentials)

@@ -14,6 +14,7 @@ from repro.analysis.rules import (
     LockDisciplineRule,
     RegistryCoordsRule,
     RuntimeTracedRule,
+    ServingContextRule,
     TracedManifestRule,
     default_rules,
 )
@@ -532,6 +533,83 @@ class TestContextPropagation:
         assert len(findings) == 1
 
 
+class TestServingContext:
+    def _findings(self, tmp_path, body, rel="repro/serving/server.py"):
+        _tree(tmp_path, {rel: body})
+        return _run(ServingContextRule(), tmp_path)
+
+    def test_unguarded_lake_call_fires(self, tmp_path):
+        findings = self._findings(tmp_path, """
+            class LakeServer:
+                def _handle_sql(self, tenant, request):
+                    return self.lake.sql(request.query)
+        """)
+        assert len(findings) == 1
+        assert findings[0].rule == "serving-context"
+        assert "self.lake.sql" in findings[0].message
+        assert "_guarded" in findings[0].message
+
+    def test_lake_call_inside_guard_thunk_is_clean(self, tmp_path):
+        assert self._findings(tmp_path, """
+            class LakeServer:
+                def _handle_sql(self, tenant, request):
+                    return self._guarded(tenant, lambda: self.lake.sql(request.query))
+        """) == []
+
+    def test_unguarded_helper_and_init_are_sanctioned(self, tmp_path):
+        assert self._findings(tmp_path, """
+            class LakeServer:
+                def __init__(self, lake):
+                    self.lake = lake
+                    self.lake.health()
+
+                def _catalog_unguarded(self, tenant):
+                    return list(self.lake.datasets())
+        """) == []
+
+    def test_dispatcher_without_request_context_fires(self, tmp_path):
+        findings = self._findings(tmp_path, """
+            class LakeServer:
+                def _run(self, tenant, request):
+                    handlers = {"sql": self._handle_sql}
+                    return handlers[request.op](tenant, request)
+        """)
+        assert len(findings) == 1
+        assert "_run" in findings[0].message
+        assert "request_context" in findings[0].message
+
+    def test_dispatcher_opening_context_is_clean(self, tmp_path):
+        assert self._findings(tmp_path, """
+            from repro.obs import request_context
+
+            class LakeServer:
+                def _run(self, tenant, request):
+                    with request_context(tenant=tenant):
+                        handlers = {"sql": self._handle_sql}
+                        return handlers[request.op](tenant, request)
+        """) == []
+
+    def test_anonymous_request_context_fires(self, tmp_path):
+        findings = self._findings(tmp_path, """
+            from repro.obs import request_context
+
+            class LakeServer:
+                def _run(self, tenant, request):
+                    with request_context():
+                        handlers = {"sql": self._handle_sql}
+                        return handlers[request.op](tenant, request)
+        """)
+        assert len(findings) == 1
+        assert "tenant=" in findings[0].message
+
+    def test_out_of_scope_modules_ignored(self, tmp_path):
+        assert self._findings(tmp_path, """
+            class Anything:
+                def query(self, q):
+                    return self.lake.sql(q)
+        """, rel="repro/core/lake_client.py") == []
+
+
 class TestDefaultRules:
     def test_at_least_five_rules_and_fresh_instances(self):
         first, second = default_rules(), default_rules()
@@ -541,5 +619,6 @@ class TestDefaultRules:
         assert {"traced-manifest", "runtime-traced", "bare-except",
                 "exception-hygiene", "lock-discipline", "registry-coords",
                 "bench-determinism", "breaker-guarded",
-                "cache-epoch", "context-propagation"} <= set(names)
+                "cache-epoch", "context-propagation",
+                "serving-context"} <= set(names)
         assert all(a is not b for a, b in zip(first, second))

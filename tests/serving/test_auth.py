@@ -1,0 +1,101 @@
+"""AuthRegistry: issue/resolve/revoke, expiry on a fake clock, tenant names."""
+
+import pytest
+
+from repro.core.errors import AuthenticationError
+from repro.serving import AuthRegistry, Credential, validate_tenant
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestValidateTenant:
+    @pytest.mark.parametrize("tenant", ["acme", "Acme", "t1", "a_b", "x" * 40])
+    def test_legal_names_pass_through(self, tenant):
+        assert validate_tenant(tenant) == tenant
+
+    @pytest.mark.parametrize("tenant", [
+        "", "1acme", "_acme", "acme__", "a__b",  # __ is the namespace separator
+        "acme_", "acm e", "acme!", "tenant-x",
+    ])
+    def test_illegal_names_rejected(self, tenant):
+        with pytest.raises(ValueError):
+            validate_tenant(tenant)
+
+
+class TestAuthRegistry:
+    def test_issue_and_resolve_round_trip(self):
+        auth = AuthRegistry()
+        token = auth.issue("acme")
+        assert auth.resolve(token) == "acme"
+        assert len(auth) == 1
+        assert auth.tenants() == ["acme"]
+
+    def test_minted_tokens_are_unique_and_opaque(self):
+        auth = AuthRegistry()
+        tokens = {auth.issue("acme") for _ in range(10)}
+        assert len(tokens) == 10
+        assert all(token.startswith("tok-") for token in tokens)
+        assert all("acme" not in token for token in tokens)
+
+    def test_explicit_token_registered_verbatim(self):
+        auth = AuthRegistry()
+        assert auth.issue("acme", token="secret-1") == "secret-1"
+        assert auth.resolve("secret-1") == "acme"
+
+    def test_unknown_token_rejected(self):
+        auth = AuthRegistry()
+        with pytest.raises(AuthenticationError, match="unknown or revoked"):
+            auth.resolve("nope")
+
+    def test_revoked_token_rejected_and_reported(self):
+        auth = AuthRegistry()
+        token = auth.issue("acme")
+        assert auth.revoke(token) is True
+        assert auth.revoke(token) is False  # second revoke is a no-op
+        with pytest.raises(AuthenticationError):
+            auth.resolve(token)
+
+    def test_expiry_on_fake_clock(self):
+        clock = FakeClock()
+        auth = AuthRegistry(clock=clock)
+        token = auth.issue("acme", ttl=30.0)
+        assert auth.resolve(token) == "acme"
+        clock.advance(29.999)
+        assert auth.resolve(token) == "acme"
+        clock.advance(0.001)  # exactly at expires_at: expired
+        with pytest.raises(AuthenticationError, match="expired"):
+            auth.resolve(token)
+        assert auth.tenants() == []  # expired credentials drop out
+        assert len(auth) == 1  # but the credential record is still held
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(ValueError, match="ttl"):
+            AuthRegistry().issue("acme", ttl=-1.0)
+
+    def test_illegal_tenant_rejected_at_issue(self):
+        with pytest.raises(ValueError):
+            AuthRegistry().issue("bad__tenant")
+
+    def test_tenants_deduplicates_multiple_tokens(self):
+        auth = AuthRegistry()
+        auth.issue("acme")
+        auth.issue("acme")
+        auth.issue("beta")
+        assert auth.tenants() == ["acme", "beta"]
+        assert len(auth) == 3
+
+    def test_credential_expired_helper(self):
+        forever = Credential(token="t", tenant="acme")
+        assert not forever.expired(1e9)
+        bounded = Credential(token="t", tenant="acme", expires_at=50.0)
+        assert not bounded.expired(49.9)
+        assert bounded.expired(50.0)

@@ -39,14 +39,21 @@ DEFAULT_TARGETS = (
     "src/repro/obs/events.py",
     "src/repro/obs/profiler.py",
     "src/repro/obs/slo.py",
+    "src/repro/serving/auth.py",
+    "src/repro/serving/quotas.py",
+    "src/repro/serving/server.py",
 )
 DEFAULT_TESTS = (
     "tests/exploration/test_query_cache.py",
+    "tests/test_deadline_enforcement.py",
     "tests/exploration/test_parallel_equivalence.py",
     "tests/test_obs_context.py",
     "tests/test_obs_events.py",
     "tests/test_obs_profiler.py",
     "tests/test_obs_slo.py",
+    "tests/serving/test_auth.py",
+    "tests/serving/test_quotas.py",
+    "tests/serving/test_server.py",
 )
 
 

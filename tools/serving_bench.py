@@ -1,0 +1,78 @@
+"""serving-bench CLI: regenerate ``BENCH_serving.json`` outside pytest.
+
+Run from the repository root::
+
+    python repro_build.py serving-bench           # default seeded fleet
+    python tools/serving_bench.py --seed 13       # different workload seed
+    python tools/serving_bench.py --workers 4     # smaller worker pool
+
+Runs the exact seeded two-phase load (baseline vs abusive) the
+benchmark suite uses (:mod:`repro.bench.serving`), writes the JSON
+artifact to the repo root and a rendered summary to
+``benchmarks/results/BENCH_serving.txt``.  Exit codes: 0 = the
+fairness gate holds (abuser throttled, compliant availability 1.0,
+compliant p95 within 2x of baseline), 1 = it does not.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.bench.serving import SEED, WORKERS, run_bench  # noqa: E402
+
+RESULT_PATH = REPO_ROOT / "BENCH_serving.json"
+TEXT_PATH = REPO_ROOT / "benchmarks" / "results" / "BENCH_serving.txt"
+
+
+def render(report) -> str:
+    lines = [
+        f"serving fairness (seed {report['seed']}, "
+        f"{report['workers']} workers)",
+        f"  clients: {report['compliant_clients']} compliant across "
+        f"{len(report['tenants']) - 1} tenants + "
+        f"{report['abuser_clients']} abuser",
+    ]
+    for label in ("baseline", "abusive"):
+        run = report[label]
+        compliant = run["compliant"]
+        lines.append(
+            f"  {label:<8}: {run['qps']:>8.1f} qps  compliant p50/p95/p99 "
+            f"{compliant['p50_ms']}/{compliant['p95_ms']}/"
+            f"{compliant['p99_ms']} ms  availability "
+            f"{compliant['availability']:.4f}")
+    fairness = report["fairness"]
+    lines.append(
+        f"  fairness: p95 ratio x{fairness['p95_ratio']:.2f} "
+        f"(max x{fairness['max_p95_ratio']:.1f})  abuser throttled "
+        f"{fairness['abuser_throttled']} "
+        f"({fairness['abuser_shed_fraction']:.0%} of offered)  "
+        f"[{'ok' if fairness['pass'] else 'FAIL'}]")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument("--workers", type=int, default=WORKERS)
+    parser.add_argument("--output", type=pathlib.Path, default=RESULT_PATH)
+    args = parser.parse_args(argv)
+
+    report = run_bench(seed=args.seed, workers=args.workers)
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    rendered = render(report)
+    TEXT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    TEXT_PATH.write_text(rendered)
+
+    print(rendered, end="")
+    print(f"wrote {args.output} and {TEXT_PATH}")
+    return 0 if report["fairness"]["pass"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
