@@ -52,6 +52,13 @@ def _tokenize(sql: str) -> List[str]:
     return [t for t in tokens if t]
 
 
+def tokenize_sql(sql: str) -> List[str]:
+    """The exact lexer :class:`SqlEngine` parses with, for callers that
+    need to inspect or rewrite a query at the token level (the serving
+    tier qualifies table references with it)."""
+    return _tokenize(sql)
+
+
 @dataclass
 class _Query:
     columns: List[str]

@@ -15,7 +15,13 @@ under a ``tenant__name`` namespace prefix.  Handlers qualify incoming
 names before touching the lake and filter discovery/SQL answers back to
 the caller's prefix, so tenant A asking for tenant B's dataset gets the
 same :class:`~repro.core.errors.DatasetNotFound` as for a dataset that
-never existed — absence and denial are indistinguishable.
+never existed — absence and denial are indistinguishable.  SQL is
+rewritten at the token level: only identifiers in table position
+(after ``FROM`` / ``JOIN``) are qualified, and any identifier carrying
+the namespace separator is rejected outright, so fully qualified
+foreign names can never reach the shared lake.  Health answers are
+likewise tenant-scoped: a session sees its own admission counts and
+breaker plus tenant-neutral aggregates, never the tenant roster.
 
 **Enforcement.**  Admission happens *before* queuing (typed
 :class:`~repro.core.errors.Throttled` / :class:`~repro.core.errors.QuotaExceeded`
@@ -30,14 +36,15 @@ The ``serving-context`` lakelint rule keeps both funnels honest.
 
 from __future__ import annotations
 
-import re
 import threading
 import time
 import dataclasses
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.core.dataset import Table
 from repro.core.errors import (AuthenticationError, CircuitOpen, DataLakeError,
                                DatasetNotFound, DeadlineExceeded, FormatError,
                                QueryError, QuotaExceeded, SchemaError,
@@ -60,7 +67,8 @@ DATA_ERRORS: Tuple[type, ...] = (DatasetNotFound, QueryError, SchemaError,
 #: rejection types the admission layer sheds with (client should back off)
 SHED_ERRORS: Tuple[type, ...] = (Throttled, QuotaExceeded, CircuitOpen)
 
-_SQL_STRING_RE = re.compile(r"'(?:[^']|'')*'")
+#: SQL keywords after which the next identifier names a table
+_TABLE_KEYWORDS = frozenset({"from", "join"})
 
 
 def qualify(tenant: str, name: str) -> str:
@@ -215,6 +223,9 @@ class LakeServer:
     itself does not carry one; ``resilience`` shapes the per-tenant
     breakers (a dedicated :class:`~repro.faults.HealthRegistry` — tenant
     breakers must not degrade the lake's own storage health verdict).
+    ``deadline_grace`` is how long past a request's deadline the caller
+    keeps waiting for the worker's own (cooperative, typed) deadline
+    error before abandoning the wait — see :meth:`serve`.
     """
 
     def __init__(
@@ -226,6 +237,7 @@ class LakeServer:
         max_pending: int = 256,
         default_quota: Optional[TenantQuota] = None,
         default_timeout: Optional[float] = None,
+        deadline_grace: float = 0.1,
         resilience: Optional[ResilienceConfig] = None,
         clock: Callable[[], float] = time.monotonic,
     ):
@@ -233,10 +245,13 @@ class LakeServer:
 
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if deadline_grace < 0:
+            raise ValueError("deadline_grace must be non-negative")
         self.lake = lake if lake is not None else DataLake.in_memory()
         self.auth = auth or AuthRegistry(clock=clock)
         self.workers = workers
         self.default_timeout = default_timeout
+        self.deadline_grace = deadline_grace
         self._clock = clock
         self._admission = AdmissionController(
             default_quota=default_quota, max_pending=max_pending, clock=clock)
@@ -247,6 +262,11 @@ class LakeServer:
         self._ingest_lock = threading.Lock()  # writes serialize at this tier
         self._closed = False
         self._registry = get_registry()
+        # per-dataset schema widths for _internal_k, invalidated when the
+        # lake's catalog epoch moves (any table change bumps it)
+        self._schema_widths: Dict[str, int] = {}
+        self._schema_widths_epoch = -1
+        self._schema_widths_lock = threading.Lock()
 
     # -- tenant administration -------------------------------------------------
 
@@ -296,8 +316,30 @@ class LakeServer:
                 request.op, tenant, ServingError(f"server closed: {exc}"),
                 started)
         try:
-            response = future.result()
-        finally:
+            # deadlines are enforced at cooperative checkpoints inside the
+            # worker; a backend call stalled *between* checkpoints must not
+            # pin the caller past its deadline, so the wait itself is
+            # bounded (grace lets the checkpoint's typed error win first)
+            wait = (None if deadline is None else
+                    max(0.0, deadline - time.monotonic()) + self.deadline_grace)
+            response = future.result(timeout=wait)
+        except FutureTimeout:
+            # abandon the wait, not the work: the worker thread really is
+            # still busy, so its admission slot stays held and is released
+            # only when the stalled call finally completes
+            future.add_done_callback(lambda _done: ticket.release())
+            self._registry.counter("serving.abandoned", tenant=tenant).inc()
+            emit("serving.abandoned", tenant=tenant, op=request.op)
+            response = self._error(
+                request.op, tenant,
+                DeadlineExceeded(
+                    f"request still running {self.deadline_grace:.3f}s past "
+                    f"its deadline; abandoned"),
+                started)
+        except BaseException:
+            ticket.release()
+            raise
+        else:
             ticket.release()
         response.elapsed_ms = (time.perf_counter() - started) * 1000.0
         self._registry.histogram("serving.latency_ms", tenant=tenant).observe(
@@ -378,6 +420,12 @@ class LakeServer:
     def _handle_ingest(self, tenant: str, request: ServingRequest) -> Dict[str, Any]:
         if not request.name or request.data is None:
             raise SchemaError("ingest needs name= and data={column: values}")
+        if NAMESPACE_SEPARATOR in request.name:
+            # names carrying the separator could never be addressed through
+            # the SQL rewrite, and would blur the namespace boundary
+            raise ValidationError(
+                f"dataset name {request.name!r} may not contain "
+                f"{NAMESPACE_SEPARATOR!r}")
         qualified = qualify(tenant, request.name)
         source = request.source or f"serving:{tenant}"
         with self._ingest_lock:
@@ -492,7 +540,9 @@ class LakeServer:
         return {
             "healthy": bool(report.get("healthy", False)),
             "degraded_placements": len(degraded),
-            "serving": self.stats(),
+            # tenants must not observe each other: the embedded serving view
+            # is scoped to the caller (stats() is the operator dashboard)
+            "serving": self.stats_for(tenant),
         }
 
     # -- namespace helpers -----------------------------------------------------
@@ -524,34 +574,78 @@ class LakeServer:
             if kind != "joinable":
                 foreign_slots += 1
                 continue
-            try:
-                foreign_slots += len(self.lake.dataset(name).as_table().columns)
-            except SchemaError:
-                continue  # non-tabular datasets never appear in joinable answers
+            foreign_slots += self._schema_width_unguarded(name)
         return foreign_slots
 
-    def _tenant_names_unguarded(self, tenant: str) -> List[str]:
-        return [strip_namespace(tenant, name) for name in self.lake.datasets()
-                if in_namespace(tenant, name)]
+    def _schema_width_unguarded(self, name: str) -> int:
+        """Column count of dataset *name* from catalog metadata alone.
+
+        Never materializes a foreign table: a ``Table`` payload already
+        knows its width, a document list's width is the union of its
+        record keys (what tabularizing it would produce), and anything
+        else counts zero — non-tabular datasets never occupy joinable
+        answer slots.  Cached per catalog epoch so repeated discovery
+        requests pay one catalog walk, not one per request.
+        """
+        epoch = self.lake.epochs.epoch("aurum")  # bumped on any table change
+        with self._schema_widths_lock:
+            if epoch != self._schema_widths_epoch:
+                self._schema_widths.clear()
+                self._schema_widths_epoch = epoch
+            width = self._schema_widths.get(name)
+        if width is not None:
+            return width
+        try:
+            payload = self.lake.dataset(name).payload
+        except DataLakeError:
+            width = 0  # racing removal: a vanished dataset takes no slots
+        else:
+            if isinstance(payload, Table):
+                width = len(payload.columns)
+            elif (isinstance(payload, list)
+                    and all(isinstance(r, dict) for r in payload)):
+                keys = set()
+                for record in payload:
+                    keys.update(record)
+                width = len(keys)
+            else:
+                width = 0
+        with self._schema_widths_lock:
+            if epoch == self._schema_widths_epoch:
+                self._schema_widths[name] = width
+        return width
 
     def _rewrite_sql(self, tenant: str, query: str) -> str:
-        """Qualify the tenant's table names inside *query* (not in strings)."""
-        names = sorted(self._tenant_names_unguarded(tenant),
-                       key=len, reverse=True)
-        if not names:
-            return query
-        pattern = re.compile(
-            r"\b(" + "|".join(re.escape(name) for name in names) + r")\b")
+        """Qualify *query*'s table references into the tenant namespace.
+
+        Token-level, using the SQL engine's own lexer: only identifiers
+        in table position (right after ``FROM`` / ``JOIN``) are
+        qualified, so a column that happens to share a dataset's name is
+        left alone; string literals pass through verbatim.  Any
+        identifier carrying the namespace separator is rejected before
+        the lake sees it — the qualified form is a serving-tier
+        internal, and accepting it would let a tenant name another
+        tenant's datasets directly.
+        """
+        from repro.exploration.sql import tokenize_sql
+
         out: List[str] = []
-        cursor = 0
-        for match in _SQL_STRING_RE.finditer(query):
-            out.append(pattern.sub(
-                lambda m: qualify(tenant, m.group(1)), query[cursor:match.start()]))
-            out.append(match.group(0))  # string literals pass through verbatim
-            cursor = match.end()
-        out.append(pattern.sub(
-            lambda m: qualify(tenant, m.group(1)), query[cursor:]))
-        return "".join(out)
+        table_position = False
+        for token in tokenize_sql(query):
+            if token.startswith("'"):
+                out.append(token)
+                table_position = False
+                continue
+            if NAMESPACE_SEPARATOR in token:
+                raise QueryError(
+                    f"identifier {token!r} is not addressable: names "
+                    f"containing {NAMESPACE_SEPARATOR!r} are reserved")
+            if table_position:
+                out.append(qualify(tenant, token))
+            else:
+                out.append(token)
+            table_position = token.lower() in _TABLE_KEYWORDS
+        return " ".join(out)
 
     # -- lifecycle / introspection ---------------------------------------------
 
@@ -587,4 +681,27 @@ class LakeServer:
             "closed": self._closed,
             "admission": self._admission.stats(),
             "breakers": self.breakers.snapshot(),
+        }
+
+    def stats_for(self, tenant: str) -> Dict[str, Any]:
+        """The slice of :meth:`stats` *tenant* is allowed to observe.
+
+        Its own admission counts and breaker plus tenant-neutral
+        aggregates (pool shape, pending vs ceiling) — never the tenant
+        roster or anyone else's counters, which would let tenants
+        observe each other through the health op.
+        """
+        full = self.stats()
+        own = full["admission"]["tenants"].get(tenant)
+        breaker_key = f"tenant:{tenant}"
+        return {
+            "workers": full["workers"],
+            "closed": full["closed"],
+            "admission": {
+                "max_pending": full["admission"]["max_pending"],
+                "pending": full["admission"]["pending"],
+                "tenants": {tenant: own} if own is not None else {},
+            },
+            "breakers": {key: value for key, value in full["breakers"].items()
+                         if key == breaker_key},
         }

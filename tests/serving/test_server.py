@@ -135,6 +135,42 @@ class TestTenantIsolation:
         response = acme.sql("SELECT value FROM secrets")
         assert not response.ok  # beta's table does not resolve for acme
 
+    def test_qualified_foreign_name_in_sql_is_rejected(self, acme, beta):
+        # the namespace-qualified form is a serving-tier internal: using it
+        # directly must never reach the shared lake, in any clause
+        for query in ("SELECT value FROM beta__secrets",
+                      "SELECT region FROM sales JOIN beta__secrets "
+                      "ON sales.region = beta__secrets.region",
+                      "SELECT beta__secrets.value FROM sales"):
+            response = acme.sql(query)
+            assert not response.ok
+            assert response.error_type == "QueryError"
+            assert "reserved" in response.error
+        # ... but inside a string literal the separator is just data
+        value = acme.sql("SELECT region FROM sales "
+                         "WHERE region != 'beta__secrets'").raise_for_status().value
+        assert len(value["rows"]) == 3
+
+    def test_own_qualified_name_is_rejected_too(self, acme):
+        # rejecting the separator outright keeps absence and denial
+        # indistinguishable: the error never depends on who owns the name
+        response = acme.sql("SELECT amount FROM acme__sales")
+        assert response.error_type == "QueryError"
+
+    def test_column_sharing_a_dataset_name_is_not_rewritten(self, acme):
+        # only identifiers in table position are qualified: a column that
+        # happens to match a dataset's name must stay a column reference
+        acme.ingest("region", {"r": ["x"]}).raise_for_status()
+        value = acme.sql("SELECT region FROM sales").raise_for_status().value
+        assert value["rows"] == [["EU"], ["US"], ["APAC"]]
+        value = acme.sql("SELECT region FROM sales "
+                         "ORDER BY region").raise_for_status().value
+        assert value["rows"] == [["APAC"], ["EU"], ["US"]]
+
+    def test_ingest_name_with_separator_is_rejected(self, acme):
+        response = acme.ingest("beta__secrets", {"a": [1]})
+        assert response.error_type == "ValidationError"
+
     def test_sql_string_literals_survive_rewrite(self, acme):
         value = acme.sql("SELECT region FROM sales "
                          "WHERE region = 'EU'").raise_for_status().value
@@ -184,10 +220,38 @@ class TestTenantIsolation:
         value = acme.fetch("blob").raise_for_status().value
         assert value["payload"] == {"k": "v"}
 
-    def test_sql_with_empty_namespace_skips_rewrite(self, server):
+    def test_sql_with_empty_namespace_is_still_isolated(self, server):
         session = server.connect(server.register_tenant("empty"))
         response = session.sql("SELECT a FROM missing")
-        assert not response.ok  # nothing to rewrite, table simply absent
+        # table position is qualified unconditionally, so the miss lands
+        # inside the empty namespace as a typed DatasetNotFound
+        assert not response.ok
+        assert response.error_type == "DatasetNotFound"
+
+    def test_foreign_slots_counted_from_catalog_metadata(self, server, acme, beta):
+        from repro.core.dataset import Dataset
+
+        # doc lists count the union of their record keys, non-tabular
+        # payloads count zero — none of them are materialized as tables
+        server.lake.ingest(Dataset(name=qualify("beta", "docs"),
+                                   payload=[{"a": 1}, {"b": 2}], format="json"))
+        server.lake.ingest(Dataset(name=qualify("beta", "notes"),
+                                   payload="free text", format="text"))
+        # beta: secrets (2 columns) + docs (2 keys) + notes (0)
+        assert server._foreign_slots_unguarded("acme", "joinable") == 4
+        assert server._foreign_slots_unguarded("acme", "related") == 3
+        # widths are cached per catalog epoch and invalidated on ingest
+        assert server._foreign_slots_unguarded("acme", "joinable") == 4
+        beta.ingest("wide", {"x": [1], "y": [2], "z": [3]}).raise_for_status()
+        assert server._foreign_slots_unguarded("acme", "joinable") == 7
+
+    def test_joinable_discovery_tolerates_non_tabular_foreigners(self, acme, beta, server):
+        from repro.core.dataset import Dataset
+
+        server.lake.ingest(Dataset(name=qualify("beta", "notes"),
+                                   payload="free text", format="text"))
+        response = acme.discover("joinable", "sales", column="region", k=5)
+        assert response.raise_for_status().ok
 
 
 class TestQuotaEnforcement:
@@ -263,6 +327,47 @@ class TestDeadlines:
             response = session.health()
             assert response.error_type == "DeadlineExceeded"
 
+    def test_stalled_backend_is_abandoned_not_pinned(self, monkeypatch):
+        import threading
+        import time as _time
+
+        release = threading.Event()
+        with LakeServer(DataLake.in_memory(), auth=AuthRegistry(), workers=1,
+                        deadline_grace=0.05) as server:
+            session = server.connect(server.register_tenant("acme"))
+            session.ingest("t", {"a": [1]}).raise_for_status()
+            original = server.lake.sql
+
+            def stall(query):
+                release.wait(5.0)  # no cooperative checkpoint in here
+                return original(query)
+
+            monkeypatch.setattr(server.lake, "sql", stall)
+            abandoned = get_registry().counter("serving.abandoned",
+                                               tenant="acme")
+            before = abandoned.value
+            started = _time.monotonic()
+            response = session.sql("SELECT a FROM t", timeout=0.05)
+            waited = _time.monotonic() - started
+            # the caller gets a typed error shortly after deadline + grace,
+            # not whenever the stalled backend call decides to return
+            assert response.error_type == "DeadlineExceeded"
+            assert "abandoned" in response.error
+            assert waited < 2.0
+            assert abandoned.value == before + 1
+            # the admission slot stays held while the worker is busy ...
+            assert server._admission.pending() == 1
+            release.set()
+            # ... and is released once the stalled call finally completes
+            cutoff = _time.monotonic() + 5.0
+            while server._admission.pending() and _time.monotonic() < cutoff:
+                _time.sleep(0.01)
+            assert server._admission.pending() == 0
+
+    def test_deadline_grace_validated(self):
+        with pytest.raises(ValueError, match="deadline_grace"):
+            LakeServer(DataLake.in_memory(), deadline_grace=-1.0)
+
 
 class TestBreakerPath:
     def _failing_server(self):
@@ -331,6 +436,22 @@ class TestServerLifecycle:
         value = acme.health().raise_for_status().value
         assert value["healthy"] is True
         assert value["serving"]["admission"]["tenants"]["acme"]["admitted"] > 0
+
+    def test_health_is_scoped_to_the_calling_tenant(self, acme, beta):
+        # the embedded serving view must not reveal the tenant roster or
+        # another tenant's admission counts / breaker state
+        value = acme.health().raise_for_status().value
+        serving = value["serving"]
+        assert list(serving["admission"]["tenants"]) == ["acme"]
+        assert set(serving["breakers"]) <= {"tenant:acme"}
+        assert "pending" in serving["admission"]  # neutral aggregates stay
+        other = beta.health().raise_for_status().value
+        assert list(other["serving"]["admission"]["tenants"]) == ["beta"]
+
+    def test_stats_for_unknown_tenant_is_empty_but_shaped(self, server):
+        view = server.stats_for("ghost")
+        assert view["admission"]["tenants"] == {}
+        assert view["breakers"] == {}
 
     def test_serve_after_close_is_a_typed_error(self, server, acme):
         server.close()
