@@ -15,7 +15,12 @@ test run:
   the seven active rules; see ``docs/LINT.md``);
 - :mod:`repro.analysis.engine` — :class:`LintEngine` with scoping,
   pragma and allowlist suppression, and stale-allowlist detection;
-- :mod:`repro.analysis.reporters` — text and JSON output.
+- :mod:`repro.analysis.reporters` — text and JSON output;
+- :mod:`repro.analysis.project` — the whole-program layer: repo-wide
+  symbol table, interprocedural call graph, and the static lock-order /
+  guard-escape analyses (see ``docs/ANALYSIS.md``);
+- :mod:`repro.analysis.sanitizer` — the opt-in runtime lockset witness
+  (``REPRO_SANITIZE=1``) that cross-checks the static lock graph.
 
 Typical use::
 
@@ -37,7 +42,9 @@ from repro.analysis.rules import (
     BenchDeterminismRule,
     Context,
     ExceptionHygieneRule,
+    LockAcrossBlockingRule,
     LockDisciplineRule,
+    LockOrderRule,
     RegistryCoordsRule,
     Rule,
     RuntimeTracedRule,
@@ -55,7 +62,9 @@ __all__ = [
     "LintEngine",
     "LintPathError",
     "LintResult",
+    "LockAcrossBlockingRule",
     "LockDisciplineRule",
+    "LockOrderRule",
     "Module",
     "RegistryCoordsRule",
     "Rule",

@@ -82,7 +82,15 @@ class LintEngine:
     def __init__(self, rules: Optional[Sequence[Rule]] = None):
         self.rules: List[Rule] = list(rules) if rules is not None else default_rules()
 
-    def run(self, paths: Sequence[PathLike], root: Optional[PathLike] = None) -> LintResult:
+    def run(self, paths: Sequence[PathLike], root: Optional[PathLike] = None,
+            partial: bool = False) -> LintResult:
+        """Run the rule set; ``partial=True`` marks a file-subset run.
+
+        Partial runs (``lakelint --changed``) lint the files they are
+        given but suppress whole-tree judgments: stale-allowlist
+        findings and the finalize passes of cross-file rules, which
+        would otherwise report every unscanned file as missing.
+        """
         root_path = pathlib.Path(root if root is not None else ".").resolve()
         modules, findings = self._load(paths, root_path)
         for rule in self.rules:
@@ -91,11 +99,12 @@ class LintEngine:
             for rule in self.rules:
                 if rule.in_scope(module.rel):
                     findings.extend(rule.check_module(module))
-        ctx = Context(modules, root_path)
+        ctx = Context(modules, root_path, partial=partial)
         for rule in self.rules:
             findings.extend(rule.finalize(ctx))
         findings = self._apply_pragmas(findings, modules)
-        findings = self._apply_allowlists(findings, modules)
+        findings = self._apply_allowlists(findings, modules,
+                                          report_stale=not partial)
         findings.sort(key=Finding.sort_key)
         return LintResult(findings=findings, files_scanned=len(modules),
                           rules=list(self.rules))
@@ -157,7 +166,8 @@ class LintEngine:
             kept.append(finding)
         return kept
 
-    def _apply_allowlists(self, findings: List[Finding], modules: Sequence[Module]):
+    def _apply_allowlists(self, findings: List[Finding], modules: Sequence[Module],
+                          report_stale: bool = True):
         kept = list(findings)
         for rule in self.rules:
             if not rule.allowlist:
@@ -167,10 +177,11 @@ class LintEngine:
                     m.rel == suffix or m.rel.endswith("/" + suffix)
                     for m in modules)
                 if not matches_file:
-                    kept.append(rule.finding(
-                        suffix, 0,
-                        "stale allowlist entry (file not found under the "
-                        "scanned paths)"))
+                    if report_stale:
+                        kept.append(rule.finding(
+                            suffix, 0,
+                            "stale allowlist entry (file not found under the "
+                            "scanned paths)"))
                     continue
                 remaining = budget
                 filtered = []

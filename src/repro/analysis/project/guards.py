@@ -1,0 +1,177 @@
+"""Interprocedural guard-escape analysis for the breaker funnels.
+
+The intra-file ``breaker-guard`` and ``serving-context`` scanners flag a
+raw backend call (``self.relational.scan(...)``, ``self.lake.sql(...)``)
+written *directly* in a guarded module.  What they cannot see is the
+same call hidden one hop away::
+
+    # polystore.py                      # helpers.py
+    def fetch(self, name):              def direct_fetch(store, name):
+        return direct_fetch(self, …)        return store.relational.fetch(…)
+
+This module closes that hole over the
+:class:`~repro.analysis.project.model.ProjectModel` call graph.  A
+function **escapes** the guard funnel when it makes a raw backend-
+receiver call outside guard arguments *where the intra-file rule does
+not already look* (another module, so the defect would otherwise ship
+silently), or when it reaches such a function through plain calls.
+
+Sanctioned names stop propagation exactly as they stop the intra-file
+rule: a callee named ``*_unguarded`` is the call-site-visible contract
+for intentional raw access (``store()`` → ``_replicate_unguarded()`` is
+design, not a bypass), ``_guarded``/``guarded`` is the funnel itself,
+and ``__init__`` is constructor wiring.  Nested lambdas inside guard
+arguments are likewise invisible — they run under the breaker.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.project.model import FunctionInfo, ProjectModel
+from repro.analysis.walker import dotted_name
+
+#: callables that implement the breaker funnel (receiver-agnostic)
+GUARD_NAMES = frozenset({"_guarded", "guarded"})
+
+#: function-name suffix marking sanctioned raw access
+EXEMPT_SUFFIX = "_unguarded"
+
+
+def sanctioned(fn_name: str) -> bool:
+    """Names that stop escape propagation (and intra-file scanning)."""
+    return (fn_name == "__init__" or fn_name.endswith(EXEMPT_SUFFIX)
+            or fn_name in GUARD_NAMES)
+
+
+class _BodyScan:
+    """One function body: raw calls, plain callees, loose nested defs —
+    all at lexical guard depth zero, nested bodies excluded."""
+
+    __slots__ = ("raw_calls", "plain_calls", "loose_nested")
+
+    def __init__(self) -> None:
+        self.raw_calls: List[Tuple[int, str]] = []
+        self.plain_calls: List[Tuple[int, FunctionInfo]] = []
+        self.loose_nested: List[FunctionInfo] = []
+
+
+class GuardEscapeAnalysis:
+    """Escape analysis parameterized by the raw-receiver set and scope."""
+
+    def __init__(self, model: ProjectModel, raw_receivers: FrozenSet[str],
+                 in_scope: Callable[[str], bool]):
+        self.model = model
+        self.raw_receivers = raw_receivers
+        self.in_scope = in_scope
+        self._scans: Dict[FunctionInfo, _BodyScan] = {}
+        self._escapes: Dict[FunctionInfo, Optional[str]] = {}
+
+    # -- public API --------------------------------------------------------------
+
+    def findings(self) -> List[Tuple[str, int, str, str]]:
+        """(path, line, callee-description, escape-reason) per violation.
+
+        Violations are calls written in an in-scope, non-sanctioned
+        function, outside guard arguments, to a plain callee that
+        escapes the funnel somewhere the intra-file rule cannot see.
+        """
+        out: List[Tuple[str, int, str, str]] = []
+        for fn in self.model.functions.values():
+            if not self.in_scope(fn.module.rel) or sanctioned(fn.name):
+                continue
+            scan = self._scan(fn)
+            for line, target in scan.plain_calls:
+                reason = self._escape_reason(target)
+                if reason is not None:
+                    out.append((fn.module.rel, line,
+                                f"`{target.qualname}`", reason))
+        return sorted(set(out))
+
+    # -- per-function lexical scan ----------------------------------------------
+
+    def _scan(self, fn: FunctionInfo) -> _BodyScan:
+        cached = self._scans.get(fn)
+        if cached is not None:
+            return cached
+        scan = _BodyScan()
+        nested_by_node = {child.node: child for child, _d in fn.nested}
+
+        def visit(node: ast.AST, guard_depth: int) -> None:
+            child_fn = nested_by_node.get(node)
+            if child_fn is not None or isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                if child_fn is not None and guard_depth == 0:
+                    # a thunk NOT inside guard args may run unguarded
+                    scan.loose_nested.append(child_fn)
+                return
+            if isinstance(node, ast.Call):
+                func = node.func
+                is_guard = False
+                if isinstance(func, ast.Attribute):
+                    receiver = dotted_name(func.value)
+                    if (receiver is not None and guard_depth == 0
+                            and receiver.split(".")[-1] in self.raw_receivers):
+                        scan.raw_calls.append(
+                            (node.lineno, f"{receiver}.{func.attr}"))
+                    is_guard = func.attr in GUARD_NAMES
+                elif isinstance(func, ast.Name):
+                    is_guard = func.id in GUARD_NAMES
+                if guard_depth == 0:
+                    target = fn.targets.get(id(node))
+                    if target is not None and not sanctioned(target.name):
+                        scan.plain_calls.append((node.lineno, target))
+                next_depth = guard_depth + (1 if is_guard else 0)
+                for child in ast.iter_child_nodes(node):
+                    visit(child, next_depth)
+                return
+            for child in ast.iter_child_nodes(node):
+                visit(child, guard_depth)
+
+        for child in ast.iter_child_nodes(fn.node):
+            visit(child, 0)
+        self._scans[fn] = scan
+        return scan
+
+    # -- escape fixpoint ---------------------------------------------------------
+
+    def _escape_reason(self, fn: FunctionInfo,
+                       _stack: Optional[Set[FunctionInfo]] = None
+                       ) -> Optional[str]:
+        """Why *fn* escapes the funnel, or None when it is clean.
+
+        Raw calls only count as escapes where the intra-file rule does
+        not already report them: out-of-scope modules.  In-scope raw
+        sites are either flagged at source (plain functions) or
+        sanctioned (``*_unguarded`` helpers) — re-reporting them at
+        every caller would double the noise without adding coverage.
+        """
+        if fn in self._escapes:
+            return self._escapes[fn]
+        stack = _stack if _stack is not None else set()
+        if fn in stack:
+            return None
+        stack.add(fn)
+        self._escapes[fn] = None  # break cycles pessimistically
+        reason: Optional[str] = None
+        scan = self._scan(fn)
+        if not self.in_scope(fn.module.rel) and scan.raw_calls:
+            line, chain = scan.raw_calls[0]
+            reason = (f"raw backend call `{chain}(...)` at "
+                      f"{fn.module.rel}:{line}")
+        if reason is None:
+            for _line, target in scan.plain_calls:
+                inner = self._escape_reason(target, stack)
+                if inner is not None:
+                    reason = f"via `{target.qualname}` -> {inner}"
+                    break
+        if reason is None:
+            for child in scan.loose_nested:
+                inner = self._escape_reason(child, stack)
+                if inner is not None:
+                    reason = f"via nested `{child.name}` -> {inner}"
+                    break
+        stack.discard(fn)
+        self._escapes[fn] = reason
+        return reason

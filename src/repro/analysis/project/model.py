@@ -1,0 +1,626 @@
+"""The repo-wide symbol table and interprocedural call graph.
+
+:class:`ProjectModel` turns the flat list of parsed
+:class:`~repro.analysis.walker.Module` objects the lint engine already
+holds into a whole-program view:
+
+- every module gets a dotted name (``src/repro/core/lake.py`` →
+  ``repro.core.lake``) and an import map (local alias → dotted target);
+- every class gets its methods, resolved bases, property accessors, and
+  *attribute types* inferred from constructor wiring (``self.maintainer =
+  IncrementalIndexMaintainer(...)`` and annotated pass-through params
+  like ``def __init__(self, lake: DataLake): self.lake = lake``);
+- every function — top-level, method, nested ``def``, ``lambda`` — gets
+  a :class:`FunctionInfo` with its lexical call sites resolved to their
+  callees where that can be done soundly: ``self.method(...)`` through
+  the class and its bases, ``self.attr.method(...)`` through the
+  inferred attribute types, bare names through module scope and
+  ``from``-imports, ``mod.name(...)`` through module imports,
+  ``ClassName(...)`` to ``__init__``, ``super().m()`` to the base chain,
+  and ``self.prop`` attribute loads to the property getter.
+
+Two deliberate extensions beyond direct resolution:
+
+- **callback parameters**: a function that *calls one of its own
+  parameters* (the ``self._guarded(tenant, lambda: ...)`` thunk idiom)
+  gets synthetic edges to every function reference passed for that
+  parameter at its known call sites, so lock/guard effects flow through
+  higher-order helpers;
+- **deferred execution**: a nested function or lambda passed as an
+  argument to ``submit`` / ``Thread`` / ``Timer`` / ``add_done_callback``
+  runs on *another* thread, so the model records it as a separate
+  analyzable function but does **not** add a synchronous caller edge —
+  otherwise every worker body would appear to run under the locks its
+  spawner happened to hold.
+
+The ``systems.py`` registry (``@register_system(SystemInfo(name=...))``)
+is harvested into :attr:`ProjectModel.registry` as an informational
+name → class map; no speculative dispatch edges are synthesized from it.
+
+Resolution is deliberately conservative: an unresolvable call simply has
+no edge.  The analyses built on top (lock order, guard reachability)
+treat missing edges as "no effect", which keeps them quiet rather than
+noisy — the repo-wide fixture tests pin down the cases that must
+resolve.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.walker import Module, dotted_name, iter_classes, self_attribute
+
+#: callables whose function-valued arguments run on another thread/queue —
+#: no synchronous edge from the enclosing function to the passed callback
+DEFER_CALLS = frozenset({
+    "submit", "Thread", "Timer", "add_done_callback", "start_new_thread",
+    "run_in_executor", "map",
+})
+
+#: decorators marking a method as an attribute-load accessor
+PROPERTY_DECORATORS = frozenset({"property", "cached_property"})
+
+
+def module_name_for(rel: str) -> str:
+    """Dotted module name for a repo-relative path (``src/`` stripped)."""
+    name = rel[:-3] if rel.endswith(".py") else rel
+    if name.startswith("src/"):
+        name = name[4:]
+    if name.endswith("/__init__"):
+        name = name[: -len("/__init__")]
+    return name.replace("/", ".")
+
+
+class FunctionInfo:
+    """One analyzable function body: a def, method, nested def, or lambda."""
+
+    __slots__ = ("qualname", "name", "node", "module", "cls", "params",
+                 "is_property", "calls", "targets", "callees", "callers",
+                 "nested", "param_calls", "param_targets", "lineno")
+
+    def __init__(self, qualname: str, name: str, node: ast.AST,
+                 module: "ModuleInfo", cls: Optional["ClassInfo"]):
+        self.qualname = qualname
+        self.name = name
+        self.node = node
+        self.module = module
+        self.cls = cls
+        self.lineno = getattr(node, "lineno", 0)
+        args = node.args
+        names = [a.arg for a in args.posonlyargs + args.args]
+        self.params: Tuple[str, ...] = tuple(names)
+        self.is_property = False
+        #: lexical ast.Call nodes in this body (nested bodies excluded)
+        self.calls: List[ast.Call] = []
+        #: id(ast node) -> FunctionInfo for resolved calls / property loads
+        self.targets: Dict[int, "FunctionInfo"] = {}
+        #: resolved outgoing edges (synchronous execution only)
+        self.callees: Dict["FunctionInfo", None] = {}
+        #: (caller, call node) pairs for every resolved call *to* this function
+        self.callers: List[Tuple["FunctionInfo", ast.Call]] = []
+        #: (child, deferred?) for nested defs/lambdas in this body
+        self.nested: List[Tuple["FunctionInfo", bool]] = []
+        #: own parameter names this function calls as bare names
+        self.param_calls: Set[str] = set()
+        #: param name -> functions passed for it at known call sites
+        self.param_targets: Dict[str, List["FunctionInfo"]] = {}
+
+    def add_edge(self, node: Optional[ast.AST], target: "FunctionInfo") -> None:
+        self.callees.setdefault(target, None)
+        if node is not None:
+            self.targets[id(node)] = target
+            if isinstance(node, ast.Call):
+                target.callers.append((self, node))
+
+    def __repr__(self) -> str:
+        return f"FunctionInfo({self.qualname!r})"
+
+
+class ClassInfo:
+    """One class: methods, resolved bases, properties, attribute wiring."""
+
+    __slots__ = ("name", "qualname", "module", "node", "base_exprs", "bases",
+                 "methods", "properties", "attr_assigns", "attr_types",
+                 "registry_name")
+
+    def __init__(self, node: ast.ClassDef, module: "ModuleInfo"):
+        self.name = node.name
+        self.qualname = f"{module.modname}.{node.name}"
+        self.module = module
+        self.node = node
+        self.base_exprs: List[ast.expr] = list(node.bases)
+        self.bases: List["ClassInfo"] = []
+        self.methods: Dict[str, FunctionInfo] = {}
+        self.properties: Set[str] = set()
+        #: (attr, value expr, line, method name) for every ``self.x = ...``
+        self.attr_assigns: List[Tuple[str, ast.expr, int, str]] = []
+        self.attr_types: Dict[str, "ClassInfo"] = {}
+        self.registry_name: Optional[str] = None
+
+    def method(self, name: str, _seen: Optional[Set[str]] = None
+               ) -> Optional[FunctionInfo]:
+        """Look up *name* on this class, then depth-first through bases."""
+        seen = _seen if _seen is not None else set()
+        if self.qualname in seen:
+            return None
+        seen.add(self.qualname)
+        found = self.methods.get(name)
+        if found is not None:
+            return found
+        for base in self.bases:
+            found = base.method(name, seen)
+            if found is not None:
+                return found
+        return None
+
+    def attr_type(self, attr: str) -> Optional["ClassInfo"]:
+        info = self.attr_types.get(attr)
+        if info is not None:
+            return info
+        for base in self.bases:
+            info = base.attr_type(attr)
+            if info is not None:
+                return info
+        return None
+
+    def __repr__(self) -> str:
+        return f"ClassInfo({self.qualname!r})"
+
+
+class ModuleInfo:
+    """One module: its classes, top-level functions, and import map."""
+
+    __slots__ = ("module", "modname", "classes", "functions", "imports")
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.modname = module_name_for(module.rel)
+        self.classes: Dict[str, ClassInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: local alias -> dotted target ("Polystore" -> "repro.storage.polystore.Polystore")
+        self.imports: Dict[str, str] = {}
+
+    @property
+    def rel(self) -> str:
+        return self.module.rel
+
+    def __repr__(self) -> str:
+        return f"ModuleInfo({self.modname!r})"
+
+
+class CallSite:
+    """A resolved call edge with its source location, for witness chains."""
+
+    __slots__ = ("caller", "callee", "line")
+
+    def __init__(self, caller: FunctionInfo, callee: FunctionInfo, line: int):
+        self.caller = caller
+        self.callee = callee
+        self.line = line
+
+
+class ProjectModel:
+    """The whole-program view: build once per engine run, query everywhere."""
+
+    def __init__(self) -> None:
+        self.modules: List[ModuleInfo] = []
+        self.modules_by_name: Dict[str, ModuleInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.registry: Dict[str, ClassInfo] = {}
+        self.resolved_calls = 0
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def build(cls, modules: Sequence[Module]) -> "ProjectModel":
+        model = cls()
+        for module in modules:
+            model._index_module(module)
+        model._resolve_bases()
+        model._infer_attr_types()
+        model._resolve_calls()
+        model._bind_param_calls()
+        return model
+
+    def _index_module(self, module: Module) -> None:
+        info = ModuleInfo(module)
+        self.modules.append(info)
+        self.modules_by_name[info.modname] = info
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    info.imports[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    info.imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}")
+        for class_node in iter_classes(module.tree):
+            self._index_class(class_node, info)
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = self._make_function(node, info, None,
+                                         f"{info.modname}.{node.name}")
+                info.functions[node.name] = fn
+
+    def _index_class(self, class_node: ast.ClassDef, info: ModuleInfo) -> None:
+        ci = ClassInfo(class_node, info)
+        info.classes[ci.name] = ci
+        self.classes[ci.qualname] = ci
+        ci.registry_name = _registry_name(class_node)
+        for item in class_node.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            fn = self._make_function(item, info, ci,
+                                     f"{ci.qualname}.{item.name}")
+            ci.methods[item.name] = fn
+            decorators = {d.id if isinstance(d, ast.Name) else
+                          getattr(d, "attr", "") for d in item.decorator_list}
+            if decorators & PROPERTY_DECORATORS:
+                ci.properties.add(item.name)
+                fn.is_property = True
+            for stmt in ast.walk(item):
+                if isinstance(stmt, ast.Assign):
+                    for attr, value in _unpack_assign(stmt.targets, stmt.value):
+                        ci.attr_assigns.append((attr, value, stmt.lineno,
+                                                item.name))
+                elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                    attr = self_attribute(stmt.target)
+                    if attr is not None:
+                        ci.attr_assigns.append((attr, stmt.value, stmt.lineno,
+                                                item.name))
+
+    def _make_function(self, node: ast.AST, info: ModuleInfo,
+                       ci: Optional[ClassInfo], qualname: str) -> FunctionInfo:
+        name = getattr(node, "name", "<lambda>")
+        fn = FunctionInfo(qualname, name, node, info, ci)
+        self.functions[qualname] = fn
+        self._scan_body(fn, node)
+        return fn
+
+    def _scan_body(self, fn: FunctionInfo, node: ast.AST) -> None:
+        """Collect lexical calls and split out nested function bodies."""
+        defer_args = _deferred_argument_ids(node)
+        defer_names = _deferred_reference_names(node)
+        for child in ast.iter_child_nodes(node):
+            self._scan_stmt(fn, child, defer_args, defer_names)
+
+    def _scan_stmt(self, fn: FunctionInfo, node: ast.AST,
+                   defer_args: Set[int], defer_names: Set[str]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            label = getattr(node, "name", f"<lambda@{node.lineno}>")
+            child = self._make_function(
+                node, fn.module, fn.cls, f"{fn.qualname}.{label}")
+            deferred = id(node) in defer_args or label in defer_names
+            fn.nested.append((child, deferred))
+            if not deferred:
+                fn.add_edge(None, child)
+            return
+        if isinstance(node, ast.Call):
+            fn.calls.append(node)
+            more = _deferred_argument_ids(node)
+            if more:
+                defer_args = defer_args | more
+        for child in ast.iter_child_nodes(node):
+            self._scan_stmt(fn, child, defer_args, defer_names)
+
+    # -- resolution passes -------------------------------------------------------
+
+    def _resolve_bases(self) -> None:
+        for ci in self.classes.values():
+            for base in ci.base_exprs:
+                resolved = self._resolve_class_expr(base, ci.module)
+                if resolved is not None:
+                    ci.bases.append(resolved)
+
+    def _infer_attr_types(self) -> None:
+        for ci in self.classes.values():
+            init = ci.methods.get("__init__")
+            annotations = _param_annotations(init.node) if init else {}
+            for attr, value, _line, method in ci.attr_assigns:
+                resolved: Optional[ClassInfo] = None
+                if isinstance(value, ast.Call):
+                    resolved = self._resolve_class_expr(value.func, ci.module)
+                elif (isinstance(value, ast.Name) and method == "__init__"
+                        and value.id in annotations):
+                    resolved = self._resolve_class_expr(
+                        annotations[value.id], ci.module)
+                if resolved is not None:
+                    ci.attr_types.setdefault(attr, resolved)
+
+    def _resolve_calls(self) -> None:
+        for fn in list(self.functions.values()):
+            for call in fn.calls:
+                target = self._resolve_call(fn, call)
+                if target is not None:
+                    fn.add_edge(call, target)
+                    self.resolved_calls += 1
+            self._resolve_property_loads(fn)
+        for ci in self.classes.values():
+            if ci.registry_name and ci.registry_name not in self.registry:
+                self.registry[ci.registry_name] = ci
+
+    def _resolve_property_loads(self, fn: FunctionInfo) -> None:
+        """Edge to the getter for ``self.prop`` / ``self.attr.prop`` loads."""
+        call_funcs = {id(c.func) for c in fn.calls}
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Attribute) or id(node) in call_funcs:
+                continue
+            owner = self._owner_class(fn, node.value)
+            if owner is None or node.attr not in _all_properties(owner):
+                continue
+            getter = owner.method(node.attr)
+            if getter is not None:
+                fn.add_edge(node, getter)
+
+    def _bind_param_calls(self) -> None:
+        """Synthetic edges for callbacks: caller's argument → callee's call."""
+        for fn in list(self.functions.values()):
+            for call in fn.calls:
+                func = call.func
+                if (isinstance(func, ast.Name) and func.id in fn.params
+                        and func.id != "self"):
+                    fn.param_calls.add(func.id)
+        for fn in list(self.functions.values()):
+            if not fn.param_calls:
+                continue
+            offset = 1 if fn.cls is not None and fn.params[:1] == ("self",) else 0
+            positions = {p: i - offset for i, p in enumerate(fn.params)}
+            for caller, call in list(fn.callers):
+                for param in fn.param_calls:
+                    arg = _argument_for(call, param, positions.get(param))
+                    if arg is None:
+                        continue
+                    target = self._resolve_reference(caller, arg)
+                    if target is not None:
+                        fn.add_edge(None, target)
+                        targets = fn.param_targets.setdefault(param, [])
+                        if target not in targets:
+                            targets.append(target)
+
+    # -- expression resolution ---------------------------------------------------
+
+    def _resolve_call(self, fn: FunctionInfo,
+                      call: ast.Call) -> Optional[FunctionInfo]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._resolve_bare(fn, func.id)
+        if not isinstance(func, ast.Attribute):
+            return None
+        # super().m() -> first matching base method
+        if (isinstance(func.value, ast.Call)
+                and isinstance(func.value.func, ast.Name)
+                and func.value.func.id == "super" and fn.cls is not None):
+            for base in fn.cls.bases:
+                found = base.method(func.attr)
+                if found is not None:
+                    return found
+            return None
+        owner = self._owner_class(fn, func.value)
+        if owner is not None:
+            found = owner.method(func.attr)
+            if found is not None:
+                return found
+            inner = owner.attr_type(func.attr)
+            return inner.method("__call__") if inner is not None else None
+        # mod.name(...) / pkg.mod.name(...) through the import map
+        dotted = dotted_name(func)
+        if dotted is not None:
+            return self._resolve_dotted(fn.module, dotted)
+        return None
+
+    def _resolve_bare(self, fn: FunctionInfo, name: str) -> Optional[FunctionInfo]:
+        # lexically visible nested defs first (shadowing is out of scope)
+        for child, _deferred in fn.nested:
+            if child.name == name:
+                return child
+        mod = fn.module
+        if name in mod.functions:
+            return mod.functions[name]
+        if name in mod.classes:
+            return mod.classes[name].method("__init__")
+        target = mod.imports.get(name)
+        if target is not None:
+            return self._lookup_qualname(target)
+        return None
+
+    def _resolve_dotted(self, mod: ModuleInfo,
+                        dotted: str) -> Optional[FunctionInfo]:
+        head, _, rest = dotted.partition(".")
+        target = mod.imports.get(head)
+        if target is None or not rest:
+            return None
+        return self._lookup_qualname(f"{target}.{rest}")
+
+    def _lookup_qualname(self, qualname: str) -> Optional[FunctionInfo]:
+        found = self.functions.get(qualname)
+        if found is not None:
+            return found
+        ci = self.classes.get(qualname)
+        if ci is not None:
+            return ci.method("__init__")
+        # Class.method spelled through an imported class name
+        owner, _, member = qualname.rpartition(".")
+        ci = self.classes.get(owner)
+        if ci is not None and member:
+            return ci.method(member)
+        return None
+
+    def _resolve_class_expr(self, node: ast.expr,
+                            mod: ModuleInfo) -> Optional[ClassInfo]:
+        dotted = dotted_name(node)
+        if dotted is None:
+            if isinstance(node, ast.Subscript):  # Optional[X] annotations
+                return self._resolve_class_expr(node.slice, mod)
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                return self._resolve_class_by_name(node.value, mod)
+            return None
+        return self._resolve_class_by_name(dotted, mod)
+
+    def _resolve_class_by_name(self, dotted: str,
+                               mod: ModuleInfo) -> Optional[ClassInfo]:
+        if "." not in dotted:
+            if dotted in mod.classes:
+                return mod.classes[dotted]
+            target = mod.imports.get(dotted)
+            return self.classes.get(target) if target else None
+        head, _, rest = dotted.partition(".")
+        target = mod.imports.get(head)
+        if target is not None:
+            return self.classes.get(f"{target}.{rest}")
+        return self.classes.get(dotted)
+
+    def _owner_class(self, fn: FunctionInfo,
+                     receiver: ast.expr) -> Optional[ClassInfo]:
+        """The class whose instance *receiver* denotes, walking attr chains.
+
+        ``self`` → the enclosing class; ``self.a`` → ``attr_types[a]``;
+        ``self.a.b`` → one more hop.  Anything else is unresolvable.
+        """
+        parts: List[str] = []
+        node = receiver
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not (isinstance(node, ast.Name) and node.id == "self"
+                and fn.cls is not None):
+            return None
+        owner: Optional[ClassInfo] = fn.cls
+        for attr in reversed(parts):
+            if owner is None:
+                return None
+            owner = owner.attr_type(attr)
+        return owner
+
+    def _resolve_reference(self, fn: FunctionInfo,
+                           node: ast.expr) -> Optional[FunctionInfo]:
+        """A function *reference* (not call): name, self.method, or lambda."""
+        if isinstance(node, ast.Lambda):
+            for child, _deferred in fn.nested:
+                if child.node is node:
+                    return child
+            return None
+        if isinstance(node, ast.Name):
+            return self._resolve_bare(fn, node.id)
+        if isinstance(node, ast.Attribute):
+            owner = self._owner_class(fn, node.value)
+            if owner is not None:
+                return owner.method(node.attr)
+        return None
+
+
+# -- small helpers ----------------------------------------------------------------
+
+
+def _unpack_assign(targets: List[ast.expr],
+                   value: ast.expr) -> List[Tuple[str, ast.expr]]:
+    """``self.x = v`` pairs, unpacking tuple targets pairwise with values."""
+    pairs: List[Tuple[str, ast.expr]] = []
+    for target in targets:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            values = (value.elts if isinstance(value, (ast.Tuple, ast.List))
+                      and len(value.elts) == len(target.elts)
+                      else [None] * len(target.elts))
+            for element, element_value in zip(target.elts, values):
+                attr = self_attribute(element)
+                if attr is not None and element_value is not None:
+                    pairs.append((attr, element_value))
+        else:
+            attr = self_attribute(target)
+            if attr is not None:
+                pairs.append((attr, value))
+    return pairs
+
+
+def _param_annotations(node: ast.AST) -> Dict[str, ast.expr]:
+    args = node.args
+    return {a.arg: a.annotation
+            for a in args.posonlyargs + args.args + args.kwonlyargs
+            if a.annotation is not None}
+
+
+def _deferred_argument_ids(node: ast.AST) -> Set[int]:
+    """ids of nested-def/lambda nodes passed to thread-spawning calls."""
+    if not isinstance(node, ast.Call):
+        return set()
+    func = node.func
+    name = (func.attr if isinstance(func, ast.Attribute)
+            else func.id if isinstance(func, ast.Name) else "")
+    if name not in DEFER_CALLS:
+        return set()
+    out: Set[int] = set()
+    for arg in list(node.args) + [kw.value for kw in node.keywords]:
+        if isinstance(arg, (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef)):
+            out.add(id(arg))
+    return out
+
+
+def _deferred_reference_names(node: ast.AST) -> Set[str]:
+    """Names passed *by reference* to thread-spawning calls in this body.
+
+    Covers the two-statement shape ``def task(): ...`` then
+    ``pool.submit(task)``: the def node is not an argument, so
+    :func:`_deferred_argument_ids` cannot mark it, but it runs on
+    another thread all the same.  Scanning the whole lexical body (the
+    submit usually follows the def) over-defers a nested def that is
+    *both* called directly and submitted — acceptable: deferral only
+    removes the synchronous edge, and the function stays analyzable on
+    its own.
+    """
+    out: Set[str] = set()
+    for call in ast.walk(node):
+        if not isinstance(call, ast.Call):
+            continue
+        func = call.func
+        name = (func.attr if isinstance(func, ast.Attribute)
+                else func.id if isinstance(func, ast.Name) else "")
+        if name not in DEFER_CALLS:
+            continue
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            if isinstance(arg, ast.Name):
+                out.add(arg.id)
+    return out
+
+
+def _argument_for(call: ast.Call, param: str,
+                  position: Optional[int]) -> Optional[ast.expr]:
+    for kw in call.keywords:
+        if kw.arg == param:
+            return kw.value
+    if position is not None and 0 <= position < len(call.args):
+        arg = call.args[position]
+        if not isinstance(arg, ast.Starred):
+            return arg
+    return None
+
+
+def _all_properties(ci: ClassInfo, _seen: Optional[Set[str]] = None) -> Set[str]:
+    seen = _seen if _seen is not None else set()
+    if ci.qualname in seen:
+        return set()
+    seen.add(ci.qualname)
+    names = set(ci.properties)
+    for base in ci.bases:
+        names |= _all_properties(base, seen)
+    return names
+
+
+def _registry_name(class_node: ast.ClassDef) -> Optional[str]:
+    """The ``name=`` of an ``@register_system(SystemInfo(name=...))`` decorator."""
+    for dec in class_node.decorator_list:
+        if not (isinstance(dec, ast.Call)
+                and dotted_name(dec.func) in ("register_system",
+                                              "repro.core.registry.register_system")):
+            continue
+        for arg in dec.args:
+            if isinstance(arg, ast.Call):
+                for kw in arg.keywords:
+                    if (kw.arg == "name" and isinstance(kw.value, ast.Constant)
+                            and isinstance(kw.value.value, str)):
+                        return kw.value.value
+    return None

@@ -15,6 +15,7 @@ from repro.analysis.rules.determinism import BenchDeterminismRule
 from repro.analysis.rules.exceptions import BareExceptRule, ExceptionHygieneRule
 from repro.analysis.rules.instrumentation import RuntimeTracedRule, TracedManifestRule
 from repro.analysis.rules.lock_discipline import LockDisciplineRule
+from repro.analysis.rules.lock_order import LockAcrossBlockingRule, LockOrderRule
 from repro.analysis.rules.registry_coords import RegistryCoordsRule
 from repro.analysis.rules.serving_context import ServingContextRule
 
@@ -26,7 +27,9 @@ __all__ = [
     "Context",
     "ContextPropagationRule",
     "ExceptionHygieneRule",
+    "LockAcrossBlockingRule",
     "LockDisciplineRule",
+    "LockOrderRule",
     "RegistryCoordsRule",
     "Rule",
     "RuntimeTracedRule",
@@ -44,6 +47,8 @@ def default_rules():
         BareExceptRule(),
         ExceptionHygieneRule(),
         LockDisciplineRule(),
+        LockOrderRule(),
+        LockAcrossBlockingRule(),
         RegistryCoordsRule(),
         BenchDeterminismRule(),
         BreakerGuardRule(),

@@ -56,6 +56,8 @@ class TracedManifestRule(Rule):
         return self._manifest
 
     def finalize(self, ctx: Context) -> List[Finding]:
+        if ctx.partial:
+            return []  # file-subset run: absent files are not stale entries
         findings: List[Finding] = []
         for rel_path, class_name, method_name in self.manifest:
             module = ctx.find(rel_path)
@@ -113,6 +115,8 @@ class RuntimeTracedRule(Rule):
         return findings
 
     def finalize(self, ctx: Context) -> List[Finding]:
+        if ctx.partial:
+            return []  # file-subset run: the package is simply not in the set
         if self.require_package and not self._saw_package:
             return [self.finding(
                 "repro/runtime", 0,

@@ -60,6 +60,30 @@ def _callee_base_name(call: ast.Call) -> str:
     return ""
 
 
+def _assign_pairs(targets, value):
+    """(target, value) pairs, unpacking parallel tuple/list assignments.
+
+    ``self._a, self._b = threading.Lock(), []`` pairs each element with
+    its own value so the lock is classified as a lock, not as protected
+    state (a missed lock silences every mutation check on the class).
+    A tuple target whose value shape is unknown (a call, a name) yields
+    ``(element, None)`` — conservatively not a lock.
+    """
+    for target in targets:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            if (isinstance(value, (ast.Tuple, ast.List))
+                    and len(value.elts) == len(target.elts)):
+                for element, element_value in zip(target.elts, value.elts):
+                    yield from _assign_pairs([element], element_value)
+            else:
+                for element in target.elts:
+                    yield element, None
+        elif isinstance(target, ast.Starred):
+            yield target.value, None
+        else:
+            yield target, value
+
+
 def _classify_init(init_node: ast.AST) -> Tuple[Set[str], Set[str]]:
     """(lock attrs, protected attrs) from the assignments in ``__init__``."""
     locks: Set[str] = set()
@@ -71,12 +95,12 @@ def _classify_init(init_node: ast.AST) -> Tuple[Set[str], Set[str]]:
             targets, value = [node.target], node.value
         else:
             continue
-        for target in targets:
+        for target, target_value in _assign_pairs(targets, value):
             attr = self_attribute(target)
             if attr is None:
                 continue
-            factory = (_callee_base_name(value)
-                       if isinstance(value, ast.Call) else "")
+            factory = (_callee_base_name(target_value)
+                       if isinstance(target_value, ast.Call) else "")
             if factory in LOCK_FACTORIES:
                 locks.add(attr)
             elif factory in THREAD_LOCAL_FACTORIES:
@@ -99,8 +123,12 @@ class _MutationScanner(ast.NodeVisitor):
 
     def _holds_lock(self, with_node) -> bool:
         for item in with_node.items:
-            attr = self_attribute(item.context_expr)
-            if attr in self.locks:
+            expr = item.context_expr
+            # `with (self._a, self._b):` parses as a Tuple context_expr on
+            # some grammars — treat its elements as individual items
+            elements = expr.elts if isinstance(expr, ast.Tuple) else [expr]
+            if any(self_attribute(element) in self.locks
+                   for element in elements):
                 return True
         return False
 

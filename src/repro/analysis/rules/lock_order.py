@@ -1,0 +1,62 @@
+"""Whole-program lock rules: ``lock-order`` and ``lock-across-blocking``.
+
+Both are finalize-only rules over the shared
+:class:`~repro.analysis.project.locks.LockAnalysis` (built once per
+engine run via ``ctx.locks()``): per-module scanning cannot see a lock
+edge that crosses files, so there is no ``check_module`` half.
+
+``lock-order`` reports every cycle in the repo-wide lock-order graph
+(two threads taking the same pair of locks in opposite orders is the
+classic deadlock) and every non-reentrant self-acquisition (a plain
+``Lock`` re-entered by its own holder deadlocks alone; a nested
+ReadWriteLock acquisition deadlocks against writer preference).
+
+``lock-across-blocking`` reports tracked locks held across blocking
+primitives (``submit``/``result``/``join``/``wait``/``drain``/
+``sleep``) or backend/lake I/O, found lexically or through the call
+graph — one slow I/O under a hot lock stalls every thread contending
+for it.
+
+Both rules skip partial (``--changed``) runs: a file subset cannot
+prove or refute a whole-program property.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Context, Rule
+
+
+class LockOrderRule(Rule):
+    """The repo-wide lock-order graph stays cycle-free."""
+
+    name = "lock-order"
+    description = ("the whole-program lock-acquisition graph (with/"
+                   "ReadWriteLock/guard-helper acquisitions propagated "
+                   "along the call graph) must have no cycles and no "
+                   "non-reentrant self-acquisition — each is a potential "
+                   "deadlock")
+
+    def finalize(self, ctx: Context) -> List[Finding]:
+        if ctx.partial:
+            return []  # a file subset cannot prove a whole-program property
+        return [self.finding(path, line, message)
+                for path, line, message in ctx.locks().cycle_reports()]
+
+
+class LockAcrossBlockingRule(Rule):
+    """No tracked lock is held across a blocking call or backend I/O."""
+
+    name = "lock-across-blocking"
+    description = ("no threading lock may be held across submit/result/"
+                   "join/wait/drain/sleep or backend/lake I/O (directly or "
+                   "through callees) — one slow call under a hot lock "
+                   "stalls every contending thread")
+
+    def finalize(self, ctx: Context) -> List[Finding]:
+        if ctx.partial:
+            return []
+        return [self.finding(path, line, message)
+                for path, line, message in ctx.locks().blocking_reports()]

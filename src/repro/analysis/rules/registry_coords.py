@@ -167,6 +167,8 @@ class RegistryCoordsRule(Rule):
     # -- cross-file checks -------------------------------------------------------
 
     def finalize(self, ctx: Context) -> List[Finding]:
+        if ctx.partial:
+            return []  # whole-tree judgments need the whole tree
         findings: List[Finding] = []
         findings.extend(self._check_duplicates())
         findings.extend(self._check_systems_manifest(ctx))

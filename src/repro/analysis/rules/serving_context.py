@@ -16,7 +16,7 @@ below it.  This rule makes the funnels checkable inside
   ``server.lake.…``) must happen lexically inside an argument to a
   ``_guarded(...)`` call; sanctioned raw access lives in ``__init__``,
   the guard implementation itself, or a ``*_unguarded`` helper (the same
-  conventions as the ``breaker-guarded`` rule);
+  conventions as the ``breaker-guard`` rule);
 - any function that dispatches to handlers (references a ``_handle_*``
   attribute or name) must also reference ``request_context`` — the
   dispatcher is the one place the request identity can be opened before
@@ -25,6 +25,13 @@ below it.  This rule makes the funnels checkable inside
   ``tenant=`` keyword: an anonymous serving context defeats per-tenant
   attribution, which the fairness benchmark and the quota accounting
   both read.
+
+With the whole-program project model, the lake-funnel half is also
+enforced *interprocedurally*: a serving function that reaches a raw
+``.lake.…`` call through a plain helper chain — including one living in
+another module, where this file-scoped scanner never looks — is
+reported at the in-scope call site, with the escape path in the
+message.
 
 Inline ``# lakelint: disable=serving-context`` pragmas and per-file
 allowlist budgets remain available for one-off exceptions.
@@ -36,7 +43,7 @@ import ast
 from typing import List, Tuple
 
 from repro.analysis.findings import Finding
-from repro.analysis.rules.base import Rule
+from repro.analysis.rules.base import Context, Rule
 from repro.analysis.walker import Module, dotted_name
 
 #: the attribute naming the shared backend a serving handler must guard
@@ -168,3 +175,19 @@ class ServingContextRule(Rule):
         )
         findings.sort(key=lambda f: f.line)
         return findings
+
+    def finalize(self, ctx: Context) -> List[Finding]:
+        if ctx.partial:
+            return []  # escape analysis needs the whole call graph
+        from repro.analysis.project.guards import GuardEscapeAnalysis
+        analysis = GuardEscapeAnalysis(ctx.project(), frozenset({LAKE_ATTR}),
+                                       self.in_scope)
+        return [
+            self.finding(
+                path, line,
+                f"call to {callee} reaches a raw lake call outside the "
+                f"per-tenant breaker funnel ({reason}) — guard the call "
+                f"here or rename the helper chain *_unguarded if raw "
+                f"access is intentional")
+            for path, line, callee, reason in analysis.findings()
+        ]

@@ -1,0 +1,297 @@
+"""Dynamic lockset sanitizer: an Eraser-style runtime witness for tests.
+
+The static ``lock-order`` rule proves the *modeled* lock graph is
+cycle-free; this module watches the *actual* one.  While installed, the
+``threading.Lock`` / ``threading.RLock`` factories return delegating
+wrappers that record, per thread, which tracked locks are held whenever
+another is acquired.  Every (held -> acquired) pair becomes an edge in a
+runtime lock-order graph; a cycle in that graph is an **order
+inversion** — two code paths that take the same locks in opposite
+orders, i.e. a deadlock waiting for the right interleaving.  Cycles are
+found with the same :func:`~repro.analysis.project.locks.find_cycles`
+the static analysis uses, so both layers report candidates identically.
+
+Design points:
+
+- **identity is the creation site** (``file:line`` of the factory
+  call), matching how the static analysis names locks and keeping the
+  graph small even when tests construct thousands of short-lived
+  instances;
+- **re-entrant acquisitions are invisible**: only the 0 -> 1 ownership
+  transition of an ``RLock`` records an acquisition, so recursive
+  helpers produce no self-edges;
+- ``threading.Condition`` needs no wrapper of its own — its default
+  lock comes from the patched ``RLock`` factory, and the wrapper
+  implements the private ``_release_save`` / ``_acquire_restore`` /
+  ``_is_owned`` protocol, so ``Condition.wait`` correctly shows the
+  lock released while waiting (and ``threading.Event``, built on
+  ``Condition``, keeps working untouched);
+- the collector serializes its bookkeeping with a **pre-patch** lock,
+  so the sanitizer never traces itself;
+- per-lock **max-hold-time** is recorded as a bonus: the runtime twin
+  of the static ``lock-across-blocking`` rule.
+
+Usage (what ``tests/conftest.py`` wires up under ``REPRO_SANITIZE=1``)::
+
+    sanitizer = LockSanitizer()
+    sanitizer.install()
+    try:
+        ...  # run the workload
+    finally:
+        sanitizer.uninstall()
+    sanitizer.write("lockset_report.json")
+    sanitizer.assert_clean()
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.project.locks import find_cycles
+
+#: JSON payload schema tag, bumped on breaking report changes
+SCHEMA = "repro.analysis/lockset-v1"
+
+_THIS_FILE = os.path.abspath(__file__)
+_THREADING_FILE = os.path.abspath(threading.__file__)
+
+
+def _creation_site(root: str) -> str:
+    """``path:line`` of the frame that called the lock factory.
+
+    Frames inside this module and inside :mod:`threading` are skipped so
+    a ``Condition()`` (which builds its ``RLock`` inside threading.py)
+    is attributed to the user code that created it.
+    """
+    frame = sys._getframe(1)
+    while frame is not None:
+        filename = os.path.abspath(frame.f_code.co_filename)
+        if filename not in (_THIS_FILE, _THREADING_FILE):
+            rel = filename
+            if rel.startswith(root + os.sep):
+                rel = rel[len(root) + 1:]
+            return f"{rel.replace(os.sep, '/')}:{frame.f_lineno}"
+        frame = frame.f_back
+    return "<unknown>:0"
+
+
+class _Collector:
+    """Thread-safe event sink: held stacks, site stats, order edges."""
+
+    def __init__(self, guard_factory):
+        # a pre-patch lock: the sanitizer must never trace itself
+        self._guard = guard_factory()
+        self._held: Dict[int, List[Tuple[str, float]]] = {}
+        self.sites: Dict[str, Dict[str, Any]] = {}
+        self.edges: Dict[Tuple[str, str], int] = {}
+
+    def register(self, site: str, kind: str) -> None:
+        with self._guard:
+            record = self.sites.setdefault(site, {
+                "site": site, "kind": kind, "instances": 0,
+                "acquisitions": 0, "max_hold_ms": 0.0})
+            record["instances"] += 1
+
+    def on_acquire(self, site: str) -> None:
+        now = time.monotonic()
+        ident = threading.get_ident()
+        with self._guard:
+            stack = self._held.setdefault(ident, [])
+            self.sites[site]["acquisitions"] += 1
+            for held_site, _since in stack:
+                if held_site != site:
+                    key = (held_site, site)
+                    self.edges[key] = self.edges.get(key, 0) + 1
+            stack.append((site, now))
+
+    def on_release(self, site: str) -> None:
+        now = time.monotonic()
+        ident = threading.get_ident()
+        with self._guard:
+            stack = self._held.get(ident, ())
+            # plain Locks may legally be released by another thread
+            # (handoff); such releases simply leave no hold-time sample
+            for index in range(len(stack) - 1, -1, -1):
+                if stack[index][0] == site:
+                    _site, since = stack.pop(index)
+                    record = self.sites[site]
+                    record["max_hold_ms"] = max(
+                        record["max_hold_ms"],
+                        round((now - since) * 1000.0, 3))
+                    return
+
+
+class _TracedLock:
+    """Delegating wrapper around a real ``threading`` lock object."""
+
+    def __init__(self, inner, site: str, collector: _Collector):
+        self._inner = inner
+        self._site = site
+        self._collector = collector
+        self._depth = 0
+
+    # -- core protocol -----------------------------------------------------------
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            # mutation is safe: for a plain Lock only the winner gets
+            # here; for an RLock depth > 0 only the owner re-enters
+            self._depth += 1
+            if self._depth == 1:
+                self._collector.on_acquire(self._site)
+        return acquired
+
+    def release(self) -> None:
+        depth = self._depth
+        self._inner.release()  # raises if not held — before our bookkeeping
+        self._depth = depth - 1
+        if depth == 1:
+            self._collector.on_release(self._site)
+
+    acquire_lock = acquire
+    release_lock = release
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.release()
+        return False
+
+    def __getattr__(self, name: str):
+        return getattr(self._inner, name)
+
+    def __repr__(self) -> str:
+        return f"<sanitized {self._inner!r} from {self._site}>"
+
+
+class _TracedRLock(_TracedLock):
+    """RLock wrapper speaking ``Condition``'s private lock protocol."""
+
+    def _is_owned(self) -> bool:
+        return self._inner._is_owned()
+
+    def _release_save(self):
+        state = self._inner._release_save()  # drops all recursion levels
+        depth, self._depth = self._depth, 0
+        self._collector.on_release(self._site)
+        return (state, depth)
+
+    def _acquire_restore(self, saved) -> None:
+        state, depth = saved
+        self._inner._acquire_restore(state)
+        self._depth = depth
+        self._collector.on_acquire(self._site)
+
+    def _at_fork_reinit(self) -> None:
+        self._inner._at_fork_reinit()
+        self._depth = 0
+
+
+class LockSanitizer:
+    """Patches the ``threading`` lock factories and collects the report."""
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = os.path.abspath(root or os.getcwd())
+        self._original_lock = None
+        self._original_rlock = None
+        self.collector: Optional[_Collector] = None
+
+    # -- install / uninstall -----------------------------------------------------
+
+    @property
+    def installed(self) -> bool:
+        return self._original_lock is not None
+
+    def install(self) -> "LockSanitizer":
+        if self.installed:
+            return self
+        self._original_lock = threading.Lock
+        self._original_rlock = threading.RLock
+        self.collector = _Collector(self._original_lock)
+        root, collector = self.root, self.collector
+        original_lock, original_rlock = self._original_lock, self._original_rlock
+
+        def make_lock():
+            site = _creation_site(root)
+            collector.register(site, "Lock")
+            return _TracedLock(original_lock(), site, collector)
+
+        def make_rlock():
+            site = _creation_site(root)
+            collector.register(site, "RLock")
+            return _TracedRLock(original_rlock(), site, collector)
+
+        threading.Lock = make_lock
+        threading.RLock = make_rlock
+        return self
+
+    def uninstall(self) -> None:
+        if not self.installed:
+            return
+        threading.Lock = self._original_lock
+        threading.RLock = self._original_rlock
+        self._original_lock = None
+        self._original_rlock = None
+
+    def __enter__(self) -> "LockSanitizer":
+        return self.install()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.uninstall()
+        return False
+
+    # -- reporting ---------------------------------------------------------------
+
+    def inversions(self) -> List[List[str]]:
+        """Cycles in the observed lock-order graph (deadlock candidates)."""
+        if self.collector is None:
+            return []
+        graph: Dict[str, List[str]] = {}
+        for (held, acquired) in self.collector.edges:
+            graph.setdefault(held, []).append(acquired)
+        return [[str(node) for node in cycle]
+                for cycle in find_cycles(graph)]
+
+    def report(self) -> Dict[str, Any]:
+        collector = self.collector
+        if collector is None:
+            return {"schema": SCHEMA, "locks": [], "edges": [],
+                    "inversions": [], "clean": True}
+        inversions = self.inversions()
+        return {
+            "schema": SCHEMA,
+            "locks": sorted(collector.sites.values(),
+                            key=lambda rec: rec["site"]),
+            "edges": [{"held": held, "acquired": acquired, "count": count}
+                      for (held, acquired), count
+                      in sorted(collector.edges.items())],
+            "inversions": inversions,
+            "clean": not inversions,
+        }
+
+    def write(self, path) -> Dict[str, Any]:
+        payload = self.report()
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        return payload
+
+    def assert_clean(self) -> None:
+        inversions = self.inversions()
+        if inversions:
+            rendered = "; ".join(
+                " -> ".join(cycle + [cycle[0]]) for cycle in inversions)
+            raise AssertionError(
+                f"lockset sanitizer observed {len(inversions)} lock-order "
+                f"inversion(s): {rendered}")

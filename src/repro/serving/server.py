@@ -429,7 +429,10 @@ class LakeServer:
         qualified = qualify(tenant, request.name)
         source = request.source or f"serving:{tenant}"
         with self._ingest_lock:
-            self._guarded(tenant, lambda: self.lake.ingest_table(
+            # writes are serialized on purpose: concurrent ingest into the
+            # same backing store is what the lock exists to prevent, so the
+            # backend call must happen under it
+            self._guarded(tenant, lambda: self.lake.ingest_table(  # lakelint: disable=lock-across-blocking
                 qualified, request.data, source=source))
         rows = max((len(v) for v in request.data.values()), default=0)
         return {"name": request.name, "rows": rows}

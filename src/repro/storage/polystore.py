@@ -9,7 +9,7 @@ exploration tier can locate any dataset.
 
 Resilience (see ``docs/FAULTS.md``): every cross-backend call funnels
 through a per-backend :class:`~repro.faults.breaker.CircuitBreaker` (the
-``breaker-guarded`` lint rule enforces this), failed calls are retried per
+``breaker-guard`` lint rule enforces this), failed calls are retried per
 the :class:`~repro.faults.breaker.ResilienceConfig` retry policy, and when
 a primary backend stays down the polystore *degrades* instead of failing:
 

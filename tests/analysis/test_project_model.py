@@ -1,0 +1,160 @@
+"""The whole-program project model: symbol table, import resolution,
+call-graph edges (self-methods, cross-module, properties, callbacks),
+and the systems-registry harvest."""
+
+import pathlib
+import textwrap
+
+from repro.analysis.project import ProjectModel
+from repro.analysis.project.model import module_name_for
+from repro.analysis.walker import parse_module
+
+
+def _build(tmp_path, files):
+    modules = []
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source).lstrip("\n"))
+        modules.append(parse_module(path, rel))
+    return ProjectModel.build(modules)
+
+
+def _callee_names(fn):
+    return {callee.qualname for callee in fn.callees}
+
+
+class TestModuleNames:
+    def test_src_prefix_and_init_are_stripped(self):
+        assert module_name_for("src/repro/core/lake.py") == "repro.core.lake"
+        assert module_name_for("src/repro/obs/__init__.py") == "repro.obs"
+        assert module_name_for("pkg/a.py") == "pkg.a"
+
+
+class TestCallResolution:
+    FILES = {
+        "pkg/__init__.py": "",
+        "pkg/util.py": """
+            def helper():
+                return 1
+        """,
+        "pkg/main.py": """
+            from pkg import util
+            from pkg.util import helper
+
+            class Engine:
+                def __init__(self):
+                    self.friend = Friend()
+
+                def run(self):
+                    self.step()
+                    util.helper()
+                    helper()
+                    self.friend.ping()
+
+                def step(self):
+                    pass
+
+            class Friend:
+                def ping(self):
+                    pass
+        """,
+    }
+
+    def test_self_module_and_attribute_calls_resolve(self, tmp_path):
+        model = _build(tmp_path, self.FILES)
+        run = model.functions["pkg.main.Engine.run"]
+        assert _callee_names(run) == {
+            "pkg.main.Engine.step",      # self.step()
+            "pkg.util.helper",           # util.helper() and bare helper()
+            "pkg.main.Friend.ping",      # self.friend.ping() via attr type
+        }
+
+    def test_callers_is_the_reverse_view(self, tmp_path):
+        model = _build(tmp_path, self.FILES)
+        helper = model.functions["pkg.util.helper"]
+        assert "pkg.main.Engine.run" in {fn.qualname
+                                         for fn, _call in helper.callers}
+
+
+class TestPropertyEdges:
+    def test_property_load_reaches_the_getter(self, tmp_path):
+        model = _build(tmp_path, {"mod.py": """
+            class Lake:
+                @property
+                def discovery(self):
+                    return self._build()
+
+                def _build(self):
+                    pass
+
+                def use(self):
+                    return self.discovery
+        """})
+        use = model.functions["mod.Lake.use"]
+        assert "mod.Lake.discovery" in _callee_names(use)
+
+
+class TestDeferredCallbacks:
+    def test_submitted_nested_def_gets_no_synchronous_edge(self, tmp_path):
+        model = _build(tmp_path, {"mod.py": """
+            class Runner:
+                def kick(self):
+                    def task():
+                        self.work()
+                    self.pool.submit(task)
+                    return task
+
+                def work(self):
+                    pass
+        """})
+        kick = model.functions["mod.Runner.kick"]
+        # the nested task exists in the model but runs on another thread,
+        # so kick() must not inherit its effects synchronously
+        assert "mod.Runner.kick.task" in model.functions
+        assert "mod.Runner.kick.task" not in _callee_names(kick)
+
+    def test_plain_nested_def_is_a_synchronous_edge(self, tmp_path):
+        model = _build(tmp_path, {"mod.py": """
+            class Runner:
+                def kick(self):
+                    def step():
+                        self.work()
+                    step()
+
+                def work(self):
+                    pass
+        """})
+        kick = model.functions["mod.Runner.kick"]
+        assert "mod.Runner.kick.step" in _callee_names(kick)
+
+
+class TestParamCallbackBinding:
+    def test_callback_param_binds_to_references_at_call_sites(self, tmp_path):
+        model = _build(tmp_path, {"mod.py": """
+            def apply(cb):
+                return cb()
+
+            def target():
+                pass
+
+            def driver():
+                apply(target)
+        """})
+        apply_fn = model.functions["mod.apply"]
+        assert "mod.target" in {fn.qualname
+                                for fn in apply_fn.param_targets.get("cb", ())}
+
+
+class TestRegistryHarvest:
+    def test_register_system_names_are_collected(self, tmp_path):
+        model = _build(tmp_path, {"sys.py": """
+            from repro.core.registry import SystemInfo, register_system
+
+            @register_system(SystemInfo(name="Aurum", tier="metadata"))
+            class AurumSystem:
+                pass
+        """})
+        harvested = model.registry.get("Aurum")
+        assert harvested is not None
+        assert harvested.qualname == "sys.AurumSystem"

@@ -95,6 +95,71 @@ class TestLockDiscipline:
         """})
         assert _run(LockDisciplineRule(), tmp_path) == []
 
+    def test_tuple_assigned_lock_is_recognized(self, tmp_path):
+        # regression: `self._lock, self._count = threading.Lock(), 0` used
+        # to classify nothing — no lock found, every mutation check muted
+        _tree(tmp_path, {"repro/runtime/counter.py": """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock, self._count = threading.Lock(), 0
+
+                def bump(self):
+                    self._count += 1
+        """})
+        findings = _run(LockDisciplineRule(), tmp_path)
+        assert len(findings) == 1
+        assert "self._count" in findings[0].message
+
+    def test_tuple_assigned_lock_is_not_protected_state(self, tmp_path):
+        # the lock element itself must land in `locks`, not `protected`
+        _tree(tmp_path, {"repro/runtime/counter.py": """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock, self._count = threading.Lock(), 0
+
+                def bump(self):
+                    with self._lock:
+                        self._count += 1
+        """})
+        assert _run(LockDisciplineRule(), tmp_path) == []
+
+    def test_multi_item_with_counts_as_held(self, tmp_path):
+        _tree(tmp_path, {"repro/runtime/counter.py": """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+                    self._count = 0
+
+                def bump(self, other):
+                    with other.guard(), self._a:
+                        self._count += 1
+        """})
+        assert _run(LockDisciplineRule(), tmp_path) == []
+
+    def test_tuple_unpack_from_call_stays_protected(self, tmp_path):
+        # value shape unknown -> conservatively state, so mutations still flag
+        _tree(tmp_path, {"repro/runtime/counter.py": """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._head, self._tail = self._split()
+
+                def bump(self):
+                    self._head += 1
+        """})
+        findings = _run(LockDisciplineRule(), tmp_path)
+        assert len(findings) == 1
+        assert "self._head" in findings[0].message
+
     def test_out_of_scope_package_is_ignored(self, tmp_path):
         self._fixture(tmp_path, "self._count += 1")
         source = (tmp_path / "repro/runtime/counter.py").read_text()
@@ -280,7 +345,7 @@ class TestBreakerGuarded:
                 return self.relational.scan(name)
         """)
         assert len(findings) == 1
-        assert findings[0].rule == "breaker-guarded"
+        assert findings[0].rule == "breaker-guard"
         assert "self.relational.scan" in findings[0].message
 
     def test_call_inside_guard_thunk_is_clean(self, tmp_path):
@@ -331,6 +396,47 @@ class TestBreakerGuarded:
                 def f(self):
                     return self.relational.scan("t")
         """})
+        assert _run(BreakerGuardRule(), tmp_path) == []
+
+    def test_escape_through_other_module_fires_at_call_site(self, tmp_path):
+        # interprocedural: the raw call lives where the lexical scanner
+        # never looks, so the finding lands on the in-scope call site
+        _tree(tmp_path, {
+            "repro/storage/polystore.py": """
+                from repro.storage import helpers
+
+                class Polystore:
+                    def fetch(self, name):
+                        return helpers.direct_fetch(self, name)
+            """,
+            "repro/storage/helpers.py": """
+                def direct_fetch(store, name):
+                    return store.relational.fetch(name)
+            """,
+        })
+        findings = _run(BreakerGuardRule(), tmp_path)
+        assert len(findings) == 1
+        assert findings[0].path == "repro/storage/polystore.py"
+        assert findings[0].line == 6
+        assert "direct_fetch" in findings[0].message
+        assert "helpers.py:3" in findings[0].message
+
+    def test_escape_through_unguarded_helper_is_sanctioned(self, tmp_path):
+        # *_unguarded is the call-site-visible contract for raw access —
+        # propagation stops there even across modules
+        _tree(tmp_path, {
+            "repro/storage/polystore.py": """
+                from repro.storage import helpers
+
+                class Polystore:
+                    def fetch(self, name):
+                        return helpers.fetch_unguarded(self, name)
+            """,
+            "repro/storage/helpers.py": """
+                def fetch_unguarded(store, name):
+                    return store.relational.fetch(name)
+            """,
+        })
         assert _run(BreakerGuardRule(), tmp_path) == []
 
 
@@ -618,7 +724,8 @@ class TestDefaultRules:
         assert len(names) == len(set(names))
         assert {"traced-manifest", "runtime-traced", "bare-except",
                 "exception-hygiene", "lock-discipline", "registry-coords",
-                "bench-determinism", "breaker-guarded",
+                "bench-determinism", "breaker-guard",
+                "lock-order", "lock-across-blocking",
                 "cache-epoch", "context-propagation",
                 "serving-context"} <= set(names)
         assert all(a is not b for a, b in zip(first, second))

@@ -1,11 +1,46 @@
-"""Shared fixtures: small deterministic tables and generated workloads."""
+"""Shared fixtures: small deterministic tables and generated workloads.
 
+Setting ``REPRO_SANITIZE=1`` additionally arms the dynamic lockset
+sanitizer (:mod:`repro.analysis.sanitizer`) for the whole session: every
+``threading.Lock``/``RLock`` the tests create is traced, the observed
+lock-order graph is written to ``lockset_report.json`` at the repo root,
+and the session errors if any cross-thread order inversion was
+witnessed.  See ``docs/TESTING.md``.
+"""
+
+import os
+import pathlib
 import random
 
 import pytest
 
 from repro.core.dataset import Dataset, Table
 from repro.datagen import LakeGenerator
+
+_REPO_ROOT = pathlib.Path(__file__).parent.parent
+_LOCKSET_PATH = _REPO_ROOT / "lockset_report.json"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def lockset_sanitizer():
+    """Opt-in runtime lock witness for the whole test session."""
+    if os.environ.get("REPRO_SANITIZE") != "1":
+        yield
+        return
+    from repro.analysis.sanitizer import LockSanitizer
+
+    sanitizer = LockSanitizer(root=str(_REPO_ROOT))
+    sanitizer.install()
+    try:
+        yield
+    finally:
+        sanitizer.uninstall()
+        report = sanitizer.write(_LOCKSET_PATH)
+        print(f"\nlockset sanitizer: {len(report['locks'])} lock sites, "
+              f"{len(report['edges'])} order edges, "
+              f"{len(report['inversions'])} inversion(s) "
+              f"-> {_LOCKSET_PATH.name}")
+    sanitizer.assert_clean()
 
 
 @pytest.fixture

@@ -118,6 +118,30 @@ class TestCliContract:
         proc = _lakelint("--list-rules")
         assert proc.returncode == 0
         for name in ("traced-manifest", "runtime-traced", "bare-except",
-                     "exception-hygiene", "lock-discipline",
+                     "exception-hygiene", "lock-discipline", "lock-order",
+                     "lock-across-blocking", "breaker-guard",
                      "registry-coords", "bench-determinism"):
             assert name in proc.stdout
+
+    def test_retired_rule_name_still_selects_its_successor(self):
+        # old scripts say --rules breaker-guarded; the alias keeps them alive
+        proc = _lakelint("--rules", "breaker-guarded", "src")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "breaker-guard" in proc.stdout
+
+    def test_changed_mode_exits_zero(self):
+        # whatever the working tree holds right now must lint clean in
+        # partial mode (whole-tree judgments are suppressed there)
+        proc = _lakelint("--changed")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_changed_mode_is_partial(self, tmp_path):
+        # a file subset must not trigger whole-tree rules: a single clean
+        # file run with partial=True produces no stale-allowlist or
+        # manifest findings even though the rest of the tree is absent
+        clean = tmp_path / "clean.py"
+        clean.write_text("def fine():\n    return 1\n")
+        result = LintEngine(default_rules()).run(
+            [clean], root=tmp_path, partial=True)
+        assert result.findings == [], "\n".join(
+            f.format() for f in result.findings)

@@ -6,7 +6,15 @@ Run from the repository root::
     python tools/lakelint.py src                  # one tree
     python tools/lakelint.py --format json        # machine-readable report
     python tools/lakelint.py --rules lock-discipline,bare-except src
+    python tools/lakelint.py --changed            # only files git says changed
     python tools/lakelint.py --list-rules
+
+``--changed`` lints only the files git reports as modified, staged or
+untracked (filtered to ``.py`` under the default trees) — the fast
+pre-commit loop.  Such a run is *partial*: whole-tree judgments (stale
+allowlists, manifest/registry completeness, the whole-program lock and
+guard-escape analyses) are skipped, because a file subset cannot prove
+or refute a repo-wide property.
 
 Exit codes are stable: 0 = clean, 1 = findings, 2 = usage error (unknown
 rule, missing path).  Rules, pragmas and allowlists are documented in
@@ -16,6 +24,7 @@ default run clean on every test run.
 
 import argparse
 import pathlib
+import subprocess
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -33,19 +42,52 @@ from repro.analysis import (  # noqa: E402
 
 DEFAULT_PATHS = ("src", "benchmarks", "tools")
 
+#: retired rule names still accepted on the CLI (old scripts, muscle memory)
+RULE_ALIASES = {"breaker-guarded": "breaker-guard"}
+
 
 def _select_rules(spec):
     rules = default_rules()
     if not spec:
         return rules
     by_name = {rule.name: rule for rule in rules}
-    wanted = [name.strip() for name in spec.split(",") if name.strip()]
+    wanted = [RULE_ALIASES.get(name.strip(), name.strip())
+              for name in spec.split(",") if name.strip()]
     unknown = [name for name in wanted if name not in by_name]
     if unknown:
         known = ", ".join(sorted(by_name))
         raise LintPathError(
             f"unknown rule(s) {', '.join(unknown)} — known rules: {known}")
     return [by_name[name] for name in wanted]
+
+
+def _changed_paths(root):
+    """``.py`` files under the default trees that git says differ.
+
+    Union of unstaged (``git diff``), staged (``--cached``) and untracked
+    (``ls-files --others``) paths; deleted files drop out via the
+    existence check.
+    """
+    commands = (
+        ["git", "diff", "--name-only"],
+        ["git", "diff", "--name-only", "--cached"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    )
+    names = set()
+    for command in commands:
+        proc = subprocess.run(command, cwd=root, capture_output=True,
+                              text=True, check=False)
+        if proc.returncode != 0:
+            raise LintPathError(
+                f"--changed needs a git checkout: `{' '.join(command)}` "
+                f"failed: {proc.stderr.strip() or proc.returncode}")
+        names.update(line.strip() for line in proc.stdout.splitlines()
+                     if line.strip())
+    prefixes = tuple(prefix + "/" for prefix in DEFAULT_PATHS)
+    return sorted(
+        root / name for name in names
+        if name.endswith(".py") and name.startswith(prefixes)
+        and (root / name).is_file())
 
 
 def main(argv=None) -> int:
@@ -62,6 +104,10 @@ def main(argv=None) -> int:
                              "(default: all active rules)")
     parser.add_argument("--list-rules", action="store_true",
                         help="list the active rules and exit")
+    parser.add_argument("--changed", action="store_true",
+                        help="lint only files git reports as modified, "
+                             "staged or untracked (partial run: whole-tree "
+                             "rules are skipped)")
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -76,7 +122,14 @@ def main(argv=None) -> int:
 
     try:
         rules = _select_rules(args.rules)
-        result = LintEngine(rules).run(paths, root=REPO_ROOT)
+        if args.changed:
+            paths = _changed_paths(REPO_ROOT)
+            if not paths:
+                print("lakelint: no changed .py files under "
+                      + ", ".join(DEFAULT_PATHS))
+                return 0
+        result = LintEngine(rules).run(paths, root=REPO_ROOT,
+                                       partial=args.changed)
     except LintPathError as exc:
         print(f"lakelint: {exc}", file=sys.stderr)
         return 2
