@@ -12,6 +12,7 @@ from repro.analysis.rules.breaker_guard import BreakerGuardRule
 from repro.analysis.rules.cache_epoch import CacheEpochRule
 from repro.analysis.rules.context_propagation import ContextPropagationRule
 from repro.analysis.rules.determinism import BenchDeterminismRule
+from repro.analysis.rules.durable_write import DurableWriteRule
 from repro.analysis.rules.exceptions import BareExceptRule, ExceptionHygieneRule
 from repro.analysis.rules.instrumentation import RuntimeTracedRule, TracedManifestRule
 from repro.analysis.rules.lock_discipline import LockDisciplineRule
@@ -26,6 +27,7 @@ __all__ = [
     "CacheEpochRule",
     "Context",
     "ContextPropagationRule",
+    "DurableWriteRule",
     "ExceptionHygieneRule",
     "LockAcrossBlockingRule",
     "LockDisciplineRule",
@@ -52,6 +54,7 @@ def default_rules():
         RegistryCoordsRule(),
         BenchDeterminismRule(),
         BreakerGuardRule(),
+        DurableWriteRule(),
         CacheEpochRule(),
         ContextPropagationRule(),
         ServingContextRule(),

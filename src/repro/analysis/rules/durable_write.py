@@ -1,0 +1,108 @@
+"""Durable-write rule: storage-tier disk writes use the atomic protocol.
+
+The crash-consistency guarantees of ``docs/DURABILITY.md`` hold only if
+every storage-tier disk write funnels through
+:mod:`repro.durability.atomic` — one raw ``path.write_bytes(...)`` is a
+torn-write window the crash matrix cannot see.  This rule makes the
+funnel checkable inside ``src/repro/storage/``:
+
+- a *raw disk write* is any ``.write_bytes(...)`` / ``.write_text(...)``
+  attribute call, or a builtin ``open(...)`` / ``io.open(...)`` call
+  whose mode string requests writing (contains ``w``, ``a``, ``x`` or
+  ``+``);
+- sanctioned contexts mirror ``breaker-guard``: ``__init__``
+  (constructor wiring) and helpers named ``*_unchecked`` (the explicit
+  allowlist convention for intentional raw access, e.g. a test fixture
+  deliberately planting corruption).
+
+Compliant code calls ``atomic_write_bytes`` / ``atomic_write_text`` /
+``atomic_write_json`` / ``durable_unlink``, whose names never collide
+with the raw patterns.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule
+from repro.analysis.walker import Module
+
+#: attribute calls that bypass the atomic write protocol
+RAW_WRITE_ATTRS = frozenset({"write_bytes", "write_text"})
+
+#: mode characters that make an ``open()`` call a write
+WRITE_MODE_CHARS = frozenset("wax+")
+
+#: function-name suffix marking sanctioned raw access
+EXEMPT_SUFFIX = "_unchecked"
+
+
+def _open_mode(node: ast.Call) -> str:
+    """The literal mode string of an ``open()`` call; "" when unknown."""
+    mode = node.args[1] if len(node.args) > 1 else None
+    if mode is None:
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                mode = keyword.value
+                break
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return ""
+
+
+class _Scanner(ast.NodeVisitor):
+    """Collects raw disk writes outside sanctioned contexts."""
+
+    def __init__(self) -> None:
+        self.exempt_depth = 0
+        self.hits: List[Tuple[int, str]] = []
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        exempt = (node.name == "__init__"
+                  or node.name.endswith(EXEMPT_SUFFIX))
+        self.exempt_depth += exempt
+        self.generic_visit(node)
+        self.exempt_depth -= exempt
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.exempt_depth == 0:
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in RAW_WRITE_ATTRS:
+                self.hits.append((node.lineno, f".{func.attr}(...)"))
+            is_open = ((isinstance(func, ast.Name) and func.id == "open")
+                       or (isinstance(func, ast.Attribute)
+                           and func.attr == "open"))
+            if is_open:
+                mode = _open_mode(node)
+                if any(ch in WRITE_MODE_CHARS for ch in mode):
+                    self.hits.append((node.lineno, f"open(..., {mode!r})"))
+        self.generic_visit(node)
+
+
+class DurableWriteRule(Rule):
+    """Storage-tier disk writes go through repro.durability.atomic."""
+
+    name = "durable-write"
+    description = ("raw disk writes (.write_bytes/.write_text/open(..., 'w')) "
+                   "in src/repro/storage/ bypass the atomic durable-write "
+                   "protocol — use atomic_write_bytes/atomic_write_text/"
+                   "atomic_write_json, or name the helper *_unchecked if raw "
+                   "access is intentional")
+    scope = ("/repro/storage/",)
+
+    def check_module(self, module: Module) -> List[Finding]:
+        scanner = _Scanner()
+        scanner.visit(module.tree)
+        return [
+            self.finding(
+                module.rel, lineno,
+                f"raw disk write `{what}` bypasses the atomic durable-write "
+                f"protocol (tmp → fsync → rename) — route it through "
+                f"repro.durability.atomic, or move it into a *_unchecked "
+                f"helper if raw access is intentional")
+            for lineno, what in scanner.hits
+        ]

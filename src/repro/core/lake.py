@@ -700,10 +700,11 @@ class DataLake:
         return log.export_jsonl(log.events(request_id=request_id, limit=last))
 
     def health(self) -> Dict[str, Any]:
-        """Degraded-mode facade: breaker states, failovers, dead letters.
+        """Degraded-mode facade: breakers, failovers, dead letters, fsck.
 
         ``healthy`` is True only when every backend circuit is closed, no
-        placement is degraded, and no maintenance job is dead-lettered —
+        placement is degraded, no maintenance job is dead-lettered, and —
+        for a persisted lake — ``lakefsck`` finds the on-disk root clean;
         the single flag a load balancer or operator dashboard polls.
         """
         report = self.polystore.health_report()
@@ -717,6 +718,18 @@ class DataLake:
             }
         report["runtime"] = runtime_report
         report["healthy"] = report["healthy"] and not runtime_report["dead_letter"]
+        root = getattr(self.polystore.objects, "root", None)
+        if root is not None:
+            from repro.durability.fsck import fsck_lake
+
+            fsck_report = fsck_lake(root)
+            report["durability"] = {
+                "ok": fsck_report.ok,
+                "issues": fsck_report.counts(),
+                "residue": len(fsck_report.residue()),
+                "corruption": len(fsck_report.corruption()),
+            }
+            report["healthy"] = report["healthy"] and fsck_report.ok
         return report
 
     def repair_degraded(self, wait: bool = True) -> List[str]:
@@ -724,15 +737,16 @@ class DataLake:
 
         Repairs run on the maintenance runtime with a patient
         :class:`~repro.runtime.jobs.RetryPolicy` (the intended backend may
-        still be recovering).  With ``wait=True`` the call drains the
-        runtime before returning; failed repairs land in the dead-letter
-        list, visible through :meth:`health`.
+        still be recovering).  For a persisted lake whose root fails
+        ``lakefsck``, a ``fsck:gc`` job is also enqueued to sweep the
+        crash residue (orphans, tmp leftovers, torn log tails) —
+        corruption-class findings are left in place as evidence.  With
+        ``wait=True`` the call drains the runtime before returning;
+        failed repairs land in the dead-letter list, visible through
+        :meth:`health`.
         """
         from repro.runtime.jobs import RetryPolicy
 
-        degraded = self.polystore.degraded_placements()
-        if not degraded:
-            return []
         retry = RetryPolicy(max_attempts=4, base_delay=0.01, max_delay=0.5)
         job_ids = [
             self.runtime.submit(
@@ -741,8 +755,22 @@ class DataLake:
                 tags={"dataset": placement.dataset,
                       "intended_backend": placement.intended_backend},
             )
-            for placement in degraded
+            for placement in self.polystore.degraded_placements()
         ]
+        root = getattr(self.polystore.objects, "root", None)
+        if root is not None:
+            from repro.durability.fsck import fsck_lake, gc_lake
+
+            fsck_report = fsck_lake(root)
+            if fsck_report.residue():
+                job_ids.append(self.runtime.submit(
+                    gc_lake, args=(root, fsck_report),
+                    name="fsck:gc", retry=retry,
+                    tags={"root": str(root),
+                          "residue": str(len(fsck_report.residue()))},
+                ))
+        if not job_ids:
+            return []
         if wait:
             self.runtime.drain()
         return job_ids

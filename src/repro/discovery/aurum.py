@@ -15,7 +15,10 @@ Implemented here:
 
 - profiling via :class:`~repro.discovery.profiles.TableProfiler`;
 - an :class:`~repro.ml.lsh.LSHIndex` over MinHash signatures (content) plus
-  TF-IDF cosine for attribute names (schema similarity);
+  cosine over name-token counts for attribute names (schema similarity) —
+  deliberately corpus-free, so every edge score is a pure pairwise
+  function of its two columns and incremental deltas reproduce a
+  from-scratch build exactly, however ingests are batched;
 - EKG construction (:class:`~repro.modeling.ekg.EnterpriseKnowledgeGraph`)
   with ``content_sim``, ``schema_sim`` and ``pkfk`` edges;
 - incremental ``update_table`` honoring the change threshold;
@@ -24,16 +27,28 @@ Implemented here:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.dataset import Table
 from repro.core.errors import DatasetNotFound
 from repro.core.registry import Function, Method, SystemInfo, register_system
 from repro.discovery.profiles import ColumnProfile, TableProfiler
 from repro.ml.lsh import LSHIndex
-from repro.ml.text import TfIdfVectorizer, cosine_similarity
+from repro.ml.text import cosine_similarity
 from repro.modeling.ekg import ColumnRef, EnterpriseKnowledgeGraph
 from repro.obs import annotate, traced
+
+
+def _name_vector(tokens: Sequence[str]) -> Dict[str, float]:
+    """Sparse term-frequency vector of a column's name tokens.
+
+    Corpus-free on purpose: a schema edge's cosine then depends only on
+    the two names compared, never on what else is indexed — which is
+    what makes :meth:`Aurum.build_delta` reproduce :meth:`Aurum.build`
+    bit-for-bit regardless of how ingests are partitioned into deltas.
+    """
+    return dict(Counter(tokens))
 
 
 @register_system(SystemInfo(
@@ -114,15 +129,14 @@ class Aurum:
                     continue  # intra-table joins are not discovery targets
                 if ref < other:
                     self.ekg.add_relation(ref, other, "content_sim", round(estimate, 4))
-        # schema-similarity edges via TF-IDF cosine on names
-        vectorizer = TfIdfVectorizer()
-        token_lists = [list(self._profiles[ref].name_tokens) for ref in refs]
-        vectors = vectorizer.fit_transform_all(token_lists)
+        # schema-similarity edges via cosine over name-token counts
+        vectors = {ref: _name_vector(self._profiles[ref].name_tokens)
+                   for ref in refs}
         for i in range(len(refs)):
             for j in range(i + 1, len(refs)):
                 if refs[i][0] == refs[j][0]:
                     continue
-                similarity = cosine_similarity(vectors[i], vectors[j])
+                similarity = cosine_similarity(vectors[refs[i]], vectors[refs[j]])
                 if similarity >= self.schema_threshold:
                     self.ekg.add_relation(refs[i], refs[j], "schema_sim", round(similarity, 4))
         # PK-FK candidate edges
@@ -153,11 +167,11 @@ class Aurum:
         The incremental counterpart of :meth:`build`: instead of re-deriving
         every edge, only pairs with at least one *fresh* endpoint are probed
         — O(fresh x indexed) instead of O(indexed²), which is what makes
-        sustained ingest+query interleaving linear per step.  Existing edges
-        keep the scores they were built with; IDF weights for new schema
-        edges come from the current corpus, so scores can drift slightly
-        from a from-scratch rebuild (the same approximation Aurum's own
-        change-threshold update makes).
+        sustained ingest+query interleaving linear per step.  Every edge
+        score (MinHash estimate, name-token cosine, containment) is a pure
+        pairwise function of its two columns, so a sequence of deltas
+        produces exactly the edges a from-scratch :meth:`build` would —
+        no matter how the same ingests are partitioned into batches.
         """
         fresh = sorted(ref for ref in self._fresh if ref in self._profiles)
         if self._built and not fresh:
@@ -178,10 +192,9 @@ class Aurum:
                     continue  # both endpoints fresh: count the pair once
                 left, right = (ref, other) if ref < other else (other, ref)
                 self.ekg.add_relation(left, right, "content_sim", round(estimate, 4))
-        # schema-similarity edges: fresh x all, IDF over the current corpus
-        vectorizer = TfIdfVectorizer()
-        token_lists = [list(self._profiles[ref].name_tokens) for ref in refs]
-        vectors = dict(zip(refs, vectorizer.fit_transform_all(token_lists)))
+        # schema-similarity edges: fresh x all, pairwise name-token cosine
+        vectors = {ref: _name_vector(self._profiles[ref].name_tokens)
+                   for ref in refs}
         for ref in fresh:
             for other in refs:
                 if other == ref or other[0] == ref[0]:

@@ -1,0 +1,46 @@
+"""Crash-consistent durability for the persisted lake (PR 9).
+
+Three layers, bottom-up:
+
+- :mod:`repro.durability.atomic` — the atomic durable-write protocol
+  (tmp → fsync → rename → directory fsync) every storage-tier disk
+  write funnels through, instrumented with named crash points;
+- :mod:`repro.durability.txlog` — checksummed journal entries and the
+  longest-valid-prefix log reader behind the lakehouse transaction log;
+- :mod:`repro.durability.fsck` — ``lakefsck``: walk a persisted lake
+  root, report orphans / hash mismatches / torn log tails / meta-data
+  inconsistencies, and garbage-collect provably uncommitted residue.
+
+:mod:`repro.durability.matrix` (imported on demand — it pulls in the
+storage tier) drives the crash–restart property harness: census every
+registered crash point, then crash at each ``(point, mode, hit)`` and
+assert the recovery invariants after reload.
+
+This package sits *below* :mod:`repro.storage` in the import graph
+(``object_store`` imports :mod:`~repro.durability.atomic`), which is why
+this ``__init__`` re-exports only the bottom layers; import
+:mod:`~repro.durability.matrix` explicitly.
+"""
+
+from repro.durability.atomic import (
+    TMP_SUFFIX,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    durable_unlink,
+    fsync_dir,
+    is_tmp,
+)
+from repro.durability.txlog import TXLOG_DIR, read_log
+
+__all__ = [
+    "TMP_SUFFIX",
+    "TXLOG_DIR",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+    "durable_unlink",
+    "fsync_dir",
+    "is_tmp",
+    "read_log",
+]

@@ -1,0 +1,269 @@
+"""``lakefsck`` — offline consistency verification for a persisted lake root.
+
+Walks the on-disk layout the storage tier produces (bucket directories of
+``<key>.v<N>`` data files plus ``*.meta.json`` commit records, and
+``_txlog/<bucket>/`` journals) without importing or instantiating the
+storage tier, so it can examine a root too damaged to load.  Issues fall
+in two classes:
+
+**Residue** — provably uncommitted leftovers a crash can legitimately
+leave behind; :func:`gc_lake` removes them:
+
+- ``tmp-leftover``    — an in-flight ``*.tmp`` file that was never published;
+- ``orphan-data``     — a data file whose meta record (its commit point)
+  never landed;
+- ``unreferenced-part`` — a lakehouse ``part-*`` object no surviving
+  journal entry references (crash between data write and journal write,
+  or a conflict-aborted transaction);
+- ``torn-log-tail``   — a journal entry that fails parsing/checksum/
+  contiguity, plus everything after it.
+
+**Corruption** — entries that claim to be committed but fail validation;
+these are *evidence* (the object store quarantines them at load) and GC
+never silently destroys them:
+
+- ``torn-meta``       — an unparseable/incomplete ``*.meta.json``;
+- ``hash-mismatch``   — data bytes that no longer match their meta record's
+  sha256 (the missed-fsync signature);
+- ``missing-data``    — a meta record whose data file is gone;
+- ``version-gap``     — an object's surviving versions are not a
+  contiguous ``1..k`` prefix;
+- ``log-data-mismatch`` — a journaled add whose store object is absent
+  or hash-divergent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.durability.atomic import TMP_SUFFIX, durable_unlink
+from repro.durability.txlog import TXLOG_DIR, read_log
+
+META_SUFFIX = ".meta.json"
+
+#: issue kinds gc_lake may remove (provably uncommitted residue)
+GC_KINDS = frozenset({
+    "tmp-leftover",
+    "orphan-data",
+    "unreferenced-part",
+    "torn-log-tail",
+})
+
+#: issue kinds that indicate corruption of committed state (never GC'd)
+CORRUPTION_KINDS = frozenset({
+    "torn-meta",
+    "hash-mismatch",
+    "missing-data",
+    "version-gap",
+    "log-data-mismatch",
+})
+
+
+@dataclass(frozen=True)
+class FsckIssue:
+    """One finding: what kind, which file, and why."""
+
+    kind: str
+    path: str
+    detail: str
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"kind": self.kind, "path": self.path, "detail": self.detail}
+
+
+class FsckReport:
+    """Everything one :func:`fsck_lake` walk found."""
+
+    def __init__(self, root: Path, issues: List[FsckIssue],
+                 objects_seen: int, log_entries_seen: int):
+        self.root = root
+        self.issues = list(issues)
+        self.objects_seen = objects_seen
+        self.log_entries_seen = log_entries_seen
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for issue in self.issues:
+            out[issue.kind] = out.get(issue.kind, 0) + 1
+        return out
+
+    def residue(self) -> List[FsckIssue]:
+        """The GC-able subset of the issues."""
+        return [issue for issue in self.issues if issue.kind in GC_KINDS]
+
+    def corruption(self) -> List[FsckIssue]:
+        """The quarantine-class subset of the issues."""
+        return [issue for issue in self.issues if issue.kind in CORRUPTION_KINDS]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "root": str(self.root),
+            "ok": self.ok,
+            "objects_seen": self.objects_seen,
+            "log_entries_seen": self.log_entries_seen,
+            "counts": self.counts(),
+            "issues": [issue.to_dict() for issue in self.issues],
+        }
+
+    def render(self) -> str:
+        """Human-readable summary (the CLI's default output)."""
+        lines = [f"lakefsck {self.root}"]
+        lines.append(f"  objects: {self.objects_seen}  "
+                     f"log entries: {self.log_entries_seen}")
+        if self.ok:
+            lines.append("  clean: no issues found")
+            return "\n".join(lines)
+        for kind, count in sorted(self.counts().items()):
+            klass = "residue" if kind in GC_KINDS else "corruption"
+            lines.append(f"  {kind} ({klass}): {count}")
+        for issue in self.issues:
+            lines.append(f"    [{issue.kind}] {issue.path}: {issue.detail}")
+        return "\n".join(lines)
+
+
+def _hash(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _read_logs(root: Path, issues: List[FsckIssue]) -> Tuple[Dict[str, Dict[str, str]], int]:
+    """Parse every per-bucket journal: bucket -> {file_key: content_hash}."""
+    referenced: Dict[str, Dict[str, str]] = {}
+    entries_seen = 0
+    txroot = root / TXLOG_DIR
+    if not txroot.is_dir():
+        return referenced, entries_seen
+    for log_dir in sorted(p for p in txroot.iterdir() if p.is_dir()):
+        entries, dropped = read_log(log_dir)
+        entries_seen += len(entries) + len(dropped)
+        for path, reason in dropped:
+            issues.append(FsckIssue("torn-log-tail", path, reason))
+        adds: Dict[str, str] = {}
+        for entry in entries:
+            for action in entry["actions"]:
+                if action.get("action") == "add":
+                    adds[action["file_key"]] = action.get("content_hash", "")
+        referenced[log_dir.name] = adds
+    return referenced, entries_seen
+
+
+def _scan_bucket(bucket_dir: Path, issues: List[FsckIssue]
+                 ) -> Tuple[Dict[str, Dict[int, Tuple[Path, str]]], int]:
+    """Check one bucket directory; returns {key: {version: (data_path, hash)}}."""
+    metas: Dict[str, Path] = {}
+    data_files: Dict[str, Path] = {}
+    for path in sorted(bucket_dir.iterdir()):
+        if not path.is_file():
+            continue
+        if path.name.endswith(TMP_SUFFIX):
+            issues.append(FsckIssue(
+                "tmp-leftover", str(path),
+                "in-flight atomic-write artifact, never published"))
+        elif path.name.endswith(META_SUFFIX):
+            metas[path.name[: -len(META_SUFFIX)]] = path
+        else:
+            data_files[path.name] = path
+
+    loaded: Dict[str, Dict[int, Tuple[Path, str]]] = {}
+    for stem, meta_path in sorted(metas.items()):
+        try:
+            meta = json.loads(meta_path.read_text())
+            key, version = meta["key"], int(meta["version"])
+            recorded = meta["content_hash"]
+        except (OSError, json.JSONDecodeError, KeyError, TypeError,
+                ValueError) as exc:
+            issues.append(FsckIssue(
+                "torn-meta", str(meta_path), f"{type(exc).__name__}: {exc}"))
+            continue
+        data_path = data_files.pop(stem, None)
+        if data_path is None:
+            issues.append(FsckIssue(
+                "missing-data", str(meta_path),
+                f"meta record for {key} v{version} has no data file"))
+            continue
+        actual = _hash(data_path.read_bytes())
+        if actual != recorded:
+            issues.append(FsckIssue(
+                "hash-mismatch", str(data_path),
+                f"sha256 {actual[:12]}… does not match recorded "
+                f"{str(recorded)[:12]}…"))
+            continue
+        loaded.setdefault(key, {})[version] = (data_path, recorded)
+
+    for stem, data_path in sorted(data_files.items()):
+        issues.append(FsckIssue(
+            "orphan-data", str(data_path),
+            "data file with no meta record (commit point never landed)"))
+
+    for key, versions in sorted(loaded.items()):
+        expected = list(range(1, len(versions) + 1))
+        if sorted(versions) != expected:
+            issues.append(FsckIssue(
+                "version-gap", str(bucket_dir / key),
+                f"surviving versions {sorted(versions)} are not a "
+                f"contiguous prefix {expected}"))
+    return loaded, len(metas)
+
+
+def fsck_lake(root: Union[str, Path]) -> FsckReport:
+    """Verify a persisted lake root; pure read — nothing is modified."""
+    root = Path(root)
+    issues: List[FsckIssue] = []
+    referenced_by_bucket, log_entries = _read_logs(root, issues)
+    objects_seen = 0
+    if root.is_dir():
+        for bucket_dir in sorted(p for p in root.iterdir()
+                                 if p.is_dir() and p.name != TXLOG_DIR):
+            loaded, seen = _scan_bucket(bucket_dir, issues)
+            objects_seen += seen
+            referenced = referenced_by_bucket.get(bucket_dir.name)
+            if referenced is None:
+                continue
+            # lakehouse bucket: cross-check objects against the journal
+            for key, versions in sorted(loaded.items()):
+                if key.startswith("part-") and key not in referenced:
+                    for _version, (data_path, _hash_) in sorted(versions.items()):
+                        meta = data_path.with_suffix(
+                            data_path.suffix + META_SUFFIX)
+                        for path in (data_path, meta):
+                            issues.append(FsckIssue(
+                                "unreferenced-part", str(path),
+                                "no surviving journal entry references "
+                                "this part"))
+            for key, want_hash in sorted(referenced.items()):
+                versions = loaded.get(key)
+                if not versions:
+                    issues.append(FsckIssue(
+                        "log-data-mismatch", str(bucket_dir / key),
+                        "journaled add has no loadable store object"))
+                    continue
+                latest = versions[max(versions)]
+                if want_hash and latest[1] != want_hash:
+                    issues.append(FsckIssue(
+                        "log-data-mismatch", str(latest[0]),
+                        "store object hash diverges from the journaled add"))
+    return FsckReport(root, issues, objects_seen, log_entries)
+
+
+def gc_lake(root: Union[str, Path], report: Optional[FsckReport] = None, *,
+            fsync: bool = True) -> List[str]:
+    """Remove the provably uncommitted residue fsck found; returns paths.
+
+    Only :data:`GC_KINDS` are touched — corruption-class issues
+    (hash mismatches, torn metas, version gaps) are left on disk as
+    evidence for the operator and for the object store's quarantine.
+    """
+    if report is None:
+        report = fsck_lake(root)
+    removed: List[str] = []
+    for issue in report.residue():
+        if durable_unlink(Path(issue.path), fsync=fsync):
+            removed.append(issue.path)
+    return removed

@@ -1,0 +1,298 @@
+"""The crash–restart property harness (the "crash matrix").
+
+For a fixed, deterministic workload over a persisted root (raw
+multi-version puts, lakehouse appends/overwrite, deletes), this module:
+
+1. runs the workload once under :func:`~repro.faults.crash.crash_census`
+   to learn how many times each registered crash point is visited;
+2. for every reachable ``(point, mode, hit)`` triple, re-runs the
+   workload in a fresh root with a :class:`~repro.faults.crash.CrashInjector`
+   armed, catches the simulated :class:`~repro.faults.crash.ProcessCrash`,
+   reloads the lake from disk, and asserts the recovery invariants:
+
+   - **committed-visible** — every acknowledged operation is fully
+     readable after reload (the observed state matches a candidate state
+     that, by construction, includes all acked operations);
+   - **atomic in-flight** — the one in-flight operation is either fully
+     applied or fully invisible (for multi-version deletes: any
+     newest-first prefix of versions removed, never a gap);
+   - **quarantine-honest** — the object store quarantines entries only
+     for the one mode that genuinely corrupts a published file
+     (``missed-fsync``), never for clean crashes;
+   - **orphan-free after GC** — after ``gc_lake``, fsck reports no
+     residue; corruption-class findings may remain only under
+     ``missed-fsync`` (they are evidence, not residue).
+
+Because both the workload and the injector are hit-counted (no RNG, no
+wall clock), every scenario is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.durability.fsck import fsck_lake, gc_lake
+from repro.faults.crash import (
+    MISSED_FSYNC,
+    ProcessCrash,
+    crash_census,
+    crashing,
+    registered_crash_points,
+)
+from repro.storage.lakehouse import LakehouseTable
+from repro.storage.object_store import ObjectStore
+
+TABLE = "events"
+
+#: the matrix covers the durable-storage protocol points; other crash
+#: points (tests may register their own) are outside its contract
+MATRIX_POINT_PREFIXES = ("durability.", "object_store.", "lakehouse.")
+
+
+def matrix_points():
+    """The registered crash points the matrix is responsible for."""
+    return [point for point in registered_crash_points()
+            if point.name.startswith(MATRIX_POINT_PREFIXES)]
+
+_ROWS_A = ({"id": 1, "v": 10}, {"id": 2, "v": 20})
+_ROWS_B = ({"id": 3, "v": 30},)
+_ROWS_C = ({"id": 7, "v": 70}, {"id": 8, "v": 80})
+
+#: the scripted workload: multi-version raw puts, three lakehouse
+#: commits, then deletes of a single- and a multi-version key
+WORKLOAD = (
+    ("put", "raw", "a.txt", b"alpha-version-one"),
+    ("put", "raw", "a.txt", b"alpha-version-two"),
+    ("put", "raw", "b.bin", b"\x00\x01\x02\x03binary-payload"),
+    ("append", _ROWS_A),
+    ("append", _ROWS_B),
+    ("overwrite", _ROWS_C),
+    ("delete", "raw", "b.bin"),
+    ("delete", "raw", "a.txt"),
+)
+
+
+@dataclass
+class Trace:
+    """Which operations the workload acknowledged before the crash."""
+
+    acked: List[Tuple] = field(default_factory=list)
+    inflight: Optional[Tuple] = None
+
+    def begin(self, op: Tuple) -> None:
+        self.inflight = op
+
+    def ack(self, op: Tuple) -> None:
+        self.acked.append(op)
+        self.inflight = None
+
+
+def run_workload(root: Union[str, Path], trace: Trace, *,
+                 fsync: bool = False) -> None:
+    """Run the scripted workload, recording acks on *trace*.
+
+    Raises :class:`ProcessCrash` mid-operation when an injector fires;
+    the trace then tells the harness exactly which operation was in
+    flight.
+    """
+    store = ObjectStore(Path(root), fsync=fsync)
+    table = LakehouseTable(TABLE, store)
+    for op in WORKLOAD:
+        trace.begin(op)
+        kind = op[0]
+        if kind == "put":
+            store.put_bytes(op[1], op[2], op[3])
+        elif kind == "append":
+            table.append(list(op[1]))
+        elif kind == "overwrite":
+            table.overwrite(list(op[1]))
+        elif kind == "delete":
+            store.delete(op[1], op[2])
+        else:  # pragma: no cover - workload is a fixed literal
+            raise ValueError(f"unknown workload op {kind!r}")
+        trace.ack(op)
+
+
+# -- expected-state simulation ------------------------------------------------
+
+def _sha(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _canonical_rows(rows) -> Tuple:
+    return tuple(sorted(tuple(sorted(r.items())) for r in rows))
+
+
+def _apply(state: Tuple[Dict, int, List], op: Tuple) -> Tuple[Dict, int, List]:
+    objects, version, rows = dict(state[0]), state[1], list(state[2])
+    kind = op[0]
+    if kind == "put":
+        bucket_key = (op[1], op[2])
+        objects[bucket_key] = objects.get(bucket_key, ()) + (_sha(op[3]),)
+    elif kind == "append":
+        version += 1
+        rows.extend(op[1])
+    elif kind == "overwrite":
+        version += 1
+        rows = list(op[1])
+    elif kind == "delete":
+        objects.pop((op[1], op[2]), None)
+    return objects, version, rows
+
+
+def _freeze(state: Tuple[Dict, int, List]) -> Tuple:
+    objects, version, rows = state
+    return (tuple(sorted(objects.items())), version, _canonical_rows(rows))
+
+
+def candidate_states(trace: Trace) -> List[Tuple]:
+    """Every state a correct recovery may surface after the crash.
+
+    The state after all acked operations is always a candidate (the
+    in-flight one rolled back); if an operation was in flight, so is its
+    fully-applied state — and for a delete of a multi-version object,
+    every newest-first truncation (versions are unlinked newest-first,
+    meta-before-data, so survivors always form a ``1..k`` prefix).
+    """
+    state: Tuple[Dict, int, List] = ({}, 0, [])
+    for op in trace.acked:
+        state = _apply(state, op)
+    candidates = [state]
+    op = trace.inflight
+    if op is not None:
+        if op[0] == "delete":
+            bucket_key = (op[1], op[2])
+            versions = state[0].get(bucket_key, ())
+            for removed in range(1, len(versions) + 1):
+                objects = dict(state[0])
+                remaining = versions[: len(versions) - removed]
+                if remaining:
+                    objects[bucket_key] = remaining
+                else:
+                    objects.pop(bucket_key, None)
+                candidates.append((objects, state[1], state[2]))
+        else:
+            candidates.append(_apply(state, op))
+    return [_freeze(candidate) for candidate in candidates]
+
+
+def observe(root: Union[str, Path]) -> Tuple[Tuple, ObjectStore]:
+    """Reload the lake from *root* and canonicalize its visible state.
+
+    Constructing the table runs startup recovery (tail drop + orphan
+    GC), exactly what a restarted process would do.
+    """
+    store = ObjectStore(Path(root), fsync=False)
+    table = LakehouseTable(TABLE, store)
+    objects: Dict[Tuple[str, str], Tuple[str, ...]] = {}
+    for bucket in store.buckets():
+        if bucket == table.bucket:
+            continue
+        for key in store.keys(bucket):
+            objects[(bucket, key)] = tuple(
+                obj.content_hash for obj in store.versions(bucket, key))
+    observed = (tuple(sorted(objects.items())), table.version,
+                _canonical_rows(table.snapshot().rows()))
+    return observed, store
+
+
+# -- the matrix ---------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Outcome of one crash scenario."""
+
+    point: str
+    mode: str
+    hit: int
+    ok: bool
+    detail: str = ""
+
+
+def run_scenario(point: str, mode: str, hit: int) -> ScenarioResult:
+    """Crash the workload at one ``(point, mode, hit)``; verify recovery."""
+    problems: List[str] = []
+    with tempfile.TemporaryDirectory(prefix="crash-matrix-") as tmp:
+        root = Path(tmp) / "lake"
+        trace = Trace()
+        completed = False
+        with crashing(point, mode, hit) as injector:
+            try:
+                run_workload(root, trace)
+                completed = True
+            except ProcessCrash:
+                pass
+        if completed or not injector.fired:
+            return ScenarioResult(point, mode, hit, False,
+                                  "injector did not fire (unreachable hit)")
+
+        candidates = candidate_states(trace)
+        observed, store = observe(root)
+        if observed not in candidates:
+            problems.append(
+                f"recovered state matches no candidate "
+                f"(acked={len(trace.acked)}, inflight={trace.inflight!r})")
+        if store.quarantined and mode != MISSED_FSYNC:
+            problems.append(
+                f"clean crash mode {mode!r} caused quarantine: "
+                f"{store.quarantined}")
+
+        gc_lake(root, fsync=False)
+        report = fsck_lake(root)
+        if report.residue():
+            problems.append(
+                f"residue survived GC: {[i.to_dict() for i in report.residue()]}")
+        if report.corruption() and mode != MISSED_FSYNC:
+            problems.append(
+                f"clean crash mode {mode!r} left corruption: "
+                f"{[i.to_dict() for i in report.corruption()]}")
+
+        observed_after_gc, _ = observe(root)
+        if observed_after_gc not in candidates:
+            problems.append("GC changed the committed state")
+    return ScenarioResult(point, mode, hit, not problems, "; ".join(problems))
+
+
+def census_counts() -> Dict[str, int]:
+    """Visit counts per crash point over one clean workload run."""
+    trace = Trace()
+    with tempfile.TemporaryDirectory(prefix="crash-census-") as tmp:
+        with crash_census() as census:
+            run_workload(Path(tmp) / "lake", trace)
+    return dict(census.counts)
+
+
+def run_crash_matrix() -> Dict[str, Any]:
+    """Crash at every reachable ``(point, mode, hit)``; summarize results."""
+    counts = census_counts()
+    points = matrix_points()
+    results: List[ScenarioResult] = []
+    for point in points:
+        visits = counts.get(point.name, 0)
+        for mode in point.kinds:
+            for hit in range(1, visits + 1):
+                results.append(run_scenario(point.name, mode, hit))
+    failures = [r for r in results if not r.ok]
+    per_point: Dict[str, Dict[str, int]] = {}
+    for result in results:
+        slot = per_point.setdefault(result.point, {"scenarios": 0, "passed": 0})
+        slot["scenarios"] += 1
+        slot["passed"] += int(result.ok)
+    return {
+        "scenarios": len(results),
+        "passed": len(results) - len(failures),
+        "pass_rate": ((len(results) - len(failures)) / len(results))
+                     if results else 1.0,
+        "failures": [
+            {"point": r.point, "mode": r.mode, "hit": r.hit, "detail": r.detail}
+            for r in failures
+        ],
+        "visits": dict(sorted(counts.items())),
+        "per_point": dict(sorted(per_point.items())),
+        "unreached_points": sorted(
+            p.name for p in points if counts.get(p.name, 0) == 0),
+    }

@@ -1,0 +1,121 @@
+"""Durable, checksummed transaction-log entries (the lakehouse journal).
+
+A :class:`~repro.storage.lakehouse.LakehouseTable` backed by a persistent
+:class:`~repro.storage.object_store.ObjectStore` journals every commit
+here *before* acknowledging it: one ``<version:08d>.json`` file per
+commit under ``<root>/_txlog/<bucket>/``, written through the atomic
+protocol and self-validating via an embedded SHA-256 checksum over the
+canonical (sorted-key) JSON body.
+
+:func:`read_log` is the recovery-side reader shared by lakehouse startup
+recovery and ``lakefsck``: it returns the longest valid prefix of the
+log — entries that parse, checksum, and are contiguously numbered from
+1 — plus every dropped tail entry with its reason.  An entry after the
+first bad one is *never* trusted, even if it looks intact: its
+pre-state includes the dropped commit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Sequence, Tuple, Union
+
+from repro.durability.atomic import atomic_write_json
+
+#: directory under a persistence root holding per-table transaction logs
+TXLOG_DIR = "_txlog"
+
+#: journal entry filename pattern (sorted order == commit order)
+ENTRY_GLOB = "*.json"
+
+
+def entry_path(log_dir: Union[str, Path], version: int) -> Path:
+    """The journal file for commit *version* under *log_dir*."""
+    return Path(log_dir) / f"{version:08d}.json"
+
+
+def entry_checksum(body: Mapping[str, Any]) -> str:
+    """SHA-256 over the canonical JSON of *body* minus its checksum field."""
+    stripped = {key: value for key, value in body.items() if key != "checksum"}
+    canonical = json.dumps(stripped, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def encode_entry(
+    version: int,
+    operation: str,
+    actions: Sequence[Mapping[str, Any]],
+    metadata: Mapping[str, Any],
+) -> Dict[str, Any]:
+    """Build one self-validating journal entry."""
+    body: Dict[str, Any] = {
+        "version": version,
+        "operation": operation,
+        "actions": [dict(action) for action in actions],
+        "metadata": dict(metadata),
+    }
+    body["checksum"] = entry_checksum(body)
+    return body
+
+
+def write_entry(log_dir: Union[str, Path], entry: Mapping[str, Any], *,
+                fsync: bool = True) -> Path:
+    """Durably publish *entry* as the next journal file."""
+    path = entry_path(log_dir, int(entry["version"]))
+    atomic_write_json(path, dict(entry), fsync=fsync)
+    return path
+
+
+def validate_entry(entry: Mapping[str, Any]) -> None:
+    """Raise ``ValueError`` unless *entry* is structurally sound."""
+    for field in ("version", "operation", "actions", "checksum"):
+        if field not in entry:
+            raise ValueError(f"journal entry missing field {field!r}")
+    if entry["checksum"] != entry_checksum(entry):
+        raise ValueError("journal entry checksum mismatch (torn or damaged)")
+    if not isinstance(entry["actions"], list):
+        raise ValueError("journal entry actions must be a list")
+    for action in entry["actions"]:
+        if not isinstance(action, dict) or "action" not in action \
+                or "file_key" not in action:
+            raise ValueError("journal entry has a malformed action")
+
+
+def read_log(log_dir: Union[str, Path]) -> Tuple[List[Dict[str, Any]],
+                                                 List[Tuple[str, str]]]:
+    """Read the longest valid log prefix; report the dropped tail.
+
+    Returns ``(entries, dropped)`` where *entries* are parsed, checksummed,
+    contiguously numbered commits starting at version 1, and *dropped* is
+    ``[(path, reason), ...]`` for the first invalid entry and everything
+    after it.  Pure read: nothing on disk is modified.
+    """
+    log_dir = Path(log_dir)
+    entries: List[Dict[str, Any]] = []
+    dropped: List[Tuple[str, str]] = []
+    if not log_dir.is_dir():
+        return entries, dropped
+    paths = sorted(log_dir.glob(ENTRY_GLOB))
+    expected = 1
+    reason_for_rest = None
+    for path in paths:
+        if reason_for_rest is not None:
+            dropped.append((str(path), reason_for_rest))
+            continue
+        try:
+            entry = json.loads(path.read_text())
+            validate_entry(entry)
+            if int(entry["version"]) != expected:
+                raise ValueError(
+                    f"journal entry {path.name} has version "
+                    f"{entry['version']}, expected {expected}")
+        except (OSError, json.JSONDecodeError, ValueError, TypeError,
+                KeyError) as exc:
+            dropped.append((str(path), f"{type(exc).__name__}: {exc}"))
+            reason_for_rest = "follows a dropped journal entry"
+            continue
+        entries.append(entry)
+        expected += 1
+    return entries, dropped

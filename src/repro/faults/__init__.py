@@ -13,7 +13,13 @@ is the resilience layer grown around the storage and exploration tiers
 - :mod:`repro.faults.breaker` — a thread-safe :class:`CircuitBreaker`
   (closed → open → half-open with a probe budget), the per-backend
   :class:`HealthRegistry`, and :class:`ResilienceConfig`, the policy
-  object the polystore's degraded mode runs under.
+  object the polystore's degraded mode runs under;
+- :mod:`repro.faults.crash` — deterministic crash-*point* injection for
+  the durable-write protocol: registered, named points inside
+  multi-step disk protocols, a hit-counted :class:`CrashInjector` that
+  kills the process (torn write / lost rename / missed fsync / plain
+  kill) at an exact step, and :class:`CrashCensus` for enumerating the
+  crash matrix (see ``docs/DURABILITY.md``).
 
 Typical chaos drill::
 
@@ -36,6 +42,23 @@ from repro.faults.breaker import (
     ResilienceConfig,
     Transition,
 )
+from repro.faults.crash import (
+    ALL_MODES,
+    KILL,
+    LOST_RENAME,
+    MISSED_FSYNC,
+    TORN_WRITE,
+    CrashCensus,
+    CrashInjector,
+    CrashPoint,
+    ProcessCrash,
+    crash_census,
+    crash_step,
+    crashing,
+    maybe_crash,
+    register_crash_point,
+    registered_crash_points,
+)
 from repro.faults.injector import (
     NO_FAULTS,
     FaultInjector,
@@ -45,16 +68,31 @@ from repro.faults.injector import (
 )
 
 __all__ = [
+    "ALL_MODES",
     "CLOSED",
     "CircuitBreaker",
+    "CrashCensus",
+    "CrashInjector",
+    "CrashPoint",
     "FaultInjector",
     "FaultSchedule",
     "FaultSpec",
     "HALF_OPEN",
     "HealthRegistry",
+    "KILL",
+    "LOST_RENAME",
+    "MISSED_FSYNC",
     "NO_FAULTS",
     "OPEN",
+    "ProcessCrash",
     "ResilienceConfig",
+    "TORN_WRITE",
     "Transition",
     "corrupt_payload",
+    "crash_census",
+    "crash_step",
+    "crashing",
+    "maybe_crash",
+    "register_crash_point",
+    "registered_crash_points",
 ]

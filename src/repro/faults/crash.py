@@ -1,0 +1,201 @@
+"""Deterministic crash-point injection for the durability protocol.
+
+The :class:`~repro.faults.injector.FaultInjector` can make a backend
+*call* fail, but it cannot kill the process halfway through a multi-step
+disk protocol — which is exactly where torn writes, lost renames and
+missed fsyncs live.  This module adds that capability:
+
+- durable-write protocol code **registers** named crash points
+  (:func:`register_crash_point`) and **visits** them at each step
+  (:func:`crash_step` / :func:`maybe_crash`);
+- a test or harness **arms** one :class:`CrashInjector` for a
+  ``(point, mode, hit)`` triple via :func:`crashing`; the *hit*-th visit
+  of that point triggers the configured failure mode and raises
+  :class:`ProcessCrash` — everything is hit-counted, so two runs of the
+  same workload crash at exactly the same step;
+- :func:`crash_census` runs a workload with a counting (never-firing)
+  injector so a matrix harness can enumerate every reachable
+  ``(point, hit)`` pair before crashing each one in turn.
+
+Failure modes (what the write protocol does when the point fires):
+
+- ``kill`` — die *before* the step executes (plain process kill);
+- ``torn-write`` — persist only a prefix of the payload, then die
+  (a partially flushed buffer);
+- ``lost-rename`` — die with the tmp file written but never renamed
+  (the publish step never happened);
+- ``missed-fsync`` — skip the fsync, let the rename land, then die:
+  the rename is durable but the data blocks are not, so a *torn* file
+  sits at the final name — the nastiest real-world crash artifact.
+
+:class:`ProcessCrash` deliberately derives from :class:`BaseException`:
+a simulated process death must not be swallowed by any ``except
+Exception`` recovery path between the crash point and the harness.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs import get_registry
+
+#: failure modes a crash point may support
+KILL = "kill"
+TORN_WRITE = "torn-write"
+LOST_RENAME = "lost-rename"
+MISSED_FSYNC = "missed-fsync"
+
+ALL_MODES = (KILL, TORN_WRITE, LOST_RENAME, MISSED_FSYNC)
+
+
+class ProcessCrash(BaseException):
+    """A simulated process death at a named crash point.
+
+    Derives from ``BaseException`` so no library ``except Exception``
+    handler can accidentally "survive" a crash — only the crash-matrix
+    harness (or a test) catches it, then reloads from disk.
+    """
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """One registered crash point: a name plus its supported modes."""
+
+    name: str
+    kinds: Tuple[str, ...] = (KILL,)
+
+
+_registry_lock = threading.Lock()
+_points: Dict[str, CrashPoint] = {}
+_active: Optional["CrashInjector"] = None
+
+
+def register_crash_point(name: str, kinds: Tuple[str, ...] = (KILL,)) -> CrashPoint:
+    """Declare a crash point; idempotent (modes are unioned on re-register)."""
+    for kind in kinds:
+        if kind not in ALL_MODES:
+            raise ValueError(f"unknown crash mode {kind!r}")
+    with _registry_lock:
+        existing = _points.get(name)
+        if existing is not None:
+            merged = tuple(dict.fromkeys(existing.kinds + tuple(kinds)))
+            point = CrashPoint(name, merged)
+        else:
+            point = CrashPoint(name, tuple(kinds))
+        _points[name] = point
+        return point
+
+
+def registered_crash_points() -> List[CrashPoint]:
+    """Every declared crash point, sorted by name (the matrix work-list)."""
+    with _registry_lock:
+        return sorted(_points.values(), key=lambda p: p.name)
+
+
+class CrashInjector:
+    """Fires a failure *mode* on the *hit*-th visit of one crash point.
+
+    Deterministic by construction: no RNG, just a visit counter, so the
+    same workload armed with the same triple crashes at the same step
+    regardless of wall clock or interleaving of other points.
+    """
+
+    def __init__(self, point: str, mode: str = KILL, hit: int = 1):
+        registered = _points.get(point)
+        if registered is None:
+            raise ValueError(f"unknown crash point {point!r}")
+        if mode not in registered.kinds:
+            raise ValueError(
+                f"crash point {point!r} does not support mode {mode!r} "
+                f"(supported: {registered.kinds})")
+        if hit < 1:
+            raise ValueError("hit must be >= 1 (1-based visit index)")
+        self.point = point
+        self.mode = mode
+        self.hit = hit
+        self.visits = 0
+        self.fired = False
+        self._lock = threading.Lock()
+
+    def visit(self, name: str) -> Optional[str]:
+        """Record a traversal of *name*; the firing visit returns the mode."""
+        if name != self.point:
+            return None
+        with self._lock:
+            self.visits += 1
+            if self.visits == self.hit:
+                self.fired = True
+                get_registry().counter("faults.crash_injected").inc()
+                return self.mode
+        return None
+
+
+class CrashCensus:
+    """A never-firing injector that counts visits per point.
+
+    Run the workload once under :func:`crash_census` to learn how many
+    times each registered point is traversed; the matrix harness then
+    crashes every ``(point, mode, hit)`` combination exactly once.
+    """
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def visit(self, name: str) -> Optional[str]:
+        with self._lock:
+            self.counts[name] = self.counts.get(name, 0) + 1
+        return None
+
+
+class _Armed:
+    """Context manager installing one injector as the process-wide hook."""
+
+    def __init__(self, injector):
+        self.injector = injector
+
+    def __enter__(self):
+        global _active
+        with _registry_lock:
+            if _active is not None:
+                raise RuntimeError("a crash injector is already armed")
+            _active = self.injector
+        return self.injector
+
+    def __exit__(self, exc_type, exc, tb):
+        global _active
+        with _registry_lock:
+            _active = None
+        return False
+
+
+def crashing(point: str, mode: str = KILL, hit: int = 1) -> _Armed:
+    """Arm a :class:`CrashInjector` for the duration of a ``with`` block."""
+    return _Armed(CrashInjector(point, mode, hit))
+
+
+def crash_census() -> _Armed:
+    """Arm a :class:`CrashCensus` for the duration of a ``with`` block."""
+    return _Armed(CrashCensus())
+
+
+def crash_step(name: str) -> Optional[str]:
+    """Visit crash point *name*; returns the firing mode, usually ``None``.
+
+    Protocol code calls this at each named step and implements the
+    returned mode's damage itself (it owns the file handles); ``None``
+    means "no injector armed / not this visit" and costs one attribute
+    read plus a ``None`` check.
+    """
+    injector = _active
+    if injector is None:
+        return None
+    return injector.visit(name)
+
+
+def maybe_crash(name: str) -> None:
+    """Visit a kill-only crash point: die here if it fires."""
+    if crash_step(name) is not None:
+        raise ProcessCrash(f"crash injected at {name}")

@@ -14,18 +14,38 @@ indexing, caching, and metadata management" on top of raw lake storage.
   version ``v`` fails with :class:`TransactionConflict` if another writer
   committed ``v`` first (the Delta Lake mutual-exclusion-on-log-entry
   protocol).
+
+When the backing :class:`~repro.storage.object_store.ObjectStore` is
+persistent, the transaction log is **durable** (see
+``docs/DURABILITY.md``): every commit is journaled to
+``<root>/_txlog/<bucket>/<version>.json`` — through the atomic-write
+protocol, checksummed, *before* the commit is acknowledged — and a table
+constructed over an existing root **recovers** by replaying the longest
+valid journal prefix, validating each data file's content hash, dropping
+any torn tail entries and garbage-collecting data files no surviving
+commit references.  A crash mid-commit therefore rolls back to the last
+acknowledged version; an acknowledged commit is never lost.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.dataset import Table
-from repro.core.errors import StorageError, TransactionConflict
+from repro.core.errors import DatasetNotFound, StorageError, TransactionConflict
 from repro.core.registry import Function, Method, SystemInfo, register_system
+from repro.durability import txlog
+from repro.durability.atomic import durable_unlink
+from repro.faults.crash import maybe_crash, register_crash_point
+from repro.obs import emit, get_registry
 from repro.storage.object_store import ObjectStore
+
+#: the journal write (commit point) and the post-journal ack window
+register_crash_point("lakehouse.commit.journal")
+register_crash_point("lakehouse.commit.ack")
 
 
 @dataclass(frozen=True)
@@ -35,6 +55,7 @@ class LogAction:
     action: str  # "add" | "remove"
     file_key: str
     num_rows: int = 0
+    content_hash: str = ""  # sha256 of the data file ("add" only)
 
 
 @dataclass(frozen=True)
@@ -71,6 +92,23 @@ class LakehouseTable:
         self._file_stats: Dict[str, Dict[str, Tuple[float, float]]] = {}
         self.files_skipped = 0
         self.files_read = 0
+        self._fsync = bool(getattr(self.store, "fsync", True))
+        self._recovery: Dict[str, Any] = {}
+        root = getattr(self.store, "root", None)
+        self._log_dir: Optional[Path] = None
+        if root is not None:
+            self._log_dir = Path(root) / txlog.TXLOG_DIR / self.bucket
+            self._recover()
+
+    @property
+    def log_dir(self) -> Optional[Path]:
+        """The on-disk journal directory, or ``None`` for in-memory tables."""
+        return self._log_dir
+
+    @property
+    def recovery_report(self) -> Dict[str, Any]:
+        """What startup recovery did: replayed / dropped / orphans removed."""
+        return dict(self._recovery)
 
     # -- log ------------------------------------------------------------------
 
@@ -83,8 +121,9 @@ class LakehouseTable:
         return list(self._log)
 
     def _next_file_key(self) -> str:
-        self._file_counter += 1
-        return f"part-{self._file_counter:05d}"
+        with self._lock:
+            self._file_counter += 1
+            return f"part-{self._file_counter:05d}"
 
     def _commit(
         self,
@@ -105,8 +144,136 @@ class LakehouseTable:
                 operation=operation,
                 metadata=dict(metadata or {}),
             )
+            self._journal(commit)
             self._log.append(commit)
             return commit
+
+    def _journal(self, commit: Commit) -> None:
+        """Durably journal *commit* before it is acknowledged.
+
+        The atomic publish of the journal entry is the commit point: a
+        crash before it rolls the transaction back on recovery (the data
+        file becomes a GC'd orphan); a crash after it — even before the
+        caller sees the ack — preserves the commit, because the entry
+        checksums clean and its data files are already on disk.
+        """
+        if self._log_dir is None:
+            return
+        maybe_crash("lakehouse.commit.journal")
+        entry = txlog.encode_entry(
+            commit.version,
+            commit.operation,
+            [
+                {
+                    "action": action.action,
+                    "file_key": action.file_key,
+                    "num_rows": action.num_rows,
+                    "content_hash": action.content_hash,
+                }
+                for action in commit.actions
+            ],
+            commit.metadata,
+        )
+        txlog.write_entry(self._log_dir, entry, fsync=self._fsync)
+        get_registry().counter("durability.commits_journaled").inc()
+        maybe_crash("lakehouse.commit.ack")
+
+    # -- recovery ---------------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Rebuild in-memory state from the on-disk journal after a restart.
+
+        Replays the longest valid journal prefix (parsed, checksummed,
+        contiguously numbered), validating every ``add`` action's content
+        hash against the object store; the first entry that fails —
+        a torn tail from a crash mid-journal, or an entry whose data file
+        never made it to disk — is dropped along with everything after
+        it, and the dropped journal files are unlinked.  Data files no
+        surviving commit references (orphans from crashes between the
+        data write and the journal write, or from conflict-aborted
+        transactions) are garbage-collected from the store.
+        """
+        assert self._log_dir is not None
+        entries, dropped = txlog.read_log(self._log_dir)
+        replayed: List[Commit] = []
+        for index, entry in enumerate(entries):
+            actions = tuple(
+                LogAction(
+                    action["action"],
+                    action["file_key"],
+                    num_rows=action.get("num_rows", 0),
+                    content_hash=action.get("content_hash", ""),
+                )
+                for action in entry["actions"]
+            )
+            problem = self._validate_actions(actions)
+            if problem is not None:
+                path = str(txlog.entry_path(self._log_dir, int(entry["version"])))
+                dropped.insert(0, (path, problem))
+                for later in entries[index + 1:]:
+                    later_path = txlog.entry_path(self._log_dir,
+                                                  int(later["version"]))
+                    dropped.append((str(later_path),
+                                    "follows a dropped journal entry"))
+                break
+            replayed.append(Commit(
+                version=int(entry["version"]),
+                actions=actions,
+                operation=entry["operation"],
+                metadata=dict(entry.get("metadata", {})),
+            ))
+        self._log = replayed
+
+        for path, _reason in dropped:
+            durable_unlink(Path(path), fsync=self._fsync)
+
+        # GC data files no surviving commit references, rebuild counters/stats
+        referenced = {a.file_key for c in replayed for a in c.actions
+                      if a.action == "add"}
+        orphans: List[str] = []
+        for key in self.store.keys(self.bucket, prefix="part-"):
+            if key not in referenced:
+                self.store.delete(self.bucket, key)
+                orphans.append(key)
+        self._file_counter = max(
+            (self._part_number(key) for key in referenced), default=0)
+        for key in self._live_files(self.version):
+            self._collect_stats(key, self.store.get(self.bucket, key).payload())
+
+        self._recovery = {
+            "replayed": len(replayed),
+            "dropped_entries": [{"path": p, "reason": r} for p, r in dropped],
+            "orphans_removed": orphans,
+        }
+        if replayed or dropped or orphans:
+            registry = get_registry()
+            registry.counter("durability.recovery.replayed").inc(len(replayed))
+            registry.counter("durability.recovery.dropped_entries").inc(len(dropped))
+            registry.counter("durability.recovery.orphans_removed").inc(len(orphans))
+            emit("lakehouse.recovered", table=self.name,
+                 version=self.version, replayed=len(replayed),
+                 dropped=len(dropped), orphans=len(orphans))
+
+    def _validate_actions(self, actions: Sequence[LogAction]) -> Optional[str]:
+        """Why a journaled commit cannot be replayed, or ``None`` if it can."""
+        for action in actions:
+            if action.action != "add":
+                continue
+            try:
+                obj = self.store.get(self.bucket, action.file_key)
+            except DatasetNotFound:
+                return f"data file {action.file_key} is missing or unreadable"
+            if action.content_hash and obj.content_hash != action.content_hash:
+                return (f"data file {action.file_key} content hash does not "
+                        f"match the journaled commit")
+        return None
+
+    @staticmethod
+    def _part_number(file_key: str) -> int:
+        try:
+            return int(file_key.rsplit("-", 1)[-1])
+        except ValueError:
+            return 0
 
     # -- writes ------------------------------------------------------------------
 
@@ -131,10 +298,15 @@ class LakehouseTable:
         records = list(rows)
         file_key = self._next_file_key()
         table = Table.from_records(file_key, records)
-        self.store.put(self.bucket, file_key, table, format="columnar")
+        obj = self.store.put(self.bucket, file_key, table, format="columnar")
         self._collect_stats(file_key, table)
-        action = LogAction("add", file_key, num_rows=len(records))
-        return self._commit([action], "append", expected_version, metadata)
+        action = LogAction("add", file_key, num_rows=len(records),
+                           content_hash=obj.content_hash)
+        try:
+            return self._commit([action], "append", expected_version, metadata)
+        except TransactionConflict:
+            self._discard_file(file_key)
+            raise
 
     def overwrite(
         self,
@@ -148,10 +320,24 @@ class LakehouseTable:
         actions = [LogAction("remove", key) for key in live]
         file_key = self._next_file_key()
         table = Table.from_records(file_key, records)
-        self.store.put(self.bucket, file_key, table, format="columnar")
+        obj = self.store.put(self.bucket, file_key, table, format="columnar")
         self._collect_stats(file_key, table)
-        actions.append(LogAction("add", file_key, num_rows=len(records)))
-        return self._commit(actions, "overwrite", expected_version, metadata)
+        actions.append(LogAction("add", file_key, num_rows=len(records),
+                                 content_hash=obj.content_hash))
+        try:
+            return self._commit(actions, "overwrite", expected_version, metadata)
+        except TransactionConflict:
+            self._discard_file(file_key)
+            raise
+
+    def _discard_file(self, file_key: str) -> None:
+        """Remove an orphaned data file left by a failed (unjournaled) commit."""
+        self._file_stats.pop(file_key, None)
+        try:
+            self.store.delete(self.bucket, file_key)
+        except DatasetNotFound:
+            pass  # never persisted (or already cleaned) — nothing to discard
+        get_registry().counter("durability.conflict_orphans_cleaned").inc()
 
     def delete_where(
         self,

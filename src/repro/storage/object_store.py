@@ -6,6 +6,16 @@ immutable versions (every put appends a version, like Azure Data Lake
 Store's hierarchical blob storage), content hashing for redundancy
 detection (one of the AI-assisted lake features of Sec. 2.2), and optional
 persistence to a directory so lakes survive a process restart.
+
+Persistence is *crash-consistent* (see ``docs/DURABILITY.md``): every
+disk write funnels through the :mod:`repro.durability.atomic` protocol
+(tmp file → fsync → atomic rename → directory fsync) in data-before-meta
+order — an object is committed exactly when its ``*.meta.json`` record
+is published, so a crash at any step leaves either a fully readable
+object or invisible residue (a stale tmp or an unreferenced data file)
+that ``lakefsck`` reports and garbage-collects.  Deletes unlink the
+persisted files under the same protocol (meta first, newest version
+first), so a deleted object can never resurrect on reload.
 """
 
 from __future__ import annotations
@@ -17,8 +27,14 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.errors import DatasetNotFound
+from repro.durability.atomic import atomic_write_bytes, atomic_write_text, durable_unlink
+from repro.faults.crash import maybe_crash, register_crash_point
 from repro.obs import get_registry
 from repro.storage.formats import decode, detect_format, encode
+
+#: crash windows between the two-file persist/delete sequences
+register_crash_point("object_store.persist.between")
+register_crash_point("object_store.delete.between")
 
 
 @dataclass(frozen=True)
@@ -46,16 +62,31 @@ def _hash(data: bytes) -> str:
     return hashlib.sha256(data).hexdigest()
 
 
+class CorruptObject(Exception):
+    """A persisted object's bytes fail validation against its meta record."""
+
+
 class ObjectStore:
     """Bucketed, versioned blob storage with optional disk persistence."""
 
-    def __init__(self, root: Optional[Path] = None):
+    def __init__(self, root: Optional[Path] = None, fsync: bool = True):
         self._buckets: Dict[str, Dict[str, List[StoredObject]]] = {}
         self._root = Path(root) if root is not None else None
+        self._fsync = fsync
         self._quarantined: List[Dict[str, str]] = []
         if self._root is not None:
             self._root.mkdir(parents=True, exist_ok=True)
             self._load()
+
+    @property
+    def root(self) -> Optional[Path]:
+        """The persistence root directory, or ``None`` for in-memory stores."""
+        return self._root
+
+    @property
+    def fsync(self) -> bool:
+        """Whether persisted writes fsync (off only for throwaway roots)."""
+        return self._fsync
 
     # -- bucket management -------------------------------------------------
 
@@ -131,10 +162,26 @@ class ObjectStore:
         return bool(self._buckets.get(bucket, {}).get(key))
 
     def delete(self, bucket: str, key: str) -> None:
-        """Delete all versions of an object."""
+        """Delete all versions of an object, on disk included.
+
+        Persisted versions are unlinked newest-first, meta before data,
+        under the durable-delete protocol: the meta unlink is the commit
+        point of each version's deletion (an object without its meta
+        record is invisible to :meth:`_load`), and surviving versions
+        always form a contiguous ``1..k`` prefix, so a crash mid-delete
+        leaves either the fully deleted key or a readable older state —
+        never a resurrection of the newest data and never a quarantine.
+        """
         bucket_map = self._bucket(bucket)
         if key not in bucket_map:
             raise DatasetNotFound(f"object {bucket}/{key} does not exist")
+        if self._root is not None:
+            for obj in sorted(bucket_map[key], key=lambda o: -o.version):
+                path = self._object_path(obj)
+                durable_unlink(path.with_suffix(path.suffix + ".meta.json"),
+                               fsync=self._fsync)
+                maybe_crash("object_store.delete.between")
+                durable_unlink(path, fsync=self._fsync)
         del bucket_map[key]
 
     # -- listing & inspection ------------------------------------------------
@@ -180,11 +227,18 @@ class ObjectStore:
         return self._root / obj.bucket / f"{safe_key}.v{obj.version}"
 
     def _persist(self, obj: StoredObject) -> None:
+        """Publish one version durably: data file first, then its meta.
+
+        The meta record is the commit point — :meth:`_load` only admits
+        objects whose ``*.meta.json`` exists and parses, so a crash
+        between the two atomic writes leaves an invisible orphan data
+        file (reported and GC'd by ``lakefsck``), never a torn object.
+        """
         if self._root is None:
             return
         path = self._object_path(obj)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_bytes(obj.data)
+        atomic_write_bytes(path, obj.data, fsync=self._fsync)
+        maybe_crash("object_store.persist.between")
         meta = {
             "bucket": obj.bucket,
             "key": obj.key,
@@ -193,16 +247,20 @@ class ObjectStore:
             "content_hash": obj.content_hash,
             "metadata": obj.metadata,
         }
-        path.with_suffix(path.suffix + ".meta.json").write_text(json.dumps(meta))
+        atomic_write_text(path.with_suffix(path.suffix + ".meta.json"),
+                          json.dumps(meta), fsync=self._fsync)
 
     def _load(self) -> None:
         """Reload persisted objects, quarantining unreadable/corrupt entries.
 
         A damaged entry (unreadable file, bad JSON, missing metadata
-        fields) must not take the whole store down: it is recorded on
+        fields, data bytes that no longer match the recorded content
+        hash) must not take the whole store down: it is recorded on
         :attr:`quarantined`, counted on the
         ``storage.object_store.quarantined`` metric, and skipped — every
-        healthy object still loads.
+        healthy object still loads.  In-flight ``*.tmp`` residue from the
+        atomic-write protocol never matches the meta glob and is
+        therefore invisible here; ``lakefsck`` reports and removes it.
         """
         assert self._root is not None
         metas = sorted(self._root.glob("*/*.meta.json"))
@@ -211,6 +269,10 @@ class ObjectStore:
                 meta = json.loads(meta_path.read_text())
                 data_path = meta_path.with_name(meta_path.name[: -len(".meta.json")])
                 data = data_path.read_bytes()
+                if _hash(data) != meta["content_hash"]:
+                    raise CorruptObject(
+                        f"content hash mismatch for {data_path.name}: "
+                        f"stored bytes do not match recorded sha256")
                 obj = StoredObject(
                     bucket=meta["bucket"],
                     key=meta["key"],
@@ -220,7 +282,8 @@ class ObjectStore:
                     content_hash=meta["content_hash"],
                     metadata=meta.get("metadata", {}),
                 )
-            except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
+            except (OSError, json.JSONDecodeError, KeyError, TypeError,
+                    CorruptObject) as exc:
                 self._quarantined.append(
                     {"path": str(meta_path), "error": f"{type(exc).__name__}: {exc}"})
                 get_registry().counter("storage.object_store.quarantined").inc()

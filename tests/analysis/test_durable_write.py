@@ -1,0 +1,98 @@
+"""The durable-write rule fires on raw storage-tier disk writes and stays
+quiet on the atomic-protocol funnel and the sanctioned contexts."""
+
+import textwrap
+
+from repro.analysis import LintEngine
+from repro.analysis.rules import DurableWriteRule
+
+
+def _tree(tmp_path, files):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return tmp_path
+
+
+def _run(tmp_path):
+    return LintEngine([DurableWriteRule()]).run([tmp_path], root=tmp_path).findings
+
+
+STORAGE_FILE = "repro/storage/newstore.py"
+
+
+class TestFires:
+    def test_write_bytes_fires(self, tmp_path):
+        _tree(tmp_path, {STORAGE_FILE: """
+            def persist(path, data):
+                path.write_bytes(data)
+        """})
+        findings = _run(tmp_path)
+        assert len(findings) == 1
+        assert findings[0].rule == "durable-write"
+        assert "write_bytes" in findings[0].message
+
+    def test_write_text_fires(self, tmp_path):
+        _tree(tmp_path, {STORAGE_FILE: """
+            def persist(path, text):
+                path.write_text(text)
+        """})
+        assert len(_run(tmp_path)) == 1
+
+    def test_open_for_write_fires(self, tmp_path):
+        _tree(tmp_path, {STORAGE_FILE: """
+            def persist(path, data):
+                with open(path, "wb") as handle:
+                    handle.write(data)
+        """})
+        assert len(_run(tmp_path)) == 1
+
+    def test_open_mode_keyword_fires(self, tmp_path):
+        _tree(tmp_path, {STORAGE_FILE: """
+            def persist(path, data):
+                with open(path, mode="a") as handle:
+                    handle.write(data)
+        """})
+        assert len(_run(tmp_path)) == 1
+
+
+class TestQuiet:
+    def test_atomic_funnel_is_quiet(self, tmp_path):
+        _tree(tmp_path, {STORAGE_FILE: """
+            from repro.durability.atomic import atomic_write_bytes
+
+            def persist(path, data):
+                atomic_write_bytes(path, data, fsync=True)
+        """})
+        assert _run(tmp_path) == []
+
+    def test_open_for_read_is_quiet(self, tmp_path):
+        _tree(tmp_path, {STORAGE_FILE: """
+            def load(path):
+                with open(path, "rb") as handle:
+                    return handle.read()
+        """})
+        assert _run(tmp_path) == []
+
+    def test_unchecked_helper_is_sanctioned(self, tmp_path):
+        _tree(tmp_path, {STORAGE_FILE: """
+            def plant_corruption_unchecked(path):
+                path.write_bytes(b"deliberately torn")
+        """})
+        assert _run(tmp_path) == []
+
+    def test_init_is_sanctioned(self, tmp_path):
+        _tree(tmp_path, {STORAGE_FILE: """
+            class Store:
+                def __init__(self, marker):
+                    marker.write_text("created")
+        """})
+        assert _run(tmp_path) == []
+
+    def test_out_of_scope_module_is_quiet(self, tmp_path):
+        _tree(tmp_path, {"repro/runtime/spool.py": """
+            def persist(path, data):
+                path.write_bytes(data)
+        """})
+        assert _run(tmp_path) == []

@@ -111,3 +111,48 @@ class TestLinearVsQuadratic:
         # every strong exact edge must be recovered by LSH
         strong = {(a, b) for a, b, s in engine.all_pairs_content_edges() if s > 0.7}
         assert strong <= approx
+
+
+def _edge_map(engine):
+    refs = engine.ekg.columns()
+    edges = {}
+    for i, left in enumerate(refs):
+        for right in refs[i + 1:]:
+            relations = engine.ekg.relations_between(left, right)
+            if relations:
+                edges[(left, right)] = relations
+    return edges
+
+
+class TestDeltaPartitionInvariance:
+    """Async maintenance splits ingests into timing-dependent delta batches;
+    every partition must yield exactly the full-build EKG (edge set *and*
+    scores), or parallel/serial discovery answers drift apart."""
+
+    def test_every_split_matches_full_build(self, small_lake):
+        tables = list(small_lake)
+        full = Aurum()
+        for table in tables:
+            full.add_table(table)
+        full.build()
+        expected = _edge_map(full)
+        for split in range(1, len(tables)):
+            engine = Aurum()
+            for table in tables[:split]:
+                engine.add_table(table)
+            engine.build_delta()
+            for table in tables[split:]:
+                engine.add_table(table)
+            engine.build_delta()
+            assert _edge_map(engine) == expected, f"split at {split}"
+
+    def test_one_table_per_delta_matches_full_build(self, small_lake):
+        full = Aurum()
+        for table in small_lake:
+            full.add_table(table)
+        full.build()
+        engine = Aurum()
+        for table in small_lake:
+            engine.add_table(table)
+            engine.build_delta()
+        assert _edge_map(engine) == _edge_map(full)

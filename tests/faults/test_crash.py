@@ -1,0 +1,121 @@
+"""Crash-point registry, injector determinism, and census behavior."""
+
+import pytest
+
+from repro.faults.crash import (
+    ALL_MODES,
+    KILL,
+    TORN_WRITE,
+    CrashCensus,
+    CrashInjector,
+    ProcessCrash,
+    crash_census,
+    crash_step,
+    crashing,
+    maybe_crash,
+    register_crash_point,
+    registered_crash_points,
+)
+
+
+class TestRegistry:
+    def test_register_is_idempotent_and_unions_modes(self):
+        first = register_crash_point("test.point.alpha", kinds=(KILL,))
+        second = register_crash_point("test.point.alpha", kinds=(TORN_WRITE,))
+        assert first.kinds == (KILL,)
+        assert second.kinds == (KILL, TORN_WRITE)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            register_crash_point("test.point.bad", kinds=("explode",))
+
+    def test_registered_points_sorted(self):
+        register_crash_point("test.point.zz")
+        register_crash_point("test.point.aa")
+        names = [p.name for p in registered_crash_points()]
+        assert names == sorted(names)
+        assert "durability.write.tmp" in names  # atomic protocol registered
+
+    def test_all_modes_complete(self):
+        assert len(ALL_MODES) == 4
+
+
+class TestInjector:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError):
+            CrashInjector("never.registered")
+
+    def test_unsupported_mode_rejected(self):
+        register_crash_point("test.point.kill_only", kinds=(KILL,))
+        with pytest.raises(ValueError):
+            CrashInjector("test.point.kill_only", mode=TORN_WRITE)
+
+    def test_hit_must_be_positive(self):
+        register_crash_point("test.point.hits")
+        with pytest.raises(ValueError):
+            CrashInjector("test.point.hits", hit=0)
+
+    def test_fires_on_exact_hit_only(self):
+        register_crash_point("test.point.third")
+        injector = CrashInjector("test.point.third", hit=3)
+        assert injector.visit("test.point.third") is None
+        assert injector.visit("other.point") is None  # not counted
+        assert injector.visit("test.point.third") is None
+        assert injector.visit("test.point.third") == KILL
+        assert injector.fired
+        assert injector.visit("test.point.third") is None  # one shot
+
+    def test_deterministic_across_runs(self):
+        register_crash_point("test.point.det")
+
+        def run():
+            hits = []
+            injector = CrashInjector("test.point.det", hit=2)
+            for index in range(4):
+                hits.append((index, injector.visit("test.point.det")))
+            return hits
+
+        assert run() == run()
+
+
+class TestArming:
+    def test_maybe_crash_raises_process_crash(self):
+        register_crash_point("test.point.armed")
+        with crashing("test.point.armed"):
+            with pytest.raises(ProcessCrash):
+                maybe_crash("test.point.armed")
+
+    def test_unarmed_crash_step_is_none(self):
+        register_crash_point("test.point.idle")
+        assert crash_step("test.point.idle") is None
+
+    def test_double_arming_rejected(self):
+        register_crash_point("test.point.double")
+        with crashing("test.point.double", hit=99):
+            with pytest.raises(RuntimeError):
+                with crashing("test.point.double"):
+                    pass  # pragma: no cover
+
+    def test_disarmed_after_context_exit(self):
+        register_crash_point("test.point.exit")
+        with crashing("test.point.exit", hit=99):
+            pass
+        assert crash_step("test.point.exit") is None
+
+    def test_process_crash_is_base_exception(self):
+        # `except Exception` recovery code must never swallow a crash
+        assert not issubclass(ProcessCrash, Exception)
+        assert issubclass(ProcessCrash, BaseException)
+
+
+class TestCensus:
+    def test_counts_visits_without_firing(self):
+        register_crash_point("test.point.census")
+        with crash_census() as census:
+            for _ in range(5):
+                maybe_crash("test.point.census")
+        assert census.counts["test.point.census"] == 5
+
+    def test_census_type(self):
+        with crash_census() as census:
+            assert isinstance(census, CrashCensus)

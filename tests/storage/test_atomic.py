@@ -1,0 +1,112 @@
+"""The atomic durable-write protocol: publish semantics under every mode."""
+
+import pytest
+
+from repro.durability.atomic import (
+    TMP_SUFFIX,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    durable_unlink,
+    is_tmp,
+)
+from repro.faults.crash import (
+    KILL,
+    LOST_RENAME,
+    MISSED_FSYNC,
+    TORN_WRITE,
+    ProcessCrash,
+    crashing,
+)
+
+
+class TestHappyPath:
+    def test_round_trip_and_no_tmp_residue(self, tmp_path):
+        target = tmp_path / "nested" / "data.bin"
+        atomic_write_bytes(target, b"payload", fsync=False)
+        assert target.read_bytes() == b"payload"
+        assert list(tmp_path.rglob("*" + TMP_SUFFIX)) == []
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        target = tmp_path / "data.bin"
+        atomic_write_bytes(target, b"one", fsync=False)
+        atomic_write_bytes(target, b"two", fsync=False)
+        assert target.read_bytes() == b"two"
+
+    def test_text_and_json_variants(self, tmp_path):
+        atomic_write_text(tmp_path / "t.txt", "héllo", fsync=False)
+        assert (tmp_path / "t.txt").read_text() == "héllo"
+        atomic_write_json(tmp_path / "j.json", {"b": 1, "a": 2}, fsync=False)
+        # canonical: sorted keys
+        assert (tmp_path / "j.json").read_text() == '{"a": 2, "b": 1}'
+
+    def test_fsync_true_also_round_trips(self, tmp_path):
+        target = tmp_path / "synced.bin"
+        atomic_write_bytes(target, b"durable", fsync=True)
+        assert target.read_bytes() == b"durable"
+
+    def test_is_tmp(self):
+        assert is_tmp("x.bin" + TMP_SUFFIX)
+        assert not is_tmp("x.bin")
+
+
+class TestCrashModes:
+    def test_torn_write_leaves_only_tmp_prefix(self, tmp_path):
+        target = tmp_path / "data.bin"
+        with crashing("durability.write.tmp", TORN_WRITE):
+            with pytest.raises(ProcessCrash):
+                atomic_write_bytes(target, b"full-payload", fsync=False)
+        assert not target.exists()  # final name untouched
+        tmp = target.with_name(target.name + TMP_SUFFIX)
+        assert tmp.read_bytes() == b"full-p"  # half the payload
+
+    def test_kill_before_tmp_leaves_nothing(self, tmp_path):
+        target = tmp_path / "data.bin"
+        with crashing("durability.write.tmp", KILL):
+            with pytest.raises(ProcessCrash):
+                atomic_write_bytes(target, b"payload", fsync=False)
+        assert not target.exists()
+        assert not target.with_name(target.name + TMP_SUFFIX).exists()
+
+    def test_lost_rename_leaves_full_tmp_but_no_final(self, tmp_path):
+        target = tmp_path / "data.bin"
+        with crashing("durability.write.rename", LOST_RENAME):
+            with pytest.raises(ProcessCrash):
+                atomic_write_bytes(target, b"payload", fsync=False)
+        assert not target.exists()
+        tmp = target.with_name(target.name + TMP_SUFFIX)
+        assert tmp.read_bytes() == b"payload"  # written, never published
+
+    def test_missed_fsync_leaves_torn_file_at_final_name(self, tmp_path):
+        target = tmp_path / "data.bin"
+        with crashing("durability.write.fsync", MISSED_FSYNC):
+            with pytest.raises(ProcessCrash):
+                atomic_write_bytes(target, b"full-payload", fsync=False)
+        # the nastiest artifact: rename durable, data blocks torn
+        assert target.read_bytes() == b"full-p"
+        assert not target.with_name(target.name + TMP_SUFFIX).exists()
+
+    def test_crash_points_fire_even_with_fsync_off(self, tmp_path):
+        # the crash matrix stays stable whether or not fsync is requested
+        with crashing("durability.write.dirsync", KILL):
+            with pytest.raises(ProcessCrash):
+                atomic_write_bytes(tmp_path / "d.bin", b"x", fsync=False)
+        # publish happened before the dirsync step
+        assert (tmp_path / "d.bin").read_bytes() == b"x"
+
+
+class TestDurableUnlink:
+    def test_unlink_returns_existence(self, tmp_path):
+        target = tmp_path / "gone.bin"
+        target.write_bytes(b"x")
+        assert durable_unlink(target, fsync=False) is True
+        assert durable_unlink(target, fsync=False) is False
+        assert not target.exists()
+
+    def test_kill_before_unlink_preserves_file(self, tmp_path):
+        target = tmp_path / "kept.bin"
+        target.write_bytes(b"x")
+        with crashing("durability.delete.unlink", KILL):
+            with pytest.raises(ProcessCrash):
+                durable_unlink(target, fsync=False)
+        assert target.exists()

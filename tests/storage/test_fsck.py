@@ -1,0 +1,206 @@
+"""lakefsck: issue detection, GC policy, and the CLI."""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.durability.fsck import (
+    CORRUPTION_KINDS,
+    GC_KINDS,
+    fsck_lake,
+    gc_lake,
+)
+from repro.storage.lakehouse import LakehouseTable
+from repro.storage.object_store import ObjectStore
+
+
+@pytest.fixture
+def lake(tmp_path):
+    root = tmp_path / "lake"
+    store = ObjectStore(root, fsync=False)
+    table = LakehouseTable("events", store)
+    table.append([{"id": 1, "v": 10}])
+    table.append([{"id": 2, "v": 20}])
+    store.put_bytes("raw", "a.txt", b"alpha")
+    return root, store, table
+
+
+def _kinds(report):
+    return sorted({issue.kind for issue in report.issues})
+
+
+class TestClean:
+    def test_clean_lake_is_ok(self, lake):
+        root, _, _ = lake
+        report = fsck_lake(root)
+        assert report.ok
+        assert report.issues == []
+        assert report.objects_seen == 3  # two parts + one raw object
+        assert report.log_entries_seen == 2
+
+    def test_missing_root_is_ok(self, tmp_path):
+        assert fsck_lake(tmp_path / "never-created").ok
+
+
+class TestResidueDetection:
+    def test_tmp_leftover(self, lake):
+        root, _, _ = lake
+        (root / "raw" / "b.txt.v1.tmp").write_bytes(b"half")
+        report = fsck_lake(root)
+        assert _kinds(report) == ["tmp-leftover"]
+
+    def test_orphan_data(self, lake):
+        root, _, _ = lake
+        (root / "raw" / "b.txt.v1").write_bytes(b"no meta")
+        report = fsck_lake(root)
+        assert _kinds(report) == ["orphan-data"]
+
+    def test_unreferenced_part(self, lake):
+        root, store, table = lake
+        # plant a fully committed part the journal never references
+        store.put_bytes(table.bucket, "part-00099", b"rogue")
+        report = fsck_lake(root)
+        assert _kinds(report) == ["unreferenced-part"]
+        assert len(report.issues) == 2  # data file + meta record
+
+    def test_torn_log_tail(self, lake):
+        root, _, table = lake
+        (table.log_dir / "00000002.json").write_text("{torn")
+        report = fsck_lake(root)
+        # the torn entry plus the now-unreferenced part-00002 object
+        assert set(_kinds(report)) == {"torn-log-tail", "unreferenced-part"}
+
+
+class TestCorruptionDetection:
+    def test_hash_mismatch(self, lake):
+        root, _, _ = lake
+        (root / "raw" / "a.txt.v1").write_bytes(b"bitrot")
+        report = fsck_lake(root)
+        assert "hash-mismatch" in _kinds(report)
+
+    def test_torn_meta(self, lake):
+        root, _, _ = lake
+        (root / "raw" / "a.txt.v1.meta.json").write_text("{nope")
+        report = fsck_lake(root)
+        # unparseable meta + its data file now counts as orphaned
+        assert set(_kinds(report)) == {"torn-meta", "orphan-data"}
+
+    def test_missing_data(self, lake):
+        root, _, _ = lake
+        (root / "raw" / "a.txt.v1").unlink()
+        report = fsck_lake(root)
+        assert "missing-data" in _kinds(report)
+
+    def test_version_gap(self, lake):
+        root, store, _ = lake
+        store.put_bytes("raw", "a.txt", b"alpha-two")
+        (root / "raw" / "a.txt.v1.meta.json").unlink()
+        (root / "raw" / "a.txt.v1").unlink()
+        report = fsck_lake(root)
+        assert "version-gap" in _kinds(report)
+
+    def test_log_data_mismatch(self, lake):
+        root, _, table = lake
+        # rewrite a referenced part with divergent content + matching meta:
+        # the object itself checks out, but diverges from the journaled add
+        path = root / table.bucket / "part-00001.v1"
+        meta_path = root / table.bucket / "part-00001.v1.meta.json"
+        meta = json.loads(meta_path.read_text())
+        new_data = b"divergent-content"
+        meta["content_hash"] = hashlib.sha256(new_data).hexdigest()
+        path.write_bytes(new_data)
+        meta_path.write_text(json.dumps(meta))
+        report = fsck_lake(root)
+        assert "log-data-mismatch" in _kinds(report)
+
+
+class TestGcPolicy:
+    def test_gc_removes_residue_only(self, lake):
+        root, store, table = lake
+        (root / "raw" / "b.txt.v1.tmp").write_bytes(b"half")       # residue
+        (root / "raw" / "c.txt.v1").write_bytes(b"orphan")         # residue
+        (root / "raw" / "a.txt.v1").write_bytes(b"bitrot")         # corruption
+        removed = gc_lake(root, fsync=False)
+        assert len(removed) == 2
+        report = fsck_lake(root)
+        assert report.residue() == []
+        assert _kinds(report) == ["hash-mismatch"]  # evidence survives GC
+
+    def test_gc_on_clean_lake_is_noop(self, lake):
+        root, _, _ = lake
+        assert gc_lake(root, fsync=False) == []
+        assert fsck_lake(root).ok
+
+    def test_kind_classes_are_disjoint_and_complete(self):
+        assert not (GC_KINDS & CORRUPTION_KINDS)
+
+
+class TestCli:
+    @staticmethod
+    def _cli(*argv):
+        import pathlib
+        import subprocess
+        import sys
+
+        repo_root = pathlib.Path(__file__).resolve().parent.parent.parent
+        return subprocess.run(
+            [sys.executable, str(repo_root / "tools" / "lakefsck.py"), *argv],
+            capture_output=True, text=True, cwd=repo_root)
+
+    def test_exit_codes_and_gc_flag(self, lake):
+        root, _, _ = lake
+        assert self._cli(str(root)).returncode == 0
+        (root / "raw" / "b.txt.v1").write_bytes(b"orphan")
+        assert self._cli(str(root)).returncode == 1
+        swept = self._cli(str(root), "--gc")
+        assert swept.returncode == 0  # residue swept
+        assert "gc: removed 1" in swept.stdout
+
+    def test_json_format(self, lake):
+        root, _, _ = lake
+        result = self._cli(str(root), "--format", "json")
+        assert result.returncode == 0
+        payload = json.loads(result.stdout)
+        assert payload["ok"] is True
+        assert payload["gc_removed"] == []
+
+
+class TestHealthWiring:
+    def test_lake_health_includes_durability(self, tmp_path):
+        from repro.core.lake import DataLake
+        from repro.storage.polystore import Polystore
+
+        root = tmp_path / "lake"
+        lake = DataLake(polystore=Polystore(
+            objects=ObjectStore(root, fsync=False)))
+        lake.ingest_table("sales", {"region": ["EU", "US"], "amount": [10, 20]})
+        report = lake.health()
+        assert report["durability"]["ok"] is True
+        assert report["healthy"] is True
+
+        (root / "raw").mkdir(exist_ok=True)
+        (root / "raw" / "junk.v1").write_bytes(b"orphan")
+        report = lake.health()
+        assert report["durability"]["ok"] is False
+        assert report["durability"]["residue"] == 1
+        assert report["healthy"] is False
+
+    def test_repair_degraded_sweeps_residue(self, tmp_path):
+        from repro.core.lake import DataLake
+        from repro.storage.polystore import Polystore
+
+        root = tmp_path / "lake"
+        lake = DataLake(polystore=Polystore(
+            objects=ObjectStore(root, fsync=False)))
+        (root / "raw").mkdir(exist_ok=True)
+        (root / "raw" / "junk.v1").write_bytes(b"orphan")
+        job_ids = lake.repair_degraded(wait=True)
+        assert job_ids  # the fsck:gc job ran
+        assert lake.health()["durability"]["ok"] is True
+
+    def test_in_memory_lake_has_no_durability_section(self):
+        from repro.core.lake import DataLake
+
+        report = DataLake.in_memory().health()
+        assert "durability" not in report

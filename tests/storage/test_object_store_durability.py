@@ -1,0 +1,77 @@
+"""ObjectStore crash consistency: durable deletes, commit-point ordering."""
+
+import pytest
+
+from repro.faults.crash import KILL, ProcessCrash, crashing
+from repro.storage.object_store import ObjectStore
+
+
+@pytest.fixture
+def root(tmp_path):
+    return tmp_path / "store"
+
+
+class TestDeleteDurability:
+    def test_delete_does_not_resurrect_after_reload(self, root):
+        """Regression: delete used to drop only the in-memory entry."""
+        store = ObjectStore(root, fsync=False)
+        store.put_bytes("raw", "doc.txt", b"v1")
+        store.put_bytes("raw", "doc.txt", b"v2")
+        store.delete("raw", "doc.txt")
+        assert not store.exists("raw", "doc.txt")
+        reloaded = ObjectStore(root, fsync=False)
+        assert not reloaded.exists("raw", "doc.txt")
+        assert list(root.glob("raw/doc.txt*")) == []
+
+    def test_delete_in_memory_store_still_works(self):
+        store = ObjectStore()
+        store.put_bytes("raw", "doc.txt", b"v1")
+        store.delete("raw", "doc.txt")
+        assert not store.exists("raw", "doc.txt")
+
+    def test_crash_mid_delete_leaves_contiguous_prefix(self, root):
+        store = ObjectStore(root, fsync=False)
+        for payload in (b"v1", b"v2", b"v3"):
+            store.put_bytes("raw", "doc.txt", payload)
+        # die between v3's meta unlink and data unlink: newest version
+        # invisible, older prefix intact — never a gap, never quarantine
+        with crashing("object_store.delete.between", KILL):
+            with pytest.raises(ProcessCrash):
+                store.delete("raw", "doc.txt")
+        reloaded = ObjectStore(root, fsync=False)
+        assert reloaded.quarantined == []
+        assert [obj.data for obj in reloaded.versions("raw", "doc.txt")] \
+            == [b"v1", b"v2"]
+
+
+class TestPersistCommitPoint:
+    def test_crash_between_data_and_meta_is_invisible(self, root):
+        store = ObjectStore(root, fsync=False)
+        store.put_bytes("raw", "ok.txt", b"committed")
+        with crashing("object_store.persist.between", KILL):
+            with pytest.raises(ProcessCrash):
+                store.put_bytes("raw", "new.txt", b"in-flight")
+        reloaded = ObjectStore(root, fsync=False)
+        assert reloaded.quarantined == []  # orphan data ≠ corruption
+        assert reloaded.get("raw", "ok.txt").data == b"committed"
+        assert not reloaded.exists("raw", "new.txt")
+        assert (root / "raw" / "new.txt.v1").exists()  # orphan for fsck
+
+    def test_tmp_residue_is_invisible_to_load(self, root):
+        store = ObjectStore(root, fsync=False)
+        store.put_bytes("raw", "ok.txt", b"committed")
+        (root / "raw" / "ghost.v1.meta.json.tmp").write_text("{half")
+        reloaded = ObjectStore(root, fsync=False)
+        assert reloaded.quarantined == []
+        assert reloaded.keys("raw") == ["ok.txt"]
+
+
+class TestContentValidation:
+    def test_bitrot_is_quarantined_not_loaded(self, root):
+        store = ObjectStore(root, fsync=False)
+        store.put_bytes("raw", "doc.txt", b"original-bytes")
+        (root / "raw" / "doc.txt.v1").write_bytes(b"rotten-bytes!!")
+        reloaded = ObjectStore(root, fsync=False)
+        assert len(reloaded.quarantined) == 1
+        assert "hash" in reloaded.quarantined[0]["error"]
+        assert not reloaded.exists("raw", "doc.txt")

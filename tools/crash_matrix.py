@@ -1,0 +1,92 @@
+"""crash-matrix CLI: crash at every registered point, verify recovery.
+
+Run from the repository root::
+
+    python repro_build.py crash-matrix
+    python tools/crash_matrix.py --format json
+    python tools/crash_matrix.py --point durability.write.fsync
+
+Runs the deterministic crash–restart property harness
+(:mod:`repro.durability.matrix`): a census pass counts how often the
+scripted workload visits each registered crash point, then every
+reachable ``(point, mode, hit)`` triple is crashed in a fresh root,
+reloaded, and checked against the recovery invariants (committed data
+readable, uncommitted invisible, no residue after GC, quarantine only
+for genuine corruption).
+
+Exit codes: 0 = every scenario passed, 1 = at least one invariant
+violation (details printed per failure).
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.durability.matrix import (  # noqa: E402
+    census_counts,
+    run_crash_matrix,
+    run_scenario,
+)
+from repro.faults.crash import registered_crash_points  # noqa: E402
+
+
+def _run_single_point(point_name: str) -> dict:
+    counts = census_counts()
+    points = {p.name: p for p in registered_crash_points()}
+    if point_name not in points:
+        raise SystemExit(f"unknown crash point {point_name!r}; registered: "
+                         f"{', '.join(sorted(points))}")
+    results = []
+    for mode in points[point_name].kinds:
+        for hit in range(1, counts.get(point_name, 0) + 1):
+            results.append(run_scenario(point_name, mode, hit))
+    failures = [r for r in results if not r.ok]
+    return {
+        "scenarios": len(results),
+        "passed": len(results) - len(failures),
+        "pass_rate": ((len(results) - len(failures)) / len(results))
+                     if results else 1.0,
+        "failures": [
+            {"point": r.point, "mode": r.mode, "hit": r.hit, "detail": r.detail}
+            for r in failures
+        ],
+        "per_point": {point_name: {"scenarios": len(results),
+                                   "passed": len(results) - len(failures)}},
+        "visits": {point_name: counts.get(point_name, 0)},
+        "unreached_points": [],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--point", default=None,
+                        help="run only this crash point's scenarios")
+    args = parser.parse_args(argv)
+
+    result = (_run_single_point(args.point) if args.point
+              else run_crash_matrix())
+
+    if args.format == "json":
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        print(f"crash matrix: {result['passed']}/{result['scenarios']} "
+              f"scenarios pass (rate {result['pass_rate']:.3f})")
+        for name, slot in sorted(result["per_point"].items()):
+            print(f"  {name}: {slot['passed']}/{slot['scenarios']}")
+        if result["unreached_points"]:
+            print(f"  unreached: {', '.join(result['unreached_points'])}")
+        for failure in result["failures"]:
+            print(f"  FAIL {failure['point']} mode={failure['mode']} "
+                  f"hit={failure['hit']}: {failure['detail']}")
+    return 0 if not result["failures"] and result["scenarios"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""durability-bench CLI: regenerate ``BENCH_durability.json`` outside pytest.
+
+Run from the repository root::
+
+    python repro_build.py durability-bench
+    python tools/durability_bench.py --files 300 --payload-bytes 16384
+
+Runs the exact deterministic workload the benchmark suite uses
+(:mod:`repro.bench.durability`): atomic-write overhead vs bare writes,
+cold-reload recovery time vs transaction-log length, and the full crash
+matrix.  Exit codes: 0 = overhead within 2x and matrix 100% green,
+1 = a target missed.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.bench.durability import FILES, LOG_LENGTHS, PAYLOAD_BYTES, run_bench  # noqa: E402
+
+RESULT_PATH = REPO_ROOT / "BENCH_durability.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--files", type=int, default=FILES)
+    parser.add_argument("--payload-bytes", type=int, default=PAYLOAD_BYTES)
+    parser.add_argument("--log-lengths", default=",".join(map(str, LOG_LENGTHS)),
+                        help="comma-separated commit counts for recovery timing")
+    parser.add_argument("--output", type=pathlib.Path, default=RESULT_PATH)
+    args = parser.parse_args(argv)
+
+    try:
+        log_lengths = tuple(int(n) for n in args.log_lengths.split(",") if n.strip())
+    except ValueError:
+        parser.error(f"--log-lengths must be comma-separated ints, "
+                     f"got {args.log_lengths!r}")
+    if not log_lengths or min(log_lengths) < 1:
+        parser.error("--log-lengths must name at least one positive count")
+
+    report = run_bench(files=args.files, payload_bytes=args.payload_bytes,
+                       log_lengths=log_lengths)
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    overhead = report["atomic_overhead"]
+    matrix = report["crash_matrix"]
+    print(f"atomic overhead: x{overhead['overhead_ratio']} "
+          f"(fsync x{overhead['fsync_overhead_ratio']})")
+    for key in sorted(report["recovery"], key=int):
+        entry = report["recovery"][key]
+        print(f"recovery @{key} commits: {entry['recovery_ms']} ms "
+              f"({entry['recovery_ms_per_commit']} ms/commit)")
+    print(f"crash matrix: {matrix['passed']}/{matrix['scenarios']} "
+          f"(pass rate {matrix['pass_rate']:.3f})")
+    print(f"wrote {args.output}")
+
+    ok = (overhead["overhead_ratio"] <= 2.0
+          and matrix["pass_rate"] == 1.0
+          and not matrix["unreached_points"])
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""lakefsck CLI: verify (and optionally GC) a persisted lake root.
+
+Run from the repository root::
+
+    python repro_build.py fsck -- /path/to/lake-root
+    python tools/lakefsck.py /path/to/lake-root
+    python tools/lakefsck.py /path/to/lake-root --format json
+    python tools/lakefsck.py /path/to/lake-root --gc
+
+Walks the on-disk layout (bucket directories, ``*.meta.json`` records,
+``_txlog/`` journals) and reports every inconsistency ``lakefsck`` knows
+(see ``docs/DURABILITY.md``): residue a crash may leave (tmp leftovers,
+orphan data files, unreferenced lakehouse parts, torn log tails) and
+corruption of committed state (hash mismatches, torn metas, missing
+data, version gaps, log/data divergence).  ``--gc`` removes the residue
+class only — corruption is evidence and stays on disk.
+
+Exit codes: 0 = clean (after GC when ``--gc``), 1 = issues remain,
+2 = usage error.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.durability.fsck import fsck_lake, gc_lake  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("root", type=pathlib.Path,
+                        help="persisted lake root directory")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--gc", action="store_true",
+                        help="remove provably uncommitted residue "
+                             "(tmp leftovers, orphans, torn log tails)")
+    args = parser.parse_args(argv)
+
+    if not args.root.is_dir():
+        parser.error(f"{args.root} is not a directory")
+
+    report = fsck_lake(args.root)
+    removed = []
+    if args.gc and not report.ok:
+        removed = gc_lake(args.root, report)
+        report = fsck_lake(args.root)  # re-verify what GC left behind
+
+    if args.format == "json":
+        payload = report.to_dict()
+        payload["gc_removed"] = removed
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(report.render())
+        if removed:
+            print(f"gc: removed {len(removed)} residue file(s)")
+            for path in removed:
+                print(f"  - {path}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
