@@ -17,17 +17,16 @@ report as ``BENCH_lint.json`` next to the other ``BENCH_*`` artifacts, so
 every benchmark run records static-analysis health alongside perf.
 """
 
-import json
 import pathlib
 
 import pytest
 
+from repro.bench.results import envelope, write_bench_json, write_result_text
 from repro.obs import aggregate_spans, get_recorder, reset as obs_reset
 
 _REPORTS = []
 _REPO_ROOT = pathlib.Path(__file__).parent.parent
 _RESULTS_DIR = pathlib.Path(__file__).parent / "results"
-_OBS_PATH = _REPO_ROOT / "BENCH_observability.json"
 _OBS_TESTS = []
 _LINT_PATH = _REPO_ROOT / "BENCH_lint.json"
 _LINT_PATHS = ("src", "benchmarks", "tools")
@@ -37,8 +36,7 @@ _LINT_SUMMARY = []
 def add_report(name: str, text: str) -> None:
     """Register a rendered artifact for the terminal summary + results dir."""
     _REPORTS.append((name, text))
-    _RESULTS_DIR.mkdir(exist_ok=True)
-    (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    write_result_text(name, text, results_dir=_RESULTS_DIR)
 
 
 @pytest.fixture(autouse=True)
@@ -96,8 +94,10 @@ def _write_lint_artifact():
                      f"{lock_stats['cycles']} cycles")
     except Exception as exc:
         print(f"lock-graph stats skipped: {exc}")
-    _LINT_PATH.write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    write_bench_json("lint", envelope(
+        "repro.analysis/lint-v1", payload,
+        gates={"clean": {"pass": result.clean,
+                         "findings": len(result.findings)}}))
     state = "clean" if result.clean else f"{len(result.findings)} finding(s)"
     _LINT_SUMMARY.append(
         f"wrote {_LINT_PATH.name}: {state} across {result.files_scanned} "
@@ -115,14 +115,17 @@ def pytest_sessionfinish(session, exitstatus):
             _merge(systems.setdefault(name, {}), entry)
         for name, entry in test_entry["tiers"].items():
             _merge(tiers.setdefault(name, {}), entry)
-    payload = {
-        "schema": "repro.obs/bench-v1",
-        "total_spans": sum(t["span_count"] for t in _OBS_TESTS),
-        "systems": systems,
-        "tiers": tiers,
-        "tests": _OBS_TESTS,
-    }
-    _OBS_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    total_spans = sum(t["span_count"] for t in _OBS_TESTS)
+    write_bench_json("observability", envelope(
+        "repro.obs/bench-v1",
+        {
+            "total_spans": total_spans,
+            "systems": systems,
+            "tiers": tiers,
+            "tests": _OBS_TESTS,
+        },
+        gates={"instrumented": {"pass": total_spans > 0,
+                                "total_spans": total_spans}}))
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
@@ -133,7 +136,8 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
     if _OBS_TESTS:
         terminalreporter.section("observability")
         terminalreporter.write_line(
-            f"wrote {_OBS_PATH.name}: {sum(t['span_count'] for t in _OBS_TESTS)} spans "
+            f"wrote BENCH_observability.json: "
+            f"{sum(t['span_count'] for t in _OBS_TESTS)} spans "
             f"across {len(_OBS_TESTS)} benchmarks"
         )
     if not _REPORTS:

@@ -22,7 +22,8 @@ with ``python repro_build.py durability-bench``).
 import json
 import pathlib
 
-from repro.bench.durability import run_bench
+from repro.bench.durability import build_artifact, run_bench
+from repro.bench.results import write_bench_json
 from repro.bench.reporting import render_table, report_experiment
 
 from conftest import add_report
@@ -67,7 +68,7 @@ def test_bench_durability(benchmark):
         f"(pass rate {matrix['pass_rate']:.3f})",
     )
     add_report("BENCH_durability", rendered)
-    RESULT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    write_bench_json("durability", build_artifact(report))
 
     # -- acceptance: protocol overhead ----------------------------------------
     assert overhead["overhead_ratio"] <= 2.0

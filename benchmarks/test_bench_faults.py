@@ -25,7 +25,8 @@ import pathlib
 
 import pytest
 
-from repro.bench.faults import run_bench
+from repro.bench.faults import build_artifact, run_bench
+from repro.bench.results import write_bench_json
 from repro.bench.reporting import render_table, report_experiment
 
 from conftest import add_report
@@ -77,7 +78,7 @@ def test_bench_fault_availability(benchmark):
         f"breaker overhead x{overhead['overhead_ratio']}",
     )
     add_report("BENCH_faults", rendered)
-    RESULT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    write_bench_json("faults", build_artifact(report))
 
     # -- acceptance: the 20% storm --------------------------------------------
     storm = report["rates"]["0.2"]

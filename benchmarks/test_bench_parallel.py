@@ -22,7 +22,8 @@ Results land in ``BENCH_parallel.json``.
 import json
 import pathlib
 
-from repro.bench.parallel import ROUNDS, SEED, WORKERS, run_bench
+from repro.bench.parallel import ROUNDS, SEED, WORKERS, build_artifact, run_bench
+from repro.bench.results import write_bench_json
 from repro.bench.reporting import render_table, report_experiment
 
 from conftest import add_report
@@ -56,7 +57,7 @@ def test_bench_parallel_discovery(benchmark):
         f"answers_equal={report['answers_equal']}",
     )
     add_report("BENCH_parallel", rendered)
-    RESULT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    write_bench_json("parallel", build_artifact(report))
 
     # -- acceptance -----------------------------------------------------------
     assert report["tables"] == 200

@@ -23,6 +23,7 @@ import time
 
 from repro import DataLake
 from repro.bench.reporting import render_table, report_experiment
+from repro.bench.results import envelope, write_bench_json
 from repro.obs import get_registry
 
 from conftest import add_report
@@ -90,18 +91,27 @@ def test_bench_runtime_incremental_vs_full_rebuild(benchmark):
     )
     add_report("runtime_maintenance", rendered)
 
-    RESULT_PATH.write_text(json.dumps({
-        "schema": "repro.runtime/bench-v1",
-        "workload": {
-            "tables": TABLES,
-            "rows_per_table": ROWS,
-            "keyword_query_every": KEYWORD_EVERY,
-            "discovery_query_every": DISCOVERY_EVERY,
+    write_bench_json("runtime", envelope(
+        "repro.runtime/bench-v1",
+        {
+            "workload": {
+                "tables": TABLES,
+                "rows_per_table": ROWS,
+                "keyword_query_every": KEYWORD_EVERY,
+                "discovery_query_every": DISCOVERY_EVERY,
+            },
+            "total_seconds": {k: round(v, 4) for k, v in timings.items()},
+            "speedup_vs_inline": {k: round(v, 2) for k, v in speedups.items()},
+            "async_job_latency_ms": job_latency,
         },
-        "total_seconds": {k: round(v, 4) for k, v in timings.items()},
-        "speedup_vs_inline": {k: round(v, 2) for k, v in speedups.items()},
-        "async_job_latency_ms": job_latency,
-    }, indent=2, sort_keys=True) + "\n")
+        gates={
+            "incremental_speedup": {
+                "pass": speedups["incremental_sync"] >= 5.0,
+                "value": round(speedups["incremental_sync"], 2),
+                "min": 5.0,
+            },
+        },
+    ))
 
     # acceptance: incremental maintenance is at least 5x the inline path
     assert speedups["incremental_sync"] >= 5.0

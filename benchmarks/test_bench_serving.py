@@ -21,6 +21,7 @@ Results land in ``BENCH_serving.json``.
 import json
 import pathlib
 
+from repro.bench.results import write_bench_json
 from repro.bench.serving import (
     ABUSER_CLIENTS,
     CLIENTS_PER_TENANT,
@@ -28,6 +29,7 @@ from repro.bench.serving import (
     FAIRNESS_P95_RATIO,
     SEED,
     WORKERS,
+    build_artifact,
     run_bench,
 )
 from repro.bench.reporting import render_table, report_experiment
@@ -71,7 +73,7 @@ def test_bench_serving_fairness(benchmark):
         f"p95 ratio x{fairness['p95_ratio']:.2f}",
     )
     add_report("BENCH_serving", rendered)
-    RESULT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    write_bench_json("serving", build_artifact(report))
 
     # -- acceptance -----------------------------------------------------------
     assert report["seed"] == SEED and report["workers"] == WORKERS

@@ -22,7 +22,8 @@ import json
 import pathlib
 
 from repro.bench.reporting import render_table, report_experiment
-from repro.bench.slo import FAULT_RATE, SEED, run_bench
+from repro.bench.results import write_bench_json
+from repro.bench.slo import FAULT_RATE, SEED, build_artifact, run_bench
 
 from conftest import add_report
 
@@ -68,7 +69,7 @@ def test_bench_slo(benchmark):
         f"faulty breached={faulty['breached']}",
     )
     add_report("BENCH_slo", rendered)
-    RESULT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    write_bench_json("slo", build_artifact(report))
 
     # -- acceptance -----------------------------------------------------------
     assert report["seed"] == SEED

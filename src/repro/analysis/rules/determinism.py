@@ -45,7 +45,10 @@ class BenchDeterminismRule(Rule):
     description = ("benchmarks must use seeded RNGs (random.Random(seed)) and "
                    "perf_counter timing — no shared-RNG calls, unseeded "
                    "generators, or wall-clock values")
-    scope = ("/benchmarks/",)
+    # the bench workload modules (including the macro driver) are part of
+    # the measured surface: unseeded RNG or wall-clock reads there would
+    # make the committed BENCH_* trajectories unreproducible
+    scope = ("/benchmarks/", "/src/repro/bench/")
 
     def check_module(self, module: Module) -> List[Finding]:
         findings: List[Finding] = []

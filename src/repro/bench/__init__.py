@@ -1,5 +1,15 @@
-"""Benchmark-harness utilities (table rendering, experiment reporting)."""
+"""Benchmark-harness utilities: reporting, shared artifacts, macro runner."""
 
 from repro.bench.reporting import render_table, report_experiment
+from repro.bench.results import (envelope, gates_passed, validate_envelope,
+                                 write_bench_json, write_result_text)
 
-__all__ = ["render_table", "report_experiment"]
+__all__ = [
+    "envelope",
+    "gates_passed",
+    "render_table",
+    "report_experiment",
+    "validate_envelope",
+    "write_bench_json",
+    "write_result_text",
+]

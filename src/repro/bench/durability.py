@@ -137,6 +137,24 @@ def bench_recovery(log_lengths: Tuple[int, ...] = LOG_LENGTHS,
     return out
 
 
+def build_artifact(report: Dict[str, Any]) -> Dict[str, Any]:
+    """Wrap a :func:`run_bench` report in the shared ``BENCH_*`` envelope.
+
+    ``seed`` is ``None``: the workload is fixed, not seeded.
+    """
+    from repro.bench.results import envelope
+
+    matrix = report["crash_matrix"]
+    gates = {
+        "crash_matrix": {
+            "pass": matrix["pass_rate"] == 1.0,
+            "pass_rate": matrix["pass_rate"],
+            "failures": matrix["failures"],
+        },
+    }
+    return envelope("repro.durability/bench-v1", report, gates=gates)
+
+
 def run_bench(files: int = FILES, payload_bytes: int = PAYLOAD_BYTES,
               log_lengths: Tuple[int, ...] = LOG_LENGTHS) -> Dict[str, Any]:
     """The full durability benchmark: overhead, recovery scaling, matrix."""

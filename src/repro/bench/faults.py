@@ -191,6 +191,24 @@ def measure_breaker_overhead(
     }
 
 
+def build_artifact(report: Dict[str, Any]) -> Dict[str, Any]:
+    """Wrap a :func:`run_bench` report in the shared ``BENCH_*`` envelope."""
+    from repro.bench.results import envelope
+
+    payload = dict(report)
+    schema = payload.pop("schema")
+    seed = payload.pop("seed")
+    gates = {}
+    for rate_key, rate_report in payload["rates"].items():
+        gates[f"availability_at_{rate_key}"] = {
+            "pass": (rate_report["availability"] >= 0.99
+                     and not rate_report["unhandled_errors"]),
+            "availability": rate_report["availability"],
+            "unhandled": len(rate_report["unhandled_errors"]),
+        }
+    return envelope(schema, payload, seed=seed, gates=gates)
+
+
 def run_bench(
     rates: Tuple[float, ...] = (0.0, 0.05, 0.20), seed: int = SEED,
 ) -> Dict[str, Any]:

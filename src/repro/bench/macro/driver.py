@@ -1,0 +1,690 @@
+"""The macro-benchmark driver: run one scenario against a fresh lake.
+
+The driver is the DLBench-style harness: it materializes a scenario's
+mixed corpus (tables + JSON collections + logs + free text) from
+``repro.datagen``, precomputes a fully seeded op schedule *with its
+correctness oracles* (SQL row counts are computed from the payload
+before the run), drives it from N concurrent clients against a fresh
+:class:`~repro.core.lake.DataLake`, and then verifies the lake against
+an independently built serial reference — discovery answers, catalog
+search, SQL oracles, crash–restart visibility — before evaluating the
+scenario's regression gates.
+
+Everything the workload *does* is seeded (``random.Random``) and
+hit-counted (crash points); only the measured latencies vary run to
+run.  No wall-clock reads besides ``time.perf_counter`` — the
+``bench-determinism`` lint rule enforces this.
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.macro.scenario import OP_KINDS, Scenario, ServingMix
+from repro.core.dataset import Dataset, Table
+from repro.core.errors import DataLakeError
+from repro.core.lake import DataLake
+from repro.datagen import (EvolvingDocumentGenerator, LakeGenerator,
+                           LogGenerator, TextCorpusGenerator)
+from repro.exploration.federation import FederatedQueryEngine
+from repro.faults import (FaultInjector, FaultSchedule, FaultSpec,
+                          ResilienceConfig)
+from repro.faults.crash import (KILL, ProcessCrash, crash_census, crashing,
+                                registered_crash_points)
+from repro.ingestion.datamaran import Datamaran
+from repro.runtime.jobs import RetryPolicy
+from repro.storage.lakehouse import LakehouseTable
+from repro.storage.object_store import ObjectStore
+from repro.storage.polystore import Polystore
+from repro.storage.relational import RelationalStore
+
+#: client-side retry budget for ops on unguarded paths under injected faults
+SQL_RETRIES = 3
+
+#: crash-restart phase: scripted append batches (5 rows each)
+CRASH_BATCHES = 4
+CRASH_BATCH_ROWS = 5
+
+
+def _percentile(values: List[float], fraction: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1)))
+    return ordered[index]
+
+
+# -- corpus ----------------------------------------------------------------
+
+
+class Corpus:
+    """The materialized base datasets of a scenario plus derived targets."""
+
+    def __init__(self) -> None:
+        self.datasets: List[Dataset] = []
+        self.sql_tables: List[Table] = []        # relational-backed payloads
+        self.discovery_names: List[str] = []     # tabular dataset names
+        self.join_targets: List[Tuple[str, str]] = []  # (table, column)
+        self.keyword_terms: List[str] = []
+        self.text_topic_terms: Dict[str, Tuple[str, ...]] = {}
+        self.text_topic_docs: Dict[str, List[str]] = {}
+
+    def names(self) -> List[str]:
+        return [dataset.name for dataset in self.datasets]
+
+
+def build_corpus(scenario: Scenario) -> Corpus:
+    """Materialize a scenario's :class:`DataMix` — deterministic per seed."""
+    spec = scenario.data
+    seed = scenario.seed
+    corpus = Corpus()
+
+    if spec.pools > 0:
+        workload = LakeGenerator(seed).generate(
+            num_pools=spec.pools,
+            tables_per_pool=spec.tables_per_pool,
+            rows_per_table=spec.rows_per_table,
+            pool_size=max(20, spec.rows_per_table),
+            noise_tables=spec.noise_tables,
+        )
+        for table in workload.tables:
+            corpus.datasets.append(Dataset(table.name, table, format="table"))
+            corpus.sql_tables.append(table)
+            corpus.discovery_names.append(table.name)
+            if table.columns:
+                corpus.join_targets.append((table.name, table.columns[0].name))
+                corpus.keyword_terms.append(table.columns[0].name)
+
+    for index in range(spec.json_collections):
+        generated = EvolvingDocumentGenerator(seed + 100 + index).generate(
+            docs_per_epoch=spec.docs_per_collection)
+        documents = [document for _, document in generated.documents]
+        name = f"jsoncol_{index:02d}"
+        corpus.datasets.append(Dataset(name, documents, format="json"))
+        corpus.discovery_names.append(name)
+
+    extractor = Datamaran()
+    for index in range(spec.log_files):
+        log = LogGenerator(seed + 200 + index).generate(num_lines=spec.log_lines)
+        corpus.datasets.append(
+            Dataset(f"logfile_{index:02d}", log.text, format="text"))
+        for table in extractor.to_tables(log.text, f"logrec_{index:02d}"):
+            corpus.datasets.append(Dataset(table.name, table, format="table"))
+            corpus.discovery_names.append(table.name)
+
+    if spec.text_docs > 0:
+        text = TextCorpusGenerator(seed + 300).generate(
+            num_docs=spec.text_docs, words_per_doc=spec.words_per_doc)
+        for name in sorted(text.documents):
+            corpus.datasets.append(
+                Dataset(name, text.documents[name], format="text"))
+            topic = text.topic_of[name]
+            corpus.text_topic_terms[topic] = text.signature_terms(topic)
+            corpus.text_topic_docs.setdefault(topic, []).append(name)
+
+    return corpus
+
+
+# -- op schedule with in-line oracles --------------------------------------
+
+
+def _extra_dataset(index: int, seed: int) -> Dataset:
+    """The *index*-th mid-run ingest payload — rebuildable anywhere."""
+    rng = random.Random(seed * 7919 + index)
+    name = f"extra_{index:03d}"
+    table = Table.from_columns(name, {
+        f"extra{index}_id": list(range(8)),
+        "value": [rng.randrange(100) for _ in range(8)],
+    })
+    return Dataset(name, table, format="table")
+
+
+def _sql_op(rng: random.Random, table: Table) -> Dict[str, Any]:
+    """A SQL query over *table* plus its row-count oracle."""
+    int_columns = [column for column in table.columns
+                   if column.values
+                   and all(isinstance(v, int) for v in column.values)]
+    if int_columns:
+        column = rng.choice(int_columns)
+        threshold = sorted(column.values)[len(column.values) // 2]
+        oracle = sum(1 for v in column.values if v >= threshold)
+        query = (f"SELECT * FROM {table.name} "
+                 f"WHERE {column.name} >= {threshold}")
+    else:
+        oracle = len(table)
+        query = f"SELECT * FROM {table.name}"
+    return {"query": query, "oracle": oracle}
+
+
+def build_schedule(scenario: Scenario, corpus: Corpus) -> List[Tuple[str, Dict[str, Any]]]:
+    """The seeded op list every run (and re-run) of a scenario executes."""
+    rng = random.Random(scenario.seed * 104729 + 7)
+    weights = scenario.op_mix.weights()
+    population = [kind for kind, weight in zip(OP_KINDS, weights)
+                  for _ in range(weight)]
+    if not population:
+        population = ["fetch"]
+    keyword_pool = (corpus.keyword_terms
+                    + [term for terms in corpus.text_topic_terms.values()
+                       for term in terms])
+    schedule: List[Tuple[str, Dict[str, Any]]] = []
+    ingest_index = 0
+    for _ in range(scenario.ops):
+        kind = rng.choice(population)
+        if kind == "ingest":
+            schedule.append(("ingest", {"index": ingest_index}))
+            ingest_index += 1
+        elif kind == "discover" and corpus.discovery_names:
+            roll = rng.randrange(3)
+            if roll == 0 and corpus.join_targets:
+                table, column = rng.choice(corpus.join_targets)
+                schedule.append(("discover", {"query": ("joinable", table,
+                                                        column, 5)}))
+            elif roll == 1 and keyword_pool:
+                schedule.append(("discover", {"query": ("keyword",
+                                                        rng.choice(keyword_pool),
+                                                        5)}))
+            else:
+                schedule.append(("discover", {"query": ("related",
+                                                        rng.choice(corpus.discovery_names),
+                                                        5)}))
+        elif kind == "sql" and corpus.sql_tables:
+            schedule.append(("sql", _sql_op(rng, rng.choice(corpus.sql_tables))))
+        elif kind == "federation" and corpus.sql_tables:
+            schedule.append(("federation", {}))
+        else:
+            names = corpus.names()
+            schedule.append(("fetch", {"name": rng.choice(names)}))
+    return schedule
+
+
+# -- fault wiring ----------------------------------------------------------
+
+
+def build_polystore(fault_rate: float, seed: int) -> Polystore:
+    """A polystore injecting faults on the relational *fetch* path only.
+
+    Stores stay clean so every dataset lands; fetches ride the guarded
+    breaker/retry/failover path — the configuration chaos scenarios use
+    to prove availability holds while real faults fire.
+    """
+    schedule = FaultSchedule()
+    if fault_rate > 0.0:
+        schedule.set("relational", "table", FaultSpec(error_rate=fault_rate))
+    relational = FaultInjector(RelationalStore(), "relational", schedule,
+                               seed=seed)
+    config = ResilienceConfig(
+        failure_threshold=5,
+        reset_timeout=0.02,
+        probe_budget=2,
+        success_threshold=1,
+        replicate="always" if fault_rate > 0.0 else "on-failure",
+        retry=RetryPolicy(max_attempts=3, base_delay=0.0005, multiplier=2.0,
+                          max_delay=0.01, jitter=0.0),
+    )
+    return Polystore(relational=relational, resilience=config)
+
+
+# -- the client phase ------------------------------------------------------
+
+
+class _ClientStats:
+    """Mutable per-run tally shared by the client threads (lock-guarded)."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.latency_ms: Dict[str, List[float]] = {k: [] for k in OP_KINDS}
+        self.ok = 0
+        self.handled = 0
+        self.unhandled: List[str] = []
+        self.discovery_answers = 0
+        self.sql_mismatches: List[str] = []
+        self.ingested_extras: List[int] = []
+
+
+def _execute_op(lake: DataLake, engine: Optional[FederatedQueryEngine],
+                kind: str, payload: Dict[str, Any], scenario: Scenario,
+                stats: _ClientStats) -> None:
+    attempts = SQL_RETRIES if (kind == "sql" and scenario.fault_rate > 0) else 1
+    started = time.perf_counter()
+    status = "handled"
+    try:
+        for attempt in range(attempts):
+            try:
+                if kind == "ingest":
+                    lake.ingest(_extra_dataset(payload["index"], scenario.seed))
+                    with stats.lock:
+                        stats.ingested_extras.append(payload["index"])
+                elif kind == "discover":
+                    query = payload["query"]
+                    if query[0] == "joinable":
+                        answer = lake.discover_joinable(query[1], query[2],
+                                                        k=query[3])
+                    elif query[0] == "keyword":
+                        answer = lake.keyword_search(query[1], k=query[2])
+                    else:
+                        answer = lake.discover_related(query[1], k=query[2])
+                    if answer:
+                        with stats.lock:
+                            stats.discovery_answers += 1
+                elif kind == "sql":
+                    result = lake.sql(payload["query"])
+                    if len(result) != payload["oracle"]:
+                        with stats.lock:
+                            stats.sql_mismatches.append(
+                                f"{payload['query']!r}: got {len(result)}, "
+                                f"want {payload['oracle']}")
+                elif kind == "federation":
+                    assert engine is not None
+                    engine.query(payload["patterns"], partial=True)
+                else:
+                    lake.polystore.fetch(payload["name"])
+                status = "ok"
+                break
+            except DataLakeError:
+                if attempt + 1 >= attempts:
+                    raise
+    except DataLakeError:
+        status = "handled"
+    except Exception as exc:  # lakelint: disable=bare-except,exception-hygiene — the zero-unhandled acceptance gate: recorded in the report and asserted empty
+        status = "unhandled"
+        with stats.lock:
+            stats.unhandled.append(f"{kind}: {type(exc).__name__}: {exc}")
+    elapsed_ms = (time.perf_counter() - started) * 1000.0
+    with stats.lock:
+        stats.latency_ms[kind].append(elapsed_ms)
+        if status == "ok":
+            stats.ok += 1
+        elif status == "handled":
+            stats.handled += 1
+
+
+def _run_clients(lake: DataLake, engine: Optional[FederatedQueryEngine],
+                 scenario: Scenario,
+                 schedule: Sequence[Tuple[str, Dict[str, Any]]]) -> Tuple[_ClientStats, float]:
+    stats = _ClientStats()
+    clients = max(1, scenario.clients)
+    barrier = threading.Barrier(clients + 1)
+
+    def client(offset: int) -> None:
+        barrier.wait()
+        for kind, payload in list(schedule)[offset::clients]:
+            _execute_op(lake, engine, kind, payload, scenario, stats)
+
+    threads = [threading.Thread(target=client, args=(offset,), daemon=True)
+               for offset in range(clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    return stats, elapsed
+
+
+# -- post-run verification against a serial reference ----------------------
+
+
+def _verification_queries(corpus: Corpus) -> List[Tuple[str, ...]]:
+    queries: List[Tuple[str, ...]] = []
+    for name in sorted(corpus.discovery_names)[:4]:
+        queries.append(("related", name))
+    for table, column in sorted(corpus.join_targets)[:2]:
+        queries.append(("joinable", table, column))
+    for term in sorted(set(corpus.keyword_terms))[:2]:
+        queries.append(("keyword", term))
+    return queries
+
+
+def _answer(lake: DataLake, query: Tuple[str, ...]) -> Any:
+    if query[0] == "related":
+        return lake.discover_related(query[1], k=5)
+    if query[0] == "joinable":
+        return lake.discover_joinable(query[1], query[2], k=5)
+    return lake.keyword_search(query[1], k=5)
+
+
+def _verify_against_reference(lake: DataLake, scenario: Scenario,
+                              corpus: Corpus,
+                              ingested_extras: Sequence[int]) -> Dict[str, Any]:
+    """Replay a fixed query set on the lake and a fresh serial reference.
+
+    The reference ingests an independently generated but seed-identical
+    corpus (plus the extras the run committed) with ``parallelism=1,
+    cache=False`` — the PR-5 ground truth path.  Discovery is
+    partition-invariant, so answers must match element for element.
+    """
+    reference = DataLake(parallelism=1, cache=False, profile=False)
+    try:
+        for dataset in build_corpus(scenario).datasets:
+            reference.ingest(dataset)
+        for index in sorted(set(ingested_extras)):
+            reference.ingest(_extra_dataset(index, scenario.seed))
+        queries = _verification_queries(corpus)
+        mismatches: List[str] = []
+        answers = 0
+        for query in queries:
+            mine = _answer(lake, query)
+            theirs = _answer(reference, query)
+            if mine != theirs:
+                mismatches.append(" ".join(str(part) for part in query))
+            if theirs:
+                answers += 1
+        catalog_checks = 0
+        catalog_hits = 0
+        for topic in sorted(corpus.text_topic_terms):
+            terms = " ".join(corpus.text_topic_terms[topic])
+            mine = lake.catalog.search(terms, k=5)
+            theirs = reference.catalog.search(terms, k=5)
+            catalog_checks += 1
+            if mine != theirs:
+                mismatches.append(f"catalog {topic}")
+            expected = set(corpus.text_topic_docs[topic])
+            if expected & set(mine):
+                catalog_hits += 1
+        return {
+            "queries": len(queries),
+            "catalog_queries": catalog_checks,
+            "mismatches": mismatches,
+            "match": not mismatches,
+            "non_empty_answers": answers + catalog_hits,
+        }
+    finally:
+        reference.close()
+
+
+# -- crash-restart phase ---------------------------------------------------
+
+
+def _crash_batches() -> List[List[Dict[str, int]]]:
+    return [[{"id": batch * CRASH_BATCH_ROWS + row, "v": (batch * 7 + row) % 13}
+             for row in range(CRASH_BATCH_ROWS)]
+            for batch in range(CRASH_BATCHES)]
+
+
+def _crash_workload(root: Path) -> int:
+    store = ObjectStore(root, fsync=False)
+    table = LakehouseTable("macro_tx", store)
+    committed = 0
+    for batch in _crash_batches():
+        table.append(batch)
+        committed += len(batch)
+    return committed
+
+
+def run_crash_restart(max_points: Optional[int] = None) -> Dict[str, Any]:
+    """Crash the scripted lakehouse workload at every reachable point.
+
+    The invariant is DLBench's "committed data stays visible" taken to
+    the storage layer: after a crash at any protocol step and a cold
+    reload, the recovered table holds an exact prefix of the append
+    sequence — every fully committed batch, possibly the in-flight one,
+    never a torn row set.
+    """
+    with tempfile.TemporaryDirectory(prefix="macro-census-") as tmp:
+        with crash_census() as census:
+            _crash_workload(Path(tmp) / "lake")
+        reachable = sorted(census.counts)
+    if max_points is not None:
+        reachable = reachable[:max_points]
+    kinds = {point.name: point.kinds for point in registered_crash_points()}
+    scenarios = 0
+    failures: List[str] = []
+    replayed_total = 0
+    for name in reachable:
+        mode = KILL if KILL in kinds.get(name, (KILL,)) else kinds[name][0]
+        scenarios += 1
+        with tempfile.TemporaryDirectory(prefix="macro-crash-") as tmp:
+            root = Path(tmp) / "lake"
+            committed = 0
+            try:
+                with crashing(name, mode, hit=1):
+                    store = ObjectStore(root, fsync=False)
+                    table = LakehouseTable("macro_tx", store)
+                    for batch in _crash_batches():
+                        table.append(batch)
+                        committed += len(batch)
+            except ProcessCrash:
+                pass
+            store = ObjectStore(root, fsync=False)
+            recovered = LakehouseTable("macro_tx", store)
+            replayed_total += recovered.recovery_report.get("replayed", 0)
+            rows = recovered.row_count()
+            visible_ids = sorted(
+                row["id"] for row in recovered.snapshot().rows())
+            prefix_ok = (committed <= rows <= committed + CRASH_BATCH_ROWS
+                         and rows % CRASH_BATCH_ROWS == 0
+                         and visible_ids == list(range(rows)))
+            if not prefix_ok:
+                failures.append(f"{name}/{mode}: committed={committed} "
+                                f"recovered={rows} ids={visible_ids[:8]}")
+    return {
+        "scenarios": scenarios,
+        "failures": failures,
+        "committed_visible": not failures,
+        "replayed_commits": replayed_total,
+    }
+
+
+# -- serving phase ---------------------------------------------------------
+
+
+def run_serving(lake: DataLake, mix: ServingMix, seed: int) -> Dict[str, Any]:
+    """The multi-tenant phase: compliant tenants plus an optional abuser."""
+    from repro.serving.quotas import TenantQuota
+
+    server = lake.server(workers=4, max_pending=128)
+    try:
+        tokens: Dict[str, str] = {}
+        abuser: Optional[str] = None
+        for index in range(mix.tenants):
+            tenant = f"tenant{index}"
+            if index == 0 and mix.abusive_tenant:
+                abuser = tenant
+                quota = TenantQuota(max_in_flight=2, requests_per_sec=50.0,
+                                    burst=4)
+            else:
+                quota = TenantQuota(max_in_flight=8, requests_per_sec=500.0,
+                                    burst=64)
+            tokens[tenant] = server.register_tenant(tenant, quota=quota)
+
+        tallies = {tenant: {"ok": 0, "shed": 0, "error": 0}
+                   for tenant in tokens}
+        lock = threading.Lock()
+        clients = [(tenant, client_index)
+                   for tenant in sorted(tokens)
+                   for client_index in range(mix.clients_per_tenant)]
+        barrier = threading.Barrier(len(clients) + 1)
+
+        def client(tenant: str, client_index: int) -> None:
+            session = server.connect(tokens[tenant])
+            own = f"own_{client_index}"
+            requests = mix.requests_per_client
+            if tenant == abuser:
+                requests *= 5
+            barrier.wait()
+            response = session.ingest(own, {"id": list(range(6)),
+                                            "value": [1, 1, 2, 3, 5, 8]})
+            self_tally(tenant, response)
+            for request_index in range(requests):
+                if request_index % 3 == 2 and tenant != abuser:
+                    response = session.discover(kind="related", table=own, k=3)
+                else:
+                    response = session.fetch(own)
+                self_tally(tenant, response)
+
+        def self_tally(tenant: str, response: Any) -> None:
+            with lock:
+                if response.ok:
+                    tallies[tenant]["ok"] += 1
+                elif response.shed:
+                    tallies[tenant]["shed"] += 1
+                else:
+                    tallies[tenant]["error"] += 1
+
+        threads = [threading.Thread(target=client, args=pair, daemon=True)
+                   for pair in clients]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        for thread in threads:
+            thread.join()
+
+        compliant_ok = compliant_total = 0
+        for tenant, tally in tallies.items():
+            if tenant == abuser:
+                continue
+            compliant_ok += tally["ok"]
+            compliant_total += sum(tally.values())
+        return {
+            "tenants": mix.tenants,
+            "abuser": abuser,
+            "per_tenant": tallies,
+            "compliant_availability": (compliant_ok / compliant_total
+                                       if compliant_total else 1.0),
+            "abuser_shed": (tallies[abuser]["shed"] > 0
+                            if abuser is not None else None),
+        }
+    finally:
+        server.close()
+
+
+# -- the scenario runner ---------------------------------------------------
+
+
+def _evaluate_gates(scenario: Scenario, stats: Dict[str, Any]) -> Dict[str, Any]:
+    spec = scenario.gates
+    gates: Dict[str, Any] = {}
+    gates["availability"] = {
+        "pass": stats["availability"] >= spec.min_availability,
+        "value": stats["availability"],
+        "min": spec.min_availability,
+    }
+    gates["unhandled"] = {
+        "pass": len(stats["unhandled_errors"]) <= spec.max_unhandled,
+        "count": len(stats["unhandled_errors"]),
+        "max": spec.max_unhandled,
+    }
+    if spec.require_discovery_match:
+        gates["discovery_match"] = {
+            "pass": stats["verification"]["match"],
+            "mismatches": stats["verification"]["mismatches"],
+        }
+    if spec.require_sql_oracle:
+        gates["sql_oracle"] = {
+            "pass": not stats["sql_mismatches"],
+            "mismatches": stats["sql_mismatches"],
+        }
+    if spec.min_discovery_answers > 0:
+        answers = (stats["discovery_answers"]
+                   + stats["verification"]["non_empty_answers"])
+        gates["discovery_answers"] = {
+            "pass": answers >= spec.min_discovery_answers,
+            "value": answers,
+            "min": spec.min_discovery_answers,
+        }
+    if spec.require_committed_visible:
+        crash = stats.get("crash_restart") or {}
+        gates["committed_visible"] = {
+            "pass": bool(crash.get("committed_visible")),
+            "failures": crash.get("failures", ["crash phase did not run"]),
+        }
+    if scenario.serving is not None:
+        serving = stats.get("serving") or {}
+        gates["compliant_availability"] = {
+            "pass": (serving.get("compliant_availability", 0.0)
+                     >= spec.min_compliant_availability),
+            "value": serving.get("compliant_availability"),
+            "min": spec.min_compliant_availability,
+        }
+        if spec.require_abuser_shed:
+            gates["abuser_shed"] = {"pass": bool(serving.get("abuser_shed"))}
+    return gates
+
+
+def run_scenario(scenario: Scenario) -> Dict[str, Any]:
+    """Run one scenario end to end; returns its report with gates."""
+    corpus = build_corpus(scenario)
+    schedule = build_schedule(scenario, corpus)
+    polystore = build_polystore(scenario.fault_rate, scenario.seed)
+    lake = DataLake(polystore=polystore,
+                    parallelism=scenario.parallelism,
+                    cache=scenario.cache,
+                    async_maintenance=scenario.async_maintenance,
+                    profile=False)
+    try:
+        ingest_started = time.perf_counter()
+        for dataset in corpus.datasets:
+            lake.ingest(dataset)
+        lake.drain()
+        ingest_elapsed = time.perf_counter() - ingest_started
+
+        engine: Optional[FederatedQueryEngine] = None
+        federation_patterns: List[Tuple[str, str, str]] = []
+        if corpus.sql_tables:
+            profile_table = corpus.sql_tables[0]
+            columns = profile_table.column_names[:2]
+            engine = FederatedQueryEngine(lake.polystore)
+            engine.profile_from_placement(
+                profile_table.name,
+                {column: column for column in columns})
+            federation_patterns = [("?r", column, f"?v{index}")
+                                   for index, column in enumerate(columns)]
+        for kind, payload in schedule:
+            if kind == "federation":
+                payload["patterns"] = federation_patterns
+
+        client_stats, elapsed = _run_clients(lake, engine, scenario, schedule)
+        lake.drain()
+
+        verification = _verify_against_reference(
+            lake, scenario, corpus, client_stats.ingested_extras)
+
+        total_ops = len(schedule)
+        cache_stats = (lake.query_cache.stats()
+                       if lake.query_cache is not None else None)
+        stats: Dict[str, Any] = {
+            "datasets": len(corpus.datasets),
+            "ops": total_ops,
+            "clients": scenario.clients,
+            "ingest_s": round(ingest_elapsed, 4),
+            "elapsed_s": round(elapsed, 4),
+            "throughput_ops_per_s": round(total_ops / elapsed, 2) if elapsed else 0.0,
+            "availability": (client_stats.ok / total_ops) if total_ops else 1.0,
+            "handled_errors": client_stats.handled,
+            "unhandled_errors": client_stats.unhandled,
+            "discovery_answers": client_stats.discovery_answers,
+            "sql_mismatches": client_stats.sql_mismatches,
+            "cache_hit_rate": (round(cache_stats["hit_rate"], 4)
+                               if cache_stats else None),
+            "latency_ms": {
+                kind: {"p50": round(_percentile(values, 0.50), 4),
+                       "p95": round(_percentile(values, 0.95), 4),
+                       "count": len(values)}
+                for kind, values in client_stats.latency_ms.items() if values
+            },
+            "verification": verification,
+            "health_degraded": lake.polystore.health.degraded(),
+        }
+        if scenario.crash_restart:
+            stats["crash_restart"] = run_crash_restart()
+        if scenario.serving is not None:
+            stats["serving"] = run_serving(lake, scenario.serving,
+                                           scenario.seed)
+    finally:
+        lake.close()
+
+    gates = _evaluate_gates(scenario, stats)
+    passed = all(gate["pass"] for gate in gates.values())
+    return {
+        "scenario": scenario.to_dict(),
+        "stats": stats,
+        "gates": gates,
+        "passed": passed,
+    }

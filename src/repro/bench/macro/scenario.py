@@ -1,0 +1,151 @@
+"""The macro-benchmark scenario DSL.
+
+A :class:`Scenario` is a declarative workload spec in the DLBench mold:
+*what data* goes into the lake (:class:`DataMix` — structured table
+pools, evolving JSON collections, log files, free-text documents, all
+from ``repro.datagen``), *what traffic* hits it (:class:`OpMix` weights
+over ingest/discover/sql/fetch/federation, client count), *under what
+conditions* (async maintenance, injected fault rate, a crash–restart
+phase, an optional multi-tenant serving phase), and *what must hold*
+(:class:`Gates` — the per-scenario regression gates the driver asserts).
+
+Scenarios are frozen, fully seeded, and round-trip through plain dicts
+(:meth:`Scenario.to_dict` / :meth:`Scenario.from_dict`), so the matrix
+in :mod:`repro.bench.macro.matrix` is data, the CLI can load ad-hoc
+specs, and the property-based equivalence suite can synthesize them.
+:meth:`Scenario.scaled` shrinks a scenario for the tier-1 smoke tier
+without changing its shape.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+#: the op kinds a schedule draws from, in weight order
+OP_KINDS: Tuple[str, ...] = ("ingest", "discover", "sql", "fetch", "federation")
+
+
+def _scale(value: int, fraction: float) -> int:
+    """Scale a size knob, keeping zero at zero and nonzero at >= 1."""
+    if value <= 0:
+        return 0
+    return max(1, int(value * fraction))
+
+
+@dataclass(frozen=True)
+class DataMix:
+    """How much of each data shape the base corpus contains."""
+
+    pools: int = 2                 # lakegen join pools (1 dim + facts each)
+    tables_per_pool: int = 3
+    rows_per_table: int = 40
+    noise_tables: int = 1
+    json_collections: int = 2      # evolving-document collections
+    docs_per_collection: int = 6
+    log_files: int = 1             # raw log text + DATAMARAN record tables
+    log_lines: int = 60
+    text_docs: int = 4             # free-text topic documents
+    words_per_doc: int = 60
+
+    def scaled(self, fraction: float) -> "DataMix":
+        return DataMix(**{f.name: _scale(getattr(self, f.name), fraction)
+                          for f in dataclasses.fields(self)})
+
+
+@dataclass(frozen=True)
+class OpMix:
+    """Relative weights of the five op kinds in the client schedule."""
+
+    ingest: int = 1
+    discover: int = 3
+    sql: int = 2
+    fetch: int = 3
+    federation: int = 1
+
+    def weights(self) -> Tuple[int, ...]:
+        return tuple(getattr(self, kind) for kind in OP_KINDS)
+
+
+@dataclass(frozen=True)
+class ServingMix:
+    """The optional multi-tenant serving phase of a scenario."""
+
+    tenants: int = 3
+    clients_per_tenant: int = 2
+    requests_per_client: int = 12
+    abusive_tenant: bool = False   # tenant 0 floods far beyond its quota
+
+
+@dataclass(frozen=True)
+class Gates:
+    """Per-scenario regression gates the driver evaluates in-run."""
+
+    min_availability: float = 0.99
+    max_unhandled: int = 0
+    require_discovery_match: bool = True   # parallel answers == serial ref
+    require_sql_oracle: bool = True        # SQL row counts match the oracle
+    min_discovery_answers: int = 0         # non-empty discovery results
+    require_committed_visible: bool = False  # crash-restart recovery gate
+    min_compliant_availability: float = 0.0  # serving: non-abuser tenants
+    require_abuser_shed: bool = False        # serving: abuser got throttled
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named macro-benchmark workload, fully declarative."""
+
+    name: str
+    description: str = ""
+    seed: int = 17
+    data: DataMix = DataMix()
+    ops: int = 60                  # scheduled client ops (pre-split)
+    clients: int = 4               # concurrent client threads
+    op_mix: OpMix = OpMix()
+    parallelism: int = 2           # lake discovery fan-out
+    cache: bool = True
+    async_maintenance: bool = False
+    fault_rate: float = 0.0        # injected relational-fetch error rate
+    crash_restart: bool = False    # run the crash–restart durability phase
+    serving: Optional[ServingMix] = None
+    gates: Gates = Gates()
+
+    def scaled(self, fraction: float = 0.25,
+               max_ops: int = 24, max_clients: int = 2) -> "Scenario":
+        """A smoke-sized copy: smaller corpus, fewer ops, fewer clients."""
+        serving = self.serving
+        if serving is not None:
+            serving = dataclasses.replace(
+                serving,
+                tenants=min(serving.tenants, 2),
+                clients_per_tenant=min(serving.clients_per_tenant, 2),
+                requests_per_client=_scale(serving.requests_per_client,
+                                           fraction * 2),
+            )
+        return dataclasses.replace(
+            self,
+            data=self.data.scaled(fraction),
+            ops=min(self.ops, max_ops),
+            clients=min(self.clients, max_clients),
+            serving=serving,
+        )
+
+    # -- dict round-trip (the declarative surface) ------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = dataclasses.asdict(self)
+        return out
+
+    @classmethod
+    def from_dict(cls, spec: Dict[str, Any]) -> "Scenario":
+        spec = dict(spec)
+        if isinstance(spec.get("data"), dict):
+            spec["data"] = DataMix(**spec["data"])
+        if isinstance(spec.get("op_mix"), dict):
+            spec["op_mix"] = OpMix(**spec["op_mix"])
+        if isinstance(spec.get("serving"), dict):
+            spec["serving"] = ServingMix(**spec["serving"])
+        if isinstance(spec.get("gates"), dict):
+            spec["gates"] = Gates(**spec["gates"])
+        return cls(**spec)

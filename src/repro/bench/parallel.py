@@ -80,6 +80,16 @@ def _run_rounds(lake: DataLake, queries: List[tuple], rounds: int):
     return time.perf_counter() - started, answers
 
 
+def build_artifact(report: Dict[str, Any]) -> Dict[str, Any]:
+    """Wrap a :func:`run_bench` report in the shared ``BENCH_*`` envelope."""
+    from repro.bench.results import envelope
+
+    payload = dict(report)
+    seed = payload.pop("seed")
+    return envelope("repro.exploration/bench-parallel-v1", payload, seed=seed,
+                    gates={"answers_equal": payload["answers_equal"]})
+
+
 def run_bench(seed: int = SEED, rounds: int = ROUNDS,
               workers: int = WORKERS) -> Dict[str, Any]:
     workload = build_workload(seed)

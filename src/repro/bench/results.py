@@ -1,0 +1,152 @@
+"""Shared benchmark-result envelope and artifact writers.
+
+Every ``BENCH_*.json`` file in the repo root shares one envelope so a
+single tier-1 test (``tests/bench/test_bench_envelope.py``) can gate
+drift instead of each benchmark inventing its own shape:
+
+- ``schema`` — a ``repro.<package>/<slug>-vN`` identifier;
+- ``seed`` — the deterministic seed the run used (``None`` for
+  benchmarks whose workload is fixed rather than seeded);
+- ``gates`` — named pass/fail regression gates, each either a bare
+  boolean or a dict carrying a boolean ``"pass"`` plus evidence;
+- ``results`` — the benchmark's own payload, any shape it likes.
+
+Timestamps (and anything else wall-clock derived) are banned from the
+artifact: the files are committed, so two runs of an unchanged tree must
+produce byte-identical JSON.  :func:`validate_envelope` enforces all of
+this and is what both the tier-1 test and the writers call.
+
+:func:`write_bench_json` / :func:`write_result_text` are the single
+implementations of the "write ``BENCH_<name>.json`` at the repo root /
+write a text summary under ``benchmarks/results``" logic that every
+bench file previously duplicated.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional
+
+#: repo root (this file lives at src/repro/bench/results.py)
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+#: where the human-readable per-benchmark summaries go
+RESULTS_DIR_NAME = "benchmarks/results"
+
+#: ``repro.<package>/<slug>-vN``
+SCHEMA_PATTERN = re.compile(r"^repro\.[a-z_.]+/[a-z0-9-]+-v\d+$")
+
+#: key substrings that indicate wall-clock leakage into a committed file
+_TIMESTAMP_KEY_MARKERS = ("timestamp", "created_at", "generated_at",
+                          "wall_clock")
+
+#: exact key names that are always wall-clock-derived
+_TIMESTAMP_KEY_NAMES = frozenset({"date", "datetime", "now", "today"})
+
+_ENVELOPE_KEYS = ("schema", "seed", "gates", "results")
+
+
+def envelope(schema: str, results: Any, *,
+             seed: Optional[int] = None,
+             gates: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Wrap a benchmark payload in the shared envelope (validated)."""
+    doc = {
+        "schema": schema,
+        "seed": seed,
+        "gates": dict(gates or {}),
+        "results": results,
+    }
+    problems = validate_envelope(doc)
+    if problems:
+        raise ValueError("invalid benchmark envelope: " + "; ".join(problems))
+    return doc
+
+
+def _gate_passed(value: Any) -> Optional[bool]:
+    """The boolean verdict of one gate entry, or None if malformed."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, dict) and isinstance(value.get("pass"), bool):
+        return value["pass"]
+    return None
+
+
+def gates_passed(doc: Dict[str, Any]) -> bool:
+    """True iff every gate in an envelope's gates block passed."""
+    return all(_gate_passed(value) is True
+               for value in doc.get("gates", {}).values())
+
+
+def _timestampish_keys(node: Any, path: str = "") -> Iterable[str]:
+    if isinstance(node, dict):
+        for key, value in node.items():
+            where = f"{path}.{key}" if path else str(key)
+            lowered = str(key).lower()
+            if (lowered in _TIMESTAMP_KEY_NAMES
+                    or any(marker in lowered
+                           for marker in _TIMESTAMP_KEY_MARKERS)):
+                yield where
+            yield from _timestampish_keys(value, where)
+    elif isinstance(node, (list, tuple)):
+        for index, value in enumerate(node):
+            yield from _timestampish_keys(value, f"{path}[{index}]")
+
+
+def validate_envelope(doc: Any) -> List[str]:
+    """All the ways *doc* deviates from the shared envelope (empty = ok)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    for key in _ENVELOPE_KEYS:
+        if key not in doc:
+            problems.append(f"missing envelope key {key!r}")
+    extra = sorted(set(doc) - set(_ENVELOPE_KEYS))
+    if extra:
+        problems.append(f"unexpected top-level keys {extra}")
+    schema = doc.get("schema")
+    if not (isinstance(schema, str) and SCHEMA_PATTERN.match(schema)):
+        problems.append(f"schema id {schema!r} does not match "
+                        f"'repro.<package>/<slug>-vN'")
+    seed = doc.get("seed")
+    if not (seed is None or isinstance(seed, int)):
+        problems.append(f"seed must be an int or null, got {type(seed).__name__}")
+    gates = doc.get("gates")
+    if not isinstance(gates, dict):
+        problems.append("gates block must be an object")
+    else:
+        for name, value in gates.items():
+            if _gate_passed(value) is None:
+                problems.append(
+                    f"gate {name!r} must be a bool or carry a boolean 'pass'")
+    for where in _timestampish_keys(doc):
+        problems.append(f"wall-clock-like key at {where}")
+    return problems
+
+
+def render_json(doc: Dict[str, Any]) -> str:
+    """The canonical byte representation of a benchmark artifact."""
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def write_bench_json(name: str, doc: Dict[str, Any],
+                     root: Optional[Path] = None) -> Path:
+    """Validate *doc* and write it to ``<root>/BENCH_<name>.json``."""
+    problems = validate_envelope(doc)
+    if problems:
+        raise ValueError(f"refusing to write BENCH_{name}.json: "
+                         + "; ".join(problems))
+    path = (root or REPO_ROOT) / f"BENCH_{name}.json"
+    path.write_text(render_json(doc))
+    return path
+
+
+def write_result_text(name: str, text: str,
+                      results_dir: Optional[Path] = None) -> Path:
+    """Write a human-readable summary to ``benchmarks/results/<name>.txt``."""
+    directory = results_dir or (REPO_ROOT / RESULTS_DIR_NAME)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.txt"
+    path.write_text(text if text.endswith("\n") else text + "\n")
+    return path

@@ -259,6 +259,16 @@ def run_load(server: LakeServer, sessions: Dict[str, Session],
     }
 
 
+def build_artifact(report: Dict[str, Any]) -> Dict[str, Any]:
+    """Wrap a :func:`run_bench` report in the shared ``BENCH_*`` envelope."""
+    from repro.bench.results import envelope
+
+    payload = dict(report)
+    seed = payload.pop("seed")
+    return envelope("repro.serving/bench-v1", payload, seed=seed,
+                    gates={"fairness": payload["fairness"]})
+
+
 def run_bench(seed: int = SEED, workers: int = WORKERS) -> Dict[str, Any]:
     """Baseline vs abusive run of the identical compliant workload."""
     baseline_server, baseline_sessions = build_server(

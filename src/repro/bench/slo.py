@@ -237,6 +237,17 @@ def run_slo_scenario(
     }
 
 
+def build_artifact(report: Dict[str, Any]) -> Dict[str, Any]:
+    """Wrap a :func:`run_bench` report in the shared ``BENCH_*`` envelope."""
+    from repro.bench.results import envelope
+
+    payload = dict(report)
+    schema = payload.pop("schema")
+    seed = payload.pop("seed")
+    return envelope(schema, payload, seed=seed,
+                    gates={"discriminates": payload["discriminates"]})
+
+
 def run_bench(seed: int = SEED,
               fault_rate: float = FAULT_RATE) -> Dict[str, Any]:
     """The full scenario: overhead probe plus clean-vs-faulty discrimination."""

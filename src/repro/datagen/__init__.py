@@ -12,6 +12,7 @@ from repro.datagen.lakegen import LakeGenerator, LakeWorkload
 from repro.datagen.logs import LogGenerator
 from repro.datagen.jsongen import EvolvingDocumentGenerator
 from repro.datagen.notebooks import NotebookGenerator
+from repro.datagen.textgen import TextCorpus, TextCorpusGenerator
 
 __all__ = [
     "EvolvingDocumentGenerator",
@@ -19,4 +20,6 @@ __all__ = [
     "LakeWorkload",
     "LogGenerator",
     "NotebookGenerator",
+    "TextCorpus",
+    "TextCorpusGenerator",
 ]

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -64,12 +64,19 @@ class EvolvingDocumentGenerator:
     def __init__(self, seed: int = 7):
         self.seed = seed
 
-    def generate(self, epochs: Sequence[Epoch] = DEFAULT_EPOCHS) -> GeneratedDocuments:
+    def generate(self, epochs: Sequence[Epoch] = DEFAULT_EPOCHS,
+                 docs_per_epoch: Optional[int] = None) -> GeneratedDocuments:
+        """Documents for each epoch; *docs_per_epoch* overrides the counts.
+
+        The size knob lets workload drivers scale collection volume
+        without rewriting the schema script.
+        """
         rng = random.Random(self.seed)
         documents: List[Tuple[int, Dict[str, Any]]] = []
         timestamp = 0
         for epoch in epochs:
-            for _ in range(epoch.num_documents):
+            count = epoch.num_documents if docs_per_epoch is None else docs_per_epoch
+            for _ in range(count):
                 timestamp += 1
                 documents.append((timestamp, {
                     prop: self._value(rng, prop) for prop in epoch.properties

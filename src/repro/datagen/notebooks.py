@@ -50,18 +50,25 @@ class NotebookGenerator:
         prefix: Optional[str] = None,
         table: Optional[Table] = None,
         final_variable_table: bool = True,
+        rounds: int = 1,
     ) -> Notebook:
-        """One notebook following *recipe*; binds *table* to the final var."""
+        """One notebook following *recipe*; binds *table* to the final var.
+
+        *rounds* repeats the recipe with per-round variable prefixes —
+        the size knob for longer notebooks with the same workflow shape.
+        """
         steps = RECIPES[recipe]
         prefix = prefix or name
         notebook = Notebook(name=name)
         last_output = None
-        for function, inputs, outputs in steps:
-            bound_in = tuple(v.format(p=prefix) for v in inputs)
-            bound_out = tuple(v.format(p=prefix) for v in outputs)
-            notebook.add_cell(function, inputs=bound_in, outputs=bound_out)
-            if bound_out:
-                last_output = bound_out[0]
+        for round_index in range(max(1, rounds)):
+            bound_prefix = prefix if round_index == 0 else f"{prefix}_r{round_index}"
+            for function, inputs, outputs in steps:
+                bound_in = tuple(v.format(p=bound_prefix) for v in inputs)
+                bound_out = tuple(v.format(p=bound_prefix) for v in outputs)
+                notebook.add_cell(function, inputs=bound_in, outputs=bound_out)
+                if bound_out:
+                    last_output = bound_out[0]
         if table is not None and final_variable_table and last_output is not None:
             notebook.bind_table(last_output, table)
         return notebook

@@ -111,6 +111,12 @@ class GoodsCatalog:
             }
         elif isinstance(dataset.payload, list):
             entry.content = {"num_documents": len(dataset.payload)}
+        # scalar extracted properties (GEMMS text headers, structural stats)
+        # are content metadata too — without them, free-text datasets have
+        # no searchable content at all
+        for key, value in sorted(dataset.properties.items()):
+            if isinstance(value, (str, int, float, bool)):
+                entry.content.setdefault(key, value)
         entry.provenance = {"ingested_from": dataset.source or "unknown"}
         entry.team_project = {"owner": owner, "team": team, "project": project}
         entry.temporal = {"registered_at": self._clock}

@@ -1,0 +1,97 @@
+"""Tier-1 smoke tier of the macro-benchmark matrix.
+
+Every named scenario runs at smoke scale (same shapes, same op mix, same
+gates — smaller corpus, fewer ops, fewer clients) so the full DLBench
+surface is exercised on every test run in well under a minute.  The
+scaled runs must pass the exact gates the full-size matrix enforces:
+availability, zero unhandled exceptions, discovery answers equal to a
+fresh serial reference, SQL oracles, crash-restart visibility, and
+abusive-tenant shedding.
+"""
+
+import pytest
+
+from repro.bench.macro import (MATRIX, get_scenario, run_matrix, run_scenario,
+                               scenario_names, smoke_matrix)
+from repro.bench.results import validate_envelope
+
+SMOKE = {scenario.name: scenario for scenario in smoke_matrix()}
+
+#: one smoke report per scenario, computed once and shared by the asserts
+_REPORTS = {}
+
+
+def _report(name):
+    if name not in _REPORTS:
+        _REPORTS[name] = run_scenario(SMOKE[name])
+    return _REPORTS[name]
+
+
+def test_matrix_names_are_stable_and_cover_the_brief():
+    names = scenario_names()
+    assert len(names) >= 8
+    assert len(set(names)) == len(names)
+    # the ROADMAP-gap scenarios the issue calls out by shape
+    for required in ("text_heavy", "document_heavy", "serving_abuse",
+                     "chaos_faults", "crash_restart"):
+        assert required in names
+
+
+def test_get_scenario_rejects_unknown_names():
+    assert get_scenario("baseline_mixed") is MATRIX[0]
+    with pytest.raises(KeyError):
+        get_scenario("no_such_scenario")
+
+
+@pytest.mark.parametrize("name", sorted(SMOKE))
+def test_smoke_scenario_passes_its_gates(name):
+    report = _report(name)
+    failing = {gate: verdict for gate, verdict in report["gates"].items()
+               if not verdict["pass"]}
+    assert report["passed"], failing
+    assert report["stats"]["unhandled_errors"] == []
+
+
+def test_text_and_document_scenarios_do_real_discovery():
+    for name in ("text_heavy", "document_heavy"):
+        stats = _report(name)["stats"]
+        answers = (stats["discovery_answers"]
+                   + stats["verification"]["non_empty_answers"])
+        assert answers > 0, name
+
+
+def test_serving_abuse_sheds_the_abuser_not_the_compliant():
+    serving = _report("serving_abuse")["stats"]["serving"]
+    assert serving["abuser_shed"] is True
+    assert serving["compliant_availability"] >= 0.99
+
+
+def test_chaos_scenario_holds_availability_under_faults():
+    stats = _report("chaos_faults")["stats"]
+    assert stats["availability"] >= 0.99
+    assert stats["unhandled_errors"] == []
+
+
+def test_crash_restart_keeps_committed_data_visible():
+    crash = _report("crash_restart")["stats"]["crash_restart"]
+    assert crash["scenarios"] > 0
+    assert crash["committed_visible"], crash["failures"]
+
+
+def test_reports_carry_the_measured_surface():
+    report = _report("baseline_mixed")
+    stats = report["stats"]
+    assert stats["ops"] == SMOKE["baseline_mixed"].ops
+    assert stats["latency_ms"]  # per-kind p50/p95 were collected
+    for kind, summary in stats["latency_ms"].items():
+        assert summary["count"] > 0, kind
+        assert summary["p95"] >= summary["p50"] >= 0.0
+    assert stats["verification"]["match"]
+    assert report["scenario"]["name"] == "baseline_mixed"
+
+
+def test_run_matrix_wraps_reports_in_the_shared_envelope():
+    doc = run_matrix([SMOKE["baseline_mixed"]])
+    assert validate_envelope(doc) == []
+    assert set(doc["results"]["scenarios"]) == {"baseline_mixed"}
+    assert doc["gates"]["baseline_mixed"]["pass"] is True

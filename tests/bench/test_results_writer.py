@@ -1,0 +1,79 @@
+"""Regression tests for the shared BENCH artifact writers.
+
+``repro.bench.results`` is the single implementation of the "wrap in the
+envelope, write ``BENCH_<name>.json`` at the repo root, write a text
+summary under ``benchmarks/results``" logic that every bench file
+previously duplicated — these tests pin its contract.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.results import (envelope, gates_passed, render_json,
+                                 validate_envelope, write_bench_json,
+                                 write_result_text)
+
+
+def test_envelope_builds_a_valid_document():
+    doc = envelope("repro.bench/example-v1", {"value": 3}, seed=17,
+                   gates={"ok": True, "rich": {"pass": True, "value": 3}})
+    assert validate_envelope(doc) == []
+    assert doc["seed"] == 17
+    assert gates_passed(doc)
+
+
+def test_envelope_rejects_bad_schema_and_gates():
+    with pytest.raises(ValueError, match="schema id"):
+        envelope("not-a-schema", {})
+    with pytest.raises(ValueError, match="boolean 'pass'"):
+        envelope("repro.bench/example-v1", {}, gates={"broken": {"value": 1}})
+
+
+def test_envelope_bans_wall_clock_keys_recursively():
+    with pytest.raises(ValueError, match="wall-clock"):
+        envelope("repro.bench/example-v1",
+                 {"runs": [{"timestamp": 123.0}]})
+    # "candidates" contains "date" as a substring — must NOT be flagged
+    doc = envelope("repro.bench/example-v1", {"candidates": [1, 2]})
+    assert validate_envelope(doc) == []
+
+
+def test_validate_envelope_flags_shape_drift():
+    assert validate_envelope([]) == ["document is not a JSON object"]
+    problems = validate_envelope({"schema": "repro.bench/example-v1",
+                                  "seed": "17", "gates": {}, "results": {},
+                                  "extra": 1})
+    assert any("unexpected top-level keys" in p for p in problems)
+    assert any("seed must be an int" in p for p in problems)
+    problems = validate_envelope({"schema": "repro.bench/example-v1"})
+    assert sum("missing envelope key" in p for p in problems) == 3
+
+
+def test_write_bench_json_round_trips_canonical_bytes(tmp_path):
+    doc = envelope("repro.bench/example-v1", {"b": 2, "a": 1}, seed=5,
+                   gates={"ok": True})
+    path = write_bench_json("example", doc, root=tmp_path)
+    assert path == tmp_path / "BENCH_example.json"
+    text = path.read_text()
+    assert text == render_json(doc)
+    assert text.endswith("\n")
+    assert json.loads(text) == doc
+    # canonical bytes: keys sorted, so rewriting is byte-identical
+    assert write_bench_json("example", doc, root=tmp_path).read_text() == text
+
+
+def test_write_bench_json_refuses_invalid_documents(tmp_path):
+    with pytest.raises(ValueError, match="refusing to write"):
+        write_bench_json("broken", {"schema": "nope"}, root=tmp_path)
+    assert not (tmp_path / "BENCH_broken.json").exists()
+
+
+def test_write_result_text_normalizes_trailing_newline(tmp_path):
+    path = write_result_text("summary", "two lines\nno newline",
+                             results_dir=tmp_path / "results")
+    assert path == tmp_path / "results" / "summary.txt"
+    assert path.read_text() == "two lines\nno newline\n"
+    again = write_result_text("summary", "ends clean\n",
+                              results_dir=tmp_path / "results")
+    assert again.read_text() == "ends clean\n"

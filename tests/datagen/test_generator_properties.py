@@ -1,0 +1,189 @@
+"""Generator contracts: determinism, size-knob monotonicity, valid shapes.
+
+The macro-benchmark (and every equivalence suite) leans on one property:
+a ``repro.datagen`` generator constructed with the same seed emits a
+byte-identical corpus every time, and its size knobs scale output
+monotonically without changing the schema.  These tests pin that for
+all five generators — table pools, evolving JSON documents, logs,
+notebooks, and the free-text topic corpus.
+"""
+
+import pytest
+
+from repro.datagen import (EvolvingDocumentGenerator, LakeGenerator,
+                           LogGenerator, NotebookGenerator,
+                           TextCorpusGenerator)
+from repro.datagen.jsongen import DEFAULT_EPOCHS
+from repro.datagen.logs import DEFAULT_TEMPLATES
+from repro.datagen.notebooks import RECIPES
+from repro.datagen.textgen import TOPICS
+
+SEEDS = (3, 17, 404)
+
+
+def _lake_bytes(seed, rows=30):
+    workload = LakeGenerator(seed=seed).generate(
+        num_pools=2, tables_per_pool=2, rows_per_table=rows, pool_size=40,
+        noise_tables=1)
+    return repr([(table.name, [(column.name, column.values)
+                               for column in table.columns])
+                 for table in workload.tables])
+
+
+# -- seed determinism: same seed, byte-identical corpus ---------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_lakegen_is_deterministic_per_seed(seed):
+    assert _lake_bytes(seed) == _lake_bytes(seed)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_jsongen_is_deterministic_per_seed(seed):
+    first = EvolvingDocumentGenerator(seed).generate()
+    second = EvolvingDocumentGenerator(seed).generate()
+    assert first.documents == second.documents
+    assert first.epochs == second.epochs
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_logs_are_deterministic_per_seed(seed):
+    first = LogGenerator(seed).generate(num_lines=80)
+    second = LogGenerator(seed).generate(num_lines=80)
+    assert first.text == second.text
+    assert first.templates == second.templates
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_textgen_is_deterministic_per_seed(seed):
+    first = TextCorpusGenerator(seed).generate(num_docs=8, words_per_doc=40)
+    second = TextCorpusGenerator(seed).generate(num_docs=8, words_per_doc=40)
+    assert first.documents == second.documents
+    assert first.topic_of == second.topic_of
+
+
+def test_notebooks_are_deterministic():
+    build = lambda: NotebookGenerator(7).generate("clean_join", "nb", rounds=2)
+    first, second = build(), build()
+    assert [(c.function, c.inputs, c.outputs) for c in first.cells] \
+        == [(c.function, c.inputs, c.outputs) for c in second.cells]
+
+
+def test_different_seeds_produce_different_corpora():
+    assert _lake_bytes(3) != _lake_bytes(4)
+    assert LogGenerator(3).generate(num_lines=80).text \
+        != LogGenerator(4).generate(num_lines=80).text
+    assert TextCorpusGenerator(3).generate(num_docs=8).documents \
+        != TextCorpusGenerator(4).generate(num_docs=8).documents
+
+
+# -- size knobs scale output monotonically ----------------------------------
+
+
+def test_lakegen_row_knob_is_monotonic():
+    small = LakeGenerator(5).generate(num_pools=1, tables_per_pool=2,
+                                      rows_per_table=10, pool_size=30)
+    large = LakeGenerator(5).generate(num_pools=1, tables_per_pool=2,
+                                      rows_per_table=40, pool_size=30)
+    assert len(small.tables) == len(large.tables)
+    # dimension tables are sized by pool_size; facts scale with the knob
+    grew = [(before, after)
+            for before, after in zip(small.tables, large.tables)
+            if after.name.startswith("fact_")]
+    assert grew
+    for before, after in grew:
+        assert before.name == after.name
+        assert len(after) > len(before)
+
+
+def test_lakegen_pool_knob_is_monotonic():
+    counts = [len(LakeGenerator(5).generate(num_pools=pools,
+                                            tables_per_pool=2,
+                                            rows_per_table=10,
+                                            pool_size=30,
+                                            noise_tables=0).tables)
+              for pools in (1, 2, 4)]
+    assert counts == sorted(counts) and counts[0] < counts[-1]
+
+
+def test_jsongen_docs_per_epoch_knob_is_monotonic():
+    sizes = [len(EvolvingDocumentGenerator(5).generate(docs_per_epoch=n)
+                 .documents)
+             for n in (2, 5, 9)]
+    assert sizes == [2 * len(DEFAULT_EPOCHS), 5 * len(DEFAULT_EPOCHS),
+                     9 * len(DEFAULT_EPOCHS)]
+
+
+def test_logs_num_lines_knob_is_exact():
+    for lines in (10, 60, 200):
+        log = LogGenerator(5).generate(num_lines=lines)
+        assert len(log.text.splitlines()) == lines
+
+
+def test_notebook_rounds_knob_is_monotonic():
+    lengths = [len(NotebookGenerator(5).generate("feature_prep", "nb",
+                                                 rounds=rounds).cells)
+               for rounds in (1, 2, 4)]
+    assert lengths == [len(RECIPES["feature_prep"]) * r for r in (1, 2, 4)]
+
+
+def test_textgen_size_knobs_are_monotonic():
+    small = TextCorpusGenerator(5).generate(num_docs=4, words_per_doc=20)
+    more_docs = TextCorpusGenerator(5).generate(num_docs=12, words_per_doc=20)
+    longer = TextCorpusGenerator(5).generate(num_docs=4, words_per_doc=80)
+    assert len(more_docs.documents) > len(small.documents)
+    for name, text in small.documents.items():
+        assert len(longer.documents[name]) > len(text)
+
+
+# -- schema validity --------------------------------------------------------
+
+
+def test_lakegen_tables_are_rectangular_with_ground_truth():
+    workload = LakeGenerator(5).generate(num_pools=2, tables_per_pool=2,
+                                         rows_per_table=15, pool_size=30)
+    for table in workload.tables:
+        assert table.columns
+        widths = {len(column.values) for column in table.columns}
+        assert widths == {len(table)}
+    assert workload.joinable_pairs
+    for left, right in workload.joinable_pairs:
+        assert workload.table(left[0]).column_names.count(left[1]) == 1
+        assert workload.table(right[0]).column_names.count(right[1]) == 1
+
+
+def test_jsongen_documents_match_their_epoch_schema():
+    generated = EvolvingDocumentGenerator(5).generate()
+    cursor = 0
+    for epoch in generated.epochs:
+        for _ in range(epoch.num_documents):
+            timestamp, document = generated.documents[cursor]
+            assert timestamp == cursor + 1  # strictly increasing
+            assert set(document) == set(epoch.properties)
+            cursor += 1
+    assert cursor == len(generated.documents)
+
+
+def test_logs_ground_truth_covers_the_templates():
+    log = LogGenerator(5).generate(num_lines=120, noise_fraction=0.0)
+    assert len(log.templates) == len(DEFAULT_TEMPLATES)
+    assert sum(log.lines_per_template.values()) == 120
+
+
+def test_notebook_cells_follow_the_recipe():
+    generator = NotebookGenerator(5)
+    notebook = generator.generate("clean_join", "nb")
+    assert [cell.function for cell in notebook.cells] \
+        == [step[0] for step in RECIPES["clean_join"]]
+    assert notebook.cells[-1].outputs == (
+        generator.final_variable("clean_join", "nb"),)
+
+
+def test_textgen_titles_carry_signature_terms():
+    corpus = TextCorpusGenerator(5).generate(num_docs=8, words_per_doc=30)
+    assert set(corpus.topic_of.values()) == set(TOPICS)
+    for name, text in corpus.documents.items():
+        title = text.splitlines()[0]
+        topic = corpus.topic_of[name]
+        for term in corpus.signature_terms(topic):
+            assert term in title, (name, term)

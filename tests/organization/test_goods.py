@@ -45,6 +45,26 @@ class TestRegistration:
         with pytest.raises(DatasetNotFound):
             catalog.entry("ghost")
 
+    def test_scalar_properties_become_searchable_content(self, catalog):
+        dataset = Dataset("field_notes", "freight manifest pallet depot\n",
+                          format="text")
+        dataset.properties["header"] = "freight manifest pallet"
+        dataset.properties["line_count"] = 1
+        dataset.properties["_raw"] = {"not": "scalar"}  # must be skipped
+        catalog.register(dataset)
+        entry = catalog.entry("field_notes")
+        assert entry.content["header"] == "freight manifest pallet"
+        assert entry.content["line_count"] == 1
+        assert "_raw" not in entry.content
+        # the folded header is what makes free text findable at all
+        assert "field_notes" in catalog.search("manifest")
+
+    def test_properties_do_not_override_extracted_content(self, catalog):
+        dataset = Dataset("events2", [{"a": 1}], format="json")
+        dataset.properties["num_documents"] = 999  # loses to the extractor
+        catalog.register(dataset)
+        assert catalog.entry("events2").content["num_documents"] == 1
+
 
 class TestCrowdsourcedEnrichment:
     def test_annotate(self, catalog):

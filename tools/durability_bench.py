@@ -22,7 +22,8 @@ SRC = REPO_ROOT / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
-from repro.bench.durability import FILES, LOG_LENGTHS, PAYLOAD_BYTES, run_bench  # noqa: E402
+from repro.bench.durability import (FILES, LOG_LENGTHS, PAYLOAD_BYTES,  # noqa: E402
+                                    build_artifact, run_bench)
 
 RESULT_PATH = REPO_ROOT / "BENCH_durability.json"
 
@@ -46,7 +47,8 @@ def main(argv=None) -> int:
 
     report = run_bench(files=args.files, payload_bytes=args.payload_bytes,
                        log_lengths=log_lengths)
-    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    args.output.write_text(
+        json.dumps(build_artifact(report), indent=2, sort_keys=True) + "\n")
 
     overhead = report["atomic_overhead"]
     matrix = report["crash_matrix"]

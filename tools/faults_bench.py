@@ -22,7 +22,7 @@ SRC = REPO_ROOT / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
-from repro.bench.faults import SEED, run_bench  # noqa: E402
+from repro.bench.faults import SEED, build_artifact, run_bench  # noqa: E402
 
 RESULT_PATH = REPO_ROOT / "BENCH_faults.json"
 
@@ -43,7 +43,8 @@ def main(argv=None) -> int:
         parser.error("--rates must name at least one fault rate")
 
     report = run_bench(rates=rates, seed=args.seed)
-    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    args.output.write_text(
+        json.dumps(build_artifact(report), indent=2, sort_keys=True) + "\n")
 
     ok = True
     for rate_key in sorted(report["rates"], key=float):

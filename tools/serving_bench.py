@@ -24,7 +24,7 @@ SRC = REPO_ROOT / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
-from repro.bench.serving import SEED, WORKERS, run_bench  # noqa: E402
+from repro.bench.serving import SEED, WORKERS, build_artifact, run_bench  # noqa: E402
 
 RESULT_PATH = REPO_ROOT / "BENCH_serving.json"
 TEXT_PATH = REPO_ROOT / "benchmarks" / "results" / "BENCH_serving.txt"
@@ -64,7 +64,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     report = run_bench(seed=args.seed, workers=args.workers)
-    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    args.output.write_text(
+        json.dumps(build_artifact(report), indent=2, sort_keys=True) + "\n")
     rendered = render(report)
     TEXT_PATH.parent.mkdir(parents=True, exist_ok=True)
     TEXT_PATH.write_text(rendered)
